@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Baselines Float Hashtbl List Printf Queue Raestat Relational Report Sampling Stats Unix Workload

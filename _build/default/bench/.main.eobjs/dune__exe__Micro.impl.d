@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Float Hashtbl Instance List Measure Printf Raestat Relational Sampling Staged Stats String Test Time Workload

@@ -1,0 +1,32 @@
+(* Benchmark / experiment harness.
+
+     dune exec bench/main.exe              run every experiment + microbenches
+     dune exec bench/main.exe -- t1 f3     run a subset
+     dune exec bench/main.exe -- micro     microbenches only
+
+   Experiment ids and what they reproduce are indexed in DESIGN.md §4
+   and EXPERIMENTS.md. *)
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let known = List.map fst Experiments.all in
+  let invalid =
+    List.filter (fun id -> id <> "micro" && not (List.mem id known)) requested
+  in
+  if invalid <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\nknown: %s micro\n"
+      (String.concat " " invalid) (String.concat " " known);
+    exit 2
+  end;
+  let run_all = requested = [] in
+  let started = Unix.gettimeofday () in
+  List.iter
+    (fun (id, experiment) ->
+      if run_all || List.mem id requested then begin
+        let t0 = Unix.gettimeofday () in
+        experiment ();
+        Printf.printf "  [%s: %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+      end)
+    Experiments.all;
+  if run_all || List.mem "micro" requested then Micro.run ();
+  Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)

@@ -1,0 +1,125 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment, measuring
+   the estimation kernel each table exercises, plus the exact-evaluation
+   and maintenance baselines. *)
+
+module Expr = Relational.Expr
+module P = Relational.Predicate
+module Catalog = Relational.Catalog
+module CE = Raestat.Count_estimator
+module Dist = Workload.Dist
+module Generator = Workload.Generator
+
+let fixtures () =
+  let rng = Sampling.Rng.create ~seed:606 () in
+  let r =
+    Generator.int_relation rng ~n:50_000 ~attribute:"a" (Dist.Uniform { lo = 0; hi = 999 })
+  in
+  let l, rr =
+    Workload.Correlated.pair rng ~n_left:20_000 ~n_right:20_000 ~domain:500 ~skew_left:0.5
+      ~skew_right:0.5 Workload.Correlated.Independent ~attribute:"a"
+  in
+  let sets_l, sets_r = Generator.set_pair rng ~card_left:20_000 ~card_right:15_000
+      ~overlap:5_000 ~attribute:"a"
+  in
+  let tpc =
+    Workload.Tpc_mini.catalog rng
+      ~sizes:{ Workload.Tpc_mini.suppliers = 500; parts = 1_000; orders = 10_000 }
+      ()
+  in
+  let catalog = Catalog.of_list [ ("r", r); ("l", l); ("rr", rr); ("sx", sets_l); ("sy", sets_r) ] in
+  (rng, catalog, tpc, r)
+
+let tests () =
+  let rng, catalog, tpc, r = fixtures () in
+  let pred = P.lt (P.attr "a") (P.vint 100) in
+  let paged = Relational.Paged.make ~page_capacity:100 r in
+  let open Bechamel in
+  [
+    Test.make ~name:"t1-selection-n500"
+      (Staged.stage (fun () -> CE.selection rng catalog ~relation:"r" ~n:500 pred));
+    Test.make ~name:"t2-equijoin-1pct"
+      (Staged.stage (fun () ->
+           CE.equijoin ~groups:1 rng catalog ~left:"l" ~right:"rr" ~on:[ ("a", "a") ]
+             ~fraction:0.01));
+    Test.make ~name:"t3-distinct-chao1-n1000"
+      (Staged.stage (fun () ->
+           Raestat.Distinct.estimate rng catalog ~method_:Raestat.Distinct.Chao1
+             ~relation:"r" ~attributes:[ "a" ] ~n:1_000));
+    Test.make ~name:"t4-intersection-2pct"
+      (Staged.stage (fun () ->
+           CE.intersection rng catalog ~left:"sx" ~right:"sy" ~fraction:0.02));
+    Test.make ~name:"t5-chain-scaleup-5pct"
+      (Staged.stage (fun () ->
+           CE.estimate rng tpc ~fraction:0.05 (Workload.Tpc_mini.chain_query ())));
+    Test.make ~name:"t6-ci-construction"
+      (Staged.stage
+         (let est =
+            Stats.Estimate.make ~variance:123. ~status:Stats.Estimate.Unbiased
+              ~sample_size:100 4567.
+          in
+          fun () -> Stats.Estimate.ci ~level:0.95 est));
+    Test.make ~name:"f1-selection-n5000"
+      (Staged.stage (fun () -> CE.selection rng catalog ~relation:"r" ~n:5_000 pred));
+    Test.make ~name:"f2-join-profile"
+      (Staged.stage (fun () -> Raestat.Join_variance.profile r "a"));
+    Test.make ~name:"f3-cluster-m20"
+      (Staged.stage (fun () -> Raestat.Cluster_estimator.count rng ~m:20 paged pred));
+    Test.make ~name:"f4-sequential-target20pct"
+      (Staged.stage (fun () ->
+           Raestat.Sequential.selection rng catalog ~relation:"r" ~target:0.2 ~batch:200 pred));
+    Test.make ~name:"f5-oracle-variance"
+      (let p = Raestat.Join_variance.profile r "a" in
+       Staged.stage (fun () -> Raestat.Join_variance.oracle_variance ~q1:0.1 ~q2:0.1 p p));
+    Test.make ~name:"f6-exact-join-baseline"
+      (Staged.stage (fun () ->
+           Relational.Eval.count catalog
+             (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "rr"))));
+    Test.make ~name:"maintenance-reservoir-add"
+      (let reservoir = Sampling.Reservoir.create ~algorithm:`L rng ~capacity:1_000 in
+       let tuple = Relational.Tuple.make [ Relational.Value.Int 7 ] in
+       Staged.stage (fun () -> Sampling.Reservoir.add reservoir tuple));
+    Test.make ~name:"a6-group-count-n1000"
+      (Staged.stage (fun () ->
+           Raestat.Group_count.estimate rng catalog ~relation:"r" ~by:[ "a" ] ~n:1_000 ()));
+    Test.make ~name:"a6-sample-size-planner"
+      (Staged.stage (fun () ->
+           Raestat.Sample_size.selection ~big_n:1_000_000 ~level:0.95 ~target:0.05 ~p:0.1));
+    Test.make ~name:"a7-streaming-join-count"
+      (Staged.stage (fun () ->
+           Relational.Physical.count_expr catalog
+             (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "rr"))));
+    Test.make ~name:"parser-roundtrip"
+      (let text = "select[a <= 10 and b > 2](r) join[a = c] pidist[c, d](s)" in
+       Staged.stage (fun () ->
+           Relational.Parser.print_expr (Relational.Parser.parse_expr text)));
+  ]
+
+let run () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  Printf.printf "\n=== Microbenchmarks (bechamel, ns/run) ===\n%!";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let grouped = Test.make_grouped ~name:"raestat" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ t ] -> (name, t) :: acc
+        | Some _ | None -> (name, Float.nan) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_finite ns then
+        if ns >= 1e6 then Printf.printf "%-40s %12.3f ms\n" name (ns /. 1e6)
+        else if ns >= 1e3 then Printf.printf "%-40s %12.3f us\n" name (ns /. 1e3)
+        else Printf.printf "%-40s %12.1f ns\n" name ns
+      else Printf.printf "%-40s %12s\n" name "n/a")
+    rows

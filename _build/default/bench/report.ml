@@ -1,0 +1,24 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+let heading id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let columns widths headers =
+  List.iter2 (fun w h -> Printf.printf "%*s " w h) widths headers;
+  print_newline ();
+  let total = List.fold_left (fun acc w -> acc + w + 1) 0 widths in
+  print_string (String.make total '-');
+  print_newline ()
+
+let cell w s = Printf.printf "%*s " w s
+
+let row widths cells =
+  List.iter2 cell widths cells;
+  print_newline ()
+
+let pct x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let num x =
+  if Float.abs x >= 1e6 then Printf.sprintf "%.3g" x else Printf.sprintf "%.1f" x
+
+let note text = Printf.printf "  note: %s\n" text

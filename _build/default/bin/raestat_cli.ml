@@ -1,0 +1,473 @@
+(* raestat — command-line front end.
+
+   Subcommands:
+     generate   write a synthetic single-column CSV
+     exact      exact COUNT of a filter over a CSV
+     estimate   sampled COUNT of a filter over a CSV, with a CI
+     join       estimated (and optionally exact) equi-join size of two CSVs
+     distinct   distinct-value estimates for a column
+     sweep      relative error vs sampling fraction for a filter
+
+   Filters use a tiny predicate language: "attr OP value" where OP is
+   one of = != < <= > >=, e.g. --where "age <= 40". *)
+
+open Cmdliner
+module P = Relational.Predicate
+module Expr = Relational.Expr
+module Estimate = Stats.Estimate
+
+(* --- tiny predicate parser ------------------------------------------- *)
+
+let parse_predicate text =
+  let text = String.trim text in
+  let ops =
+    (* Longest operators first so "<=" is not read as "<". *)
+    [ ("<=", P.le); (">=", P.ge); ("!=", P.neq); ("<", P.lt); (">", P.gt); ("=", P.eq) ]
+  in
+  let find_op () =
+    List.find_map
+      (fun (symbol, make) ->
+        let sl = String.length symbol and tl = String.length text in
+        let rec search i =
+          if i + sl > tl then None
+          else if String.sub text i sl = symbol then Some (i, sl, make)
+          else search (i + 1)
+        in
+        search 0)
+      ops
+  in
+  match find_op () with
+  | None -> Error (`Msg (Printf.sprintf "no comparison operator in filter %S" text))
+  | Some (i, sl, make) ->
+    let attr = String.trim (String.sub text 0 i) in
+    let value = String.trim (String.sub text (i + sl) (String.length text - i - sl)) in
+    if attr = "" || value = "" then Error (`Msg "empty side in filter")
+    else
+      let rhs =
+        match int_of_string_opt value with
+        | Some n -> P.vint n
+        | None -> (
+          match float_of_string_opt value with
+          | Some f -> P.vfloat f
+          | None -> P.vstr value)
+      in
+      Ok (make (P.attr attr) rhs)
+
+let predicate_conv =
+  let parse s = parse_predicate s in
+  let print ppf p = Format.fprintf ppf "%s" (P.to_string p) in
+  Arg.conv (parse, print)
+
+(* --- shared arguments ------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let csv_arg position name =
+  Arg.(required & pos position (some file) None & info [] ~docv:name ~doc:(name ^ " CSV file"))
+
+let where_arg =
+  Arg.(
+    required
+    & opt (some predicate_conv) None
+    & info [ "where"; "w" ] ~docv:"FILTER" ~doc:"Filter, e.g. \"age <= 40\".")
+
+let fraction_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "fraction"; "f" ] ~docv:"F" ~doc:"Sampling fraction in (0, 1].")
+
+let level_arg =
+  Arg.(value & opt float 0.95 & info [ "level" ] ~docv:"L" ~doc:"Confidence level.")
+
+let rng_of_seed seed = Sampling.Rng.create ~seed ()
+
+let load_catalog bindings =
+  Relational.Catalog.of_list
+    (List.map (fun (name, path) -> (name, Relational.Csv.load path)) bindings)
+
+(* --- generate --------------------------------------------------------- *)
+
+let dist_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "uniform"; lo; hi ] ->
+      Ok (Workload.Dist.Uniform { lo = int_of_string lo; hi = int_of_string hi })
+    | [ "zipf"; n; z ] ->
+      Ok (Workload.Dist.Zipf { n_values = int_of_string n; skew = float_of_string z })
+    | [ "normal"; mean; sd ] ->
+      Ok (Workload.Dist.Normal { mean = float_of_string mean; stddev = float_of_string sd })
+    | [ "selfsim"; n; h ] ->
+      Ok (Workload.Dist.Self_similar { n_values = int_of_string n; h = float_of_string h })
+    | [ "exp"; mean ] -> Ok (Workload.Dist.Exponential { mean = float_of_string mean })
+    | [ "const"; c ] -> Ok (Workload.Dist.Constant (int_of_string c))
+    | _ ->
+      Error
+        (`Msg
+          "expected uniform:LO:HI | zipf:N:Z | normal:MEAN:SD | selfsim:N:H | exp:MEAN | const:C")
+  in
+  let print ppf d = Format.fprintf ppf "%s" (Workload.Dist.to_string d) in
+  Arg.conv ~docv:"DIST" (parse, print)
+
+let generate_cmd =
+  let run seed n out column dist =
+    let rng = rng_of_seed seed in
+    let relation = Workload.Generator.int_relation rng ~n ~attribute:column dist in
+    Relational.Csv.save out relation;
+    Printf.printf "wrote %d tuples of %s to %s\n" n (Workload.Dist.to_string dist) out
+  in
+  let n_arg =
+    Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of tuples.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output CSV.")
+  in
+  let column_arg =
+    Arg.(value & opt string "a" & info [ "column"; "c" ] ~docv:"NAME" ~doc:"Column name.")
+  in
+  let dist_arg =
+    Arg.(
+      value
+      & opt dist_conv (Workload.Dist.Uniform { lo = 0; hi = 999 })
+      & info [ "dist"; "d" ] ~docv:"DIST" ~doc:"Value distribution.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic CSV relation")
+    Term.(const run $ seed_arg $ n_arg $ out_arg $ column_arg $ dist_arg)
+
+(* --- exact ------------------------------------------------------------ *)
+
+let exact_cmd =
+  let run path predicate =
+    let catalog = load_catalog [ ("r", path) ] in
+    let result = Baselines.Exact.count catalog (Expr.select predicate (Expr.base "r")) in
+    Printf.printf "exact COUNT: %d   (%.1f ms)\n" result.Baselines.Exact.count
+      (1000. *. result.Baselines.Exact.seconds)
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact COUNT of a filter over a CSV")
+    Term.(const run $ csv_arg 0 "DATA" $ where_arg)
+
+(* --- estimate --------------------------------------------------------- *)
+
+let estimate_cmd =
+  let run seed path predicate fraction level =
+    let rng = rng_of_seed seed in
+    let catalog = load_catalog [ ("r", path) ] in
+    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
+    let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+    let est = Raestat.Count_estimator.selection rng catalog ~relation:"r" ~n predicate in
+    let ci = Estimate.ci ~level est in
+    Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
+    Printf.printf "sampled %d of %d tuples (%.2f%%)\n" n big_n
+      (100. *. float_of_int n /. float_of_int big_n);
+    Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level) ci.Stats.Confidence.lo
+      ci.Stats.Confidence.hi
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Sampled COUNT of a filter over a CSV")
+    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ fraction_arg $ level_arg)
+
+(* --- join ------------------------------------------------------------- *)
+
+let join_cmd =
+  let run seed left right on fraction check =
+    let rng = rng_of_seed seed in
+    let catalog = load_catalog [ ("l", left); ("r", right) ] in
+    let left_attr, right_attr =
+      match String.split_on_char '=' on with
+      | [ a; b ] -> (String.trim a, String.trim b)
+      | _ -> failwith "--on expects LEFT_ATTR=RIGHT_ATTR"
+    in
+    let est =
+      Raestat.Count_estimator.equijoin ~groups:8 rng catalog ~left:"l" ~right:"r"
+        ~on:[ (left_attr, right_attr) ] ~fraction
+    in
+    Printf.printf "estimated join size: %.0f (stderr %.0f)\n" est.Estimate.point
+      (Estimate.stderr est);
+    if check then begin
+      let exact =
+        Baselines.Exact.count catalog
+          (Expr.equijoin [ (left_attr, right_attr) ] (Expr.base "l") (Expr.base "r"))
+      in
+      Printf.printf "exact join size:     %d   (%.1f ms)\n" exact.Baselines.Exact.count
+        (1000. *. exact.Baselines.Exact.seconds);
+      Printf.printf "relative error:      %.2f%%\n"
+        (100. *. Estimate.relative_error ~truth:(float_of_int exact.Baselines.Exact.count) est)
+    end
+  in
+  let on_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "on" ] ~docv:"A=B" ~doc:"Join condition LEFT_ATTR=RIGHT_ATTR.")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Also compute the exact join size.")
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Estimate the equi-join size of two CSVs")
+    Term.(const run $ seed_arg $ csv_arg 0 "LEFT" $ csv_arg 1 "RIGHT" $ on_arg $ fraction_arg
+          $ check_arg)
+
+(* --- distinct ---------------------------------------------------------- *)
+
+let distinct_cmd =
+  let run seed path column fraction =
+    let rng = rng_of_seed seed in
+    let catalog = load_catalog [ ("r", path) ] in
+    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
+    let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+    Printf.printf "%-16s %12s %s\n" "method" "estimate" "status";
+    List.iter
+      (fun m ->
+        let est =
+          Raestat.Distinct.estimate rng catalog ~method_:m ~relation:"r"
+            ~attributes:[ column ] ~n
+        in
+        if Raestat.Distinct.plausible ~big_n est then
+          Printf.printf "%-16s %12.0f %s\n"
+            (Raestat.Distinct.method_to_string m)
+            est.Estimate.point
+            (Estimate.status_to_string est.Estimate.status)
+        else
+          Printf.printf "%-16s %12s %s (numerically unstable at this fraction)\n"
+            (Raestat.Distinct.method_to_string m)
+            "-"
+            (Estimate.status_to_string est.Estimate.status))
+      Raestat.Distinct.all_methods;
+    Printf.printf "%-16s %12d\n" "exact"
+      (Raestat.Distinct.exact catalog ~relation:"r" ~attributes:[ column ])
+  in
+  let column_arg =
+    Arg.(value & opt string "a" & info [ "column"; "c" ] ~docv:"NAME" ~doc:"Column name.")
+  in
+  Cmd.v
+    (Cmd.info "distinct" ~doc:"Distinct-value estimates for a CSV column")
+    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ column_arg $ fraction_arg)
+
+(* --- query ------------------------------------------------------------- *)
+
+let query_cmd =
+  let run seed bindings text fraction groups check =
+    let rng = rng_of_seed seed in
+    let parse_binding spec =
+      match String.index_opt spec '=' with
+      | Some i ->
+        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+      | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
+    in
+    let catalog = load_catalog (List.map parse_binding bindings) in
+    let expr = Relational.Parser.parse_expr text in
+    let est = Raestat.Count_estimator.estimate ~groups rng catalog ~fraction expr in
+    Printf.printf "expression: %s\n" (Relational.Parser.print_expr expr);
+    Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
+      (Estimate.status_to_string est.Estimate.status)
+      est.Estimate.sample_size;
+    if Estimate.has_variance est then begin
+      let ci = Estimate.ci ~level:0.95 est in
+      Printf.printf "95%% CI: [%.0f, %.0f]\n" ci.Stats.Confidence.lo ci.Stats.Confidence.hi
+    end;
+    if check then begin
+      let exact = Baselines.Exact.count catalog expr in
+      Printf.printf "exact COUNT:     %d (%.1f ms)\n" exact.Baselines.Exact.count
+        (1000. *. exact.Baselines.Exact.seconds);
+      Printf.printf "relative error:  %.2f%%\n"
+        (100.
+        *. Estimate.relative_error ~truth:(float_of_int exact.Baselines.Exact.count) est)
+    end
+  in
+  let bindings_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "rel"; "r" ] ~docv:"NAME=PATH" ~doc:"Bind a relation name to a CSV file.")
+  in
+  let text_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"EXPR" ~doc:"Relational algebra expression (Parser syntax).")
+  in
+  let groups_arg =
+    Arg.(value & opt int 5 & info [ "groups"; "g" ] ~docv:"G" ~doc:"Replicate groups.")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Also evaluate exactly.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Estimate COUNT of an arbitrary relational algebra expression")
+    Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
+          $ check_arg)
+
+(* --- sql --------------------------------------------------------------- *)
+
+let sql_cmd =
+  let run seed bindings text fraction groups check =
+    let rng = rng_of_seed seed in
+    let parse_binding spec =
+      match String.index_opt spec '=' with
+      | Some i ->
+        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+      | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
+    in
+    let catalog = load_catalog (List.map parse_binding bindings) in
+    let expr = Relational.Sql.parse_optimized catalog text in
+    (* SELECT COUNT( * ) asks for a cardinality: estimate the inner
+       expression's COUNT rather than the 1-row aggregate result. *)
+    let expr = Option.value (Relational.Sql.count_star_target expr) ~default:expr in
+    Printf.printf "algebra: %s\n" (Relational.Parser.print_expr expr);
+    let est = Raestat.Count_estimator.estimate ~groups rng catalog ~fraction expr in
+    Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
+      (Estimate.status_to_string est.Estimate.status)
+      est.Estimate.sample_size;
+    if Estimate.has_variance est then begin
+      let ci = Estimate.ci ~level:0.95 est in
+      Printf.printf "95%% CI: [%.0f, %.0f]\n" ci.Stats.Confidence.lo ci.Stats.Confidence.hi
+    end;
+    if check then begin
+      let exact = Baselines.Exact.count catalog expr in
+      Printf.printf "exact COUNT:     %d (%.1f ms)\n" exact.Baselines.Exact.count
+        (1000. *. exact.Baselines.Exact.seconds)
+    end
+  in
+  let bindings_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "rel"; "r" ] ~docv:"NAME=PATH" ~doc:"Bind a relation name to a CSV file.")
+  in
+  let text_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"SQL query (SELECT subset; see Relational.Sql).")
+  in
+  let groups_arg =
+    Arg.(value & opt int 5 & info [ "groups"; "g" ] ~docv:"G" ~doc:"Replicate groups.")
+  in
+  let check_arg = Arg.(value & flag & info [ "check" ] ~doc:"Also evaluate exactly.") in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Estimate the COUNT of a SQL query's result")
+    Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
+          $ check_arg)
+
+(* --- quantile ---------------------------------------------------------- *)
+
+let quantile_cmd =
+  let run seed path column tau fraction level =
+    let rng = rng_of_seed seed in
+    let catalog = load_catalog [ ("r", path) ] in
+    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
+    let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+    let result =
+      Raestat.Quantile.estimate rng catalog ~relation:"r" ~attribute:column ~tau ~n ~level ()
+    in
+    Printf.printf "estimated %.0f%%-quantile of %s: %g\n" (100. *. tau) column
+      result.Raestat.Quantile.estimate.Estimate.point;
+    Printf.printf "%.0f%% order-statistic CI: [%g, %g] (ranks %d..%d of %d)\n"
+      (100. *. level)
+      result.Raestat.Quantile.interval.Stats.Confidence.lo
+      result.Raestat.Quantile.interval.Stats.Confidence.hi
+      result.Raestat.Quantile.lo_rank result.Raestat.Quantile.hi_rank n;
+    Printf.printf "exact: %g\n"
+      (Raestat.Quantile.exact catalog ~relation:"r" ~attribute:column ~tau)
+  in
+  let column_arg =
+    Arg.(value & opt string "a" & info [ "column"; "c" ] ~docv:"NAME" ~doc:"Column name.")
+  in
+  let tau_arg =
+    Arg.(value & opt float 0.5 & info [ "tau"; "t" ] ~docv:"T" ~doc:"Quantile in (0, 1).")
+  in
+  Cmd.v
+    (Cmd.info "quantile" ~doc:"Sampled quantile of a CSV column with a distribution-free CI")
+    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ column_arg $ tau_arg $ fraction_arg
+          $ level_arg)
+
+(* --- plan -------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run seed bindings join_specs fraction =
+    let rng = rng_of_seed seed in
+    let parse_binding spec =
+      match String.index_opt spec '=' with
+      | Some i ->
+        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+      | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
+    in
+    let bindings = List.map parse_binding bindings in
+    let catalog = load_catalog bindings in
+    let inputs =
+      List.map (fun (name, _) -> { Raestat.Planner.name; filter = None }) bindings
+    in
+    let joins =
+      List.map
+        (fun spec ->
+          match String.split_on_char '=' spec with
+          | [ a; b ] ->
+            { Raestat.Planner.left_attr = String.trim a; right_attr = String.trim b }
+          | _ -> failwith "--on expects A=B")
+        join_specs
+    in
+    let plan = Raestat.Planner.plan rng catalog ~fraction ~inputs ~joins in
+    Printf.printf "chosen order:   %s\n" (String.concat " ⋈ " plan.Raestat.Planner.order);
+    Printf.printf "plan:           %s\n"
+      (Relational.Parser.print_expr plan.Raestat.Planner.expr);
+    Printf.printf "estimated cost: %.0f (fraction %.3f)\n" plan.Raestat.Planner.estimated_cost
+      fraction;
+    List.iter
+      (fun (key, size) -> Printf.printf "  %-30s %12.0f\n" key size)
+      plan.Raestat.Planner.estimates
+  in
+  let bindings_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "rel"; "r" ] ~docv:"NAME=PATH" ~doc:"Bind a relation name to a CSV file.")
+  in
+  let joins_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "on" ] ~docv:"A=B" ~doc:"Equality join predicate (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Pick a join order from sampled cardinality estimates")
+    Term.(const run $ seed_arg $ bindings_arg $ joins_arg $ fraction_arg)
+
+(* --- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run seed path predicate reps =
+    let rng = rng_of_seed seed in
+    let catalog = load_catalog [ ("r", path) ] in
+    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
+    let truth =
+      float_of_int
+        (Relational.Eval.count catalog (Expr.select predicate (Expr.base "r")))
+    in
+    Printf.printf "truth = %.0f over %d tuples; %d reps per fraction\n" truth big_n reps;
+    Printf.printf "%10s %14s %14s\n" "fraction" "mean rel.err" "mean CI width";
+    List.iter
+      (fun fraction ->
+        let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+        let errors = ref Stats.Summary.empty and widths = ref Stats.Summary.empty in
+        for _ = 1 to reps do
+          let est = Raestat.Count_estimator.selection rng catalog ~relation:"r" ~n predicate in
+          errors := Stats.Summary.add !errors (Estimate.relative_error ~truth est);
+          widths :=
+            Stats.Summary.add !widths (Stats.Confidence.width (Estimate.ci ~level:0.95 est))
+        done;
+        Printf.printf "%10.3f %13.2f%% %14.0f\n" fraction
+          (100. *. Stats.Summary.mean !errors)
+          (Stats.Summary.mean !widths))
+      [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.2 ]
+  in
+  let reps_arg =
+    Arg.(value & opt int 50 & info [ "reps" ] ~docv:"R" ~doc:"Replications per fraction.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Relative error vs sampling fraction for a filter")
+    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ reps_arg)
+
+let () =
+  let info =
+    Cmd.info "raestat" ~version:"1.0.0"
+      ~doc:"Sampling-based COUNT estimators for relational algebra expressions"
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; exact_cmd; estimate_cmd; join_cmd;
+                                   distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
+                                   plan_cmd; sweep_cmd ]))

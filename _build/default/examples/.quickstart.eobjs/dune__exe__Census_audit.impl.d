@@ -1,0 +1,1 @@
+examples/census_audit.ml: List Option Printf Raestat Relational Sampling Stats String Workload

@@ -1,0 +1,1 @@
+examples/join_order.ml: List Printf Raestat Relational Sampling String Workload

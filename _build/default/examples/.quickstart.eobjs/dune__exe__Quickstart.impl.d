@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Raestat Relational Sampling Stats Workload

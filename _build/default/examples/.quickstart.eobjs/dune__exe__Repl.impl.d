@@ -1,0 +1,1 @@
+examples/repl.ml: Array Baselines In_channel List Option Printf Raestat Relational Sampling Stats String Sys Workload

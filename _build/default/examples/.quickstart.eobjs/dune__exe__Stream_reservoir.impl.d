@@ -1,0 +1,1 @@
+examples/stream_reservoir.ml: Array Float Printf Queue Raestat Relational Sampling Stats Workload

@@ -1,0 +1,56 @@
+(* Query-optimizer scenario: pick a join order for the 3-way chain
+   orders ⋈ suppliers ⋈ parts with `Raestat.Planner`, the way a
+   System-R-style optimizer would use the paper's estimators — all
+   intermediate cardinalities come from 2% samples, never from full
+   evaluation.  The chosen plan is then verified against exact costing.
+
+   Run with: dune exec examples/join_order.exe *)
+
+module P = Relational.Predicate
+module Planner = Raestat.Planner
+module Tpc = Workload.Tpc_mini
+
+let () =
+  let rng = Sampling.Rng.create ~seed:7 () in
+  let catalog =
+    Tpc.catalog rng ~sizes:{ Tpc.suppliers = 2_000; parts = 3_000; orders = 60_000 } ()
+  in
+  (* The region filter makes suppliers the selective side: joining it
+     first shrinks the intermediate ~5×. *)
+  let inputs =
+    [
+      { Planner.name = "orders"; filter = None };
+      { Planner.name = "suppliers"; filter = Some (P.eq (P.attr "s_region") (P.vint 0)) };
+      { Planner.name = "parts"; filter = None };
+    ]
+  in
+  let joins =
+    [
+      { Planner.left_attr = "o_supplier"; right_attr = "s_key" };
+      { Planner.left_attr = "o_part"; right_attr = "p_key" };
+    ]
+  in
+  let plan = Planner.plan rng catalog ~fraction:0.02 ~inputs ~joins in
+
+  Printf.printf "chosen order:    %s\n" (String.concat " ⋈ " plan.Planner.order);
+  Printf.printf "chosen plan:     %s\n" (Relational.Parser.print_expr plan.Planner.expr);
+  Printf.printf "estimated cost:  %.0f (from 2%% samples)\n" plan.Planner.estimated_cost;
+  Printf.printf "exact cost:      %.0f\n\n" (Planner.exact_cost catalog plan);
+
+  Printf.printf "sampled cardinality estimates per sub-plan:\n";
+  List.iter
+    (fun (key, size) -> Printf.printf "  %-26s %12.0f\n" key size)
+    plan.Planner.estimates;
+
+  (* Verify against the alternative order's exact cost. *)
+  let other_first =
+    Relational.Expr.equijoin
+      [ ("o_part", "p_key") ]
+      (Relational.Expr.base "orders") (Relational.Expr.base "parts")
+  in
+  let other_cost = float_of_int (Relational.Eval.count catalog other_first) in
+  Printf.printf "\nalternative (parts first) exact intermediate: %.0f\n" other_cost;
+  Printf.printf "%s\n"
+    (if Planner.exact_cost catalog plan <= other_cost then
+       "=> sampling-based planning picked the cheaper order"
+     else "=> ranking error (increase the planning fraction)")

@@ -1,0 +1,1 @@
+lib/baselines/exact.ml: Relational Stats Unix

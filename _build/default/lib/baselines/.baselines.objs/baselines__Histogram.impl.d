@@ -1,0 +1,1 @@
+lib/baselines/histogram.ml: Array Float List Relational Stats

@@ -1,0 +1,1 @@
+lib/baselines/histogram.mli: Relational Stats

@@ -1,0 +1,1 @@
+lib/baselines/lipton_naughton.ml: Float Option Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/baselines/lipton_naughton.mli: Relational Sampling Stats

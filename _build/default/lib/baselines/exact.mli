@@ -1,0 +1,12 @@
+(** Full evaluation, timed — the "just compute it" baseline the paper's
+    speedups are measured against. *)
+
+type result = {
+  count : int;
+  seconds : float;  (** wall-clock time of the evaluation *)
+}
+
+val count : Relational.Catalog.t -> Relational.Expr.t -> result
+
+(** The exact answer wrapped as an {!Stats.Estimate.t} (zero variance). *)
+val as_estimate : Relational.Catalog.t -> Relational.Expr.t -> Stats.Estimate.t

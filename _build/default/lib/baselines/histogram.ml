@@ -1,0 +1,114 @@
+module Relation = Relational.Relation
+module Value = Relational.Value
+module Estimate = Stats.Estimate
+
+type bucket = { lo : float; hi : float; count : float }
+(* Buckets are half-open [lo, hi) conceptually; the last bucket's [hi]
+   is nudged past the maximum so the maximum value lands inside. *)
+
+type t = {
+  buckets : bucket array;
+  total : int;
+}
+
+let numeric_column relation attribute =
+  let column = Relation.column relation attribute in
+  if Array.length column = 0 then invalid_arg "Histogram: empty column";
+  Array.map Value.to_float column
+
+let build relation ~attribute ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.build: buckets must be positive";
+  let values = numeric_column relation attribute in
+  let lo = Array.fold_left Float.min Float.infinity values in
+  let hi = Array.fold_left Float.max Float.neg_infinity values in
+  let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1. in
+  let counts = Array.make buckets 0. in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = max 0 (min (buckets - 1) b) in
+      counts.(b) <- counts.(b) +. 1.)
+    values;
+  {
+    buckets =
+      Array.init buckets (fun b ->
+          {
+            lo = lo +. (float_of_int b *. width);
+            hi = lo +. (float_of_int (b + 1) *. width);
+            count = counts.(b);
+          });
+    total = Array.length values;
+  }
+
+let build_equidepth relation ~attribute ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.build_equidepth: buckets must be positive";
+  let values = numeric_column relation attribute in
+  Array.sort Float.compare values;
+  let n = Array.length values in
+  let buckets = min buckets n in
+  let out = ref [] in
+  (* Cut points at equal ranks; merge cuts that fall on identical
+     values so bucket bounds stay strictly increasing. *)
+  let start = ref 0 in
+  for b = 1 to buckets do
+    let stop = b * n / buckets in
+    if stop > !start then begin
+      let lo = values.(!start) in
+      let hi = if stop >= n then values.(n - 1) +. 1. else values.(stop) in
+      if hi > lo then begin
+        out := { lo; hi; count = float_of_int (stop - !start) } :: !out;
+        start := stop
+      end
+      (* else: extend the current run into the next cut (duplicates). *)
+    end
+  done;
+  (* Any residue (all-identical tail) becomes one final bucket. *)
+  if !start < n then begin
+    let lo = values.(!start) in
+    out := { lo; hi = values.(n - 1) +. 1.; count = float_of_int (n - !start) } :: !out
+  end;
+  { buckets = Array.of_list (List.rev !out); total = n }
+
+let bucket_count t = Array.length t.buckets
+
+let total t = t.total
+
+let space = bucket_count
+
+let estimate_range t ~lo ~hi =
+  let point = ref 0. in
+  if hi >= lo then begin
+    Array.iter
+      (fun b ->
+        let width = Float.max (b.hi -. b.lo) 1e-12 in
+        (* +1 on the query's hi side: the range is inclusive and the
+           buckets treat integer values as unit-length cells. *)
+        let overlap = Float.max 0. (Float.min (hi +. 1.) b.hi -. Float.max lo b.lo) in
+        if overlap > 0. then point := !point +. (b.count *. Float.min 1. (overlap /. width)))
+      t.buckets
+  end;
+  Estimate.make ~label:"histogram-range" ~status:Estimate.Heuristic ~sample_size:0 !point
+
+let estimate_equijoin t1 t2 =
+  (* Integrate the product of the two piecewise-constant densities:
+     within an overlap of length L, expected matches are
+     (c1/w1)·(c2/w2)·L for integer-valued attributes. *)
+  let point = ref 0. in
+  Array.iter
+    (fun b1 ->
+      if b1.count > 0. then begin
+        let w1 = Float.max (b1.hi -. b1.lo) 1e-12 in
+        Array.iter
+          (fun b2 ->
+            if b2.count > 0. then begin
+              let overlap = Float.max 0. (Float.min b1.hi b2.hi -. Float.max b1.lo b2.lo) in
+              if overlap > 0. then begin
+                let w2 = Float.max (b2.hi -. b2.lo) 1e-12 in
+                point := !point +. (b1.count /. w1 *. (b2.count /. w2) *. overlap)
+              end
+            end)
+          t2.buckets
+      end)
+    t1.buckets;
+  Estimate.make ~label:"histogram-equijoin" ~status:Estimate.Heuristic ~sample_size:0
+    !point

@@ -1,0 +1,38 @@
+(** Equi-width one-dimensional histogram estimator — the
+    precomputed-statistics baseline every 1980s optimizer shipped.
+
+    Built by one full scan of a numeric column.  Selections assume
+    uniform spread inside a bucket; equi-joins assume uniformity and
+    independence within aligned buckets ([Σ_b c1_b·c2_b / w_b]). *)
+
+type t
+
+(** [build relation ~attribute ~buckets] — equi-width bucketing.
+    @raise Invalid_argument if [buckets <= 0] or the column is empty or
+    non-numeric. *)
+val build : Relational.Relation.t -> attribute:string -> buckets:int -> t
+
+(** [build_equidepth relation ~attribute ~buckets] — equi-depth
+    (equal-frequency) bucketing on the sorted column: every bucket
+    holds ≈N/buckets tuples, so skewed hot values get narrow buckets
+    and the uniform-within-bucket assumption hurts less.  Same
+    estimation API.
+    @raise Invalid_argument as {!build}. *)
+val build_equidepth : Relational.Relation.t -> attribute:string -> buckets:int -> t
+
+val bucket_count : t -> int
+
+(** Total tuples summarized. *)
+val total : t -> int
+
+(** Estimated [COUNT(σ_{lo ≤ attr ≤ hi})], fractional-bucket
+    interpolation at the range ends. *)
+val estimate_range : t -> lo:float -> hi:float -> Stats.Estimate.t
+
+(** Estimated size of the equi-join of the two summarized columns.
+    The histograms may have different bucket grids; the estimate
+    integrates the product of the two uniform-within-bucket densities. *)
+val estimate_equijoin : t -> t -> Stats.Estimate.t
+
+(** Memory footprint in buckets (for space-matched comparisons). *)
+val space : t -> int

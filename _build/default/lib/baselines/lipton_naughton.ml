@@ -1,0 +1,47 @@
+module Relation = Relational.Relation
+module Estimate = Stats.Estimate
+
+type result = {
+  estimate : Stats.Estimate.t;
+  draws : int;
+  hits : int;
+  stopped_by_threshold : bool;
+}
+
+let run rng catalog ~relation ~threshold ?max_draws predicate =
+  if threshold <= 0 then invalid_arg "Lipton_naughton.run: threshold must be positive";
+  let r = Relational.Catalog.find catalog relation in
+  let big_n = Relation.cardinality r in
+  let max_draws = Option.value max_draws ~default:big_n in
+  if max_draws <= 0 then invalid_arg "Lipton_naughton.run: max_draws must be positive";
+  let keep = Relational.Predicate.compile (Relation.schema r) predicate in
+  let rec loop draws hits =
+    if hits >= threshold || draws >= max_draws then (draws, hits)
+    else
+      let t = Relation.tuple r (Sampling.Rng.int rng big_n) in
+      loop (draws + 1) (if keep t then hits + 1 else hits)
+  in
+  let draws, hits = loop 0 0 in
+  let p_hat = float_of_int hits /. float_of_int draws in
+  let point = float_of_int big_n *. p_hat in
+  (* With-replacement binomial variance; the stopping rule makes the
+     whole procedure only approximately unbiased, hence Heuristic. *)
+  let variance =
+    if draws < 2 then Float.nan
+    else
+      float_of_int big_n *. float_of_int big_n *. p_hat *. (1. -. p_hat)
+      /. float_of_int draws
+  in
+  {
+    estimate =
+      Estimate.make ~variance ~label:"lipton-naughton" ~status:Estimate.Heuristic
+        ~sample_size:draws point;
+    draws;
+    hits;
+    stopped_by_threshold = hits >= threshold;
+  }
+
+let threshold_for ~target ~k_sigma =
+  if target <= 0. then invalid_arg "Lipton_naughton.threshold_for: target must be positive";
+  if k_sigma <= 0. then invalid_arg "Lipton_naughton.threshold_for: k_sigma must be positive";
+  int_of_float (Float.ceil (k_sigma *. k_sigma *. (1. +. target) /. (target *. target)))

@@ -1,0 +1,32 @@
+(** Lipton–Naughton adaptive selectivity sampling (SIGMOD 1990), the
+    classic comparator for sequential sampling.
+
+    Draw tuples one at a time {e with replacement}; stop as soon as
+    either [threshold] matches have been seen ("enough hits for the
+    requested precision") or [max_draws] tuples have been inspected.
+    Estimate [N·hits/draws].  The stopping rule trades a small bias for
+    a guaranteed sample-size bound of
+    [O(threshold / selectivity)]. *)
+
+type result = {
+  estimate : Stats.Estimate.t;
+  draws : int;
+  hits : int;
+  stopped_by_threshold : bool;
+}
+
+(** [run rng catalog ~relation ~threshold ?max_draws predicate]
+    @raise Invalid_argument if [threshold <= 0] or [max_draws <= 0].
+    [max_draws] defaults to the relation cardinality. *)
+val run :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  threshold:int ->
+  ?max_draws:int ->
+  Relational.Predicate.t ->
+  result
+
+(** Threshold for a target relative error [e] at confidence controlled
+    by [k_sigma] (their analysis: threshold ≈ k²·(1+e)/e²). *)
+val threshold_for : target:float -> k_sigma:float -> int

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Count_estimator Float Relational Sampling Sampling_plan Stats

@@ -1,0 +1,1 @@
+lib/core/backing_sample.ml: Array Count_estimator Hashtbl Relational Sampling

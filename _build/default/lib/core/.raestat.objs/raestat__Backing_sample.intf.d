@@ -1,0 +1,1 @@
+lib/core/backing_sample.mli: Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/bootstrap.ml: Array Float Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/cluster_estimator.ml: Array Float Printf Relational Sampling Stats

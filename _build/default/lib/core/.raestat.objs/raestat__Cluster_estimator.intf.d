@@ -1,0 +1,1 @@
+lib/core/cluster_estimator.mli: Relational Sampling Stats

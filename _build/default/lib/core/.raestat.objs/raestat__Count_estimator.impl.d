@@ -1,0 +1,1 @@
+lib/core/count_estimator.ml: Array Float Printf Relational Sampling Sampling_plan Stats

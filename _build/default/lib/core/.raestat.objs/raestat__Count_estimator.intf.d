@@ -1,0 +1,1 @@
+lib/core/count_estimator.mli: Relational Sampling Sampling_plan Stats

@@ -1,0 +1,1 @@
+lib/core/distinct.ml: Array Float Hashtbl Int List Printf Relational Sampling Stats

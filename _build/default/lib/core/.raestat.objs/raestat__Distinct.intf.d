@@ -1,0 +1,1 @@
+lib/core/distinct.mli: Relational Sampling Stats

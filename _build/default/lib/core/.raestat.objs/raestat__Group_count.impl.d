@@ -1,0 +1,1 @@
+lib/core/group_count.ml: Array Count_estimator Float Hashtbl List Option Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/group_count.mli: Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/horvitz_thompson.ml: Array Float Relational Sampling Stats

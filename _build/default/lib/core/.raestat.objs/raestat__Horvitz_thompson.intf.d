@@ -1,0 +1,1 @@
+lib/core/horvitz_thompson.mli: Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/join_variance.ml: Array Hashtbl Relational

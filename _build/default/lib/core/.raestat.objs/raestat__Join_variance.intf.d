@@ -1,0 +1,1 @@
+lib/core/join_variance.mli: Relational

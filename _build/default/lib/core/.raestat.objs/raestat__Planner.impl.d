@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Count_estimator Float Hashtbl Int List Printf Relational Stats String

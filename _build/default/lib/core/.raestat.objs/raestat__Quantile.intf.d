@@ -1,0 +1,1 @@
+lib/core/quantile.mli: Relational Sampling Stats

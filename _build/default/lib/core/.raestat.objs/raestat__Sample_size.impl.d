@@ -1,0 +1,1 @@
+lib/core/sample_size.ml: Float Join_variance Printf Sampling_plan Stats

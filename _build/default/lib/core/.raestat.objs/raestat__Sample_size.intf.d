@@ -1,0 +1,1 @@
+lib/core/sample_size.mli: Join_variance Relational

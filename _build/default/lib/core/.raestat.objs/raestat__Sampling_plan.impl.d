@@ -1,0 +1,1 @@
+lib/core/sampling_plan.ml: List Printf Relational Sampling

@@ -1,0 +1,1 @@
+lib/core/sampling_plan.mli: Relational Sampling

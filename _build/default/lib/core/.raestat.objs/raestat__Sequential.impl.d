@@ -1,0 +1,1 @@
+lib/core/sequential.ml: Array Count_estimator Float List Relational Sampling Stats

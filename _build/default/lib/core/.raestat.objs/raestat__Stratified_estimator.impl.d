@@ -1,0 +1,1 @@
+lib/core/stratified_estimator.ml: Array Hashtbl List Option Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/stratified_estimator.mli: Relational Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Backing_sample Hashtbl Int List Relational Sampling

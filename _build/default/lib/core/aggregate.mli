@@ -1,0 +1,58 @@
+(** SUM and AVG estimators — the natural extension of the COUNT
+    framework (COUNT is SUM of the constant 1).
+
+    For a selection over one relation the SUM estimator is the classic
+    expansion estimator [N·ȳ] with exact finite-population variance;
+    AVG is the ratio of two unbiased estimators, hence only consistent
+    (its O(1/n) ratio bias is the textbook caveat).  For arbitrary SPJ
+    expressions the scale-up rule applies to SUM exactly as to COUNT. *)
+
+(** [sum_selection rng catalog ~relation ~attribute ~n predicate] —
+    unbiased estimate of [SUM(attribute) over σ_predicate(relation)]
+    from an SRSWOR of size [n], with variance
+    [N²·(1−n/N)·s²/n] where [s²] is the sample variance of the
+    per-tuple contribution (attribute value if the tuple qualifies,
+    0 otherwise).  [Null] attribute values contribute 0.
+    @raise Invalid_argument if [n] is out of range. *)
+val sum_selection :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  attribute:string ->
+  n:int ->
+  Relational.Predicate.t ->
+  Stats.Estimate.t
+
+(** [avg_selection ...] — consistent (ratio) estimate of
+    [AVG(attribute) over σ_predicate(relation)]: the sample mean among
+    qualifying tuples, with the within-domain variance [s_q²/hits]
+    (FPC-corrected) attached.  The point is [nan] when no sampled tuple
+    qualifies. *)
+val avg_selection :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  attribute:string ->
+  n:int ->
+  Relational.Predicate.t ->
+  Stats.Estimate.t
+
+(** [sum_expr rng catalog ~fraction ~attribute e] — scale-up SUM over
+    an arbitrary expression: evaluate [e] on sampled leaves, total the
+    attribute in the result, multiply by the plan scale.  Status follows
+    {!Count_estimator.classify}.  [groups] as in
+    {!Count_estimator.estimate}. *)
+val sum_expr :
+  ?groups:int ->
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  fraction:float ->
+  attribute:string ->
+  Relational.Expr.t ->
+  Stats.Estimate.t
+
+(** Exact SUM/AVG for evaluation. [Null]s contribute 0 to SUM and are
+    excluded from AVG. *)
+val exact_sum : Relational.Catalog.t -> attribute:string -> Relational.Expr.t -> float
+
+val exact_avg : Relational.Catalog.t -> attribute:string -> Relational.Expr.t -> float

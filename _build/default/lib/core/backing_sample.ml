@@ -1,0 +1,115 @@
+module Relation = Relational.Relation
+
+type id = int
+
+type t = {
+  rng : Sampling.Rng.t;
+  capacity : int;
+  schema : Relational.Schema.t;
+  mutable next_id : int;
+  mutable population : int;
+  (* Sample slots: parallel arrays of ids and tuples, [filled] live. *)
+  ids : id array;
+  tuples : Relational.Tuple.t option array;
+  mutable filled : int;
+  (* Members for O(1) deletion checks: id -> slot. *)
+  slot_of : (id, int) Hashtbl.t;
+  mutable seen : int;  (* inserts observed, drives reservoir admission *)
+}
+
+let create rng ~capacity ~schema =
+  if capacity <= 0 then invalid_arg "Backing_sample.create: capacity must be positive";
+  {
+    rng;
+    capacity;
+    schema;
+    next_id = 0;
+    population = 0;
+    ids = Array.make capacity (-1);
+    tuples = Array.make capacity None;
+    filled = 0;
+    slot_of = Hashtbl.create (2 * capacity);
+    seen = 0;
+  }
+
+let put t slot id tuple =
+  (match t.tuples.(slot) with
+  | Some _ -> Hashtbl.remove t.slot_of t.ids.(slot)
+  | None -> ());
+  t.ids.(slot) <- id;
+  t.tuples.(slot) <- Some tuple;
+  Hashtbl.replace t.slot_of id slot
+
+let insert t tuple =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.population <- t.population + 1;
+  t.seen <- t.seen + 1;
+  if t.filled < t.capacity then begin
+    put t t.filled id tuple;
+    t.filled <- t.filled + 1
+  end
+  else begin
+    (* Algorithm R admission over the insert stream.  Deletions thin
+       the sample uniformly, so admission over inserts keeps the
+       survivors uniform over the live population. *)
+    let j = Sampling.Rng.int t.rng t.seen in
+    if j < t.capacity then put t j id tuple
+  end;
+  id
+
+let delete t id =
+  if id < 0 || id >= t.next_id then false
+  else begin
+    match Hashtbl.find_opt t.slot_of id with
+    | Some slot ->
+      Hashtbl.remove t.slot_of id;
+      (* Compact: move the last live slot into the hole. *)
+      let last = t.filled - 1 in
+      if slot <> last then begin
+        t.ids.(slot) <- t.ids.(last);
+        t.tuples.(slot) <- t.tuples.(last);
+        Hashtbl.replace t.slot_of t.ids.(slot) slot
+      end;
+      t.ids.(last) <- -1;
+      t.tuples.(last) <- None;
+      t.filled <- last;
+      t.population <- t.population - 1;
+      true
+    | None ->
+      (* Not sampled: only the population shrinks.  We cannot tell a
+         live unsampled id from an already-deleted one without O(N)
+         state; treat both as a population decrement guarded at 0 and
+         report true only while the population is consistent. *)
+      if t.population > t.filled then begin
+        t.population <- t.population - 1;
+        true
+      end
+      else false
+  end
+
+let population t = t.population
+
+let sample t =
+  let tuples =
+    Array.init t.filled (fun k ->
+        match t.tuples.(k) with Some tuple -> tuple | None -> assert false)
+  in
+  Relation.of_array t.schema tuples
+
+let sample_size t = t.filled
+
+let fill_ratio t = float_of_int t.filled /. float_of_int t.capacity
+
+let needs_rescan ?(min_ratio = 0.5) t =
+  t.filled < t.population && fill_ratio t < min_ratio
+
+let estimate_count t predicate =
+  if t.filled = 0 then invalid_arg "Backing_sample.estimate_count: empty sample";
+  let relation = sample t in
+  let keep = Relational.Predicate.compile t.schema predicate in
+  let hits = Relation.count keep relation in
+  if t.filled >= t.population then
+    (* Census: the sample IS the population. *)
+    Count_estimator.selection_of_counts ~big_n:t.filled ~n:t.filled ~hits
+  else Count_estimator.selection_of_counts ~big_n:t.population ~n:t.filled ~hits

@@ -1,0 +1,48 @@
+(** Maintained ("backing") sample: a uniform sample of a relation kept
+    up to date under inserts and deletes, so estimates never touch the
+    base data at query time (Gibbons–Matias style).
+
+    Inserts feed a reservoir (every inserted tuple gets an id, the
+    reservoir keeps a uniform subset of the {e live} ids).  Deleting an
+    id removes it from the sample if present — the survivors remain a
+    uniform sample of the surviving population, at a reduced sample
+    size.  Holes left by deletions are refilled eagerly by subsequent
+    inserts, which biases the sample slightly toward post-deletion
+    arrivals; when deletions have eroded the sample below a threshold
+    the owner should rebuild from a scan ({!needs_rescan}), exactly as
+    Gibbons–Matias prescribe. *)
+
+type t
+
+type id = int
+
+(** [create rng ~capacity] — target sample size.
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : Sampling.Rng.t -> capacity:int -> schema:Relational.Schema.t -> t
+
+(** Insert a tuple; returns its id (unique over the lifetime of [t]). *)
+val insert : t -> Relational.Tuple.t -> id
+
+(** Delete by id.  Idempotent: deleting an unknown or already-deleted
+    id is a no-op returning [false]. *)
+val delete : t -> id -> bool
+
+(** Live population size. *)
+val population : t -> int
+
+(** Current sample as a relation. *)
+val sample : t -> Relational.Relation.t
+
+val sample_size : t -> int
+
+(** [sample_size/capacity], the erosion gauge. *)
+val fill_ratio : t -> float
+
+(** True when the sample has eroded below [min_ratio] (default 0.5) of
+    capacity while the population could still support it. *)
+val needs_rescan : ?min_ratio:float -> t -> bool
+
+(** Unbiased COUNT-of-selection estimate from the current sample
+    (see {!Count_estimator.selection_of_counts}).
+    @raise Invalid_argument when the sample is empty. *)
+val estimate_count : t -> Relational.Predicate.t -> Stats.Estimate.t

@@ -1,0 +1,55 @@
+module Estimate = Stats.Estimate
+
+type resample = {
+  point : float;
+  replicates : float array;
+}
+
+let run rng ~replicates ~statistic sample =
+  if Array.length sample = 0 then invalid_arg "Bootstrap.run: empty sample";
+  if replicates <= 0 then invalid_arg "Bootstrap.run: replicates must be positive";
+  let n = Array.length sample in
+  let resampled = Array.make n sample.(0) in
+  let one () =
+    for i = 0 to n - 1 do
+      resampled.(i) <- sample.(Sampling.Rng.int rng n)
+    done;
+    statistic resampled
+  in
+  { point = statistic sample; replicates = Array.init replicates (fun _ -> one ()) }
+
+let variance r = Stats.Summary.variance (Stats.Summary.of_array r.replicates)
+
+let percentile_interval ~level r =
+  if level <= 0. || level >= 1. then
+    invalid_arg "Bootstrap.percentile_interval: level outside (0, 1)";
+  let alpha2 = (1. -. level) /. 2. in
+  {
+    Stats.Confidence.lo = Stats.Summary.quantile alpha2 r.replicates;
+    hi = Stats.Summary.quantile (1. -. alpha2) r.replicates;
+    level;
+  }
+
+let normal_interval ~level r =
+  Stats.Confidence.normal ~level ~point:r.point ~stderr:(Float.sqrt (variance r))
+
+let selection_count rng catalog ~relation ~n ?(replicates = 200) ?(level = 0.95) predicate =
+  let r = Relational.Catalog.find catalog relation in
+  let big_n = Relational.Relation.cardinality r in
+  if n <= 0 || n > big_n then
+    invalid_arg "Bootstrap.selection_count: sample size out of range";
+  let sample =
+    Sampling.Srs.sample_without_replacement rng ~n (Relational.Relation.tuples r)
+  in
+  let keep = Relational.Predicate.compile (Relational.Relation.schema r) predicate in
+  (* Statistic over 0/1 hit indicators: scale-up count. *)
+  let indicators = Array.map (fun t -> if keep t then 1. else 0.) sample in
+  let statistic hits =
+    float_of_int big_n *. (Array.fold_left ( +. ) 0. hits /. float_of_int n)
+  in
+  let result = run rng ~replicates ~statistic indicators in
+  let estimate =
+    Estimate.make ~variance:(variance result) ~label:"selection (bootstrap)"
+      ~status:Estimate.Unbiased ~sample_size:n result.point
+  in
+  (estimate, Stats.Confidence.clamp_nonnegative (percentile_interval ~level result))

@@ -1,0 +1,42 @@
+module Paged = Relational.Paged
+module Estimate = Stats.Estimate
+
+type result = {
+  estimate : Stats.Estimate.t;
+  pages_read : int;
+  tuples_read : int;
+}
+
+let estimate rng ~m paged ~measure =
+  let big_m = Paged.page_count paged in
+  if m < 1 || m > big_m then
+    invalid_arg
+      (Printf.sprintf "Cluster_estimator: m=%d out of range [1, %d]" m big_m);
+  let sample = Sampling.Page_sampling.sample rng ~m paged in
+  let values = Array.map measure sample.Sampling.Page_sampling.pages in
+  let summary = Stats.Summary.of_array values in
+  let big_mf = float_of_int big_m and mf = float_of_int m in
+  let point = big_mf /. mf *. Stats.Summary.total summary in
+  let variance =
+    if m < 2 then Float.nan
+    else
+      big_mf *. big_mf
+      *. (1. -. (mf /. big_mf))
+      *. Stats.Summary.variance summary /. mf
+  in
+  let tuples_read = Sampling.Page_sampling.tuple_count sample in
+  {
+    estimate =
+      Estimate.make ~variance ~label:"cluster" ~status:Estimate.Unbiased
+        ~sample_size:tuples_read point;
+    pages_read = m;
+    tuples_read;
+  }
+
+let count rng ~m paged predicate =
+  let schema = Relational.Relation.schema (Paged.relation paged) in
+  let keep = Relational.Predicate.compile schema predicate in
+  let measure page =
+    Array.fold_left (fun acc t -> if keep t then acc +. 1. else acc) 0. page
+  in
+  estimate rng ~m paged ~measure

@@ -1,0 +1,60 @@
+(** Distinct-value (projection with duplicate elimination) estimators.
+
+    Plain scale-up is biased for [COUNT(DISTINCT …)], so the paper's
+    framework delegates to dedicated estimators computed from the
+    sample's frequency-of-frequencies [f_j] (number of values observed
+    exactly [j] times among [n] SRSWOR draws out of [N]):
+
+    - [Goodman] (1949): the unique unbiased estimator
+      [d + Σ_j (−1)^{j+1}·((N−n+j−1)!·(n−j)!)/((N−n−1)!·n!)·f_j];
+      unbiased whenever the sample is larger than the biggest class,
+      but its variance explodes at small fractions — the classic
+      theory-vs-practice trade-off the experiments exhibit.
+    - [Chao1]: [d + f1(f1−1)/(2(f2+1))], a stable lower-bound-style
+      estimate.
+    - [Gee] (guaranteed-error estimator): [√(N/n)·f1 + Σ_{j≥2} f_j].
+    - [Shlosser] (1981): [d + f1·Σ(1−q)^j f_j / Σ j·q·(1−q)^{j−1} f_j]
+      with [q = n/N]; accurate on skewed data at moderate fractions.
+    - [Scale_up]: the naive [d·N/n] (heuristic baseline; badly biased
+      when values repeat).
+    - [Sample_distinct]: [d] itself (always an underestimate). *)
+
+type method_ = Goodman | Chao1 | Gee | Shlosser | Scale_up | Sample_distinct
+
+val method_to_string : method_ -> string
+
+val all_methods : method_ list
+
+(** Frequency-of-frequencies of a sample of tuples: a sorted list of
+    [(j, f_j)] pairs with [f_j > 0]. *)
+val frequency_of_frequencies : Relational.Tuple.t array -> (int * int) list
+
+(** [estimate_from_fof ~method_ ~big_n ~n fof] computes the estimator
+    from a frequency-of-frequencies profile.
+    @raise Invalid_argument if [n] is out of range or [fof] is
+    inconsistent with [n]. *)
+val estimate_from_fof :
+  method_:method_ -> big_n:int -> n:int -> (int * int) list -> Stats.Estimate.t
+
+(** [estimate rng catalog ~method_ ~relation ~attributes ~n] draws an
+    SRSWOR of size [n] and estimates the number of distinct
+    [attributes]-tuples in the relation. *)
+val estimate :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  method_:method_ ->
+  relation:string ->
+  attributes:string list ->
+  n:int ->
+  Stats.Estimate.t
+
+(** Exact distinct count, for evaluation. *)
+val exact :
+  Relational.Catalog.t -> relation:string -> attributes:string list -> int
+
+(** Whether an estimate lies in the feasible range [0, big_n].
+    Goodman's estimator is unbiased but its alternating series explodes
+    at small sampling fractions on skewed data; an implausible value is
+    the signature of that variance blow-up and should be discarded in
+    favour of a consistent estimator. *)
+val plausible : big_n:int -> Stats.Estimate.t -> bool

@@ -1,0 +1,142 @@
+module Relation = Relational.Relation
+module Catalog = Relational.Catalog
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Estimate = Stats.Estimate
+
+type group = {
+  key : Value.t list;
+  estimate : Stats.Estimate.t;
+  interval : Stats.Confidence.interval;
+}
+
+type result = {
+  groups : group list;
+  level : float;
+  sample_size : int;
+}
+
+let compare_keys k1 k2 = List.compare Value.compare k1 k2
+
+let group_indices catalog ~relation ~by =
+  if by = [] then invalid_arg "Group_count: empty group-by attribute list";
+  let r = Catalog.find catalog relation in
+  let schema = Relation.schema r in
+  (r, List.map (fun a -> Relational.Schema.index_of schema a) by)
+
+let key_of indices tuple = List.map (fun i -> Tuple.get tuple i) indices
+
+let tally ~indices ~keep tuples =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun t ->
+      if keep t then begin
+        let key = key_of indices t in
+        Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
+      end)
+    tuples;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+  |> List.sort (fun (k1, _) (k2, _) -> compare_keys k1 k2)
+
+let estimate rng catalog ~relation ~by ~n ?(level = 0.95) ?(where = Relational.Predicate.True)
+    () =
+  if level <= 0. || level >= 1. then invalid_arg "Group_count: level outside (0, 1)";
+  let r, indices = group_indices catalog ~relation ~by in
+  let big_n = Relation.cardinality r in
+  if n <= 0 || n > big_n then invalid_arg "Group_count: sample size out of range";
+  let keep = Relational.Predicate.compile (Relation.schema r) where in
+  let sample = Sampling.Srs.sample_without_replacement rng ~n (Relation.tuples r) in
+  let counts = tally ~indices ~keep sample in
+  let k = List.length counts in
+  let per_group_level = if k = 0 then level else 1. -. ((1. -. level) /. float_of_int k) in
+  let groups =
+    List.map
+      (fun (key, hits) ->
+        let estimate = Count_estimator.selection_of_counts ~big_n ~n ~hits in
+        let estimate = { estimate with Estimate.label = "group-count" } in
+        let interval =
+          if Estimate.has_variance estimate then Estimate.ci ~level:per_group_level estimate
+          else { Stats.Confidence.lo = 0.; hi = float_of_int big_n; level = per_group_level }
+        in
+        { key; estimate; interval })
+      counts
+  in
+  { groups; level; sample_size = n }
+
+let exact catalog ~relation ~by ?(where = Relational.Predicate.True) () =
+  let r, indices = group_indices catalog ~relation ~by in
+  let keep = Relational.Predicate.compile (Relation.schema r) where in
+  tally ~indices ~keep (Relation.tuples r)
+
+let contribution r attribute =
+  let i = Relational.Schema.index_of (Relation.schema r) attribute in
+  fun tuple ->
+    match Tuple.get tuple i with Value.Null -> 0. | v -> Value.to_float v
+
+(* Per-group sums of [value] over the given tuples, with the per-group
+   sum of squares (needed for the expansion variance). *)
+let tally_sums ~indices ~keep ~value tuples =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun t ->
+      if keep t then begin
+        let key = key_of indices t in
+        let y = value t in
+        let sum, sum_sq, hits =
+          Option.value (Hashtbl.find_opt table key) ~default:(0., 0., 0)
+        in
+        Hashtbl.replace table key (sum +. y, sum_sq +. (y *. y), hits + 1)
+      end)
+    tuples;
+  Hashtbl.fold (fun key totals acc -> (key, totals) :: acc) table []
+  |> List.sort (fun (k1, _) (k2, _) -> compare_keys k1 k2)
+
+let estimate_sum rng catalog ~relation ~by ~attribute ~n ?(level = 0.95)
+    ?(where = Relational.Predicate.True) () =
+  if level <= 0. || level >= 1. then invalid_arg "Group_count: level outside (0, 1)";
+  let r, indices = group_indices catalog ~relation ~by in
+  let big_n = Relation.cardinality r in
+  if n <= 0 || n > big_n then invalid_arg "Group_count: sample size out of range";
+  let keep = Relational.Predicate.compile (Relation.schema r) where in
+  let value = contribution r attribute in
+  let sample = Sampling.Srs.sample_without_replacement rng ~n (Relation.tuples r) in
+  let sums = tally_sums ~indices ~keep ~value sample in
+  let k = List.length sums in
+  let per_group_level = if k = 0 then level else 1. -. ((1. -. level) /. float_of_int k) in
+  let big_nf = float_of_int big_n and nf = float_of_int n in
+  let groups =
+    List.map
+      (fun (key, (sum, sum_sq, _hits)) ->
+        (* Expansion over per-tuple contributions: y for the group's
+           tuples, 0 for everything else in the sample. *)
+        let mean = sum /. nf in
+        let point = big_nf *. mean in
+        let variance =
+          if n < 2 then Float.nan
+          else begin
+            let ss = sum_sq -. (nf *. mean *. mean) in
+            big_nf *. big_nf *. (1. -. (nf /. big_nf)) *. (ss /. (nf -. 1.)) /. nf
+          end
+        in
+        let estimate =
+          Estimate.make ~variance ~label:"group-sum" ~status:Estimate.Unbiased
+            ~sample_size:n point
+        in
+        let interval =
+          if Estimate.has_variance estimate then
+            Stats.Confidence.normal ~level:per_group_level ~point
+              ~stderr:(Estimate.stderr estimate)
+          else { Stats.Confidence.lo = Float.neg_infinity; hi = Float.infinity;
+                 level = per_group_level }
+        in
+        { key; estimate; interval })
+      sums
+  in
+  { groups; level; sample_size = n }
+
+let exact_sum catalog ~relation ~by ~attribute ?(where = Relational.Predicate.True) () =
+  let r, indices = group_indices catalog ~relation ~by in
+  let keep = Relational.Predicate.compile (Relation.schema r) where in
+  let value = contribution r attribute in
+  tally_sums ~indices ~keep ~value (Relation.tuples r)
+  |> List.map (fun (key, (sum, _, _)) -> (key, sum))

@@ -1,0 +1,38 @@
+module Relation = Relational.Relation
+module Catalog = Relational.Catalog
+module Value = Relational.Value
+module Estimate = Stats.Estimate
+
+let of_sample pairs =
+  let point = ref 0. and variance = ref 0. in
+  Array.iter
+    (fun (y, pi) ->
+      if pi <= 0. || pi > 1. then
+        invalid_arg "Horvitz_thompson.of_sample: inclusion probability outside (0, 1]";
+      point := !point +. (y /. pi);
+      variance := !variance +. ((1. -. pi) /. (pi *. pi) *. y *. y))
+    pairs;
+  Estimate.make ~variance:!variance ~label:"horvitz-thompson" ~status:Estimate.Unbiased
+    ~sample_size:(Array.length pairs) !point
+
+let sum rng catalog ~relation ~attribute ~expected_n
+    ?(where = Relational.Predicate.True) () =
+  let r = Catalog.find catalog relation in
+  let schema = Relation.schema r in
+  let index = Relational.Schema.index_of schema attribute in
+  let keep = Relational.Predicate.compile schema where in
+  let contribution tuple =
+    if keep tuple then
+      match Relational.Tuple.get tuple index with
+      | Value.Null -> 0.
+      | v -> Value.to_float v
+    else 0.
+  in
+  let weight tuple = Float.abs (contribution tuple) in
+  (* Items with zero weight contribute exactly 0 to the sum, so
+     excluding them from the sample keeps HT unbiased. *)
+  let sample =
+    Sampling.Weighted.poisson rng ~expected_n ~weight (Relation.tuples r)
+  in
+  let pairs = Array.map (fun (tuple, pi) -> (contribution tuple, pi)) sample in
+  of_sample pairs

@@ -1,0 +1,32 @@
+(** Horvitz–Thompson estimation under unequal-probability (Poisson)
+    sampling — the optimal companion to SUM over skewed data.
+
+    With inclusion probabilities [π_i] and per-tuple contributions
+    [y_i], the HT estimator [Σ_{i∈S} y_i/π_i] is unbiased for [Σ y_i];
+    under Poisson sampling its variance is
+    [Σ (1−π_i)/π_i · y_i²], unbiasedly estimated from the sample by
+    [Σ_{i∈S} (1−π_i)/π_i² · y_i²].  Sampling proportional to [|y_i|]
+    (size-biased / PPS) drives the variance toward 0 for exact
+    proportionality — dramatically better than SRS on skewed amounts
+    (ablation A8). *)
+
+(** [sum rng catalog ~relation ~attribute ~expected_n ?where ()] —
+    PPS-Poisson sample with weights [|attribute|] (tuples failing
+    [where] contribute weight and value 0) and HT-estimate
+    [SUM(attribute) over σ_where(relation)].
+    @raise Invalid_argument on a non-positive [expected_n] or a
+    relation whose qualifying weights are all zero. *)
+val sum :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  attribute:string ->
+  expected_n:float ->
+  ?where:Relational.Predicate.t ->
+  unit ->
+  Stats.Estimate.t
+
+(** HT from an explicit sample: contributions paired with their
+    inclusion probabilities.
+    @raise Invalid_argument if some probability is outside (0, 1]. *)
+val of_sample : (float * float) array -> Stats.Estimate.t

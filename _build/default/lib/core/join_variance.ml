@@ -1,0 +1,70 @@
+module Relation = Relational.Relation
+module Value = Relational.Value
+
+module Value_hash = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type profile = int Value_hash.t
+
+let profile relation attribute =
+  let column = Relation.column relation attribute in
+  let table = Value_hash.create (max 16 (Array.length column)) in
+  Array.iter
+    (fun v ->
+      let current = try Value_hash.find table v with Not_found -> 0 in
+      Value_hash.replace table v (current + 1))
+    column;
+  table
+
+let distinct = Value_hash.length
+
+let moment k table =
+  Value_hash.fold (fun _ a acc -> acc +. (float_of_int a ** float_of_int k)) table 0.
+
+let moment1 = moment 1
+
+let moment2 = moment 2
+
+let join_size p1 p2 =
+  (* Iterate over the smaller profile. *)
+  let small, large = if Value_hash.length p1 <= Value_hash.length p2 then (p1, p2) else (p2, p1) in
+  Value_hash.fold
+    (fun v a acc ->
+      match Value_hash.find_opt large v with
+      | Some b -> acc +. (float_of_int a *. float_of_int b)
+      | None -> acc)
+    small 0.
+
+let check_rate q =
+  if q <= 0. || q > 1. then invalid_arg "Join_variance: Bernoulli rate outside (0, 1]"
+
+let oracle_variance ~q1 ~q2 p1 p2 =
+  check_rate q1;
+  check_rate q2;
+  let small, large, qs, ql =
+    if Value_hash.length p1 <= Value_hash.length p2 then (p1, p2, q1, q2)
+    else (p2, p1, q2, q1)
+  in
+  let second_moment count q =
+    let c = float_of_int count in
+    (c *. q *. (1. -. q)) +. (c *. c *. q *. q)
+  in
+  let var_x =
+    Value_hash.fold
+      (fun v a acc ->
+        match Value_hash.find_opt large v with
+        | Some b ->
+          let af = float_of_int a and bf = float_of_int b in
+          acc
+          +. (second_moment a qs *. second_moment b ql)
+          -. (qs *. qs *. ql *. ql *. af *. af *. bf *. bf)
+        | None -> acc)
+      small 0.
+  in
+  var_x /. (q1 *. q1 *. q2 *. q2)
+
+let self_join_size = moment2

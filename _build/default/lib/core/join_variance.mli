@@ -1,0 +1,40 @@
+(** Analytic variance of the equi-join scale-up estimator under
+    Bernoulli sampling, from per-value frequency profiles.
+
+    For join attribute value [v] let [a_v], [b_v] be its frequencies in
+    the two relations.  With Bernoulli rates [q1], [q2] the sampled
+    match count is [X = Σ_v A_v·B_v] with [A_v ~ Binomial(a_v, q1)]
+    independent of [B_v ~ Binomial(b_v, q2)], so
+
+    {v
+    E[X]   = q1·q2·J            where J = Σ_v a_v·b_v
+    Var[X] = Σ_v ( E[A_v²]·E[B_v²] − q1²q2²·a_v²·b_v² )
+    E[A²]  = a·q1(1−q1) + a²q1²
+    v}
+
+    and the estimator [Ĵ = X/(q1 q2)] has [Var Ĵ = Var X/(q1 q2)²].
+    This "oracle" variance (it reads the true frequencies) is what
+    experiment F5 compares against the Monte-Carlo variance. *)
+
+type profile
+
+(** Frequency profile of one column of a relation.
+    @raise Not_found if the attribute is absent. *)
+val profile : Relational.Relation.t -> string -> profile
+
+(** Number of distinct values. *)
+val distinct : profile -> int
+
+(** Frequency moments [Σ a_v^k] for [k] = 1 and 2. *)
+val moment1 : profile -> float
+val moment2 : profile -> float
+
+(** Exact join size [Σ_v a_v·b_v]. *)
+val join_size : profile -> profile -> float
+
+(** Oracle variance of [Ĵ] under Bernoulli([q1]), Bernoulli([q2]).
+    @raise Invalid_argument if a rate is outside (0, 1]. *)
+val oracle_variance : q1:float -> q2:float -> profile -> profile -> float
+
+(** Self-join size [Σ_v a_v²] (the second frequency moment). *)
+val self_join_size : profile -> float

@@ -1,0 +1,145 @@
+module Expr = Relational.Expr
+module Catalog = Relational.Catalog
+module Schema = Relational.Schema
+
+type join_spec = {
+  left_attr : string;
+  right_attr : string;
+}
+
+type input = {
+  name : string;
+  filter : Relational.Predicate.t option;
+}
+
+type plan = {
+  expr : Expr.t;
+  order : string list;
+  estimated_cost : float;
+  intermediates : Expr.t list;
+  estimates : (string * float) list;
+}
+
+(* Resolved join edge: input indices plus their attributes. *)
+type edge = { a_input : int; a_attr : string; b_input : int; b_attr : string }
+
+let input_expr input =
+  match input.filter with
+  | Some p -> Expr.Select (p, Expr.Base input.name)
+  | None -> Expr.Base input.name
+
+let resolve_inputs catalog inputs joins =
+  let n = List.length inputs in
+  if n < 2 then invalid_arg "Planner: need at least two inputs";
+  if n > 8 then invalid_arg "Planner: more than 8 inputs (left-deep enumeration)";
+  let names = List.map (fun i -> i.name) inputs in
+  if List.length (List.sort_uniq String.compare names) <> n then
+    invalid_arg "Planner: duplicate input names";
+  let schemas =
+    Array.of_list
+      (List.map (fun i -> Relational.Relation.schema (Catalog.find catalog i.name)) inputs)
+  in
+  let owner attr =
+    let owners = ref [] in
+    Array.iteri (fun k schema -> if Schema.mem schema attr then owners := k :: !owners) schemas;
+    match !owners with
+    | [ k ] -> k
+    | [] -> invalid_arg (Printf.sprintf "Planner: attribute %S matches no input" attr)
+    | _ -> invalid_arg (Printf.sprintf "Planner: attribute %S is ambiguous across inputs" attr)
+  in
+  List.map
+    (fun spec ->
+      let a_input = owner spec.left_attr and b_input = owner spec.right_attr in
+      if a_input = b_input then
+        invalid_arg
+          (Printf.sprintf "Planner: join %s = %s stays within one input" spec.left_attr
+             spec.right_attr);
+      { a_input; a_attr = spec.left_attr; b_input; b_attr = spec.right_attr })
+    joins
+
+(* Join pairs between the set [joined] and the new input [next]:
+   oriented (joined-side attribute, next-side attribute). *)
+let pairs_to edges ~joined ~next =
+  List.filter_map
+    (fun e ->
+      if e.a_input = next && List.mem e.b_input joined then Some (e.b_attr, e.a_attr)
+      else if e.b_input = next && List.mem e.a_input joined then Some (e.a_attr, e.b_attr)
+      else None)
+    edges
+
+let set_key indices names =
+  List.sort Int.compare indices
+  |> List.map (fun i -> names.(i))
+  |> String.concat "+"
+
+let plan rng catalog ~fraction ~inputs ~joins =
+  let edges = resolve_inputs catalog inputs joins in
+  let inputs_array = Array.of_list inputs in
+  let names = Array.map (fun i -> i.name) inputs_array in
+  let n = Array.length inputs_array in
+  (* Cardinality estimate per joined input-set, memoized: join size is
+     order-independent, so one sampling per set suffices. *)
+  let memo = Hashtbl.create 32 in
+  let estimate_set indices expr =
+    let key = set_key indices names in
+    match Hashtbl.find_opt memo key with
+    | Some size -> size
+    | None ->
+      let est = Count_estimator.estimate rng catalog ~fraction expr in
+      let size = Float.max 0. est.Stats.Estimate.point in
+      Hashtbl.add memo key size;
+      size
+  in
+  let build_join joined_expr joined next =
+    let pairs = pairs_to edges ~joined ~next in
+    (pairs, Expr.Equijoin (pairs, joined_expr, input_expr inputs_array.(next)))
+  in
+  (* DFS over connected left-deep orders. *)
+  let best = ref None in
+  let rec explore order joined expr cost intermediates =
+    if List.length joined = n then begin
+      match !best with
+      | Some (best_cost, _, _, _) when best_cost <= cost -> ()
+      | _ -> best := Some (cost, List.rev order, expr, List.rev intermediates)
+    end
+    else
+      for next = 0 to n - 1 do
+        if not (List.mem next joined) then begin
+          let pairs, joined_expr = build_join expr joined next in
+          if pairs <> [] then begin
+            let joined' = next :: joined in
+            let is_final = List.length joined' = n in
+            (* Strict intermediates only: the final result is common to
+               all orders and does not discriminate. *)
+            let cost' =
+              if is_final then cost else cost +. estimate_set joined' joined_expr
+            in
+            (match !best with
+            | Some (best_cost, _, _, _) when best_cost <= cost' && not is_final -> ()
+            | _ ->
+              explore (next :: order) joined' joined_expr cost'
+                (if is_final then intermediates else joined_expr :: intermediates))
+          end
+        end
+      done
+  in
+  for first = 0 to n - 1 do
+    explore [ first ] [ first ] (input_expr inputs_array.(first)) 0. []
+  done;
+  match !best with
+  | None -> invalid_arg "Planner: join graph is disconnected (no cross-product-free order)"
+  | Some (cost, order, expr, intermediates) ->
+    {
+      expr;
+      order = List.map (fun i -> names.(i)) order;
+      estimated_cost = cost;
+      intermediates;
+      estimates =
+        Hashtbl.fold (fun key size acc -> (key, size) :: acc) memo []
+        |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2);
+    }
+
+let exact_cost catalog plan =
+  List.fold_left
+    (fun acc e -> acc +. float_of_int (Relational.Eval.count catalog e))
+    0. plan.intermediates

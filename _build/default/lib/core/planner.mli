@@ -1,0 +1,49 @@
+(** Sampling-driven join-order planning — the paper's raison d'être:
+    feed cheap, unbiased cardinality estimates to a System-R-style
+    optimizer.
+
+    Given base relations (optionally pre-filtered) and equality join
+    predicates, the planner enumerates left-deep join orders, costs
+    each by the classic sum-of-intermediate-cardinalities model with
+    every cardinality {e estimated from samples}, and returns the best
+    order.  Estimates are memoized per sub-plan so the enumeration
+    costs one sampling pass per distinct intermediate. *)
+
+type join_spec = {
+  left_attr : string;   (** attribute on one relation *)
+  right_attr : string;  (** attribute on the other *)
+}
+
+type input = {
+  name : string;               (** base relation name *)
+  filter : Relational.Predicate.t option;  (** optional pre-filter *)
+}
+
+type plan = {
+  expr : Relational.Expr.t;        (** the chosen left-deep join tree *)
+  order : string list;             (** relation names, join order *)
+  estimated_cost : float;          (** Σ estimated intermediate sizes *)
+  intermediates : Relational.Expr.t list;
+      (** the chosen order's strict-prefix joins, smallest first *)
+  estimates : (string * float) list;
+      (** per-intermediate: input-name set → estimated size *)
+}
+
+(** [plan rng catalog ~fraction ~inputs ~joins] — [joins] may mention
+    any attribute pair whose two attributes live in different inputs
+    (resolved via the catalog schemas).  All inputs must be connected
+    by join predicates (no cross products are enumerated).
+    @raise Invalid_argument on fewer than 2 inputs, more than 8 (the
+    left-deep enumeration is factorial), duplicate input names, an
+    attribute resolvable to no/both sides, or a disconnected join
+    graph. *)
+val plan :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  fraction:float ->
+  inputs:input list ->
+  joins:join_spec list ->
+  plan
+
+(** Exact cost of a previously produced plan (for evaluation). *)
+val exact_cost : Relational.Catalog.t -> plan -> float

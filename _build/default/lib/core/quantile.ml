@@ -1,0 +1,87 @@
+module Relation = Relational.Relation
+module Catalog = Relational.Catalog
+module Value = Relational.Value
+module Estimate = Stats.Estimate
+
+type result = {
+  estimate : Stats.Estimate.t;
+  interval : Stats.Confidence.interval;
+  lo_rank : int;
+  hi_rank : int;
+}
+
+(* P(Bin(n, p) <= k) via the regularized incomplete beta. *)
+let binomial_cdf ~n ~p k =
+  if k < 0 then 0.
+  else if k >= n then 1.
+  else
+    Stats.Distributions.incomplete_beta
+      ~a:(float_of_int (n - k))
+      ~b:(float_of_int (k + 1))
+      (1. -. p)
+
+let numeric_column relation attribute =
+  Array.of_list
+    (List.filter_map
+       (fun v -> match v with Value.Null -> None | v -> Some (Value.to_float v))
+       (Array.to_list (Relation.column relation attribute)))
+
+(* Ranks l ≤ u with P(X_(l) ≤ Q_τ ≤ X_(u)) ≥ level, where
+   B = #{samples ≤ Q_τ} ~ Bin(n, τ): take the largest l with
+   P(B ≤ l−1) ≤ α/2 and the smallest u with P(B ≥ u) ≤ α/2.  When n is
+   too small for the requested level the extremes (1, n) are returned —
+   the best any distribution-free interval can do. *)
+let order_statistic_ranks ~n ~tau ~level =
+  let alpha2 = (1. -. level) /. 2. in
+  let lo =
+    let rec loop k best =
+      if k > n then best
+      else if binomial_cdf ~n ~p:tau (k - 1) <= alpha2 then loop (k + 1) k
+      else best
+    in
+    loop 1 1
+  in
+  let hi =
+    let rec loop k =
+      if k > n then n
+      else if 1. -. binomial_cdf ~n ~p:tau (k - 1) <= alpha2 then k
+      else loop (k + 1)
+    in
+    loop 1
+  in
+  (min lo hi, max lo hi)
+
+let estimate rng catalog ~relation ~attribute ~tau ~n ?(level = 0.95) () =
+  if tau <= 0. || tau >= 1. then invalid_arg "Quantile.estimate: tau outside (0, 1)";
+  if level <= 0. || level >= 1. then invalid_arg "Quantile.estimate: level outside (0, 1)";
+  let r = Catalog.find catalog relation in
+  let big_n = Relation.cardinality r in
+  if n <= 0 || n > big_n then invalid_arg "Quantile.estimate: sample size out of range";
+  let sample = Sampling.Srs.relation_without_replacement rng ~n r in
+  let values = numeric_column sample attribute in
+  let effective = Array.length values in
+  if effective = 0 then invalid_arg "Quantile.estimate: all sampled values are Null";
+  Array.sort Float.compare values;
+  let point = Stats.Summary.quantile tau values in
+  let lo_rank, hi_rank = order_statistic_ranks ~n:effective ~tau ~level in
+  let interval =
+    Stats.Confidence.
+      { lo = values.(lo_rank - 1); hi = values.(hi_rank - 1); level }
+  in
+  {
+    estimate =
+      Estimate.make ~label:(Printf.sprintf "quantile(%.2f)" tau)
+        ~status:Estimate.Consistent ~sample_size:n point;
+    interval;
+    lo_rank;
+    hi_rank;
+  }
+
+let median rng catalog ~relation ~attribute ~n ?level () =
+  estimate rng catalog ~relation ~attribute ~tau:0.5 ~n ?level ()
+
+let exact catalog ~relation ~attribute ~tau =
+  let r = Catalog.find catalog relation in
+  let values = numeric_column r attribute in
+  if Array.length values = 0 then invalid_arg "Quantile.exact: no numeric values";
+  Stats.Summary.quantile tau values

@@ -1,0 +1,48 @@
+(** Quantile (median, percentile) estimation from an SRSWOR, with
+    distribution-free order-statistic confidence intervals.
+
+    The point estimate is the sample τ-quantile.  For the interval,
+    the number of sample values below the true quantile is
+    Binomial(n, τ) under with-replacement sampling (hypergeometric —
+    tighter — under SRSWOR, so the binomial bound stays conservative):
+    ranks [l ≤ u] with [P(l ≤ Bin(n, τ) < u) ≥ level] give
+    [[X_(l+1), X_(u)]] as a ≥[level] CI for the population
+    τ-quantile. *)
+
+type result = {
+  estimate : Stats.Estimate.t;  (** point = sample quantile; no variance *)
+  interval : Stats.Confidence.interval;
+  lo_rank : int;  (** 1-based order-statistic ranks backing the interval *)
+  hi_rank : int;
+}
+
+(** [estimate rng catalog ~relation ~attribute ~tau ~n ?level ()] —
+    [tau] in (0, 1); the attribute must be numeric ([Null]s are
+    excluded).
+    @raise Invalid_argument on bad [tau]/[n]/[level] or when every
+    sampled value is [Null]. *)
+val estimate :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  attribute:string ->
+  tau:float ->
+  n:int ->
+  ?level:float ->
+  unit ->
+  result
+
+(** Median shorthand ([tau = 0.5]). *)
+val median :
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  attribute:string ->
+  n:int ->
+  ?level:float ->
+  unit ->
+  result
+
+(** Exact population quantile (linear interpolation), for evaluation. *)
+val exact :
+  Relational.Catalog.t -> relation:string -> attribute:string -> tau:float -> float

@@ -1,0 +1,50 @@
+let check_unit name x =
+  if x <= 0. || x >= 1. then invalid_arg (Printf.sprintf "Sample_size: %s outside (0, 1)" name)
+
+let fpc_adjust ~big_n n0 =
+  let big_nf = float_of_int big_n in
+  let n = n0 *. big_nf /. (n0 +. big_nf) in
+  max 1 (min big_n (int_of_float (Float.ceil n)))
+
+let selection ~big_n ~level ~target ~p =
+  if big_n <= 0 then invalid_arg "Sample_size.selection: empty relation";
+  check_unit "level" level;
+  check_unit "target" target;
+  check_unit "p" p;
+  let z = Stats.Confidence.z_value ~level in
+  let n0 = z *. z *. (1. -. p) /. (target *. target *. p) in
+  fpc_adjust ~big_n n0
+
+let selection_absolute ~big_n ~level ~half_width ~p =
+  if big_n <= 0 then invalid_arg "Sample_size.selection_absolute: empty relation";
+  check_unit "level" level;
+  check_unit "p" p;
+  if half_width <= 0. then invalid_arg "Sample_size.selection_absolute: half_width <= 0";
+  let z = Stats.Confidence.z_value ~level in
+  let big_nf = float_of_int big_n in
+  let n0 = z *. z *. big_nf *. big_nf *. p *. (1. -. p) /. (half_width *. half_width) in
+  fpc_adjust ~big_n n0
+
+let equijoin ~level ~target p1 p2 =
+  check_unit "level" level;
+  check_unit "target" target;
+  let j = Join_variance.join_size p1 p2 in
+  if j <= 0. then invalid_arg "Sample_size.equijoin: empty join";
+  let z = Stats.Confidence.z_value ~level in
+  let ok q =
+    let variance = Join_variance.oracle_variance ~q1:q ~q2:q p1 p2 in
+    z *. Float.sqrt variance <= target *. j
+  in
+  if not (ok 1.) then invalid_arg "Sample_size.equijoin: unreachable target";
+  (* Bisect for the smallest feasible rate; variance decreases in q. *)
+  let lo = ref 1e-6 and hi = ref 1. in
+  for _ = 1 to 60 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if ok mid then hi := mid else lo := mid
+  done;
+  let q = !hi in
+  (q, (q *. Join_variance.moment1 p1, q *. Join_variance.moment1 p2))
+
+let plan_cost catalog ~fraction expr =
+  let plan = Sampling_plan.make catalog ~fraction expr in
+  Sampling_plan.expected_sample_size plan

@@ -1,0 +1,37 @@
+(** Sample-size planning: how much must be read for a requested
+    precision?  Inverts the estimators' variance formulas, FPC
+    included. *)
+
+(** [selection ~big_n ~level ~target ~p] — minimal SRSWOR size such
+    that the selection estimator's [level]-CI half-width is at most
+    [target·C] when the true selectivity is [p]:
+
+    {v n = ceil( n₀·N / (n₀ + N) )   with   n₀ = z²(1−p)/(e²·p) v}
+
+    Rarer predicates need more tuples (the 1/p factor).
+    @raise Invalid_argument if [p] or [target] is outside (0, 1),
+    [level] outside (0, 1), or [big_n <= 0]. *)
+val selection : big_n:int -> level:float -> target:float -> p:float -> int
+
+(** [selection_absolute ~big_n ~level ~half_width ~p] — minimal size for
+    an {e absolute} half-width on the count ([half_width] in tuples):
+    [n₀ = z²N²p(1−p)/h²], FPC-corrected the same way. *)
+val selection_absolute : big_n:int -> level:float -> half_width:float -> p:float -> int
+
+(** [equijoin ~level ~target profiles] — minimal common Bernoulli rate
+    [q] such that the join estimator's normal CI half-width is at most
+    [target·J], using the oracle variance from the two frequency
+    profiles (bisection on [q]).  Returns the rate and the two expected
+    sample sizes.
+    @raise Invalid_argument on a zero-size join or bad parameters. *)
+val equijoin :
+  level:float ->
+  target:float ->
+  Join_variance.profile ->
+  Join_variance.profile ->
+  float * (float * float)
+
+(** Expected tuples an SRSWOR plan of this fraction reads for the
+    expression — a budgeting helper pairing with the planners above. *)
+val plan_cost :
+  Relational.Catalog.t -> fraction:float -> Relational.Expr.t -> float

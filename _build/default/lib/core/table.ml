@@ -1,0 +1,93 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+
+type id = int
+
+type t = {
+  rng : Sampling.Rng.t;
+  schema : Schema.t;
+  sample_capacity : int;
+  rows : (id, Tuple.t) Hashtbl.t;
+  mutable next_id : id;
+  mutable sample : Backing_sample.t;
+  (* id of the backing-sample entry corresponding to a table id: the
+     synopsis assigns its own ids on insert and on refresh. *)
+  mutable sample_ids : (id, Backing_sample.id) Hashtbl.t;
+  mutable indexes : (string list * Relational.Index.t) list;  (* cache *)
+}
+
+let create rng ~schema ?(sample_capacity = 1_000) () =
+  {
+    rng;
+    schema;
+    sample_capacity;
+    rows = Hashtbl.create 1024;
+    next_id = 0;
+    sample = Backing_sample.create rng ~capacity:sample_capacity ~schema;
+    sample_ids = Hashtbl.create 1024;
+    indexes = [];
+  }
+
+let schema t = t.schema
+
+let check_tuple t tuple =
+  (* Reuse Relation.make's validation on a singleton. *)
+  ignore (Relation.make t.schema [ tuple ])
+
+let invalidate_indexes t = t.indexes <- []
+
+let insert t tuple =
+  check_tuple t tuple;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.rows id tuple;
+  Hashtbl.replace t.sample_ids id (Backing_sample.insert t.sample tuple);
+  invalidate_indexes t;
+  id
+
+let delete t id =
+  match Hashtbl.find_opt t.rows id with
+  | None -> false
+  | Some _ ->
+    Hashtbl.remove t.rows id;
+    (match Hashtbl.find_opt t.sample_ids id with
+    | Some sample_id ->
+      ignore (Backing_sample.delete t.sample sample_id);
+      Hashtbl.remove t.sample_ids id
+    | None -> ());
+    invalidate_indexes t;
+    true
+
+let cardinality t = Hashtbl.length t.rows
+
+let to_relation t =
+  let rows = Hashtbl.fold (fun id tuple acc -> (id, tuple) :: acc) t.rows [] in
+  let rows = List.sort (fun (i1, _) (i2, _) -> Int.compare i1 i2) rows in
+  Relation.of_array t.schema (Array.of_list (List.map snd rows))
+
+let estimate_count t predicate =
+  if cardinality t = 0 then invalid_arg "Table.estimate_count: empty table";
+  Backing_sample.estimate_count t.sample predicate
+
+let sample_needs_refresh t = Backing_sample.needs_rescan t.sample
+
+let refresh_sample t =
+  let fresh = Backing_sample.create t.rng ~capacity:t.sample_capacity ~schema:t.schema in
+  let ids = Hashtbl.create (Hashtbl.length t.rows) in
+  Hashtbl.iter (fun id tuple -> Hashtbl.replace ids id (Backing_sample.insert fresh tuple))
+    t.rows;
+  t.sample <- fresh;
+  t.sample_ids <- ids
+
+let exact_count t predicate =
+  let keep = Relational.Predicate.compile t.schema predicate in
+  Hashtbl.fold (fun _ tuple acc -> if keep tuple then acc + 1 else acc) t.rows 0
+
+let index_on t attributes =
+  match List.assoc_opt attributes t.indexes with
+  | Some index -> index
+  | None ->
+    let index = Relational.Index.build (to_relation t) ~attributes in
+    t.indexes <- (attributes, index) :: t.indexes;
+    index

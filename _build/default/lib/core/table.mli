@@ -1,0 +1,60 @@
+(** Mutable table: the integration layer a living system needs around
+    the estimators.
+
+    A table owns its tuples (insert/delete by id, schema-checked),
+    transparently maintains a {!Backing_sample} so COUNT estimates are
+    answered from the synopsis without scanning, and caches hash
+    indexes that are invalidated on mutation.  Snapshot to an immutable
+    {!Relational.Relation.t} (and hence the whole expression/estimator
+    machinery) at any time. *)
+
+type t
+
+type id = int
+
+(** [create rng ~schema ?sample_capacity ()] — [sample_capacity]
+    (default 1000) sizes the maintained sample.
+    @raise Invalid_argument if [sample_capacity <= 0]. *)
+val create :
+  Sampling.Rng.t -> schema:Relational.Schema.t -> ?sample_capacity:int -> unit -> t
+
+val schema : t -> Relational.Schema.t
+
+(** Insert a tuple (validated against the schema as
+    {!Relational.Relation.make} does).
+    @raise Invalid_argument on arity/type mismatch. *)
+val insert : t -> Relational.Tuple.t -> id
+
+(** Delete by id; [false] when the id is unknown or already deleted. *)
+val delete : t -> id -> bool
+
+(** Live tuples. *)
+val cardinality : t -> int
+
+(** Snapshot the live tuples (insertion-id order). *)
+val to_relation : t -> Relational.Relation.t
+
+(** {1 Estimation from the maintained synopsis} *)
+
+(** COUNT of a selection estimated from the maintained backing sample —
+    no scan of the table.
+    @raise Invalid_argument when the table is empty. *)
+val estimate_count : t -> Relational.Predicate.t -> Stats.Estimate.t
+
+(** Whether deletions have eroded the synopsis enough that
+    {!refresh_sample} is advisable (see
+    {!Backing_sample.needs_rescan}). *)
+val sample_needs_refresh : t -> bool
+
+(** Rebuild the backing sample from the live tuples (one scan). *)
+val refresh_sample : t -> unit
+
+(** Exact COUNT (scans). *)
+val exact_count : t -> Relational.Predicate.t -> int
+
+(** {1 Indexes} *)
+
+(** Hash index on the given attributes, built on first use and cached;
+    any {!insert}/{!delete} invalidates the cache.
+    @raise Not_found if an attribute is absent. *)
+val index_on : t -> string list -> Relational.Index.t

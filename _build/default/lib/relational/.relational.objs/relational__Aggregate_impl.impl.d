@@ -1,0 +1,1 @@
+lib/relational/aggregate_impl.ml: Array Expr Hashtbl List Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/aggregate_impl.mli: Expr Schema Seq Tuple

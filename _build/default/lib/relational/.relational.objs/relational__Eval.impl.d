@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Aggregate_impl Array Catalog Expr Hashtbl List Predicate Relation Schema Tuple

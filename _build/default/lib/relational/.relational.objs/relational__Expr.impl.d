@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Catalog Format List Predicate Printf Relation Schema String Value

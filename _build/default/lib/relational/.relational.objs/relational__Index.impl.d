@@ -1,0 +1,1 @@
+lib/relational/index.ml: Array Hashtbl List Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/optimizer.ml: Expr List Predicate Schema

@@ -1,0 +1,1 @@
+lib/relational/paged.ml: Array Printf Relation

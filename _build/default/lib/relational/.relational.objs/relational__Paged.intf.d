@@ -1,0 +1,1 @@
+lib/relational/paged.mli: Relation Tuple

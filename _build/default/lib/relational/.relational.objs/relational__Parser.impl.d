@@ -1,0 +1,1 @@
+lib/relational/parser.ml: Array Buffer Expr List Predicate Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/parser.mli: Expr Predicate

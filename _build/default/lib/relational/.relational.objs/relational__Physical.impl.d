@@ -1,0 +1,1 @@
+lib/relational/physical.ml: Aggregate_impl Array Catalog Expr Hashtbl List Option Predicate Relation Schema Seq Tuple

@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Buffer Expr List Optimizer Option Parser Printf String

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Float Format Hashtbl Int Printf String

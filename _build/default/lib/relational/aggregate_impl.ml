@@ -1,0 +1,78 @@
+module Tuple_hash = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type accumulator = {
+  mutable tuples : int;       (* all tuples of the group, for Count *)
+  mutable non_null : int;     (* non-null source values seen *)
+  mutable total : float;
+  mutable minimum : Value.t;  (* Null until a value arrives *)
+  mutable maximum : Value.t;
+}
+
+let fresh_accumulator () =
+  { tuples = 0; non_null = 0; total = 0.; minimum = Value.Null; maximum = Value.Null }
+
+let source_index schema = function
+  | Expr.Count -> -1
+  | Expr.Sum name | Expr.Avg name | Expr.Min name | Expr.Max name ->
+    Schema.index_of schema name
+
+let accumulate acc index tuple =
+  acc.tuples <- acc.tuples + 1;
+  if index >= 0 then
+    match Tuple.get tuple index with
+    | Value.Null -> ()
+    | v ->
+      acc.non_null <- acc.non_null + 1;
+      (match v with
+      | Value.Int _ | Value.Float _ | Value.Bool _ -> acc.total <- acc.total +. Value.to_float v
+      | Value.Str _ | Value.Null -> ());
+      if acc.minimum = Value.Null || Value.compare v acc.minimum < 0 then acc.minimum <- v;
+      if acc.maximum = Value.Null || Value.compare v acc.maximum > 0 then acc.maximum <- v
+
+let finish input_schema (f, _) acc =
+  match f with
+  | Expr.Count -> Value.Int acc.tuples
+  | Expr.Sum name ->
+    let i = Schema.index_of input_schema name in
+    (match (Schema.attribute input_schema i).Schema.ty with
+    | Value.Tint -> Value.Int (int_of_float acc.total)
+    | Value.Tfloat | Value.Tnull | Value.Tbool | Value.Tstr -> Value.Float acc.total)
+  | Expr.Avg _ ->
+    if acc.non_null = 0 then Value.Null
+    else Value.Float (acc.total /. float_of_int acc.non_null)
+  | Expr.Min _ -> acc.minimum
+  | Expr.Max _ -> acc.maximum
+
+let run ~input_schema ~by ~specs tuples =
+  let group_indices = Array.of_list (List.map (Schema.index_of input_schema) by) in
+  let spec_indices =
+    Array.of_list (List.map (fun (f, _) -> source_index input_schema f) specs)
+  in
+  let spec_count = Array.length spec_indices in
+  let groups = Tuple_hash.create 64 in
+  let order = ref [] in
+  Seq.iter
+    (fun tuple ->
+      let key = Tuple.project tuple group_indices in
+      let accs =
+        match Tuple_hash.find_opt groups key with
+        | Some accs -> accs
+        | None ->
+          let accs = Array.init spec_count (fun _ -> fresh_accumulator ()) in
+          Tuple_hash.add groups key accs;
+          order := key :: !order;
+          accs
+      in
+      Array.iteri (fun k index -> accumulate accs.(k) index tuple) spec_indices)
+    tuples;
+  List.rev_map
+    (fun key ->
+      let accs = Tuple_hash.find groups key in
+      let outputs = List.mapi (fun k spec -> finish input_schema spec accs.(k)) specs in
+      Tuple.concat key (Tuple.make outputs))
+    !order

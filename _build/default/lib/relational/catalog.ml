@@ -1,0 +1,31 @@
+type t = (string, Relation.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let add catalog name relation =
+  if Hashtbl.mem catalog name then
+    invalid_arg (Printf.sprintf "Catalog.add: %S already bound" name);
+  Hashtbl.replace catalog name relation
+
+let set catalog name relation = Hashtbl.replace catalog name relation
+
+let find_opt catalog name = Hashtbl.find_opt catalog name
+
+let find catalog name =
+  match find_opt catalog name with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "Catalog.find: unknown relation %S" name)
+
+let mem = Hashtbl.mem
+
+let remove = Hashtbl.remove
+
+let names catalog =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) catalog [])
+
+let copy = Hashtbl.copy
+
+let of_list bindings =
+  let catalog = create () in
+  List.iter (fun (name, relation) -> add catalog name relation) bindings;
+  catalog

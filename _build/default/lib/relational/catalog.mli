@@ -1,0 +1,33 @@
+(** Named-relation catalog: the binding environment for {!Expr.Base}
+    leaves. *)
+
+type t
+
+val create : unit -> t
+
+(** [add catalog name relation] registers a relation.
+    @raise Invalid_argument if [name] is already bound. *)
+val add : t -> string -> Relation.t -> unit
+
+(** Replace-or-add binding. *)
+val set : t -> string -> Relation.t -> unit
+
+(** @raise Not_found if unbound (with the name in the message via
+    [Failure]).  Use {!find_opt} for a total lookup. *)
+val find : t -> string -> Relation.t
+
+val find_opt : t -> string -> Relation.t option
+
+val mem : t -> string -> bool
+
+val remove : t -> string -> unit
+
+val names : t -> string list
+
+(** Fresh catalog with the same bindings (relations are shared, they are
+    immutable). *)
+val copy : t -> t
+
+(** Build from an association list.
+    @raise Invalid_argument on duplicate names. *)
+val of_list : (string * Relation.t) list -> t

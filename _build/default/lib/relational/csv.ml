@@ -1,0 +1,162 @@
+let needs_quoting field =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+
+let quote field =
+  (* An empty field is quoted so a single-column empty value does not
+     render as a blank line (which record splitting would drop). *)
+  if field = "" then "\"\""
+  else if needs_quoting field then begin
+    let buffer = Buffer.create (String.length field + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\"" else Buffer.add_char buffer c)
+      field;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else field
+
+(* Split one CSV record; assumes the record contains balanced quotes
+   (multi-line fields are reassembled by the caller). *)
+let split_record line =
+  let fields = ref [] in
+  let buffer = Buffer.create 32 in
+  let len = String.length line in
+  let rec loop i in_quotes =
+    if i >= len then begin
+      if in_quotes then failwith "Csv: unterminated quoted field";
+      fields := Buffer.contents buffer :: !fields
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < len && line.[i + 1] = '"' then begin
+            Buffer.add_char buffer '"';
+            loop (i + 2) true
+          end
+          else loop (i + 1) false
+        else begin
+          Buffer.add_char buffer c;
+          loop (i + 1) true
+        end
+      else if c = '"' then loop (i + 1) true
+      else if c = ',' then begin
+        fields := Buffer.contents buffer :: !fields;
+        Buffer.clear buffer;
+        loop (i + 1) false
+      end
+      else begin
+        Buffer.add_char buffer c;
+        loop (i + 1) false
+      end
+  in
+  loop 0 false;
+  List.rev !fields
+
+let ty_of_string = function
+  | "null" -> Value.Tnull
+  | "bool" -> Value.Tbool
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstr
+  | s -> failwith (Printf.sprintf "Csv: unknown type %S in header" s)
+
+let parse_header line =
+  let parse_field field =
+    match String.index_opt field ':' with
+    | Some i ->
+      let name = String.sub field 0 i in
+      let ty = String.sub field (i + 1) (String.length field - i - 1) in
+      (name, ty_of_string ty)
+    | None -> failwith (Printf.sprintf "Csv: header field %S lacks a :type suffix" field)
+  in
+  Schema.of_list (List.map parse_field (split_record line))
+
+let parse_value ty s = if s = "NULL" then Value.Null else Value.of_string ty s
+
+(* Split into records at newlines that are outside quoted fields, so
+   multi-line quoted values survive.  Tolerates CRLF. *)
+let split_records content =
+  let records = ref [] in
+  let buffer = Buffer.create 128 in
+  let in_quotes = ref false in
+  let flush_record () =
+    let record = Buffer.contents buffer in
+    Buffer.clear buffer;
+    let record =
+      let n = String.length record in
+      if n > 0 && record.[n - 1] = '\r' then String.sub record 0 (n - 1) else record
+    in
+    if record <> "" then records := record :: !records
+  in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_quotes := not !in_quotes;
+        Buffer.add_char buffer c
+      end
+      else if c = '\n' && not !in_quotes then flush_record ()
+      else Buffer.add_char buffer c)
+    content;
+  flush_record ();
+  List.rev !records
+
+let read_string content =
+  let lines = split_records content in
+  match lines with
+  | [] -> failwith "Csv: empty input"
+  | header :: rows ->
+    let schema = parse_header header in
+    let attrs = Array.of_list (Schema.attributes schema) in
+    let parse_row row =
+      let fields = Array.of_list (split_record row) in
+      if Array.length fields <> Array.length attrs then
+        failwith
+          (Printf.sprintf "Csv: row has %d fields, header has %d" (Array.length fields)
+             (Array.length attrs));
+      Array.mapi (fun i field -> parse_value attrs.(i).Schema.ty field) fields
+    in
+    Relation.make schema (List.map parse_row rows)
+
+let write_string relation =
+  let buffer = Buffer.create 1024 in
+  let schema = Relation.schema relation in
+  let header =
+    Schema.attributes schema
+    |> List.map (fun a -> quote a.Schema.name ^ ":" ^ Value.ty_to_string a.Schema.ty)
+    |> String.concat ","
+  in
+  Buffer.add_string buffer header;
+  Buffer.add_char buffer '\n';
+  Relation.iter
+    (fun tuple ->
+      let row =
+        Array.to_list tuple
+        |> List.map (fun v -> quote (Value.to_string v))
+        |> String.concat ","
+      in
+      Buffer.add_string buffer row;
+      Buffer.add_char buffer '\n')
+    relation;
+  Buffer.contents buffer
+
+let load path =
+  let ic = open_in_bin path in
+  let content =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in ic;
+      raise e
+  in
+  close_in ic;
+  read_string content
+
+let save path relation =
+  let oc = open_out_bin path in
+  (try output_string oc (write_string relation)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

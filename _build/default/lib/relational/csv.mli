@@ -1,0 +1,18 @@
+(** Minimal CSV persistence for relations (used by the CLI).
+
+    Format: first line is the header [name:type,...] with types from
+    {!Value.ty_to_string}; remaining records are comma-separated values.
+    Fields containing commas, quotes or newlines are double-quoted with
+    doubled inner quotes (RFC-4180 style); quoted fields may span
+    lines, and empty fields are written as [""] so single-column empty
+    values survive the roundtrip. *)
+
+(** @raise Failure on malformed headers or rows. *)
+val read_string : string -> Relation.t
+
+val write_string : Relation.t -> string
+
+(** @raise Sys_error on I/O failure, [Failure] on malformed content. *)
+val load : string -> Relation.t
+
+val save : string -> Relation.t -> unit

@@ -1,0 +1,12 @@
+(** Exact evaluation of relational algebra expressions.
+
+    This is the ground truth the estimators are measured against.  Joins
+    use hash joins on the equality attributes; θ-joins and products use
+    nested loops; set operators hash-deduplicate. *)
+
+(** [eval catalog e] materializes the result relation.
+    @raise Failure on schema errors (see {!Expr.schema_of}). *)
+val eval : Catalog.t -> Expr.t -> Relation.t
+
+(** [count catalog e] is [Relation.cardinality (eval catalog e)]. *)
+val count : Catalog.t -> Expr.t -> int

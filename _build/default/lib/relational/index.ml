@@ -1,0 +1,65 @@
+module Tuple_hash = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  relation : Relation.t;
+  attributes : string list;
+  key_positions : int array;
+  buckets : Tuple.t list Tuple_hash.t;  (* key → tuples in base order *)
+}
+
+let build relation ~attributes =
+  if attributes = [] then invalid_arg "Index.build: empty attribute list";
+  let schema = Relation.schema relation in
+  let key_positions =
+    Array.of_list (List.map (fun a -> Schema.index_of schema a) attributes)
+  in
+  let buckets = Tuple_hash.create (max 16 (Relation.cardinality relation)) in
+  Relation.iter
+    (fun tuple ->
+      let key = Tuple.project tuple key_positions in
+      let bucket = try Tuple_hash.find buckets key with Not_found -> [] in
+      Tuple_hash.replace buckets key (tuple :: bucket))
+    relation;
+  Tuple_hash.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) buckets;
+  { relation; attributes; key_positions; buckets }
+
+let relation t = t.relation
+
+let attributes t = t.attributes
+
+let check_key t values =
+  if List.length values <> Array.length t.key_positions then
+    invalid_arg "Index: key arity mismatch"
+
+let lookup t values =
+  check_key t values;
+  let key = Tuple.make values in
+  try Tuple_hash.find t.buckets key with Not_found -> []
+
+let count t values = List.length (lookup t values)
+
+let distinct_keys t = Tuple_hash.length t.buckets
+
+let probe_join t probe ~key =
+  if List.length key <> Array.length t.key_positions then
+    invalid_arg "Index.probe_join: key arity mismatch";
+  let probe_schema = Relation.schema probe in
+  let probe_positions =
+    Array.of_list (List.map (fun a -> Schema.index_of probe_schema a) key)
+  in
+  let out_schema = Schema.concat probe_schema (Relation.schema t.relation) in
+  let out = ref [] in
+  Relation.iter
+    (fun probe_tuple ->
+      let key = Tuple.project probe_tuple probe_positions in
+      match Tuple_hash.find_opt t.buckets key with
+      | Some bucket ->
+        List.iter (fun indexed -> out := Tuple.concat probe_tuple indexed :: !out) bucket
+      | None -> ())
+    probe;
+  Relation.of_array out_schema (Array.of_list (List.rev !out))

@@ -1,0 +1,36 @@
+(** Hash index over one or more attributes of a relation.
+
+    Supports point lookups and index-assisted equi-joins — the access
+    path a real system would use instead of scans once the optimizer
+    has (sampled) evidence that few tuples qualify. *)
+
+type t
+
+(** [build relation ~attributes]
+    @raise Not_found if an attribute is absent.
+    @raise Invalid_argument on an empty attribute list. *)
+val build : Relation.t -> attributes:string list -> t
+
+(** The indexed relation. *)
+val relation : t -> Relation.t
+
+(** Indexed attribute names, in index order. *)
+val attributes : t -> string list
+
+(** Tuples whose key equals the given values, in base-relation order.
+    @raise Invalid_argument on a key arity mismatch. *)
+val lookup : t -> Value.t list -> Tuple.t list
+
+(** Number of tuples under the key ([lookup] without materializing). *)
+val count : t -> Value.t list -> int
+
+(** Number of distinct keys. *)
+val distinct_keys : t -> int
+
+(** [probe_join index probe ~key] — equi-join [probe ⋈ indexed] where
+    [key] names the probe-side attributes (positionally matching the
+    index attributes).  Result schema is
+    [Schema.concat probe indexed]; probe-major order.
+    @raise Invalid_argument on arity mismatch.
+    @raise Not_found if a probe attribute is absent. *)
+val probe_join : t -> Relation.t -> key:string list -> Relation.t

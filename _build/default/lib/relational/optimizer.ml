@@ -1,0 +1,125 @@
+let attrs_within schema attrs = List.for_all (Schema.mem schema) attrs
+
+(* One bottom-up pass; [changed] records whether any rule fired. *)
+let rec pass catalog changed expr =
+  let expr = rewrite_children catalog changed expr in
+  apply_rules catalog changed expr
+
+and rewrite_children catalog changed = function
+  | Expr.Base _ as e -> e
+  | Expr.Select (p, e) -> Expr.Select (p, pass catalog changed e)
+  | Expr.Project (names, e) -> Expr.Project (names, pass catalog changed e)
+  | Expr.Distinct e -> Expr.Distinct (pass catalog changed e)
+  | Expr.Rename (pairs, e) -> Expr.Rename (pairs, pass catalog changed e)
+  | Expr.Aggregate (by, specs, e) -> Expr.Aggregate (by, specs, pass catalog changed e)
+  | Expr.Product (l, r) -> Expr.Product (pass catalog changed l, pass catalog changed r)
+  | Expr.Equijoin (pairs, l, r) ->
+    Expr.Equijoin (pairs, pass catalog changed l, pass catalog changed r)
+  | Expr.Theta_join (p, l, r) ->
+    Expr.Theta_join (p, pass catalog changed l, pass catalog changed r)
+  | Expr.Union (l, r) -> Expr.Union (pass catalog changed l, pass catalog changed r)
+  | Expr.Inter (l, r) -> Expr.Inter (pass catalog changed l, pass catalog changed r)
+  | Expr.Diff (l, r) -> Expr.Diff (pass catalog changed l, pass catalog changed r)
+
+and apply_rules catalog changed expr =
+  let fired e =
+    changed := true;
+    e
+  in
+  match expr with
+  (* σ_true(e) = e. *)
+  | Expr.Select (Predicate.True, e) -> fired e
+  (* Conjunction splitting enables independent pushdown of each leg. *)
+  | Expr.Select (Predicate.And (p, q), e) ->
+    fired (Expr.Select (p, Expr.Select (q, e)))
+  (* Join recognition over a product. *)
+  | Expr.Select
+      ((Predicate.Cmp (Predicate.Eq, Predicate.Attr a, Predicate.Attr b) as p),
+       Expr.Product (l, r)) -> (
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    match (Schema.mem sl a, Schema.mem sr b, Schema.mem sl b, Schema.mem sr a) with
+    | true, true, _, _ -> fired (Expr.Equijoin ([ (a, b) ], l, r))
+    | _, _, true, true -> fired (Expr.Equijoin ([ (b, a) ], l, r))
+    | _ -> push_select catalog changed p (Expr.Product (l, r)))
+  (* Extra equality conjunct merging into an existing equi-join. *)
+  | Expr.Select
+      ((Predicate.Cmp (Predicate.Eq, Predicate.Attr a, Predicate.Attr b) as p),
+       Expr.Equijoin (pairs, l, r)) -> (
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    match (Schema.mem sl a, Schema.mem sr b, Schema.mem sl b, Schema.mem sr a) with
+    | true, true, _, _ -> fired (Expr.Equijoin (pairs @ [ (a, b) ], l, r))
+    | _, _, true, true -> fired (Expr.Equijoin (pairs @ [ (b, a) ], l, r))
+    | _ -> push_select catalog changed p (Expr.Equijoin (pairs, l, r)))
+  | Expr.Select (p, inner) -> push_select catalog changed p inner
+  (* θ-joins whose predicate could be (partly) an equality become a
+     selection over a product, where conjunction splitting and join
+     recognition take over. *)
+  | Expr.Theta_join ((Predicate.And _ | Predicate.Cmp (Predicate.Eq, Predicate.Attr _, Predicate.Attr _)) as p, l, r)
+    ->
+    fired (Expr.Select (p, Expr.Product (l, r)))
+  (* Distinct collapses over anything already duplicate-free. *)
+  | Expr.Distinct (Expr.Distinct e) -> fired (Expr.Distinct e)
+  | Expr.Distinct ((Expr.Union _ | Expr.Inter _ | Expr.Diff _) as e) -> fired e
+  | e -> e
+
+and push_select catalog changed p inner =
+  let fired e =
+    changed := true;
+    e
+  in
+  let attrs = Predicate.attributes p in
+  match inner with
+  | Expr.Product (l, r) ->
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    if attrs_within sl attrs then fired (Expr.Product (Expr.Select (p, l), r))
+    else if attrs_within sr attrs then fired (Expr.Product (l, Expr.Select (p, r)))
+    else Expr.Select (p, inner)
+  | Expr.Equijoin (pairs, l, r) ->
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    if attrs_within sl attrs then fired (Expr.Equijoin (pairs, Expr.Select (p, l), r))
+    else if attrs_within sr attrs then
+      fired (Expr.Equijoin (pairs, l, Expr.Select (p, r)))
+    else Expr.Select (p, inner)
+  | Expr.Theta_join (q, l, r) ->
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    if attrs_within sl attrs then fired (Expr.Theta_join (q, Expr.Select (p, l), r))
+    else if attrs_within sr attrs then
+      fired (Expr.Theta_join (q, l, Expr.Select (p, r)))
+    else Expr.Select (p, inner)
+  | Expr.Union (l, r) ->
+    (* Union-compatibility is positional: both children must expose the
+       predicate's attribute names for the pushdown to type-check. *)
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    if attrs_within sl attrs && attrs_within sr attrs then
+      fired (Expr.Union (Expr.Select (p, l), Expr.Select (p, r)))
+    else Expr.Select (p, inner)
+  | Expr.Inter (l, r) ->
+    let sl = Expr.schema_of catalog l and sr = Expr.schema_of catalog r in
+    if attrs_within sl attrs && attrs_within sr attrs then
+      fired (Expr.Inter (Expr.Select (p, l), Expr.Select (p, r)))
+    else Expr.Select (p, inner)
+  | Expr.Diff (l, r) ->
+    (* σ_p(A − B) = σ_p(A) − B; the right side needs no filter. *)
+    let sl = Expr.schema_of catalog l in
+    if attrs_within sl attrs then fired (Expr.Diff (Expr.Select (p, l), r))
+    else Expr.Select (p, inner)
+  | _ -> Expr.Select (p, inner)
+
+let optimize_with_stats catalog expr =
+  let steps = ref 0 in
+  let rec fixpoint expr iterations =
+    if iterations = 0 then expr
+    else begin
+      let changed = ref false in
+      let rewritten = pass catalog changed expr in
+      if !changed then begin
+        incr steps;
+        fixpoint rewritten (iterations - 1)
+      end
+      else rewritten
+    end
+  in
+  let result = fixpoint expr 50 in
+  (result, !steps)
+
+let optimize catalog expr = fst (optimize_with_stats catalog expr)

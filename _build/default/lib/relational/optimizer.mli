@@ -1,0 +1,31 @@
+(** Logical rewriting of relational algebra expressions.
+
+    Classical equivalence-preserving rules, applied bottom-up to a
+    fixpoint:
+
+    - conjunction splitting: [σ_{p∧q}(e) → σ_p(σ_q(e))]
+    - selection pushdown through product/join sides, union,
+      intersection and difference (left side);
+    - join recognition: [σ_{a=b}(l × r)] with [a] from [l] and [b]
+      from [r] becomes [l ⋈_{a=b} r]; further equality conjuncts merge
+      into an existing equi-join; θ-joins whose predicate is an
+      attribute equality (or a conjunction containing one) are lowered
+      to selections over products so the same recognition applies;
+    - trivial-selection elimination ([σ_true], [σ_false] over anything
+      becomes an empty-producing selection kept as-is),
+      double-[Distinct] collapse, and dedup of idempotent [Distinct]
+      over set operators.
+
+    The result always evaluates to the same relation (up to tuple
+    order) — property-checked in the test suite — and is usually much
+    cheaper for {!Eval}/{!Physical} because products shrink before they
+    multiply. *)
+
+(** [optimize catalog e] rewrites [e] using schema information from
+    [catalog] (needed to route predicates to sides).
+    @raise Failure on ill-formed expressions (same as
+    {!Expr.schema_of}). *)
+val optimize : Catalog.t -> Expr.t -> Expr.t
+
+(** Number of rewrite steps applied (0 means [e] was already normal). *)
+val optimize_with_stats : Catalog.t -> Expr.t -> Expr.t * int

@@ -1,0 +1,42 @@
+type t = {
+  relation : Relation.t;
+  page_capacity : int;
+  page_count : int;
+  mutable accesses : int;
+}
+
+let make ~page_capacity relation =
+  if page_capacity <= 0 then invalid_arg "Paged.make: page_capacity must be positive";
+  let n = Relation.cardinality relation in
+  let page_count = if n = 0 then 0 else ((n - 1) / page_capacity) + 1 in
+  { relation; page_capacity; page_count; accesses = 0 }
+
+let relation t = t.relation
+
+let page_capacity t = t.page_capacity
+
+let page_count t = t.page_count
+
+let bounds t i =
+  if i < 0 || i >= t.page_count then
+    invalid_arg (Printf.sprintf "Paged: page %d out of range [0, %d)" i t.page_count);
+  let start = i * t.page_capacity in
+  let stop = min (start + t.page_capacity) (Relation.cardinality t.relation) in
+  (start, stop)
+
+let peek_page t i =
+  let start, stop = bounds t i in
+  Array.init (stop - start) (fun k -> Relation.tuple t.relation (start + k))
+
+let page t i =
+  let tuples = peek_page t i in
+  t.accesses <- t.accesses + 1;
+  tuples
+
+let page_size t i =
+  let start, stop = bounds t i in
+  stop - start
+
+let accesses t = t.accesses
+
+let reset_accesses t = t.accesses <- 0

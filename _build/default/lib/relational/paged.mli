@@ -1,0 +1,37 @@
+(** Paged view of a relation.
+
+    The 1988 setting stores relations on fixed-capacity disk pages;
+    cluster sampling draws whole pages.  This module materializes the
+    page structure of a relation and counts page accesses, standing in
+    for physical I/O (see DESIGN.md §5). *)
+
+type t
+
+(** [make ~page_capacity relation] splits the relation's tuples, in
+    order, into pages of at most [page_capacity] tuples (the last page
+    may be short).
+    @raise Invalid_argument if [page_capacity <= 0]. *)
+val make : page_capacity:int -> Relation.t -> t
+
+val relation : t -> Relation.t
+
+val page_capacity : t -> int
+
+(** Number of pages, [ceil (cardinality / page_capacity)]. *)
+val page_count : t -> int
+
+(** Tuples of page [i] (a fresh array).  Increments the access counter.
+    @raise Invalid_argument if [i] is out of range. *)
+val page : t -> int -> Tuple.t array
+
+(** Tuples on page [i] without counting an access (for tests and exact
+    computations). *)
+val peek_page : t -> int -> Tuple.t array
+
+(** Number of tuples on page [i]. *)
+val page_size : t -> int -> int
+
+(** Pages fetched since creation or the last {!reset_accesses}. *)
+val accesses : t -> int
+
+val reset_accesses : t -> unit

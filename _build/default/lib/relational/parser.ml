@@ -1,0 +1,650 @@
+(* Recursive-descent parser over a hand-rolled tokenizer.  The only
+   delicate spot is '(' in predicate position, which may open either a
+   nested predicate or a parenthesized arithmetic term; it is resolved
+   by bounded backtracking (see [try_parse]). *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Sym of string
+  | Eof
+
+type state = {
+  tokens : (token * int) array;  (* token, byte offset for errors *)
+  source : string;
+  mutable pos : int;
+}
+
+exception Parse_error of string * int
+
+let fail_at state message =
+  let offset =
+    if state.pos < Array.length state.tokens then snd state.tokens.(state.pos)
+    else String.length state.source
+  in
+  raise (Parse_error (message, offset))
+
+(* ---------------------------------------------------------- tokenizer *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '#'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize source =
+  let tokens = ref [] in
+  let n = String.length source in
+  let i = ref 0 in
+  let push token start = tokens := (token, start) :: !tokens in
+  while !i < n do
+    let start = !i in
+    let c = source.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit source.[!j] do
+        incr j
+      done;
+      let is_float =
+        !j < n && source.[!j] = '.' && (!j + 1 >= n || source.[!j + 1] <> '.')
+        && (!j + 1 >= n || is_digit source.[!j + 1] || not (is_ident_char source.[!j + 1]))
+      in
+      if is_float then begin
+        incr j;
+        while !j < n && is_digit source.[!j] do
+          incr j
+        done;
+        (* Exponent part. *)
+        if !j < n && (source.[!j] = 'e' || source.[!j] = 'E') then begin
+          incr j;
+          if !j < n && (source.[!j] = '+' || source.[!j] = '-') then incr j;
+          while !j < n && is_digit source.[!j] do
+            incr j
+          done
+        end;
+        let text = String.sub source !i (!j - !i) in
+        push (Float_lit (float_of_string text)) start
+      end
+      else begin
+        (* Plain integer (scientific notation only with a dot). *)
+        let text = String.sub source !i (!j - !i) in
+        push (Int_lit (int_of_string text)) start
+      end;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char source.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub source !i (!j - !i))) start;
+      i := !j
+    end
+    else if c = '\'' then begin
+      (* String literal with '' as the escaped quote. *)
+      let buffer = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while not !closed && !j < n do
+        if source.[!j] = '\'' then
+          if !j + 1 < n && source.[!j + 1] = '\'' then begin
+            Buffer.add_char buffer '\'';
+            j := !j + 2
+          end
+          else begin
+            closed := true;
+            incr j
+          end
+        else begin
+          Buffer.add_char buffer source.[!j];
+          incr j
+        end
+      done;
+      if not !closed then raise (Parse_error ("unterminated string literal", start));
+      push (Str_lit (Buffer.contents buffer)) start;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub source !i 2 else "" in
+      match two with
+      | "->" | "!=" | "<>" | "<=" | ">=" ->
+        push (Sym two) start;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' | ')' | '[' | ']' | ',' | ';' | '=' | '<' | '>' | '+' | '-' | '*' | '/' ->
+          push (Sym (String.make 1 c)) start;
+          incr i
+        | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C" c, start)))
+    end
+  done;
+  push Eof n;
+  Array.of_list (List.rev !tokens)
+
+(* ------------------------------------------------------ parser plumbing *)
+
+let make_state source = { tokens = tokenize source; source; pos = 0 }
+
+let peek state = fst state.tokens.(state.pos)
+
+let advance state = state.pos <- state.pos + 1
+
+let keyword state =
+  match peek state with
+  | Ident name -> Some (String.lowercase_ascii name)
+  | Int_lit _ | Float_lit _ | Str_lit _ | Sym _ | Eof -> None
+
+let eat_keyword state expected =
+  match keyword state with
+  | Some k when k = expected -> advance state
+  | _ -> fail_at state (Printf.sprintf "expected %S" expected)
+
+let eat_sym state expected =
+  match peek state with
+  | Sym s when s = expected -> advance state
+  | _ -> fail_at state (Printf.sprintf "expected %S" expected)
+
+let accept_sym state expected =
+  match peek state with
+  | Sym s when s = expected ->
+    advance state;
+    true
+  | _ -> false
+
+let ident state =
+  match peek state with
+  | Ident name ->
+    advance state;
+    name
+  | _ -> fail_at state "expected an identifier"
+
+let try_parse state f =
+  let saved = state.pos in
+  try Some (f state)
+  with Parse_error _ ->
+    state.pos <- saved;
+    None
+
+(* --------------------------------------------------------------- values *)
+
+let parse_value state =
+  match peek state with
+  | Int_lit v ->
+    advance state;
+    Value.Int v
+  | Float_lit v ->
+    advance state;
+    Value.Float v
+  | Str_lit v ->
+    advance state;
+    Value.Str v
+  | Sym "-" -> (
+    advance state;
+    match peek state with
+    | Int_lit v ->
+      advance state;
+      Value.Int (-v)
+    | Float_lit v ->
+      advance state;
+      Value.Float (-.v)
+    | _ -> fail_at state "expected a number after unary minus")
+  | Ident _ -> (
+    match keyword state with
+    | Some "true" ->
+      advance state;
+      Value.Bool true
+    | Some "false" ->
+      advance state;
+      Value.Bool false
+    | Some "null" ->
+      advance state;
+      Value.Null
+    | _ -> fail_at state "expected a literal value")
+  | Sym _ | Eof -> fail_at state "expected a literal value"
+
+(* ---------------------------------------------------------------- terms *)
+
+let reserved_in_predicates =
+  [ "and"; "or"; "not"; "between"; "in"; "true"; "false"; "null" ]
+
+let rec parse_term state = parse_additive state
+
+and parse_additive state =
+  let left = ref (parse_multiplicative state) in
+  let continue = ref true in
+  while !continue do
+    if accept_sym state "+" then left := Predicate.Add (!left, parse_multiplicative state)
+    else if accept_sym state "-" then left := Predicate.Sub (!left, parse_multiplicative state)
+    else continue := false
+  done;
+  !left
+
+and parse_multiplicative state =
+  let left = ref (parse_term_atom state) in
+  let continue = ref true in
+  while !continue do
+    if accept_sym state "*" then left := Predicate.Mul (!left, parse_term_atom state)
+    else if accept_sym state "/" then left := Predicate.Div (!left, parse_term_atom state)
+    else continue := false
+  done;
+  !left
+
+and parse_term_atom state =
+  match peek state with
+  | Int_lit _ | Float_lit _ | Str_lit _ | Sym "-" -> Predicate.Const (parse_value state)
+  | Sym "(" ->
+    advance state;
+    let term = parse_term state in
+    eat_sym state ")";
+    term
+  | Ident name ->
+    let lower = String.lowercase_ascii name in
+    if lower = "null" then begin
+      advance state;
+      Predicate.Const Value.Null
+    end
+    else if List.mem lower reserved_in_predicates then
+      fail_at state (Printf.sprintf "keyword %S cannot be an attribute" name)
+    else begin
+      advance state;
+      Predicate.Attr name
+    end
+  | Sym _ | Eof -> fail_at state "expected a term"
+
+(* ----------------------------------------------------------- predicates *)
+
+let comparison_of_sym = function
+  | "=" -> Some Predicate.Eq
+  | "!=" | "<>" -> Some Predicate.Neq
+  | "<" -> Some Predicate.Lt
+  | "<=" -> Some Predicate.Le
+  | ">" -> Some Predicate.Gt
+  | ">=" -> Some Predicate.Ge
+  | _ -> None
+
+let rec parse_predicate_level state = parse_or state
+
+and parse_or state =
+  let left = ref (parse_and state) in
+  while keyword state = Some "or" do
+    advance state;
+    left := Predicate.Or (!left, parse_and state)
+  done;
+  !left
+
+and parse_and state =
+  let left = ref (parse_not state) in
+  while keyword state = Some "and" do
+    advance state;
+    left := Predicate.And (!left, parse_not state)
+  done;
+  !left
+
+and parse_not state =
+  if keyword state = Some "not" then begin
+    advance state;
+    Predicate.Not (parse_not state)
+  end
+  else parse_predicate_atom state
+
+and parse_predicate_atom state =
+  match keyword state with
+  | Some "true" ->
+    advance state;
+    Predicate.True
+  | Some "false" ->
+    advance state;
+    Predicate.False
+  | _ ->
+    (* '(' is ambiguous: nested predicate or parenthesized term. *)
+    if peek state = Sym "(" then begin
+      let as_predicate =
+        try_parse state (fun state ->
+            advance state;
+            let p = parse_predicate_level state in
+            eat_sym state ")";
+            (* A comparison right after the closing paren means the
+               parentheses belonged to a term after all. *)
+            (match peek state with
+            | Sym s
+              when comparison_of_sym s <> None || s = "+" || s = "-" || s = "*" || s = "/"
+              ->
+              fail_at state "parenthesized term, not predicate"
+            | _ -> ());
+            p)
+      in
+      match as_predicate with
+      | Some p -> p
+      | None -> parse_comparison state
+    end
+    else parse_comparison state
+
+and parse_comparison state =
+  let left = parse_term state in
+  match keyword state with
+  | Some "between" ->
+    advance state;
+    let lo = parse_value state in
+    eat_keyword state "and";
+    let hi = parse_value state in
+    Predicate.Between (left, lo, hi)
+  | Some "in" ->
+    advance state;
+    eat_sym state "(";
+    let values = ref [ parse_value state ] in
+    while accept_sym state "," do
+      values := parse_value state :: !values
+    done;
+    eat_sym state ")";
+    Predicate.In (left, List.rev !values)
+  | _ -> (
+    match peek state with
+    | Sym s -> (
+      match comparison_of_sym s with
+      | Some cmp ->
+        advance state;
+        let right = parse_term state in
+        Predicate.Cmp (cmp, left, right)
+      | None -> fail_at state "expected a comparison operator")
+    | _ -> fail_at state "expected a comparison operator")
+
+(* ---------------------------------------------------------- expressions *)
+
+let expr_keywords =
+  [ "select"; "pi"; "pidist"; "distinct"; "rho"; "cross"; "join"; "theta"; "union";
+    "inter"; "minus"; "gamma" ]
+
+let default_agg_name = function
+  | Expr.Count -> "count"
+  | Expr.Sum a -> "sum_" ^ a
+  | Expr.Avg a -> "avg_" ^ a
+  | Expr.Min a -> "min_" ^ a
+  | Expr.Max a -> "max_" ^ a
+
+let parse_agg_spec state =
+  let f =
+    match keyword state with
+    | Some "count" ->
+      advance state;
+      Expr.Count
+    | Some (("sum" | "avg" | "min" | "max") as which) ->
+      advance state;
+      eat_sym state "(";
+      let attr = ident state in
+      eat_sym state ")";
+      (match which with
+      | "sum" -> Expr.Sum attr
+      | "avg" -> Expr.Avg attr
+      | "min" -> Expr.Min attr
+      | _ -> Expr.Max attr)
+    | _ -> fail_at state "expected count, sum(a), avg(a), min(a) or max(a)"
+  in
+  let output =
+    if keyword state = Some "as" then begin
+      advance state;
+      ident state
+    end
+    else default_agg_name f
+  in
+  (f, output)
+
+let parse_attr_list state =
+  let attrs = ref [ ident state ] in
+  while accept_sym state "," do
+    attrs := ident state :: !attrs
+  done;
+  List.rev !attrs
+
+let parse_rename_pairs state =
+  let pair state =
+    let old_name = ident state in
+    eat_sym state "->";
+    let new_name = ident state in
+    (old_name, new_name)
+  in
+  let pairs = ref [ pair state ] in
+  while accept_sym state "," do
+    pairs := pair state :: !pairs
+  done;
+  List.rev !pairs
+
+let parse_join_pairs state =
+  let pair state =
+    let left = ident state in
+    eat_sym state "=";
+    let right = ident state in
+    (left, right)
+  in
+  let pairs = ref [ pair state ] in
+  while accept_sym state "," do
+    pairs := pair state :: !pairs
+  done;
+  List.rev !pairs
+
+let rec parse_expr_level state = parse_set_ops state
+
+and parse_set_ops state =
+  let left = ref (parse_join_ops state) in
+  let continue = ref true in
+  while !continue do
+    match keyword state with
+    | Some "union" ->
+      advance state;
+      left := Expr.Union (!left, parse_join_ops state)
+    | Some "inter" ->
+      advance state;
+      left := Expr.Inter (!left, parse_join_ops state)
+    | Some "minus" ->
+      advance state;
+      left := Expr.Diff (!left, parse_join_ops state)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_join_ops state =
+  let left = ref (parse_expr_atom state) in
+  let continue = ref true in
+  while !continue do
+    match keyword state with
+    | Some "cross" ->
+      advance state;
+      left := Expr.Product (!left, parse_expr_atom state)
+    | Some "join" ->
+      advance state;
+      eat_sym state "[";
+      let pairs = parse_join_pairs state in
+      eat_sym state "]";
+      left := Expr.Equijoin (pairs, !left, parse_expr_atom state)
+    | Some "theta" ->
+      advance state;
+      eat_sym state "[";
+      let p = parse_predicate_level state in
+      eat_sym state "]";
+      left := Expr.Theta_join (p, !left, parse_expr_atom state)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_expr_atom state =
+  match keyword state with
+  | Some "select" ->
+    advance state;
+    eat_sym state "[";
+    let p = parse_predicate_level state in
+    eat_sym state "]";
+    eat_sym state "(";
+    let e = parse_expr_level state in
+    eat_sym state ")";
+    Expr.Select (p, e)
+  | Some "pi" ->
+    advance state;
+    eat_sym state "[";
+    let attrs = parse_attr_list state in
+    eat_sym state "]";
+    eat_sym state "(";
+    let e = parse_expr_level state in
+    eat_sym state ")";
+    Expr.Project (attrs, e)
+  | Some "pidist" ->
+    advance state;
+    eat_sym state "[";
+    let attrs = parse_attr_list state in
+    eat_sym state "]";
+    eat_sym state "(";
+    let e = parse_expr_level state in
+    eat_sym state ")";
+    Expr.Distinct (Expr.Project (attrs, e))
+  | Some "distinct" ->
+    advance state;
+    eat_sym state "(";
+    let e = parse_expr_level state in
+    eat_sym state ")";
+    Expr.Distinct e
+  | Some "rho" ->
+    advance state;
+    eat_sym state "[";
+    let pairs = parse_rename_pairs state in
+    eat_sym state "]";
+    eat_sym state "(";
+    let e = parse_expr_level state in
+    eat_sym state ")";
+    Expr.Rename (pairs, e)
+  | Some "gamma" ->
+    advance state;
+    eat_sym state "[";
+    let by = if peek state = Sym ";" then [] else parse_attr_list state in
+    eat_sym state ";";
+    let specs = ref [ parse_agg_spec state ] in
+    while accept_sym state "," do
+      specs := parse_agg_spec state :: !specs
+    done;
+    eat_sym state "]";
+    eat_sym state "(";
+    let e = parse_expr_level state in
+    eat_sym state ")";
+    Expr.Aggregate (by, List.rev !specs, e)
+  | Some k when List.mem k expr_keywords -> fail_at state (Printf.sprintf "misplaced keyword %S" k)
+  | Some _ -> Expr.Base (ident state)
+  | None ->
+    if accept_sym state "(" then begin
+      let e = parse_expr_level state in
+      eat_sym state ")";
+      e
+    end
+    else fail_at state "expected an expression"
+
+(* ----------------------------------------------------------- entrypoints *)
+
+let finish state result =
+  match peek state with
+  | Eof -> result
+  | _ -> fail_at state "trailing input"
+
+let describe_error source (message, offset) =
+  let prefix = String.sub source 0 (min offset (String.length source)) in
+  let line = 1 + String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 prefix in
+  Printf.sprintf "Parser: %s at offset %d (line %d) in %S" message offset line source
+
+let parse_expr source =
+  try
+    let state = make_state source in
+    finish state (parse_expr_level state)
+  with Parse_error (message, offset) -> failwith (describe_error source (message, offset))
+
+let parse_predicate source =
+  try
+    let state = make_state source in
+    finish state (parse_predicate_level state)
+  with Parse_error (message, offset) -> failwith (describe_error source (message, offset))
+
+(* ---------------------------------------------------------------- printer *)
+
+let print_value = function
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int v -> string_of_int v
+  | Value.Float v ->
+    let text = Printf.sprintf "%.12g" v in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') text
+    then text
+    else text ^ ".0"
+  | Value.Str s ->
+    let buffer = Buffer.create (String.length s + 2) in
+    Buffer.add_char buffer '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buffer "''" else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '\'';
+    Buffer.contents buffer
+
+let rec print_term = function
+  | Predicate.Attr name -> name
+  | Predicate.Const v -> print_value v
+  | Predicate.Add (t1, t2) -> Printf.sprintf "(%s + %s)" (print_term t1) (print_term t2)
+  | Predicate.Sub (t1, t2) -> Printf.sprintf "(%s - %s)" (print_term t1) (print_term t2)
+  | Predicate.Mul (t1, t2) -> Printf.sprintf "(%s * %s)" (print_term t1) (print_term t2)
+  | Predicate.Div (t1, t2) -> Printf.sprintf "(%s / %s)" (print_term t1) (print_term t2)
+
+let print_cmp = function
+  | Predicate.Eq -> "="
+  | Predicate.Neq -> "!="
+  | Predicate.Lt -> "<"
+  | Predicate.Le -> "<="
+  | Predicate.Gt -> ">"
+  | Predicate.Ge -> ">="
+
+let rec print_predicate = function
+  | Predicate.True -> "true"
+  | Predicate.False -> "false"
+  | Predicate.Cmp (cmp, t1, t2) ->
+    Printf.sprintf "%s %s %s" (print_term t1) (print_cmp cmp) (print_term t2)
+  | Predicate.Between (t, lo, hi) ->
+    Printf.sprintf "%s between %s and %s" (print_term t) (print_value lo) (print_value hi)
+  | Predicate.In (t, values) ->
+    Printf.sprintf "%s in (%s)" (print_term t) (String.concat ", " (List.map print_value values))
+  | Predicate.And (p1, p2) ->
+    Printf.sprintf "(%s and %s)" (print_predicate p1) (print_predicate p2)
+  | Predicate.Or (p1, p2) ->
+    Printf.sprintf "(%s or %s)" (print_predicate p1) (print_predicate p2)
+  | Predicate.Not p -> Printf.sprintf "not (%s)" (print_predicate p)
+
+let rec print_expr = function
+  | Expr.Base name -> name
+  | Expr.Select (p, e) -> Printf.sprintf "select[%s](%s)" (print_predicate p) (print_expr e)
+  | Expr.Distinct (Expr.Project (attrs, e)) ->
+    Printf.sprintf "pidist[%s](%s)" (String.concat ", " attrs) (print_expr e)
+  | Expr.Project (attrs, e) ->
+    Printf.sprintf "pi[%s](%s)" (String.concat ", " attrs) (print_expr e)
+  | Expr.Distinct e -> Printf.sprintf "distinct(%s)" (print_expr e)
+  | Expr.Rename (pairs, e) ->
+    let pairs = List.map (fun (a, b) -> a ^ " -> " ^ b) pairs in
+    Printf.sprintf "rho[%s](%s)" (String.concat ", " pairs) (print_expr e)
+  | Expr.Product (l, r) -> Printf.sprintf "(%s cross %s)" (print_expr l) (print_expr r)
+  | Expr.Equijoin (pairs, l, r) ->
+    let pairs = List.map (fun (a, b) -> a ^ " = " ^ b) pairs in
+    Printf.sprintf "(%s join[%s] %s)" (print_expr l) (String.concat ", " pairs) (print_expr r)
+  | Expr.Theta_join (p, l, r) ->
+    Printf.sprintf "(%s theta[%s] %s)" (print_expr l) (print_predicate p) (print_expr r)
+  | Expr.Union (l, r) -> Printf.sprintf "(%s union %s)" (print_expr l) (print_expr r)
+  | Expr.Inter (l, r) -> Printf.sprintf "(%s inter %s)" (print_expr l) (print_expr r)
+  | Expr.Diff (l, r) -> Printf.sprintf "(%s minus %s)" (print_expr l) (print_expr r)
+  | Expr.Aggregate (by, specs, e) ->
+    let print_spec (f, output) =
+      let f_text =
+        match f with
+        | Expr.Count -> "count"
+        | Expr.Sum a -> Printf.sprintf "sum(%s)" a
+        | Expr.Avg a -> Printf.sprintf "avg(%s)" a
+        | Expr.Min a -> Printf.sprintf "min(%s)" a
+        | Expr.Max a -> Printf.sprintf "max(%s)" a
+      in
+      f_text ^ " as " ^ output
+    in
+    Printf.sprintf "gamma[%s; %s](%s)" (String.concat ", " by)
+      (String.concat ", " (List.map print_spec specs))
+      (print_expr e)

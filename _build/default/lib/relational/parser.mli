@@ -1,0 +1,47 @@
+(** Textual syntax for relational algebra expressions and predicates.
+
+    Expression grammar (keywords case-insensitive; [..] mark operator
+    arguments):
+
+    {v
+    e ::= name                         base relation
+        | select[p](e)                 σ
+        | pi[a, b](e)                  bag projection
+        | pidist[a, b](e)              projection with dedup
+        | distinct(e)                  δ
+        | rho[a -> b, ...](e)          rename
+        | e cross e                    ×
+        | e join[a = b, ...] e         equi-join
+        | e theta[p] e                 θ-join
+        | e union e | e inter e | e minus e
+        | (e)
+    v}
+
+    [cross]/[join]/[theta] bind tighter than [union]/[inter]/[minus];
+    all binary operators are left-associative.
+
+    Predicate grammar:
+
+    {v
+    p ::= t cmp t | t between v and v | t in (v, v, ...)
+        | p and p | p or p | not p | true | false | (p)
+    t ::= attr | v | t + t | t - t | t * t | t / t
+    v ::= 123 | 1.5 | 'text' | true | false | null
+    cmp ::= = | != | <> | < | <= | > | >=
+    v}
+
+    [and] binds tighter than [or]; arithmetic has the usual precedence.
+    Attribute names may contain letters, digits, [_], [.] and [#]. *)
+
+(** @raise Failure with a position-annotated message on syntax errors. *)
+val parse_expr : string -> Expr.t
+
+(** @raise Failure on syntax errors. *)
+val parse_predicate : string -> Predicate.t
+
+(** Canonical, re-parseable rendering (inverse of {!parse_expr} up to
+    whitespace): [parse_expr (print_expr e)] is structurally equal to
+    [e]. *)
+val print_expr : Expr.t -> string
+
+val print_predicate : Predicate.t -> string

@@ -1,0 +1,79 @@
+(** Pull-based (Volcano-style) physical execution engine.
+
+    {!Eval} materializes every intermediate result; this engine streams
+    tuples through a pipeline of cursors instead, so selection /
+    projection / join chains run in memory proportional to the hash
+    tables they build, not to their intermediates — products in
+    particular never materialize.  Both engines implement exactly the
+    same semantics ({!of_expr} agrees with {!Eval.eval} on every
+    expression; the test suite checks this on random inputs). *)
+
+type cursor
+
+(** Result schema of the pipeline. *)
+val schema : cursor -> Schema.t
+
+(** Pull the next tuple; [None] at end of stream. *)
+val next : cursor -> Tuple.t option
+
+(** Rewind to the beginning (cheap: re-runs the pipeline; hash tables
+    built by blocking operators are rebuilt). *)
+val reset : cursor -> unit
+
+(** {1 Physical operators} *)
+
+val scan : Relation.t -> cursor
+
+val filter : (Tuple.t -> bool) -> cursor -> cursor
+
+(** [project schema indices c] — cheap positional projection. *)
+val project : Schema.t -> int array -> cursor -> cursor
+
+(** Block-free nested-loop product (right input is reset per left
+    tuple). *)
+val nested_product : ?keep:(Tuple.t -> bool) -> Schema.t -> cursor -> cursor -> cursor
+
+(** Hash join on positional key pairs; builds on the right input at
+    first pull, streams the left. *)
+val hash_join :
+  Schema.t -> left_key:int array -> right_key:int array -> cursor -> cursor -> cursor
+
+(** Streaming duplicate elimination (hash set of emitted tuples). *)
+val dedup : cursor -> cursor
+
+(** Blocking sort by an arbitrary tuple order. *)
+val sort : (Tuple.t -> Tuple.t -> int) -> cursor -> cursor
+
+(** Blocking sort by the given key positions (lexicographic
+    {!Value.compare}). *)
+val sort_by : int array -> cursor -> cursor
+
+(** Sort–merge equi-join: both inputs are sorted on their keys
+    internally, then merged; equal-key groups on the right are buffered
+    and replayed.  Same semantics as {!hash_join}; used by A-series
+    benchmarks to compare join algorithms. *)
+val merge_join :
+  Schema.t -> left_key:int array -> right_key:int array -> cursor -> cursor -> cursor
+
+(** Set operators (operands deduplicated, as in {!Eval}). *)
+val union : cursor -> cursor -> cursor
+
+val inter : cursor -> cursor -> cursor
+
+val diff : cursor -> cursor -> cursor
+
+(** {1 Whole-expression pipelines} *)
+
+(** Compile an expression to a pipeline.
+    @raise Failure on schema errors (as {!Expr.schema_of}). *)
+val of_expr : Catalog.t -> Expr.t -> cursor
+
+(** Drain a cursor into a relation. *)
+val run : cursor -> Relation.t
+
+(** Count the stream without materializing it. *)
+val count : cursor -> int
+
+(** [count_expr catalog e] = [Eval.count catalog e], constant-memory
+    for SPJ pipelines. *)
+val count_expr : Catalog.t -> Expr.t -> int

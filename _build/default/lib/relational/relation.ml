@@ -1,0 +1,103 @@
+type t = { schema : Schema.t; tuples : Tuple.t array }
+
+let type_ok ty value =
+  match value with
+  | Value.Null -> true
+  | _ -> Value.type_of value = ty
+
+let check_tuple schema tuple =
+  if Tuple.arity tuple <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Relation.make: tuple %s has arity %d, schema %s expects %d"
+         (Tuple.to_string tuple) (Tuple.arity tuple) (Schema.to_string schema)
+         (Schema.arity schema));
+  Array.iteri
+    (fun i v ->
+      let attr = Schema.attribute schema i in
+      if not (type_ok attr.Schema.ty v) then
+        invalid_arg
+          (Printf.sprintf "Relation.make: value %s not of type %s (attribute %s)"
+             (Value.to_string v) (Value.ty_to_string attr.Schema.ty) attr.Schema.name))
+    tuple
+
+let make schema tuples =
+  List.iter (check_tuple schema) tuples;
+  { schema; tuples = Array.of_list tuples }
+
+let of_array schema tuples = { schema; tuples }
+
+let schema r = r.schema
+
+let cardinality r = Array.length r.tuples
+
+let is_empty r = cardinality r = 0
+
+let tuples r = r.tuples
+
+let tuple r i = r.tuples.(i)
+
+let iter f r = Array.iter f r.tuples
+
+let fold f init r = Array.fold_left f init r.tuples
+
+let filter p r = { r with tuples = Array.of_seq (Seq.filter p (Array.to_seq r.tuples)) }
+
+let map schema f r = { schema; tuples = Array.map f r.tuples }
+
+let count p r =
+  Array.fold_left (fun acc t -> if p t then acc + 1 else acc) 0 r.tuples
+
+module Tuple_hash = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let distinct r =
+  let seen = Tuple_hash.create (max 16 (cardinality r)) in
+  let keep = ref [] in
+  Array.iter
+    (fun t ->
+      if not (Tuple_hash.mem seen t) then begin
+        Tuple_hash.add seen t ();
+        keep := t :: !keep
+      end)
+    r.tuples;
+  { r with tuples = Array.of_list (List.rev !keep) }
+
+let is_set r =
+  let seen = Tuple_hash.create (max 16 (cardinality r)) in
+  let rec loop i =
+    if i >= cardinality r then true
+    else if Tuple_hash.mem seen r.tuples.(i) then false
+    else begin
+      Tuple_hash.add seen r.tuples.(i) ();
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let column r name =
+  let i = Schema.index_of r.schema name in
+  Array.map (fun t -> Tuple.get t i) r.tuples
+
+let append r1 r2 =
+  if not (Schema.equal r1.schema r2.schema) then
+    invalid_arg "Relation.append: schemas differ";
+  { schema = r1.schema; tuples = Array.append r1.tuples r2.tuples }
+
+let empty schema = { schema; tuples = [||] }
+
+let to_string ?(limit = 20) r =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Schema.to_string r.schema);
+  Buffer.add_string buffer (Printf.sprintf " [%d tuples]\n" (cardinality r));
+  let shown = min limit (cardinality r) in
+  for i = 0 to shown - 1 do
+    Buffer.add_string buffer ("  " ^ Tuple.to_string r.tuples.(i) ^ "\n")
+  done;
+  if shown < cardinality r then Buffer.add_string buffer "  ...\n";
+  Buffer.contents buffer
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,60 @@
+(** In-memory relations: a schema plus a bag (multiset) of tuples.
+
+    Relations are immutable once built.  Classical relational algebra
+    treats relations as sets; this representation keeps duplicates (bag
+    semantics) because the estimators need to reason about raw tuple
+    counts, and exposes {!distinct} / {!is_set} for set-semantics
+    operators. *)
+
+type t
+
+(** [make schema tuples] checks every tuple against the schema (arity and
+    per-position type; [Null] is accepted at any type).
+    @raise Invalid_argument on mismatch. *)
+val make : Schema.t -> Tuple.t list -> t
+
+(** Unchecked fast path used by generators and operators that construct
+    well-typed tuples by construction. *)
+val of_array : Schema.t -> Tuple.t array -> t
+
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+
+val is_empty : t -> bool
+
+val tuples : t -> Tuple.t array
+
+val tuple : t -> int -> Tuple.t
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val map : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+
+(** Number of tuples satisfying the predicate. *)
+val count : (Tuple.t -> bool) -> t -> int
+
+(** Duplicate elimination (set semantics). *)
+val distinct : t -> t
+
+(** Whether the relation contains no duplicate tuples. *)
+val is_set : t -> bool
+
+(** Column values at the given attribute, in tuple order.
+    @raise Not_found if the attribute is absent. *)
+val column : t -> string -> Value.t array
+
+(** Append two relations with equal schemas (bag union).
+    @raise Invalid_argument if schemas differ. *)
+val append : t -> t -> t
+
+val empty : Schema.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** First [n] tuples rendered one per line, for debugging. *)
+val to_string : ?limit:int -> t -> string

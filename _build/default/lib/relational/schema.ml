@@ -1,0 +1,94 @@
+type attribute = { name : string; ty : Value.ty }
+
+type t = attribute array
+
+let check_no_duplicates attrs =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun { name; _ } ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" name);
+      Hashtbl.add seen name ())
+    attrs
+
+let make attrs =
+  let schema = Array.of_list attrs in
+  check_no_duplicates schema;
+  schema
+
+let of_list l = make (List.map (fun (name, ty) -> { name; ty }) l)
+
+let attributes schema = Array.to_list schema
+
+let arity = Array.length
+
+let attribute schema i = schema.(i)
+
+let index_of_opt schema name =
+  let rec loop i =
+    if i >= Array.length schema then None
+    else if schema.(i).name = name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let index_of schema name =
+  match index_of_opt schema name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem schema name = index_of_opt schema name <> None
+
+let names schema = List.map (fun a -> a.name) (attributes schema)
+
+let project schema selected =
+  make (List.map (fun name -> schema.(index_of schema name)) selected)
+
+let concat ?(left_prefix = "l") ?(right_prefix = "r") s1 s2 =
+  let qualify prefix name = prefix ^ "." ^ name in
+  let clash name = mem s1 name && mem s2 name in
+  let left =
+    Array.map
+      (fun a -> if clash a.name then { a with name = qualify left_prefix a.name } else a)
+      s1
+  in
+  let right =
+    Array.map
+      (fun a -> if clash a.name then { a with name = qualify right_prefix a.name } else a)
+      s2
+  in
+  let schema = Array.append left right in
+  check_no_duplicates schema;
+  schema
+
+let rename schema pairs =
+  let renamed =
+    Array.map
+      (fun a ->
+        match List.assoc_opt a.name pairs with
+        | Some name -> { a with name }
+        | None -> a)
+      schema
+  in
+  List.iter
+    (fun (old_name, _) ->
+      if not (mem schema old_name) then raise Not_found)
+    pairs;
+  check_no_duplicates renamed;
+  renamed
+
+let equal s1 s2 =
+  arity s1 = arity s2
+  && Array.for_all2 (fun a b -> a.name = b.name && a.ty = b.ty) s1 s2
+
+let compatible s1 s2 =
+  arity s1 = arity s2 && Array.for_all2 (fun a b -> a.ty = b.ty) s1 s2
+
+let pp ppf schema =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%s" a.name (Value.ty_to_string a.ty)))
+    (attributes schema)
+
+let to_string schema = Format.asprintf "%a" pp schema

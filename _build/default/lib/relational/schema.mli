@@ -1,0 +1,53 @@
+(** Relation schemas: ordered lists of named, typed attributes. *)
+
+type attribute = { name : string; ty : Value.ty }
+
+type t
+
+(** [make attrs] builds a schema.
+    @raise Invalid_argument on duplicate attribute names. *)
+val make : attribute list -> t
+
+(** Convenience: [of_list [("a", Tint); ...]]. *)
+val of_list : (string * Value.ty) list -> t
+
+val attributes : t -> attribute list
+
+val arity : t -> int
+
+val attribute : t -> int -> attribute
+
+(** Index of the named attribute.
+    @raise Not_found if absent. *)
+val index_of : t -> string -> int
+
+val index_of_opt : t -> string -> int option
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+
+(** [project schema names] is the sub-schema in the order of [names].
+    @raise Not_found if some name is absent. *)
+val project : t -> string list -> t
+
+(** Concatenation for cross products and joins.  When both sides define
+    the same attribute name, the clashing names are qualified as
+    [left_prefix ^ "." ^ name] and [right_prefix ^ "." ^ name]. *)
+val concat : ?left_prefix:string -> ?right_prefix:string -> t -> t -> t
+
+(** [rename schema [(old, new_); ...]] renames attributes.
+    @raise Not_found if an old name is absent.
+    @raise Invalid_argument if renaming creates duplicates. *)
+val rename : t -> (string * string) list -> t
+
+(** Structural equality: same names and types in the same order. *)
+val equal : t -> t -> bool
+
+(** Union-compatibility: same arity and same types position-wise
+    (names may differ, as in classical relational algebra). *)
+val compatible : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

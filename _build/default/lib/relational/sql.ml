@@ -1,0 +1,306 @@
+(* The clause structure is split by scanning for top-level keywords
+   (outside string literals); clause bodies are parsed by small
+   hand-rolled readers, with WHERE and ON conditions delegated to
+   {!Parser.parse_predicate} — the predicate language is shared. *)
+
+let fail format = Printf.ksprintf failwith format
+
+(* ------------------------------------------------------- clause split *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+(* Positions of [keyword] at word boundaries, outside '...' literals. *)
+let keyword_positions source keyword =
+  let n = String.length source and k = String.length keyword in
+  let positions = ref [] in
+  let in_string = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\'' then begin
+      in_string := not !in_string;
+      incr i
+    end
+    else if (not !in_string) && !i + k <= n
+            && String.lowercase_ascii (String.sub source !i k) = keyword
+            && (!i = 0 || not (is_word_char source.[!i - 1]))
+            && (!i + k = n || not (is_word_char source.[!i + k]))
+    then begin
+      positions := !i :: !positions;
+      i := !i + k
+    end
+    else incr i
+  done;
+  List.rev !positions
+
+let single_position source keyword =
+  match keyword_positions source keyword with
+  | [] -> None
+  | [ p ] -> Some p
+  | _ -> fail "Sql: multiple %s clauses (subqueries are not supported)" (String.uppercase_ascii keyword)
+
+type clauses = {
+  select : string;
+  from : string;
+  where : string option;
+  group_by : string option;
+}
+
+let split_clauses source =
+  let select_pos =
+    match single_position source "select" with
+    | Some 0 -> 0
+    | Some _ | None -> fail "Sql: query must start with SELECT"
+  in
+  let from_pos =
+    match single_position source "from" with
+    | Some p -> p
+    | None -> fail "Sql: missing FROM clause"
+  in
+  let where_pos = single_position source "where" in
+  let group_pos = single_position source "group" in
+  (match group_pos with
+  | Some p ->
+    if keyword_positions (String.sub source p (String.length source - p)) "by" = [] then
+      fail "Sql: GROUP must be followed by BY"
+  | None -> ());
+  let slice lo hi = String.trim (String.sub source lo (hi - lo)) in
+  let end_of_query = String.length source in
+  let where_end = Option.value group_pos ~default:end_of_query in
+  let from_end = Option.value where_pos ~default:where_end in
+  let group_by =
+    Option.map
+      (fun p ->
+        let body = slice p end_of_query in
+        (* Drop the leading "GROUP BY". *)
+        let body = String.sub body 5 (String.length body - 5) in
+        let body = String.trim body in
+        if String.length body < 2 || String.lowercase_ascii (String.sub body 0 2) <> "by"
+        then fail "Sql: GROUP must be followed by BY";
+        String.trim (String.sub body 2 (String.length body - 2)))
+      group_pos
+  in
+  {
+    select = slice (select_pos + 6) from_pos;
+    from = slice (from_pos + 4) from_end;
+    where = Option.map (fun p -> slice (p + 5) where_end) where_pos;
+    group_by;
+  }
+
+(* ------------------------------------------------------- select items *)
+
+type item =
+  | Star
+  | Attr of string
+  | Agg of Expr.agg * string  (* function, output name *)
+
+let split_top_commas text =
+  let parts = ref [] in
+  let buffer = Buffer.create 32 in
+  let depth = ref 0 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '\'' then begin
+        in_string := not !in_string;
+        Buffer.add_char buffer c
+      end
+      else if !in_string then Buffer.add_char buffer c
+      else
+        match c with
+        | '(' ->
+          incr depth;
+          Buffer.add_char buffer c
+        | ')' ->
+          decr depth;
+          Buffer.add_char buffer c
+        | ',' when !depth = 0 ->
+          parts := Buffer.contents buffer :: !parts;
+          Buffer.clear buffer
+        | _ -> Buffer.add_char buffer c)
+    text;
+  parts := Buffer.contents buffer :: !parts;
+  List.rev_map String.trim !parts
+
+let parse_agg_call text =
+  (* "func ( arg )" with optional trailing "as name". *)
+  match String.index_opt text '(' with
+  | None -> None
+  | Some open_paren -> (
+    let func = String.trim (String.sub text 0 open_paren) in
+    match String.index_opt text ')' with
+    | None -> fail "Sql: unbalanced parentheses in %S" text
+    | Some close_paren ->
+      let arg =
+        String.trim (String.sub text (open_paren + 1) (close_paren - open_paren - 1))
+      in
+      let rest = String.trim (String.sub text (close_paren + 1) (String.length text - close_paren - 1)) in
+      let output =
+        if rest = "" then None
+        else begin
+          let lower = String.lowercase_ascii rest in
+          if String.length lower > 3 && String.sub lower 0 3 = "as " then
+            Some (String.trim (String.sub rest 3 (String.length rest - 3)))
+          else fail "Sql: unexpected text %S after aggregate" rest
+        end
+      in
+      let f =
+        match (String.lowercase_ascii func, arg) with
+        | "count", "*" -> Expr.Count
+        | "count", a -> fail "Sql: only COUNT(*) is supported, not COUNT(%s)" a
+        | "sum", a -> Expr.Sum a
+        | "avg", a -> Expr.Avg a
+        | "min", a -> Expr.Min a
+        | "max", a -> Expr.Max a
+        | (f, _) -> fail "Sql: unknown aggregate %S" f
+      in
+      let default =
+        match f with
+        | Expr.Count -> "count"
+        | Expr.Sum a -> "sum_" ^ a
+        | Expr.Avg a -> "avg_" ^ a
+        | Expr.Min a -> "min_" ^ a
+        | Expr.Max a -> "max_" ^ a
+      in
+      Some (Agg (f, Option.value output ~default)))
+
+let parse_select_items text =
+  let text = String.trim text in
+  if text = "*" then (false, [ Star ])
+  else begin
+    let lower = String.lowercase_ascii text in
+    let distinct, body =
+      if String.length lower >= 9 && String.sub lower 0 9 = "distinct " then
+        (true, String.trim (String.sub text 9 (String.length text - 9)))
+      else (false, text)
+    in
+    let items =
+      List.map
+        (fun part ->
+          if part = "" then fail "Sql: empty select item";
+          if part = "*" then Star
+          else
+            match parse_agg_call part with
+            | Some item -> item
+            | None ->
+              if String.for_all (fun c -> is_word_char c || c = '.') part then Attr part
+              else fail "Sql: unsupported select item %S" part)
+        (split_top_commas body)
+    in
+    (distinct, items)
+  end
+
+(* --------------------------------------------------------- FROM clause *)
+
+let parse_from text =
+  let join_positions = keyword_positions text "join" in
+  if join_positions = [] then begin
+    (* Comma-separated product list. *)
+    let names = split_top_commas text in
+    match names with
+    | [] -> fail "Sql: empty FROM clause"
+    | first :: rest ->
+      let check name =
+        if name = "" || not (String.for_all (fun c -> is_word_char c || c = '.') name) then
+          fail "Sql: unsupported FROM item %S (aliases are not supported)" name
+      in
+      check first;
+      List.iter check rest;
+      List.fold_left
+        (fun acc name -> Expr.Product (acc, Expr.Base name))
+        (Expr.Base first) rest
+  end
+  else begin
+    (* rel JOIN rel ON cond (JOIN rel ON cond)* *)
+    let segment lo hi = String.trim (String.sub text lo (hi - lo)) in
+    let first = segment 0 (List.hd join_positions) in
+    if String.contains first ',' then
+      fail "Sql: mixing comma-lists and JOIN in FROM is not supported";
+    let rec build acc = function
+      | [] -> acc
+      | join_pos :: rest ->
+        let segment_end =
+          match rest with next :: _ -> next | [] -> String.length text
+        in
+        let body = segment (join_pos + 4) segment_end in
+        let on_positions = keyword_positions body "on" in
+        (match on_positions with
+        | [] -> fail "Sql: JOIN without ON"
+        | on_pos :: _ ->
+          let right_name = String.trim (String.sub body 0 on_pos) in
+          let condition =
+            String.trim (String.sub body (on_pos + 2) (String.length body - on_pos - 2))
+          in
+          if right_name = "" then fail "Sql: JOIN missing right relation";
+          let right = Expr.Base right_name in
+          (* Without the catalog we cannot orient equality pairs, so a
+             θ-join is emitted; {!Optimizer} rewrites equality θ-joins
+             into correctly oriented equi-joins. *)
+          let joined = Expr.Theta_join (Parser.parse_predicate condition, acc, right) in
+          build joined rest)
+    in
+    build (Expr.Base first) join_positions
+  end
+
+(* ------------------------------------------------------------ assembly *)
+
+let parse source =
+  let clauses = split_clauses source in
+  (* Reject constructs we do not support, with useful messages. *)
+  List.iter
+    (fun (keyword, what) ->
+      if keyword_positions source keyword <> [] then fail "Sql: %s is not supported" what)
+    [ ("order", "ORDER BY"); ("having", "HAVING"); ("limit", "LIMIT") ];
+  let from_expr = parse_from clauses.from in
+  let filtered =
+    match clauses.where with
+    | Some text -> Expr.Select (Parser.parse_predicate text, from_expr)
+    | None -> from_expr
+  in
+  let distinct, items = parse_select_items clauses.select in
+  let group_attrs =
+    Option.map
+      (fun text ->
+        List.map
+          (fun part ->
+            if part = "" || not (String.for_all (fun c -> is_word_char c || c = '.') part)
+            then fail "Sql: bad GROUP BY attribute %S" part
+            else part)
+          (split_top_commas text))
+      clauses.group_by
+  in
+  let aggs = List.filter_map (function Agg (f, o) -> Some (f, o) | _ -> None) items in
+  let plain = List.filter_map (function Attr a -> Some a | _ -> None) items in
+  let has_star = List.exists (function Star -> true | _ -> false) items in
+  match (group_attrs, aggs) with
+  | Some group, _ when has_star -> ignore group; fail "Sql: SELECT * with GROUP BY"
+  | Some group, [] ->
+    (* Pure grouping: distinct projection onto the group attributes. *)
+    List.iter
+      (fun a ->
+        if not (List.mem a group) then
+          fail "Sql: select item %S is not in GROUP BY" a)
+      plain;
+    Expr.Distinct (Expr.Project (group, filtered))
+  | Some group, aggs ->
+    List.iter
+      (fun a ->
+        if not (List.mem a group) then
+          fail "Sql: select item %S is not in GROUP BY" a)
+      plain;
+    Expr.Aggregate (group, aggs, filtered)
+  | None, [] ->
+    if has_star then
+      if distinct then Expr.Distinct filtered else filtered
+    else if plain = [] then fail "Sql: empty select list"
+    else if distinct then Expr.Distinct (Expr.Project (plain, filtered))
+    else Expr.Project (plain, filtered)
+  | None, aggs ->
+    if plain <> [] then fail "Sql: mixing attributes and aggregates needs GROUP BY";
+    Expr.Aggregate ([], aggs, filtered)
+
+let parse_optimized catalog source = Optimizer.optimize catalog (parse source)
+
+let count_star_target = function
+  | Expr.Aggregate ([], [ (Expr.Count, _) ], inner) -> Some inner
+  | _ -> None

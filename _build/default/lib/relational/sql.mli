@@ -1,0 +1,42 @@
+(** SQL front-end: a practical subset of SELECT translated to
+    relational algebra.
+
+    Supported shape (keywords case-insensitive):
+
+    {v
+    SELECT   * | COUNT( * ) | [DISTINCT] item, ...
+    FROM     rel (, rel)* | rel (JOIN rel ON cond)*
+    [WHERE   predicate]
+    [GROUP BY attr, ...]
+    v}
+
+    - select items: attribute names and aggregates
+      [COUNT( * ) | SUM(a) | AVG(a) | MIN(a) | MAX(a)], each with an
+      optional [AS name];
+    - comma-separated FROM lists become products; [JOIN ... ON]
+      becomes an equi-join when the condition is a conjunction of
+      equalities between the two sides, a θ-join otherwise;
+    - WHERE uses the same predicate language as {!Parser}
+      ([AND]/[OR]/[NOT]/[BETWEEN]/[IN], arithmetic, ['strings']);
+    - with GROUP BY, plain select items must be group-by attributes;
+      without aggregates, [SELECT DISTINCT]/[GROUP BY] become
+      duplicate-eliminating projections.
+
+    Not supported (rejected with [Failure]): subqueries, ORDER BY,
+    HAVING, LIMIT, table aliases, and expression select items. *)
+
+(** Translate a SQL query to algebra.
+    @raise Failure with a descriptive message on unsupported or
+    malformed SQL. *)
+val parse : string -> Expr.t
+
+(** {!parse} followed by {!Optimizer.optimize} (join recognition,
+    selection pushdown — turns [FROM a, b WHERE a.x = b.y] plans into
+    joins). *)
+val parse_optimized : Catalog.t -> string -> Expr.t
+
+(** For a global [SELECT COUNT( * ) ...] query (an ungrouped
+    count-only aggregate at the top), the expression whose {e
+    cardinality} the user is asking about — the right target for the
+    COUNT estimators.  [None] for any other query shape. *)
+val count_star_target : Expr.t -> Expr.t option

@@ -1,0 +1,32 @@
+type t = Value.t array
+
+let make = Array.of_list
+
+let arity = Array.length
+
+let get tuple i = tuple.(i)
+
+let project tuple indices = Array.map (fun i -> tuple.(i)) indices
+
+let concat = Array.append
+
+let compare t1 t2 =
+  let len1 = Array.length t1 and len2 = Array.length t2 in
+  let rec loop i =
+    if i >= len1 || i >= len2 then Int.compare len1 len2
+    else
+      match Value.compare t1.(i) t2.(i) with
+      | 0 -> loop (i + 1)
+      | c -> c
+  in
+  loop 0
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash tuple =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 tuple
+
+let to_string tuple =
+  "<" ^ String.concat ", " (List.map Value.to_string (Array.to_list tuple)) ^ ">"
+
+let pp ppf tuple = Format.pp_print_string ppf (to_string tuple)

@@ -1,0 +1,25 @@
+(** Tuples: flat arrays of values positioned by a schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+(** [project tuple indices] keeps the values at [indices], in order. *)
+val project : t -> int array -> t
+
+val concat : t -> t -> t
+
+(** Lexicographic order via {!Value.compare}. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = Tnull | Tbool | Tint | Tfloat | Tstr
+
+let type_of = function
+  | Null -> Tnull
+  | Bool _ -> Tbool
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Str _ -> Tstr
+
+let ty_to_string = function
+  | Tnull -> "null"
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstr -> "string"
+
+(* Rank used to order values of distinct, non-numeric types. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Null, Null -> 0
+  | Bool b1, Bool b2 -> Bool.compare b1 b2
+  | Int i1, Int i2 -> Int.compare i1 i2
+  | Float f1, Float f2 -> Float.compare f1 f2
+  | Int i1, Float f2 -> Float.compare (float_of_int i1) f2
+  | Float f1, Int i2 -> Float.compare f1 (float_of_int i2)
+  | Str s1, Str s2 -> String.compare s1 s2
+  | (Null | Bool _ | Int _ | Float _ | Str _), _ ->
+    Int.compare (rank v1) (rank v2)
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 2 else 1
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let of_string ty s =
+  let fail () =
+    failwith (Printf.sprintf "Value.of_string: %S is not a %s" s (ty_to_string ty))
+  in
+  match ty with
+  | Tnull -> if s = "NULL" || s = "" then Null else fail ()
+  | Tbool -> (match bool_of_string_opt s with Some b -> Bool b | None -> fail ())
+  | Tint -> (match int_of_string_opt s with Some i -> Int i | None -> fail ())
+  | Tfloat -> (match float_of_string_opt s with Some f -> Float f | None -> fail ())
+  | Tstr -> Str s
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Bool b -> if b then 1. else 0.
+  | Null -> invalid_arg "Value.to_float: Null"
+  | Str _ -> invalid_arg "Value.to_float: Str"
+
+let int i = Int i
+let float f = Float f
+let str s = Str s
+let bool b = Bool b

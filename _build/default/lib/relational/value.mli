@@ -1,0 +1,48 @@
+(** Typed attribute values.
+
+    A value is one of the four base SQL-ish types used throughout the
+    library, plus [Null].  All operations are total; comparison defines a
+    deterministic order across types so relations can always be sorted and
+    deduplicated. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+(** Value types, used by schemas for checking. *)
+type ty = Tnull | Tbool | Tint | Tfloat | Tstr
+
+val type_of : t -> ty
+
+val ty_to_string : ty -> string
+
+(** Total order: [Null < Bool < Int/Float < Str]; [Int] and [Float]
+    compare numerically against each other. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_string ty s] parses [s] at type [ty].
+    @raise Failure on malformed input. *)
+val of_string : ty -> string -> t
+
+(** Numeric view of a value: [Int] and [Float] map to their magnitude,
+    [Bool] to 0/1.
+    @raise Invalid_argument on [Str] and [Null]. *)
+val to_float : t -> float
+
+(** Smart constructors. *)
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t

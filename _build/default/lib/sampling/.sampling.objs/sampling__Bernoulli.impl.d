@@ -1,0 +1,1 @@
+lib/sampling/bernoulli.ml: Array List Relational Rng

@@ -1,0 +1,1 @@
+lib/sampling/bernoulli.mli: Relational Rng

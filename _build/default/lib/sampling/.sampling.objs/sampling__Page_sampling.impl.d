@@ -1,0 +1,1 @@
+lib/sampling/page_sampling.ml: Array Relational Srs

@@ -1,0 +1,1 @@
+lib/sampling/page_sampling.mli: Relational Rng

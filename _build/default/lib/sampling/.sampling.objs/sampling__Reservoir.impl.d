@@ -1,0 +1,1 @@
+lib/sampling/reservoir.ml: Array Float Rng

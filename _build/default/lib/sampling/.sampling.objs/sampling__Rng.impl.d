@@ -1,0 +1,1 @@
+lib/sampling/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/sampling/srs.ml: Array Float Hashtbl Int Relational Rng

@@ -1,0 +1,1 @@
+lib/sampling/srs.mli: Relational Rng

@@ -1,0 +1,1 @@
+lib/sampling/stratified.ml: Array Float Hashtbl List Srs

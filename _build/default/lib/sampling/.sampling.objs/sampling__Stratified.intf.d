@@ -1,0 +1,1 @@
+lib/sampling/stratified.mli: Rng

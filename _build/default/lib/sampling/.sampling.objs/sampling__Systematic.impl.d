@@ -1,0 +1,1 @@
+lib/sampling/systematic.ml: Array Relational Rng

@@ -1,0 +1,1 @@
+lib/sampling/systematic.mli: Relational Rng

@@ -1,0 +1,1 @@
+lib/sampling/weighted.ml: Array Float List Rng

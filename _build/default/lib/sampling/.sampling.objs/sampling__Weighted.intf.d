@@ -1,0 +1,1 @@
+lib/sampling/weighted.mli: Rng

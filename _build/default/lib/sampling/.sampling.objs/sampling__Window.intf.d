@@ -1,0 +1,1 @@
+lib/sampling/window.mli: Rng

@@ -1,0 +1,16 @@
+let check_p p =
+  if p < 0. || p > 1. then invalid_arg "Bernoulli: p must be in [0, 1]"
+
+let sample rng ~p array =
+  check_p p;
+  let kept = ref [] in
+  Array.iter (fun x -> if Rng.float rng < p then kept := x :: !kept) array;
+  Array.of_list (List.rev !kept)
+
+let relation rng ~p r =
+  let tuples = sample rng ~p (Relational.Relation.tuples r) in
+  Relational.Relation.of_array (Relational.Relation.schema r) tuples
+
+let expected_size ~p n =
+  check_p p;
+  p *. float_of_int n

@@ -1,0 +1,12 @@
+(** Bernoulli (binomial) sampling: each element is kept independently
+    with probability [p].  The sample size is random with mean [p·N];
+    inclusion events are independent, which makes several variance
+    formulas exact (see {!Raestat.Count_estimator}). *)
+
+(** @raise Invalid_argument if [p] is outside [0, 1]. *)
+val sample : Rng.t -> p:float -> 'a array -> 'a array
+
+val relation : Rng.t -> p:float -> Relational.Relation.t -> Relational.Relation.t
+
+(** Expected sample size. *)
+val expected_size : p:float -> int -> float

@@ -1,0 +1,18 @@
+type t = {
+  page_indices : int array;
+  pages : Relational.Tuple.t array array;
+}
+
+let sample rng ~m paged =
+  let universe = Relational.Paged.page_count paged in
+  let page_indices = Srs.indices_without_replacement rng ~n:m ~universe in
+  let pages = Array.map (fun i -> Relational.Paged.page paged i) page_indices in
+  { page_indices; pages }
+
+let to_relation paged t =
+  let tuples = Array.concat (Array.to_list t.pages) in
+  Relational.Relation.of_array
+    (Relational.Relation.schema (Relational.Paged.relation paged))
+    tuples
+
+let tuple_count t = Array.fold_left (fun acc page -> acc + Array.length page) 0 t.pages

@@ -1,0 +1,18 @@
+(** Cluster sampling at page granularity over a {!Relational.Paged}
+    relation: draw [m] whole pages by SRSWOR.  The per-page tuple
+    counts feed the cluster estimator in {!Raestat.Cluster_estimator}. *)
+
+type t = {
+  page_indices : int array;  (** sampled page numbers, increasing *)
+  pages : Relational.Tuple.t array array;  (** tuples of each sampled page *)
+}
+
+(** @raise Invalid_argument if [m] is out of range. *)
+val sample : Rng.t -> m:int -> Relational.Paged.t -> t
+
+(** All sampled tuples flattened into a relation (the page structure is
+    recorded in [t] for the estimator). *)
+val to_relation : Relational.Paged.t -> t -> Relational.Relation.t
+
+(** Total tuples across the sampled pages. *)
+val tuple_count : t -> int

@@ -1,0 +1,69 @@
+type 'a t = {
+  rng : Rng.t;
+  algorithm : [ `R | `L ];
+  capacity : int;
+  mutable seen : int;
+  mutable store : 'a option array;
+  (* Algorithm L state: w is the current acceptance weight, next_index
+     the 1-based stream index of the next element to admit. *)
+  mutable w : float;
+  mutable next_index : int;
+}
+
+let create ?(algorithm = `R) rng ~capacity =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+  {
+    rng;
+    algorithm;
+    capacity;
+    seen = 0;
+    store = Array.make capacity None;
+    w = 1.;
+    next_index = 0;
+  }
+
+let advance_l t =
+  (* Geometric skip of Li (1994): update the weight then jump. *)
+  t.w <- t.w *. exp (log (Rng.positive_float t.rng) /. float_of_int t.capacity);
+  let skip =
+    int_of_float (Float.floor (log (Rng.positive_float t.rng) /. log (1. -. t.w)))
+  in
+  t.next_index <- t.next_index + skip + 1
+
+let add t x =
+  t.seen <- t.seen + 1;
+  if t.seen <= t.capacity then begin
+    t.store.(t.seen - 1) <- Some x;
+    if t.seen = t.capacity && t.algorithm = `L then begin
+      t.next_index <- t.capacity;
+      advance_l t
+    end
+  end
+  else
+    match t.algorithm with
+    | `R ->
+      let j = Rng.int t.rng t.seen in
+      if j < t.capacity then t.store.(j) <- Some x
+    | `L ->
+      if t.seen = t.next_index then begin
+        t.store.(Rng.int t.rng t.capacity) <- Some x;
+        advance_l t
+      end
+
+let seen t = t.seen
+
+let capacity t = t.capacity
+
+let contents t =
+  let filled = min t.seen t.capacity in
+  Array.init filled (fun i ->
+      match t.store.(i) with
+      | Some x -> x
+      | None -> assert false)
+
+let add_all t array = Array.iter (add t) array
+
+let sample ?algorithm rng ~k array =
+  let t = create ?algorithm rng ~capacity:k in
+  add_all t array;
+  contents t

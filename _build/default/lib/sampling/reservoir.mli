@@ -1,0 +1,28 @@
+(** Reservoir sampling: maintain a uniform SRSWOR of fixed capacity [k]
+    over a stream of unknown length.
+
+    Two classic algorithms: Vitter's Algorithm R (one random draw per
+    element) and Algorithm L (geometric skips; O(k·(1 + log(N/k)))
+    draws).  Both maintain the invariant that after [n] elements each of
+    them is in the reservoir with probability [min 1 (k/n)]. *)
+
+type 'a t
+
+(** @raise Invalid_argument if [capacity <= 0]. *)
+val create : ?algorithm:[ `R | `L ] -> Rng.t -> capacity:int -> 'a t
+
+val add : 'a t -> 'a -> unit
+
+(** Number of stream elements observed so far. *)
+val seen : 'a t -> int
+
+val capacity : 'a t -> int
+
+(** Current sample, in unspecified order; length [min capacity seen]. *)
+val contents : 'a t -> 'a array
+
+(** Feed a whole array through the reservoir. *)
+val add_all : 'a t -> 'a array -> unit
+
+(** One-shot SRSWOR of size [min k (length array)] via a reservoir. *)
+val sample : ?algorithm:[ `R | `L ] -> Rng.t -> k:int -> 'a array -> 'a array

@@ -1,0 +1,91 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* SplitMix64 step, used only to expand the seed into the xoshiro state. *)
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let state = ref seed64 in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  (* The all-zero state is a fixed point of xoshiro; SplitMix64 cannot
+     produce four zero outputs in a row, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let create ~seed () = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* xoshiro256++ *)
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to stay in OCaml's int range
+     and avoid modulo bias. *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub mask (Int64.rem mask bound64) in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) mask in
+    if Int64.unsigned_compare r limit <= 0 then Int64.to_int (Int64.rem r bound64)
+    else draw ()
+  in
+  draw ()
+
+let float t =
+  (* 53 high bits scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let positive_float t =
+  let rec draw () =
+    let x = float t in
+    if x > 0. then x else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  (* Marsaglia polar method; discards the second deviate for a
+     stateless signature. *)
+  let rec draw () =
+    let u = (2. *. float t) -. 1. in
+    let v = (2. *. float t) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw () else u *. sqrt (-2. *. log s /. s)
+  in
+  draw ()
+
+let shuffle_in_place t array =
+  for i = Array.length array - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = array.(i) in
+    array.(i) <- array.(j);
+    array.(j) <- tmp
+  done
+
+let choose t array =
+  if Array.length array = 0 then invalid_arg "Rng.choose: empty array";
+  array.(int t (Array.length array))

@@ -1,0 +1,55 @@
+let size_of_fraction ~fraction n =
+  if n < 0 then invalid_arg "Srs.size_of_fraction: negative universe";
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Srs.size_of_fraction: fraction must be in (0, 1]";
+  if n = 0 then 0
+  else
+    let size = int_of_float (Float.round (fraction *. float_of_int n)) in
+    max 1 (min n size)
+
+let indices_without_replacement rng ~n ~universe =
+  if n < 0 then invalid_arg "Srs: negative sample size";
+  if n > universe then invalid_arg "Srs: sample size exceeds universe";
+  (* Floyd's algorithm: iterate j over the last n positions; insert a
+     uniform pick from [0, j], replacing collisions by j itself.  Each
+     size-n subset comes out equally likely. *)
+  let chosen = Hashtbl.create (2 * max 1 n) in
+  for j = universe - n to universe - 1 do
+    let candidate = Rng.int rng (j + 1) in
+    if Hashtbl.mem chosen candidate then Hashtbl.add chosen j ()
+    else Hashtbl.add chosen candidate ()
+  done;
+  let indices = Array.make n 0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun i () ->
+      indices.(!k) <- i;
+      incr k)
+    chosen;
+  Array.sort Int.compare indices;
+  indices
+
+let indices_with_replacement rng ~n ~universe =
+  if n < 0 then invalid_arg "Srs: negative sample size";
+  if n > 0 && universe <= 0 then invalid_arg "Srs: empty universe";
+  Array.init n (fun _ -> Rng.int rng universe)
+
+let sample_without_replacement rng ~n array =
+  let indices = indices_without_replacement rng ~n ~universe:(Array.length array) in
+  Array.map (fun i -> array.(i)) indices
+
+let sample_with_replacement rng ~n array =
+  let indices = indices_with_replacement rng ~n ~universe:(Array.length array) in
+  Array.map (fun i -> array.(i)) indices
+
+let relation_without_replacement rng ~n relation =
+  let tuples = sample_without_replacement rng ~n (Relational.Relation.tuples relation) in
+  Relational.Relation.of_array (Relational.Relation.schema relation) tuples
+
+let relation_fraction rng ~fraction relation =
+  let n = size_of_fraction ~fraction (Relational.Relation.cardinality relation) in
+  relation_without_replacement rng ~n relation
+
+let relation_with_replacement rng ~n relation =
+  let tuples = sample_with_replacement rng ~n (Relational.Relation.tuples relation) in
+  Relational.Relation.of_array (Relational.Relation.schema relation) tuples

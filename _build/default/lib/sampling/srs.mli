@@ -1,0 +1,36 @@
+(** Simple random sampling (SRS), the paper's base design.
+
+    Without-replacement sampling (SRSWOR) gives every size-[n] subset of
+    the universe equal probability; with-replacement (SRSWR) draws [n]
+    i.i.d. uniform picks. *)
+
+(** [size_of_fraction ~fraction n] is the sample size for a sampling
+    fraction in (0, 1]: [round (fraction *. n)] clamped to [1, n]
+    (at least one tuple is always drawn from a non-empty universe).
+    @raise Invalid_argument if [fraction] is outside (0, 1] or [n < 0]. *)
+val size_of_fraction : fraction:float -> int -> int
+
+(** [indices_without_replacement rng ~n ~universe] draws [n] distinct
+    indices uniformly from [0, universe), returned in increasing order.
+    Uses Floyd's algorithm: O(n) expected time and space.
+    @raise Invalid_argument if [n < 0] or [n > universe]. *)
+val indices_without_replacement : Rng.t -> n:int -> universe:int -> int array
+
+(** [indices_with_replacement rng ~n ~universe] draws [n] i.i.d. uniform
+    indices (duplicates possible), in draw order.
+    @raise Invalid_argument if [n < 0] or [universe <= 0] when [n > 0]. *)
+val indices_with_replacement : Rng.t -> n:int -> universe:int -> int array
+
+val sample_without_replacement : Rng.t -> n:int -> 'a array -> 'a array
+
+val sample_with_replacement : Rng.t -> n:int -> 'a array -> 'a array
+
+(** SRSWOR of a relation at an explicit size. *)
+val relation_without_replacement : Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t
+
+(** SRSWOR of a relation at a sampling fraction (see
+    {!size_of_fraction}). *)
+val relation_fraction : Rng.t -> fraction:float -> Relational.Relation.t -> Relational.Relation.t
+
+(** SRSWR of a relation at an explicit size. *)
+val relation_with_replacement : Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t

@@ -1,0 +1,90 @@
+type 'a stratum = { key : string; members : 'a array; allocated : int }
+
+(* Largest-remainder rounding of real allocations [targets] (which sum
+   to n) to integers summing to n, respecting per-stratum caps. *)
+let round_allocation ~n targets caps =
+  let k = Array.length targets in
+  let alloc = Array.map (fun t -> int_of_float (Float.floor t)) targets in
+  Array.iteri (fun h a -> alloc.(h) <- min a caps.(h)) alloc;
+  let remainder h = targets.(h) -. float_of_int alloc.(h) in
+  let order = Array.init k (fun h -> h) in
+  Array.sort (fun h1 h2 -> Float.compare (remainder h2) (remainder h1)) order;
+  let assigned = ref (Array.fold_left ( + ) 0 alloc) in
+  (* First pass: hand out the leftover units by decreasing remainder. *)
+  Array.iter
+    (fun h ->
+      if !assigned < n && alloc.(h) < caps.(h) then begin
+        alloc.(h) <- alloc.(h) + 1;
+        incr assigned
+      end)
+    order;
+  (* The caps may still leave units unassigned; push them anywhere with
+     room (the total is feasible by precondition). *)
+  let h = ref 0 in
+  while !assigned < n do
+    if alloc.(!h) < caps.(!h) then begin
+      alloc.(!h) <- alloc.(!h) + 1;
+      incr assigned
+    end
+    else incr h
+  done;
+  alloc
+
+let proportional_allocation ~n sizes =
+  let total = Array.fold_left ( + ) 0 sizes in
+  if n < 0 || n > total then
+    invalid_arg "Stratified.proportional_allocation: infeasible sample size";
+  if total = 0 then Array.map (fun _ -> 0) sizes
+  else
+    let targets =
+      Array.map (fun size -> float_of_int n *. float_of_int size /. float_of_int total) sizes
+    in
+    round_allocation ~n targets sizes
+
+let neyman_allocation ~n sizes stddevs =
+  if Array.length sizes <> Array.length stddevs then
+    invalid_arg "Stratified.neyman_allocation: length mismatch";
+  let total = Array.fold_left ( + ) 0 sizes in
+  if n < 0 || n > total then
+    invalid_arg "Stratified.neyman_allocation: infeasible sample size";
+  let weights = Array.mapi (fun h size -> float_of_int size *. stddevs.(h)) sizes in
+  let weight_sum = Array.fold_left ( +. ) 0. weights in
+  if weight_sum <= 0. then proportional_allocation ~n sizes
+  else
+    let targets = Array.map (fun w -> float_of_int n *. w /. weight_sum) weights in
+    round_allocation ~n targets sizes
+
+let stratify ~key array =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt table k with
+      | Some members -> members := x :: !members
+      | None ->
+        Hashtbl.add table k (ref [ x ]);
+        order := k :: !order)
+    array;
+  List.rev_map
+    (fun k ->
+      let members = Array.of_list (List.rev !(Hashtbl.find table k)) in
+      (k, members))
+    !order
+  |> List.rev
+
+let sample rng ~n ~key array =
+  let strata = stratify ~key array in
+  let sizes = Array.of_list (List.map (fun (_, members) -> Array.length members) strata) in
+  let alloc = proportional_allocation ~n sizes in
+  List.mapi
+    (fun h (k, members) ->
+      let chosen = Srs.sample_without_replacement rng ~n:alloc.(h) members in
+      { key = k; members = chosen; allocated = alloc.(h) })
+    strata
+
+let sample_flat rng ~n ~key array =
+  sample rng ~n ~key array
+  |> List.map (fun stratum -> Array.to_list stratum.members)
+  |> List.concat
+  |> Array.of_list

@@ -1,0 +1,28 @@
+(** Stratified sampling: partition the universe by a key, draw an SRSWOR
+    inside each stratum.  With proportional allocation the plain
+    scale-up estimator stays unbiased and the variance never exceeds
+    SRS; Neyman allocation minimizes the variance given per-stratum
+    standard deviations. *)
+
+type 'a stratum = { key : string; members : 'a array; allocated : int }
+
+(** [proportional_allocation ~n sizes] splits a total sample size over
+    strata proportionally to their sizes, using largest-remainder
+    rounding so the total is exactly [n] and no stratum exceeds its
+    population.
+    @raise Invalid_argument if [n] exceeds the total population. *)
+val proportional_allocation : n:int -> int array -> int array
+
+(** [neyman_allocation ~n sizes stddevs] allocates proportionally to
+    [size_h · stddev_h], largest-remainder rounded and capped at the
+    stratum population (excess is redistributed).
+    @raise Invalid_argument on length mismatch or infeasible [n]. *)
+val neyman_allocation : n:int -> int array -> float array -> int array
+
+(** [sample rng ~n ~key array] stratifies [array] by [key] and draws a
+    proportionally-allocated SRSWOR of total size [n].  Returns the
+    strata with their samples in [members]. *)
+val sample : Rng.t -> n:int -> key:('a -> string) -> 'a array -> 'a stratum list
+
+(** Flat sample (concatenation of all stratum samples). *)
+val sample_flat : Rng.t -> n:int -> key:('a -> string) -> 'a array -> 'a array

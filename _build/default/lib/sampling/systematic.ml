@@ -1,0 +1,17 @@
+let indices rng ~n ~universe =
+  if n <= 0 then invalid_arg "Systematic.indices: n must be positive";
+  if n > universe then invalid_arg "Systematic.indices: n exceeds universe";
+  (* Fractional step keeps the sample size exactly n for any universe. *)
+  let step = float_of_int universe /. float_of_int n in
+  let start = Rng.float rng *. step in
+  Array.init n (fun k ->
+      let i = int_of_float (start +. (float_of_int k *. step)) in
+      min i (universe - 1))
+
+let sample rng ~n array =
+  let idx = indices rng ~n ~universe:(Array.length array) in
+  Array.map (fun i -> array.(i)) idx
+
+let relation rng ~n r =
+  let tuples = sample rng ~n (Relational.Relation.tuples r) in
+  Relational.Relation.of_array (Relational.Relation.schema r) tuples

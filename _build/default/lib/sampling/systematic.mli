@@ -1,0 +1,14 @@
+(** Systematic sampling: pick a random start in [0, step) and take every
+    [step]-th element.  One random draw, sequential access — the classic
+    cheap design, but biased for periodic data; used as a baseline
+    against SRS. *)
+
+(** [indices rng ~n ~universe] returns ~[n] evenly spaced indices (the
+    exact count can differ by one depending on the random start when
+    [universe mod n <> 0]).
+    @raise Invalid_argument if [n <= 0] or [n > universe]. *)
+val indices : Rng.t -> n:int -> universe:int -> int array
+
+val sample : Rng.t -> n:int -> 'a array -> 'a array
+
+val relation : Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t

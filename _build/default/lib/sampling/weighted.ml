@@ -1,0 +1,54 @@
+let check_weight w =
+  if w < 0. || Float.is_nan w then invalid_arg "Weighted: negative weight"
+
+let reservoir rng ~k ~weight items =
+  if k < 0 then invalid_arg "Weighted.reservoir: negative k";
+  (* A-ES: key u^(1/w) per item, keep the k largest keys.  log-space
+     keys (log u / w) avoid underflow for tiny weights. *)
+  let keyed =
+    Array.to_list items
+    |> List.filter_map (fun item ->
+           let w = weight item in
+           check_weight w;
+           if w = 0. then None
+           else Some (log (Rng.positive_float rng) /. w, item))
+  in
+  let sorted = List.sort (fun (k1, _) (k2, _) -> Float.compare k2 k1) keyed in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (_, item) :: rest -> item :: take (n - 1) rest
+  in
+  Array.of_list (take k sorted)
+
+let inclusion_probabilities ~expected_n weights =
+  Array.iter check_weight weights;
+  if expected_n <= 0. then
+    invalid_arg "Weighted.inclusion_probabilities: expected_n must be positive";
+  let positive = Array.fold_left (fun acc w -> if w > 0. then acc + 1 else acc) 0 weights in
+  if expected_n > float_of_int positive +. 1e-9 then
+    invalid_arg "Weighted.inclusion_probabilities: expected_n exceeds positive-weight items";
+  let total ~c = Array.fold_left (fun acc w -> acc +. Float.min 1. (c *. w)) 0. weights in
+  (* Σ min(1, c·w) is continuous and non-decreasing in c: bisect. *)
+  let lo = ref 0. in
+  let hi = ref 1. in
+  while total ~c:!hi < expected_n && !hi < 1e300 do
+    hi := !hi *. 2.
+  done;
+  for _ = 1 to 100 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if total ~c:mid < expected_n then lo := mid else hi := mid
+  done;
+  let c = !hi in
+  Array.map (fun w -> Float.min 1. (c *. w)) weights
+
+let poisson rng ~expected_n ~weight items =
+  let weights = Array.map weight items in
+  let probabilities = inclusion_probabilities ~expected_n weights in
+  let selected = ref [] in
+  Array.iteri
+    (fun i item ->
+      if probabilities.(i) > 0. && Rng.float rng < probabilities.(i) then
+        selected := (item, probabilities.(i)) :: !selected)
+    items;
+  Array.of_list (List.rev !selected)

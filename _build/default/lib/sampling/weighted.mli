@@ -1,0 +1,30 @@
+(** Unequal-probability (weighted) sampling designs.
+
+    Two classics:
+    - {!reservoir}: Efraimidis–Spirakis A-ES — a weighted reservoir
+      giving each item the successive-sampling inclusion law
+      (probability proportional to weight at every step);
+    - {!poisson}: independent inclusion with probabilities
+      [π_i = min(1, c·w_i)], [c] calibrated so [Σ π_i] equals the
+      requested expected size — the design under which the
+      Horvitz–Thompson estimator has a closed-form variance. *)
+
+(** [reservoir rng ~k ~weight items] draws [k] items (fewer if the
+    input is shorter) without replacement, probability proportional to
+    weight at each successive draw.  Zero-weight items are never
+    selected; negative weights are rejected.
+    @raise Invalid_argument if [k < 0] or some weight is negative. *)
+val reservoir : Rng.t -> k:int -> weight:('a -> float) -> 'a array -> 'a array
+
+(** [inclusion_probabilities ~expected_n weights] — the calibrated
+    [π_i = min(1, c·w_i)] with [Σ π_i = expected_n] (up to items capped
+    at 1; feasible whenever [expected_n <= number of positive weights]).
+    @raise Invalid_argument on negative weights, non-positive
+    [expected_n], or an infeasible target. *)
+val inclusion_probabilities : expected_n:float -> float array -> float array
+
+(** [poisson rng ~expected_n ~weight items] — Poisson-sample with the
+    calibrated probabilities; returns the selected items paired with
+    their inclusion probabilities (needed by Horvitz–Thompson). *)
+val poisson :
+  Rng.t -> expected_n:float -> weight:('a -> float) -> 'a array -> ('a * float) array

@@ -1,0 +1,53 @@
+(* One chain: [chain] is the current sample followed by its recorded
+   successor links (strictly increasing stream indices); [next_succ] is
+   the pre-chosen index whose value the chain still needs to record. *)
+type 'a chain = {
+  mutable links : (int * 'a) list;
+  mutable next_succ : int;
+}
+
+type 'a t = {
+  rng : Rng.t;
+  window : int;
+  chains : 'a chain array;
+  mutable seen : int;
+}
+
+let create ?(k = 1) rng ~window () =
+  if window <= 0 then invalid_arg "Window.create: window must be positive";
+  if k <= 0 then invalid_arg "Window.create: k must be positive";
+  { rng; window; chains = Array.init k (fun _ -> { links = []; next_succ = 0 }); seen = 0 }
+
+let pick_successor t index = index + 1 + Rng.int t.rng t.window
+
+let add t x =
+  t.seen <- t.seen + 1;
+  let now = t.seen in
+  Array.iter
+    (fun chain ->
+      (* Record a successor the chain was waiting for. *)
+      if chain.next_succ = now && chain.links <> [] then begin
+        chain.links <- chain.links @ [ (now, x) ];
+        chain.next_succ <- pick_successor t now
+      end;
+      (* Admit the new element with probability 1/min(now, W). *)
+      let denom = min now t.window in
+      if Rng.int t.rng denom = 0 then begin
+        chain.links <- [ (now, x) ];
+        chain.next_succ <- pick_successor t now
+      end;
+      (* Expire the sample if it slid out of the window. *)
+      (match chain.links with
+      | (index, _) :: rest when index <= now - t.window -> chain.links <- rest
+      | _ -> ()))
+    t.chains
+
+let seen t = t.seen
+
+let window t = t.window
+
+let contents t =
+  Array.to_list t.chains
+  |> List.filter_map (fun chain ->
+         match chain.links with (_, x) :: _ -> Some x | [] -> None)
+  |> Array.of_list

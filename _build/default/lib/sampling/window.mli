@@ -1,0 +1,29 @@
+(** Sampling over a sliding window: maintain uniform samples of the
+    {e last W} stream elements using chain sampling (Babcock, Datar &
+    Motwani, SODA 2002).
+
+    Each of the [k] chains holds one uniform sample of the current
+    window in O(1) expected space: when an element is sampled, the
+    index of its replacement (its "successor", uniform over the W
+    positions after it) is chosen in advance and recorded as it flows
+    by, so expiry never needs access to the expired window.  Chains are
+    independent, so {!contents} is a with-replacement size-[k] sample
+    of the window. *)
+
+type 'a t
+
+(** [create ?k rng ~window ()] — [k] independent chains (default 1).
+    @raise Invalid_argument if [window <= 0] or [k <= 0]. *)
+val create : ?k:int -> Rng.t -> window:int -> unit -> 'a t
+
+(** Feed the next stream element. *)
+val add : 'a t -> 'a -> unit
+
+(** Elements seen so far. *)
+val seen : 'a t -> int
+
+val window : 'a t -> int
+
+(** One uniform draw from the current window per chain ([k] values,
+    with replacement across chains); empty before the first element. *)
+val contents : 'a t -> 'a array

@@ -1,0 +1,1 @@
+lib/stats/estimate.ml: Confidence Float Format Printf

@@ -1,0 +1,45 @@
+type interval = { lo : float; hi : float; level : float }
+
+let width i = i.hi -. i.lo
+
+let half_width i = 0.5 *. width i
+
+let contains i x = i.lo <= x && x <= i.hi
+
+let check_level level =
+  if level <= 0. || level >= 1. then
+    invalid_arg "Confidence: level must be in (0, 1)"
+
+let check_stderr stderr =
+  if stderr < 0. then invalid_arg "Confidence: negative standard error"
+
+let z_value ~level =
+  check_level level;
+  Distributions.normal_quantile ((1. +. level) /. 2.)
+
+let normal ~level ~point ~stderr =
+  check_stderr stderr;
+  let z = z_value ~level in
+  { lo = point -. (z *. stderr); hi = point +. (z *. stderr); level }
+
+let student_t ~level ~df ~point ~stderr =
+  check_level level;
+  check_stderr stderr;
+  let t = Distributions.student_t_quantile ~df ((1. +. level) /. 2.) in
+  { lo = point -. (t *. stderr); hi = point +. (t *. stderr); level }
+
+let chebyshev ~level ~point ~stderr =
+  check_level level;
+  check_stderr stderr;
+  let k = 1. /. Float.sqrt (1. -. level) in
+  { lo = point -. (k *. stderr); hi = point +. (k *. stderr); level }
+
+let fpc ~big_n ~n =
+  if big_n <= 1 then 1.
+  else Float.sqrt (float_of_int (big_n - n) /. float_of_int (big_n - 1))
+
+let clamp_nonnegative i = { i with lo = Float.max 0. i.lo; hi = Float.max 0. i.hi }
+
+let pp ppf i = Format.fprintf ppf "[%g, %g]@%g%%" i.lo i.hi (100. *. i.level)
+
+let to_string i = Format.asprintf "%a" pp i

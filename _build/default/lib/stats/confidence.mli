@@ -1,0 +1,41 @@
+(** Confidence intervals for the estimators.
+
+    Three families: large-sample normal intervals (the paper's CLT-based
+    intervals), small-sample Student-t intervals for replicate-group
+    estimates, and distribution-free Chebyshev intervals. *)
+
+type interval = { lo : float; hi : float; level : float }
+
+val width : interval -> float
+
+val half_width : interval -> float
+
+val contains : interval -> float -> bool
+
+(** [normal ~level ~point ~stderr] — CLT interval
+    [point ± z_{(1+level)/2}·stderr].
+    @raise Invalid_argument if [level] outside (0, 1) or [stderr < 0]. *)
+val normal : level:float -> point:float -> stderr:float -> interval
+
+(** Student-t interval with [df] degrees of freedom. *)
+val student_t : level:float -> df:float -> point:float -> stderr:float -> interval
+
+(** Chebyshev: [point ± stderr/√(1−level)].  Valid for any
+    distribution with the given standard error. *)
+val chebyshev : level:float -> point:float -> stderr:float -> interval
+
+(** Finite population correction factor √((N−n)/(N−1)); multiply a
+    with-replacement standard error by this when sampling without
+    replacement.  1 when [big_n <= 1]. *)
+val fpc : big_n:int -> n:int -> float
+
+(** Two-sided normal critical value z such that
+    P(−z ≤ Z ≤ z) = level. *)
+val z_value : level:float -> float
+
+(** Intersect with [0, ∞): counts cannot be negative. *)
+val clamp_nonnegative : interval -> interval
+
+val pp : Format.formatter -> interval -> unit
+
+val to_string : interval -> string

@@ -1,0 +1,187 @@
+let erf x =
+  (* Abramowitz & Stegun 7.1.26 on |x|, extended by oddness. *)
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1. -. (poly *. exp (-.x *. x)))
+
+let sqrt_two_pi = 2.5066282746310002
+
+let normal_pdf x = exp (-0.5 *. x *. x) /. sqrt_two_pi
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. Float.sqrt 2.))
+
+(* Acklam's rational approximation to the inverse normal CDF. *)
+let acklam p =
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = Float.sqrt (-2. *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+    +. c.(5)
+    |> fun num -> num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  else if p <= 1. -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    ((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5)
+    |> fun num ->
+    num *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.)
+  else
+    let q = Float.sqrt (-2. *. log (1. -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+
+let normal_quantile p =
+  if p <= 0. || p >= 1. then invalid_arg "Distributions.normal_quantile: p outside (0, 1)";
+  let x = acklam p in
+  (* One Halley refinement step brings the error near machine epsilon. *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt_two_pi *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Distributions.log_gamma: x must be positive";
+  (* Lanczos approximation, g = 7, 9 coefficients. *)
+  let coefficients =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+       771.32342877765313; -176.61502916214059; 12.507343278686905;
+       -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+  in
+  if x < 0.5 then
+    (* Reflection formula. *)
+    log (Float.pi /. Float.sin (Float.pi *. x)) -. log_gamma_positive (1. -. x) coefficients
+  else log_gamma_positive x coefficients
+
+and log_gamma_positive x coefficients =
+  let x = x -. 1. in
+  let acc = ref coefficients.(0) in
+  for i = 1 to 8 do
+    acc := !acc +. (coefficients.(i) /. (x +. float_of_int i))
+  done;
+  let t = x +. 7.5 in
+  (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+
+let log_choose n k =
+  if k < 0 || k > n then invalid_arg "Distributions.log_choose: need 0 <= k <= n";
+  if k = 0 || k = n then 0.
+  else
+    log_gamma (float_of_int (n + 1))
+    -. log_gamma (float_of_int (k + 1))
+    -. log_gamma (float_of_int (n - k + 1))
+
+let incomplete_beta ~a ~b x =
+  if a <= 0. || b <= 0. then invalid_arg "Distributions.incomplete_beta: a, b must be positive";
+  if x < 0. || x > 1. then invalid_arg "Distributions.incomplete_beta: x outside [0, 1]";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    (* Continued fraction (Numerical Recipes betacf), evaluated with
+       modified Lentz; the symmetry transform keeps it converging fast. *)
+    let log_front =
+      (a *. log x) +. (b *. log (1. -. x))
+      +. log_gamma (a +. b) -. log_gamma a -. log_gamma b
+    in
+    let betacf a b x =
+      let tiny = 1e-30 in
+      let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+      let c = ref 1. in
+      let d = ref (1. -. (qab *. x /. qap)) in
+      if Float.abs !d < tiny then d := tiny;
+      d := 1. /. !d;
+      let h = ref !d in
+      let m = ref 1 in
+      let continue = ref true in
+      while !continue && !m <= 200 do
+        let mf = float_of_int !m in
+        let m2 = 2. *. mf in
+        let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+        d := 1. +. (aa *. !d);
+        if Float.abs !d < tiny then d := tiny;
+        c := 1. +. (aa /. !c);
+        if Float.abs !c < tiny then c := tiny;
+        d := 1. /. !d;
+        h := !h *. !d *. !c;
+        let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+        d := 1. +. (aa *. !d);
+        if Float.abs !d < tiny then d := tiny;
+        c := 1. +. (aa /. !c);
+        if Float.abs !c < tiny then c := tiny;
+        d := 1. /. !d;
+        let delta = !d *. !c in
+        h := !h *. delta;
+        if Float.abs (delta -. 1.) < 3e-15 then continue := false;
+        incr m
+      done;
+      !h
+    in
+    if x < (a +. 1.) /. (a +. b +. 2.) then exp log_front *. betacf a b x /. a
+    else 1. -. (exp ((b *. log (1. -. x)) +. (a *. log x)
+                     +. log_gamma (a +. b) -. log_gamma a -. log_gamma b)
+                *. betacf b a (1. -. x) /. b)
+  end
+
+let student_t_cdf ~df t =
+  if df <= 0. then invalid_arg "Distributions.student_t_cdf: df must be positive";
+  if t = 0. then 0.5
+  else
+    let x = df /. (df +. (t *. t)) in
+    let tail = 0.5 *. incomplete_beta ~a:(df /. 2.) ~b:0.5 x in
+    if t > 0. then 1. -. tail else tail
+
+let student_t_quantile ~df p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Distributions.student_t_quantile: p outside (0, 1)";
+  if df <= 0. then invalid_arg "Distributions.student_t_quantile: df must be positive";
+  if p = 0.5 then 0.
+  else begin
+    (* Bracket then bisect; the normal quantile seeds the bracket. *)
+    let target = p in
+    let seed = normal_quantile p in
+    let lo = ref (Float.min (seed *. 4.) (-1.)) and hi = ref (Float.max (seed *. 4.) 1.) in
+    while student_t_cdf ~df !lo > target do
+      lo := !lo *. 2.
+    done;
+    while student_t_cdf ~df !hi < target do
+      hi := !hi *. 2.
+    done;
+    for _ = 1 to 200 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if student_t_cdf ~df mid < target then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let binomial_mean_var ~n ~p =
+  let nf = float_of_int n in
+  (nf *. p, nf *. p *. (1. -. p))
+
+let hypergeometric_mean_var ~big_n ~k ~n =
+  let big_nf = float_of_int big_n and kf = float_of_int k and nf = float_of_int n in
+  if big_n = 0 then (0., 0.)
+  else begin
+    let p = kf /. big_nf in
+    let mean = nf *. p in
+    let fpc = if big_n > 1 then (big_nf -. nf) /. (big_nf -. 1.) else 0. in
+    (mean, nf *. p *. (1. -. p) *. fpc)
+  end

@@ -1,0 +1,49 @@
+(** Special functions and probability distributions.
+
+    Self-contained numeric kernels: error function, normal CDF and
+    quantile, log-gamma, regularized incomplete beta, Student-t CDF and
+    quantile, and moments of the sampling distributions the estimators
+    rely on (binomial, hypergeometric). *)
+
+(** Error function, max absolute error ≈ 1.5e-7 (Abramowitz & Stegun
+    7.1.26 with symmetry). *)
+val erf : float -> float
+
+(** Standard normal density. *)
+val normal_pdf : float -> float
+
+(** Standard normal CDF. *)
+val normal_cdf : float -> float
+
+(** Inverse standard normal CDF (Acklam's algorithm, relative error
+    below 1.15e-9, refined by one Halley step).
+    @raise Invalid_argument if [p] is outside (0, 1). *)
+val normal_quantile : float -> float
+
+(** [ln Γ(x)] for [x > 0] (Lanczos approximation, ~15 significant
+    digits). *)
+val log_gamma : float -> float
+
+(** [log_choose n k] = ln (n choose k).
+    @raise Invalid_argument unless [0 <= k <= n]. *)
+val log_choose : int -> int -> float
+
+(** Regularized incomplete beta function I_x(a, b), continued fraction
+    (Lentz), for [a, b > 0] and [x] in [0, 1]. *)
+val incomplete_beta : a:float -> b:float -> float -> float
+
+(** Student-t CDF with [df] degrees of freedom.
+    @raise Invalid_argument if [df <= 0]. *)
+val student_t_cdf : df:float -> float -> float
+
+(** Student-t quantile (inverse CDF) by bisection on {!student_t_cdf}.
+    @raise Invalid_argument if [p] outside (0, 1) or [df <= 0]. *)
+val student_t_quantile : df:float -> float -> float
+
+(** Mean and variance of Binomial(n, p). *)
+val binomial_mean_var : n:int -> p:float -> float * float
+
+(** Mean and variance of Hypergeometric(population [big_n], successes
+    [k], draws [n]): the distribution of the number of hits in an
+    SRSWOR sample. *)
+val hypergeometric_mean_var : big_n:int -> k:int -> n:int -> float * float

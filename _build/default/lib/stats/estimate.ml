@@ -1,0 +1,46 @@
+type status = Unbiased | Consistent | Heuristic
+
+type t = {
+  point : float;
+  variance : float;
+  sample_size : int;
+  status : status;
+  label : string;
+}
+
+let make ?(variance = Float.nan) ?(label = "estimate") ~status ~sample_size point =
+  if Float.is_finite variance && variance < 0. then
+    invalid_arg "Estimate.make: negative variance";
+  { point; variance; sample_size; status; label }
+
+let has_variance t = Float.is_finite t.variance
+
+let stderr t = Float.sqrt t.variance
+
+let ci ~level t =
+  if not (has_variance t) then
+    invalid_arg (Printf.sprintf "Estimate.ci: %s carries no variance estimate" t.label);
+  Confidence.clamp_nonnegative (Confidence.normal ~level ~point:t.point ~stderr:(stderr t))
+
+let ci_chebyshev ~level t =
+  if not (has_variance t) then
+    invalid_arg (Printf.sprintf "Estimate.ci_chebyshev: %s carries no variance estimate" t.label);
+  Confidence.clamp_nonnegative (Confidence.chebyshev ~level ~point:t.point ~stderr:(stderr t))
+
+let relative_error ~truth t =
+  if truth = 0. then if t.point = 0. then 0. else Float.infinity
+  else Float.abs (t.point -. truth) /. Float.abs truth
+
+let absolute_error ~truth t = Float.abs (t.point -. truth)
+
+let status_to_string = function
+  | Unbiased -> "unbiased"
+  | Consistent -> "consistent"
+  | Heuristic -> "heuristic"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %.2f (sd %.2f, n=%d, %s)" t.label t.point
+    (if has_variance t then stderr t else Float.nan)
+    t.sample_size (status_to_string t.status)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,43 @@
+(** The result type every estimator in the library returns: a point
+    estimate of a COUNT, its estimated variance, and provenance. *)
+
+(** Statistical status of the estimator that produced the value, as
+    classified by the PODS'88 analysis. *)
+type status =
+  | Unbiased      (** E[estimate] equals the true count exactly *)
+  | Consistent    (** converges to the truth as sampling fraction → 1 *)
+  | Heuristic     (** no guarantee (baselines) *)
+
+type t = {
+  point : float;          (** estimated COUNT *)
+  variance : float;       (** estimated variance of [point]; [nan] if unavailable *)
+  sample_size : int;      (** tuples actually examined *)
+  status : status;
+  label : string;         (** estimator name, for reports *)
+}
+
+val make : ?variance:float -> ?label:string -> status:status -> sample_size:int -> float -> t
+
+val stderr : t -> float
+
+(** Whether a variance estimate is attached. *)
+val has_variance : t -> bool
+
+(** Normal-approximation CI; {!Confidence.clamp_nonnegative}d.
+    @raise Invalid_argument if no variance is attached. *)
+val ci : level:float -> t -> Confidence.interval
+
+(** Chebyshev CI (distribution-free). *)
+val ci_chebyshev : level:float -> t -> Confidence.interval
+
+(** |point − truth| / truth; with the convention that a zero truth gives
+    0 when the point is also 0 and [infinity] otherwise. *)
+val relative_error : truth:float -> t -> float
+
+val absolute_error : truth:float -> t -> float
+
+val status_to_string : status -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

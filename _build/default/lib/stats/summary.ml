@@ -1,0 +1,86 @@
+type t = {
+  count : int;
+  mean : float;
+  m2 : float;  (* sum of squared deviations from the running mean *)
+  min : float;
+  max : float;
+}
+
+let empty = { count = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+let add t x =
+  let count = t.count + 1 in
+  let delta = x -. t.mean in
+  let mean = t.mean +. (delta /. float_of_int count) in
+  let m2 = t.m2 +. (delta *. (x -. mean)) in
+  { count; mean; m2; min = Float.min t.min x; max = Float.max t.max x }
+
+let of_array values = Array.fold_left add empty values
+
+let of_list values = List.fold_left add empty values
+
+let merge t1 t2 =
+  if t1.count = 0 then t2
+  else if t2.count = 0 then t1
+  else begin
+    let count = t1.count + t2.count in
+    let countf = float_of_int count in
+    let delta = t2.mean -. t1.mean in
+    let mean = t1.mean +. (delta *. float_of_int t2.count /. countf) in
+    let m2 =
+      t1.m2 +. t2.m2
+      +. (delta *. delta *. float_of_int t1.count *. float_of_int t2.count /. countf)
+    in
+    { count; mean; m2; min = Float.min t1.min t2.min; max = Float.max t1.max t2.max }
+  end
+
+let count t = t.count
+
+let check_nonempty t name =
+  if t.count = 0 then invalid_arg (Printf.sprintf "Summary.%s: empty summary" name)
+
+let mean t =
+  check_nonempty t "mean";
+  t.mean
+
+let variance t =
+  check_nonempty t "variance";
+  if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+let population_variance t =
+  check_nonempty t "population_variance";
+  t.m2 /. float_of_int t.count
+
+let stddev t = Float.sqrt (variance t)
+
+let standard_error t = stddev t /. Float.sqrt (float_of_int t.count)
+
+let min t =
+  check_nonempty t "min";
+  t.min
+
+let max t =
+  check_nonempty t "max";
+  t.max
+
+let total t = t.mean *. float_of_int t.count
+
+let quantile q values =
+  if Array.length values = 0 then invalid_arg "Summary.quantile: empty input";
+  if q < 0. || q > 1. then invalid_arg "Summary.quantile: q outside [0, 1]";
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let position = q *. float_of_int (n - 1) in
+  let lower = int_of_float (Float.floor position) in
+  let upper = Stdlib.min (lower + 1) (n - 1) in
+  let weight = position -. float_of_int lower in
+  ((1. -. weight) *. sorted.(lower)) +. (weight *. sorted.(upper))
+
+let median values = quantile 0.5 values
+
+let pp ppf t =
+  if t.count = 0 then Format.pp_print_string ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%g sd=%g min=%g max=%g" t.count t.mean (stddev t) t.min
+      t.max

@@ -1,0 +1,47 @@
+(** Streaming descriptive statistics (Welford's online algorithm) and
+    quantiles. *)
+
+type t
+
+val empty : t
+
+(** Functional update: returns a summary extended with one observation. *)
+val add : t -> float -> t
+
+val of_array : float array -> t
+
+val of_list : float list -> t
+
+(** Merge two summaries (Chan et al. parallel formula). *)
+val merge : t -> t -> t
+
+val count : t -> int
+
+(** @raise Invalid_argument on an empty summary (same for the other
+    moment accessors). *)
+val mean : t -> float
+
+(** Unbiased sample variance (divides by n−1); 0 for n = 1. *)
+val variance : t -> float
+
+(** Population variance (divides by n). *)
+val population_variance : t -> float
+
+val stddev : t -> float
+
+val standard_error : t -> float
+
+val min : t -> float
+
+val max : t -> float
+
+val total : t -> float
+
+(** [quantile q values] with linear interpolation between order
+    statistics; [q] in [0, 1].  Does not mutate [values].
+    @raise Invalid_argument on empty input or [q] outside [0, 1]. *)
+val quantile : float -> float array -> float
+
+val median : float array -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/correlated.ml: Array Dist Float Generator Printf Sampling

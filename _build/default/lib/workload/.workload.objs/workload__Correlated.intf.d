@@ -1,0 +1,1 @@
+lib/workload/correlated.mli: Relational Sampling

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dist Float List Printf Relational Sampling

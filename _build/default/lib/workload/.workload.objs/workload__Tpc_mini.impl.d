@@ -1,0 +1,1 @@
+lib/workload/tpc_mini.ml: Array Dist Generator Relational

@@ -1,0 +1,1 @@
+lib/workload/tpc_mini.mli: Relational Sampling

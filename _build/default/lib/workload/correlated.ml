@@ -1,0 +1,68 @@
+type correlation =
+  | Positive
+  | Weak_positive of float
+  | Independent
+  | Negative
+
+let correlation_to_string = function
+  | Positive -> "positive"
+  | Weak_positive p -> Printf.sprintf "weak-positive(%g)" p
+  | Independent -> "independent"
+  | Negative -> "negative"
+
+let identity_mapping domain = Array.init domain (fun i -> i)
+
+let random_mapping rng domain =
+  let mapping = identity_mapping domain in
+  Sampling.Rng.shuffle_in_place rng mapping;
+  mapping
+
+let reverse_mapping mapping =
+  let domain = Array.length mapping in
+  Array.init domain (fun i -> mapping.(domain - 1 - i))
+
+let partial_permutation rng mapping fraction =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Correlated: Weak_positive fraction outside [0, 1]";
+  let domain = Array.length mapping in
+  let perturbed = Array.copy mapping in
+  let k = int_of_float (Float.round (fraction *. float_of_int domain)) in
+  if k >= 2 then begin
+    (* Shuffle the images of k randomly chosen positions. *)
+    let positions = Sampling.Srs.indices_without_replacement rng ~n:k ~universe:domain in
+    let images = Array.map (fun i -> perturbed.(i)) positions in
+    Sampling.Rng.shuffle_in_place rng images;
+    Array.iteri (fun k_idx i -> perturbed.(i) <- images.(k_idx)) positions
+  end;
+  perturbed
+
+let column rng ~n ~domain ~skew mapping =
+  let sampler = Dist.compile (Dist.Zipf { n_values = domain; skew }) in
+  Array.init n (fun _ -> mapping.(sampler rng))
+
+let make_pair rng ~n_left ~n_right ~domain ~skew_left ~skew_right correlation ~attribute
+    ~base_mapping =
+  if n_left <= 0 || n_right <= 0 || domain <= 0 then
+    invalid_arg "Correlated.pair: sizes and domain must be positive";
+  let left_mapping = base_mapping in
+  let right_mapping =
+    match correlation with
+    | Positive -> left_mapping
+    | Weak_positive fraction -> partial_permutation rng left_mapping fraction
+    | Independent -> random_mapping rng domain
+    | Negative -> reverse_mapping left_mapping
+  in
+  let left = column rng ~n:n_left ~domain ~skew:skew_left left_mapping in
+  let right = column rng ~n:n_right ~domain ~skew:skew_right right_mapping in
+  ( Generator.of_columns [ (attribute, left) ],
+    Generator.of_columns [ (attribute, right) ] )
+
+let pair rng ~n_left ~n_right ~domain ~skew_left ~skew_right correlation ~attribute =
+  let base_mapping = random_mapping rng domain in
+  make_pair rng ~n_left ~n_right ~domain ~skew_left ~skew_right correlation ~attribute
+    ~base_mapping
+
+let smooth_pair rng ~n_left ~n_right ~domain ~skew_left ~skew_right correlation ~attribute =
+  let base_mapping = identity_mapping domain in
+  make_pair rng ~n_left ~n_right ~domain ~skew_left ~skew_right correlation ~attribute
+    ~base_mapping

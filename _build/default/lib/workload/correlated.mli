@@ -1,0 +1,53 @@
+(** Join-column pairs with controlled correlation between the two
+    relations' frequency profiles.
+
+    Both columns draw values from the same domain [0, domain) with
+    Zipfian frequency {e ranks}; the correlation mode decides how ranks
+    map to concrete values on each side:
+
+    - [Positive]: identical rank→value mapping — hot values coincide
+      (the self-join-like case where sketches shine and sampling
+      struggles least at high skew).
+    - [Weak_positive p]: the right side's mapping permutes a fraction
+      [p] of the values.
+    - [Independent]: independent random mappings.
+    - [Negative]: the right side reverses the mapping — the hottest
+      left value is the coldest right value. *)
+
+type correlation =
+  | Positive
+  | Weak_positive of float
+  | Independent
+  | Negative
+
+val correlation_to_string : correlation -> string
+
+(** [pair rng ~n_left ~n_right ~domain ~skew_left ~skew_right c
+    ~attribute] builds the two single-column relations.
+    @raise Invalid_argument on non-positive sizes/domain or a
+    [Weak_positive] fraction outside [0, 1]. *)
+val pair :
+  Sampling.Rng.t ->
+  n_left:int ->
+  n_right:int ->
+  domain:int ->
+  skew_left:float ->
+  skew_right:float ->
+  correlation ->
+  attribute:string ->
+  Relational.Relation.t * Relational.Relation.t
+
+(** [smooth_pair] is {!pair} with the identity rank→value mapping kept
+    monotone on both sides (orderly mapping ⇒ smooth frequency
+    functions over the value axis), still honouring the correlation
+    mode for the right side. *)
+val smooth_pair :
+  Sampling.Rng.t ->
+  n_left:int ->
+  n_right:int ->
+  domain:int ->
+  skew_left:float ->
+  skew_right:float ->
+  correlation ->
+  attribute:string ->
+  Relational.Relation.t * Relational.Relation.t

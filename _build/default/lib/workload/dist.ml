@@ -1,0 +1,78 @@
+type t =
+  | Constant of int
+  | Uniform of { lo : int; hi : int }
+  | Zipf of { n_values : int; skew : float }
+  | Normal of { mean : float; stddev : float }
+  | Self_similar of { n_values : int; h : float }
+  | Exponential of { mean : float }
+
+let zipf_probabilities ~n_values ~skew =
+  if n_values <= 0 then invalid_arg "Dist: n_values must be positive";
+  if skew < 0. then invalid_arg "Dist: skew must be non-negative";
+  let weights =
+    Array.init n_values (fun i -> 1. /. (float_of_int (i + 1) ** skew))
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  Array.map (fun w -> w /. total) weights
+
+(* Inverse-CDF sampler over a probability vector via binary search on
+   the cumulative array. *)
+let categorical_sampler probabilities =
+  let n = Array.length probabilities in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    probabilities;
+  cdf.(n - 1) <- 1.;
+  fun rng ->
+    let u = Sampling.Rng.float rng in
+    (* Smallest index with cdf.(i) >= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let compile = function
+  | Constant c -> fun _ -> c
+  | Uniform { lo; hi } ->
+    if hi < lo then invalid_arg "Dist: Uniform with hi < lo";
+    let span = hi - lo + 1 in
+    fun rng -> lo + Sampling.Rng.int rng span
+  | Zipf { n_values; skew } ->
+    let sampler = categorical_sampler (zipf_probabilities ~n_values ~skew) in
+    sampler
+  | Normal { mean; stddev } ->
+    if stddev < 0. then invalid_arg "Dist: Normal with negative stddev";
+    fun rng ->
+      int_of_float (Float.round (mean +. (stddev *. Sampling.Rng.gaussian rng)))
+  | Self_similar { n_values; h } ->
+    if n_values <= 0 then invalid_arg "Dist: n_values must be positive";
+    if h <= 0.5 || h >= 1. then invalid_arg "Dist: Self_similar h outside (0.5, 1)";
+    fun rng ->
+      (* Recursive 80-20 rule: repeatedly zoom into the hot (probability
+         h) cold-start prefix of the remaining range. *)
+      let rec zoom lo len =
+        if len <= 1 then lo
+        else
+          let hot = max 1 (int_of_float (Float.round ((1. -. h) *. float_of_int len))) in
+          if Sampling.Rng.float rng < h then zoom lo hot
+          else zoom (lo + hot) (len - hot)
+      in
+      zoom 0 n_values
+  | Exponential { mean } ->
+    if mean <= 0. then invalid_arg "Dist: Exponential mean must be positive";
+    fun rng ->
+      int_of_float (Float.floor (-.mean *. log (Sampling.Rng.positive_float rng)))
+
+let to_string = function
+  | Constant c -> Printf.sprintf "const(%d)" c
+  | Uniform { lo; hi } -> Printf.sprintf "uniform[%d,%d]" lo hi
+  | Zipf { n_values; skew } -> Printf.sprintf "zipf(n=%d,z=%g)" n_values skew
+  | Normal { mean; stddev } -> Printf.sprintf "normal(%g,%g)" mean stddev
+  | Self_similar { n_values; h } -> Printf.sprintf "selfsim(n=%d,h=%g)" n_values h
+  | Exponential { mean } -> Printf.sprintf "exp(%g)" mean

@@ -1,0 +1,29 @@
+(** Integer value distributions for synthetic data.
+
+    A distribution describes how attribute values are drawn; {!compile}
+    precomputes lookup tables (e.g. the Zipf CDF) and returns a fast
+    sampler. *)
+
+type t =
+  | Constant of int
+  | Uniform of { lo : int; hi : int }  (** inclusive bounds *)
+  | Zipf of { n_values : int; skew : float }
+      (** values 0..n_values−1; value rank i has probability
+          ∝ 1/(i+1)^skew.  [skew = 0] is uniform. *)
+  | Normal of { mean : float; stddev : float }
+      (** rounded to the nearest integer *)
+  | Self_similar of { n_values : int; h : float }
+      (** 80–20-style: fraction [h] of the mass on the first
+          [1−h] fraction of values, recursively. *)
+  | Exponential of { mean : float }  (** rounded down, ≥ 0 *)
+
+(** @raise Invalid_argument on malformed parameters ([hi < lo],
+    [n_values <= 0], [skew < 0], [stddev < 0], [h] outside (0.5, 1),
+    [mean <= 0] for exponential). *)
+val compile : t -> Sampling.Rng.t -> int
+
+(** Exact probability of each value 0..n_values−1 under a Zipf
+    distribution (used by tests and oracle computations). *)
+val zipf_probabilities : n_values:int -> skew:float -> float array
+
+val to_string : t -> string

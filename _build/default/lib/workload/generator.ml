@@ -1,0 +1,82 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Value = Relational.Value
+
+let int_schema names = Schema.of_list (List.map (fun name -> (name, Value.Tint)) names)
+
+let relation rng ~n specs =
+  if n < 0 then invalid_arg "Generator.relation: negative cardinality";
+  if specs = [] then invalid_arg "Generator.relation: no columns";
+  let schema = int_schema (List.map fst specs) in
+  let samplers = Array.of_list (List.map (fun (_, d) -> Dist.compile d) specs) in
+  let tuples =
+    Array.init n (fun _ ->
+        Array.map (fun sampler -> Value.Int (sampler rng)) samplers)
+  in
+  Relation.of_array schema tuples
+
+let int_relation rng ~n ~attribute dist = relation rng ~n [ (attribute, dist) ]
+
+let of_columns specs =
+  if specs = [] then invalid_arg "Generator.of_columns: no columns";
+  let lengths = List.map (fun (_, col) -> Array.length col) specs in
+  let n = List.hd lengths in
+  if List.exists (fun l -> l <> n) lengths then
+    invalid_arg "Generator.of_columns: column length mismatch";
+  let schema = int_schema (List.map fst specs) in
+  let columns = Array.of_list (List.map snd specs) in
+  let tuples =
+    Array.init n (fun i -> Array.map (fun col -> Value.Int col.(i)) columns)
+  in
+  Relation.of_array schema tuples
+
+let shuffle rng r =
+  let tuples = Array.copy (Relation.tuples r) in
+  Sampling.Rng.shuffle_in_place rng tuples;
+  Relation.of_array (Relation.schema r) tuples
+
+let sort_by attribute r =
+  let i = Schema.index_of (Relation.schema r) attribute in
+  let tuples = Array.copy (Relation.tuples r) in
+  Array.sort
+    (fun t1 t2 -> Value.compare (Relational.Tuple.get t1 i) (Relational.Tuple.get t2 i))
+    tuples;
+  Relation.of_array (Relation.schema r) tuples
+
+let set_pair rng ~card_left ~card_right ~overlap ~attribute =
+  if overlap < 0 || overlap > min card_left card_right then
+    invalid_arg "Generator.set_pair: overlap out of range";
+  (* Left gets values [0, card_left); right reuses the first [overlap]
+     of them and continues with fresh values. *)
+  let left = Array.init card_left (fun i -> i) in
+  let right =
+    Array.init card_right (fun i ->
+        if i < overlap then i else card_left + (i - overlap))
+  in
+  let build values =
+    let r = of_columns [ (attribute, values) ] in
+    shuffle rng r
+  in
+  (build left, build right)
+
+let clustered rng ~n ~dims ~clusters ~domain ~spread =
+  if dims <= 0 || clusters <= 0 || domain <= 0 then
+    invalid_arg "Generator.clustered: dims, clusters, domain must be positive";
+  if spread < 0. then invalid_arg "Generator.clustered: negative spread";
+  let centres =
+    Array.init clusters (fun _ ->
+        Array.init dims (fun _ -> Sampling.Rng.int rng domain))
+  in
+  let names = List.init dims (fun d -> Printf.sprintf "x%d" d) in
+  let schema = int_schema names in
+  let clamp x = max 0 (min (domain - 1) x) in
+  let tuples =
+    Array.init n (fun _ ->
+        let centre = centres.(Sampling.Rng.int rng clusters) in
+        Array.init dims (fun d ->
+            let offset =
+              int_of_float (Float.round (spread *. Sampling.Rng.gaussian rng))
+            in
+            Value.Int (clamp (centre.(d) + offset))))
+  in
+  Relation.of_array schema tuples

@@ -1,0 +1,50 @@
+(** Synthetic relation generators. *)
+
+(** [relation rng ~n specs] builds a relation with one integer column
+    per [(name, dist)] spec, all columns drawn independently.
+    @raise Invalid_argument if [n < 0] or [specs] is empty. *)
+val relation : Sampling.Rng.t -> n:int -> (string * Dist.t) list -> Relational.Relation.t
+
+(** [int_relation rng ~n ~attribute dist] — single-column shorthand. *)
+val int_relation :
+  Sampling.Rng.t -> n:int -> attribute:string -> Dist.t -> Relational.Relation.t
+
+(** [of_columns specs] builds a relation from explicit integer columns
+    (all the same length).
+    @raise Invalid_argument on length mismatch or empty specs. *)
+val of_columns : (string * int array) list -> Relational.Relation.t
+
+(** Random row order (uniform permutation) — destroys page locality. *)
+val shuffle : Sampling.Rng.t -> Relational.Relation.t -> Relational.Relation.t
+
+(** Sort rows by an attribute — maximizes page locality on that key.
+    @raise Not_found if the attribute is absent. *)
+val sort_by : string -> Relational.Relation.t -> Relational.Relation.t
+
+(** [set_pair rng ~card_left ~card_right ~overlap ~attribute] builds
+    two duplicate-free single-column relations whose intersection has
+    exactly [overlap] tuples (values are distinct integers; both
+    relations are shuffled).
+    @raise Invalid_argument if [overlap > min card_left card_right]. *)
+val set_pair :
+  Sampling.Rng.t ->
+  card_left:int ->
+  card_right:int ->
+  overlap:int ->
+  attribute:string ->
+  Relational.Relation.t * Relational.Relation.t
+
+(** [clustered rng ~n ~dims ~clusters ~domain ~spread] — tuples fall
+    into [clusters] random hyper-rectangle centres in
+    [0, domain)^dims, offset by a rounded gaussian of standard
+    deviation [spread]; coordinates are clamped into the domain.
+    Mimics the sparse clustered data of the classic generators.
+    Attributes are named ["x0"], ["x1"], ... *)
+val clustered :
+  Sampling.Rng.t ->
+  n:int ->
+  dims:int ->
+  clusters:int ->
+  domain:int ->
+  spread:float ->
+  Relational.Relation.t

@@ -1,0 +1,30 @@
+module Expr = Relational.Expr
+module Predicate = Relational.Predicate
+
+let range_for_selectivity ~lo ~hi ~selectivity attribute =
+  if selectivity < 0. || selectivity > 1. then
+    invalid_arg "Queries.range_for_selectivity: selectivity outside [0, 1]";
+  if hi < lo then invalid_arg "Queries.range_for_selectivity: hi < lo";
+  let span = float_of_int (hi - lo + 1) in
+  let threshold = lo - 1 + int_of_float (Float.round (selectivity *. span)) in
+  Predicate.le (Predicate.attr attribute) (Predicate.vint threshold)
+
+let equality_on attribute v =
+  Predicate.eq (Predicate.attr attribute) (Predicate.vint v)
+
+let single_join ~left ~right ~on = Expr.equijoin [ on ] (Expr.base left) (Expr.base right)
+
+let chain_join ~relations ~on =
+  match relations with
+  | [] -> invalid_arg "Queries.chain_join: no relations"
+  | first :: rest ->
+    if List.length rest <> List.length on then
+      invalid_arg "Queries.chain_join: need one join pair per consecutive relation pair";
+    List.fold_left2
+      (fun acc relation pair -> Expr.equijoin [ pair ] acc (Expr.base relation))
+      (Expr.base first) rest on
+
+let filtered_join ~left ~left_filter ~right ~right_filter ~on =
+  Expr.equijoin [ on ]
+    (Expr.select left_filter (Expr.base left))
+    (Expr.select right_filter (Expr.base right))

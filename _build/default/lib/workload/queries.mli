@@ -1,0 +1,32 @@
+(** Query templates used by the experiments. *)
+
+(** [range_for_selectivity ~lo ~hi ~selectivity attribute] — a
+    one-sided range predicate [attribute <= threshold] whose selectivity
+    over a {e uniform} [lo..hi] column is approximately [selectivity].
+    @raise Invalid_argument if [selectivity] outside [0, 1] or
+    [hi < lo]. *)
+val range_for_selectivity :
+  lo:int -> hi:int -> selectivity:float -> string -> Relational.Predicate.t
+
+(** [equality_on attribute v] — [attribute = v]. *)
+val equality_on : string -> int -> Relational.Predicate.t
+
+(** Single equi-join of two base relations on one attribute pair. *)
+val single_join :
+  left:string -> right:string -> on:string * string -> Relational.Expr.t
+
+(** Chain of equi-joins: [r0 ⋈ r1 ⋈ ... ⋈ rk], consecutive relations
+    joined on the given attribute pairs.
+    @raise Invalid_argument unless there is exactly one join pair per
+    consecutive relation pair. *)
+val chain_join :
+  relations:string list -> on:(string * string) list -> Relational.Expr.t
+
+(** Selection–join–selection sandwich: filter both inputs then join. *)
+val filtered_join :
+  left:string ->
+  left_filter:Relational.Predicate.t ->
+  right:string ->
+  right_filter:Relational.Predicate.t ->
+  on:string * string ->
+  Relational.Expr.t

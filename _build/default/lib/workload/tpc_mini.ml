@@ -1,0 +1,67 @@
+module Expr = Relational.Expr
+
+type sizes = { suppliers : int; parts : int; orders : int }
+
+let default_sizes = { suppliers = 1_000; parts = 2_000; orders = 20_000 }
+
+let regions = 5
+
+let part_types = 20
+
+let catalog rng ?(sizes = default_sizes) () =
+  let suppliers =
+    Generator.of_columns
+      [
+        ("s_key", Array.init sizes.suppliers (fun i -> i));
+        ( "s_region",
+          let sampler = Dist.compile (Dist.Uniform { lo = 0; hi = regions - 1 }) in
+          Array.init sizes.suppliers (fun _ -> sampler rng) );
+        ( "s_balance",
+          let sampler = Dist.compile (Dist.Normal { mean = 5_000.; stddev = 2_000. }) in
+          Array.init sizes.suppliers (fun _ -> max 0 (sampler rng)) );
+      ]
+  in
+  let parts =
+    Generator.of_columns
+      [
+        ("p_key", Array.init sizes.parts (fun i -> i));
+        ( "p_type",
+          let sampler = Dist.compile (Dist.Uniform { lo = 0; hi = part_types - 1 }) in
+          Array.init sizes.parts (fun _ -> sampler rng) );
+        ( "p_size",
+          let sampler = Dist.compile (Dist.Uniform { lo = 1; hi = 50 }) in
+          Array.init sizes.parts (fun _ -> sampler rng) );
+      ]
+  in
+  let orders =
+    let supplier_fk = Dist.compile (Dist.Zipf { n_values = sizes.suppliers; skew = 0.8 }) in
+    let part_fk = Dist.compile (Dist.Zipf { n_values = sizes.parts; skew = 0.5 }) in
+    let quantity = Dist.compile (Dist.Exponential { mean = 8. }) in
+    let price = Dist.compile (Dist.Normal { mean = 120.; stddev = 60. }) in
+    Generator.of_columns
+      [
+        ("o_key", Array.init sizes.orders (fun i -> i));
+        ("o_supplier", Array.init sizes.orders (fun _ -> supplier_fk rng));
+        ("o_part", Array.init sizes.orders (fun _ -> part_fk rng));
+        ("o_quantity", Array.init sizes.orders (fun _ -> 1 + quantity rng));
+        ("o_price", Array.init sizes.orders (fun _ -> max 1 (price rng)));
+      ]
+  in
+  Relational.Catalog.of_list
+    [ ("suppliers", suppliers); ("parts", parts); ("orders", orders) ]
+
+let chain_query ?supplier_filter ?order_filter () =
+  let orders =
+    match order_filter with
+    | Some p -> Expr.select p (Expr.base "orders")
+    | None -> Expr.base "orders"
+  in
+  let suppliers =
+    match supplier_filter with
+    | Some p -> Expr.select p (Expr.base "suppliers")
+    | None -> Expr.base "suppliers"
+  in
+  Expr.equijoin
+    [ ("o_part", "p_key") ]
+    (Expr.equijoin [ ("o_supplier", "s_key") ] orders suppliers)
+    (Expr.base "parts")

@@ -1,0 +1,33 @@
+(** A miniature TPC-style sales schema for realistic multi-relation
+    examples and the composite-expression experiments.
+
+    {v
+    suppliers(s_key, s_region, s_balance)
+    parts(p_key, p_type, p_size)
+    orders(o_key, o_supplier, o_part, o_quantity, o_price)
+    v}
+
+    [o_supplier]/[o_part] are Zipf-skewed foreign keys into suppliers
+    and parts, so join sizes are non-trivial and skew-sensitive. *)
+
+type sizes = { suppliers : int; parts : int; orders : int }
+
+val default_sizes : sizes
+
+(** Number of supplier regions (region ids are 0..regions−1). *)
+val regions : int
+
+(** Number of part types. *)
+val part_types : int
+
+(** Generate the three relations and bind them in a fresh catalog under
+    the names ["suppliers"], ["parts"], ["orders"]. *)
+val catalog : Sampling.Rng.t -> ?sizes:sizes -> unit -> Relational.Catalog.t
+
+(** Orders joined with their suppliers and parts (the canonical 3-way
+    chain query), with optional extra filters. *)
+val chain_query :
+  ?supplier_filter:Relational.Predicate.t ->
+  ?order_filter:Relational.Predicate.t ->
+  unit ->
+  Relational.Expr.t

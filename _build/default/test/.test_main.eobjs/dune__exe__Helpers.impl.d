@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float List QCheck QCheck_alcotest Relational Sampling

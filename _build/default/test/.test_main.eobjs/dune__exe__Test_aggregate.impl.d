@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Array Catalog Expr Float Helpers Predicate Raestat Relation Schema Stats Tuple Value Workload

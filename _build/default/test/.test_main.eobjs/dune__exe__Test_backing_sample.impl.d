@@ -1,0 +1,1 @@
+test/test_backing_sample.ml: Alcotest Array Helpers List Predicate Printf Raestat Relation Sampling Schema Stats Tuple Value

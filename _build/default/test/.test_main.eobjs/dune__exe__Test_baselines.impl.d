@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Catalog Eval Expr Float Helpers List Predicate Printf Relation Schema Stats Value Workload

@@ -1,0 +1,1 @@
+test/test_bernoulli.ml: Alcotest Array Helpers Int List Relation Sampling Schema Stats

@@ -1,0 +1,1 @@
+test/test_bootstrap.ml: Alcotest Array Catalog Eval Expr Helpers Predicate Printf Raestat Sampling Stats Workload

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Helpers List Predicate Printf Raestat Relational Stats Tuple Value Workload

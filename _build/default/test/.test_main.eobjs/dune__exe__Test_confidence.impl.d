@@ -1,0 +1,1 @@
+test/test_confidence.ml: Alcotest Float Helpers QCheck Stats

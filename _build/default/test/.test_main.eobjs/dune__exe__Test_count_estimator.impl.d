@@ -1,0 +1,1 @@
+test/test_count_estimator.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate Printf Raestat Relational Stats Workload

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Filename Helpers List Printf Relation Relational Schema String Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_distinct.ml: Alcotest Array Catalog Helpers Int List Printf Raestat Stats String Tuple Value Workload

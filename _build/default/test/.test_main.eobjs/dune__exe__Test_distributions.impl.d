@@ -1,0 +1,1 @@
+test/test_distributions.ml: Alcotest Float Helpers List Printf QCheck Stats

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate QCheck Relation Schema Tuple Value

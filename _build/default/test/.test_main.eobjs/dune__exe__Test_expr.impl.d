@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Catalog Expr Helpers List Predicate Printf Schema

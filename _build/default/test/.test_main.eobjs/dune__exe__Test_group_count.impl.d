@@ -1,0 +1,1 @@
+test/test_group_count.ml: Alcotest Array Catalog Hashtbl Helpers List Option Predicate Printf Raestat Stats Workload

@@ -1,0 +1,1 @@
+test/test_group_sum.ml: Alcotest Array Catalog Hashtbl Helpers List Option Predicate Printf Raestat Relation Schema Stats Tuple Value Workload

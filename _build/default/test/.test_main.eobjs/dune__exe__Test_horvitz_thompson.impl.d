@@ -1,0 +1,1 @@
+test/test_horvitz_thompson.ml: Alcotest Array Catalog Expr Helpers Predicate Printf Raestat Sampling Stats Workload

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Catalog Eval Expr Helpers List Relation Relational Schema Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Catalog Eval Expr Filename Helpers Predicate Printf Raestat Relational Stats Sys Workload

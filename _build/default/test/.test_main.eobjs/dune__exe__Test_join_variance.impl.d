@@ -1,0 +1,1 @@
+test/test_join_variance.ml: Alcotest Catalog Eval Expr Helpers List Predicate Raestat Sampling Stats Workload

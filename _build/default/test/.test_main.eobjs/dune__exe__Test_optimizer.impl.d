@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate QCheck Relation Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_page_sampling.ml: Alcotest Array Helpers List Printf Relation Relational Sampling

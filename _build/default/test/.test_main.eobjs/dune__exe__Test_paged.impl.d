@@ -1,0 +1,1 @@
+test/test_paged.ml: Alcotest Array Helpers List Relation Relational Tuple Value

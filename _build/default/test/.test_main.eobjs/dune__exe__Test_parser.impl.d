@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Expr Helpers List Predicate QCheck Relational String Value

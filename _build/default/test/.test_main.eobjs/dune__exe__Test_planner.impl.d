@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Eval Expr Helpers List Predicate Raestat String Workload

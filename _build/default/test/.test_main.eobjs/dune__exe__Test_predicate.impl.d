@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Helpers Predicate QCheck Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_quantile.ml: Alcotest Catalog Helpers List Printf Raestat Relation Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Helpers QCheck Relation Schema Tuple Value

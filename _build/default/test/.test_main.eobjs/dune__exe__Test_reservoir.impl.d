@@ -1,0 +1,1 @@
+test/test_reservoir.ml: Alcotest Array Helpers Int List Printf Sampling

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Catalog Eval Expr Float Helpers List Predicate Printf Raestat Relation Relational Sampling Schema Stats String Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_sample_size.ml: Alcotest Catalog Eval Expr Float Helpers List Predicate Printf Raestat Stats Workload

@@ -1,0 +1,1 @@
+test/test_sampling_plan.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate Raestat Relation Schema Tuple Value

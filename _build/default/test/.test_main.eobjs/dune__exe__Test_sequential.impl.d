@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Catalog Eval Expr Helpers List Predicate Raestat Stats Workload

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate Raestat Relation Relational Schema Stats Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_srs.ml: Alcotest Array Hashtbl Helpers Int List Option Printf QCheck Relation Sampling Schema

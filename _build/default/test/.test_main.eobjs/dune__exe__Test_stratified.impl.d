@@ -1,0 +1,1 @@
+test/test_stratified.ml: Alcotest Array Helpers List Sampling

@@ -1,0 +1,1 @@
+test/test_stratified_estimator.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate Printf Raestat Sampling Stats Tuple Value Workload

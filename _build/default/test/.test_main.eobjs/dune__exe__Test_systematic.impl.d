@@ -1,0 +1,1 @@
+test/test_systematic.ml: Alcotest Array Helpers List Relation Sampling

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate Raestat Relation Relational Sampling Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Helpers List QCheck Tuple Value

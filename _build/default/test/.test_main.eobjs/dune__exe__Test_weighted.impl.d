@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Array Helpers Int List Printf Sampling Stats

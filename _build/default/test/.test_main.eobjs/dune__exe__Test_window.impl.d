@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Helpers Printf Sampling

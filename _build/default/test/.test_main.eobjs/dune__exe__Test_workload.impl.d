@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Catalog Eval Expr Helpers List Predicate Printf Relation Schema Stats Tuple Value Workload

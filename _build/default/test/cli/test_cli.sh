@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end CLI test: exercises every raestat subcommand against a
+# generated CSV and greps for the expected (seed-fixed) shapes.
+set -euo pipefail
+
+cli="$1"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() { echo "CLI TEST FAILED: $1" >&2; exit 1; }
+
+expect() { # expect <description> <pattern> <<< output
+  local description="$1" pattern="$2"
+  grep -Eq "$pattern" || fail "$description (pattern: $pattern)"
+}
+
+# generate --------------------------------------------------------------
+"$cli" generate -n 20000 --dist uniform:0:99 -o "$workdir/u.csv" \
+  | expect "generate reports" "wrote 20000 tuples"
+head -1 "$workdir/u.csv" | expect "csv header" "^a:int$"
+[ "$(wc -l < "$workdir/u.csv")" -eq 20001 ] || fail "csv row count"
+
+"$cli" generate -n 5000 -c b --dist zipf:50:1.0 -o "$workdir/z.csv" >/dev/null
+
+# exact -----------------------------------------------------------------
+"$cli" exact "$workdir/u.csv" --where "a < 30" | expect "exact count" "exact COUNT: 5[0-9]{3} |exact COUNT: 6[0-9]{3} "
+
+# estimate --------------------------------------------------------------
+out="$("$cli" estimate "$workdir/u.csv" --where "a < 30" -f 0.05)"
+echo "$out" | expect "estimate line" "estimated COUNT: [0-9]+"
+echo "$out" | expect "sample size line" "sampled 1000 of 20000"
+echo "$out" | expect "ci line" "95% CI: \[[0-9]+, [0-9]+\]"
+
+# join ------------------------------------------------------------------
+out="$("$cli" join "$workdir/u.csv" "$workdir/z.csv" --on a=b -f 0.2 --check)"
+echo "$out" | expect "join estimate" "estimated join size: [0-9]+"
+echo "$out" | expect "join exact" "exact join size:"
+
+# query (algebra) --------------------------------------------------------
+out="$("$cli" query "select[a < 30](r)" --rel "r=$workdir/u.csv" -f 0.05 --check)"
+echo "$out" | expect "query algebra echoed" "select\[a < 30\]\(r\)"
+echo "$out" | expect "query status" "unbiased"
+
+# sql ---------------------------------------------------------------------
+out="$("$cli" sql "SELECT COUNT(*) FROM r WHERE a < 30" --rel "r=$workdir/u.csv" -f 0.05 --check)"
+echo "$out" | expect "sql lowers to algebra" "algebra: select"
+echo "$out" | expect "sql estimates" "estimated COUNT: [0-9]+"
+
+# distinct ----------------------------------------------------------------
+out="$("$cli" distinct "$workdir/u.csv" -c a -f 0.1)"
+echo "$out" | expect "distinct exact row" "exact +100"
+echo "$out" | expect "distinct methods listed" "chao1"
+
+# quantile ----------------------------------------------------------------
+out="$("$cli" quantile "$workdir/u.csv" -c a -t 0.5 -f 0.05)"
+echo "$out" | expect "quantile point" "estimated 50%-quantile"
+echo "$out" | expect "quantile exact" "exact: [0-9]+"
+
+# plan ----------------------------------------------------------------------
+out="$("$cli" plan --rel "x=$workdir/u.csv" --rel "y=$workdir/z.csv" --on a=b -f 0.1)"
+echo "$out" | expect "plan order" "chosen order: +x ⋈ y|chosen order: +y ⋈ x"
+
+# sweep ----------------------------------------------------------------------
+out="$("$cli" sweep "$workdir/u.csv" --where "a < 30" --reps 5)"
+echo "$out" | expect "sweep header" "fraction +mean rel.err"
+echo "$out" | expect "sweep rows" "0.200"
+
+# error handling ---------------------------------------------------------
+if "$cli" estimate "$workdir/u.csv" --where "nonsense" -f 0.05 2>/dev/null; then
+  fail "malformed filter accepted"
+fi
+
+echo "CLI TESTS PASSED"

@@ -1,0 +1,54 @@
+(* Shared helpers for the test suites. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Predicate = Relational.Predicate
+module Expr = Relational.Expr
+module Eval = Relational.Eval
+module Catalog = Relational.Catalog
+
+let rng ?(seed = 4242) () = Sampling.Rng.create ~seed ()
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* Relative-tolerance float check for Monte-Carlo results. *)
+let check_close ~tol name expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  if Float.abs (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %g, got %g (tolerance %g%%)" name expected actual
+      (100. *. tol)
+
+let int_relation ?(attribute = "a") values =
+  Relation.make
+    (Schema.of_list [ (attribute, Value.Tint) ])
+    (List.map (fun v -> Tuple.make [ Value.Int v ]) values)
+
+let two_column_relation ?(names = ("a", "b")) rows =
+  let a, b = names in
+  Relation.make
+    (Schema.of_list [ (a, Value.Tint); (b, Value.Tint) ])
+    (List.map (fun (x, y) -> Tuple.make [ Value.Int x; Value.Int y ]) rows)
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Mean of [reps] draws of [f]. *)
+let monte_carlo ~reps f =
+  let acc = ref 0. in
+  for _ = 1 to reps do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int reps
+
+(* All size-[k] subsets of [0, n), for exhaustive unbiasedness checks. *)
+let rec subsets k n start =
+  if k = 0 then [ [] ]
+  else if start >= n then []
+  else
+    let with_start = List.map (fun rest -> start :: rest) (subsets (k - 1) n (start + 1)) in
+    with_start @ subsets k n (start + 1)
+
+let all_samples ~n ~k = subsets k n 0

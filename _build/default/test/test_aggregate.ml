@@ -1,0 +1,131 @@
+open Helpers
+module Aggregate = Raestat.Aggregate
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let catalog () =
+  let rng_ = rng ~seed:81 () in
+  Catalog.of_list
+    [
+      ( "r",
+        Workload.Generator.relation rng_ ~n:10_000
+          [
+            ("v", Workload.Dist.Uniform { lo = 0; hi = 99 });
+            ("g", Workload.Dist.Uniform { lo = 0; hi = 4 });
+          ] );
+    ]
+
+let pred = P.le (P.attr "g") (P.vint 1)
+
+let test_exact_sum_avg () =
+  let c = Catalog.of_list [ ("t", int_relation [ 1; 2; 3; 4 ]) ] in
+  check_float "sum" 10. (Aggregate.exact_sum c ~attribute:"a" (Expr.base "t"));
+  check_float "avg" 2.5 (Aggregate.exact_avg c ~attribute:"a" (Expr.base "t"))
+
+let test_exact_with_nulls () =
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  let r =
+    Relation.make schema
+      [ Tuple.make [ Value.Int 4 ]; Tuple.make [ Value.Null ]; Tuple.make [ Value.Int 6 ] ]
+  in
+  let c = Catalog.of_list [ ("t", r) ] in
+  check_float "sum skips nulls" 10. (Aggregate.exact_sum c ~attribute:"a" (Expr.base "t"));
+  check_float "avg skips nulls" 5. (Aggregate.exact_avg c ~attribute:"a" (Expr.base "t"))
+
+let test_sum_census_exact () =
+  let c = catalog () in
+  let truth = Aggregate.exact_sum c ~attribute:"v" (Expr.select pred (Expr.base "r")) in
+  let est = Aggregate.sum_selection (rng ()) c ~relation:"r" ~attribute:"v" ~n:10_000 pred in
+  check_float ~eps:1e-6 "census" truth est.Estimate.point;
+  check_float "no variance" 0. est.Estimate.variance
+
+let test_sum_unbiased_mc () =
+  let c = catalog () in
+  let truth = Aggregate.exact_sum c ~attribute:"v" (Expr.select pred (Expr.base "r")) in
+  let rng_ = rng ~seed:82 () in
+  let mean =
+    monte_carlo ~reps:400 (fun () ->
+        (Aggregate.sum_selection rng_ c ~relation:"r" ~attribute:"v" ~n:500 pred)
+          .Estimate.point)
+  in
+  check_close ~tol:0.03 "unbiased" truth mean
+
+let test_sum_variance_honest () =
+  let c = catalog () in
+  let rng_ = rng ~seed:83 () in
+  let estimates =
+    Array.init 300 (fun _ ->
+        Aggregate.sum_selection rng_ c ~relation:"r" ~attribute:"v" ~n:500 pred)
+  in
+  let points = Array.map (fun e -> e.Estimate.point) estimates in
+  let empirical = Stats.Summary.variance (Stats.Summary.of_array points) in
+  let predicted =
+    Stats.Summary.mean
+      (Stats.Summary.of_array (Array.map (fun e -> e.Estimate.variance) estimates))
+  in
+  check_close ~tol:0.25 "variance honest" empirical predicted
+
+let test_avg_consistent () =
+  let c = catalog () in
+  let truth = Aggregate.exact_avg c ~attribute:"v" (Expr.select pred (Expr.base "r")) in
+  let est = Aggregate.avg_selection (rng ()) c ~relation:"r" ~attribute:"v" ~n:2_000 pred in
+  check_close ~tol:0.05 "close to truth" truth est.Estimate.point;
+  Alcotest.(check bool) "consistent status" true (est.Estimate.status = Estimate.Consistent)
+
+let test_avg_no_hits () =
+  let c = catalog () in
+  let est = Aggregate.avg_selection (rng ()) c ~relation:"r" ~attribute:"v" ~n:100 P.False in
+  Alcotest.(check bool) "nan" true (Float.is_nan est.Estimate.point)
+
+let test_sum_expr_spj_unbiased_mc () =
+  (* SUM over a join result, scale-up: MC mean should match truth. *)
+  let rng_ = rng ~seed:84 () in
+  let l, r =
+    Workload.Correlated.pair rng_ ~n_left:2_000 ~n_right:2_000 ~domain:50 ~skew_left:0.5
+      ~skew_right:0.5 Workload.Correlated.Independent ~attribute:"a"
+  in
+  let c = Catalog.of_list [ ("l", l); ("r", r) ] in
+  let join =
+    Expr.theta_join (P.eq (P.attr "l.a") (P.attr "r.a")) (Expr.base "l") (Expr.base "r")
+  in
+  let truth = Aggregate.exact_sum c ~attribute:"l.a" join in
+  let mean =
+    monte_carlo ~reps:200 (fun () ->
+        (Aggregate.sum_expr rng_ c ~fraction:0.2 ~attribute:"l.a" join).Estimate.point)
+  in
+  check_close ~tol:0.08 "sum over join unbiased" truth mean
+
+let test_sum_expr_replicated_variance () =
+  let c = catalog () in
+  let e = Expr.select pred (Expr.base "r") in
+  let est = Aggregate.sum_expr ~groups:6 (rng ()) c ~fraction:0.05 ~attribute:"v" e in
+  Alcotest.(check bool) "variance attached" true (Estimate.has_variance est)
+
+let test_validation () =
+  let c = catalog () in
+  Alcotest.(check bool) "n too big" true
+    (try
+       ignore
+         (Aggregate.sum_selection (rng ()) c ~relation:"r" ~attribute:"v" ~n:999_999 pred);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "groups" true
+    (try
+       ignore
+         (Aggregate.sum_expr ~groups:0 (rng ()) c ~fraction:0.1 ~attribute:"v" (Expr.base "r"));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "exact sum/avg" `Quick test_exact_sum_avg;
+    Alcotest.test_case "exact with nulls" `Quick test_exact_with_nulls;
+    Alcotest.test_case "sum census exact" `Quick test_sum_census_exact;
+    Alcotest.test_case "sum unbiased (MC)" `Slow test_sum_unbiased_mc;
+    Alcotest.test_case "sum variance honest (MC)" `Slow test_sum_variance_honest;
+    Alcotest.test_case "avg consistent" `Quick test_avg_consistent;
+    Alcotest.test_case "avg with no hits" `Quick test_avg_no_hits;
+    Alcotest.test_case "sum over join unbiased (MC)" `Slow test_sum_expr_spj_unbiased_mc;
+    Alcotest.test_case "sum_expr replicated variance" `Quick test_sum_expr_replicated_variance;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,139 @@
+open Helpers
+module BS = Raestat.Backing_sample
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let schema = Schema.of_list [ ("a", Value.Tint) ]
+
+let tuple v = Tuple.make [ Value.Int v ]
+
+let test_underfull_keeps_everything () =
+  let t = BS.create (rng ()) ~capacity:10 ~schema in
+  let _ids = List.map (fun v -> BS.insert t (tuple v)) [ 1; 2; 3 ] in
+  Alcotest.(check int) "population" 3 (BS.population t);
+  Alcotest.(check int) "sample size" 3 (BS.sample_size t);
+  check_float "fill ratio" 0.3 (BS.fill_ratio t)
+
+let test_capacity_cap () =
+  let t = BS.create (rng ()) ~capacity:50 ~schema in
+  for v = 1 to 10_000 do
+    ignore (BS.insert t (tuple v))
+  done;
+  Alcotest.(check int) "population" 10_000 (BS.population t);
+  Alcotest.(check int) "sample capped" 50 (BS.sample_size t)
+
+let test_uniform_retention () =
+  (* Insert 40 items into capacity 10; each should be retained with
+     probability 1/4. *)
+  let r = rng () in
+  let counts = Array.make 40 0 in
+  let reps = 20_000 in
+  for _ = 1 to reps do
+    let t = BS.create r ~capacity:10 ~schema in
+    let ids = Array.init 40 (fun v -> BS.insert t (tuple v)) in
+    ignore ids;
+    Relation.iter
+      (fun tu -> match Tuple.get tu 0 with Value.Int v -> counts.(v) <- counts.(v) + 1 | _ -> ())
+      (BS.sample t)
+  done;
+  Array.iteri
+    (fun v c ->
+      check_close ~tol:0.06
+        (Printf.sprintf "retention of %d" v)
+        0.25
+        (float_of_int c /. float_of_int reps))
+    counts
+
+let test_delete_sampled () =
+  let t = BS.create (rng ()) ~capacity:10 ~schema in
+  let ids = List.map (fun v -> BS.insert t (tuple v)) [ 1; 2; 3; 4 ] in
+  let second = List.nth ids 1 in
+  Alcotest.(check bool) "delete works" true (BS.delete t second);
+  Alcotest.(check int) "population" 3 (BS.population t);
+  Alcotest.(check int) "sample" 3 (BS.sample_size t);
+  Alcotest.(check bool) "idempotent" false (BS.delete t second)
+
+let test_delete_unsampled () =
+  let r = rng () in
+  let t = BS.create r ~capacity:5 ~schema in
+  let ids = Array.init 100 (fun v -> BS.insert t (tuple v)) in
+  (* Find an id not currently in the sample. *)
+  let sampled_values =
+    Relation.fold
+      (fun acc tu -> match Tuple.get tu 0 with Value.Int v -> v :: acc | _ -> acc)
+      [] (BS.sample t)
+  in
+  let unsampled = Array.to_list ids |> List.find (fun v -> not (List.mem v sampled_values)) in
+  Alcotest.(check bool) "delete unsampled" true (BS.delete t unsampled);
+  Alcotest.(check int) "population shrank" 99 (BS.population t);
+  Alcotest.(check int) "sample untouched" 5 (BS.sample_size t)
+
+let test_invalid_ids () =
+  let t = BS.create (rng ()) ~capacity:5 ~schema in
+  ignore (BS.insert t (tuple 1));
+  Alcotest.(check bool) "negative id" false (BS.delete t (-1));
+  Alcotest.(check bool) "future id" false (BS.delete t 99)
+
+let test_needs_rescan () =
+  let t = BS.create (rng ()) ~capacity:10 ~schema in
+  let ids = Array.init 100 (fun v -> BS.insert t (tuple v)) in
+  Alcotest.(check bool) "fresh: fine" false (BS.needs_rescan t);
+  (* Delete until the sample erodes. *)
+  let deleted = ref 0 in
+  Array.iter
+    (fun id -> if BS.sample_size t > 4 && BS.delete t id then incr deleted)
+    ids;
+  Alcotest.(check bool) "eroded: rescan" true (BS.needs_rescan t)
+
+let test_estimate_count () =
+  let r = rng () in
+  let t = BS.create r ~capacity:500 ~schema in
+  for _ = 1 to 20_000 do
+    ignore (BS.insert t (tuple (Sampling.Rng.int r 100)))
+  done;
+  let est = BS.estimate_count t (P.lt (P.attr "a") (P.vint 25)) in
+  (* True count ≈ 5000. *)
+  check_close ~tol:0.25 "estimate sane" 5_000. est.Estimate.point;
+  Alcotest.(check bool) "variance attached" true (Estimate.has_variance est)
+
+let test_estimate_census () =
+  let t = BS.create (rng ()) ~capacity:100 ~schema in
+  for v = 1 to 50 do
+    ignore (BS.insert t (tuple v))
+  done;
+  let est = BS.estimate_count t (P.le (P.attr "a") (P.vint 10)) in
+  check_float "census exact" 10. est.Estimate.point
+
+let test_estimate_empty_raises () =
+  let t = BS.create (rng ()) ~capacity:5 ~schema in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (BS.estimate_count t P.True);
+       false
+     with Invalid_argument _ -> true)
+
+let test_estimate_tracks_deletions () =
+  let r = rng () in
+  let t = BS.create r ~capacity:1_000 ~schema in
+  let ids = Array.init 10_000 (fun v -> BS.insert t (tuple (v mod 100))) in
+  (* Delete every tuple with value ≥ 50 (half the population). *)
+  Array.iteri (fun v id -> if v mod 100 >= 50 then ignore (BS.delete t id)) ids;
+  Alcotest.(check int) "population halved" 5_000 (BS.population t);
+  let est = BS.estimate_count t (P.lt (P.attr "a") (P.vint 50)) in
+  (* All survivors match. *)
+  check_close ~tol:0.02 "estimate follows deletes" 5_000. est.Estimate.point
+
+let suite =
+  [
+    Alcotest.test_case "underfull keeps everything" `Quick test_underfull_keeps_everything;
+    Alcotest.test_case "capacity cap" `Quick test_capacity_cap;
+    Alcotest.test_case "uniform retention (MC)" `Slow test_uniform_retention;
+    Alcotest.test_case "delete sampled" `Quick test_delete_sampled;
+    Alcotest.test_case "delete unsampled" `Quick test_delete_unsampled;
+    Alcotest.test_case "invalid ids" `Quick test_invalid_ids;
+    Alcotest.test_case "needs_rescan" `Quick test_needs_rescan;
+    Alcotest.test_case "estimate_count" `Quick test_estimate_count;
+    Alcotest.test_case "estimate at census" `Quick test_estimate_census;
+    Alcotest.test_case "estimate on empty raises" `Quick test_estimate_empty_raises;
+    Alcotest.test_case "estimate tracks deletions" `Quick test_estimate_tracks_deletions;
+  ]

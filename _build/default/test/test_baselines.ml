@@ -1,0 +1,191 @@
+open Helpers
+module LN = Baselines.Lipton_naughton
+module Histogram = Baselines.Histogram
+module Exact = Baselines.Exact
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let catalog () =
+  let rng_ = rng ~seed:51 () in
+  Catalog.of_list
+    [
+      ( "r",
+        Workload.Generator.int_relation rng_ ~n:10_000 ~attribute:"a"
+          (Workload.Dist.Uniform { lo = 0; hi = 999 }) );
+    ]
+
+let pred = P.lt (P.attr "a") (P.vint 200)
+
+let test_ln_stops_at_threshold () =
+  let c = catalog () in
+  let result = LN.run (rng ()) c ~relation:"r" ~threshold:50 pred in
+  Alcotest.(check bool) "stopped by threshold" true result.LN.stopped_by_threshold;
+  Alcotest.(check int) "hits" 50 result.LN.hits;
+  (* Selectivity 0.2 ⇒ about 250 draws; certainly below 2000. *)
+  Alcotest.(check bool) "bounded draws" true (result.LN.draws < 2000)
+
+let test_ln_estimate_close () =
+  let c = catalog () in
+  let truth = float_of_int (Eval.count c (Expr.select pred (Expr.base "r"))) in
+  let rng_ = rng ~seed:52 () in
+  let mean =
+    monte_carlo ~reps:300 (fun () ->
+        (LN.run rng_ c ~relation:"r" ~threshold:100 pred).LN.estimate.Estimate.point)
+  in
+  (* The stopping rule's bias is small at threshold 100. *)
+  check_close ~tol:0.05 "near truth" truth mean
+
+let test_ln_rare_predicate_hits_max_draws () =
+  let c = catalog () in
+  let result = LN.run (rng ()) c ~relation:"r" ~threshold:10 ~max_draws:50 P.False in
+  Alcotest.(check bool) "gave up" false result.LN.stopped_by_threshold;
+  Alcotest.(check int) "draws capped" 50 result.LN.draws;
+  check_float "zero estimate" 0. result.LN.estimate.Estimate.point
+
+let test_ln_threshold_formula () =
+  (* k=2, e=0.1 ⇒ 4·1.1/0.01 = 440. *)
+  Alcotest.(check int) "threshold" 440 (LN.threshold_for ~target:0.1 ~k_sigma:2.);
+  Alcotest.(check bool) "bad target" true
+    (try
+       ignore (LN.threshold_for ~target:0. ~k_sigma:2.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ln_status_heuristic () =
+  let c = catalog () in
+  let result = LN.run (rng ()) c ~relation:"r" ~threshold:10 pred in
+  Alcotest.(check bool) "heuristic" true
+    (result.LN.estimate.Estimate.status = Estimate.Heuristic)
+
+let test_histogram_range_uniform_data () =
+  let c = catalog () in
+  let h = Histogram.build (Catalog.find c "r") ~attribute:"a" ~buckets:50 in
+  Alcotest.(check int) "buckets" 50 (Histogram.bucket_count h);
+  Alcotest.(check int) "total" 10_000 (Histogram.total h);
+  let est = Histogram.estimate_range h ~lo:0. ~hi:199. in
+  let truth = float_of_int (Eval.count c (Expr.select pred (Expr.base "r"))) in
+  (* Uniform data: equi-width histogram should be within a few %. *)
+  check_close ~tol:0.05 "range estimate" truth est.Estimate.point
+
+let test_histogram_full_range_is_total () =
+  let c = catalog () in
+  let h = Histogram.build (Catalog.find c "r") ~attribute:"a" ~buckets:20 in
+  let est = Histogram.estimate_range h ~lo:(-1e9) ~hi:1e9 in
+  check_close ~tol:0.001 "whole domain" 10_000. est.Estimate.point
+
+let test_histogram_empty_range () =
+  let c = catalog () in
+  let h = Histogram.build (Catalog.find c "r") ~attribute:"a" ~buckets:20 in
+  check_float "inverted range" 0. (Histogram.estimate_range h ~lo:10. ~hi:5.).Estimate.point
+
+let test_histogram_join_uniform () =
+  let rng_ = rng ~seed:53 () in
+  let mk () =
+    Workload.Generator.int_relation rng_ ~n:5_000 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 499 })
+  in
+  let r1 = mk () and r2 = mk () in
+  let h1 = Histogram.build r1 ~attribute:"a" ~buckets:25 in
+  let h2 = Histogram.build r2 ~attribute:"a" ~buckets:25 in
+  let est = Histogram.estimate_equijoin h1 h2 in
+  let truth =
+    let cat = Catalog.of_list [ ("x", r1); ("y", r2) ] in
+    Eval.count cat
+      (Expr.theta_join (P.eq (P.attr "l.a") (P.attr "r.a")) (Expr.base "x") (Expr.base "y"))
+  in
+  (* Uniform & independent: the histogram model is nearly exact. *)
+  check_close ~tol:0.1 "join estimate" (float_of_int truth) est.Estimate.point
+
+let test_histogram_validation () =
+  let c = catalog () in
+  Alcotest.(check bool) "zero buckets" true
+    (try
+       ignore (Histogram.build (Catalog.find c "r") ~attribute:"a" ~buckets:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty column" true
+    (try
+       ignore
+         (Histogram.build
+            (Relation.empty (Schema.of_list [ ("a", Value.Tint) ]))
+            ~attribute:"a" ~buckets:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_equidepth_structure () =
+  let c = catalog () in
+  let h = Histogram.build_equidepth (Catalog.find c "r") ~attribute:"a" ~buckets:20 in
+  Alcotest.(check bool) "about 20 buckets" true
+    (Histogram.bucket_count h >= 15 && Histogram.bucket_count h <= 21);
+  Alcotest.(check int) "total preserved" 10_000 (Histogram.total h);
+  (* Full-range query returns everything. *)
+  let est = Histogram.estimate_range h ~lo:(-1e9) ~hi:1e9 in
+  check_close ~tol:0.001 "full range" 10_000. est.Estimate.point
+
+let test_equidepth_beats_equiwidth_on_skew () =
+  (* Zipf data: one hot value dominates.  Equi-width smears it over a
+     wide bucket; equi-depth isolates it. *)
+  let rng_ = rng ~seed:54 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:20_000 ~attribute:"a"
+      (Workload.Dist.Zipf { n_values = 1000; skew = 1.2 })
+  in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let truth lo hi =
+    float_of_int
+      (Eval.count c
+         (Expr.select
+            (Predicate.between (Predicate.attr "a") (Value.Int lo) (Value.Int hi))
+            (Expr.base "r")))
+  in
+  let width = Histogram.build r ~attribute:"a" ~buckets:20 in
+  let depth = Histogram.build_equidepth r ~attribute:"a" ~buckets:20 in
+  let total_err h =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        let t = truth lo hi in
+        let est = (Histogram.estimate_range h ~lo:(float_of_int lo) ~hi:(float_of_int hi)).Estimate.point in
+        acc +. Float.abs (est -. t))
+      0.
+      [ (0, 0); (0, 4); (1, 9); (5, 49); (10, 199) ]
+  in
+  let e_width = total_err width and e_depth = total_err depth in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth %.0f < width %.0f" e_depth e_width)
+    true (e_depth < e_width)
+
+let test_equidepth_constant_column () =
+  let r = int_relation (List.init 50 (fun _ -> 7)) in
+  let h = Histogram.build_equidepth r ~attribute:"a" ~buckets:10 in
+  Alcotest.(check int) "one bucket" 1 (Histogram.bucket_count h);
+  check_close ~tol:0.001 "point query" 50.
+    (Histogram.estimate_range h ~lo:7. ~hi:7.).Estimate.point
+
+let test_exact_matches_eval () =
+  let c = catalog () in
+  let e = Expr.select pred (Expr.base "r") in
+  let result = Exact.count c e in
+  Alcotest.(check int) "count" (Eval.count c e) result.Exact.count;
+  Alcotest.(check bool) "time recorded" true (result.Exact.seconds >= 0.);
+  let est = Exact.as_estimate c e in
+  check_float "variance 0" 0. est.Estimate.variance
+
+let suite =
+  [
+    Alcotest.test_case "LN stops at threshold" `Quick test_ln_stops_at_threshold;
+    Alcotest.test_case "LN estimate close (MC)" `Slow test_ln_estimate_close;
+    Alcotest.test_case "LN rare predicate caps draws" `Quick
+      test_ln_rare_predicate_hits_max_draws;
+    Alcotest.test_case "LN threshold formula" `Quick test_ln_threshold_formula;
+    Alcotest.test_case "LN status heuristic" `Quick test_ln_status_heuristic;
+    Alcotest.test_case "histogram range on uniform" `Quick test_histogram_range_uniform_data;
+    Alcotest.test_case "histogram full range" `Quick test_histogram_full_range_is_total;
+    Alcotest.test_case "histogram empty range" `Quick test_histogram_empty_range;
+    Alcotest.test_case "histogram join on uniform" `Quick test_histogram_join_uniform;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "equi-depth structure" `Quick test_equidepth_structure;
+    Alcotest.test_case "equi-depth beats equi-width on skew" `Quick
+      test_equidepth_beats_equiwidth_on_skew;
+    Alcotest.test_case "equi-depth constant column" `Quick test_equidepth_constant_column;
+    Alcotest.test_case "exact matches eval" `Quick test_exact_matches_eval;
+  ]

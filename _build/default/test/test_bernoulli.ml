@@ -1,0 +1,61 @@
+open Helpers
+module Bernoulli = Sampling.Bernoulli
+
+let test_extremes () =
+  let r = rng () in
+  let a = Array.init 100 (fun i -> i) in
+  Alcotest.(check int) "p=0 keeps none" 0 (Array.length (Bernoulli.sample r ~p:0. a));
+  Alcotest.(check int) "p=1 keeps all" 100 (Array.length (Bernoulli.sample r ~p:1. a))
+
+let test_invalid_p () =
+  let r = rng () in
+  Alcotest.(check bool) "p>1" true
+    (try
+       ignore (Bernoulli.sample r ~p:1.5 [| 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "p<0" true
+    (try
+       ignore (Bernoulli.sample r ~p:(-0.1) [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_preserves_order () =
+  let r = rng () in
+  let a = Array.init 200 (fun i -> i) in
+  let s = Bernoulli.sample r ~p:0.5 a in
+  let sorted = Array.copy s in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "subsequence order" true (s = sorted)
+
+let test_expected_size () =
+  check_float "expectation" 25. (Bernoulli.expected_size ~p:0.25 100)
+
+let test_size_distribution () =
+  let r = rng () in
+  let a = Array.init 500 (fun i -> i) in
+  let summary = ref Stats.Summary.empty in
+  for _ = 1 to 2_000 do
+    summary :=
+      Stats.Summary.add !summary (float_of_int (Array.length (Bernoulli.sample r ~p:0.3 a)))
+  done;
+  check_close ~tol:0.02 "mean size" 150. (Stats.Summary.mean !summary);
+  (* Binomial variance n·p·(1−p) = 105. *)
+  check_close ~tol:0.15 "size variance" 105. (Stats.Summary.variance !summary)
+
+let test_relation () =
+  let r = rng () in
+  let relation = int_relation (List.init 100 (fun i -> i)) in
+  let s = Bernoulli.relation r ~p:0.5 relation in
+  Alcotest.(check bool) "schema" true
+    (Schema.equal (Relation.schema relation) (Relation.schema s))
+
+let suite =
+  [
+    Alcotest.test_case "extremes" `Quick test_extremes;
+    Alcotest.test_case "invalid p" `Quick test_invalid_p;
+    Alcotest.test_case "preserves order" `Quick test_preserves_order;
+    Alcotest.test_case "expected size" `Quick test_expected_size;
+    Alcotest.test_case "size distribution" `Quick test_size_distribution;
+    Alcotest.test_case "relation" `Quick test_relation;
+  ]

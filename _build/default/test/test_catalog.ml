@@ -1,0 +1,52 @@
+open Helpers
+
+let test_add_find () =
+  let c = Catalog.create () in
+  Catalog.add c "r" (int_relation [ 1 ]);
+  Alcotest.(check int) "found" 1 (Relation.cardinality (Catalog.find c "r"));
+  Alcotest.(check bool) "mem" true (Catalog.mem c "r");
+  Alcotest.(check bool) "absent" true (Catalog.find_opt c "s" = None)
+
+let test_duplicate_add_rejected () =
+  let c = Catalog.create () in
+  Catalog.add c "r" (int_relation [ 1 ]);
+  Alcotest.check_raises "dup" (Invalid_argument "Catalog.add: \"r\" already bound")
+    (fun () -> Catalog.add c "r" (int_relation [ 2 ]))
+
+let test_set_replaces () =
+  let c = Catalog.create () in
+  Catalog.add c "r" (int_relation [ 1 ]);
+  Catalog.set c "r" (int_relation [ 1; 2 ]);
+  Alcotest.(check int) "replaced" 2 (Relation.cardinality (Catalog.find c "r"))
+
+let test_find_missing_message () =
+  let c = Catalog.create () in
+  Alcotest.check_raises "missing" (Failure "Catalog.find: unknown relation \"ghost\"")
+    (fun () -> ignore (Catalog.find c "ghost"))
+
+let test_names_sorted () =
+  let c = Catalog.of_list [ ("b", int_relation [ 1 ]); ("a", int_relation [ 2 ]) ] in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Catalog.names c)
+
+let test_copy_isolated () =
+  let c = Catalog.of_list [ ("r", int_relation [ 1 ]) ] in
+  let c2 = Catalog.copy c in
+  Catalog.set c2 "r" (int_relation [ 1; 2; 3 ]);
+  Alcotest.(check int) "original untouched" 1 (Relation.cardinality (Catalog.find c "r"));
+  Alcotest.(check int) "copy updated" 3 (Relation.cardinality (Catalog.find c2 "r"))
+
+let test_remove () =
+  let c = Catalog.of_list [ ("r", int_relation [ 1 ]) ] in
+  Catalog.remove c "r";
+  Alcotest.(check bool) "gone" false (Catalog.mem c "r")
+
+let suite =
+  [
+    Alcotest.test_case "add and find" `Quick test_add_find;
+    Alcotest.test_case "duplicate add rejected" `Quick test_duplicate_add_rejected;
+    Alcotest.test_case "set replaces" `Quick test_set_replaces;
+    Alcotest.test_case "find missing message" `Quick test_find_missing_message;
+    Alcotest.test_case "names sorted" `Quick test_names_sorted;
+    Alcotest.test_case "copy isolated" `Quick test_copy_isolated;
+    Alcotest.test_case "remove" `Quick test_remove;
+  ]

@@ -1,0 +1,100 @@
+open Helpers
+module Cluster = Raestat.Cluster_estimator
+module Paged = Relational.Paged
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let relation () = int_relation (List.init 200 (fun i -> i))
+
+let pred = P.lt (P.attr "a") (P.vint 60)
+
+let test_census_exact () =
+  let paged = Paged.make ~page_capacity:20 (relation ()) in
+  let result = Cluster.count (rng ()) ~m:10 paged pred in
+  check_float "exact" 60. result.Cluster.estimate.Estimate.point;
+  check_float "no variance at census" 0. result.Cluster.estimate.Estimate.variance;
+  Alcotest.(check int) "pages read" 10 result.Cluster.pages_read;
+  Alcotest.(check int) "tuples read" 200 result.Cluster.tuples_read
+
+let test_unbiased_mc () =
+  let paged = Paged.make ~page_capacity:10 (relation ()) in
+  let rng_ = rng ~seed:31 () in
+  let mean =
+    monte_carlo ~reps:2000 (fun () ->
+        (Cluster.count rng_ ~m:5 paged pred).Cluster.estimate.Estimate.point)
+  in
+  check_close ~tol:0.05 "mean ≈ 60" 60. mean
+
+let test_variance_formula_honest () =
+  let paged = Paged.make ~page_capacity:10 (relation ()) in
+  let rng_ = rng ~seed:32 () in
+  let estimates =
+    Array.init 1500 (fun _ -> (Cluster.count rng_ ~m:6 paged pred).Cluster.estimate)
+  in
+  let points = Array.map (fun e -> e.Estimate.point) estimates in
+  let empirical = Stats.Summary.variance (Stats.Summary.of_array points) in
+  let predicted =
+    Stats.Summary.mean (Stats.Summary.of_array (Array.map (fun e -> e.Estimate.variance) estimates))
+  in
+  check_close ~tol:0.25 "cluster variance honest" empirical predicted
+
+let test_layout_sensitivity () =
+  (* On data sorted by the filtered attribute, qualifying tuples pack
+     onto few pages ⇒ much higher between-page variance than on a
+     shuffled layout. *)
+  let rng_ = rng ~seed:33 () in
+  let sorted = Workload.Generator.sort_by "a" (relation ()) in
+  let shuffled = Workload.Generator.shuffle rng_ sorted in
+  let variance_of layout =
+    let paged = Paged.make ~page_capacity:10 layout in
+    let points =
+      Array.init 400 (fun _ ->
+          (Cluster.count rng_ ~m:5 paged pred).Cluster.estimate.Estimate.point)
+    in
+    Stats.Summary.variance (Stats.Summary.of_array points)
+  in
+  let v_sorted = variance_of sorted and v_shuffled = variance_of shuffled in
+  Alcotest.(check bool)
+    (Printf.sprintf "sorted (%.1f) ≫ shuffled (%.1f)" v_sorted v_shuffled)
+    true (v_sorted > 4. *. v_shuffled)
+
+let test_m_one_has_no_variance_estimate () =
+  let paged = Paged.make ~page_capacity:10 (relation ()) in
+  let result = Cluster.count (rng ()) ~m:1 paged pred in
+  Alcotest.(check bool) "nan variance" false
+    (Estimate.has_variance result.Cluster.estimate)
+
+let test_custom_measure () =
+  (* Estimate the SUM of values via the generalized measure. *)
+  let paged = Paged.make ~page_capacity:20 (relation ()) in
+  let measure page =
+    Array.fold_left
+      (fun acc t -> match Tuple.get t 0 with Value.Int i -> acc +. float_of_int i | _ -> acc)
+      0. page
+  in
+  let result = Cluster.estimate (rng ()) ~m:10 paged ~measure in
+  check_float "census sum" (float_of_int (200 * 199 / 2)) result.Cluster.estimate.Estimate.point
+
+let test_invalid_m () =
+  let paged = Paged.make ~page_capacity:20 (relation ()) in
+  Alcotest.(check bool) "m=0" true
+    (try
+       ignore (Cluster.count (rng ()) ~m:0 paged pred);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "m too large" true
+    (try
+       ignore (Cluster.count (rng ()) ~m:11 paged pred);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "census exact" `Quick test_census_exact;
+    Alcotest.test_case "unbiased (MC)" `Slow test_unbiased_mc;
+    Alcotest.test_case "variance formula honest (MC)" `Slow test_variance_formula_honest;
+    Alcotest.test_case "layout sensitivity" `Slow test_layout_sensitivity;
+    Alcotest.test_case "m=1 has no variance" `Quick test_m_one_has_no_variance_estimate;
+    Alcotest.test_case "custom measure (SUM)" `Quick test_custom_measure;
+    Alcotest.test_case "invalid m" `Quick test_invalid_m;
+  ]

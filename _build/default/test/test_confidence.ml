@@ -1,0 +1,83 @@
+open Helpers
+module Confidence = Stats.Confidence
+
+let test_z_values () =
+  check_float ~eps:1e-3 "95%" 1.960 (Confidence.z_value ~level:0.95);
+  check_float ~eps:1e-3 "90%" 1.645 (Confidence.z_value ~level:0.90);
+  check_float ~eps:1e-3 "99%" 2.576 (Confidence.z_value ~level:0.99)
+
+let test_normal_interval () =
+  let i = Confidence.normal ~level:0.95 ~point:100. ~stderr:10. in
+  check_float ~eps:1e-2 "lo" 80.4 i.Confidence.lo;
+  check_float ~eps:1e-2 "hi" 119.6 i.Confidence.hi;
+  Alcotest.(check bool) "contains point" true (Confidence.contains i 100.);
+  check_float ~eps:1e-2 "half width" 19.6 (Confidence.half_width i)
+
+let test_zero_stderr () =
+  let i = Confidence.normal ~level:0.95 ~point:5. ~stderr:0. in
+  check_float "degenerate lo" 5. i.Confidence.lo;
+  check_float "degenerate hi" 5. i.Confidence.hi
+
+let test_student_wider_than_normal () =
+  let n = Confidence.normal ~level:0.95 ~point:0. ~stderr:1. in
+  let t = Confidence.student_t ~level:0.95 ~df:5. ~point:0. ~stderr:1. in
+  Alcotest.(check bool) "t wider" true
+    (Confidence.width t > Confidence.width n)
+
+let test_chebyshev_wider_than_normal () =
+  let n = Confidence.normal ~level:0.95 ~point:0. ~stderr:1. in
+  let c = Confidence.chebyshev ~level:0.95 ~point:0. ~stderr:1. in
+  Alcotest.(check bool) "chebyshev wider" true (Confidence.width c > Confidence.width n);
+  (* k = 1/√0.05 ≈ 4.472 *)
+  check_float ~eps:1e-3 "chebyshev k" 4.472 (Confidence.half_width c)
+
+let test_fpc () =
+  check_float ~eps:1e-12 "no sampling" (sqrt (100. /. 99.)) (Confidence.fpc ~big_n:100 ~n:0);
+  check_float ~eps:1e-12 "full census" 0. (Confidence.fpc ~big_n:100 ~n:100);
+  check_float ~eps:1e-9 "half" (sqrt (50. /. 99.)) (Confidence.fpc ~big_n:100 ~n:50);
+  check_float "tiny population" 1. (Confidence.fpc ~big_n:1 ~n:1)
+
+let test_clamp () =
+  let i = Confidence.normal ~level:0.95 ~point:1. ~stderr:10. in
+  let c = Confidence.clamp_nonnegative i in
+  check_float "clamped lo" 0. c.Confidence.lo;
+  Alcotest.(check bool) "hi untouched" true (c.Confidence.hi = i.Confidence.hi)
+
+let test_invalid_level () =
+  Alcotest.(check bool) "level 0" true
+    (try
+       ignore (Confidence.normal ~level:0. ~point:0. ~stderr:1.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative stderr" true
+    (try
+       ignore (Confidence.normal ~level:0.9 ~point:0. ~stderr:(-1.));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_interval_symmetric =
+  qcheck_case "normal interval symmetric about point"
+    QCheck.(pair (float_range (-100.) 100.) (float_range 0. 10.))
+    (fun (point, stderr) ->
+      let i = Confidence.normal ~level:0.9 ~point ~stderr in
+      Float.abs (i.Confidence.hi +. i.Confidence.lo -. (2. *. point)) < 1e-9)
+
+let prop_higher_level_wider =
+  qcheck_case "higher level ⇒ wider" (QCheck.float_range 0.5 0.94) (fun level ->
+      let narrow = Confidence.normal ~level ~point:0. ~stderr:1. in
+      let wide = Confidence.normal ~level:0.99 ~point:0. ~stderr:1. in
+      Confidence.width wide > Confidence.width narrow)
+
+let suite =
+  [
+    Alcotest.test_case "z values" `Quick test_z_values;
+    Alcotest.test_case "normal interval" `Quick test_normal_interval;
+    Alcotest.test_case "zero stderr" `Quick test_zero_stderr;
+    Alcotest.test_case "student wider than normal" `Quick test_student_wider_than_normal;
+    Alcotest.test_case "chebyshev wider than normal" `Quick test_chebyshev_wider_than_normal;
+    Alcotest.test_case "fpc" `Quick test_fpc;
+    Alcotest.test_case "clamp nonnegative" `Quick test_clamp;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_level;
+    prop_interval_symmetric;
+    prop_higher_level_wider;
+  ]

@@ -1,0 +1,77 @@
+open Helpers
+module Csv = Relational.Csv
+
+let sample_relation () =
+  Relation.make
+    (Schema.of_list [ ("id", Value.Tint); ("name", Value.Tstr); ("score", Value.Tfloat) ])
+    [
+      Tuple.make [ Value.Int 1; Value.Str "alice"; Value.Float 1.5 ];
+      Tuple.make [ Value.Int 2; Value.Str "bob,jr"; Value.Float 2.0 ];
+      Tuple.make [ Value.Int 3; Value.Str "with \"quotes\""; Value.Float 0.25 ];
+      Tuple.make [ Value.Int 4; Value.Null; Value.Float (-3.5) ];
+    ]
+
+let test_roundtrip () =
+  let r = sample_relation () in
+  let r2 = Csv.read_string (Csv.write_string r) in
+  Alcotest.(check bool) "schema" true (Schema.equal (Relation.schema r) (Relation.schema r2));
+  Alcotest.(check int) "card" (Relation.cardinality r) (Relation.cardinality r2);
+  Relation.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tuple %s present" (Tuple.to_string t))
+        true
+        (Relation.count (Tuple.equal t) r2 = Relation.count (Tuple.equal t) r))
+    r
+
+let test_header_format () =
+  let text = Csv.write_string (sample_relation ()) in
+  let first_line = List.hd (String.split_on_char '\n' text) in
+  Alcotest.(check string) "header" "id:int,name:string,score:float" first_line
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  nl = 0 || loop 0
+
+let test_quoting () =
+  let text = Csv.write_string (sample_relation ()) in
+  Alcotest.(check bool) "comma quoted" true (contains_substring ~needle:"\"bob,jr\"" text);
+  Alcotest.(check bool) "inner quotes doubled" true
+    (contains_substring ~needle:"\"with \"\"quotes\"\"\"" text)
+
+let test_malformed_rows () =
+  let check_fails name text =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Csv.read_string text);
+         false
+       with Failure _ -> true)
+  in
+  check_fails "empty" "";
+  check_fails "no type" "a,b\n1,2\n";
+  check_fails "bad type name" "a:int,b:frob\n1,2\n";
+  check_fails "wrong field count" "a:int,b:int\n1\n";
+  check_fails "non-numeric int" "a:int\nxyz\n"
+
+let test_crlf_tolerated () =
+  let r = Csv.read_string "a:int\r\n1\r\n2\r\n" in
+  Alcotest.(check int) "rows" 2 (Relation.cardinality r)
+
+let test_file_roundtrip () =
+  let r = sample_relation () in
+  let path = Filename.temp_file "raestat" ".csv" in
+  Csv.save path r;
+  let r2 = Csv.load path in
+  Sys.remove path;
+  Alcotest.(check int) "card" (Relation.cardinality r) (Relation.cardinality r2)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "header format" `Quick test_header_format;
+    Alcotest.test_case "quoting" `Quick test_quoting;
+    Alcotest.test_case "malformed rows" `Quick test_malformed_rows;
+    Alcotest.test_case "CRLF tolerated" `Quick test_crlf_tolerated;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+  ]

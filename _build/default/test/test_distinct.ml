@@ -1,0 +1,215 @@
+open Helpers
+module Distinct = Raestat.Distinct
+module Estimate = Stats.Estimate
+
+let test_fof () =
+  let tuples = Array.of_list (List.map (fun v -> Tuple.make [ Value.Int v ]) [ 1; 1; 2; 3; 3; 3 ]) in
+  Alcotest.(check (list (pair int int))) "fof" [ (1, 1); (2, 1); (3, 1) ]
+    (Distinct.frequency_of_frequencies tuples)
+
+let test_fof_validation () =
+  Alcotest.(check bool) "fof/n mismatch" true
+    (try
+       ignore (Distinct.estimate_from_fof ~method_:Distinct.Chao1 ~big_n:10 ~n:3 [ (1, 2) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad n" true
+    (try
+       ignore (Distinct.estimate_from_fof ~method_:Distinct.Chao1 ~big_n:2 ~n:5 [ (1, 5) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Exhaustive unbiasedness: enumerate all C(N,n) SRSWOR samples of a
+   small population, average Goodman's estimate, compare with the true
+   number of distinct values.  Valid when n >= max class size. *)
+let exhaustive_goodman_mean population n =
+  let big_n = List.length population in
+  let values = Array.of_list population in
+  let samples = all_samples ~n:big_n ~k:n in
+  let total =
+    List.fold_left
+      (fun acc sample ->
+        let tuples =
+          Array.of_list (List.map (fun i -> Tuple.make [ Value.Int values.(i) ]) sample)
+        in
+        let fof = Distinct.frequency_of_frequencies tuples in
+        let est = Distinct.estimate_from_fof ~method_:Distinct.Goodman ~big_n ~n fof in
+        acc +. est.Estimate.point)
+      0. samples
+  in
+  total /. float_of_int (List.length samples)
+
+let true_distinct population = List.length (List.sort_uniq Int.compare population)
+
+let test_goodman_exhaustively_unbiased () =
+  (* Several small populations; n at least the max class size. *)
+  let cases =
+    [
+      ([ 1; 1; 2 ], 2);
+      ([ 1; 2; 3; 4 ], 2);
+      ([ 1; 1; 2; 2 ], 2);
+      ([ 1; 1; 2; 3 ], 2);
+      ([ 1; 1; 1; 2; 3 ], 3);
+      ([ 5; 5; 6; 6; 7 ], 2);
+      ([ 1; 2; 2; 3; 3; 3 ], 3);
+    ]
+  in
+  List.iter
+    (fun (population, n) ->
+      let expected = float_of_int (true_distinct population) in
+      let mean = exhaustive_goodman_mean population n in
+      check_float ~eps:1e-6
+        (Printf.sprintf "E[goodman] over %d-samples" n)
+        expected mean)
+    cases
+
+let test_goodman_census_is_exact () =
+  let tuples = Array.of_list (List.map (fun v -> Tuple.make [ Value.Int v ]) [ 1; 1; 2 ]) in
+  let fof = Distinct.frequency_of_frequencies tuples in
+  let est = Distinct.estimate_from_fof ~method_:Distinct.Goodman ~big_n:3 ~n:3 fof in
+  check_float "census" 2. est.Estimate.point
+
+let test_chao1 () =
+  (* d=3, f1=2, f2=1 ⇒ 3 + 2·1/(2·2) = 3.5. *)
+  let fof = [ (1, 2); (2, 1) ] in
+  let est = Distinct.estimate_from_fof ~method_:Distinct.Chao1 ~big_n:100 ~n:4 fof in
+  check_float "chao1" 3.5 est.Estimate.point;
+  (* f2 = 0 stays finite. *)
+  let est0 = Distinct.estimate_from_fof ~method_:Distinct.Chao1 ~big_n:100 ~n:2 [ (1, 2) ] in
+  check_float "chao1 f2=0" 3. est0.Estimate.point
+
+let test_gee () =
+  (* N=100, n=4, f1=2, f2=1 ⇒ √25·2 + 1 = 11. *)
+  let est = Distinct.estimate_from_fof ~method_:Distinct.Gee ~big_n:100 ~n:4 [ (1, 2); (2, 1) ] in
+  check_float "gee" 11. est.Estimate.point
+
+let test_shlosser () =
+  (* Census: D̂ = d. *)
+  let tuples = Array.of_list (List.map (fun v -> Tuple.make [ Value.Int v ]) [ 1; 1; 2 ]) in
+  let fof = Distinct.frequency_of_frequencies tuples in
+  let est = Distinct.estimate_from_fof ~method_:Distinct.Shlosser ~big_n:3 ~n:3 fof in
+  check_float "census" 2. est.Estimate.point;
+  (* Hand computation: N=100, n=50 (q=1/2), fof = [(1, 4); (2, 3)]:
+     numerator = 0.5·4 + 0.25·3 = 2.75
+     denominator = 1·0.5·1·4 + 2·0.5·0.5·3 = 3.5
+     D̂ = 7 + 4·2.75/3.5 = 10.142857… *)
+  let est2 =
+    Distinct.estimate_from_fof ~method_:Distinct.Shlosser ~big_n:100 ~n:10
+      [ (1, 4); (2, 3) ]
+  in
+  (* q = 0.1 here: numerator = 0.9·4+0.81·3 = 6.03;
+     denominator = 0.1·4 + 2·0.1·0.9·3 = 0.94; D̂ = 7 + 4·6.03/0.94. *)
+  check_float ~eps:1e-9 "hand value" (7. +. (4. *. 6.03 /. 0.94)) est2.Estimate.point
+
+let test_shlosser_plausible_on_skew () =
+  let rng_ = rng ~seed:14 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:20_000 ~attribute:"a"
+      (Workload.Dist.Zipf { n_values = 100; skew = 1.0 })
+  in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let est =
+    Distinct.estimate rng_ c ~method_:Distinct.Shlosser ~relation:"r" ~attributes:[ "a" ]
+      ~n:1_000
+  in
+  Alcotest.(check bool) "plausible" true (Distinct.plausible ~big_n:20_000 est);
+  (* Within a factor of a few of the true 100. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "in range (%.0f)" est.Estimate.point)
+    true
+    (est.Estimate.point >= 30. && est.Estimate.point <= 300.)
+
+let test_scale_up_and_sample_distinct () =
+  let fof = [ (1, 2); (2, 1) ] in
+  let scale = Distinct.estimate_from_fof ~method_:Distinct.Scale_up ~big_n:100 ~n:4 fof in
+  check_float "scale-up" 75. scale.Estimate.point;
+  let plain = Distinct.estimate_from_fof ~method_:Distinct.Sample_distinct ~big_n:100 ~n:4 fof in
+  check_float "sample distinct" 3. plain.Estimate.point
+
+let test_statuses () =
+  let fof = [ (1, 1) ] in
+  let status m = (Distinct.estimate_from_fof ~method_:m ~big_n:10 ~n:1 fof).Estimate.status in
+  Alcotest.(check bool) "goodman unbiased" true (status Distinct.Goodman = Estimate.Unbiased);
+  Alcotest.(check bool) "scale-up heuristic" true (status Distinct.Scale_up = Estimate.Heuristic);
+  Alcotest.(check bool) "chao consistent" true (status Distinct.Chao1 = Estimate.Consistent)
+
+let test_estimate_on_key_column () =
+  (* All values distinct: every estimator with scale behaviour should
+     be close to N; sample_distinct reports n. *)
+  let c = Catalog.of_list [ ("k", int_relation (List.init 500 (fun i -> i))) ] in
+  let est m = Distinct.estimate (rng ()) c ~method_:m ~relation:"k" ~attributes:[ "a" ] ~n:50 in
+  check_float "scale-up key" 500. (est Distinct.Scale_up).Estimate.point;
+  check_float "sample distinct key" 50. (est Distinct.Sample_distinct).Estimate.point;
+  (* GEE with all-f1: √(500/50)·50 = 158.1… underestimates a key column
+     but stays positive. *)
+  Alcotest.(check bool) "gee positive" true ((est Distinct.Gee).Estimate.point > 0.)
+
+let test_exact () =
+  let c = Catalog.of_list [ ("t", int_relation [ 1; 1; 2; 5; 5; 5 ]) ] in
+  Alcotest.(check int) "exact" 3 (Distinct.exact c ~relation:"t" ~attributes:[ "a" ])
+
+let test_multi_attribute_distinct () =
+  let r = two_column_relation [ (1, 1); (1, 1); (1, 2); (2, 1) ] in
+  let c = Catalog.of_list [ ("r", r) ] in
+  Alcotest.(check int) "pairs" 3 (Distinct.exact c ~relation:"r" ~attributes:[ "a"; "b" ]);
+  Alcotest.(check int) "first attr only" 2 (Distinct.exact c ~relation:"r" ~attributes:[ "a" ])
+
+let test_plausible () =
+  let ok = Estimate.make ~status:Estimate.Unbiased ~sample_size:1 50. in
+  let negative = Estimate.make ~status:Estimate.Unbiased ~sample_size:1 (-3.) in
+  let huge = Estimate.make ~status:Estimate.Unbiased ~sample_size:1 1e30 in
+  Alcotest.(check bool) "in range" true (Distinct.plausible ~big_n:100 ok);
+  Alcotest.(check bool) "negative" false (Distinct.plausible ~big_n:100 negative);
+  Alcotest.(check bool) "huge" false (Distinct.plausible ~big_n:100 huge)
+
+let test_goodman_unstable_at_small_fraction_on_skew () =
+  (* The documented failure mode: tiny fraction + skew ⇒ implausible
+     Goodman value, while Chao1 stays in range. *)
+  let rng_ = rng ~seed:13 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:20_000 ~attribute:"a"
+      (Workload.Dist.Zipf { n_values = 100; skew = 1.0 })
+  in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let goodman =
+    Distinct.estimate rng_ c ~method_:Distinct.Goodman ~relation:"r" ~attributes:[ "a" ]
+      ~n:1_000
+  in
+  let chao =
+    Distinct.estimate rng_ c ~method_:Distinct.Chao1 ~relation:"r" ~attributes:[ "a" ]
+      ~n:1_000
+  in
+  Alcotest.(check bool) "goodman blows up" false (Distinct.plausible ~big_n:20_000 goodman);
+  Alcotest.(check bool) "chao stays sane" true (Distinct.plausible ~big_n:20_000 chao)
+
+let test_methods_roundtrip_names () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Distinct.method_to_string m)
+        true
+        (String.length (Distinct.method_to_string m) > 0))
+    Distinct.all_methods
+
+let suite =
+  [
+    Alcotest.test_case "frequency of frequencies" `Quick test_fof;
+    Alcotest.test_case "fof validation" `Quick test_fof_validation;
+    Alcotest.test_case "Goodman exhaustively unbiased" `Quick
+      test_goodman_exhaustively_unbiased;
+    Alcotest.test_case "Goodman census exact" `Quick test_goodman_census_is_exact;
+    Alcotest.test_case "Chao1" `Quick test_chao1;
+    Alcotest.test_case "GEE" `Quick test_gee;
+    Alcotest.test_case "Shlosser" `Quick test_shlosser;
+    Alcotest.test_case "Shlosser plausible on skew" `Quick test_shlosser_plausible_on_skew;
+    Alcotest.test_case "scale-up and sample-distinct" `Quick
+      test_scale_up_and_sample_distinct;
+    Alcotest.test_case "statuses" `Quick test_statuses;
+    Alcotest.test_case "key column behaviour" `Quick test_estimate_on_key_column;
+    Alcotest.test_case "exact" `Quick test_exact;
+    Alcotest.test_case "multi-attribute distinct" `Quick test_multi_attribute_distinct;
+    Alcotest.test_case "plausible" `Quick test_plausible;
+    Alcotest.test_case "Goodman unstable at small fraction" `Quick
+      test_goodman_unstable_at_small_fraction_on_skew;
+    Alcotest.test_case "method names" `Quick test_methods_roundtrip_names;
+  ]

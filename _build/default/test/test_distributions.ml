@@ -1,0 +1,125 @@
+open Helpers
+module D = Stats.Distributions
+
+let test_erf_known_values () =
+  (* Reference values, |error| tolerance 2e-7 from the A&S formula. *)
+  check_float ~eps:1e-6 "erf 0" 0. (D.erf 0.);
+  check_float ~eps:1e-6 "erf 1" 0.8427007929 (D.erf 1.);
+  check_float ~eps:1e-6 "erf 2" 0.9953222650 (D.erf 2.);
+  check_float ~eps:1e-6 "erf -1" (-0.8427007929) (D.erf (-1.))
+
+let test_normal_cdf () =
+  check_float ~eps:1e-6 "Φ(0)" 0.5 (D.normal_cdf 0.);
+  check_float ~eps:1e-6 "Φ(1.96)" 0.9750021049 (D.normal_cdf 1.96);
+  check_float ~eps:1e-6 "Φ(-1.96)" 0.0249978951 (D.normal_cdf (-1.96));
+  (* Symmetry *)
+  check_float ~eps:1e-9 "symmetry" 1. (D.normal_cdf 0.7 +. D.normal_cdf (-0.7))
+
+let test_normal_quantile () =
+  check_float ~eps:1e-4 "z(0.975)" 1.959964 (D.normal_quantile 0.975);
+  check_float ~eps:1e-4 "z(0.995)" 2.575829 (D.normal_quantile 0.995);
+  check_float ~eps:1e-6 "z(0.5)" 0. (D.normal_quantile 0.5);
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "Distributions.normal_quantile: p outside (0, 1)") (fun () ->
+      ignore (D.normal_quantile 0.))
+
+let test_quantile_cdf_roundtrip () =
+  List.iter
+    (fun p -> check_float ~eps:1e-5 (Printf.sprintf "roundtrip %g" p) p
+        (D.normal_cdf (D.normal_quantile p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_log_gamma_factorials () =
+  (* Γ(n+1) = n! *)
+  check_float ~eps:1e-9 "0!" 0. (D.log_gamma 1.);
+  check_float ~eps:1e-9 "1!" 0. (D.log_gamma 2.);
+  check_float ~eps:1e-8 "4!" (log 24.) (D.log_gamma 5.);
+  check_float ~eps:1e-7 "10!" (log 3628800.) (D.log_gamma 11.);
+  (* Γ(1/2) = √π *)
+  check_float ~eps:1e-8 "Γ(1/2)" (0.5 *. log Float.pi) (D.log_gamma 0.5)
+
+let test_log_choose () =
+  check_float ~eps:1e-9 "n choose 0" 0. (D.log_choose 10 0);
+  check_float ~eps:1e-9 "n choose n" 0. (D.log_choose 10 10);
+  check_float ~eps:1e-8 "10 choose 3" (log 120.) (D.log_choose 10 3);
+  check_float ~eps:1e-6 "52 choose 5" (log 2598960.) (D.log_choose 52 5);
+  Alcotest.(check bool) "k>n rejected" true
+    (try
+       ignore (D.log_choose 3 4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_incomplete_beta () =
+  (* I_x(1,1) = x. *)
+  check_float ~eps:1e-9 "I_x(1,1)" 0.3 (D.incomplete_beta ~a:1. ~b:1. 0.3);
+  (* I_x(1,b) = 1−(1−x)^b. *)
+  check_float ~eps:1e-9 "I_x(1,3)" (1. -. (0.75 ** 3.)) (D.incomplete_beta ~a:1. ~b:3. 0.25);
+  (* Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a). *)
+  check_float ~eps:1e-9 "symmetry"
+    (1. -. D.incomplete_beta ~a:5. ~b:2. 0.6)
+    (D.incomplete_beta ~a:2. ~b:5. 0.4);
+  check_float ~eps:1e-12 "endpoints 0" 0. (D.incomplete_beta ~a:2. ~b:2. 0.);
+  check_float ~eps:1e-12 "endpoints 1" 1. (D.incomplete_beta ~a:2. ~b:2. 1.)
+
+let test_student_t_cdf () =
+  check_float ~eps:1e-9 "t=0" 0.5 (D.student_t_cdf ~df:7. 0.);
+  (* df=1 is Cauchy: F(1) = 3/4. *)
+  check_float ~eps:1e-7 "cauchy" 0.75 (D.student_t_cdf ~df:1. 1.);
+  (* Large df approximates the normal. *)
+  check_float ~eps:1e-3 "df→∞" (D.normal_cdf 1.5) (D.student_t_cdf ~df:2000. 1.5);
+  (* Symmetry. *)
+  check_float ~eps:1e-9 "symmetry" 1.
+    (D.student_t_cdf ~df:5. 1.3 +. D.student_t_cdf ~df:5. (-1.3))
+
+let test_student_t_quantile () =
+  (* Classic table values. *)
+  check_float ~eps:2e-3 "df=10, 97.5%" 2.228 (D.student_t_quantile ~df:10. 0.975);
+  check_float ~eps:2e-3 "df=5, 97.5%" 2.571 (D.student_t_quantile ~df:5. 0.975);
+  check_float ~eps:2e-3 "df=30, 95%" 1.697 (D.student_t_quantile ~df:30. 0.95);
+  check_float ~eps:1e-9 "median" 0. (D.student_t_quantile ~df:3. 0.5);
+  (* Roundtrip. *)
+  check_float ~eps:1e-6 "roundtrip" 0.9 (D.student_t_cdf ~df:12. (D.student_t_quantile ~df:12. 0.9))
+
+let test_binomial_moments () =
+  let mean, var = D.binomial_mean_var ~n:100 ~p:0.3 in
+  check_float "mean" 30. mean;
+  check_float "var" 21. var
+
+let test_hypergeometric_moments () =
+  (* N=10, K=4, n=5: mean = 2, var = 5·0.4·0.6·(5/9). *)
+  let mean, var = D.hypergeometric_mean_var ~big_n:10 ~k:4 ~n:5 in
+  check_float "mean" 2. mean;
+  check_float ~eps:1e-9 "var" (5. *. 0.4 *. 0.6 *. (5. /. 9.)) var;
+  let mean0, var0 = D.hypergeometric_mean_var ~big_n:0 ~k:0 ~n:0 in
+  check_float "empty mean" 0. mean0;
+  check_float "empty var" 0. var0
+
+let prop_cdf_monotone =
+  qcheck_case "normal_cdf monotone" QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (x, y) ->
+      let lo = Float.min x y and hi = Float.max x y in
+      D.normal_cdf lo <= D.normal_cdf hi +. 1e-12)
+
+let prop_incomplete_beta_in_range =
+  qcheck_case "incomplete beta in [0,1]"
+    QCheck.(triple (float_range 0.5 10.) (float_range 0.5 10.) (float_range 0. 1.))
+    (fun (a, b, x) ->
+      let v = D.incomplete_beta ~a ~b x in
+      v >= -1e-12 && v <= 1. +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "erf known values" `Quick test_erf_known_values;
+    Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+    Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+    Alcotest.test_case "quantile/cdf roundtrip" `Quick test_quantile_cdf_roundtrip;
+    Alcotest.test_case "log_gamma factorials" `Quick test_log_gamma_factorials;
+    Alcotest.test_case "log_choose" `Quick test_log_choose;
+    Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+    Alcotest.test_case "student t cdf" `Quick test_student_t_cdf;
+    Alcotest.test_case "student t quantile" `Quick test_student_t_quantile;
+    Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
+    Alcotest.test_case "hypergeometric moments" `Quick test_hypergeometric_moments;
+    prop_cdf_monotone;
+    prop_incomplete_beta_in_range;
+  ]

@@ -1,0 +1,63 @@
+open Helpers
+module Estimate = Stats.Estimate
+
+let est = Estimate.make ~variance:25. ~label:"test" ~status:Estimate.Unbiased ~sample_size:10 100.
+
+let test_fields () =
+  check_float "point" 100. est.Estimate.point;
+  check_float "stderr" 5. (Estimate.stderr est);
+  Alcotest.(check bool) "has variance" true (Estimate.has_variance est)
+
+let test_no_variance () =
+  let e = Estimate.make ~status:Estimate.Consistent ~sample_size:5 7. in
+  Alcotest.(check bool) "no variance" false (Estimate.has_variance e);
+  Alcotest.(check bool) "ci raises" true
+    (try
+       ignore (Estimate.ci ~level:0.95 e);
+       false
+     with Invalid_argument _ -> true)
+
+let test_negative_variance_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Estimate.make ~variance:(-1.) ~status:Estimate.Unbiased ~sample_size:1 0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ci_clamped () =
+  let e = Estimate.make ~variance:10000. ~status:Estimate.Unbiased ~sample_size:4 10. in
+  let i = Estimate.ci ~level:0.99 e in
+  Alcotest.(check bool) "lo clamped at 0" true (i.Stats.Confidence.lo = 0.)
+
+let test_ci_widths_ordered () =
+  let normal = Estimate.ci ~level:0.95 est in
+  let cheb = Estimate.ci_chebyshev ~level:0.95 est in
+  Alcotest.(check bool) "chebyshev wider" true
+    (Stats.Confidence.width cheb > Stats.Confidence.width normal)
+
+let test_errors_vs_truth () =
+  check_float "relative" 0.25 (Estimate.relative_error ~truth:80. est);
+  check_float "absolute" 20. (Estimate.absolute_error ~truth:80. est);
+  let zero = Estimate.make ~status:Estimate.Unbiased ~sample_size:1 0. in
+  check_float "zero/zero" 0. (Estimate.relative_error ~truth:0. zero);
+  Alcotest.(check bool) "nonzero/zero" true
+    (Float.is_integer (Estimate.relative_error ~truth:0. est) = false
+    || Estimate.relative_error ~truth:0. est = Float.infinity)
+
+let test_status_strings () =
+  Alcotest.(check string) "unbiased" "unbiased" (Estimate.status_to_string Estimate.Unbiased);
+  Alcotest.(check string) "consistent" "consistent"
+    (Estimate.status_to_string Estimate.Consistent);
+  Alcotest.(check string) "heuristic" "heuristic"
+    (Estimate.status_to_string Estimate.Heuristic)
+
+let suite =
+  [
+    Alcotest.test_case "fields" `Quick test_fields;
+    Alcotest.test_case "no variance" `Quick test_no_variance;
+    Alcotest.test_case "negative variance rejected" `Quick test_negative_variance_rejected;
+    Alcotest.test_case "ci clamped" `Quick test_ci_clamped;
+    Alcotest.test_case "ci widths ordered" `Quick test_ci_widths_ordered;
+    Alcotest.test_case "errors vs truth" `Quick test_errors_vs_truth;
+    Alcotest.test_case "status strings" `Quick test_status_strings;
+  ]

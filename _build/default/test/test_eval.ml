@@ -1,0 +1,285 @@
+open Helpers
+module P = Predicate
+
+let catalog () =
+  Catalog.of_list
+    [
+      ("r", two_column_relation ~names:("a", "b") [ (1, 10); (1, 11); (2, 20); (3, 30) ]);
+      ("s", two_column_relation ~names:("c", "d") [ (1, 100); (1, 101); (2, 200) ]);
+      ("t", int_relation [ 1; 2; 2; 3 ]);
+    ]
+
+let count e = Eval.count (catalog ()) e
+
+let test_base () = Alcotest.(check int) "base" 4 (count (Expr.base "r"))
+
+let test_select () =
+  Alcotest.(check int) "a=1" 2 (count (Expr.select (P.eq (P.attr "a") (P.vint 1)) (Expr.base "r")));
+  Alcotest.(check int) "none" 0 (count (Expr.select P.False (Expr.base "r")));
+  Alcotest.(check int) "all" 4 (count (Expr.select P.True (Expr.base "r")))
+
+let test_project_bag_vs_distinct () =
+  (* Bag projection keeps duplicates; Distinct removes them. *)
+  Alcotest.(check int) "bag" 4 (count (Expr.project [ "a" ] (Expr.base "r")));
+  Alcotest.(check int) "set" 3 (count (Expr.project_distinct [ "a" ] (Expr.base "r")))
+
+let test_product () =
+  Alcotest.(check int) "product" 12 (count (Expr.product (Expr.base "r") (Expr.base "s")))
+
+let test_equijoin () =
+  (* a=1 matches c=1 (2×2 pairs), a=2 matches c=2 (1×1), a=3 nothing. *)
+  Alcotest.(check int) "join" 5
+    (count (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s")))
+
+let test_equijoin_matches_filtered_product () =
+  let join = Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s") in
+  let filtered =
+    Expr.select (P.eq (P.attr "a") (P.attr "c")) (Expr.product (Expr.base "r") (Expr.base "s"))
+  in
+  Alcotest.(check int) "same count" (count filtered) (count join)
+
+let test_theta_join () =
+  let theta = Expr.theta_join (P.lt (P.attr "a") (P.attr "c")) (Expr.base "r") (Expr.base "s") in
+  (* pairs with a < c: a=1 with c=2 (2×1)=2. *)
+  Alcotest.(check int) "theta" 2 (count theta)
+
+let test_self_join_qualified_predicate () =
+  let e =
+    Expr.theta_join
+      (P.eq (P.attr "l.a") (P.attr "r.a"))
+      (Expr.base "r") (Expr.base "r")
+  in
+  (* Value 1 appears twice: 4 pairs; values 2 and 3 once each: 1 + 1. *)
+  Alcotest.(check int) "self join" 6 (count e)
+
+let test_set_operations () =
+  let c =
+    Catalog.of_list
+      [ ("x", int_relation [ 1; 2; 3 ]); ("y", int_relation [ 2; 3; 4; 5 ]) ]
+  in
+  Alcotest.(check int) "union" 5 (Eval.count c (Expr.union (Expr.base "x") (Expr.base "y")));
+  Alcotest.(check int) "inter" 2 (Eval.count c (Expr.inter (Expr.base "x") (Expr.base "y")));
+  Alcotest.(check int) "diff" 1 (Eval.count c (Expr.diff (Expr.base "x") (Expr.base "y")));
+  Alcotest.(check int) "diff rev" 2 (Eval.count c (Expr.diff (Expr.base "y") (Expr.base "x")))
+
+let test_set_operations_dedup_operands () =
+  (* Operands with duplicates are treated as sets. *)
+  let c = Catalog.of_list [ ("x", int_relation [ 1; 1; 2 ]); ("y", int_relation [ 2; 2 ]) ] in
+  Alcotest.(check int) "union" 2 (Eval.count c (Expr.union (Expr.base "x") (Expr.base "y")));
+  Alcotest.(check int) "inter" 1 (Eval.count c (Expr.inter (Expr.base "x") (Expr.base "y")));
+  Alcotest.(check int) "diff" 1 (Eval.count c (Expr.diff (Expr.base "x") (Expr.base "y")))
+
+let test_distinct () =
+  Alcotest.(check int) "distinct" 3 (count (Expr.distinct (Expr.base "t")))
+
+let test_rename_then_join () =
+  (* Rename lets us equi-join two copies of r on the key without
+     qualified names. *)
+  let c = catalog () in
+  let e =
+    Expr.equijoin
+      [ ("a", "a2") ]
+      (Expr.base "r")
+      (Expr.rename [ ("a", "a2"); ("b", "b2") ] (Expr.base "r"))
+  in
+  Alcotest.(check int) "rename join" 6 (Eval.count c e)
+
+let test_aggregate_group_counts () =
+  let e = Expr.group_count ~by:[ "a" ] (Expr.base "r") in
+  let c = catalog () in
+  let result = Eval.eval c e in
+  Alcotest.(check (list string)) "schema" [ "a"; "count" ]
+    (Schema.names (Relation.schema result));
+  let rows = List.sort compare (Array.to_list (Array.map Tuple.to_string (Relation.tuples result))) in
+  Alcotest.(check (list string)) "rows" [ "<1, 2>"; "<2, 1>"; "<3, 1>" ] rows
+
+let test_aggregate_functions () =
+  let r =
+    two_column_relation ~names:("g", "v") [ (0, 10); (0, 20); (1, 5); (1, 15); (1, 40) ]
+  in
+  let c = Catalog.of_list [ ("t", r) ] in
+  let e =
+    Expr.aggregate ~by:[ "g" ]
+      [
+        (Expr.Count, "n");
+        (Expr.Sum "v", "total");
+        (Expr.Avg "v", "mean");
+        (Expr.Min "v", "lo");
+        (Expr.Max "v", "hi");
+      ]
+      (Expr.base "t")
+  in
+  let result = Eval.eval c e in
+  let rows = List.sort compare (Array.to_list (Array.map Tuple.to_string (Relation.tuples result))) in
+  Alcotest.(check (list string)) "rows"
+    [ "<0, 2, 30, 15, 10, 20>"; "<1, 3, 60, 20, 5, 40>" ]
+    rows
+
+let test_aggregate_null_handling () =
+  let schema = Schema.of_list [ ("g", Value.Tint); ("v", Value.Tint) ] in
+  let r =
+    Relation.make schema
+      [
+        Tuple.make [ Value.Int 0; Value.Null ];
+        Tuple.make [ Value.Int 0; Value.Int 6 ];
+        Tuple.make [ Value.Int 1; Value.Null ];
+      ]
+  in
+  let c = Catalog.of_list [ ("t", r) ] in
+  let e =
+    Expr.aggregate ~by:[ "g" ]
+      [ (Expr.Count, "n"); (Expr.Sum "v", "s"); (Expr.Avg "v", "m"); (Expr.Min "v", "lo") ]
+      (Expr.base "t")
+  in
+  let rows =
+    List.sort compare
+      (Array.to_list (Array.map Tuple.to_string (Relation.tuples (Eval.eval c e))))
+  in
+  (* Count counts tuples; the others skip Nulls; all-null group yields
+     sum 0 and Null avg/min. *)
+  Alcotest.(check (list string)) "rows" [ "<0, 2, 6, 6, 6>"; "<1, 1, 0, NULL, NULL>" ] rows
+
+let test_aggregate_global () =
+  let c = catalog () in
+  let e = Expr.aggregate ~by:[] [ (Expr.Count, "n") ] (Expr.base "r") in
+  let result = Eval.eval c e in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality result);
+  Alcotest.(check string) "count 4" "<4>" (Tuple.to_string (Relation.tuple result 0));
+  (* Empty input: zero rows (documented). *)
+  let empty = Catalog.of_list [ ("e", Relation.empty (Schema.of_list [ ("a", Value.Tint) ])) ] in
+  Alcotest.(check int) "empty input" 0
+    (Eval.count empty (Expr.aggregate ~by:[] [ (Expr.Count, "n") ] (Expr.base "e")))
+
+let test_aggregate_schema_errors () =
+  let c = catalog () in
+  let check_fails name e =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Eval.eval c e);
+         false
+       with Failure _ -> true)
+  in
+  check_fails "no specs" (Expr.aggregate ~by:[ "a" ] [] (Expr.base "r"));
+  check_fails "unknown attr" (Expr.aggregate ~by:[] [ (Expr.Sum "zz", "s") ] (Expr.base "r"));
+  check_fails "dup outputs"
+    (Expr.aggregate ~by:[] [ (Expr.Count, "n"); (Expr.Count, "n") ] (Expr.base "r"));
+  check_fails "output clashes group attr"
+    (Expr.aggregate ~by:[ "a" ] [ (Expr.Count, "a") ] (Expr.base "r"))
+
+let test_aggregate_composes () =
+  (* Aggregate feeding a selection: groups with count >= 2. *)
+  let c = catalog () in
+  let e =
+    Expr.select
+      (P.ge (P.attr "count") (P.vint 2))
+      (Expr.group_count ~by:[ "a" ] (Expr.base "r"))
+  in
+  Alcotest.(check int) "hot groups" 1 (Eval.count c e)
+
+let test_empty_inputs () =
+  let c =
+    Catalog.of_list
+      [
+        ("e", Relation.empty (Schema.of_list [ ("a", Value.Tint) ]));
+        ("x", int_relation [ 1 ]);
+      ]
+  in
+  Alcotest.(check int) "select" 0 (Eval.count c (Expr.select P.True (Expr.base "e")));
+  Alcotest.(check int) "product" 0 (Eval.count c (Expr.product (Expr.base "e") (Expr.base "x")));
+  Alcotest.(check int) "join" 0
+    (Eval.count c (Expr.equijoin [ ("a", "a") ] (Expr.base "x") (Expr.base "e")));
+  Alcotest.(check int) "union" 1 (Eval.count c (Expr.union (Expr.base "e") (Expr.base "x")))
+
+(* Random small relations for property tests. *)
+let gen_values = QCheck.Gen.(list_size (int_range 0 15) (int_range 0 4))
+
+let gen_pair = QCheck.Gen.pair gen_values gen_values
+
+let mk_pair (xs, ys) =
+  Catalog.of_list [ ("x", int_relation xs); ("y", int_relation ~attribute:"b" ys) ]
+
+let mk_sets (xs, ys) =
+  Catalog.of_list [ ("x", int_relation xs); ("y", int_relation ys) ]
+
+let prop_product_cardinality =
+  qcheck_case "⨯ cardinality multiplies" (QCheck.make gen_pair) (fun (xs, ys) ->
+      let c = mk_pair (xs, ys) in
+      Eval.count c (Expr.product (Expr.base "x") (Expr.base "y"))
+      = List.length xs * List.length ys)
+
+let prop_join_commutative_count =
+  qcheck_case "⋈ count commutative" (QCheck.make gen_pair) (fun (xs, ys) ->
+      let c = mk_pair (xs, ys) in
+      Eval.count c (Expr.equijoin [ ("a", "b") ] (Expr.base "x") (Expr.base "y"))
+      = Eval.count c (Expr.equijoin [ ("b", "a") ] (Expr.base "y") (Expr.base "x")))
+
+let prop_inclusion_exclusion =
+  qcheck_case "|A∪B| = |A|+|B|−|A∩B| (as sets)" (QCheck.make gen_pair)
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] || ys <> []);
+      let c = mk_sets (xs, ys) in
+      let count e = Eval.count c e in
+      let da = count (Expr.distinct (Expr.base "x")) in
+      let db = count (Expr.distinct (Expr.base "y")) in
+      count (Expr.union (Expr.base "x") (Expr.base "y"))
+      = da + db - count (Expr.inter (Expr.base "x") (Expr.base "y")))
+
+let prop_difference_partition =
+  qcheck_case "|A| = |A−B| + |A∩B| (as sets)" (QCheck.make gen_pair) (fun (xs, ys) ->
+      let c = mk_sets (xs, ys) in
+      let count e = Eval.count c e in
+      count (Expr.distinct (Expr.base "x"))
+      = count (Expr.diff (Expr.base "x") (Expr.base "y"))
+        + count (Expr.inter (Expr.base "x") (Expr.base "y")))
+
+let prop_select_split =
+  qcheck_case "σ_p + σ_¬p partitions" (QCheck.make gen_values) (fun xs ->
+      let c = Catalog.of_list [ ("x", int_relation xs) ] in
+      let p = P.le (P.attr "a") (P.vint 2) in
+      Eval.count c (Expr.select p (Expr.base "x"))
+      + Eval.count c (Expr.select (P.not_ p) (Expr.base "x"))
+      = List.length xs)
+
+let prop_join_vs_intersection_on_sets =
+  qcheck_case "set ∩ = ⋈ on key for dedup'd inputs" (QCheck.make gen_pair)
+    (fun (xs, ys) ->
+      let c = mk_sets (xs, ys) in
+      let inter = Eval.count c (Expr.inter (Expr.base "x") (Expr.base "y")) in
+      let join =
+        Eval.count c
+          (Expr.equijoin [ ("a", "a") ]
+             (Expr.distinct (Expr.base "x"))
+             (Expr.distinct (Expr.base "y")))
+      in
+      inter = join)
+
+let suite =
+  [
+    Alcotest.test_case "base" `Quick test_base;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "project bag vs distinct" `Quick test_project_bag_vs_distinct;
+    Alcotest.test_case "product" `Quick test_product;
+    Alcotest.test_case "equijoin" `Quick test_equijoin;
+    Alcotest.test_case "equijoin = filtered product" `Quick
+      test_equijoin_matches_filtered_product;
+    Alcotest.test_case "theta join" `Quick test_theta_join;
+    Alcotest.test_case "self join with qualified names" `Quick
+      test_self_join_qualified_predicate;
+    Alcotest.test_case "set operations" `Quick test_set_operations;
+    Alcotest.test_case "set operands deduplicated" `Quick test_set_operations_dedup_operands;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "rename then join" `Quick test_rename_then_join;
+    Alcotest.test_case "aggregate group counts" `Quick test_aggregate_group_counts;
+    Alcotest.test_case "aggregate functions" `Quick test_aggregate_functions;
+    Alcotest.test_case "aggregate null handling" `Quick test_aggregate_null_handling;
+    Alcotest.test_case "aggregate global" `Quick test_aggregate_global;
+    Alcotest.test_case "aggregate schema errors" `Quick test_aggregate_schema_errors;
+    Alcotest.test_case "aggregate composes" `Quick test_aggregate_composes;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+    prop_product_cardinality;
+    prop_join_commutative_count;
+    prop_inclusion_exclusion;
+    prop_difference_partition;
+    prop_select_split;
+    prop_join_vs_intersection_on_sets;
+  ]

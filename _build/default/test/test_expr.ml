@@ -1,0 +1,121 @@
+open Helpers
+module P = Predicate
+
+let catalog () =
+  Catalog.of_list
+    [
+      ("r", two_column_relation ~names:("a", "b") [ (1, 10); (2, 20) ]);
+      ("s", two_column_relation ~names:("c", "d") [ (1, 100) ]);
+    ]
+
+let test_schema_base () =
+  let c = catalog () in
+  Alcotest.(check (list string)) "base" [ "a"; "b" ]
+    (Schema.names (Expr.schema_of c (Expr.base "r")))
+
+let test_schema_select_project () =
+  let c = catalog () in
+  let e = Expr.project [ "b" ] (Expr.select (P.gt (P.attr "a") (P.vint 0)) (Expr.base "r")) in
+  Alcotest.(check (list string)) "project" [ "b" ] (Schema.names (Expr.schema_of c e))
+
+let test_schema_join_product () =
+  let c = catalog () in
+  let j = Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s") in
+  Alcotest.(check (list string)) "join" [ "a"; "b"; "c"; "d" ]
+    (Schema.names (Expr.schema_of c j));
+  let p = Expr.product (Expr.base "r") (Expr.base "r") in
+  (* Self-product qualifies the clashing names. *)
+  Alcotest.(check (list string)) "self product" [ "l.a"; "l.b"; "r.a"; "r.b" ]
+    (Schema.names (Expr.schema_of c p))
+
+let test_schema_errors () =
+  let c = catalog () in
+  let check_fails name e =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Expr.schema_of c e);
+         false
+       with Failure _ -> true)
+  in
+  check_fails "unbound base" (Expr.base "nope");
+  check_fails "bad selection attr"
+    (Expr.select (P.eq (P.attr "zz") (P.vint 0)) (Expr.base "r"));
+  check_fails "bad projection" (Expr.project [ "zz" ] (Expr.base "r"));
+  check_fails "bad join attr" (Expr.equijoin [ ("zz", "c") ] (Expr.base "r") (Expr.base "s"));
+  check_fails "incompatible union" (Expr.union (Expr.base "r") (Expr.project [ "c" ] (Expr.base "s")))
+
+let test_union_compatible_by_position () =
+  let c = catalog () in
+  (* r(a,b) and s(c,d) are both (int, int): union-compatible. *)
+  let u = Expr.union (Expr.base "r") (Expr.base "s") in
+  Alcotest.(check (list string)) "takes left names" [ "a"; "b" ]
+    (Schema.names (Expr.schema_of c u))
+
+let test_leaves_with_multiplicity () =
+  let e =
+    Expr.union
+      (Expr.product (Expr.base "r") (Expr.base "r"))
+      (Expr.product (Expr.base "r") (Expr.base "s"))
+  in
+  Alcotest.(check (list string)) "leaves" [ "r"; "r"; "r"; "s" ] (Expr.leaves e)
+
+let test_map_bases_indices () =
+  let e = Expr.product (Expr.base "r") (Expr.product (Expr.base "s") (Expr.base "r")) in
+  let seen = ref [] in
+  let _rewritten =
+    Expr.map_bases
+      (fun i name ->
+        seen := (i, name) :: !seen;
+        Expr.base (Printf.sprintf "%s@%d" name i))
+      e
+  in
+  Alcotest.(check (list (pair int string)))
+    "occurrences in order"
+    [ (0, "r"); (1, "s"); (2, "r") ]
+    (List.rev !seen)
+
+let test_has_dedup () =
+  Alcotest.(check bool) "plain join" false
+    (Expr.has_dedup (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s")));
+  Alcotest.(check bool) "distinct" true (Expr.has_dedup (Expr.distinct (Expr.base "r")));
+  Alcotest.(check bool) "union" true
+    (Expr.has_dedup (Expr.union (Expr.base "r") (Expr.base "s")));
+  Alcotest.(check bool) "nested" true
+    (Expr.has_dedup (Expr.select P.True (Expr.diff (Expr.base "r") (Expr.base "s"))))
+
+let test_has_repeated_leaf () =
+  Alcotest.(check bool) "no repeat" false
+    (Expr.has_repeated_leaf (Expr.product (Expr.base "r") (Expr.base "s")));
+  Alcotest.(check bool) "repeat" true
+    (Expr.has_repeated_leaf (Expr.product (Expr.base "r") (Expr.base "r")))
+
+let test_size () =
+  let e = Expr.select P.True (Expr.product (Expr.base "r") (Expr.base "s")) in
+  Alcotest.(check int) "size" 4 (Expr.size e)
+
+let test_rename_schema () =
+  let c = catalog () in
+  let e = Expr.rename [ ("a", "alpha") ] (Expr.base "r") in
+  Alcotest.(check (list string)) "renamed" [ "alpha"; "b" ]
+    (Schema.names (Expr.schema_of c e))
+
+let test_pretty_printer () =
+  let e = Expr.select (P.eq (P.attr "a") (P.vint 1)) (Expr.base "r") in
+  Alcotest.(check string) "render" "σ[a = 1](r)" (Expr.to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "schema of base" `Quick test_schema_base;
+    Alcotest.test_case "schema select/project" `Quick test_schema_select_project;
+    Alcotest.test_case "schema join/product" `Quick test_schema_join_product;
+    Alcotest.test_case "schema errors" `Quick test_schema_errors;
+    Alcotest.test_case "union compatibility by position" `Quick
+      test_union_compatible_by_position;
+    Alcotest.test_case "leaves with multiplicity" `Quick test_leaves_with_multiplicity;
+    Alcotest.test_case "map_bases occurrence indices" `Quick test_map_bases_indices;
+    Alcotest.test_case "has_dedup" `Quick test_has_dedup;
+    Alcotest.test_case "has_repeated_leaf" `Quick test_has_repeated_leaf;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "rename schema" `Quick test_rename_schema;
+    Alcotest.test_case "pretty printer" `Quick test_pretty_printer;
+  ]

@@ -1,0 +1,120 @@
+open Helpers
+module GC = Raestat.Group_count
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let catalog () =
+  (* 3 groups of deterministic sizes 6000 / 3000 / 1000. *)
+  let g = Array.init 10_000 (fun i -> if i < 6_000 then 0 else if i < 9_000 then 1 else 2) in
+  let v = Array.init 10_000 (fun i -> i mod 100) in
+  Catalog.of_list [ ("r", Workload.Generator.of_columns [ ("g", g); ("v", v) ]) ]
+
+let test_exact () =
+  let c = catalog () in
+  let exact = GC.exact c ~relation:"r" ~by:[ "g" ] () in
+  Alcotest.(check int) "three groups" 3 (List.length exact);
+  let counts = List.map snd exact in
+  Alcotest.(check (list int)) "counts" [ 6_000; 3_000; 1_000 ] counts
+
+let test_exact_with_filter () =
+  let c = catalog () in
+  let exact = GC.exact c ~relation:"r" ~by:[ "g" ] ~where:(P.lt (P.attr "v") (P.vint 50)) () in
+  Alcotest.(check (list int)) "filtered counts" [ 3_000; 1_500; 500 ] (List.map snd exact)
+
+let test_census_exact () =
+  let c = catalog () in
+  let result = GC.estimate (rng ()) c ~relation:"r" ~by:[ "g" ] ~n:10_000 () in
+  List.iter2
+    (fun (key, count) group ->
+      Alcotest.(check bool) "same key" true (key = group.GC.key);
+      check_float "census count" (float_of_int count) group.GC.estimate.Estimate.point)
+    (GC.exact c ~relation:"r" ~by:[ "g" ] ())
+    result.GC.groups
+
+let test_unbiased_mc () =
+  let c = catalog () in
+  let rng_ = rng ~seed:101 () in
+  let sums = Hashtbl.create 3 in
+  let reps = 300 in
+  for _ = 1 to reps do
+    let result = GC.estimate rng_ c ~relation:"r" ~by:[ "g" ] ~n:500 () in
+    List.iter
+      (fun group ->
+        let key = group.GC.key in
+        let acc = Option.value (Hashtbl.find_opt sums key) ~default:0. in
+        Hashtbl.replace sums key (acc +. group.GC.estimate.Estimate.point))
+      result.GC.groups
+  done;
+  (* Every group is large enough to appear in every sample of 500. *)
+  List.iter
+    (fun (key, truth) ->
+      let mean = Hashtbl.find sums key /. float_of_int reps in
+      check_close ~tol:0.05 "group mean" (float_of_int truth) mean)
+    (GC.exact c ~relation:"r" ~by:[ "g" ] ())
+
+let test_simultaneous_coverage () =
+  let c = catalog () in
+  let rng_ = rng ~seed:102 () in
+  let exact = GC.exact c ~relation:"r" ~by:[ "g" ] () in
+  let reps = 200 in
+  let all_covered = ref 0 in
+  for _ = 1 to reps do
+    let result = GC.estimate rng_ c ~relation:"r" ~by:[ "g" ] ~n:1_000 ~level:0.9 () in
+    let ok =
+      List.for_all
+        (fun group ->
+          match List.assoc_opt group.GC.key exact with
+          | Some truth ->
+            Stats.Confidence.contains group.GC.interval (float_of_int truth)
+          | None -> false)
+        result.GC.groups
+    in
+    if ok then incr all_covered
+  done;
+  let joint = float_of_int !all_covered /. float_of_int reps in
+  Alcotest.(check bool)
+    (Printf.sprintf "joint coverage %.2f >= 0.85" joint)
+    true (joint >= 0.85)
+
+let test_bonferroni_level_recorded () =
+  let c = catalog () in
+  let result = GC.estimate (rng ()) c ~relation:"r" ~by:[ "g" ] ~n:1_000 ~level:0.9 () in
+  check_float "joint level" 0.9 result.GC.level;
+  List.iter
+    (fun group ->
+      (* 1 - 0.1/3 per group *)
+      check_float ~eps:1e-9 "per-group level" (1. -. (0.1 /. 3.))
+        group.GC.interval.Stats.Confidence.level)
+    result.GC.groups
+
+let test_multi_attribute_groups () =
+  let r = two_column_relation [ (0, 0); (0, 1); (0, 1); (1, 0) ] in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let exact = GC.exact c ~relation:"r" ~by:[ "a"; "b" ] () in
+  Alcotest.(check int) "three pairs" 3 (List.length exact);
+  Alcotest.(check (list int)) "pair counts" [ 1; 2; 1 ] (List.map snd exact)
+
+let test_validation () =
+  let c = catalog () in
+  Alcotest.(check bool) "empty by" true
+    (try
+       ignore (GC.estimate (rng ()) c ~relation:"r" ~by:[] ~n:10 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad level" true
+    (try
+       ignore (GC.estimate (rng ()) c ~relation:"r" ~by:[ "g" ] ~n:10 ~level:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "exact" `Quick test_exact;
+    Alcotest.test_case "exact with filter" `Quick test_exact_with_filter;
+    Alcotest.test_case "census exact" `Quick test_census_exact;
+    Alcotest.test_case "unbiased per group (MC)" `Slow test_unbiased_mc;
+    Alcotest.test_case "simultaneous coverage (MC)" `Slow test_simultaneous_coverage;
+    Alcotest.test_case "bonferroni levels" `Quick test_bonferroni_level_recorded;
+    Alcotest.test_case "multi-attribute groups" `Quick test_multi_attribute_groups;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,101 @@
+open Helpers
+module GC = Raestat.Group_count
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let catalog () =
+  (* Groups 0/1/2 with deterministic per-group sums. *)
+  let g = Array.init 9_000 (fun i -> i mod 3) in
+  let v = Array.init 9_000 (fun i -> (i mod 3) + 1) in
+  (* Sum per group: g → 3000·(g+1). *)
+  Catalog.of_list [ ("r", Workload.Generator.of_columns [ ("g", g); ("v", v) ]) ]
+
+let test_exact_sum () =
+  let c = catalog () in
+  let sums = GC.exact_sum c ~relation:"r" ~by:[ "g" ] ~attribute:"v" () in
+  Alcotest.(check int) "groups" 3 (List.length sums);
+  List.iteri
+    (fun g (_, sum) -> check_float "group sum" (3000. *. float_of_int (g + 1)) sum)
+    sums
+
+let test_census_exact () =
+  let c = catalog () in
+  let result = GC.estimate_sum (rng ()) c ~relation:"r" ~by:[ "g" ] ~attribute:"v" ~n:9_000 () in
+  List.iter2
+    (fun (_, truth) group ->
+      check_float ~eps:1e-6 "census" truth group.GC.estimate.Estimate.point;
+      check_float ~eps:1e-6 "zero variance" 0. group.GC.estimate.Estimate.variance)
+    (GC.exact_sum c ~relation:"r" ~by:[ "g" ] ~attribute:"v" ())
+    result.GC.groups
+
+let test_unbiased_mc () =
+  let c = catalog () in
+  let rng_ = rng ~seed:211 () in
+  let sums = Hashtbl.create 3 in
+  let reps = 300 in
+  for _ = 1 to reps do
+    let result =
+      GC.estimate_sum rng_ c ~relation:"r" ~by:[ "g" ] ~attribute:"v" ~n:300 ()
+    in
+    List.iter
+      (fun group ->
+        let acc = Option.value (Hashtbl.find_opt sums group.GC.key) ~default:0. in
+        Hashtbl.replace sums group.GC.key (acc +. group.GC.estimate.Estimate.point))
+      result.GC.groups
+  done;
+  List.iter
+    (fun (key, truth) ->
+      let mean = Hashtbl.find sums key /. float_of_int reps in
+      check_close ~tol:0.05 "group sum mean" truth mean)
+    (GC.exact_sum c ~relation:"r" ~by:[ "g" ] ~attribute:"v" ())
+
+let test_variance_honest () =
+  let c = catalog () in
+  let rng_ = rng ~seed:212 () in
+  let reps = 300 in
+  let points = ref [] and variances = ref [] in
+  for _ = 1 to reps do
+    let result = GC.estimate_sum rng_ c ~relation:"r" ~by:[ "g" ] ~attribute:"v" ~n:300 () in
+    match result.GC.groups with
+    | first :: _ ->
+      points := first.GC.estimate.Estimate.point :: !points;
+      variances := first.GC.estimate.Estimate.variance :: !variances
+    | [] -> ()
+  done;
+  let empirical = Stats.Summary.variance (Stats.Summary.of_list !points) in
+  let predicted = Stats.Summary.mean (Stats.Summary.of_list !variances) in
+  check_close ~tol:0.30 "variance honest" empirical predicted
+
+let test_filter_and_nulls () =
+  let schema = Schema.of_list [ ("g", Value.Tint); ("v", Value.Tint) ] in
+  let r =
+    Relation.make schema
+      [
+        Tuple.make [ Value.Int 0; Value.Int 5 ];
+        Tuple.make [ Value.Int 0; Value.Null ];
+        Tuple.make [ Value.Int 1; Value.Int 9 ];
+      ]
+  in
+  let c = Catalog.of_list [ ("t", r) ] in
+  let sums = GC.exact_sum c ~relation:"t" ~by:[ "g" ] ~attribute:"v" () in
+  Alcotest.(check (list (pair (list string) string)))
+    "null contributes 0"
+    [ ([ "0" ], "5"); ([ "1" ], "9") ]
+    (List.map
+       (fun (key, sum) ->
+         (List.map Value.to_string key, Printf.sprintf "%g" sum))
+       sums);
+  let filtered =
+    GC.exact_sum c ~relation:"t" ~by:[ "g" ] ~attribute:"v"
+      ~where:(P.eq (P.attr "g") (P.vint 1)) ()
+  in
+  Alcotest.(check int) "filter drops group" 1 (List.length filtered)
+
+let suite =
+  [
+    Alcotest.test_case "exact sums" `Quick test_exact_sum;
+    Alcotest.test_case "census exact" `Quick test_census_exact;
+    Alcotest.test_case "unbiased (MC)" `Slow test_unbiased_mc;
+    Alcotest.test_case "variance honest (MC)" `Slow test_variance_honest;
+    Alcotest.test_case "filter and nulls" `Quick test_filter_and_nulls;
+  ]

@@ -1,0 +1,119 @@
+open Helpers
+module HT = Raestat.Horvitz_thompson
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let skewed_catalog () =
+  (* Pareto-ish amounts: a few huge, many small — SRS's nightmare for
+     SUM. *)
+  let rng_ = rng ~seed:121 () in
+  let amounts =
+    Array.init 20_000 (fun _ ->
+        let u = Sampling.Rng.positive_float rng_ in
+        1 + int_of_float (20. *. ((1. /. u) ** 0.7)))
+  in
+  Catalog.of_list [ ("r", Workload.Generator.of_columns [ ("amount", amounts) ]) ]
+
+let exact_sum c = Raestat.Aggregate.exact_sum c ~attribute:"amount" (Expr.base "r")
+
+let test_of_sample_formulas () =
+  (* Two items fully observed: π = 1 gives the exact total, zero
+     variance. *)
+  let est = HT.of_sample [| (10., 1.); (5., 1.) |] in
+  check_float "point" 15. est.Estimate.point;
+  check_float "variance" 0. est.Estimate.variance;
+  (* Single item at π = 0.5: point 2y, variance (0.5/0.25)y². *)
+  let est2 = HT.of_sample [| (10., 0.5) |] in
+  check_float "scaled" 20. est2.Estimate.point;
+  check_float "variance formula" 200. est2.Estimate.variance
+
+let test_of_sample_validation () =
+  Alcotest.(check bool) "pi=0" true
+    (try
+       ignore (HT.of_sample [| (1., 0.) |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pi>1" true
+    (try
+       ignore (HT.of_sample [| (1., 1.5) |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_unbiased_mc () =
+  let c = skewed_catalog () in
+  let truth = exact_sum c in
+  let rng_ = rng ~seed:122 () in
+  let mean =
+    monte_carlo ~reps:400 (fun () ->
+        (HT.sum rng_ c ~relation:"r" ~attribute:"amount" ~expected_n:500. ())
+          .Estimate.point)
+  in
+  check_close ~tol:0.03 "unbiased" truth mean
+
+let test_beats_srs_on_skewed_sums () =
+  let c = skewed_catalog () in
+  let rng_ = rng ~seed:123 () in
+  let reps = 200 in
+  let ht_points =
+    Array.init reps (fun _ ->
+        (HT.sum rng_ c ~relation:"r" ~attribute:"amount" ~expected_n:500. ())
+          .Estimate.point)
+  in
+  let srs_points =
+    Array.init reps (fun _ ->
+        (Raestat.Aggregate.sum_selection rng_ c ~relation:"r" ~attribute:"amount" ~n:500
+           P.True)
+          .Estimate.point)
+  in
+  let sd points = Stats.Summary.stddev (Stats.Summary.of_array points) in
+  let sd_ht = sd ht_points and sd_srs = sd srs_points in
+  Alcotest.(check bool)
+    (Printf.sprintf "HT sd %.0f ≪ SRS sd %.0f" sd_ht sd_srs)
+    true
+    (sd_ht *. 3. < sd_srs)
+
+let test_variance_honest () =
+  let c = skewed_catalog () in
+  let rng_ = rng ~seed:124 () in
+  let estimates =
+    Array.init 300 (fun _ ->
+        HT.sum rng_ c ~relation:"r" ~attribute:"amount" ~expected_n:500. ())
+  in
+  let points = Array.map (fun e -> e.Estimate.point) estimates in
+  let empirical = Stats.Summary.variance (Stats.Summary.of_array points) in
+  let predicted =
+    Stats.Summary.mean
+      (Stats.Summary.of_array (Array.map (fun e -> e.Estimate.variance) estimates))
+  in
+  check_close ~tol:0.30 "variance honest" empirical predicted
+
+let test_with_filter () =
+  let c = skewed_catalog () in
+  let where = P.ge (P.attr "amount") (P.vint 100) in
+  let truth =
+    Raestat.Aggregate.exact_sum c ~attribute:"amount"
+      (Expr.select where (Expr.base "r"))
+  in
+  let rng_ = rng ~seed:125 () in
+  let mean =
+    monte_carlo ~reps:300 (fun () ->
+        (HT.sum rng_ c ~relation:"r" ~attribute:"amount" ~expected_n:300. ~where ())
+          .Estimate.point)
+  in
+  check_close ~tol:0.05 "filtered sum" truth mean
+
+let test_status_unbiased () =
+  let c = skewed_catalog () in
+  let est = HT.sum (rng ()) c ~relation:"r" ~attribute:"amount" ~expected_n:100. () in
+  Alcotest.(check bool) "unbiased" true (est.Estimate.status = Estimate.Unbiased)
+
+let suite =
+  [
+    Alcotest.test_case "of_sample formulas" `Quick test_of_sample_formulas;
+    Alcotest.test_case "of_sample validation" `Quick test_of_sample_validation;
+    Alcotest.test_case "unbiased (MC)" `Slow test_unbiased_mc;
+    Alcotest.test_case "beats SRS on skewed sums (MC)" `Slow test_beats_srs_on_skewed_sums;
+    Alcotest.test_case "variance honest (MC)" `Slow test_variance_honest;
+    Alcotest.test_case "with filter (MC)" `Slow test_with_filter;
+    Alcotest.test_case "status" `Quick test_status_unbiased;
+  ]

@@ -1,0 +1,80 @@
+open Helpers
+module Index = Relational.Index
+
+let relation () =
+  two_column_relation ~names:("k", "v") [ (1, 10); (2, 20); (1, 11); (3, 30); (2, 21) ]
+
+let test_lookup () =
+  let index = Index.build (relation ()) ~attributes:[ "k" ] in
+  Alcotest.(check int) "two under 1" 2 (List.length (Index.lookup index [ Value.Int 1 ]));
+  Alcotest.(check int) "one under 3" 1 (List.length (Index.lookup index [ Value.Int 3 ]));
+  Alcotest.(check int) "none under 9" 0 (List.length (Index.lookup index [ Value.Int 9 ]));
+  Alcotest.(check int) "count" 2 (Index.count index [ Value.Int 1 ]);
+  Alcotest.(check int) "distinct keys" 3 (Index.distinct_keys index)
+
+let test_lookup_preserves_base_order () =
+  let index = Index.build (relation ()) ~attributes:[ "k" ] in
+  let values =
+    List.map Tuple.to_string (Index.lookup index [ Value.Int 1 ])
+  in
+  Alcotest.(check (list string)) "base order" [ "<1, 10>"; "<1, 11>" ] values
+
+let test_composite_key () =
+  let index = Index.build (relation ()) ~attributes:[ "k"; "v" ] in
+  Alcotest.(check int) "exact pair" 1
+    (List.length (Index.lookup index [ Value.Int 2; Value.Int 21 ]));
+  Alcotest.(check int) "absent pair" 0
+    (List.length (Index.lookup index [ Value.Int 2; Value.Int 99 ]));
+  Alcotest.(check int) "all pairs distinct" 5 (Index.distinct_keys index)
+
+let test_validation () =
+  let index = Index.build (relation ()) ~attributes:[ "k" ] in
+  Alcotest.(check bool) "arity mismatch" true
+    (try
+       ignore (Index.lookup index [ Value.Int 1; Value.Int 2 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty attributes" true
+    (try
+       ignore (Index.build (relation ()) ~attributes:[]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check_raises "missing attribute" Not_found (fun () ->
+      ignore (Index.build (relation ()) ~attributes:[ "zz" ]))
+
+let test_probe_join_matches_eval () =
+  let rng_ = rng ~seed:161 () in
+  let build = Workload.Generator.int_relation rng_ ~n:500 ~attribute:"b"
+      (Workload.Dist.Zipf { n_values = 50; skew = 0.8 })
+  in
+  let probe = Workload.Generator.int_relation rng_ ~n:300 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 49 })
+  in
+  let index = Index.build build ~attributes:[ "b" ] in
+  let joined = Index.probe_join index probe ~key:[ "a" ] in
+  let c = Catalog.of_list [ ("p", probe); ("b", build) ] in
+  let expected = Eval.count c (Expr.equijoin [ ("a", "b") ] (Expr.base "p") (Expr.base "b")) in
+  Alcotest.(check int) "join size" expected (Relation.cardinality joined);
+  Alcotest.(check (list string)) "schema" [ "a"; "b" ]
+    (Schema.names (Relation.schema joined))
+
+let test_probe_join_validation () =
+  let index = Index.build (relation ()) ~attributes:[ "k" ] in
+  let probe = int_relation [ 1; 2 ] in
+  Alcotest.(check bool) "arity" true
+    (try
+       ignore (Index.probe_join index probe ~key:[ "a"; "a" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check_raises "missing probe attr" Not_found (fun () ->
+      ignore (Index.probe_join index probe ~key:[ "zz" ]))
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "lookup preserves base order" `Quick test_lookup_preserves_base_order;
+    Alcotest.test_case "composite key" `Quick test_composite_key;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "probe join matches eval" `Quick test_probe_join_matches_eval;
+    Alcotest.test_case "probe join validation" `Quick test_probe_join_validation;
+  ]

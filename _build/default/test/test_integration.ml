@@ -1,0 +1,133 @@
+(* End-to-end scenarios across the whole stack: workload generation →
+   planning → sampling → estimation → confidence intervals, checked
+   against exact evaluation. *)
+
+open Helpers
+module CE = Raestat.Count_estimator
+module Estimate = Stats.Estimate
+module P = Predicate
+module Tpc = Workload.Tpc_mini
+
+let test_tpc_chain_estimate () =
+  let c = Tpc.catalog (rng ~seed:71 ()) ~sizes:{ Tpc.suppliers = 200; parts = 300; orders = 8_000 } () in
+  let query =
+    Tpc.chain_query
+      ~order_filter:(P.ge (P.attr "o_quantity") (P.vint 5))
+      ()
+  in
+  let truth = float_of_int (Eval.count c query) in
+  let est = CE.estimate ~groups:10 (rng ~seed:72 ()) c ~fraction:0.5 query in
+  Alcotest.(check bool) "classified unbiased" true (est.Estimate.status = Estimate.Unbiased);
+  check_close ~tol:0.4 "3-way chain estimate in the ballpark" truth est.Estimate.point
+
+let test_ci_coverage_selection () =
+  (* Empirical coverage of nominal 95% CIs over 300 replications should
+     be within a few points of 95%. *)
+  let rng_ = rng ~seed:73 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:10_000 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 99 })
+  in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let p = P.lt (P.attr "a") (P.vint 25) in
+  let truth = float_of_int (Eval.count c (Expr.select p (Expr.base "r"))) in
+  let reps = 300 in
+  let covered = ref 0 in
+  for _ = 1 to reps do
+    let est = CE.selection rng_ c ~relation:"r" ~n:400 p in
+    let ci = Estimate.ci ~level:0.95 est in
+    if Stats.Confidence.contains ci truth then incr covered
+  done;
+  let coverage = float_of_int !covered /. float_of_int reps in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.3f within [0.90, 0.99]" coverage)
+    true
+    (coverage >= 0.90 && coverage <= 0.99)
+
+let test_estimators_beat_census_cost () =
+  (* The whole point of the paper: reading 1% of tuples gives a usable
+     estimate.  Check the estimate's relative error is small while the
+     sample size is tiny. *)
+  let rng_ = rng ~seed:74 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:50_000 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 999 })
+  in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let p = P.lt (P.attr "a") (P.vint 500) in
+  let est = CE.selection rng_ c ~relation:"r" ~n:500 p in
+  let truth = float_of_int (Eval.count c (Expr.select p (Expr.base "r"))) in
+  Alcotest.(check bool) "1% sample" true (est.Estimate.sample_size = 500);
+  Alcotest.(check bool)
+    (Printf.sprintf "relative error %.3f < 0.15" (Estimate.relative_error ~truth est))
+    true
+    (Estimate.relative_error ~truth est < 0.15)
+
+let test_join_order_ranking () =
+  (* Estimates should rank join sizes correctly: the skew-aligned pair
+     joins bigger than the anti-aligned pair. *)
+  let rng_ = rng ~seed:75 () in
+  let make c =
+    Workload.Correlated.pair rng_ ~n_left:5_000 ~n_right:5_000 ~domain:50 ~skew_left:1.
+      ~skew_right:1. c ~attribute:"a"
+  in
+  let pl, pr = make Workload.Correlated.Positive in
+  let nl, nr = make Workload.Correlated.Negative in
+  let c =
+    Catalog.of_list [ ("pl", pl); ("pr", pr); ("nl", nl); ("nr", nr) ]
+  in
+  let est left right =
+    (CE.equijoin ~groups:4 rng_ c ~left ~right ~on:[ ("a", "a") ] ~fraction:0.2)
+      .Estimate.point
+  in
+  Alcotest.(check bool) "ranking preserved" true (est "pl" "pr" > est "nl" "nr")
+
+let test_distinct_methods_ordering_on_skewed_data () =
+  (* On skewed data the naive scale-up wildly overestimates while
+     sample-distinct underestimates; truth lies between. *)
+  let rng_ = rng ~seed:76 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:20_000 ~attribute:"a"
+      (Workload.Dist.Zipf { n_values = 500; skew = 1.0 })
+  in
+  let c = Catalog.of_list [ ("r", r) ] in
+  let truth = float_of_int (Raestat.Distinct.exact c ~relation:"r" ~attributes:[ "a" ]) in
+  let est m =
+    (Raestat.Distinct.estimate rng_ c ~method_:m ~relation:"r" ~attributes:[ "a" ] ~n:1_000)
+      .Estimate.point
+  in
+  let scale_up = est Raestat.Distinct.Scale_up in
+  let sample_d = est Raestat.Distinct.Sample_distinct in
+  Alcotest.(check bool)
+    (Printf.sprintf "under (%.0f) ≤ truth (%.0f) ≤ naive (%.0f)" sample_d truth scale_up)
+    true
+    (sample_d <= truth && truth <= scale_up)
+
+let test_csv_to_estimate_pipeline () =
+  (* Persist a relation to CSV, reload it, estimate on the reloaded
+     copy: exercises the CLI's data path. *)
+  let rng_ = rng ~seed:77 () in
+  let r =
+    Workload.Generator.int_relation rng_ ~n:2_000 ~attribute:"v"
+      (Workload.Dist.Uniform { lo = 0; hi = 49 })
+  in
+  let path = Filename.temp_file "raestat_it" ".csv" in
+  Relational.Csv.save path r;
+  let reloaded = Relational.Csv.load path in
+  Sys.remove path;
+  let c = Catalog.of_list [ ("r", reloaded) ] in
+  let p = P.le (P.attr "v") (P.vint 9) in
+  let truth = float_of_int (Eval.count c (Expr.select p (Expr.base "r"))) in
+  let est = CE.selection rng_ c ~relation:"r" ~n:500 p in
+  check_close ~tol:0.25 "pipeline estimate" truth est.Estimate.point
+
+let suite =
+  [
+    Alcotest.test_case "tpc chain estimate" `Slow test_tpc_chain_estimate;
+    Alcotest.test_case "CI coverage (selection)" `Slow test_ci_coverage_selection;
+    Alcotest.test_case "tiny sample, small error" `Quick test_estimators_beat_census_cost;
+    Alcotest.test_case "join order ranking" `Slow test_join_order_ranking;
+    Alcotest.test_case "distinct estimator ordering" `Quick
+      test_distinct_methods_ordering_on_skewed_data;
+    Alcotest.test_case "csv → estimate pipeline" `Quick test_csv_to_estimate_pipeline;
+  ]

@@ -1,0 +1,84 @@
+open Helpers
+module JV = Raestat.Join_variance
+
+let left = int_relation [ 0; 0; 0; 1; 1; 2 ]
+let right = int_relation [ 0; 1; 1; 3 ]
+
+let test_profile_counts () =
+  let p = JV.profile left "a" in
+  Alcotest.(check int) "distinct" 3 (JV.distinct p);
+  check_float "moment1 = N" 6. (JV.moment1 p);
+  (* 3² + 2² + 1² = 14 *)
+  check_float "moment2" 14. (JV.moment2 p);
+  check_float "self-join size" 14. (JV.self_join_size p)
+
+let test_join_size_matches_eval () =
+  let p1 = JV.profile left "a" and p2 = JV.profile right "a" in
+  let c = Catalog.of_list [ ("l", left); ("r", right) ] in
+  let via_eval =
+    Eval.count c
+      (Expr.theta_join
+         (Predicate.eq (Predicate.attr "l.a") (Predicate.attr "r.a"))
+         (Expr.base "l") (Expr.base "r"))
+  in
+  check_float "join size" (float_of_int via_eval) (JV.join_size p1 p2);
+  (* Symmetric. *)
+  check_float "symmetric" (JV.join_size p1 p2) (JV.join_size p2 p1)
+
+let test_oracle_variance_zero_at_full_rate () =
+  let p1 = JV.profile left "a" and p2 = JV.profile right "a" in
+  check_float ~eps:1e-9 "q=1 ⇒ no variance" 0. (JV.oracle_variance ~q1:1. ~q2:1. p1 p2)
+
+let test_oracle_variance_hand_computed () =
+  (* Single shared value with a=2, b=1, q1=q2=0.5:
+     E[A²] = 2·0.25+4·0.25 = 1.5; E[B²] = 0.25+0.25 = 0.5
+     VarX = 1.5·0.5 − 0.0625·4·1 = 0.5; Var Ĵ = 0.5/0.0625 = 8. *)
+  let l = int_relation [ 7; 7 ] and r = int_relation [ 7 ] in
+  let v = JV.oracle_variance ~q1:0.5 ~q2:0.5 (JV.profile l "a") (JV.profile r "a") in
+  check_float ~eps:1e-9 "hand value" 8. v
+
+let test_oracle_variance_matches_monte_carlo () =
+  (* Bernoulli-sample both sides, estimate Ĵ = X/(q1 q2); the empirical
+     variance over many replicates should match the oracle formula. *)
+  let rng_ = rng ~seed:21 () in
+  let gen = Workload.Dist.compile (Workload.Dist.Zipf { n_values = 20; skew = 0.8 }) in
+  let l = int_relation (List.init 400 (fun _ -> gen rng_)) in
+  let r = int_relation (List.init 300 (fun _ -> gen rng_)) in
+  let p1 = JV.profile l "a" and p2 = JV.profile r "a" in
+  let q = 0.25 in
+  let oracle = JV.oracle_variance ~q1:q ~q2:q p1 p2 in
+  let samples = ref Stats.Summary.empty in
+  for _ = 1 to 3000 do
+    let sl = Sampling.Bernoulli.relation rng_ ~p:q l in
+    let sr = Sampling.Bernoulli.relation rng_ ~p:q r in
+    let sc = Catalog.of_list [ ("l", sl); ("r", sr) ] in
+    let x = Eval.count sc (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "r")) in
+    samples := Stats.Summary.add !samples (float_of_int x /. (q *. q))
+  done;
+  let empirical = Stats.Summary.variance !samples in
+  check_close ~tol:0.15 "oracle ≈ MC variance" oracle empirical;
+  (* And the estimator mean matches the true join size. *)
+  check_close ~tol:0.05 "MC mean = J" (JV.join_size p1 p2) (Stats.Summary.mean !samples)
+
+let test_bad_rates () =
+  let p = JV.profile left "a" in
+  Alcotest.(check bool) "q=0" true
+    (try
+       ignore (JV.oracle_variance ~q1:0. ~q2:0.5 p p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_missing_attribute () =
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (JV.profile left "zz"))
+
+let suite =
+  [
+    Alcotest.test_case "profile counts" `Quick test_profile_counts;
+    Alcotest.test_case "join size matches eval" `Quick test_join_size_matches_eval;
+    Alcotest.test_case "zero variance at q=1" `Quick test_oracle_variance_zero_at_full_rate;
+    Alcotest.test_case "hand-computed variance" `Quick test_oracle_variance_hand_computed;
+    Alcotest.test_case "oracle matches Monte-Carlo" `Slow
+      test_oracle_variance_matches_monte_carlo;
+    Alcotest.test_case "bad rates" `Quick test_bad_rates;
+    Alcotest.test_case "missing attribute" `Quick test_missing_attribute;
+  ]

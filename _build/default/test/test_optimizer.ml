@@ -1,0 +1,189 @@
+open Helpers
+module Optimizer = Relational.Optimizer
+module P = Predicate
+
+let catalog_data xs ys =
+  Catalog.of_list
+    [
+      ("r", two_column_relation ~names:("a", "b") xs);
+      ("s", two_column_relation ~names:("c", "d") ys);
+      ("t", two_column_relation ~names:("a", "b") (List.map (fun (x, y) -> (y, x)) xs));
+    ]
+
+let default_catalog () =
+  catalog_data
+    [ (1, 10); (1, 11); (2, 20); (3, 30) ]
+    [ (1, 100); (2, 200); (2, 201); (9, 900) ]
+
+(* Expressions covering every rewrite rule. *)
+let expressions =
+  [
+    Expr.select
+      (P.eq (P.attr "a") (P.attr "c"))
+      (Expr.product (Expr.base "r") (Expr.base "s"));
+    Expr.select
+      (P.eq (P.attr "c") (P.attr "a"))
+      (Expr.product (Expr.base "r") (Expr.base "s"));
+    Expr.select
+      P.(eq (attr "a") (attr "c") &&& gt (attr "d") (vint 150))
+      (Expr.product (Expr.base "r") (Expr.base "s"));
+    Expr.select
+      P.(gt (attr "b") (vint 10) &&& lt (attr "d") (vint 500))
+      (Expr.product (Expr.base "r") (Expr.base "s"));
+    Expr.select
+      (P.gt (P.attr "b") (P.vint 10))
+      (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s"));
+    Expr.select
+      (P.eq (P.attr "b") (P.attr "d"))
+      (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s"));
+    Expr.select
+      (P.gt (P.attr "a") (P.vint 1))
+      (Expr.theta_join (P.lt (P.attr "a") (P.attr "c")) (Expr.base "r") (Expr.base "s"));
+    Expr.select (P.gt (P.attr "a") (P.vint 1)) (Expr.union (Expr.base "r") (Expr.base "t"));
+    Expr.select (P.gt (P.attr "a") (P.vint 1)) (Expr.inter (Expr.base "r") (Expr.base "t"));
+    Expr.select (P.gt (P.attr "a") (P.vint 1)) (Expr.diff (Expr.base "r") (Expr.base "t"));
+    Expr.select P.True (Expr.base "r");
+    Expr.select P.False (Expr.base "r");
+    Expr.distinct (Expr.distinct (Expr.base "r"));
+    Expr.distinct (Expr.union (Expr.base "r") (Expr.base "t"));
+    Expr.select
+      P.(in_ (attr "a") [ Value.Int 1; Value.Int 3 ] &&& eq (attr "a") (attr "c"))
+      (Expr.product (Expr.base "r") (Expr.base "s"));
+    (* Nothing to do. *)
+    Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s");
+    Expr.group_count ~by:[ "a" ]
+      (Expr.select (P.eq (P.attr "a") (P.attr "c"))
+         (Expr.product (Expr.base "r") (Expr.base "s")));
+  ]
+
+let sorted_tuples relation =
+  let tuples = Array.copy (Relation.tuples relation) in
+  Array.sort Tuple.compare tuples;
+  Array.to_list (Array.map Tuple.to_string tuples)
+
+let test_equivalence_on_fixed_data () =
+  let c = default_catalog () in
+  List.iter
+    (fun e ->
+      let optimized = Optimizer.optimize c e in
+      let before = Eval.eval c e and after = Eval.eval c optimized in
+      Alcotest.(check bool)
+        (Expr.to_string e)
+        true
+        (Schema.equal (Relation.schema before) (Relation.schema after)
+        && sorted_tuples before = sorted_tuples after))
+    expressions
+
+let test_join_recognition () =
+  let c = default_catalog () in
+  let e =
+    Expr.select
+      (P.eq (P.attr "a") (P.attr "c"))
+      (Expr.product (Expr.base "r") (Expr.base "s"))
+  in
+  (match Optimizer.optimize c e with
+  | Expr.Equijoin ([ ("a", "c") ], Expr.Base "r", Expr.Base "s") -> ()
+  | other -> Alcotest.failf "expected equijoin, got %s" (Expr.to_string other));
+  (* Reversed sides still orient the pair left-to-right. *)
+  let reversed =
+    Expr.select
+      (P.eq (P.attr "c") (P.attr "a"))
+      (Expr.product (Expr.base "r") (Expr.base "s"))
+  in
+  match Optimizer.optimize c reversed with
+  | Expr.Equijoin ([ ("a", "c") ], Expr.Base "r", Expr.Base "s") -> ()
+  | other -> Alcotest.failf "expected oriented equijoin, got %s" (Expr.to_string other)
+
+let test_conjunct_merging_into_join () =
+  let c = default_catalog () in
+  let e =
+    Expr.select
+      P.(eq (attr "a") (attr "c") &&& eq (attr "b") (attr "d"))
+      (Expr.product (Expr.base "r") (Expr.base "s"))
+  in
+  match Optimizer.optimize c e with
+  | Expr.Equijoin (pairs, Expr.Base "r", Expr.Base "s") ->
+    Alcotest.(check int) "two join pairs" 2 (List.length pairs)
+  | other -> Alcotest.failf "expected merged equijoin, got %s" (Expr.to_string other)
+
+let test_pushdown_shape () =
+  let c = default_catalog () in
+  let e =
+    Expr.select
+      (P.gt (P.attr "b") (P.vint 10))
+      (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s"))
+  in
+  match Optimizer.optimize c e with
+  | Expr.Equijoin (_, Expr.Select (_, Expr.Base "r"), Expr.Base "s") -> ()
+  | other -> Alcotest.failf "expected left pushdown, got %s" (Expr.to_string other)
+
+let test_union_pushdown_requires_both_sides () =
+  let c = default_catalog () in
+  (* r and s are union-compatible by position but s lacks attribute
+     "a", so the selection must stay above. *)
+  let e = Expr.select (P.gt (P.attr "a") (P.vint 1)) (Expr.union (Expr.base "r") (Expr.base "s")) in
+  (match Optimizer.optimize c e with
+  | Expr.Select (_, Expr.Union _) -> ()
+  | other -> Alcotest.failf "expected selection kept above union, got %s" (Expr.to_string other));
+  (* r and t share names: pushdown fires. *)
+  let pushable =
+    Expr.select (P.gt (P.attr "a") (P.vint 1)) (Expr.union (Expr.base "r") (Expr.base "t"))
+  in
+  match Optimizer.optimize c pushable with
+  | Expr.Union (Expr.Select _, Expr.Select _) -> ()
+  | other -> Alcotest.failf "expected pushed union, got %s" (Expr.to_string other)
+
+let test_true_selection_removed () =
+  let c = default_catalog () in
+  Alcotest.(check bool) "removed" true
+    (Optimizer.optimize c (Expr.select P.True (Expr.base "r")) = Expr.base "r")
+
+let test_idempotent () =
+  let c = default_catalog () in
+  List.iter
+    (fun e ->
+      let once = Optimizer.optimize c e in
+      let twice = Optimizer.optimize c once in
+      Alcotest.(check bool) (Expr.to_string e) true (once = twice);
+      let _, steps = Optimizer.optimize_with_stats c once in
+      Alcotest.(check int) "normal form is stable" 0 steps)
+    expressions
+
+let test_stats_counts_steps () =
+  let c = default_catalog () in
+  let e =
+    Expr.select
+      P.(eq (attr "a") (attr "c") &&& gt (attr "b") (vint 10))
+      (Expr.product (Expr.base "r") (Expr.base "s"))
+  in
+  let _, steps = Optimizer.optimize_with_stats c e in
+  Alcotest.(check bool) "steps > 0" true (steps > 0)
+
+let prop_equivalence_random_data =
+  qcheck_case ~count:60 "optimized ≍ original on random data"
+    QCheck.(pair
+              (list_of_size (QCheck.Gen.int_range 0 12)
+                 (pair (int_range 0 3) (int_range 0 30)))
+              (list_of_size (QCheck.Gen.int_range 0 12)
+                 (pair (int_range 0 3) (int_range 0 300))))
+    (fun (xs, ys) ->
+      let c = catalog_data xs ys in
+      List.for_all
+        (fun e ->
+          let optimized = Relational.Optimizer.optimize c e in
+          sorted_tuples (Eval.eval c e) = sorted_tuples (Eval.eval c optimized))
+        expressions)
+
+let suite =
+  [
+    Alcotest.test_case "equivalence on fixed data" `Quick test_equivalence_on_fixed_data;
+    Alcotest.test_case "join recognition" `Quick test_join_recognition;
+    Alcotest.test_case "conjunct merging" `Quick test_conjunct_merging_into_join;
+    Alcotest.test_case "pushdown shape" `Quick test_pushdown_shape;
+    Alcotest.test_case "union pushdown needs both sides" `Quick
+      test_union_pushdown_requires_both_sides;
+    Alcotest.test_case "σ_true removed" `Quick test_true_selection_removed;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Alcotest.test_case "stats count steps" `Quick test_stats_counts_steps;
+    prop_equivalence_random_data;
+  ]

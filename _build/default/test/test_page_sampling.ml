@@ -1,0 +1,53 @@
+open Helpers
+module Paged = Relational.Paged
+module Page_sampling = Sampling.Page_sampling
+
+let paged () = Paged.make ~page_capacity:10 (int_relation (List.init 95 (fun i -> i)))
+
+let test_sample_page_count () =
+  let p = paged () in
+  let s = Page_sampling.sample (rng ()) ~m:4 p in
+  Alcotest.(check int) "pages" 4 (Array.length s.Page_sampling.page_indices);
+  Alcotest.(check int) "page arrays" 4 (Array.length s.Page_sampling.pages)
+
+let test_counts_accesses () =
+  let p = paged () in
+  ignore (Page_sampling.sample (rng ()) ~m:3 p);
+  Alcotest.(check int) "3 page reads" 3 (Paged.accesses p)
+
+let test_tuple_count_and_to_relation () =
+  let p = paged () in
+  let s = Page_sampling.sample (rng ()) ~m:10 p in
+  (* All 10 pages = entire relation (the last page holds 5 tuples). *)
+  Alcotest.(check int) "tuple count" 95 (Page_sampling.tuple_count s);
+  let r = Page_sampling.to_relation p s in
+  Alcotest.(check int) "relation size" 95 (Relation.cardinality r)
+
+let test_pages_match_indices () =
+  let p = paged () in
+  let s = Page_sampling.sample (rng ()) ~m:5 p in
+  Array.iteri
+    (fun k page_index ->
+      let expected = Paged.peek_page p page_index in
+      Alcotest.(check bool)
+        (Printf.sprintf "page %d content" page_index)
+        true
+        (expected = s.Page_sampling.pages.(k)))
+    s.Page_sampling.page_indices
+
+let test_invalid_m () =
+  let p = paged () in
+  Alcotest.(check bool) "m too large" true
+    (try
+       ignore (Page_sampling.sample (rng ()) ~m:11 p);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "sample page count" `Quick test_sample_page_count;
+    Alcotest.test_case "counts accesses" `Quick test_counts_accesses;
+    Alcotest.test_case "tuple count / to_relation" `Quick test_tuple_count_and_to_relation;
+    Alcotest.test_case "pages match indices" `Quick test_pages_match_indices;
+    Alcotest.test_case "invalid m" `Quick test_invalid_m;
+  ]

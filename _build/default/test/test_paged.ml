@@ -1,0 +1,68 @@
+open Helpers
+module Paged = Relational.Paged
+
+let relation = int_relation (List.init 25 (fun i -> i))
+
+let test_page_count () =
+  let paged = Paged.make ~page_capacity:10 relation in
+  Alcotest.(check int) "pages" 3 (Paged.page_count paged);
+  Alcotest.(check int) "exact split" 5
+    (Paged.page_count (Paged.make ~page_capacity:5 relation));
+  Alcotest.(check int) "empty relation" 0
+    (Paged.page_count (Paged.make ~page_capacity:4 (Relation.empty (Relation.schema relation))))
+
+let test_page_sizes () =
+  let paged = Paged.make ~page_capacity:10 relation in
+  Alcotest.(check int) "full page" 10 (Paged.page_size paged 0);
+  Alcotest.(check int) "last short page" 5 (Paged.page_size paged 2)
+
+let test_pages_partition_tuples () =
+  let paged = Paged.make ~page_capacity:7 relation in
+  let all =
+    List.concat_map
+      (fun i -> Array.to_list (Paged.peek_page paged i))
+      (List.init (Paged.page_count paged) (fun i -> i))
+  in
+  Alcotest.(check int) "total" 25 (List.length all);
+  let values =
+    List.map (fun t -> match Tuple.get t 0 with Value.Int i -> i | _ -> -1) all
+  in
+  Alcotest.(check (list int)) "order preserved" (List.init 25 (fun i -> i)) values
+
+let test_access_counter () =
+  let paged = Paged.make ~page_capacity:10 relation in
+  Alcotest.(check int) "fresh" 0 (Paged.accesses paged);
+  ignore (Paged.page paged 0);
+  ignore (Paged.page paged 2);
+  Alcotest.(check int) "two accesses" 2 (Paged.accesses paged);
+  ignore (Paged.peek_page paged 1);
+  Alcotest.(check int) "peek is free" 2 (Paged.accesses paged);
+  Paged.reset_accesses paged;
+  Alcotest.(check int) "reset" 0 (Paged.accesses paged)
+
+let test_bounds () =
+  let paged = Paged.make ~page_capacity:10 relation in
+  Alcotest.(check bool) "negative" true
+    (try
+       ignore (Paged.page paged (-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too large" true
+    (try
+       ignore (Paged.page paged 3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad capacity" true
+    (try
+       ignore (Paged.make ~page_capacity:0 relation);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "page count" `Quick test_page_count;
+    Alcotest.test_case "page sizes" `Quick test_page_sizes;
+    Alcotest.test_case "pages partition tuples" `Quick test_pages_partition_tuples;
+    Alcotest.test_case "access counter" `Quick test_access_counter;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+  ]

@@ -1,0 +1,120 @@
+open Helpers
+module Planner = Raestat.Planner
+module P = Predicate
+module Tpc = Workload.Tpc_mini
+
+let tpc () =
+  Tpc.catalog (rng ~seed:151 ())
+    ~sizes:{ Tpc.suppliers = 500; parts = 800; orders = 10_000 }
+    ()
+
+let inputs ?supplier_filter () =
+  [
+    { Planner.name = "orders"; filter = None };
+    { Planner.name = "suppliers"; filter = supplier_filter };
+    { Planner.name = "parts"; filter = None };
+  ]
+
+let joins =
+  [
+    { Planner.left_attr = "o_supplier"; right_attr = "s_key" };
+    { Planner.left_attr = "o_part"; right_attr = "p_key" };
+  ]
+
+let test_plan_shape () =
+  let c = tpc () in
+  let plan = Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ()) ~joins in
+  Alcotest.(check int) "order covers all inputs" 3 (List.length plan.Planner.order);
+  Alcotest.(check int) "one strict intermediate" 1 (List.length plan.Planner.intermediates);
+  Alcotest.(check bool) "cost positive" true (plan.Planner.estimated_cost > 0.);
+  Alcotest.(check bool) "estimates recorded" true (List.length plan.Planner.estimates >= 1)
+
+let test_plan_expr_is_equivalent_to_query () =
+  let c = tpc () in
+  let plan = Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ()) ~joins in
+  (* Any join order yields the same count; compare with the canonical
+     chain expression. *)
+  let canonical = Eval.count c (Tpc.chain_query ()) in
+  Alcotest.(check int) "same result count" canonical (Eval.count c plan.Planner.expr)
+
+let test_planner_prefers_filtered_side_first () =
+  (* A highly selective supplier filter makes orders⋈suppliers the
+     small intermediate; the planner should join it before parts. *)
+  let c = tpc () in
+  let supplier_filter = P.eq (P.attr "s_region") (P.vint 0) in
+  let plan =
+    Planner.plan (rng ()) c ~fraction:0.5
+      ~inputs:(inputs ~supplier_filter ())
+      ~joins
+  in
+  (match plan.Planner.order with
+  | [ a; b; "parts" ] when (a = "orders" && b = "suppliers") || (a = "suppliers" && b = "orders")
+    -> ()
+  | order -> Alcotest.failf "unexpected order: %s" (String.concat " -> " order));
+  (* And the estimated choice should agree with the exact cost ranking. *)
+  let exact = Planner.exact_cost c plan in
+  Alcotest.(check bool) "exact cost finite" true (exact >= 0.)
+
+let test_no_cross_products_in_plan () =
+  let c = tpc () in
+  let plan = Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ()) ~joins in
+  let rec no_products = function
+    | Expr.Product _ -> false
+    | Expr.Base _ -> true
+    | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Distinct e | Expr.Rename (_, e)
+    | Expr.Aggregate (_, _, e) ->
+      no_products e
+    | Expr.Equijoin (_, l, r) | Expr.Theta_join (_, l, r) | Expr.Union (l, r)
+    | Expr.Inter (l, r) | Expr.Diff (l, r) ->
+      no_products l && no_products r
+  in
+  Alcotest.(check bool) "join tree only" true (no_products plan.Planner.expr)
+
+let test_validation () =
+  let c = tpc () in
+  let check_fails name thunk =
+    Alcotest.(check bool) name true
+      (try
+         ignore (thunk ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  check_fails "one input" (fun () ->
+      Planner.plan (rng ()) c ~fraction:0.2
+        ~inputs:[ { Planner.name = "orders"; filter = None } ]
+        ~joins:[]);
+  check_fails "duplicate names" (fun () ->
+      Planner.plan (rng ()) c ~fraction:0.2
+        ~inputs:
+          [
+            { Planner.name = "orders"; filter = None };
+            { Planner.name = "orders"; filter = None };
+          ]
+        ~joins);
+  check_fails "unknown attribute" (fun () ->
+      Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ())
+        ~joins:[ { Planner.left_attr = "nope"; right_attr = "s_key" } ]);
+  check_fails "disconnected graph" (fun () ->
+      Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ())
+        ~joins:[ { Planner.left_attr = "o_supplier"; right_attr = "s_key" } ]);
+  check_fails "within-input join" (fun () ->
+      Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ())
+        ~joins:[ { Planner.left_attr = "o_supplier"; right_attr = "o_part" } ])
+
+let test_memoization_shares_estimates () =
+  (* 3 inputs in a chain have 3 singleton sets, 2 joinable pairs and 1
+     triple: at most 6 memo entries regardless of orders explored. *)
+  let c = tpc () in
+  let plan = Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ()) ~joins in
+  Alcotest.(check bool) "few memo entries" true (List.length plan.Planner.estimates <= 6)
+
+let suite =
+  [
+    Alcotest.test_case "plan shape" `Quick test_plan_shape;
+    Alcotest.test_case "plan ≡ canonical query" `Quick test_plan_expr_is_equivalent_to_query;
+    Alcotest.test_case "prefers filtered side first" `Quick
+      test_planner_prefers_filtered_side_first;
+    Alcotest.test_case "no cross products" `Quick test_no_cross_products_in_plan;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "memoization" `Quick test_memoization_shares_estimates;
+  ]

@@ -1,0 +1,95 @@
+open Helpers
+module Quantile = Raestat.Quantile
+module Estimate = Stats.Estimate
+
+let catalog () =
+  (* Values 0..9999 once each: the τ-quantile is ≈ τ·9999. *)
+  Catalog.of_list [ ("r", int_relation (List.init 10_000 (fun i -> i))) ]
+
+let test_exact () =
+  let c = catalog () in
+  check_float ~eps:1e-6 "median" 4999.5 (Quantile.exact c ~relation:"r" ~attribute:"a" ~tau:0.5);
+  check_float ~eps:1e-6 "p90" 8999.1 (Quantile.exact c ~relation:"r" ~attribute:"a" ~tau:0.9)
+
+let test_point_estimate_close () =
+  let c = catalog () in
+  let result = Quantile.median (rng ()) c ~relation:"r" ~attribute:"a" ~n:1_000 () in
+  check_close ~tol:0.05 "median estimate" 5_000. result.Quantile.estimate.Estimate.point
+
+let test_interval_properties () =
+  let c = catalog () in
+  let result =
+    Quantile.estimate (rng ()) c ~relation:"r" ~attribute:"a" ~tau:0.25 ~n:500 ()
+  in
+  Alcotest.(check bool) "ranks ordered" true
+    (1 <= result.Quantile.lo_rank && result.Quantile.lo_rank <= result.Quantile.hi_rank
+    && result.Quantile.hi_rank <= 500);
+  Alcotest.(check bool) "interval ordered" true
+    (result.Quantile.interval.Stats.Confidence.lo
+    <= result.Quantile.interval.Stats.Confidence.hi);
+  Alcotest.(check bool) "point inside interval" true
+    (Stats.Confidence.contains result.Quantile.interval
+       result.Quantile.estimate.Estimate.point)
+
+let test_coverage_mc () =
+  let c = catalog () in
+  let rng_ = rng ~seed:131 () in
+  let truth = Quantile.exact c ~relation:"r" ~attribute:"a" ~tau:0.5 in
+  let reps = 300 in
+  let covered = ref 0 in
+  for _ = 1 to reps do
+    let result =
+      Quantile.median rng_ c ~relation:"r" ~attribute:"a" ~n:200 ~level:0.9 ()
+    in
+    if Stats.Confidence.contains result.Quantile.interval truth then incr covered
+  done;
+  let coverage = float_of_int !covered /. float_of_int reps in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.2f >= 0.88" coverage)
+    true (coverage >= 0.88)
+
+let test_census_quantile () =
+  let c = catalog () in
+  let result =
+    Quantile.estimate (rng ()) c ~relation:"r" ~attribute:"a" ~tau:0.5 ~n:10_000 ()
+  in
+  check_float ~eps:1e-6 "census median" 4999.5 result.Quantile.estimate.Estimate.point
+
+let test_nulls_excluded () =
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  let r =
+    Relation.make schema
+      [ Tuple.make [ Value.Int 1 ]; Tuple.make [ Value.Null ]; Tuple.make [ Value.Int 3 ] ]
+  in
+  let c = Catalog.of_list [ ("t", r) ] in
+  let result = Quantile.estimate (rng ()) c ~relation:"t" ~attribute:"a" ~tau:0.5 ~n:3 () in
+  check_float "median of non-null" 2. result.Quantile.estimate.Estimate.point
+
+let test_validation () =
+  let c = catalog () in
+  List.iter
+    (fun (name, thunk) ->
+      Alcotest.(check bool) name true
+        (try
+           ignore (thunk ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("tau=0", fun () -> Quantile.estimate (rng ()) c ~relation:"r" ~attribute:"a" ~tau:0. ~n:10 ());
+      ("tau=1", fun () -> Quantile.estimate (rng ()) c ~relation:"r" ~attribute:"a" ~tau:1. ~n:10 ());
+      ("n=0", fun () -> Quantile.estimate (rng ()) c ~relation:"r" ~attribute:"a" ~tau:0.5 ~n:0 ());
+      ( "bad level",
+        fun () ->
+          Quantile.estimate (rng ()) c ~relation:"r" ~attribute:"a" ~tau:0.5 ~n:10 ~level:2. () );
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "exact" `Quick test_exact;
+    Alcotest.test_case "point estimate close" `Quick test_point_estimate_close;
+    Alcotest.test_case "interval properties" `Quick test_interval_properties;
+    Alcotest.test_case "coverage (MC)" `Slow test_coverage_mc;
+    Alcotest.test_case "census quantile" `Quick test_census_quantile;
+    Alcotest.test_case "nulls excluded" `Quick test_nulls_excluded;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

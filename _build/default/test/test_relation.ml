@@ -1,0 +1,110 @@
+open Helpers
+
+let r = int_relation [ 1; 2; 2; 3; 3; 3 ]
+
+let test_cardinality () =
+  Alcotest.(check int) "card" 6 (Relation.cardinality r);
+  Alcotest.(check bool) "nonempty" false (Relation.is_empty r)
+
+let test_make_checks_arity () =
+  let schema = Schema.of_list [ ("a", Value.Tint); ("b", Value.Tint) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Relation.make schema [ Tuple.make [ Value.Int 1 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_checks_types () =
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Relation.make schema [ Tuple.make [ Value.Str "x" ] ]);
+       false
+     with Invalid_argument _ -> true);
+  (* Null is accepted at any type. *)
+  ignore (Relation.make schema [ Tuple.make [ Value.Null ] ])
+
+let test_count_filter () =
+  let even t = match Tuple.get t 0 with Value.Int i -> i mod 2 = 0 | _ -> false in
+  Alcotest.(check int) "count" 2 (Relation.count even r);
+  Alcotest.(check int) "filter" 2 (Relation.cardinality (Relation.filter even r))
+
+let test_distinct_is_set () =
+  let d = Relation.distinct r in
+  Alcotest.(check int) "distinct card" 3 (Relation.cardinality d);
+  Alcotest.(check bool) "distinct is set" true (Relation.is_set d);
+  Alcotest.(check bool) "original is not" false (Relation.is_set r)
+
+let test_distinct_preserves_first_occurrence_order () =
+  let d = Relation.distinct (int_relation [ 5; 1; 5; 2; 1 ]) in
+  let rendered = Array.to_list (Array.map Tuple.to_string (Relation.tuples d)) in
+  Alcotest.(check (list string)) "order" [ "<5>"; "<1>"; "<2>" ] rendered
+
+let test_column () =
+  let col = Relation.column r "a" in
+  Alcotest.(check int) "length" 6 (Array.length col);
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Relation.column r "z"))
+
+let test_append () =
+  let r2 = int_relation [ 9 ] in
+  Alcotest.(check int) "appended" 7 (Relation.cardinality (Relation.append r r2));
+  let other = two_column_relation [ (1, 2) ] in
+  Alcotest.(check bool) "schema mismatch" true
+    (try
+       ignore (Relation.append r other);
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_fold () =
+  let doubled =
+    Relation.map (Relation.schema r)
+      (fun t ->
+        match Tuple.get t 0 with
+        | Value.Int i -> Tuple.make [ Value.Int (2 * i) ]
+        | _ -> t)
+      r
+  in
+  let total =
+    Relation.fold
+      (fun acc t -> match Tuple.get t 0 with Value.Int i -> acc + i | _ -> acc)
+      0 doubled
+  in
+  Alcotest.(check int) "sum of doubles" 28 total
+
+let test_empty () =
+  let e = Relation.empty (Relation.schema r) in
+  Alcotest.(check bool) "empty" true (Relation.is_empty e);
+  Alcotest.(check bool) "empty is set" true (Relation.is_set e)
+
+let prop_distinct_idempotent =
+  qcheck_case "distinct idempotent"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 30) (QCheck.int_range 0 5))
+    (fun values ->
+      let r = int_relation values in
+      let once = Relation.distinct r in
+      let twice = Relation.distinct once in
+      Relation.cardinality once = Relation.cardinality twice)
+
+let prop_distinct_bounded =
+  qcheck_case "distinct no larger"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 30) (QCheck.int_range 0 5))
+    (fun values ->
+      let r = int_relation values in
+      Relation.cardinality (Relation.distinct r) <= Relation.cardinality r)
+
+let suite =
+  [
+    Alcotest.test_case "cardinality" `Quick test_cardinality;
+    Alcotest.test_case "make checks arity" `Quick test_make_checks_arity;
+    Alcotest.test_case "make checks types" `Quick test_make_checks_types;
+    Alcotest.test_case "count and filter" `Quick test_count_filter;
+    Alcotest.test_case "distinct and is_set" `Quick test_distinct_is_set;
+    Alcotest.test_case "distinct keeps first occurrences" `Quick
+      test_distinct_preserves_first_occurrence_order;
+    Alcotest.test_case "column" `Quick test_column;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "map and fold" `Quick test_map_fold;
+    Alcotest.test_case "empty" `Quick test_empty;
+    prop_distinct_idempotent;
+    prop_distinct_bounded;
+  ]

@@ -1,0 +1,75 @@
+open Helpers
+module Reservoir = Sampling.Reservoir
+
+let test_underfull () =
+  let t = Reservoir.create (rng ()) ~capacity:10 in
+  Reservoir.add_all t [| 1; 2; 3 |];
+  Alcotest.(check int) "seen" 3 (Reservoir.seen t);
+  let contents = Array.to_list (Reservoir.contents t) in
+  Alcotest.(check (list int)) "all kept" [ 1; 2; 3 ] (List.sort Int.compare contents)
+
+let test_capacity_invariant () =
+  List.iter
+    (fun algorithm ->
+      let t = Reservoir.create ~algorithm (rng ()) ~capacity:5 in
+      Reservoir.add_all t (Array.init 1000 (fun i -> i));
+      Alcotest.(check int) "size capped" 5 (Array.length (Reservoir.contents t));
+      Alcotest.(check int) "seen" 1000 (Reservoir.seen t))
+    [ `R; `L ]
+
+let test_contents_are_stream_elements () =
+  List.iter
+    (fun algorithm ->
+      let t = Reservoir.create ~algorithm (rng ()) ~capacity:8 in
+      Reservoir.add_all t (Array.init 500 (fun i -> i * 3));
+      Array.iter
+        (fun x -> if x mod 3 <> 0 || x < 0 || x >= 1500 then Alcotest.failf "alien %d" x)
+        (Reservoir.contents t);
+      (* No duplicates: stream elements are distinct. *)
+      let sorted = List.sort_uniq Int.compare (Array.to_list (Reservoir.contents t)) in
+      Alcotest.(check int) "distinct" 8 (List.length sorted))
+    [ `R; `L ]
+
+let uniformity algorithm =
+  (* Each of 20 stream elements should be retained with probability
+     5/20 = 0.25. *)
+  let r = rng () in
+  let counts = Array.make 20 0 in
+  let reps = 20_000 in
+  for _ = 1 to reps do
+    let t = Reservoir.create ~algorithm r ~capacity:5 in
+    Reservoir.add_all t (Array.init 20 (fun i -> i));
+    Array.iter (fun i -> counts.(i) <- counts.(i) + 1) (Reservoir.contents t)
+  done;
+  Array.iteri
+    (fun i c ->
+      check_close ~tol:0.05
+        (Printf.sprintf "element %d retention" i)
+        0.25
+        (float_of_int c /. float_of_int reps))
+    counts
+
+let test_uniform_r () = uniformity `R
+
+let test_uniform_l () = uniformity `L
+
+let test_one_shot_sample () =
+  let s = Reservoir.sample (rng ()) ~k:3 (Array.init 10 (fun i -> i)) in
+  Alcotest.(check int) "size" 3 (Array.length s);
+  let small = Reservoir.sample (rng ()) ~k:5 [| 1; 2 |] in
+  Alcotest.(check int) "short stream" 2 (Array.length small)
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "zero" (Invalid_argument "Reservoir.create: capacity must be positive")
+    (fun () -> ignore (Reservoir.create (rng ()) ~capacity:0))
+
+let suite =
+  [
+    Alcotest.test_case "underfull keeps everything" `Quick test_underfull;
+    Alcotest.test_case "capacity invariant" `Quick test_capacity_invariant;
+    Alcotest.test_case "contents from stream" `Quick test_contents_are_stream_elements;
+    Alcotest.test_case "algorithm R uniform" `Slow test_uniform_r;
+    Alcotest.test_case "algorithm L uniform" `Slow test_uniform_l;
+    Alcotest.test_case "one-shot sample" `Quick test_one_shot_sample;
+    Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+  ]

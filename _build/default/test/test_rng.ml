@@ -1,0 +1,148 @@
+open Helpers
+module Rng = Sampling.Rng
+
+let test_deterministic () =
+  let r1 = Rng.create ~seed:7 () and r2 = Rng.create ~seed:7 () in
+  for i = 1 to 100 do
+    Alcotest.(check bool)
+      (Printf.sprintf "draw %d equal" i)
+      true
+      (Rng.bits64 r1 = Rng.bits64 r2)
+  done
+
+let test_seed_changes_stream () =
+  let r1 = Rng.create ~seed:1 () and r2 = Rng.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits64 r1 = Rng.bits64 r2 then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_int_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of bounds: %d" x
+  done;
+  Alcotest.(check int) "bound 1 is constant" 0 (Rng.int r 1);
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_int_roughly_uniform () =
+  let r = rng () in
+  let buckets = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  (* Chi-squared with 9 degrees of freedom: 99.9th percentile ≈ 27.9. *)
+  let expected = float_of_int draws /. 10. in
+  let chi2 =
+    Array.fold_left
+      (fun acc observed ->
+        let d = float_of_int observed -. expected in
+        acc +. (d *. d /. expected))
+      0. buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2=%.2f < 27.9" chi2) true (chi2 < 27.9)
+
+let test_float_range_and_mean () =
+  let r = rng () in
+  let summary = ref Stats.Summary.empty in
+  for _ = 1 to 50_000 do
+    let x = Rng.float r in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of range: %f" x;
+    summary := Stats.Summary.add !summary x
+  done;
+  check_close ~tol:0.01 "mean ≈ 1/2" 0.5 (Stats.Summary.mean !summary);
+  (* Var of U(0,1) is 1/12. *)
+  check_close ~tol:0.05 "variance ≈ 1/12" (1. /. 12.) (Stats.Summary.variance !summary)
+
+let test_gaussian_moments () =
+  let r = rng () in
+  let summary = ref Stats.Summary.empty in
+  for _ = 1 to 50_000 do
+    summary := Stats.Summary.add !summary (Rng.gaussian r)
+  done;
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Stats.Summary.mean !summary) < 0.02);
+  check_close ~tol:0.05 "unit variance" 1.0 (Stats.Summary.variance !summary)
+
+let test_shuffle_is_permutation () =
+  let r = rng () in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle_in_place r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 (fun i -> i))
+
+let test_shuffle_uniform_first_position () =
+  (* Over many shuffles of [0;1;2], each value should land in slot 0
+     about a third of the time. *)
+  let r = rng () in
+  let counts = Array.make 3 0 in
+  let reps = 30_000 in
+  for _ = 1 to reps do
+    let a = [| 0; 1; 2 |] in
+    Rng.shuffle_in_place r a;
+    counts.(a.(0)) <- counts.(a.(0)) + 1
+  done;
+  Array.iteri
+    (fun v c ->
+      check_close ~tol:0.05
+        (Printf.sprintf "value %d fraction" v)
+        (1. /. 3.)
+        (float_of_int c /. float_of_int reps))
+    counts
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:99 () in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits64 child1 = Rng.bits64 child2 then incr same
+  done;
+  Alcotest.(check int) "children differ" 0 !same
+
+let test_copy_independent () =
+  let r = Rng.create ~seed:5 () in
+  let c = Rng.copy r in
+  let from_r = Rng.bits64 r in
+  let from_c = Rng.bits64 c in
+  Alcotest.(check bool) "same next draw" true (from_r = from_c);
+  ignore (Rng.bits64 r);
+  ignore (Rng.bits64 r);
+  (* The copy is not advanced by the original's draws. *)
+  let r2 = Rng.create ~seed:5 () in
+  ignore (Rng.bits64 r2);
+  Alcotest.(check bool) "copy keeps own position" true (Rng.bits64 c = Rng.bits64 r2)
+
+let test_positive_float () =
+  let r = rng () in
+  for _ = 1 to 1_000 do
+    if Rng.positive_float r <= 0. then Alcotest.fail "non-positive draw"
+  done
+
+let test_choose () =
+  let r = rng () in
+  let x = Rng.choose r [| 42 |] in
+  Alcotest.(check int) "singleton" 42 x;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose r ([||] : int array)))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
+    Alcotest.test_case "different seeds differ" `Quick test_seed_changes_stream;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniform (chi2)" `Quick test_int_roughly_uniform;
+    Alcotest.test_case "float range and moments" `Quick test_float_range_and_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "shuffle uniform" `Quick test_shuffle_uniform_first_position;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "positive_float" `Quick test_positive_float;
+    Alcotest.test_case "choose" `Quick test_choose;
+  ]

@@ -1,0 +1,139 @@
+open Helpers
+module SS = Raestat.Sample_size
+module JV = Raestat.Join_variance
+module CE = Raestat.Count_estimator
+module Estimate = Stats.Estimate
+
+let test_selection_formula () =
+  (* Without FPC (huge N): n ≈ z²(1−p)/(e²p); p=0.5, e=0.1, 95% ⇒
+     1.96²·1/0.01·... = 384.1·(0.5/0.5) = 384. *)
+  let n = SS.selection ~big_n:100_000_000 ~level:0.95 ~target:0.1 ~p:0.5 in
+  Alcotest.(check bool) (Printf.sprintf "n=%d near 385" n) true (n >= 380 && n <= 390)
+
+let test_selection_rarer_needs_more () =
+  let common = SS.selection ~big_n:1_000_000 ~level:0.95 ~target:0.1 ~p:0.3 in
+  let rare = SS.selection ~big_n:1_000_000 ~level:0.95 ~target:0.1 ~p:0.01 in
+  Alcotest.(check bool) "rare >> common" true (rare > 5 * common)
+
+let test_selection_fpc_caps_at_population () =
+  let n = SS.selection ~big_n:100 ~level:0.99 ~target:0.01 ~p:0.01 in
+  Alcotest.(check bool) "capped" true (n <= 100);
+  Alcotest.(check bool) "essentially census" true (n >= 95)
+
+let test_selection_tighter_target_needs_more () =
+  let loose = SS.selection ~big_n:1_000_000 ~level:0.95 ~target:0.2 ~p:0.2 in
+  let tight = SS.selection ~big_n:1_000_000 ~level:0.95 ~target:0.05 ~p:0.2 in
+  (* 1/e² law: 16× tighter. *)
+  check_close ~tol:0.05 "quadratic law" 16. (float_of_int tight /. float_of_int loose)
+
+let test_selection_delivers_requested_precision () =
+  (* Plan a size, then verify empirically that the achieved CI
+     half-width meets the target. *)
+  let rng_ = rng ~seed:111 () in
+  let big_n = 50_000 and p = 0.2 in
+  let relation =
+    Workload.Generator.int_relation rng_ ~n:big_n ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 999 })
+  in
+  let c = Catalog.of_list [ ("r", relation) ] in
+  let pred = Predicate.lt (Predicate.attr "a") (Predicate.vint 200) in
+  let n = SS.selection ~big_n ~level:0.95 ~target:0.1 ~p in
+  let truth = float_of_int (Eval.count c (Expr.select pred (Expr.base "r"))) in
+  let within = ref 0 in
+  let reps = 200 in
+  for _ = 1 to reps do
+    let est = CE.selection rng_ c ~relation:"r" ~n pred in
+    if Estimate.relative_error ~truth est <= 0.1 then incr within
+  done;
+  (* The CI half-width equals the target, so ~95% of runs land within. *)
+  let rate = float_of_int !within /. float_of_int reps in
+  Alcotest.(check bool) (Printf.sprintf "%.2f >= 0.9" rate) true (rate >= 0.9)
+
+let test_selection_absolute () =
+  let n = SS.selection_absolute ~big_n:10_000 ~level:0.95 ~half_width:100. ~p:0.3 in
+  (* Check by plugging back: z·sqrt(N²(1−n/N)p(1−p)/n) ≤ 100. *)
+  let z = Stats.Confidence.z_value ~level:0.95 in
+  let nf = float_of_int n in
+  let hw =
+    z *. Float.sqrt (1e8 *. (1. -. (nf /. 1e4)) *. 0.21 /. nf)
+  in
+  Alcotest.(check bool) (Printf.sprintf "achieved %.1f <= 100" hw) true (hw <= 100.5)
+
+let test_equijoin_planner () =
+  let rng_ = rng ~seed:112 () in
+  let gen = Workload.Dist.compile (Workload.Dist.Zipf { n_values = 100; skew = 0.5 }) in
+  let l = int_relation (List.init 5_000 (fun _ -> gen rng_)) in
+  let r = int_relation (List.init 5_000 (fun _ -> gen rng_)) in
+  let p1 = JV.profile l "a" and p2 = JV.profile r "a" in
+  let q, (en1, en2) = SS.equijoin ~level:0.95 ~target:0.1 p1 p2 in
+  Alcotest.(check bool) "rate in (0,1]" true (q > 0. && q <= 1.);
+  check_float ~eps:1e-6 "expected sizes" (q *. 5_000.) en1;
+  check_float ~eps:1e-6 "expected sizes right" (q *. 5_000.) en2;
+  (* The returned rate meets the target... *)
+  let z = Stats.Confidence.z_value ~level:0.95 in
+  let j = JV.join_size p1 p2 in
+  Alcotest.(check bool) "feasible at q" true
+    (z *. Float.sqrt (JV.oracle_variance ~q1:q ~q2:q p1 p2) <= 0.1 *. j +. 1e-6);
+  (* ... and is minimal up to bisection tolerance. *)
+  let q_smaller = q *. 0.9 in
+  Alcotest.(check bool) "0.9q infeasible" true
+    (z *. Float.sqrt (JV.oracle_variance ~q1:q_smaller ~q2:q_smaller p1 p2) > 0.1 *. j)
+
+let test_equijoin_tighter_needs_higher_rate () =
+  let rng_ = rng ~seed:113 () in
+  let gen = Workload.Dist.compile (Workload.Dist.Uniform { lo = 0; hi = 99 }) in
+  let l = int_relation (List.init 5_000 (fun _ -> gen rng_)) in
+  let r = int_relation (List.init 5_000 (fun _ -> gen rng_)) in
+  let p1 = JV.profile l "a" and p2 = JV.profile r "a" in
+  let q_loose, _ = SS.equijoin ~level:0.95 ~target:0.2 p1 p2 in
+  let q_tight, _ = SS.equijoin ~level:0.95 ~target:0.05 p1 p2 in
+  Alcotest.(check bool) "monotone" true (q_tight > q_loose)
+
+let test_plan_cost () =
+  let c =
+    Catalog.of_list
+      [
+        ("r", int_relation (List.init 100 (fun i -> i)));
+        ("s", int_relation (List.init 50 (fun i -> i)));
+      ]
+  in
+  let cost = SS.plan_cost c ~fraction:0.1 (Expr.product (Expr.base "r") (Expr.base "s")) in
+  check_float "10 + 5" 15. cost
+
+let test_validation () =
+  Alcotest.(check bool) "bad p" true
+    (try
+       ignore (SS.selection ~big_n:10 ~level:0.95 ~target:0.1 ~p:0.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad target" true
+    (try
+       ignore (SS.selection ~big_n:10 ~level:0.95 ~target:0. ~p:0.5);
+       false
+     with Invalid_argument _ -> true);
+  let l = int_relation [ 1 ] and r = int_relation [ 2 ] in
+  Alcotest.(check bool) "empty join" true
+    (try
+       ignore
+         (SS.equijoin ~level:0.95 ~target:0.1
+            (Raestat.Join_variance.profile l "a")
+            (Raestat.Join_variance.profile r "a"));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "selection formula" `Quick test_selection_formula;
+    Alcotest.test_case "rarer needs more" `Quick test_selection_rarer_needs_more;
+    Alcotest.test_case "FPC caps at population" `Quick test_selection_fpc_caps_at_population;
+    Alcotest.test_case "tighter target quadratic" `Quick
+      test_selection_tighter_target_needs_more;
+    Alcotest.test_case "delivers requested precision (MC)" `Slow
+      test_selection_delivers_requested_precision;
+    Alcotest.test_case "absolute half-width" `Quick test_selection_absolute;
+    Alcotest.test_case "equijoin planner" `Quick test_equijoin_planner;
+    Alcotest.test_case "equijoin monotone in target" `Quick
+      test_equijoin_tighter_needs_higher_rate;
+    Alcotest.test_case "plan cost" `Quick test_plan_cost;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,66 @@
+open Helpers
+
+let abc = Schema.of_list [ ("a", Value.Tint); ("b", Value.Tstr); ("c", Value.Tfloat) ]
+
+let test_arity () = Alcotest.(check int) "arity" 3 (Schema.arity abc)
+
+let test_index_of () =
+  Alcotest.(check int) "a" 0 (Schema.index_of abc "a");
+  Alcotest.(check int) "c" 2 (Schema.index_of abc "c");
+  Alcotest.(check bool) "missing" true (Schema.index_of_opt abc "z" = None)
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Schema.make: duplicate attribute \"a\"") (fun () ->
+      ignore (Schema.of_list [ ("a", Value.Tint); ("a", Value.Tstr) ]))
+
+let test_project () =
+  let p = Schema.project abc [ "c"; "a" ] in
+  Alcotest.(check (list string)) "names" [ "c"; "a" ] (Schema.names p);
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Schema.project abc [ "nope" ]))
+
+let test_concat_disjoint () =
+  let s1 = Schema.of_list [ ("x", Value.Tint) ] in
+  let s2 = Schema.of_list [ ("y", Value.Tint) ] in
+  Alcotest.(check (list string)) "names" [ "x"; "y" ] (Schema.names (Schema.concat s1 s2))
+
+let test_concat_clash_qualifies () =
+  let s1 = Schema.of_list [ ("k", Value.Tint); ("x", Value.Tint) ] in
+  let s2 = Schema.of_list [ ("k", Value.Tint); ("y", Value.Tint) ] in
+  let joined = Schema.concat ~left_prefix:"l" ~right_prefix:"r" s1 s2 in
+  Alcotest.(check (list string)) "names" [ "l.k"; "x"; "r.k"; "y" ] (Schema.names joined)
+
+let test_rename () =
+  let renamed = Schema.rename abc [ ("a", "alpha") ] in
+  Alcotest.(check (list string)) "names" [ "alpha"; "b"; "c" ] (Schema.names renamed);
+  Alcotest.check_raises "missing old" Not_found (fun () ->
+      ignore (Schema.rename abc [ ("zz", "w") ]));
+  Alcotest.check_raises "creates dup"
+    (Invalid_argument "Schema.make: duplicate attribute \"b\"") (fun () ->
+      ignore (Schema.rename abc [ ("a", "b") ]))
+
+let test_equal_compatible () =
+  let same = Schema.of_list [ ("a", Value.Tint); ("b", Value.Tstr); ("c", Value.Tfloat) ] in
+  let renamed = Schema.of_list [ ("x", Value.Tint); ("y", Value.Tstr); ("z", Value.Tfloat) ] in
+  let other = Schema.of_list [ ("a", Value.Tint); ("b", Value.Tint); ("c", Value.Tfloat) ] in
+  Alcotest.(check bool) "equal" true (Schema.equal abc same);
+  Alcotest.(check bool) "not equal" false (Schema.equal abc renamed);
+  Alcotest.(check bool) "compatible" true (Schema.compatible abc renamed);
+  Alcotest.(check bool) "incompatible" false (Schema.compatible abc other)
+
+let test_to_string () =
+  Alcotest.(check string) "render" "(a:int, b:string, c:float)" (Schema.to_string abc)
+
+let suite =
+  [
+    Alcotest.test_case "arity" `Quick test_arity;
+    Alcotest.test_case "index_of" `Quick test_index_of;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "concat disjoint" `Quick test_concat_disjoint;
+    Alcotest.test_case "concat clash qualifies" `Quick test_concat_clash_qualifies;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "equal vs compatible" `Quick test_equal_compatible;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

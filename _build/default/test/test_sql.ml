@@ -1,0 +1,182 @@
+open Helpers
+module Sql = Relational.Sql
+module Optimizer = Relational.Optimizer
+module P = Predicate
+
+let catalog () =
+  Catalog.of_list
+    [
+      ("orders", two_column_relation ~names:("o_cust", "o_amount")
+         [ (1, 100); (1, 250); (2, 50); (3, 400); (3, 80); (3, 120) ]);
+      ("customers", two_column_relation ~names:("c_id", "c_region")
+         [ (1, 0); (2, 1); (3, 0) ]);
+    ]
+
+let count_sql c text = Eval.count c (Sql.parse text)
+
+let test_select_star () =
+  let c = catalog () in
+  Alcotest.(check int) "all rows" 6 (count_sql c "SELECT * FROM orders");
+  Alcotest.(check int) "filtered" 3
+    (count_sql c "SELECT * FROM orders WHERE o_amount >= 120")
+
+let test_count_star () =
+  let c = catalog () in
+  let result = Eval.eval c (Sql.parse "SELECT COUNT(*) FROM orders WHERE o_cust = 3") in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality result);
+  Alcotest.(check string) "count value" "<3>" (Tuple.to_string (Relation.tuple result 0))
+
+let test_projection () =
+  let c = catalog () in
+  Alcotest.(check int) "bag projection" 6 (count_sql c "SELECT o_cust FROM orders");
+  Alcotest.(check int) "distinct projection" 3
+    (count_sql c "SELECT DISTINCT o_cust FROM orders")
+
+let test_where_language () =
+  let c = catalog () in
+  Alcotest.(check int) "between" 4
+    (count_sql c "SELECT * FROM orders WHERE o_amount BETWEEN 80 AND 250");
+  Alcotest.(check int) "in" 4
+    (count_sql c "SELECT * FROM orders WHERE o_cust IN (1, 3) AND o_amount > 90");
+  Alcotest.(check int) "or / not" 4
+    (count_sql c "SELECT * FROM orders WHERE NOT o_cust = 3 OR o_amount < 100")
+
+let test_comma_join () =
+  let c = catalog () in
+  Alcotest.(check int) "product" 18 (count_sql c "SELECT * FROM orders, customers");
+  Alcotest.(check int) "product + where = join" 6
+    (count_sql c "SELECT * FROM orders, customers WHERE o_cust = c_id")
+
+let test_join_on () =
+  let c = catalog () in
+  Alcotest.(check int) "join" 6
+    (count_sql c "SELECT * FROM orders JOIN customers ON o_cust = c_id");
+  Alcotest.(check int) "join + filter" 5
+    (count_sql c
+       "SELECT * FROM orders JOIN customers ON o_cust = c_id WHERE c_region = 0")
+
+let test_join_on_optimizes_to_equijoin () =
+  let c = catalog () in
+  let optimized =
+    Sql.parse_optimized c "SELECT * FROM orders JOIN customers ON o_cust = c_id"
+  in
+  match optimized with
+  | Expr.Equijoin ([ ("o_cust", "c_id") ], Expr.Base "orders", Expr.Base "customers") -> ()
+  | other -> Alcotest.failf "expected equijoin, got %s" (Expr.to_string other)
+
+let test_where_join_optimizes_with_pushdown () =
+  let c = catalog () in
+  let optimized =
+    Sql.parse_optimized c
+      "SELECT * FROM orders, customers WHERE o_cust = c_id AND c_region = 0"
+  in
+  (match optimized with
+  | Expr.Equijoin (_, Expr.Base "orders", Expr.Select (_, Expr.Base "customers")) -> ()
+  | other -> Alcotest.failf "expected pushed equijoin, got %s" (Expr.to_string other));
+  Alcotest.(check int) "same answer" 5 (Eval.count c optimized)
+
+let test_group_by () =
+  let c = catalog () in
+  let e = Sql.parse "SELECT o_cust, COUNT(*) AS n, SUM(o_amount) FROM orders GROUP BY o_cust" in
+  let result = Eval.eval c e in
+  Alcotest.(check (list string)) "schema" [ "o_cust"; "n"; "sum_o_amount" ]
+    (Schema.names (Relation.schema result));
+  let rows = List.sort compare (Array.to_list (Array.map Tuple.to_string (Relation.tuples result))) in
+  Alcotest.(check (list string)) "rows" [ "<1, 2, 350>"; "<2, 1, 50>"; "<3, 3, 600>" ] rows
+
+let test_group_by_without_aggregates () =
+  let c = catalog () in
+  Alcotest.(check int) "groups" 3 (count_sql c "SELECT o_cust FROM orders GROUP BY o_cust")
+
+let test_global_aggregates () =
+  let c = catalog () in
+  let result = Eval.eval c (Sql.parse "SELECT MIN(o_amount), MAX(o_amount), AVG(o_amount) FROM orders") in
+  Alcotest.(check string) "row" "<50, 400, 166.667>"
+    (Tuple.to_string (Relation.tuple result 0))
+
+let test_case_insensitive () =
+  let c = catalog () in
+  Alcotest.(check int) "lowercase" 6 (count_sql c "select * from orders");
+  Alcotest.(check int) "mixed" 3
+    (count_sql c "Select * From orders Where o_cust = 3")
+
+let test_rejections () =
+  let rejects text =
+    Alcotest.(check bool) text true
+      (try
+         ignore (Sql.parse text);
+         false
+       with Failure _ -> true)
+  in
+  rejects "DELETE FROM orders";
+  rejects "SELECT * FROM orders ORDER BY o_amount";
+  rejects "SELECT * FROM orders LIMIT 5";
+  rejects "SELECT * FROM orders HAVING o_cust = 1";
+  rejects "SELECT o_cust FROM";
+  rejects "SELECT FROM orders";
+  rejects "SELECT COUNT(o_cust) FROM orders";
+  rejects "SELECT o_cust, COUNT(*) FROM orders";
+  rejects "SELECT o_amount FROM orders GROUP BY o_cust";
+  rejects "SELECT * FROM orders JOIN customers";
+  rejects "SELECT * FROM orders WHERE o_cust = (SELECT c_id FROM customers)"
+
+let test_keyword_inside_string_literal () =
+  let c =
+    Catalog.of_list
+      [
+        ( "notes",
+          Relation.make
+            (Schema.of_list [ ("text", Value.Tstr) ])
+            [ Tuple.make [ Value.Str "select from where" ]; Tuple.make [ Value.Str "x" ] ] );
+      ]
+  in
+  Alcotest.(check int) "literal untouched" 1
+    (count_sql c "SELECT * FROM notes WHERE text = 'select from where'")
+
+let test_count_star_target () =
+  let e = Sql.parse "SELECT COUNT(*) FROM orders WHERE o_cust = 3" in
+  (match Sql.count_star_target e with
+  | Some (Expr.Select (_, Expr.Base "orders")) -> ()
+  | Some other -> Alcotest.failf "unexpected target %s" (Expr.to_string other)
+  | None -> Alcotest.fail "expected a count target");
+  Alcotest.(check bool) "grouped query has none" true
+    (Sql.count_star_target (Sql.parse "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust")
+    = None);
+  Alcotest.(check bool) "plain query has none" true
+    (Sql.count_star_target (Sql.parse "SELECT * FROM orders") = None)
+
+let test_estimation_pipeline () =
+  (* SQL → optimizer → sampled estimate, the end-to-end workflow. *)
+  let rng_ = rng ~seed:141 () in
+  let l, r =
+    Workload.Correlated.pair rng_ ~n_left:10_000 ~n_right:10_000 ~domain:200 ~skew_left:0.5
+      ~skew_right:0.5 Workload.Correlated.Independent ~attribute:"a"
+  in
+  let r = Relation.of_array (Schema.of_list [ ("b", Value.Tint) ]) (Relation.tuples r) in
+  let c = Catalog.of_list [ ("l", l); ("r", r) ] in
+  let e = Sql.parse_optimized c "SELECT * FROM l, r WHERE a = b" in
+  let truth = float_of_int (Eval.count c e) in
+  let est = Raestat.Count_estimator.estimate ~groups:5 rng_ c ~fraction:0.1 e in
+  Alcotest.(check bool) "unbiased classification" true
+    (est.Stats.Estimate.status = Stats.Estimate.Unbiased);
+  check_close ~tol:0.3 "estimate near truth" truth est.Stats.Estimate.point
+
+let suite =
+  [
+    Alcotest.test_case "select star" `Quick test_select_star;
+    Alcotest.test_case "count(*)" `Quick test_count_star;
+    Alcotest.test_case "projection" `Quick test_projection;
+    Alcotest.test_case "where language" `Quick test_where_language;
+    Alcotest.test_case "comma join" `Quick test_comma_join;
+    Alcotest.test_case "join ... on" `Quick test_join_on;
+    Alcotest.test_case "join on → equijoin" `Quick test_join_on_optimizes_to_equijoin;
+    Alcotest.test_case "where-join pushdown" `Quick test_where_join_optimizes_with_pushdown;
+    Alcotest.test_case "group by" `Quick test_group_by;
+    Alcotest.test_case "group by without aggregates" `Quick test_group_by_without_aggregates;
+    Alcotest.test_case "global aggregates" `Quick test_global_aggregates;
+    Alcotest.test_case "case insensitive" `Quick test_case_insensitive;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "keywords inside strings" `Quick test_keyword_inside_string_literal;
+    Alcotest.test_case "count(*) target" `Quick test_count_star_target;
+    Alcotest.test_case "sql → estimate pipeline" `Quick test_estimation_pipeline;
+  ]

@@ -1,0 +1,127 @@
+open Helpers
+module Srs = Sampling.Srs
+
+let test_size_of_fraction () =
+  Alcotest.(check int) "half" 50 (Srs.size_of_fraction ~fraction:0.5 100);
+  Alcotest.(check int) "full" 100 (Srs.size_of_fraction ~fraction:1.0 100);
+  Alcotest.(check int) "tiny clamps to 1" 1 (Srs.size_of_fraction ~fraction:0.0001 100);
+  Alcotest.(check int) "empty universe" 0 (Srs.size_of_fraction ~fraction:0.5 0);
+  Alcotest.(check bool) "bad fraction" true
+    (try
+       ignore (Srs.size_of_fraction ~fraction:1.5 10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_wor_properties () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let idx = Srs.indices_without_replacement r ~n:10 ~universe:30 in
+    Alcotest.(check int) "size" 10 (Array.length idx);
+    Array.iter (fun i -> if i < 0 || i >= 30 then Alcotest.failf "oob %d" i) idx;
+    (* Sorted increasing implies distinct when strict. *)
+    for k = 1 to 9 do
+      if idx.(k) <= idx.(k - 1) then Alcotest.fail "not strictly increasing"
+    done
+  done
+
+let test_wor_full_draw () =
+  let r = rng () in
+  let idx = Srs.indices_without_replacement r ~n:12 ~universe:12 in
+  Alcotest.(check (list int)) "whole universe" (List.init 12 (fun i -> i))
+    (Array.to_list idx)
+
+let test_wor_inclusion_uniform () =
+  (* Every element of a 6-universe must appear in a size-2 sample with
+     probability 2/6. *)
+  let r = rng () in
+  let counts = Array.make 6 0 in
+  let reps = 30_000 in
+  for _ = 1 to reps do
+    let idx = Srs.indices_without_replacement r ~n:2 ~universe:6 in
+    Array.iter (fun i -> counts.(i) <- counts.(i) + 1) idx
+  done;
+  Array.iteri
+    (fun i c ->
+      check_close ~tol:0.04
+        (Printf.sprintf "inclusion of %d" i)
+        (2. /. 6.)
+        (float_of_int c /. float_of_int reps))
+    counts
+
+let test_wor_subset_uniform () =
+  (* All C(4,2)=6 subsets of a 4-universe equally likely. *)
+  let r = rng () in
+  let table = Hashtbl.create 6 in
+  let reps = 30_000 in
+  for _ = 1 to reps do
+    let idx = Srs.indices_without_replacement r ~n:2 ~universe:4 in
+    let key = (idx.(0), idx.(1)) in
+    Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
+  done;
+  Alcotest.(check int) "all subsets seen" 6 (Hashtbl.length table);
+  Hashtbl.iter
+    (fun (i, j) c ->
+      check_close ~tol:0.06
+        (Printf.sprintf "subset (%d,%d)" i j)
+        (1. /. 6.)
+        (float_of_int c /. float_of_int reps))
+    table
+
+let test_wr_size_and_range () =
+  let r = rng () in
+  let idx = Srs.indices_with_replacement r ~n:1000 ~universe:5 in
+  Alcotest.(check int) "size" 1000 (Array.length idx);
+  Array.iter (fun i -> if i < 0 || i >= 5 then Alcotest.failf "oob %d" i) idx;
+  (* With replacement over 5 values, 1000 draws must repeat. *)
+  let distinct = List.sort_uniq Int.compare (Array.to_list idx) in
+  Alcotest.(check bool) "repeats happen" true (List.length distinct <= 5)
+
+let test_errors () =
+  let r = rng () in
+  Alcotest.(check bool) "n too large" true
+    (try
+       ignore (Srs.indices_without_replacement r ~n:5 ~universe:3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative n" true
+    (try
+       ignore (Srs.indices_without_replacement r ~n:(-1) ~universe:3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wr empty universe" true
+    (try
+       ignore (Srs.indices_with_replacement r ~n:1 ~universe:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_relation_sampling () =
+  let r = rng () in
+  let relation = int_relation (List.init 40 (fun i -> i)) in
+  let sample = Srs.relation_without_replacement r ~n:10 relation in
+  Alcotest.(check int) "size" 10 (Relation.cardinality sample);
+  Alcotest.(check bool) "schema preserved" true
+    (Schema.equal (Relation.schema relation) (Relation.schema sample));
+  Alcotest.(check bool) "sample is subset (distinct values here)" true
+    (Relation.is_set sample);
+  let full = Srs.relation_fraction r ~fraction:1.0 relation in
+  Alcotest.(check int) "fraction 1 = all" 40 (Relation.cardinality full)
+
+let prop_sample_size =
+  qcheck_case "sample has requested size"
+    QCheck.(pair (int_range 0 20) (int_range 20 60))
+    (fun (n, universe) ->
+      let r = rng ~seed:(n + (universe * 1000)) () in
+      Array.length (Srs.indices_without_replacement r ~n ~universe) = n)
+
+let suite =
+  [
+    Alcotest.test_case "size_of_fraction" `Quick test_size_of_fraction;
+    Alcotest.test_case "WOR size/range/distinct" `Quick test_wor_properties;
+    Alcotest.test_case "WOR full draw" `Quick test_wor_full_draw;
+    Alcotest.test_case "WOR inclusion uniform" `Quick test_wor_inclusion_uniform;
+    Alcotest.test_case "WOR subsets uniform" `Quick test_wor_subset_uniform;
+    Alcotest.test_case "WR size and range" `Quick test_wr_size_and_range;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "relation sampling" `Quick test_relation_sampling;
+    prop_sample_size;
+  ]

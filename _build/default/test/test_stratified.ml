@@ -1,0 +1,70 @@
+open Helpers
+module Stratified = Sampling.Stratified
+
+let test_proportional_sums () =
+  let alloc = Stratified.proportional_allocation ~n:10 [| 50; 30; 20 |] in
+  Alcotest.(check int) "total" 10 (Array.fold_left ( + ) 0 alloc);
+  Alcotest.(check (array int)) "proportional" [| 5; 3; 2 |] alloc
+
+let test_proportional_rounding () =
+  let alloc = Stratified.proportional_allocation ~n:10 [| 33; 33; 34 |] in
+  Alcotest.(check int) "total" 10 (Array.fold_left ( + ) 0 alloc);
+  Array.iter (fun a -> if a < 3 || a > 4 then Alcotest.failf "lopsided %d" a) alloc
+
+let test_proportional_caps () =
+  (* A tiny stratum cannot be over-allocated. *)
+  let alloc = Stratified.proportional_allocation ~n:9 [| 2; 100 |] in
+  Alcotest.(check int) "total" 9 (Array.fold_left ( + ) 0 alloc);
+  Alcotest.(check bool) "capped" true (alloc.(0) <= 2)
+
+let test_proportional_infeasible () =
+  Alcotest.(check bool) "too many" true
+    (try
+       ignore (Stratified.proportional_allocation ~n:20 [| 5; 5 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_neyman_favours_variance () =
+  let alloc = Stratified.neyman_allocation ~n:10 [| 50; 50 |] [| 10.; 0.1 |] in
+  Alcotest.(check int) "total" 10 (Array.fold_left ( + ) 0 alloc);
+  Alcotest.(check bool) "noisy stratum gets more" true (alloc.(0) > alloc.(1))
+
+let test_neyman_zero_stddevs_degrades_to_proportional () =
+  let alloc = Stratified.neyman_allocation ~n:6 [| 20; 10 |] [| 0.; 0. |] in
+  Alcotest.(check (array int)) "proportional fallback" [| 4; 2 |] alloc
+
+let test_sample_covers_strata () =
+  let data = Array.init 90 (fun i -> i) in
+  let key x = string_of_int (x mod 3) in
+  let strata = Stratified.sample (rng ()) ~n:30 ~key data in
+  Alcotest.(check int) "three strata" 3 (List.length strata);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        ("allocation met in " ^ s.Stratified.key)
+        s.Stratified.allocated
+        (Array.length s.Stratified.members);
+      (* Members must belong to their stratum. *)
+      Array.iter
+        (fun x ->
+          Alcotest.(check string) "member key" s.Stratified.key (key x))
+        s.Stratified.members)
+    strata
+
+let test_sample_flat_size () =
+  let data = Array.init 50 (fun i -> i) in
+  let flat = Stratified.sample_flat (rng ()) ~n:20 ~key:(fun x -> string_of_int (x mod 5)) data in
+  Alcotest.(check int) "total size" 20 (Array.length flat)
+
+let suite =
+  [
+    Alcotest.test_case "proportional sums" `Quick test_proportional_sums;
+    Alcotest.test_case "proportional rounding" `Quick test_proportional_rounding;
+    Alcotest.test_case "proportional caps" `Quick test_proportional_caps;
+    Alcotest.test_case "proportional infeasible" `Quick test_proportional_infeasible;
+    Alcotest.test_case "neyman favours variance" `Quick test_neyman_favours_variance;
+    Alcotest.test_case "neyman zero stddev fallback" `Quick
+      test_neyman_zero_stddevs_degrades_to_proportional;
+    Alcotest.test_case "sample covers strata" `Quick test_sample_covers_strata;
+    Alcotest.test_case "sample_flat size" `Quick test_sample_flat_size;
+  ]

@@ -1,0 +1,115 @@
+open Helpers
+module SE = Raestat.Stratified_estimator
+module Estimate = Stats.Estimate
+module P = Predicate
+
+(* Heterogeneous strata: the predicate rate depends strongly on g. *)
+let catalog () =
+  let rng_ = rng ~seed:91 () in
+  let g_col =
+    Array.init 12_000 (fun i -> i mod 3)
+  in
+  let v_col =
+    Array.map
+      (fun g ->
+        (* g=0: ~90% match, g=1: ~50%, g=2: ~5% under v < 100. *)
+        let hi = match g with 0 -> 111 | 1 -> 199 | _ -> 1999 in
+        Sampling.Rng.int rng_ hi)
+      g_col
+  in
+  Catalog.of_list
+    [ ("r", Workload.Generator.of_columns [ ("g", g_col); ("v", v_col) ]) ]
+
+let pred = P.lt (P.attr "v") (P.vint 100)
+
+let test_census_exact () =
+  let c = catalog () in
+  let truth = float_of_int (Eval.count c (Expr.select pred (Expr.base "r"))) in
+  let result = SE.count_by_attribute (rng ()) c ~relation:"r" ~attribute:"g" ~n:12_000 pred in
+  check_float "census" truth result.SE.estimate.Estimate.point
+
+let test_strata_metadata () =
+  let c = catalog () in
+  let result = SE.count_by_attribute (rng ()) c ~relation:"r" ~attribute:"g" ~n:600 pred in
+  Alcotest.(check int) "three strata" 3 (List.length result.SE.strata);
+  List.iter
+    (fun (_, population, allocated) ->
+      Alcotest.(check int) "proportional" 200 allocated;
+      Alcotest.(check int) "population" 4_000 population)
+    result.SE.strata;
+  Alcotest.(check int) "total drawn" 600 result.SE.estimate.Estimate.sample_size
+
+let test_unbiased_mc () =
+  let c = catalog () in
+  let truth = float_of_int (Eval.count c (Expr.select pred (Expr.base "r"))) in
+  let rng_ = rng ~seed:92 () in
+  let mean =
+    monte_carlo ~reps:300 (fun () ->
+        (SE.count_by_attribute rng_ c ~relation:"r" ~attribute:"g" ~n:300 pred)
+          .SE.estimate.Estimate.point)
+  in
+  check_close ~tol:0.04 "unbiased" truth mean
+
+let test_beats_srs_on_heterogeneous_strata () =
+  let c = catalog () in
+  let rng_ = rng ~seed:93 () in
+  let reps = 300 and n = 300 in
+  let var_of points = Stats.Summary.variance (Stats.Summary.of_array points) in
+  let stratified =
+    Array.init reps (fun _ ->
+        (SE.count_by_attribute rng_ c ~relation:"r" ~attribute:"g" ~n pred)
+          .SE.estimate.Estimate.point)
+  in
+  let srs =
+    Array.init reps (fun _ ->
+        (Raestat.Count_estimator.selection rng_ c ~relation:"r" ~n pred).Estimate.point)
+  in
+  let v_strat = var_of stratified and v_srs = var_of srs in
+  Alcotest.(check bool)
+    (Printf.sprintf "stratified var %.0f < SRS var %.0f" v_strat v_srs)
+    true (v_strat < v_srs)
+
+let test_variance_honest () =
+  let c = catalog () in
+  let rng_ = rng ~seed:94 () in
+  let results =
+    Array.init 300 (fun _ ->
+        (SE.count_by_attribute rng_ c ~relation:"r" ~attribute:"g" ~n:300 pred).SE.estimate)
+  in
+  let empirical =
+    Stats.Summary.variance
+      (Stats.Summary.of_array (Array.map (fun e -> e.Estimate.point) results))
+  in
+  let predicted =
+    Stats.Summary.mean
+      (Stats.Summary.of_array (Array.map (fun e -> e.Estimate.variance) results))
+  in
+  check_close ~tol:0.25 "variance honest" empirical predicted
+
+let test_custom_key () =
+  let c = catalog () in
+  let key t =
+    match Tuple.get t 0 with Value.Int g -> if g = 0 then "hot" else "cold" | _ -> "?"
+  in
+  let result = SE.count (rng ()) c ~relation:"r" ~key ~n:100 pred in
+  Alcotest.(check int) "two strata" 2 (List.length result.SE.strata)
+
+let test_validation () =
+  let c = catalog () in
+  Alcotest.(check bool) "n=0" true
+    (try
+       ignore (SE.count_by_attribute (rng ()) c ~relation:"r" ~attribute:"g" ~n:0 pred);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "census exact" `Quick test_census_exact;
+    Alcotest.test_case "strata metadata" `Quick test_strata_metadata;
+    Alcotest.test_case "unbiased (MC)" `Slow test_unbiased_mc;
+    Alcotest.test_case "beats SRS on heterogeneous strata (MC)" `Slow
+      test_beats_srs_on_heterogeneous_strata;
+    Alcotest.test_case "variance honest (MC)" `Slow test_variance_honest;
+    Alcotest.test_case "custom key" `Quick test_custom_key;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

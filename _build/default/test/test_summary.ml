@@ -1,0 +1,104 @@
+open Helpers
+module Summary = Stats.Summary
+
+let data = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]
+
+let test_moments () =
+  let s = Summary.of_array data in
+  Alcotest.(check int) "count" 8 (Summary.count s);
+  check_float "mean" 5. (Summary.mean s);
+  (* Population variance 4, sample variance 32/7. *)
+  check_float ~eps:1e-12 "population variance" 4. (Summary.population_variance s);
+  check_float ~eps:1e-12 "sample variance" (32. /. 7.) (Summary.variance s);
+  check_float "min" 2. (Summary.min s);
+  check_float "max" 9. (Summary.max s);
+  check_float "total" 40. (Summary.total s)
+
+let test_single_observation () =
+  let s = Summary.add Summary.empty 3. in
+  check_float "mean" 3. (Summary.mean s);
+  check_float "variance of singleton" 0. (Summary.variance s)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Summary.mean: empty summary") (fun () ->
+      ignore (Summary.mean Summary.empty))
+
+let test_merge_matches_batch () =
+  let left = Array.sub data 0 3 and right = Array.sub data 3 5 in
+  let merged = Summary.merge (Summary.of_array left) (Summary.of_array right) in
+  let batch = Summary.of_array data in
+  check_float ~eps:1e-12 "mean" (Summary.mean batch) (Summary.mean merged);
+  check_float ~eps:1e-12 "variance" (Summary.variance batch) (Summary.variance merged);
+  check_float "min" (Summary.min batch) (Summary.min merged);
+  Alcotest.(check int) "count" (Summary.count batch) (Summary.count merged)
+
+let test_merge_with_empty () =
+  let s = Summary.of_array data in
+  check_float "left empty" (Summary.mean s) (Summary.mean (Summary.merge Summary.empty s));
+  check_float "right empty" (Summary.mean s) (Summary.mean (Summary.merge s Summary.empty))
+
+let test_quantiles () =
+  let values = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Summary.median values);
+  check_float "q0" 1. (Summary.quantile 0. values);
+  check_float "q1" 5. (Summary.quantile 1. values);
+  check_float "q interpolated" 1.5 (Summary.quantile 0.125 values);
+  (* Even length median interpolates. *)
+  check_float "even median" 2.5 (Summary.median [| 1.; 2.; 3.; 4. |])
+
+let test_quantile_does_not_mutate () =
+  let values = [| 3.; 1.; 2. |] in
+  ignore (Summary.median values);
+  Alcotest.(check bool) "untouched" true (values = [| 3.; 1.; 2. |])
+
+let test_quantile_errors () =
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Summary.quantile 0.5 [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "q>1" true
+    (try
+       ignore (Summary.quantile 1.5 [| 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_standard_error () =
+  let s = Summary.of_array data in
+  check_float ~eps:1e-12 "se = sd/√n" (Summary.stddev s /. sqrt 8.) (Summary.standard_error s)
+
+let prop_welford_matches_naive =
+  qcheck_case "Welford matches two-pass variance"
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 40) (float_range (-100.) 100.))
+    (fun values ->
+      let s = Summary.of_list values in
+      let n = float_of_int (List.length values) in
+      let mean = List.fold_left ( +. ) 0. values /. n in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. values in
+      let naive = ss /. (n -. 1.) in
+      Float.abs (naive -. Summary.variance s) <= 1e-6 *. Float.max 1. naive)
+
+let prop_merge_commutative =
+  qcheck_case "merge commutative"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 20) (float_range (-10.) 10.))
+              (list_of_size (QCheck.Gen.int_range 1 20) (float_range (-10.) 10.)))
+    (fun (xs, ys) ->
+      let a = Summary.of_list xs and b = Summary.of_list ys in
+      let m1 = Summary.merge a b and m2 = Summary.merge b a in
+      Float.abs (Summary.mean m1 -. Summary.mean m2) < 1e-9
+      && Float.abs (Summary.variance m1 -. Summary.variance m2) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "moments" `Quick test_moments;
+    Alcotest.test_case "single observation" `Quick test_single_observation;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "merge matches batch" `Quick test_merge_matches_batch;
+    Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+    Alcotest.test_case "quantiles" `Quick test_quantiles;
+    Alcotest.test_case "quantile does not mutate" `Quick test_quantile_does_not_mutate;
+    Alcotest.test_case "quantile errors" `Quick test_quantile_errors;
+    Alcotest.test_case "standard error" `Quick test_standard_error;
+    prop_welford_matches_naive;
+    prop_merge_commutative;
+  ]

@@ -1,0 +1,61 @@
+open Helpers
+module Systematic = Sampling.Systematic
+
+let test_size () =
+  let r = rng () in
+  for _ = 1 to 20 do
+    let idx = Systematic.indices r ~n:7 ~universe:50 in
+    Alcotest.(check int) "size" 7 (Array.length idx)
+  done
+
+let test_strictly_increasing_in_range () =
+  let r = rng () in
+  for _ = 1 to 20 do
+    let idx = Systematic.indices r ~n:10 ~universe:100 in
+    Array.iter (fun i -> if i < 0 || i >= 100 then Alcotest.failf "oob %d" i) idx;
+    for k = 1 to Array.length idx - 1 do
+      if idx.(k) <= idx.(k - 1) then Alcotest.fail "not increasing"
+    done
+  done
+
+let test_even_spacing () =
+  let r = rng () in
+  let idx = Systematic.indices r ~n:10 ~universe:100 in
+  for k = 1 to 9 do
+    let gap = idx.(k) - idx.(k - 1) in
+    if gap < 9 || gap > 11 then Alcotest.failf "gap %d" gap
+  done
+
+let test_full_draw () =
+  let r = rng () in
+  let idx = Systematic.indices r ~n:5 ~universe:5 in
+  Alcotest.(check (list int)) "identity" [ 0; 1; 2; 3; 4 ] (Array.to_list idx)
+
+let test_errors () =
+  let r = rng () in
+  Alcotest.(check bool) "n=0" true
+    (try
+       ignore (Systematic.indices r ~n:0 ~universe:5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "n>universe" true
+    (try
+       ignore (Systematic.indices r ~n:6 ~universe:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_relation () =
+  let r = rng () in
+  let relation = int_relation (List.init 30 (fun i -> i)) in
+  let s = Systematic.relation r ~n:6 relation in
+  Alcotest.(check int) "size" 6 (Relation.cardinality s)
+
+let suite =
+  [
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "increasing in range" `Quick test_strictly_increasing_in_range;
+    Alcotest.test_case "even spacing" `Quick test_even_spacing;
+    Alcotest.test_case "full draw" `Quick test_full_draw;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "relation" `Quick test_relation;
+  ]

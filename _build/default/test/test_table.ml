@@ -1,0 +1,124 @@
+open Helpers
+module Table = Raestat.Table
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let schema = Schema.of_list [ ("a", Value.Tint) ]
+
+let tuple v = Tuple.make [ Value.Int v ]
+
+let test_insert_delete_cardinality () =
+  let t = Table.create (rng ()) ~schema () in
+  let id1 = Table.insert t (tuple 1) in
+  let _id2 = Table.insert t (tuple 2) in
+  Alcotest.(check int) "two rows" 2 (Table.cardinality t);
+  Alcotest.(check bool) "delete" true (Table.delete t id1);
+  Alcotest.(check bool) "idempotent" false (Table.delete t id1);
+  Alcotest.(check int) "one row" 1 (Table.cardinality t)
+
+let test_schema_validation () =
+  let t = Table.create (rng ()) ~schema () in
+  Alcotest.(check bool) "wrong type" true
+    (try
+       ignore (Table.insert t (Tuple.make [ Value.Str "x" ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong arity" true
+    (try
+       ignore (Table.insert t (Tuple.make [ Value.Int 1; Value.Int 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_order () =
+  let t = Table.create (rng ()) ~schema () in
+  List.iter (fun v -> ignore (Table.insert t (tuple v))) [ 5; 3; 9 ];
+  let r = Table.to_relation t in
+  Alcotest.(check (list string)) "insertion order" [ "<5>"; "<3>"; "<9>" ]
+    (Array.to_list (Array.map Tuple.to_string (Relation.tuples r)))
+
+let test_exact_count () =
+  let t = Table.create (rng ()) ~schema () in
+  for v = 0 to 99 do
+    ignore (Table.insert t (tuple v))
+  done;
+  Alcotest.(check int) "exact" 30 (Table.exact_count t (P.lt (P.attr "a") (P.vint 30)))
+
+let test_estimate_tracks_truth () =
+  let r = rng ~seed:221 () in
+  let t = Table.create r ~schema ~sample_capacity:500 () in
+  for _ = 1 to 20_000 do
+    ignore (Table.insert t (tuple (Sampling.Rng.int r 100)))
+  done;
+  let pred = P.lt (P.attr "a") (P.vint 25) in
+  let est = Table.estimate_count t pred in
+  let truth = float_of_int (Table.exact_count t pred) in
+  check_close ~tol:0.2 "synopsis estimate" truth est.Estimate.point
+
+let test_estimate_after_deletes () =
+  let r = rng ~seed:222 () in
+  let t = Table.create r ~schema ~sample_capacity:500 () in
+  let ids = Array.init 10_000 (fun v -> Table.insert t (tuple (v mod 100))) in
+  (* Delete every value >= 50. *)
+  Array.iteri (fun v id -> if v mod 100 >= 50 then ignore (Table.delete t id)) ids;
+  Alcotest.(check int) "cardinality" 5_000 (Table.cardinality t);
+  let est = Table.estimate_count t (P.lt (P.attr "a") (P.vint 50)) in
+  check_close ~tol:0.05 "all survivors match" 5_000. est.Estimate.point
+
+let test_refresh_sample () =
+  let r = rng ~seed:223 () in
+  let t = Table.create r ~schema ~sample_capacity:100 () in
+  let ids = Array.init 5_000 (fun v -> Table.insert t (tuple v)) in
+  (* Heavy deletion erodes the synopsis. *)
+  Array.iteri (fun v id -> if v < 4_500 then ignore (Table.delete t id)) ids;
+  if Table.sample_needs_refresh t then Table.refresh_sample t;
+  Alcotest.(check bool) "refreshed" false (Table.sample_needs_refresh t);
+  let est = Table.estimate_count t (P.ge (P.attr "a") (P.vint 4_500)) in
+  check_close ~tol:0.05 "estimate after refresh" 500. est.Estimate.point
+
+let test_index_cache_and_invalidation () =
+  let t = Table.create (rng ()) ~schema () in
+  for v = 0 to 9 do
+    ignore (Table.insert t (tuple (v mod 5)))
+  done;
+  let index = Table.index_on t [ "a" ] in
+  Alcotest.(check int) "lookups" 2 (Relational.Index.count index [ Value.Int 3 ]);
+  (* Cached: same structure returned. *)
+  Alcotest.(check bool) "cached" true (Table.index_on t [ "a" ] == index);
+  ignore (Table.insert t (tuple 3));
+  let rebuilt = Table.index_on t [ "a" ] in
+  Alcotest.(check bool) "invalidated" false (rebuilt == index);
+  Alcotest.(check int) "fresh count" 3 (Relational.Index.count rebuilt [ Value.Int 3 ])
+
+let test_empty_table_estimate () =
+  let t = Table.create (rng ()) ~schema () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Table.estimate_count t P.True);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_feeds_catalog () =
+  (* A table snapshot plugs into the whole expression machinery. *)
+  let r = rng ~seed:224 () in
+  let t = Table.create r ~schema () in
+  for v = 0 to 999 do
+    ignore (Table.insert t (tuple (v mod 10)))
+  done;
+  let c = Catalog.of_list [ ("t", Table.to_relation t) ] in
+  Alcotest.(check int) "distinct over snapshot" 10
+    (Eval.count c (Expr.distinct (Expr.base "t")))
+
+let suite =
+  [
+    Alcotest.test_case "insert/delete/cardinality" `Quick test_insert_delete_cardinality;
+    Alcotest.test_case "schema validation" `Quick test_schema_validation;
+    Alcotest.test_case "snapshot order" `Quick test_snapshot_order;
+    Alcotest.test_case "exact count" `Quick test_exact_count;
+    Alcotest.test_case "estimate tracks truth" `Quick test_estimate_tracks_truth;
+    Alcotest.test_case "estimate after deletes" `Quick test_estimate_after_deletes;
+    Alcotest.test_case "refresh sample" `Quick test_refresh_sample;
+    Alcotest.test_case "index cache and invalidation" `Quick
+      test_index_cache_and_invalidation;
+    Alcotest.test_case "empty table estimate" `Quick test_empty_table_estimate;
+    Alcotest.test_case "table feeds catalog" `Quick test_table_feeds_catalog;
+  ]

@@ -1,0 +1,58 @@
+open Helpers
+
+let t123 = Tuple.make [ Value.Int 1; Value.Int 2; Value.Int 3 ]
+
+let test_arity_get () =
+  Alcotest.(check int) "arity" 3 (Tuple.arity t123);
+  Alcotest.(check bool) "get" true (Value.equal (Value.Int 2) (Tuple.get t123 1))
+
+let test_project () =
+  let p = Tuple.project t123 [| 2; 0 |] in
+  Alcotest.(check string) "projected" "<3, 1>" (Tuple.to_string p)
+
+let test_concat () =
+  let c = Tuple.concat t123 (Tuple.make [ Value.Str "x" ]) in
+  Alcotest.(check int) "arity" 4 (Tuple.arity c);
+  Alcotest.(check string) "render" "<1, 2, 3, x>" (Tuple.to_string c)
+
+let test_compare_lexicographic () =
+  let t1 = Tuple.make [ Value.Int 1; Value.Int 9 ] in
+  let t2 = Tuple.make [ Value.Int 2; Value.Int 0 ] in
+  Alcotest.(check bool) "lex" true (Tuple.compare t1 t2 < 0);
+  (* Prefix is smaller. *)
+  let short = Tuple.make [ Value.Int 1 ] in
+  let long = Tuple.make [ Value.Int 1; Value.Int 0 ] in
+  Alcotest.(check bool) "prefix" true (Tuple.compare short long < 0)
+
+let test_equal_hash () =
+  let t1 = Tuple.make [ Value.Int 3; Value.Str "a" ] in
+  let t2 = Tuple.make [ Value.Float 3.0; Value.Str "a" ] in
+  Alcotest.(check bool) "equal across numeric types" true (Tuple.equal t1 t2);
+  Alcotest.(check int) "hash agrees" (Tuple.hash t1) (Tuple.hash t2)
+
+let tuple_gen =
+  QCheck.Gen.(
+    map
+      (fun ints -> Tuple.make (List.map (fun i -> Value.Int i) ints))
+      (list_size (int_range 0 5) (int_range (-20) 20)))
+
+let tuple_arb = QCheck.make ~print:Tuple.to_string tuple_gen
+
+let prop_compare_total =
+  qcheck_case "compare antisymmetric" (QCheck.pair tuple_arb tuple_arb)
+    (fun (t1, t2) -> Tuple.compare t1 t2 = -Tuple.compare t2 t1)
+
+let prop_concat_arity =
+  qcheck_case "concat arity adds" (QCheck.pair tuple_arb tuple_arb) (fun (t1, t2) ->
+      Tuple.arity (Tuple.concat t1 t2) = Tuple.arity t1 + Tuple.arity t2)
+
+let suite =
+  [
+    Alcotest.test_case "arity and get" `Quick test_arity_get;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "concat" `Quick test_concat;
+    Alcotest.test_case "compare lexicographic" `Quick test_compare_lexicographic;
+    Alcotest.test_case "equal and hash" `Quick test_equal_hash;
+    prop_compare_total;
+    prop_concat_arity;
+  ]

@@ -1,0 +1,98 @@
+open Helpers
+
+let test_type_of () =
+  Alcotest.(check bool) "null" true (Value.type_of Value.Null = Value.Tnull);
+  Alcotest.(check bool) "bool" true (Value.type_of (Value.Bool true) = Value.Tbool);
+  Alcotest.(check bool) "int" true (Value.type_of (Value.Int 3) = Value.Tint);
+  Alcotest.(check bool) "float" true (Value.type_of (Value.Float 3.5) = Value.Tfloat);
+  Alcotest.(check bool) "str" true (Value.type_of (Value.Str "x") = Value.Tstr)
+
+let test_compare_same_type () =
+  Alcotest.(check bool) "int lt" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "int eq" true (Value.compare (Value.Int 5) (Value.Int 5) = 0);
+  Alcotest.(check bool) "str" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  Alcotest.(check bool) "bool" true (Value.compare (Value.Bool false) (Value.Bool true) < 0);
+  Alcotest.(check bool) "float" true (Value.compare (Value.Float 1.5) (Value.Float 2.5) < 0)
+
+let test_compare_numeric_cross () =
+  Alcotest.(check bool) "int=float" true (Value.equal (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "int<float" true (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  Alcotest.(check bool) "float>int" true (Value.compare (Value.Float 3.5) (Value.Int 3) > 0)
+
+let test_compare_cross_type_rank () =
+  Alcotest.(check bool) "null<bool" true (Value.compare Value.Null (Value.Bool false) < 0);
+  Alcotest.(check bool) "bool<int" true (Value.compare (Value.Bool true) (Value.Int 0) < 0);
+  Alcotest.(check bool) "int<str" true (Value.compare (Value.Int 99) (Value.Str "") < 0)
+
+let test_hash_consistent_with_equal () =
+  (* Int 3 and Float 3.0 are equal, so they must hash identically. *)
+  Alcotest.(check int) "int/float hash" (Value.hash (Value.Int 3))
+    (Value.hash (Value.Float 3.0))
+
+let test_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "float" "2.5" (Value.to_string (Value.Float 2.5));
+  Alcotest.(check string) "str" "abc" (Value.to_string (Value.Str "abc"));
+  Alcotest.(check string) "bool" "true" (Value.to_string (Value.Bool true))
+
+let test_of_string_roundtrip () =
+  let roundtrip ty v = Value.of_string ty (Value.to_string v) in
+  Alcotest.(check bool) "int" true (Value.equal (Value.Int 7) (roundtrip Value.Tint (Value.Int 7)));
+  Alcotest.(check bool) "float" true
+    (Value.equal (Value.Float 1.25) (roundtrip Value.Tfloat (Value.Float 1.25)));
+  Alcotest.(check bool) "bool" true
+    (Value.equal (Value.Bool false) (roundtrip Value.Tbool (Value.Bool false)));
+  Alcotest.(check bool) "str" true
+    (Value.equal (Value.Str "hi") (roundtrip Value.Tstr (Value.Str "hi")))
+
+let test_of_string_malformed () =
+  Alcotest.check_raises "bad int" (Failure "Value.of_string: \"xyz\" is not a int")
+    (fun () -> ignore (Value.of_string Value.Tint "xyz"))
+
+let test_to_float () =
+  check_float "int" 3. (Value.to_float (Value.Int 3));
+  check_float "float" 2.5 (Value.to_float (Value.Float 2.5));
+  check_float "bool" 1. (Value.to_float (Value.Bool true));
+  Alcotest.check_raises "null" (Invalid_argument "Value.to_float: Null") (fun () ->
+      ignore (Value.to_float Value.Null))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun f -> Value.Float f) (float_range (-1000.) 1000.);
+        map (fun s -> Value.Str s) (string_size (int_range 0 8));
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_antisymmetric =
+  qcheck_case "compare antisymmetric" (QCheck.pair value_arb value_arb) (fun (v1, v2) ->
+      Value.compare v1 v2 = -Value.compare v2 v1)
+
+let prop_compare_reflexive =
+  qcheck_case "compare reflexive" value_arb (fun v -> Value.compare v v = 0)
+
+let prop_equal_hash =
+  qcheck_case "equal implies same hash" (QCheck.pair value_arb value_arb)
+    (fun (v1, v2) -> (not (Value.equal v1 v2)) || Value.hash v1 = Value.hash v2)
+
+let suite =
+  [
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "compare same type" `Quick test_compare_same_type;
+    Alcotest.test_case "compare numeric cross-type" `Quick test_compare_numeric_cross;
+    Alcotest.test_case "compare rank order" `Quick test_compare_cross_type_rank;
+    Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent_with_equal;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "of_string roundtrip" `Quick test_of_string_roundtrip;
+    Alcotest.test_case "of_string malformed" `Quick test_of_string_malformed;
+    Alcotest.test_case "to_float" `Quick test_to_float;
+    prop_compare_antisymmetric;
+    prop_compare_reflexive;
+    prop_equal_hash;
+  ]

@@ -1,0 +1,120 @@
+open Helpers
+module Weighted = Sampling.Weighted
+
+let test_reservoir_size () =
+  let items = Array.init 100 (fun i -> i + 1) in
+  let sample = Weighted.reservoir (rng ()) ~k:10 ~weight:float_of_int items in
+  Alcotest.(check int) "size" 10 (Array.length sample);
+  (* Short input. *)
+  let small = Weighted.reservoir (rng ()) ~k:10 ~weight:float_of_int [| 1; 2; 3 |] in
+  Alcotest.(check int) "short" 3 (Array.length small)
+
+let test_reservoir_distinct () =
+  let items = Array.init 50 (fun i -> i) in
+  let sample = Weighted.reservoir (rng ()) ~k:20 ~weight:(fun _ -> 1.) items in
+  let sorted = List.sort_uniq Int.compare (Array.to_list sample) in
+  Alcotest.(check int) "no duplicates" 20 (List.length sorted)
+
+let test_reservoir_zero_weight_excluded () =
+  let items = Array.init 20 (fun i -> i) in
+  let weight i = if i < 10 then 0. else 1. in
+  for _ = 1 to 50 do
+    let sample = Weighted.reservoir (rng ()) ~k:5 ~weight items in
+    Array.iter (fun i -> if i < 10 then Alcotest.failf "zero-weight item %d drawn" i) sample
+  done
+
+let test_reservoir_weight_bias () =
+  (* Item with weight 9 vs 9 items of weight 1: first draw (k=1) picks
+     the heavy item with probability 0.5. *)
+  let r = rng () in
+  let items = Array.init 10 (fun i -> i) in
+  let weight i = if i = 0 then 9. else 1. in
+  let heavy = ref 0 in
+  let reps = 20_000 in
+  for _ = 1 to reps do
+    let sample = Weighted.reservoir r ~k:1 ~weight items in
+    if sample.(0) = 0 then incr heavy
+  done;
+  check_close ~tol:0.05 "heavy share" 0.5 (float_of_int !heavy /. float_of_int reps)
+
+let test_reservoir_negative_weight () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Weighted.reservoir (rng ()) ~k:1 ~weight:(fun _ -> -1.) [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_inclusion_probabilities_sum () =
+  let weights = [| 1.; 2.; 3.; 4. |] in
+  let pi = Weighted.inclusion_probabilities ~expected_n:2. weights in
+  check_float ~eps:1e-6 "sums to expected" 2. (Array.fold_left ( +. ) 0. pi);
+  (* Proportional when nothing caps: π_i = 2·w_i/10. *)
+  Array.iteri (fun i w -> check_float ~eps:1e-6 "proportional" (0.2 *. w) pi.(i)) weights
+
+let test_inclusion_probabilities_capping () =
+  (* A dominant weight gets capped at 1 and the rest re-calibrated. *)
+  let weights = [| 100.; 1.; 1. |] in
+  let pi = Weighted.inclusion_probabilities ~expected_n:2. weights in
+  check_float ~eps:1e-6 "cap" 1. pi.(0);
+  check_float ~eps:1e-6 "rest split evenly" 0.5 pi.(1);
+  check_float ~eps:1e-6 "total" 2. (Array.fold_left ( +. ) 0. pi)
+
+let test_inclusion_probabilities_infeasible () =
+  Alcotest.(check bool) "too many" true
+    (try
+       ignore (Weighted.inclusion_probabilities ~expected_n:3. [| 1.; 0.; 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_poisson_expected_size () =
+  let r = rng () in
+  let items = Array.init 200 (fun i -> i + 1) in
+  let sizes = ref Stats.Summary.empty in
+  for _ = 1 to 1_000 do
+    let sample = Weighted.poisson r ~expected_n:20. ~weight:float_of_int items in
+    sizes := Stats.Summary.add !sizes (float_of_int (Array.length sample))
+  done;
+  check_close ~tol:0.03 "mean size" 20. (Stats.Summary.mean !sizes)
+
+let test_poisson_inclusion_frequencies () =
+  let r = rng () in
+  let items = [| 1; 2; 3; 4 |] in
+  let counts = Array.make 5 0 in
+  let reps = 20_000 in
+  for _ = 1 to reps do
+    let sample = Weighted.poisson r ~expected_n:2. ~weight:float_of_int items in
+    Array.iter (fun (item, _) -> counts.(item) <- counts.(item) + 1) sample
+  done;
+  (* π_i = 2·i/10. *)
+  List.iter
+    (fun i ->
+      check_close ~tol:0.05
+        (Printf.sprintf "inclusion of %d" i)
+        (0.2 *. float_of_int i)
+        (float_of_int counts.(i) /. float_of_int reps))
+    [ 1; 2; 3; 4 ]
+
+let test_poisson_reports_probabilities () =
+  let sample =
+    Weighted.poisson (rng ()) ~expected_n:2. ~weight:float_of_int [| 1; 2; 3; 4 |]
+  in
+  Array.iter
+    (fun (item, pi) -> check_float ~eps:1e-6 "pi matches" (0.2 *. float_of_int item) pi)
+    sample
+
+let suite =
+  [
+    Alcotest.test_case "reservoir size" `Quick test_reservoir_size;
+    Alcotest.test_case "reservoir distinct" `Quick test_reservoir_distinct;
+    Alcotest.test_case "zero weights excluded" `Quick test_reservoir_zero_weight_excluded;
+    Alcotest.test_case "weight bias (MC)" `Slow test_reservoir_weight_bias;
+    Alcotest.test_case "negative weight rejected" `Quick test_reservoir_negative_weight;
+    Alcotest.test_case "inclusion probabilities sum" `Quick test_inclusion_probabilities_sum;
+    Alcotest.test_case "inclusion capping" `Quick test_inclusion_probabilities_capping;
+    Alcotest.test_case "infeasible expected_n" `Quick test_inclusion_probabilities_infeasible;
+    Alcotest.test_case "poisson expected size (MC)" `Slow test_poisson_expected_size;
+    Alcotest.test_case "poisson inclusion frequencies (MC)" `Slow
+      test_poisson_inclusion_frequencies;
+    Alcotest.test_case "poisson reports probabilities" `Quick
+      test_poisson_reports_probabilities;
+  ]

@@ -1,0 +1,98 @@
+open Helpers
+module Window = Sampling.Window
+
+let test_basics () =
+  let w = Window.create (rng ()) ~window:10 () in
+  Alcotest.(check int) "empty" 0 (Array.length (Window.contents w));
+  Window.add w 1;
+  Alcotest.(check int) "one element" 1 (Array.length (Window.contents w));
+  Alcotest.(check int) "seen" 1 (Window.seen w);
+  Alcotest.(check int) "window" 10 (Window.window w)
+
+let test_sample_always_live () =
+  (* Whatever the stream, the sample must come from the last W
+     elements. *)
+  let w = Window.create (rng ()) ~window:25 () in
+  for v = 1 to 5_000 do
+    Window.add w v;
+    Array.iter
+      (fun x ->
+        if x <= v - 25 || x > v then
+          Alcotest.failf "sample %d outside window (%d, %d]" x (v - 25) v)
+      (Window.contents w)
+  done
+
+let test_uniform_over_window () =
+  (* After a long stream with window W, each live position should hold
+     the sample with probability 1/W. *)
+  let r = rng () in
+  let big_w = 20 in
+  let counts = Array.make big_w 0 in
+  let reps = 20_000 in
+  for _ = 1 to reps do
+    let w = Window.create r ~window:big_w () in
+    for v = 1 to 100 do
+      Window.add w v
+    done;
+    Array.iter
+      (fun x ->
+        (* Live values are 81..100 → slot x − 81. *)
+        counts.(x - 81) <- counts.(x - 81) + 1)
+      (Window.contents w)
+  done;
+  Array.iteri
+    (fun slot c ->
+      check_close ~tol:0.08
+        (Printf.sprintf "slot %d" slot)
+        (1. /. float_of_int big_w)
+        (float_of_int c /. float_of_int reps))
+    counts
+
+let test_multiple_chains () =
+  let w = Window.create ~k:8 (rng ()) ~window:50 () in
+  for v = 1 to 500 do
+    Window.add w v
+  done;
+  let sample = Window.contents w in
+  Alcotest.(check int) "k draws" 8 (Array.length sample);
+  Array.iter
+    (fun x -> if x <= 450 || x > 500 then Alcotest.failf "stale sample %d" x)
+    sample
+
+let test_window_estimation_workflow () =
+  (* Estimate a predicate's count over the window from k chain draws:
+     hits/k · W. *)
+  let r = rng ~seed:191 () in
+  let k = 400 and big_w = 2_000 in
+  let w = Window.create ~k r ~window:big_w () in
+  (* Stream where the last window holds values uniform over 0..99. *)
+  for _ = 1 to 10_000 do
+    Window.add w (Sampling.Rng.int r 100)
+  done;
+  let sample = Window.contents w in
+  let hits = Array.fold_left (fun acc v -> if v < 30 then acc + 1 else acc) 0 sample in
+  let estimate = float_of_int hits /. float_of_int k *. float_of_int big_w in
+  (* True expectation 600; with-replacement sd ≈ 46. *)
+  check_close ~tol:0.25 "window count estimate" 600. estimate
+
+let test_validation () =
+  Alcotest.(check bool) "bad window" true
+    (try
+       ignore (Window.create (rng ()) ~window:0 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad k" true
+    (try
+       ignore (Window.create ~k:0 (rng ()) ~window:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "sample always live" `Quick test_sample_always_live;
+    Alcotest.test_case "uniform over window (MC)" `Slow test_uniform_over_window;
+    Alcotest.test_case "multiple chains" `Quick test_multiple_chains;
+    Alcotest.test_case "window estimation workflow" `Quick test_window_estimation_workflow;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]
