@@ -1,20 +1,26 @@
 (* Benchmark / experiment harness.
 
-     dune exec bench/main.exe              run every experiment + microbenches
-     dune exec bench/main.exe -- t1 f3     run a subset
-     dune exec bench/main.exe -- micro     microbenches only
+     dune exec bench/main.exe                    run every experiment + microbenches
+     dune exec bench/main.exe -- t1 f3           run a subset
+     dune exec bench/main.exe -- micro           microbenches only
+     dune exec bench/main.exe -- micro --json    ... and write BENCH_micro.json
+     dune exec bench/main.exe -- micro --quick   fast smoke mode (CI)
 
    Experiment ids and what they reproduce are indexed in DESIGN.md §4
    and EXPERIMENTS.md. *)
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let quick = List.mem "--quick" args in
+  let requested = List.filter (fun a -> a <> "--json" && a <> "--quick") args in
   let known = List.map fst Experiments.all in
   let invalid =
     List.filter (fun id -> id <> "micro" && not (List.mem id known)) requested
   in
   if invalid <> [] then begin
-    Printf.eprintf "unknown experiment(s): %s\nknown: %s micro\n"
+    Printf.eprintf
+      "unknown experiment(s): %s\nknown: %s micro (flags: --json --quick)\n"
       (String.concat " " invalid) (String.concat " " known);
     exit 2
   end;
@@ -28,5 +34,5 @@ let () =
         Printf.printf "  [%s: %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
       end)
     Experiments.all;
-  if run_all || List.mem "micro" requested then Micro.run ();
+  if run_all || List.mem "micro" requested then Micro.run ~json ~quick ();
   Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)

@@ -9,6 +9,10 @@ module CE = Raestat.Count_estimator
 module Dist = Workload.Dist
 module Generator = Workload.Generator
 
+(* Domain count for the parallel bench variants: 4 if the machine has
+   the cores, fewer otherwise (the speedup report records the value). *)
+let bench_domains = min 4 (Raestat.Parallel.auto ())
+
 let fixtures () =
   let rng = Sampling.Rng.create ~seed:606 () in
   let r =
@@ -94,16 +98,136 @@ let tests () =
            Relational.Parser.print_expr (Relational.Parser.parse_expr text)));
   ]
 
-let run () =
+(* Serial vs parallel variants of the replicated estimators.  Each pair
+   runs the identical workload with [domains:1] and [domains:bench_domains];
+   the JSON report derives the speedup from the pair. *)
+let parallel_tests () =
+  let rng = Sampling.Rng.create ~seed:909 () in
+  let pl, pr =
+    Workload.Correlated.pair rng ~n_left:100_000 ~n_right:100_000 ~domain:2_000
+      ~skew_left:0.5 ~skew_right:0.5 Workload.Correlated.Independent ~attribute:"a"
+  in
+  let catalog = Catalog.of_list [ ("pl", pl); ("pr", pr) ] in
+  let boot_sample = Array.init 10_000 (fun i -> float_of_int ((i * 7919) mod 1000)) in
+  let mean xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
+  let pred = P.le (P.attr "a") (P.vint 800) in
+  let sel = Expr.select pred (Expr.base "pl") in
+  let open Bechamel in
+  (* Each invocation re-seeds, so the serial and parallel variants of a
+     pair evaluate the exact same replicate draws — the measured delta
+     is scheduling, not sampling luck. *)
+  let equijoin ~domains () =
+    let rng = Sampling.Rng.create ~seed:910 () in
+    CE.equijoin ~groups:8 ~domains rng catalog ~left:"pl" ~right:"pr"
+      ~on:[ ("a", "a") ] ~fraction:0.08
+  in
+  let bootstrap ~domains () =
+    let rng = Sampling.Rng.create ~seed:911 () in
+    Raestat.Bootstrap.run ~domains rng ~replicates:100 ~statistic:mean boot_sample
+  in
+  let two_phase ~domains () =
+    let rng = Sampling.Rng.create ~seed:912 () in
+    Raestat.Sequential.two_phase ~domains rng catalog ~target:0.2 ~pilot_fraction:0.02
+      ~groups:5 sel
+  in
+  [
+    Test.make ~name:"t2-equijoin-1pct-g8-serial" (Staged.stage (equijoin ~domains:1));
+    Test.make
+      ~name:(Printf.sprintf "t2-equijoin-1pct-g8-dom%d" bench_domains)
+      (Staged.stage (equijoin ~domains:bench_domains));
+    Test.make ~name:"bootstrap-n10k-serial" (Staged.stage (bootstrap ~domains:1));
+    Test.make
+      ~name:(Printf.sprintf "bootstrap-n10k-dom%d" bench_domains)
+      (Staged.stage (bootstrap ~domains:bench_domains));
+    Test.make ~name:"f4-sequential-target20pct-g5-serial"
+      (Staged.stage (two_phase ~domains:1));
+    Test.make
+      ~name:(Printf.sprintf "f4-sequential-target20pct-g5-dom%d" bench_domains)
+      (Staged.stage (two_phase ~domains:bench_domains));
+  ]
+
+(* Pair up "<base>-serial" / "<base>-dom<d>" rows into speedup records:
+   (base, serial_ns, parallel_ns). *)
+let speedups rows =
+  let strip_prefix name =
+    (* Bechamel prefixes grouped test names with "raestat/". *)
+    match String.rindex_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let suffix = "-serial" in
+  List.filter_map
+    (fun (name, serial_ns) ->
+      let short = strip_prefix name in
+      if String.length short > String.length suffix
+         && String.sub short (String.length short - String.length suffix)
+              (String.length suffix)
+            = suffix
+      then begin
+        let base = String.sub short 0 (String.length short - String.length suffix) in
+        let dom_name = Printf.sprintf "%s-dom%d" base bench_domains in
+        List.find_map
+          (fun (other, par_ns) ->
+            if strip_prefix other = dom_name then Some (base, serial_ns, par_ns)
+            else None)
+          rows
+      end
+      else None)
+    rows
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' | '\\' -> Buffer.add_char buffer '\\'; Buffer.add_char buffer ch
+      | ch when Char.code ch < 0x20 -> Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buffer ch)
+    s;
+  Buffer.contents buffer
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null"
+
+let write_json ~path ~quota rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"raestat-bench-micro/1\",\n";
+  Printf.fprintf oc "  \"quota_s\": %g,\n  \"domains\": %d,\n  \"available_cores\": %d,\n"
+    quota bench_domains (Raestat.Parallel.auto ());
+  Printf.fprintf oc "  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n"
+        (json_escape name) (json_float ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"speedups\": [\n";
+  let pairs = speedups rows in
+  List.iteri
+    (fun i (base, serial_ns, par_ns) ->
+      Printf.fprintf oc
+        "    {\"bench\": \"%s\", \"serial_ns\": %s, \"parallel_ns\": %s, \"domains\": %d, \"speedup\": %s}%s\n"
+        (json_escape base) (json_float serial_ns) (json_float par_ns) bench_domains
+        (json_float (serial_ns /. par_ns))
+        (if i = List.length pairs - 1 then "" else ","))
+    pairs;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+let run ?(json = false) ?(quick = false) () =
   let open Bechamel in
   let open Bechamel.Toolkit in
   Printf.printf "\n=== Microbenchmarks (bechamel, ns/run) ===\n%!";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let quota = if quick then 0.05 else 0.5 in
+  let limit = if quick then 50 else 200 in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
   let instances = [ Instance.monotonic_clock ] in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let grouped = Test.make_grouped ~name:"raestat" (tests ()) in
+  let grouped =
+    Test.make_grouped ~name:"raestat" (tests () @ parallel_tests ())
+  in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -122,4 +246,10 @@ let run () =
         else if ns >= 1e3 then Printf.printf "%-40s %12.3f us\n" name (ns /. 1e3)
         else Printf.printf "%-40s %12.1f ns\n" name ns
       else Printf.printf "%-40s %12s\n" name "n/a")
-    rows
+    rows;
+  List.iter
+    (fun (base, serial_ns, par_ns) ->
+      Printf.printf "%-40s %12.2fx (dom%d)\n" (base ^ " speedup") (serial_ns /. par_ns)
+        bench_domains)
+    (speedups rows);
+  if json then write_json ~path:"BENCH_micro.json" ~quota rows

@@ -80,6 +80,18 @@ let fraction_arg =
 let level_arg =
   Arg.(value & opt float 0.95 & info [ "level" ] ~docv:"L" ~doc:"Confidence level.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~docv:"D"
+        ~doc:
+          "OCaml domains for replicated estimation (0 = all cores).  Estimates are \
+           bit-identical for any value: the seed fully determines the result.")
+
+(* 0 means "use every core the runtime recommends". *)
+let resolve_domains d = if d = 0 then Raestat.Parallel.auto () else d
+
 let rng_of_seed seed = Sampling.Rng.create ~seed ()
 
 let load_catalog bindings =
@@ -171,7 +183,7 @@ let estimate_cmd =
 (* --- join ------------------------------------------------------------- *)
 
 let join_cmd =
-  let run seed left right on fraction check =
+  let run seed left right on fraction check domains =
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("l", left); ("r", right) ] in
     let left_attr, right_attr =
@@ -180,8 +192,8 @@ let join_cmd =
       | _ -> failwith "--on expects LEFT_ATTR=RIGHT_ATTR"
     in
     let est =
-      Raestat.Count_estimator.equijoin ~groups:8 rng catalog ~left:"l" ~right:"r"
-        ~on:[ (left_attr, right_attr) ] ~fraction
+      Raestat.Count_estimator.equijoin ~groups:8 ~domains:(resolve_domains domains) rng
+        catalog ~left:"l" ~right:"r" ~on:[ (left_attr, right_attr) ] ~fraction
     in
     Printf.printf "estimated join size: %.0f (stderr %.0f)\n" est.Estimate.point
       (Estimate.stderr est);
@@ -207,7 +219,7 @@ let join_cmd =
   Cmd.v
     (Cmd.info "join" ~doc:"Estimate the equi-join size of two CSVs")
     Term.(const run $ seed_arg $ csv_arg 0 "LEFT" $ csv_arg 1 "RIGHT" $ on_arg $ fraction_arg
-          $ check_arg)
+          $ check_arg $ domains_arg)
 
 (* --- distinct ---------------------------------------------------------- *)
 
@@ -248,7 +260,7 @@ let distinct_cmd =
 (* --- query ------------------------------------------------------------- *)
 
 let query_cmd =
-  let run seed bindings text fraction groups check =
+  let run seed bindings text fraction groups check domains =
     let rng = rng_of_seed seed in
     let parse_binding spec =
       match String.index_opt spec '=' with
@@ -258,7 +270,10 @@ let query_cmd =
     in
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Parser.parse_expr text in
-    let est = Raestat.Count_estimator.estimate ~groups rng catalog ~fraction expr in
+    let est =
+      Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains) rng
+        catalog ~fraction expr
+    in
     Printf.printf "expression: %s\n" (Relational.Parser.print_expr expr);
     Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
       (Estimate.status_to_string est.Estimate.status)
@@ -295,12 +310,12 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Estimate COUNT of an arbitrary relational algebra expression")
     Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
-          $ check_arg)
+          $ check_arg $ domains_arg)
 
 (* --- sql --------------------------------------------------------------- *)
 
 let sql_cmd =
-  let run seed bindings text fraction groups check =
+  let run seed bindings text fraction groups check domains =
     let rng = rng_of_seed seed in
     let parse_binding spec =
       match String.index_opt spec '=' with
@@ -314,7 +329,10 @@ let sql_cmd =
        expression's COUNT rather than the 1-row aggregate result. *)
     let expr = Option.value (Relational.Sql.count_star_target expr) ~default:expr in
     Printf.printf "algebra: %s\n" (Relational.Parser.print_expr expr);
-    let est = Raestat.Count_estimator.estimate ~groups rng catalog ~fraction expr in
+    let est =
+      Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains) rng
+        catalog ~fraction expr
+    in
     Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
       (Estimate.status_to_string est.Estimate.status)
       est.Estimate.sample_size;
@@ -345,7 +363,7 @@ let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Estimate the COUNT of a SQL query's result")
     Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
-          $ check_arg)
+          $ check_arg $ domains_arg)
 
 (* --- quantile ---------------------------------------------------------- *)
 

@@ -5,18 +5,25 @@ type resample = {
   replicates : float array;
 }
 
-let run rng ~replicates ~statistic sample =
+let run ?domains rng ~replicates ~statistic sample =
   if Array.length sample = 0 then invalid_arg "Bootstrap.run: empty sample";
   if replicates <= 0 then invalid_arg "Bootstrap.run: replicates must be positive";
   let n = Array.length sample in
-  let resampled = Array.make n sample.(0) in
-  let one () =
-    for i = 0 to n - 1 do
-      resampled.(i) <- sample.(Sampling.Rng.int rng n)
-    done;
-    statistic resampled
+  (* One split stream per replicate, derived serially: replicate r sees
+     the same draws whatever the domain count.  Each chunk reuses a
+     single scratch buffer, matching the serial code's allocation. *)
+  let children = Array.init replicates (fun _ -> Sampling.Rng.split rng) in
+  let values =
+    Parallel.chunked_init ?domains replicates (fun start len ->
+        let resampled = Array.make n sample.(0) in
+        Array.init len (fun k ->
+            let child = children.(start + k) in
+            for i = 0 to n - 1 do
+              resampled.(i) <- sample.(Sampling.Rng.int child n)
+            done;
+            statistic resampled))
   in
-  { point = statistic sample; replicates = Array.init replicates (fun _ -> one ()) }
+  { point = statistic sample; replicates = values }
 
 let variance r = Stats.Summary.variance (Stats.Summary.of_array r.replicates)
 
@@ -33,7 +40,8 @@ let percentile_interval ~level r =
 let normal_interval ~level r =
   Stats.Confidence.normal ~level ~point:r.point ~stderr:(Float.sqrt (variance r))
 
-let selection_count rng catalog ~relation ~n ?(replicates = 200) ?(level = 0.95) predicate =
+let selection_count ?domains rng catalog ~relation ~n ?(replicates = 200) ?(level = 0.95)
+    predicate =
   let r = Relational.Catalog.find catalog relation in
   let big_n = Relational.Relation.cardinality r in
   if n <= 0 || n > big_n then
@@ -47,7 +55,7 @@ let selection_count rng catalog ~relation ~n ?(replicates = 200) ?(level = 0.95)
   let statistic hits =
     float_of_int big_n *. (Array.fold_left ( +. ) 0. hits /. float_of_int n)
   in
-  let result = run rng ~replicates ~statistic indicators in
+  let result = run ?domains rng ~replicates ~statistic indicators in
   let estimate =
     Estimate.make ~variance:(variance result) ~label:"selection (bootstrap)"
       ~status:Estimate.Unbiased ~sample_size:n result.point

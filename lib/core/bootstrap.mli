@@ -16,10 +16,16 @@ type resample = {
 
 (** [run rng ~replicates ~statistic sample] — [statistic] maps an array
     of observations to a number; it is called once on the original
-    sample and once per resample.
+    sample and once per resample.  The resample buffer is reused, so
+    [statistic] must not retain its argument.
+
+    [domains] (default 1): resampling runs on that many OCaml domains;
+    every replicate draws from its own serially-split [Rng] stream, so
+    the replicate values are bit-identical for any domain count.
     @raise Invalid_argument if the sample is empty or
     [replicates <= 0]. *)
 val run :
+  ?domains:int ->
   Sampling.Rng.t ->
   replicates:int ->
   statistic:('a array -> float) ->
@@ -44,6 +50,7 @@ val normal_interval : level:float -> resample -> Stats.Confidence.interval
     [replicates] (default 200) times.  Returns the estimate (with
     bootstrap variance attached) and the percentile interval. *)
 val selection_count :
+  ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->

@@ -17,7 +17,7 @@ let scale_up rng catalog (plan : Sampling_plan.t) =
     ~sample_size:drawn
     (plan.Sampling_plan.scale *. float_of_int count)
 
-let estimate ?(groups = 1) rng catalog ~fraction expr =
+let estimate ?(groups = 1) ?domains rng catalog ~fraction expr =
   if groups < 1 then invalid_arg "Count_estimator.estimate: groups must be >= 1";
   let status = classify expr in
   if groups = 1 then begin
@@ -27,10 +27,13 @@ let estimate ?(groups = 1) rng catalog ~fraction expr =
   end
   else begin
     (* g independent replicates; the mean keeps the status of a single
-       replicate and gains an honest variance estimate s²/g. *)
+       replicate and gains an honest variance estimate s²/g.  Each
+       replicate runs on its own split stream, so the points (and the
+       variance computed from them) are identical for any [domains]. *)
     let plan = Sampling_plan.make catalog ~fraction expr in
     let points =
-      Array.init groups (fun _ -> (scale_up rng catalog plan).Estimate.point)
+      Parallel.replicate_init ?domains rng groups (fun child _ ->
+          (scale_up child catalog plan).Estimate.point)
     in
     let summary = Stats.Summary.of_array points in
     let variance = Stats.Summary.variance summary /. float_of_int groups in
@@ -83,7 +86,7 @@ let single_join_point rng catalog ~left ~right ~on ~fraction =
   in
   (scale *. float_of_int j, n1 + n2)
 
-let equijoin ?(groups = 8) rng catalog ~left ~right ~on ~fraction =
+let equijoin ?(groups = 8) ?domains rng catalog ~left ~right ~on ~fraction =
   if groups < 1 then invalid_arg "Count_estimator.equijoin: groups must be >= 1";
   if groups = 1 then begin
     let point, drawn = single_join_point rng catalog ~left ~right ~on ~fraction in
@@ -93,17 +96,16 @@ let equijoin ?(groups = 8) rng catalog ~left ~right ~on ~fraction =
     (* Each replicate runs at fraction/groups so the total tuples drawn
        match a single draw at [fraction]. *)
     let sub_fraction = fraction /. float_of_int groups in
-    let drawn = ref 0 in
-    let points =
-      Array.init groups (fun _ ->
-          let point, d = single_join_point rng catalog ~left ~right ~on ~fraction:sub_fraction in
-          drawn := !drawn + d;
-          point)
+    let results =
+      Parallel.replicate_init ?domains rng groups (fun child _ ->
+          single_join_point child catalog ~left ~right ~on ~fraction:sub_fraction)
     in
+    let points = Array.map fst results in
+    let drawn = Array.fold_left (fun acc (_, d) -> acc + d) 0 results in
     let summary = Stats.Summary.of_array points in
     let variance = Stats.Summary.variance summary /. float_of_int groups in
     Estimate.make ~variance ~label:"equijoin (replicated)" ~status:Estimate.Unbiased
-      ~sample_size:!drawn (Stats.Summary.mean summary)
+      ~sample_size:drawn (Stats.Summary.mean summary)
   end
 
 let equijoin_indexed ?index rng catalog ~left ~right ~on ~n =

@@ -24,9 +24,15 @@ val scale_up :
 
     [groups] (default 1): with [g > 1], draw [g] independent estimates,
     return their mean with the replicate variance [s²/g] attached —
-    the generic variance estimator that works for any expression. *)
+    the generic variance estimator that works for any expression.
+
+    [domains] (default 1 = serial): evaluate the replicates on that
+    many OCaml domains via {!Parallel.replicate_init}.  Each replicate
+    gets its own [Rng.split] stream, so the result is bit-identical for
+    any domain count; pass [Parallel.auto ()] to use all cores. *)
 val estimate :
   ?groups:int ->
+  ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   fraction:float ->
@@ -59,9 +65,11 @@ val selection_of_counts : big_n:int -> n:int -> hits:int -> Stats.Estimate.t
     estimate of the equi-join size between two base relations, with
     replicate-group variance ([groups], default 8; groups each use
     [fraction/groups] so the total sampled volume matches a single
-    [fraction] draw). *)
+    [fraction] draw).  [domains] parallelizes the replicates as in
+    {!estimate}, with the same bit-reproducibility guarantee. *)
 val equijoin :
   ?groups:int ->
+  ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->

@@ -26,27 +26,51 @@ let group_indices catalog ~relation ~by =
 
 let key_of indices tuple = List.map (fun i -> Tuple.get tuple i) indices
 
-let tally ~indices ~keep tuples =
-  let table = Hashtbl.create 64 in
-  Array.iter
-    (fun t ->
+(* Parallel tallies run over fixed-size blocks, not per-domain chunks:
+   the block decomposition — and with it the per-key merge order of
+   partial aggregates — is independent of the domain count, so results
+   are bit-identical whether tallied on 1 or N domains. *)
+let tally_block = 8192
+
+let blocked_tables ?domains ~per_block n =
+  let nblocks = max 1 ((n + tally_block - 1) / tally_block) in
+  Parallel.init ?domains nblocks (fun b ->
+      let start = b * tally_block in
+      per_block start (min tally_block (n - start)))
+
+let tally ?domains ~indices ~keep tuples =
+  let per_block start len =
+    let table = Hashtbl.create 64 in
+    for i = start to start + len - 1 do
+      let t = tuples.(i) in
       if keep t then begin
         let key = key_of indices t in
         Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
-      end)
-    tuples;
-  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+      end
+    done;
+    table
+  in
+  let merged = Hashtbl.create 64 in
+  Array.iter
+    (fun table ->
+      Hashtbl.iter
+        (fun key count ->
+          Hashtbl.replace merged key
+            (count + Option.value (Hashtbl.find_opt merged key) ~default:0))
+        table)
+    (blocked_tables ?domains ~per_block (Array.length tuples));
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) merged []
   |> List.sort (fun (k1, _) (k2, _) -> compare_keys k1 k2)
 
-let estimate rng catalog ~relation ~by ~n ?(level = 0.95) ?(where = Relational.Predicate.True)
-    () =
+let estimate ?domains rng catalog ~relation ~by ~n ?(level = 0.95)
+    ?(where = Relational.Predicate.True) () =
   if level <= 0. || level >= 1. then invalid_arg "Group_count: level outside (0, 1)";
   let r, indices = group_indices catalog ~relation ~by in
   let big_n = Relation.cardinality r in
   if n <= 0 || n > big_n then invalid_arg "Group_count: sample size out of range";
   let keep = Relational.Predicate.compile (Relation.schema r) where in
   let sample = Sampling.Srs.sample_without_replacement rng ~n (Relation.tuples r) in
-  let counts = tally ~indices ~keep sample in
+  let counts = tally ?domains ~indices ~keep sample in
   let k = List.length counts in
   let per_group_level = if k = 0 then level else 1. -. ((1. -. level) /. float_of_int k) in
   let groups =
@@ -74,11 +98,14 @@ let contribution r attribute =
     match Tuple.get tuple i with Value.Null -> 0. | v -> Value.to_float v
 
 (* Per-group sums of [value] over the given tuples, with the per-group
-   sum of squares (needed for the expansion variance). *)
-let tally_sums ~indices ~keep ~value tuples =
-  let table = Hashtbl.create 64 in
-  Array.iter
-    (fun t ->
+   sum of squares (needed for the expansion variance).  Blocked like
+   {!tally}: per-block partials combine in block order, so a fixed seed
+   gives the same sums on any domain count. *)
+let tally_sums ?domains ~indices ~keep ~value tuples =
+  let per_block start len =
+    let table = Hashtbl.create 64 in
+    for i = start to start + len - 1 do
+      let t = tuples.(i) in
       if keep t then begin
         let key = key_of indices t in
         let y = value t in
@@ -86,12 +113,25 @@ let tally_sums ~indices ~keep ~value tuples =
           Option.value (Hashtbl.find_opt table key) ~default:(0., 0., 0)
         in
         Hashtbl.replace table key (sum +. y, sum_sq +. (y *. y), hits + 1)
-      end)
-    tuples;
-  Hashtbl.fold (fun key totals acc -> (key, totals) :: acc) table []
+      end
+    done;
+    table
+  in
+  let merged = Hashtbl.create 64 in
+  Array.iter
+    (fun table ->
+      Hashtbl.iter
+        (fun key (sum, sum_sq, hits) ->
+          let acc_sum, acc_sq, acc_hits =
+            Option.value (Hashtbl.find_opt merged key) ~default:(0., 0., 0)
+          in
+          Hashtbl.replace merged key (acc_sum +. sum, acc_sq +. sum_sq, acc_hits + hits))
+        table)
+    (blocked_tables ?domains ~per_block (Array.length tuples));
+  Hashtbl.fold (fun key totals acc -> (key, totals) :: acc) merged []
   |> List.sort (fun (k1, _) (k2, _) -> compare_keys k1 k2)
 
-let estimate_sum rng catalog ~relation ~by ~attribute ~n ?(level = 0.95)
+let estimate_sum ?domains rng catalog ~relation ~by ~attribute ~n ?(level = 0.95)
     ?(where = Relational.Predicate.True) () =
   if level <= 0. || level >= 1. then invalid_arg "Group_count: level outside (0, 1)";
   let r, indices = group_indices catalog ~relation ~by in
@@ -100,7 +140,7 @@ let estimate_sum rng catalog ~relation ~by ~attribute ~n ?(level = 0.95)
   let keep = Relational.Predicate.compile (Relation.schema r) where in
   let value = contribution r attribute in
   let sample = Sampling.Srs.sample_without_replacement rng ~n (Relation.tuples r) in
-  let sums = tally_sums ~indices ~keep ~value sample in
+  let sums = tally_sums ?domains ~indices ~keep ~value sample in
   let k = List.length sums in
   let per_group_level = if k = 0 then level else 1. -. ((1. -. level) /. float_of_int k) in
   let big_nf = float_of_int big_n and nf = float_of_int n in

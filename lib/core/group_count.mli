@@ -25,9 +25,13 @@ type result = {
 
 (** [estimate rng catalog ~relation ~by ~n ?level ?where ()] — groups by
     the [by] attributes, optionally filtering with [where] first.
+    [domains] parallelizes the tally over fixed-size sample blocks;
+    per-key counts merge in block order, so results are bit-identical
+    for any domain count.
     @raise Invalid_argument if [n] is out of range, [by] is empty or
     [level] outside (0, 1). *)
 val estimate :
+  ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->
@@ -53,8 +57,10 @@ val exact :
     estimate [(N/n)·Σ_{sampled∈g} y] (unbiased) with the exact SRSWOR
     variance over per-tuple contributions ([y] for the group's tuples,
     0 elsewhere); intervals are Bonferroni-adjusted as in {!estimate}.
-    [Null] values contribute 0. *)
+    [Null] values contribute 0.  [domains] as in {!estimate} (blocked
+    tally, domain-count independent). *)
 val estimate_sum :
+  ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->

@@ -55,14 +55,16 @@ let selection rng catalog ~relation ~target ?(level = 0.95) ?(batch = 100) predi
   let estimate, reached_target = grow 0 0 in
   { estimate; reached_target; trajectory = List.rev !trajectory }
 
-let two_phase rng catalog ~target ?(level = 0.95) ?(pilot_fraction = 0.01) ?(groups = 5)
-    expr =
+let two_phase ?domains rng catalog ~target ?(level = 0.95) ?(pilot_fraction = 0.01)
+    ?(groups = 5) expr =
   check_common ~target ~level;
   if pilot_fraction <= 0. || pilot_fraction > 1. then
     invalid_arg "Sequential.two_phase: pilot_fraction outside (0, 1]";
   if groups < 2 then invalid_arg "Sequential.two_phase: need at least 2 groups";
   let z = Stats.Confidence.z_value ~level in
-  let pilot = Count_estimator.estimate ~groups rng catalog ~fraction:pilot_fraction expr in
+  let pilot =
+    Count_estimator.estimate ~groups ?domains rng catalog ~fraction:pilot_fraction expr
+  in
   let pilot_half_width = z *. Estimate.stderr pilot in
   let pilot_point =
     {
@@ -85,7 +87,9 @@ let two_phase rng catalog ~target ?(level = 0.95) ?(pilot_fraction = 0.01) ?(gro
       if Float.is_finite rel then (rel /. target) ** 2. else 1. /. pilot_fraction
     in
     let final_fraction = Float.min 1. (pilot_fraction *. blow_up) in
-    let final = Count_estimator.estimate ~groups rng catalog ~fraction:final_fraction expr in
+    let final =
+      Count_estimator.estimate ~groups ?domains rng catalog ~fraction:final_fraction expr
+    in
     let final_half_width = z *. Estimate.stderr final in
     let final_point =
       {

@@ -43,8 +43,11 @@ val selection :
 (** [two_phase rng catalog ~target ?level ?pilot_fraction ?groups e]:
     pilot at [pilot_fraction] (default 0.01) with [groups] replicates
     (default 5), then one final replicated estimate sized by the pilot
-    variance.  The trajectory holds the pilot and final points. *)
+    variance.  The trajectory holds the pilot and final points.
+    [domains] parallelizes both phases' replicates (see
+    {!Count_estimator.estimate}; bit-identical for any domain count). *)
 val two_phase :
+  ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   target:float ->

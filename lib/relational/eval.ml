@@ -42,6 +42,9 @@ let hash_equijoin pairs l r =
       let bucket = try Tuple_hash.find table key with Not_found -> [] in
       Tuple_hash.replace table key (tr :: bucket))
     r;
+  (* Buckets accumulate reversed; restore build order once here rather
+     than rev-ing on every probe. *)
+  Tuple_hash.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) table;
   let out = ref [] in
   Relation.iter
     (fun tl ->
@@ -49,8 +52,7 @@ let hash_equijoin pairs l r =
       match Tuple_hash.find_opt table key with
       | None -> ()
       | Some bucket ->
-        (* Buckets are accumulated in reverse probe order. *)
-        List.iter (fun tr -> out := Tuple.concat tl tr :: !out) (List.rev bucket))
+        List.iter (fun tr -> out := Tuple.concat tl tr :: !out) bucket)
     l;
   Array.of_list (List.rev !out)
 

@@ -7,27 +7,133 @@ let size_of_fraction ~fraction n =
     let size = int_of_float (Float.round (fraction *. float_of_int n)) in
     max 1 (min n size)
 
+(* Dense draws (n within a constant factor of the universe): partial
+   Fisher–Yates over an explicit index array.  Shuffling only the first
+   n positions costs n swaps; the array is O(universe) but the dense
+   guard keeps that within 16n words. *)
+let dense_indices rng ~n ~universe =
+  let pool = Array.init universe (fun i -> i) in
+  for i = 0 to n - 1 do
+    let j = i + Rng.int rng (universe - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  let indices = Array.sub pool 0 n in
+  Array.sort Int.compare indices;
+  indices
+
+(* Sparse draws: Vitter's sequential sampling (Algorithm D with the
+   Algorithm A finish), "An Efficient Algorithm for Sequential Random
+   Sampling", ACM TOMS 13(1), 1987.  Emits the n selected indices in
+   increasing order directly — no hash table, no sort, O(n) expected
+   time and exactly n words of output allocation. *)
+
+(* Algorithm A: skip distances by sequential search over the
+   hypergeometric skip distribution.  O(universe - position) total, used
+   once the remaining sample is a sizable share of what is left. *)
+let method_a rng ~indices ~k ~n ~big_n ~position =
+  let k = ref k and n = ref n and big_n = ref big_n and position = ref position in
+  while !n >= 2 do
+    let v = Rng.float rng in
+    let s = ref 0 in
+    let top = ref (float_of_int (!big_n - !n)) in
+    let bigf = ref (float_of_int !big_n) in
+    let quot = ref (!top /. !bigf) in
+    while !quot > v do
+      incr s;
+      top := !top -. 1.;
+      bigf := !bigf -. 1.;
+      quot := !quot *. !top /. !bigf
+    done;
+    position := !position + !s;
+    indices.(!k) <- !position;
+    incr k;
+    incr position;
+    big_n := !big_n - !s - 1;
+    decr n
+  done;
+  if !n = 1 then indices.(!k) <- !position + Rng.int rng !big_n
+
+let method_d rng ~n ~universe =
+  let indices = Array.make n 0 in
+  (* Mutable cursor state: k selected so far, n' still to select, N'
+     records still eligible, position = next eligible absolute index. *)
+  let k = ref 0 and n' = ref n and big_n = ref universe and position = ref 0 in
+  let alpha_inv = 13 in
+  let ninv = ref (1. /. float_of_int n) in
+  let vprime = ref (Float.exp (Float.log (Rng.positive_float rng) *. !ninv)) in
+  let qu1 = ref (universe - n + 1) in
+  while !n' > 1 && alpha_inv * !n' < !big_n do
+    let nmin1inv = 1. /. float_of_int (!n' - 1) in
+    let big_nf = float_of_int !big_n in
+    let qu1f = float_of_int !qu1 in
+    let s = ref 0 in
+    let accepted = ref false in
+    while not !accepted do
+      (* D2: propose a skip S = floor(N'(1 - V'^(1/n'))). *)
+      let x = ref 0. in
+      let valid = ref false in
+      while not !valid do
+        x := big_nf *. (1. -. !vprime);
+        s := int_of_float !x;
+        if !s < !qu1 then valid := true
+        else vprime := Float.exp (Float.log (Rng.positive_float rng) *. !ninv)
+      done;
+      (* D3: squeeze-accept. *)
+      let u = Rng.positive_float rng in
+      let y1 = Float.exp (Float.log (u *. big_nf /. qu1f) *. nmin1inv) in
+      vprime :=
+        y1 *. (1. -. (!x /. big_nf)) *. (qu1f /. (qu1f -. float_of_int !s));
+      if !vprime <= 1. then accepted := true
+      else begin
+        (* D4: exact acceptance test. *)
+        let y2 = ref 1. in
+        let top = ref (big_nf -. 1.) in
+        let bottom, limit =
+          if !n' - 1 > !s then (big_nf -. float_of_int !n', !big_n - !s)
+          else (big_nf -. float_of_int !s -. 1., !qu1)
+        in
+        let bottom = ref bottom in
+        for _t = !big_n - 1 downto limit do
+          y2 := !y2 *. !top /. !bottom;
+          top := !top -. 1.;
+          bottom := !bottom -. 1.
+        done;
+        if big_nf /. (big_nf -. !x) >= y1 *. Float.exp (Float.log !y2 *. nmin1inv)
+        then begin
+          vprime := Float.exp (Float.log (Rng.positive_float rng) *. nmin1inv);
+          accepted := true
+        end
+        else vprime := Float.exp (Float.log (Rng.positive_float rng) *. !ninv)
+      end
+    done;
+    (* Skip S records, select the next one. *)
+    position := !position + !s;
+    indices.(!k) <- !position;
+    incr k;
+    incr position;
+    big_n := !big_n - !s - 1;
+    qu1 := !qu1 - !s;
+    decr n';
+    ninv := 1. /. float_of_int (max 1 !n')
+  done;
+  if !n' > 1 then
+    (* Dense tail: hand the remainder to Algorithm A. *)
+    method_a rng ~indices ~k:!k ~n:!n' ~big_n:!big_n ~position:!position
+  else if !n' = 1 then
+    (* S = floor(N'·V') is the last skip, V' being Beta-distributed as
+       the algorithm's invariant maintains. *)
+    indices.(!k) <- !position + min (!big_n - 1) (int_of_float (float_of_int !big_n *. !vprime));
+  indices
+
 let indices_without_replacement rng ~n ~universe =
   if n < 0 then invalid_arg "Srs: negative sample size";
   if n > universe then invalid_arg "Srs: sample size exceeds universe";
-  (* Floyd's algorithm: iterate j over the last n positions; insert a
-     uniform pick from [0, j], replacing collisions by j itself.  Each
-     size-n subset comes out equally likely. *)
-  let chosen = Hashtbl.create (2 * max 1 n) in
-  for j = universe - n to universe - 1 do
-    let candidate = Rng.int rng (j + 1) in
-    if Hashtbl.mem chosen candidate then Hashtbl.add chosen j ()
-    else Hashtbl.add chosen candidate ()
-  done;
-  let indices = Array.make n 0 in
-  let k = ref 0 in
-  Hashtbl.iter
-    (fun i () ->
-      indices.(!k) <- i;
-      incr k)
-    chosen;
-  Array.sort Int.compare indices;
-  indices
+  if n = 0 then [||]
+  else if n = universe then Array.init n (fun i -> i)
+  else if universe <= 16 * n then dense_indices rng ~n ~universe
+  else method_d rng ~n ~universe
 
 let indices_with_replacement rng ~n ~universe =
   if n < 0 then invalid_arg "Srs: negative sample size";
@@ -36,11 +142,13 @@ let indices_with_replacement rng ~n ~universe =
 
 let sample_without_replacement rng ~n array =
   let indices = indices_without_replacement rng ~n ~universe:(Array.length array) in
-  Array.map (fun i -> array.(i)) indices
+  (* Single fused gather: the index array doubles as the output slot
+     count, so there is exactly one pass and one result allocation. *)
+  Array.map (fun i -> Array.unsafe_get array i) indices
 
 let sample_with_replacement rng ~n array =
   let indices = indices_with_replacement rng ~n ~universe:(Array.length array) in
-  Array.map (fun i -> array.(i)) indices
+  Array.map (fun i -> Array.unsafe_get array i) indices
 
 let relation_without_replacement rng ~n relation =
   let tuples = sample_without_replacement rng ~n (Relational.Relation.tuples relation) in

@@ -12,7 +12,10 @@ val size_of_fraction : fraction:float -> int -> int
 
 (** [indices_without_replacement rng ~n ~universe] draws [n] distinct
     indices uniformly from [0, universe), returned in increasing order.
-    Uses Floyd's algorithm: O(n) expected time and space.
+    Dense draws ([universe <= 16n]) use a partial Fisher–Yates shuffle;
+    sparse draws use Vitter's sequential sampling (Algorithm D, TOMS
+    1987), which emits the indices already sorted in O(n) expected time
+    with no hashing and O(n) space.
     @raise Invalid_argument if [n < 0] or [n > universe]. *)
 val indices_without_replacement : Rng.t -> n:int -> universe:int -> int array
 

@@ -38,6 +38,29 @@ let test_equijoin_matches_filtered_product () =
   in
   Alcotest.(check int) "same count" (count filtered) (count join)
 
+let test_equijoin_left_major_order () =
+  (* The hash join must emit tuples in left-major order with each
+     bucket in right-relation build order — exactly the filtered
+     product's order.  Both join keys are duplicated so bucket order is
+     actually exercised. *)
+  let c = catalog () in
+  let join =
+    Eval.eval c (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s"))
+  in
+  let filtered =
+    Eval.eval c
+      (Expr.select (P.eq (P.attr "a") (P.attr "c"))
+         (Expr.product (Expr.base "r") (Expr.base "s")))
+  in
+  Alcotest.(check int) "same count" (Relation.cardinality filtered)
+    (Relation.cardinality join);
+  Array.iteri
+    (fun i t ->
+      if not (Tuple.equal t (Relation.tuple filtered i)) then
+        Alcotest.failf "tuple %d out of order: %s vs %s" i (Tuple.to_string t)
+          (Tuple.to_string (Relation.tuple filtered i)))
+    (Relation.tuples join)
+
 let test_theta_join () =
   let theta = Expr.theta_join (P.lt (P.attr "a") (P.attr "c")) (Expr.base "r") (Expr.base "s") in
   (* pairs with a < c: a=1 with c=2 (2×1)=2. *)
@@ -262,6 +285,8 @@ let suite =
     Alcotest.test_case "equijoin" `Quick test_equijoin;
     Alcotest.test_case "equijoin = filtered product" `Quick
       test_equijoin_matches_filtered_product;
+    Alcotest.test_case "equijoin left-major bucket order" `Quick
+      test_equijoin_left_major_order;
     Alcotest.test_case "theta join" `Quick test_theta_join;
     Alcotest.test_case "self join with qualified names" `Quick
       test_self_join_qualified_predicate;

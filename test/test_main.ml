@@ -45,6 +45,7 @@ let () =
       ("table", Test_table.suite);
       ("bootstrap", Test_bootstrap.suite);
       ("count-estimator", Test_count_estimator.suite);
+      ("parallel", Test_parallel.suite);
       ("join-variance", Test_join_variance.suite);
       ("distinct", Test_distinct.suite);
       ("cluster", Test_cluster.suite);

@@ -1,0 +1,169 @@
+open Helpers
+module P = Predicate
+module Parallel = Raestat.Parallel
+module CE = Raestat.Count_estimator
+module Estimate = Stats.Estimate
+
+(* ------------------------------------------------------------------ *)
+(* The fork/join layer itself. *)
+
+let test_map_matches_serial () =
+  let xs = Array.init 1_000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "domains:4" (Array.map f xs) (Parallel.map ~domains:4 f xs);
+  Alcotest.(check (array int)) "domains:1" (Array.map f xs) (Parallel.map ~domains:1 f xs);
+  Alcotest.(check (array int)) "more domains than items" (Array.map f [| 1; 2; 3 |])
+    (Parallel.map ~domains:8 f [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~domains:4 f [||])
+
+let test_init_matches_serial () =
+  Alcotest.(check (array int)) "init" (Array.init 97 (fun i -> 3 * i))
+    (Parallel.init ~domains:4 97 (fun i -> 3 * i));
+  Alcotest.(check (array int)) "init n=1" [| 42 |] (Parallel.init ~domains:4 1 (fun _ -> 42))
+
+let test_chunked_init_order () =
+  (* Chunks must concatenate in index order regardless of which domain
+     finishes first. *)
+  let out =
+    Parallel.chunked_init ~domains:4 100 (fun start len ->
+        Array.init len (fun i -> start + i))
+  in
+  Alcotest.(check (array int)) "identity" (Array.init 100 (fun i -> i)) out
+
+let test_worker_exception_propagates () =
+  Alcotest.(check bool) "re-raised" true
+    (try
+       ignore (Parallel.init ~domains:4 64 (fun i -> if i = 60 then failwith "boom" else i));
+       false
+     with Failure m -> m = "boom")
+
+let test_replicate_init_rng_independence () =
+  (* The parent generator must advance identically for any domain
+     count, and the replicate streams must match. *)
+  let run domains =
+    let r = rng ~seed:31 () in
+    let values =
+      Parallel.replicate_init ~domains r 8 (fun child i ->
+          float_of_int i +. Sampling.Rng.float child)
+    in
+    (values, Sampling.Rng.int r 1_000_000)
+  in
+  let v1, next1 = run 1 and v4, next4 = run 4 in
+  Alcotest.(check (array (float 0.))) "replicate values" v1 v4;
+  Alcotest.(check int) "parent stream position" next1 next4
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identical estimates across domain counts, per estimator. *)
+
+let catalog seed =
+  let r = rng ~seed () in
+  let left =
+    Workload.Generator.int_relation r ~n:4_000 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 199 })
+  in
+  let right =
+    Workload.Generator.int_relation r ~n:3_000 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 199 })
+  in
+  Catalog.of_list [ ("l", left); ("r", right) ]
+
+let check_estimates_equal name e1 e4 =
+  Alcotest.(check (float 0.)) (name ^ " point") e1.Estimate.point e4.Estimate.point;
+  Alcotest.(check (float 0.)) (name ^ " variance") e1.Estimate.variance e4.Estimate.variance;
+  Alcotest.(check int) (name ^ " sample size") e1.Estimate.sample_size
+    e4.Estimate.sample_size
+
+let test_estimate_domains_invariant () =
+  let c = catalog 41 in
+  let e = Expr.select (P.le (P.attr "a") (P.vint 80)) (Expr.base "l") in
+  let run domains =
+    CE.estimate ~groups:8 ~domains (rng ~seed:42 ()) c ~fraction:0.1 e
+  in
+  check_estimates_equal "estimate" (run 1) (run 4)
+
+let test_equijoin_domains_invariant () =
+  let c = catalog 43 in
+  let run domains =
+    CE.equijoin ~groups:8 ~domains (rng ~seed:44 ()) c ~left:"l" ~right:"r"
+      ~on:[ ("a", "a") ] ~fraction:0.4
+  in
+  check_estimates_equal "equijoin" (run 1) (run 4)
+
+let test_bootstrap_domains_invariant () =
+  let sample = Array.init 500 (fun i -> float_of_int (i mod 17)) in
+  let statistic xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
+  let run domains =
+    Raestat.Bootstrap.run ~domains (rng ~seed:45 ()) ~replicates:64 ~statistic sample
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check (float 0.)) "point" r1.Raestat.Bootstrap.point r4.Raestat.Bootstrap.point;
+  Alcotest.(check (array (float 0.))) "replicates" r1.Raestat.Bootstrap.replicates
+    r4.Raestat.Bootstrap.replicates
+
+let test_two_phase_domains_invariant () =
+  let c = catalog 46 in
+  let e = Expr.select (P.le (P.attr "a") (P.vint 120)) (Expr.base "l") in
+  let run domains =
+    (Raestat.Sequential.two_phase ~domains (rng ~seed:47 ()) c ~target:0.2
+       ~pilot_fraction:0.05 ~groups:5 e)
+      .Raestat.Sequential.estimate
+  in
+  check_estimates_equal "two-phase" (run 1) (run 4)
+
+(* Big enough that the blocked tally spans several 8192-tuple blocks,
+   so cross-block merging is actually exercised. *)
+let big_catalog seed =
+  let r = rng ~seed () in
+  let rel =
+    Workload.Generator.int_relation r ~n:30_000 ~attribute:"a"
+      (Workload.Dist.Uniform { lo = 0; hi = 49 })
+  in
+  Catalog.of_list [ ("l", rel) ]
+
+let test_group_count_domains_invariant () =
+  let c = big_catalog 48 in
+  let run domains =
+    Raestat.Group_count.estimate ~domains (rng ~seed:49 ()) c ~relation:"l" ~by:[ "a" ]
+      ~n:25_000 ()
+  in
+  let g1 = run 1 and g4 = run 4 in
+  Alcotest.(check int) "group count" (List.length g1.Raestat.Group_count.groups)
+    (List.length g4.Raestat.Group_count.groups);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "key" true (a.Raestat.Group_count.key = b.Raestat.Group_count.key);
+      Alcotest.(check (float 0.)) "group point" a.Raestat.Group_count.estimate.Estimate.point
+        b.Raestat.Group_count.estimate.Estimate.point)
+    g1.Raestat.Group_count.groups g4.Raestat.Group_count.groups
+
+let test_group_sum_domains_invariant () =
+  let c = big_catalog 50 in
+  let run domains =
+    Raestat.Group_count.estimate_sum ~domains (rng ~seed:51 ()) c ~relation:"l"
+      ~by:[ "a" ] ~attribute:"a" ~n:25_000 ()
+  in
+  let g1 = run 1 and g4 = run 4 in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (float 0.)) "group sum" a.Raestat.Group_count.estimate.Estimate.point
+        b.Raestat.Group_count.estimate.Estimate.point;
+      Alcotest.(check (float 0.)) "group sum variance"
+        a.Raestat.Group_count.estimate.Estimate.variance
+        b.Raestat.Group_count.estimate.Estimate.variance)
+    g1.Raestat.Group_count.groups g4.Raestat.Group_count.groups
+
+let suite =
+  [
+    Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+    Alcotest.test_case "init matches serial" `Quick test_init_matches_serial;
+    Alcotest.test_case "chunked init order" `Quick test_chunked_init_order;
+    Alcotest.test_case "worker exception propagates" `Quick test_worker_exception_propagates;
+    Alcotest.test_case "replicate rng independence" `Quick test_replicate_init_rng_independence;
+    Alcotest.test_case "estimate domains-invariant" `Quick test_estimate_domains_invariant;
+    Alcotest.test_case "equijoin domains-invariant" `Quick test_equijoin_domains_invariant;
+    Alcotest.test_case "bootstrap domains-invariant" `Quick test_bootstrap_domains_invariant;
+    Alcotest.test_case "two-phase domains-invariant" `Quick test_two_phase_domains_invariant;
+    Alcotest.test_case "group-count domains-invariant" `Quick
+      test_group_count_domains_invariant;
+    Alcotest.test_case "group-sum domains-invariant" `Quick test_group_sum_domains_invariant;
+  ]
