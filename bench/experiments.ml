@@ -966,7 +966,7 @@ let a7 () =
     let count, seconds = time_once (fun () -> Relational.Physical.count cursor) in
     Report.row widths [ name; string_of_int count; Printf.sprintf "%.1f" (1000. *. seconds) ]
   in
-  time_join "hash join" Relational.Physical.hash_join;
+  time_join "hash join" (Relational.Physical.hash_join ?metrics:None);
   time_join "sort-merge join" Relational.Physical.merge_join;
   let _, index_seconds =
     time_once (fun () ->

@@ -94,6 +94,54 @@ let resolve_domains d = if d = 0 then Raestat.Parallel.auto () else d
 
 let rng_of_seed seed = Sampling.Rng.create ~seed ()
 
+(* --- metrics ----------------------------------------------------------- *)
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Report work counters (tuples scanned, pages read, sample indices, hash \
+           probes, RNG draws) and stage timers as JSON on stderr after the result.")
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Include the per-operator span tree in the metrics JSON (implies \
+              $(b,--metrics)).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics JSON to $(docv) instead of stderr (implies \
+              $(b,--metrics)).")
+
+let metrics_term =
+  let make metrics trace out = (metrics || trace || out <> None, trace, out) in
+  Term.(const make $ metrics_flag $ trace_flag $ metrics_out_arg)
+
+(* Run [f] with an enabled sink when any metrics option was given (a
+   shared no-op otherwise — the recording calls cost one branch), then
+   emit the JSON report. *)
+let with_metrics (enabled, trace, out) f =
+  if not enabled then f Obs.Metrics.noop
+  else begin
+    let m = Obs.Metrics.create () in
+    let result = f m in
+    let json = Obs.Metrics.to_json ~include_spans:trace m in
+    (match out with
+    | None -> Printf.eprintf "%s\n%!" json
+    | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc);
+    result
+  end
+
 let load_catalog bindings =
   Relational.Catalog.of_list
     (List.map (fun (name, path) -> (name, Relational.Csv.load path)) bindings)
@@ -163,12 +211,15 @@ let exact_cmd =
 (* --- estimate --------------------------------------------------------- *)
 
 let estimate_cmd =
-  let run seed path predicate fraction level =
+  let run seed path predicate fraction level metrics_opts =
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("r", path) ] in
     let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
     let n = Sampling.Srs.size_of_fraction ~fraction big_n in
-    let est = Raestat.Count_estimator.selection rng catalog ~relation:"r" ~n predicate in
+    let est =
+      with_metrics metrics_opts (fun metrics ->
+          Raestat.Count_estimator.selection ~metrics rng catalog ~relation:"r" ~n predicate)
+    in
     let ci = Estimate.ci ~level est in
     Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
     Printf.printf "sampled %d of %d tuples (%.2f%%)\n" n big_n
@@ -178,12 +229,13 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Sampled COUNT of a filter over a CSV")
-    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ fraction_arg $ level_arg)
+    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ fraction_arg $ level_arg
+          $ metrics_term)
 
 (* --- join ------------------------------------------------------------- *)
 
 let join_cmd =
-  let run seed left right on fraction check domains =
+  let run seed left right on fraction check domains metrics_opts =
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("l", left); ("r", right) ] in
     let left_attr, right_attr =
@@ -192,8 +244,10 @@ let join_cmd =
       | _ -> failwith "--on expects LEFT_ATTR=RIGHT_ATTR"
     in
     let est =
-      Raestat.Count_estimator.equijoin ~groups:8 ~domains:(resolve_domains domains) rng
-        catalog ~left:"l" ~right:"r" ~on:[ (left_attr, right_attr) ] ~fraction
+      with_metrics metrics_opts (fun metrics ->
+          Raestat.Count_estimator.equijoin ~groups:8 ~domains:(resolve_domains domains)
+            ~metrics rng catalog ~left:"l" ~right:"r"
+            ~on:[ (left_attr, right_attr) ] ~fraction)
     in
     Printf.printf "estimated join size: %.0f (stderr %.0f)\n" est.Estimate.point
       (Estimate.stderr est);
@@ -219,7 +273,7 @@ let join_cmd =
   Cmd.v
     (Cmd.info "join" ~doc:"Estimate the equi-join size of two CSVs")
     Term.(const run $ seed_arg $ csv_arg 0 "LEFT" $ csv_arg 1 "RIGHT" $ on_arg $ fraction_arg
-          $ check_arg $ domains_arg)
+          $ check_arg $ domains_arg $ metrics_term)
 
 (* --- distinct ---------------------------------------------------------- *)
 
@@ -260,7 +314,7 @@ let distinct_cmd =
 (* --- query ------------------------------------------------------------- *)
 
 let query_cmd =
-  let run seed bindings text fraction groups check domains =
+  let run seed bindings text fraction groups check domains metrics_opts =
     let rng = rng_of_seed seed in
     let parse_binding spec =
       match String.index_opt spec '=' with
@@ -271,8 +325,9 @@ let query_cmd =
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Parser.parse_expr text in
     let est =
-      Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains) rng
-        catalog ~fraction expr
+      with_metrics metrics_opts (fun metrics ->
+          Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
+            ~metrics rng catalog ~fraction expr)
     in
     Printf.printf "expression: %s\n" (Relational.Parser.print_expr expr);
     Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
@@ -310,12 +365,12 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Estimate COUNT of an arbitrary relational algebra expression")
     Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
-          $ check_arg $ domains_arg)
+          $ check_arg $ domains_arg $ metrics_term)
 
 (* --- sql --------------------------------------------------------------- *)
 
 let sql_cmd =
-  let run seed bindings text fraction groups check domains =
+  let run seed bindings text fraction groups check domains metrics_opts =
     let rng = rng_of_seed seed in
     let parse_binding spec =
       match String.index_opt spec '=' with
@@ -330,8 +385,9 @@ let sql_cmd =
     let expr = Option.value (Relational.Sql.count_star_target expr) ~default:expr in
     Printf.printf "algebra: %s\n" (Relational.Parser.print_expr expr);
     let est =
-      Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains) rng
-        catalog ~fraction expr
+      with_metrics metrics_opts (fun metrics ->
+          Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
+            ~metrics rng catalog ~fraction expr)
     in
     Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
       (Estimate.status_to_string est.Estimate.status)
@@ -363,7 +419,7 @@ let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Estimate the COUNT of a SQL query's result")
     Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
-          $ check_arg $ domains_arg)
+          $ check_arg $ domains_arg $ metrics_term)
 
 (* --- quantile ---------------------------------------------------------- *)
 
@@ -486,6 +542,17 @@ let () =
     Cmd.info "raestat" ~version:"1.0.0"
       ~doc:"Sampling-based COUNT estimators for relational algebra expressions"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; exact_cmd; estimate_cmd; join_cmd;
-                                   distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
-                                   plan_cmd; sweep_cmd ]))
+  let group =
+    Cmd.group info [ generate_cmd; exact_cmd; estimate_cmd; join_cmd;
+                     distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
+                     plan_cmd; sweep_cmd ]
+  in
+  (* [~catch:false] so domain errors reach us instead of cmdliner's
+     backtrace printer: a missing relation, a malformed CSV or a SQL
+     parse error is a usage problem, not a crash.  Exit code 3 keeps
+     them distinct from cmdliner's own 124/125. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+    Printf.eprintf "raestat: error: %s\n" msg;
+    exit 3

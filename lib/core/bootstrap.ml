@@ -5,14 +5,19 @@ type resample = {
   replicates : float array;
 }
 
-let run ?domains rng ~replicates ~statistic sample =
+let run ?domains ?(metrics = Obs.Metrics.noop) rng ~replicates ~statistic sample =
   if Array.length sample = 0 then invalid_arg "Bootstrap.run: empty sample";
   if replicates <= 0 then invalid_arg "Bootstrap.run: replicates must be positive";
   let n = Array.length sample in
   (* One split stream per replicate, derived serially: replicate r sees
      the same draws whatever the domain count.  Each chunk reuses a
      single scratch buffer, matching the serial code's allocation. *)
+  let draws_before = Sampling.Rng.draws rng in
   let children = Array.init replicates (fun _ -> Sampling.Rng.split rng) in
+  Obs.Metrics.add_rng_draws metrics (Sampling.Rng.draws rng - draws_before);
+  (* Per-replicate sinks, absorbed in replicate order below: counter
+     totals are independent of the domain count. *)
+  let sinks = Array.init replicates (fun _ -> Obs.Metrics.child metrics) in
   let values =
     Parallel.chunked_init ?domains replicates (fun start len ->
         let resampled = Array.make n sample.(0) in
@@ -21,8 +26,12 @@ let run ?domains rng ~replicates ~statistic sample =
             for i = 0 to n - 1 do
               resampled.(i) <- sample.(Sampling.Rng.int child n)
             done;
+            let sink = sinks.(start + k) in
+            Obs.Metrics.add_indices sink n;
+            Obs.Metrics.add_rng_draws sink (Sampling.Rng.draws child);
             statistic resampled))
   in
+  Array.iter (fun sink -> Obs.Metrics.absorb metrics sink) sinks;
   { point = statistic sample; replicates = values }
 
 let variance r = Stats.Summary.variance (Stats.Summary.of_array r.replicates)
@@ -40,14 +49,14 @@ let percentile_interval ~level r =
 let normal_interval ~level r =
   Stats.Confidence.normal ~level ~point:r.point ~stderr:(Float.sqrt (variance r))
 
-let selection_count ?domains rng catalog ~relation ~n ?(replicates = 200) ?(level = 0.95)
-    predicate =
+let selection_count ?domains ?(metrics = Obs.Metrics.noop) rng catalog ~relation ~n
+    ?(replicates = 200) ?(level = 0.95) predicate =
   let r = Relational.Catalog.find catalog relation in
   let big_n = Relational.Relation.cardinality r in
   if n <= 0 || n > big_n then
     invalid_arg "Bootstrap.selection_count: sample size out of range";
   let sample =
-    Sampling.Srs.sample_without_replacement rng ~n (Relational.Relation.tuples r)
+    Sampling.Srs.sample_without_replacement ~metrics rng ~n (Relational.Relation.tuples r)
   in
   let keep = Relational.Predicate.compile (Relational.Relation.schema r) predicate in
   (* Statistic over 0/1 hit indicators: scale-up count. *)
@@ -55,7 +64,7 @@ let selection_count ?domains rng catalog ~relation ~n ?(replicates = 200) ?(leve
   let statistic hits =
     float_of_int big_n *. (Array.fold_left ( +. ) 0. hits /. float_of_int n)
   in
-  let result = run ?domains rng ~replicates ~statistic indicators in
+  let result = run ?domains ~metrics rng ~replicates ~statistic indicators in
   let estimate =
     Estimate.make ~variance:(variance result) ~label:"selection (bootstrap)"
       ~status:Estimate.Unbiased ~sample_size:n result.point

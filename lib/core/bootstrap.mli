@@ -26,6 +26,7 @@ type resample = {
     [replicates <= 0]. *)
 val run :
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   replicates:int ->
   statistic:('a array -> float) ->
@@ -51,6 +52,7 @@ val normal_interval : level:float -> resample -> Stats.Confidence.interval
     bootstrap variance attached) and the percentile interval. *)
 val selection_count :
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->

@@ -7,12 +7,13 @@ type result = {
   tuples_read : int;
 }
 
-let estimate rng ~m paged ~measure =
+let estimate ?(metrics = Obs.Metrics.noop) rng ~m paged ~measure =
   let big_m = Paged.page_count paged in
   if m < 1 || m > big_m then
     invalid_arg
       (Printf.sprintf "Cluster_estimator: m=%d out of range [1, %d]" m big_m);
-  let sample = Sampling.Page_sampling.sample rng ~m paged in
+  Obs.Metrics.with_span metrics (Printf.sprintf "cluster m=%d" m) @@ fun () ->
+  let sample = Sampling.Page_sampling.sample ~metrics rng ~m paged in
   let values = Array.map measure sample.Sampling.Page_sampling.pages in
   let summary = Stats.Summary.of_array values in
   let big_mf = float_of_int big_m and mf = float_of_int m in
@@ -33,10 +34,10 @@ let estimate rng ~m paged ~measure =
     tuples_read;
   }
 
-let count rng ~m paged predicate =
+let count ?metrics rng ~m paged predicate =
   let schema = Relational.Relation.schema (Paged.relation paged) in
   let keep = Relational.Predicate.compile schema predicate in
   let measure page =
     Array.fold_left (fun acc t -> if keep t then acc +. 1. else acc) 0. page
   in
-  estimate rng ~m paged ~measure
+  estimate ?metrics rng ~m paged ~measure

@@ -25,6 +25,7 @@ type result = {
     @raise Invalid_argument if [m] is out of range ([m >= 1] required;
     [m >= 2] for a variance estimate). *)
 val count :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   m:int ->
   Relational.Paged.t ->
@@ -34,6 +35,7 @@ val count :
 (** Generalized form: [estimate rng ~m paged ~measure] scales the total
     of an arbitrary per-page statistic (e.g. a per-page aggregate). *)
 val estimate :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   m:int ->
   Relational.Paged.t ->

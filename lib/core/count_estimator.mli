@@ -17,6 +17,7 @@ val classify : Relational.Expr.t -> Stats.Estimate.status
 (** [scale_up rng catalog plan] draws the plan once, evaluates the
     rewritten expression over the samples, and scales the count. *)
 val scale_up :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t -> Relational.Catalog.t -> Sampling_plan.t -> Stats.Estimate.t
 
 (** [estimate rng catalog ~fraction e] — scale-up estimate with an
@@ -29,10 +30,16 @@ val scale_up :
     [domains] (default 1 = serial): evaluate the replicates on that
     many OCaml domains via {!Parallel.replicate_init}.  Each replicate
     gets its own [Rng.split] stream, so the result is bit-identical for
-    any domain count; pass [Parallel.auto ()] to use all cores. *)
+    any domain count; pass [Parallel.auto ()] to use all cores.
+
+    [metrics] (default no-op) records tuples scanned, sample indices,
+    RNG draws, probe hits/misses and per-stage timers; replicated runs
+    merge per-replicate sinks deterministically, so counter totals are
+    identical for any [domains]. *)
 val estimate :
   ?groups:int ->
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   fraction:float ->
@@ -47,6 +54,7 @@ val estimate :
     [N²·(1 − n/N)·p̂(1−p̂)/(n−1)].
     @raise Invalid_argument if [n] is out of range. *)
 val selection :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->
@@ -70,6 +78,7 @@ val selection_of_counts : big_n:int -> n:int -> hits:int -> Stats.Estimate.t
 val equijoin :
   ?groups:int ->
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->
@@ -90,6 +99,7 @@ val equijoin :
     name exactly one attribute pair. *)
 val equijoin_indexed :
   ?index:Relational.Index.t ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->
@@ -108,6 +118,7 @@ val equijoin_indexed :
     if a feasible value is required. *)
 
 val intersection :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->
@@ -116,6 +127,7 @@ val intersection :
   Stats.Estimate.t
 
 val union :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->
@@ -124,6 +136,7 @@ val union :
   Stats.Estimate.t
 
 val difference :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->

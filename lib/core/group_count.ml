@@ -62,15 +62,18 @@ let tally ?domains ~indices ~keep tuples =
   Hashtbl.fold (fun key count acc -> (key, count) :: acc) merged []
   |> List.sort (fun (k1, _) (k2, _) -> compare_keys k1 k2)
 
-let estimate ?domains rng catalog ~relation ~by ~n ?(level = 0.95)
-    ?(where = Relational.Predicate.True) () =
+let estimate ?domains ?(metrics = Obs.Metrics.noop) rng catalog ~relation ~by ~n
+    ?(level = 0.95) ?(where = Relational.Predicate.True) () =
   if level <= 0. || level >= 1. then invalid_arg "Group_count: level outside (0, 1)";
   let r, indices = group_indices catalog ~relation ~by in
   let big_n = Relation.cardinality r in
   if n <= 0 || n > big_n then invalid_arg "Group_count: sample size out of range";
   let keep = Relational.Predicate.compile (Relation.schema r) where in
-  let sample = Sampling.Srs.sample_without_replacement rng ~n (Relation.tuples r) in
-  let counts = tally ?domains ~indices ~keep sample in
+  Obs.Metrics.with_span metrics (Printf.sprintf "group-count %s" relation) @@ fun () ->
+  let sample =
+    Sampling.Srs.sample_without_replacement ~metrics rng ~n (Relation.tuples r)
+  in
+  let counts = Obs.Metrics.time metrics "tally" (fun () -> tally ?domains ~indices ~keep sample) in
   let k = List.length counts in
   let per_group_level = if k = 0 then level else 1. -. ((1. -. level) /. float_of_int k) in
   let groups =
@@ -131,16 +134,21 @@ let tally_sums ?domains ~indices ~keep ~value tuples =
   Hashtbl.fold (fun key totals acc -> (key, totals) :: acc) merged []
   |> List.sort (fun (k1, _) (k2, _) -> compare_keys k1 k2)
 
-let estimate_sum ?domains rng catalog ~relation ~by ~attribute ~n ?(level = 0.95)
-    ?(where = Relational.Predicate.True) () =
+let estimate_sum ?domains ?(metrics = Obs.Metrics.noop) rng catalog ~relation ~by
+    ~attribute ~n ?(level = 0.95) ?(where = Relational.Predicate.True) () =
   if level <= 0. || level >= 1. then invalid_arg "Group_count: level outside (0, 1)";
   let r, indices = group_indices catalog ~relation ~by in
   let big_n = Relation.cardinality r in
   if n <= 0 || n > big_n then invalid_arg "Group_count: sample size out of range";
   let keep = Relational.Predicate.compile (Relation.schema r) where in
   let value = contribution r attribute in
-  let sample = Sampling.Srs.sample_without_replacement rng ~n (Relation.tuples r) in
-  let sums = tally_sums ?domains ~indices ~keep ~value sample in
+  Obs.Metrics.with_span metrics (Printf.sprintf "group-sum %s" relation) @@ fun () ->
+  let sample =
+    Sampling.Srs.sample_without_replacement ~metrics rng ~n (Relation.tuples r)
+  in
+  let sums =
+    Obs.Metrics.time metrics "tally" (fun () -> tally_sums ?domains ~indices ~keep ~value sample)
+  in
   let k = List.length sums in
   let per_group_level = if k = 0 then level else 1. -. ((1. -. level) /. float_of_int k) in
   let big_nf = float_of_int big_n and nf = float_of_int n in

@@ -32,6 +32,7 @@ type result = {
     [level] outside (0, 1). *)
 val estimate :
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->
@@ -61,6 +62,7 @@ val exact :
     tally, domain-count independent). *)
 val estimate_sum :
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->

@@ -60,7 +60,7 @@ let make catalog ~fraction expr =
     ~mode:(fun _ _ population -> Srswor (Sampling.Srs.size_of_fraction ~fraction population))
     expr
 
-let draw rng catalog plan =
+let draw ?(metrics = Obs.Metrics.noop) rng catalog plan =
   let sampled = Catalog.create () in
   let total = ref 0 in
   List.iter
@@ -68,8 +68,15 @@ let draw rng catalog plan =
       let relation = Catalog.find catalog leaf.relation in
       let sample =
         match leaf.mode with
-        | Srswor n -> Sampling.Srs.relation_without_replacement rng ~n relation
-        | Bernoulli p -> Sampling.Bernoulli.relation rng ~p relation
+        | Srswor n -> Sampling.Srs.relation_without_replacement ~metrics rng ~n relation
+        | Bernoulli p ->
+          (* A Bernoulli draw scans the whole leaf (every tuple flips a
+             coin), so the scan cost is the population, not the yield. *)
+          let draws_before = Sampling.Rng.draws rng in
+          let sample = Sampling.Bernoulli.relation rng ~p relation in
+          Obs.Metrics.add_tuples metrics leaf.population;
+          Obs.Metrics.add_rng_draws metrics (Sampling.Rng.draws rng - draws_before);
+          sample
       in
       total := !total + Relation.cardinality sample;
       Catalog.add sampled leaf.alias sample)

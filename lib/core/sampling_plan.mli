@@ -44,7 +44,9 @@ val make_custom :
 (** [draw rng catalog plan] draws the planned samples and returns a
     fresh catalog binding every alias, paired with the total number of
     sampled tuples. *)
-val draw : Sampling.Rng.t -> Relational.Catalog.t -> t -> Relational.Catalog.t * int
+val draw :
+  ?metrics:Obs.Metrics.t ->
+  Sampling.Rng.t -> Relational.Catalog.t -> t -> Relational.Catalog.t * int
 
 (** Expected total sampled tuples of the plan. *)
 val expected_sample_size : t -> float

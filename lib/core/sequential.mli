@@ -31,6 +31,7 @@ type result = {
     @raise Invalid_argument on a non-positive target, batch or level
     outside (0, 1). *)
 val selection :
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->
@@ -48,6 +49,7 @@ val selection :
     {!Count_estimator.estimate}; bit-identical for any domain count). *)
 val two_phase :
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   target:float ->

@@ -77,11 +77,15 @@ let parse_header line =
 let parse_value ty s = if s = "NULL" then Value.Null else Value.of_string ty s
 
 (* Split into records at newlines that are outside quoted fields, so
-   multi-line quoted values survive.  Tolerates CRLF. *)
+   multi-line quoted values survive.  Tolerates CRLF.  Each record is
+   tagged with the 1-based line number it starts on (quoted fields may
+   span lines, so record index and line number can diverge). *)
 let split_records content =
   let records = ref [] in
   let buffer = Buffer.create 128 in
   let in_quotes = ref false in
+  let line = ref 1 in
+  let record_line = ref 1 in
   let flush_record () =
     let record = Buffer.contents buffer in
     Buffer.clear buffer;
@@ -89,7 +93,8 @@ let split_records content =
       let n = String.length record in
       if n > 0 && record.[n - 1] = '\r' then String.sub record 0 (n - 1) else record
     in
-    if record <> "" then records := record :: !records
+    if record <> "" then records := (!record_line, record) :: !records;
+    record_line := !line
   in
   String.iter
     (fun c ->
@@ -97,7 +102,11 @@ let split_records content =
         in_quotes := not !in_quotes;
         Buffer.add_char buffer c
       end
-      else if c = '\n' && not !in_quotes then flush_record ()
+      else if c = '\n' then begin
+        incr line;
+        if !in_quotes then Buffer.add_char buffer c
+        else flush_record ()
+      end
       else Buffer.add_char buffer c)
     content;
   flush_record ();
@@ -107,16 +116,29 @@ let read_string content =
   let lines = split_records content in
   match lines with
   | [] -> failwith "Csv: empty input"
-  | header :: rows ->
-    let schema = parse_header header in
+  | (header_line, header) :: rows ->
+    let schema =
+      try parse_header header
+      with Failure message -> failwith (Printf.sprintf "%s (line %d)" message header_line)
+    in
     let attrs = Array.of_list (Schema.attributes schema) in
-    let parse_row row =
-      let fields = Array.of_list (split_record row) in
+    let parse_row (line, row) =
+      let fields =
+        try Array.of_list (split_record row)
+        with Failure message -> failwith (Printf.sprintf "%s (line %d)" message line)
+      in
       if Array.length fields <> Array.length attrs then
         failwith
-          (Printf.sprintf "Csv: row has %d fields, header has %d" (Array.length fields)
-             (Array.length attrs));
-      Array.mapi (fun i field -> parse_value attrs.(i).Schema.ty field) fields
+          (Printf.sprintf "Csv: line %d: row has %d fields, header has %d" line
+             (Array.length fields) (Array.length attrs));
+      Array.mapi
+        (fun i field ->
+          try parse_value attrs.(i).Schema.ty field
+          with Failure message ->
+            failwith
+              (Printf.sprintf "Csv: line %d, field %d (%s): %s" line (i + 1)
+                 attrs.(i).Schema.name message))
+        fields
     in
     Relation.make schema (List.map parse_row rows)
 

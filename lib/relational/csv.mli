@@ -7,7 +7,10 @@
     lines, and empty fields are written as [""] so single-column empty
     values survive the roundtrip. *)
 
-(** @raise Failure on malformed headers or rows. *)
+(** @raise Failure on malformed headers or rows.  Messages carry the
+    1-based line number, and for value parse failures the 1-based field
+    position and attribute name, so bad rows can be located in large
+    files. *)
 val read_string : string -> Relation.t
 
 val write_string : Relation.t -> string

@@ -26,8 +26,9 @@ let product_like ~keep l r =
   Array.of_list (List.rev !out)
 
 (* Hash join: build on the right side, probe with the left, preserving
-   left-major output order like the nested-loop variants. *)
-let hash_equijoin pairs l r =
+   left-major output order like the nested-loop variants.  [metrics]
+   records per-probe hit/miss counts. *)
+let hash_equijoin ?(metrics = Obs.Metrics.noop) pairs l r =
   let sl = Relation.schema l and sr = Relation.schema r in
   let left_idx =
     Array.of_list (List.map (fun (a, _) -> Schema.index_of sl a) pairs)
@@ -50,8 +51,9 @@ let hash_equijoin pairs l r =
     (fun tl ->
       let key = Tuple.project tl left_idx in
       match Tuple_hash.find_opt table key with
-      | None -> ()
+      | None -> Obs.Metrics.probe_miss metrics
       | Some bucket ->
+        Obs.Metrics.probe_hit metrics;
         List.iter (fun tr -> out := Tuple.concat tl tr :: !out) bucket)
     l;
   Array.of_list (List.rev !out)
@@ -61,7 +63,8 @@ let hash_of_relation relation =
   Relation.iter (fun t -> Tuple_hash.replace table t ()) relation;
   table
 
-let rec eval catalog expr =
+let rec eval ?(metrics = Obs.Metrics.noop) catalog expr =
+  let eval catalog expr = eval ~metrics catalog expr in
   let out_schema = Expr.schema_of catalog expr in
   match expr with
   | Expr.Base name -> Catalog.find catalog name
@@ -76,7 +79,7 @@ let rec eval catalog expr =
     Relation.of_array out_schema (product_like ~keep:(fun _ -> true) rl rr)
   | Expr.Equijoin (pairs, l, r) ->
     let rl = eval catalog l and rr = eval catalog r in
-    Relation.of_array out_schema (hash_equijoin pairs rl rr)
+    Relation.of_array out_schema (hash_equijoin ~metrics pairs rl rr)
   | Expr.Theta_join (p, l, r) ->
     let rl = eval catalog l and rr = eval catalog r in
     let keep = Predicate.compile out_schema p in
@@ -106,4 +109,4 @@ let rec eval catalog expr =
     in
     Relation.of_array out_schema (Array.of_list rows)
 
-let count catalog expr = Relation.cardinality (eval catalog expr)
+let count ?metrics catalog expr = Relation.cardinality (eval ?metrics catalog expr)

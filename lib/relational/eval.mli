@@ -4,9 +4,11 @@
     use hash joins on the equality attributes; θ-joins and products use
     nested loops; set operators hash-deduplicate. *)
 
-(** [eval catalog e] materializes the result relation.
+(** [eval catalog e] materializes the result relation.  [metrics]
+    (default disabled) records hash-probe hits/misses of every
+    equi-join evaluated.
     @raise Failure on schema errors (see {!Expr.schema_of}). *)
-val eval : Catalog.t -> Expr.t -> Relation.t
+val eval : ?metrics:Obs.Metrics.t -> Catalog.t -> Expr.t -> Relation.t
 
 (** [count catalog e] is [Relation.cardinality (eval catalog e)]. *)
-val count : Catalog.t -> Expr.t -> int
+val count : ?metrics:Obs.Metrics.t -> Catalog.t -> Expr.t -> int

@@ -78,7 +78,7 @@ let nested_product ?(keep = fun _ -> true) schema left right =
         right.reset ());
   }
 
-let hash_join schema ~left_key ~right_key left right =
+let hash_join ?(metrics = Obs.Metrics.noop) schema ~left_key ~right_key left right =
   (* Blocking build side; [table = None] marks "not built yet" so reset
      can force a rebuild. *)
   let table = ref None in
@@ -113,9 +113,12 @@ let hash_join schema ~left_key ~right_key left right =
         let key = Tuple.project tl left_key in
         match Tuple_hash.find_opt t key with
         | Some bucket ->
+          Obs.Metrics.probe_hit metrics;
           pending := List.map (fun tr -> Tuple.concat tl tr) bucket;
           pull ()
-        | None -> pull ()))
+        | None ->
+          Obs.Metrics.probe_miss metrics;
+          pull ()))
   in
   {
     schema;
@@ -378,7 +381,8 @@ let aggregate schema ~input_schema ~by ~specs input =
   in
   { schema; next = pull; reset = (fun () -> rows := None) }
 
-let rec of_expr catalog expr =
+let rec of_expr ?(metrics = Obs.Metrics.noop) catalog expr =
+  let of_expr catalog expr = of_expr ~metrics catalog expr in
   let out_schema = Expr.schema_of catalog expr in
   match expr with
   | Expr.Base name -> scan (Catalog.find catalog name)
@@ -401,7 +405,7 @@ let rec of_expr catalog expr =
     let right_key =
       Array.of_list (List.map (fun (_, b) -> Schema.index_of right.schema b) pairs)
     in
-    hash_join out_schema ~left_key ~right_key left right
+    hash_join ~metrics out_schema ~left_key ~right_key left right
   | Expr.Theta_join (p, l, r) ->
     let keep = Predicate.compile out_schema p in
     nested_product ~keep out_schema (of_expr catalog l) (of_expr catalog r)
@@ -435,4 +439,4 @@ let count cursor =
   in
   drain 0
 
-let count_expr catalog expr = count (of_expr catalog expr)
+let count_expr ?metrics catalog expr = count (of_expr ?metrics catalog expr)

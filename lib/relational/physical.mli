@@ -34,8 +34,10 @@ val project : Schema.t -> int array -> cursor -> cursor
 val nested_product : ?keep:(Tuple.t -> bool) -> Schema.t -> cursor -> cursor -> cursor
 
 (** Hash join on positional key pairs; builds on the right input at
-    first pull, streams the left. *)
+    first pull, streams the left.  [metrics] records probe
+    hits/misses. *)
 val hash_join :
+  ?metrics:Obs.Metrics.t ->
   Schema.t -> left_key:int array -> right_key:int array -> cursor -> cursor -> cursor
 
 (** Streaming duplicate elimination (hash set of emitted tuples). *)
@@ -66,7 +68,7 @@ val diff : cursor -> cursor -> cursor
 
 (** Compile an expression to a pipeline.
     @raise Failure on schema errors (as {!Expr.schema_of}). *)
-val of_expr : Catalog.t -> Expr.t -> cursor
+val of_expr : ?metrics:Obs.Metrics.t -> Catalog.t -> Expr.t -> cursor
 
 (** Drain a cursor into a relation. *)
 val run : cursor -> Relation.t
@@ -76,4 +78,4 @@ val count : cursor -> int
 
 (** [count_expr catalog e] = [Eval.count catalog e], constant-memory
     for SPJ pipelines. *)
-val count_expr : Catalog.t -> Expr.t -> int
+val count_expr : ?metrics:Obs.Metrics.t -> Catalog.t -> Expr.t -> int

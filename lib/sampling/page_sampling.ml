@@ -3,16 +3,19 @@ type t = {
   pages : Relational.Tuple.t array array;
 }
 
-let sample rng ~m paged =
+let tuple_count t = Array.fold_left (fun acc page -> acc + Array.length page) 0 t.pages
+
+let sample ?(metrics = Obs.Metrics.noop) rng ~m paged =
   let universe = Relational.Paged.page_count paged in
-  let page_indices = Srs.indices_without_replacement rng ~n:m ~universe in
+  let page_indices = Srs.indices_without_replacement ~metrics rng ~n:m ~universe in
   let pages = Array.map (fun i -> Relational.Paged.page paged i) page_indices in
-  { page_indices; pages }
+  let t = { page_indices; pages } in
+  Obs.Metrics.add_pages metrics m;
+  Obs.Metrics.add_tuples metrics (tuple_count t);
+  t
 
 let to_relation paged t =
   let tuples = Array.concat (Array.to_list t.pages) in
   Relational.Relation.of_array
     (Relational.Relation.schema (Relational.Paged.relation paged))
     tuples
-
-let tuple_count t = Array.fold_left (fun acc page -> acc + Array.length page) 0 t.pages

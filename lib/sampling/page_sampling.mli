@@ -7,8 +7,10 @@ type t = {
   pages : Relational.Tuple.t array array;  (** tuples of each sampled page *)
 }
 
-(** @raise Invalid_argument if [m] is out of range. *)
-val sample : Rng.t -> m:int -> Relational.Paged.t -> t
+(** [metrics] records the [m] pages fetched, the tuples they carry and
+    the index-generation cost (see {!Srs}).
+    @raise Invalid_argument if [m] is out of range. *)
+val sample : ?metrics:Obs.Metrics.t -> Rng.t -> m:int -> Relational.Paged.t -> t
 
 (** All sampled tuples flattened into a relation (the page structure is
     recorded in [t] for the estimator). *)

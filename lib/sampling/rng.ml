@@ -1,4 +1,10 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable draws : int;
+}
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
@@ -18,15 +24,18 @@ let of_seed64 seed64 =
   let s3 = splitmix64 state in
   (* The all-zero state is a fixed point of xoshiro; SplitMix64 cannot
      produce four zero outputs in a row, but guard anyway. *)
-  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
-  else { s0; s1; s2; s3 }
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3; draws = 0 }
+  else { s0; s1; s2; s3; draws = 0 }
 
 let create ~seed () = of_seed64 (Int64.of_int seed)
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3; draws = t.draws }
+
+let draws t = t.draws
 
 (* xoshiro256++ *)
 let bits64 t =
+  t.draws <- t.draws + 1;
   let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
   let tmp = Int64.shift_left t.s1 17 in
   t.s2 <- Int64.logxor t.s2 t.s0;

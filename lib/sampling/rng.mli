@@ -10,8 +10,16 @@ type t
     streams. *)
 val create : seed:int -> unit -> t
 
-(** Independent copy: advancing one does not affect the other. *)
+(** Independent copy: advancing one does not affect the other (the
+    draw counter is copied too). *)
 val copy : t -> t
+
+(** Number of raw 64-bit draws this generator has produced since it was
+    created (or copied).  Children from {!split} start at 0.  Seed and
+    stream position fully determine the count, so it is identical on
+    every run and every domain layout — the metrics layer reports
+    deltas of this counter as the "RNG draws" cost. *)
+val draws : t -> int
 
 (** Derive a statistically independent generator from this one
     (consumes one draw from the parent).  Use to give each replication

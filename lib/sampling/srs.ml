@@ -127,37 +127,64 @@ let method_d rng ~n ~universe =
     indices.(!k) <- !position + min (!big_n - 1) (int_of_float (float_of_int !big_n *. !vprime));
   indices
 
-let indices_without_replacement rng ~n ~universe =
+(* Metrics accounting: the index kernels record the indices generated
+   and the PRNG draws they consumed (delta of the generator's draw
+   counter — exact for both Fisher–Yates and the rejection loops of
+   Algorithm D); the gathers record the tuples materialized.  Counts
+   are derived from the seed-determined stream, so they are identical
+   on every run and every domain layout. *)
+
+let indices_without_replacement ?(metrics = Obs.Metrics.noop) rng ~n ~universe =
   if n < 0 then invalid_arg "Srs: negative sample size";
   if n > universe then invalid_arg "Srs: sample size exceeds universe";
   if n = 0 then [||]
-  else if n = universe then Array.init n (fun i -> i)
-  else if universe <= 16 * n then dense_indices rng ~n ~universe
-  else method_d rng ~n ~universe
+  else begin
+    let draws_before = Rng.draws rng in
+    let indices =
+      if n = universe then Array.init n (fun i -> i)
+      else if universe <= 16 * n then dense_indices rng ~n ~universe
+      else method_d rng ~n ~universe
+    in
+    Obs.Metrics.add_indices metrics n;
+    Obs.Metrics.add_rng_draws metrics (Rng.draws rng - draws_before);
+    indices
+  end
 
-let indices_with_replacement rng ~n ~universe =
+let indices_with_replacement ?(metrics = Obs.Metrics.noop) rng ~n ~universe =
   if n < 0 then invalid_arg "Srs: negative sample size";
   if n > 0 && universe <= 0 then invalid_arg "Srs: empty universe";
-  Array.init n (fun _ -> Rng.int rng universe)
+  let draws_before = Rng.draws rng in
+  let indices = Array.init n (fun _ -> Rng.int rng universe) in
+  Obs.Metrics.add_indices metrics n;
+  Obs.Metrics.add_rng_draws metrics (Rng.draws rng - draws_before);
+  indices
 
-let sample_without_replacement rng ~n array =
-  let indices = indices_without_replacement rng ~n ~universe:(Array.length array) in
+let sample_without_replacement ?metrics rng ~n array =
+  let indices =
+    indices_without_replacement ?metrics rng ~n ~universe:(Array.length array)
+  in
+  Option.iter (fun m -> Obs.Metrics.add_tuples m n) metrics;
   (* Single fused gather: the index array doubles as the output slot
      count, so there is exactly one pass and one result allocation. *)
   Array.map (fun i -> Array.unsafe_get array i) indices
 
-let sample_with_replacement rng ~n array =
-  let indices = indices_with_replacement rng ~n ~universe:(Array.length array) in
+let sample_with_replacement ?metrics rng ~n array =
+  let indices = indices_with_replacement ?metrics rng ~n ~universe:(Array.length array) in
+  Option.iter (fun m -> Obs.Metrics.add_tuples m n) metrics;
   Array.map (fun i -> Array.unsafe_get array i) indices
 
-let relation_without_replacement rng ~n relation =
-  let tuples = sample_without_replacement rng ~n (Relational.Relation.tuples relation) in
+let relation_without_replacement ?metrics rng ~n relation =
+  let tuples =
+    sample_without_replacement ?metrics rng ~n (Relational.Relation.tuples relation)
+  in
   Relational.Relation.of_array (Relational.Relation.schema relation) tuples
 
-let relation_fraction rng ~fraction relation =
+let relation_fraction ?metrics rng ~fraction relation =
   let n = size_of_fraction ~fraction (Relational.Relation.cardinality relation) in
-  relation_without_replacement rng ~n relation
+  relation_without_replacement ?metrics rng ~n relation
 
-let relation_with_replacement rng ~n relation =
-  let tuples = sample_with_replacement rng ~n (Relational.Relation.tuples relation) in
+let relation_with_replacement ?metrics rng ~n relation =
+  let tuples =
+    sample_with_replacement ?metrics rng ~n (Relational.Relation.tuples relation)
+  in
   Relational.Relation.of_array (Relational.Relation.schema relation) tuples

@@ -15,25 +15,36 @@ val size_of_fraction : fraction:float -> int -> int
     Dense draws ([universe <= 16n]) use a partial Fisher–Yates shuffle;
     sparse draws use Vitter's sequential sampling (Algorithm D, TOMS
     1987), which emits the indices already sorted in O(n) expected time
-    with no hashing and O(n) space.
+    with no hashing and O(n) space.  [metrics] (default disabled)
+    records the indices generated and the PRNG draws consumed.
     @raise Invalid_argument if [n < 0] or [n > universe]. *)
-val indices_without_replacement : Rng.t -> n:int -> universe:int -> int array
+val indices_without_replacement :
+  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> universe:int -> int array
 
 (** [indices_with_replacement rng ~n ~universe] draws [n] i.i.d. uniform
     indices (duplicates possible), in draw order.
     @raise Invalid_argument if [n < 0] or [universe <= 0] when [n > 0]. *)
-val indices_with_replacement : Rng.t -> n:int -> universe:int -> int array
+val indices_with_replacement :
+  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> universe:int -> int array
 
-val sample_without_replacement : Rng.t -> n:int -> 'a array -> 'a array
+(** The gather variants additionally record the sampled tuples as
+    tuples scanned. *)
 
-val sample_with_replacement : Rng.t -> n:int -> 'a array -> 'a array
+val sample_without_replacement :
+  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> 'a array -> 'a array
+
+val sample_with_replacement :
+  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> 'a array -> 'a array
 
 (** SRSWOR of a relation at an explicit size. *)
-val relation_without_replacement : Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t
+val relation_without_replacement :
+  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t
 
 (** SRSWOR of a relation at a sampling fraction (see
     {!size_of_fraction}). *)
-val relation_fraction : Rng.t -> fraction:float -> Relational.Relation.t -> Relational.Relation.t
+val relation_fraction :
+  ?metrics:Obs.Metrics.t -> Rng.t -> fraction:float -> Relational.Relation.t -> Relational.Relation.t
 
 (** SRSWR of a relation at an explicit size. *)
-val relation_with_replacement : Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t
+val relation_with_replacement :
+  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> Relational.Relation.t -> Relational.Relation.t

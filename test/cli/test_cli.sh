@@ -65,9 +65,64 @@ out="$("$cli" sweep "$workdir/u.csv" --where "a < 30" --reps 5)"
 echo "$out" | expect "sweep header" "fraction +mean rel.err"
 echo "$out" | expect "sweep rows" "0.200"
 
+# metrics -----------------------------------------------------------------
+out="$("$cli" estimate "$workdir/u.csv" --where "a < 30" -f 0.05 --metrics 2>&1 >/dev/null)"
+echo "$out" | expect "metrics schema" '"raestat-metrics/1"'
+echo "$out" | expect "metrics counters" '"tuples_scanned": 1000'
+echo "$out" | expect "metrics draws" '"rng_draws": [0-9]+'
+
+"$cli" query "select[a < 30](r)" --rel "r=$workdir/u.csv" -f 0.05 -g 4 \
+  --metrics-out "$workdir/m.json" >/dev/null 2>&1
+grep -Eq '"sample_indices": [1-9][0-9]*' "$workdir/m.json" || fail "metrics-out file"
+
+out="$("$cli" query "select[a < 30](r)" --rel "r=$workdir/u.csv" -f 0.05 -g 4 --trace 2>&1 >/dev/null)"
+echo "$out" | expect "trace spans" '"spans"'
+echo "$out" | expect "trace names the expression" '"estimate select'
+
+# the counters line must be bit-identical whatever the domain count
+for d in 1 4; do
+  "$cli" query "select[a < 30](r)" --rel "r=$workdir/u.csv" -f 0.05 -g 8 --domains "$d" \
+    --metrics 2>&1 >/dev/null | grep '"tuples_scanned"' > "$workdir/counters.$d"
+done
+cmp -s "$workdir/counters.1" "$workdir/counters.4" \
+  || fail "metrics counters differ between --domains 1 and 4"
+
 # error handling ---------------------------------------------------------
 if "$cli" estimate "$workdir/u.csv" --where "nonsense" -f 0.05 2>/dev/null; then
   fail "malformed filter accepted"
 fi
+
+# domain errors: one-line message on stderr, exit code 3, no backtrace
+expect_error() { # expect_error <description> <pattern> ... <cli args>
+  local description="$1" pattern="$2"
+  shift 2
+  local output status=0
+  output="$("$cli" "$@" 2>&1 >/dev/null)" && status=0 || status=$?
+  [ "$status" -eq 3 ] || fail "$description: exit $status, wanted 3"
+  echo "$output" | expect "$description message" "^raestat: error: $pattern"
+  echo "$output" | expect_absent "$description backtrace" "Raised at|Called from"
+}
+
+expect_absent() { # expect_absent <description> <pattern> <<< output
+  local description="$1" pattern="$2"
+  if grep -Eq "$pattern"; then fail "$description (unwanted pattern: $pattern)"; fi
+}
+
+expect_error "unknown relation" 'Catalog.find: unknown relation "nosuch"' \
+  query "select[a < 30](nosuch)" --rel "r=$workdir/u.csv" -f 0.05
+
+printf 'a:int\n1\n2,3\n' > "$workdir/bad.csv"
+expect_error "malformed csv" "Csv: line 3: row has 2 fields, header has 1" \
+  estimate "$workdir/bad.csv" --where "a < 30" -f 0.5
+
+printf 'a:int\n1\noops\n' > "$workdir/badval.csv"
+expect_error "csv bad value" 'Csv: line 3, field 1 \(a\)' \
+  estimate "$workdir/badval.csv" --where "a < 30" -f 0.5
+
+expect_error "bad sql" "Sql: " \
+  sql "FROB COUNT(*) FROM r" --rel "r=$workdir/u.csv"
+
+expect_error "missing file" ".*missing.csv: No such file or directory" \
+  query "select[a < 30](r)" --rel "r=$workdir/missing.csv"
 
 echo "CLI TESTS PASSED"

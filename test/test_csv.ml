@@ -54,6 +54,33 @@ let test_malformed_rows () =
   check_fails "wrong field count" "a:int,b:int\n1\n";
   check_fails "non-numeric int" "a:int\nxyz\n"
 
+let test_error_locations () =
+  let message_of text =
+    try
+      ignore (Csv.read_string text);
+      Alcotest.fail "expected a parse failure"
+    with Failure msg -> msg
+  in
+  (* 1-based line numbers, counting the header as line 1. *)
+  let msg = message_of "a:int,b:int\n1,2\n3\n" in
+  Alcotest.(check bool) "field-count line" true
+    (contains_substring ~needle:"line 3" msg);
+  let msg = message_of "a:int,b:int\n1,2\n3,x\n" in
+  Alcotest.(check bool) "value line" true (contains_substring ~needle:"line 3" msg);
+  Alcotest.(check bool) "value field + attribute" true
+    (contains_substring ~needle:"field 2 (b)" msg);
+  let msg = message_of "a:int\n1\nx\n" in
+  Alcotest.(check bool) "first field named" true
+    (contains_substring ~needle:"line 3, field 1 (a)" msg);
+  let msg = message_of "a,b\n1,2\n" in
+  Alcotest.(check bool) "header errors name line 1" true
+    (contains_substring ~needle:"line 1" msg);
+  (* Quoted fields may hold newlines; later rows still report their
+     physical line. *)
+  let msg = message_of "a:string,b:int\n\"two\nlines\",1\nok,x\n" in
+  Alcotest.(check bool) "physical line after embedded newline" true
+    (contains_substring ~needle:"line 4" msg)
+
 let test_crlf_tolerated () =
   let r = Csv.read_string "a:int\r\n1\r\n2\r\n" in
   Alcotest.(check int) "rows" 2 (Relation.cardinality r)
@@ -72,6 +99,7 @@ let suite =
     Alcotest.test_case "header format" `Quick test_header_format;
     Alcotest.test_case "quoting" `Quick test_quoting;
     Alcotest.test_case "malformed rows" `Quick test_malformed_rows;
+    Alcotest.test_case "error locations" `Quick test_error_locations;
     Alcotest.test_case "CRLF tolerated" `Quick test_crlf_tolerated;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
   ]

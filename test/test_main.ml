@@ -19,6 +19,7 @@ let () =
       ("paged", Test_paged.suite);
       ("catalog", Test_catalog.suite);
       ("rng", Test_rng.suite);
+      ("metrics", Test_metrics.suite);
       ("srs", Test_srs.suite);
       ("bernoulli", Test_bernoulli.suite);
       ("reservoir", Test_reservoir.suite);

@@ -1,0 +1,165 @@
+(* The observability sink itself: counters, child/absorb merging,
+   spans, timers and the JSON rendering. *)
+
+module M = Obs.Metrics
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  nl = 0 || loop 0
+
+let test_counters_record () =
+  let m = M.create () in
+  M.add_tuples m 10;
+  M.add_tuples m 5;
+  M.add_pages m 3;
+  M.add_indices m 7;
+  M.probe_hit m;
+  M.probe_hit m;
+  M.probe_miss m;
+  M.add_rng_draws m 20;
+  let s = M.snapshot m in
+  Alcotest.(check int) "tuples" 15 s.M.tuples_scanned;
+  Alcotest.(check int) "pages" 3 s.M.pages_read;
+  Alcotest.(check int) "indices" 7 s.M.sample_indices;
+  Alcotest.(check int) "hits" 2 s.M.hash_probe_hits;
+  Alcotest.(check int) "misses" 1 s.M.hash_probe_misses;
+  Alcotest.(check int) "draws" 20 s.M.rng_draws
+
+let test_noop_drops_everything () =
+  Alcotest.(check bool) "noop disabled" false (M.enabled M.noop);
+  M.add_tuples M.noop 100;
+  M.probe_hit M.noop;
+  M.add_rng_draws M.noop 9;
+  ignore (M.time M.noop "t" (fun () -> 1));
+  ignore (M.with_span M.noop "s" (fun () -> 2));
+  Alcotest.(check bool) "still zero" true (M.counters_equal (M.snapshot M.noop) M.zero);
+  Alcotest.(check int) "no timers" 0 (List.length (M.snapshot M.noop).M.timers);
+  Alcotest.(check int) "no spans" 0 (List.length (M.spans M.noop))
+
+let test_child_absorb () =
+  let parent = M.create () in
+  M.add_tuples parent 1;
+  let c1 = M.child parent and c2 = M.child parent in
+  Alcotest.(check bool) "children enabled" true (M.enabled c1 && M.enabled c2);
+  M.add_tuples c1 10;
+  M.add_rng_draws c2 4;
+  ignore (M.time c1 "work" (fun () -> ()));
+  M.absorb parent c1;
+  M.absorb parent c2;
+  let s = M.snapshot parent in
+  Alcotest.(check int) "tuples merged" 11 s.M.tuples_scanned;
+  Alcotest.(check int) "draws merged" 4 s.M.rng_draws;
+  Alcotest.(check bool) "timer merged" true (List.mem_assoc "work" s.M.timers);
+  (* A child of the noop sink is the noop sink: replicates of an
+     uninstrumented run cost nothing. *)
+  Alcotest.(check bool) "noop child disabled" false (M.enabled (M.child M.noop))
+
+let test_snapshot_diff_merge () =
+  let m = M.create () in
+  M.add_tuples m 10;
+  let before = M.snapshot m in
+  M.add_tuples m 7;
+  M.add_pages m 2;
+  let after = M.snapshot m in
+  let d = M.diff after before in
+  Alcotest.(check int) "diff tuples" 7 d.M.tuples_scanned;
+  Alcotest.(check int) "diff pages" 2 d.M.pages_read;
+  let merged = M.merge before d in
+  Alcotest.(check bool) "merge inverts diff" true (M.counters_equal merged after)
+
+let test_counters_equal_ignores_timers () =
+  let a = M.create () and b = M.create () in
+  M.add_tuples a 5;
+  M.add_tuples b 5;
+  ignore (M.time a "only-in-a" (fun () -> ()));
+  Alcotest.(check bool) "equal despite timers" true
+    (M.counters_equal (M.snapshot a) (M.snapshot b));
+  M.probe_hit b;
+  Alcotest.(check bool) "counter difference detected" false
+    (M.counters_equal (M.snapshot a) (M.snapshot b))
+
+let test_span_nesting () =
+  let m = M.create () in
+  let result =
+    M.with_span m "outer" (fun () ->
+        ignore (M.with_span m "inner-1" (fun () -> 1));
+        ignore (M.with_span m "inner-2" (fun () -> 2));
+        42)
+  in
+  Alcotest.(check int) "result passthrough" 42 result;
+  match M.spans m with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" outer.M.name;
+    Alcotest.(check (list string)) "children in order" [ "inner-1"; "inner-2" ]
+      (List.map (fun s -> s.M.name) outer.M.children);
+    Alcotest.(check bool) "root bounds children" true
+      (outer.M.seconds
+      >= List.fold_left (fun acc s -> acc +. s.M.seconds) 0. outer.M.children)
+  | spans -> Alcotest.failf "expected one root span, got %d" (List.length spans)
+
+let test_span_exception_safe () =
+  let m = M.create () in
+  (try M.with_span m "boom" (fun () -> failwith "x") with Failure _ -> ());
+  ignore (M.with_span m "after" (fun () -> ()));
+  Alcotest.(check (list string)) "both spans closed" [ "boom"; "after" ]
+    (List.map (fun s -> s.M.name) (M.spans m))
+
+let test_time_accumulates () =
+  let m = M.create () in
+  ignore (M.time m "x" (fun () -> ()));
+  ignore (M.time m "x" (fun () -> ()));
+  ignore (M.time m "y" (fun () -> ()));
+  let timers = (M.snapshot m).M.timers in
+  Alcotest.(check int) "two labels" 2 (List.length timers);
+  Alcotest.(check bool) "x nonnegative" true (List.assoc "x" timers >= 0.)
+
+let test_json_shape () =
+  let m = M.create () in
+  M.add_tuples m 3;
+  M.probe_miss m;
+  ignore (M.time m "draw" (fun () -> ()));
+  ignore (M.with_span m "top" (fun () -> ()));
+  let plain = M.to_json m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (contains_substring ~needle plain))
+    [
+      "\"raestat-metrics/1\"";
+      "\"tuples_scanned\": 3";
+      "\"hash_probe_misses\": 1";
+      "\"rng_draws\": 0";
+      "\"draw\"";
+    ];
+  Alcotest.(check bool) "spans off by default" false
+    (contains_substring ~needle:"\"spans\"" plain);
+  let traced = M.to_json ~include_spans:true m in
+  Alcotest.(check bool) "spans on request" true
+    (contains_substring ~needle:"\"top\"" traced);
+  (* The counters object prints on one line so cram tests can grep and
+     compare it across runs. *)
+  let counter_line =
+    List.find_opt
+      (fun line -> contains_substring ~needle:"tuples_scanned" line)
+      (String.split_on_char '\n' plain)
+  in
+  match counter_line with
+  | None -> Alcotest.fail "no counters line"
+  | Some line ->
+    Alcotest.(check bool) "one-line counters" true
+      (contains_substring ~needle:"rng_draws" line)
+
+let suite =
+  [
+    Alcotest.test_case "counters record" `Quick test_counters_record;
+    Alcotest.test_case "noop drops everything" `Quick test_noop_drops_everything;
+    Alcotest.test_case "child/absorb" `Quick test_child_absorb;
+    Alcotest.test_case "snapshot diff/merge" `Quick test_snapshot_diff_merge;
+    Alcotest.test_case "counters_equal ignores timers" `Quick
+      test_counters_equal_ignores_timers;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception-safe" `Quick test_span_exception_safe;
+    Alcotest.test_case "time accumulates" `Quick test_time_accumulates;
+    Alcotest.test_case "json shape" `Quick test_json_shape;
+  ]

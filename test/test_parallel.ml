@@ -152,6 +152,68 @@ let test_group_sum_domains_invariant () =
         b.Raestat.Group_count.estimate.Estimate.variance)
     g1.Raestat.Group_count.groups g4.Raestat.Group_count.groups
 
+(* ------------------------------------------------------------------ *)
+(* Metrics counters must merge to identical totals for any domain
+   count (per-replicate sinks absorbed in replicate order). *)
+
+module M = Obs.Metrics
+
+let check_counters_equal name s1 s4 =
+  Alcotest.(check bool) (name ^ " counters domains-invariant") true
+    (M.counters_equal s1 s4);
+  Alcotest.(check bool) (name ^ " counters nonzero") false (M.counters_equal s1 M.zero)
+
+let test_estimate_metrics_domains_invariant () =
+  let c = catalog 52 in
+  let e = Expr.select (P.le (P.attr "a") (P.vint 80)) (Expr.base "l") in
+  let run domains =
+    let m = M.create () in
+    ignore (CE.estimate ~groups:8 ~domains ~metrics:m (rng ~seed:53 ()) c ~fraction:0.1 e);
+    M.snapshot m
+  in
+  check_counters_equal "estimate" (run 1) (run 4)
+
+let test_equijoin_metrics_domains_invariant () =
+  let c = catalog 54 in
+  let run domains =
+    let m = M.create () in
+    ignore
+      (CE.equijoin ~groups:8 ~domains ~metrics:m (rng ~seed:55 ()) c ~left:"l" ~right:"r"
+         ~on:[ ("a", "a") ] ~fraction:0.4);
+    M.snapshot m
+  in
+  let s1 = run 1 and s4 = run 4 in
+  check_counters_equal "equijoin" s1 s4;
+  Alcotest.(check bool) "probes recorded" true
+    (s1.M.hash_probe_hits + s1.M.hash_probe_misses > 0)
+
+let test_bootstrap_metrics_domains_invariant () =
+  let sample = Array.init 500 (fun i -> float_of_int (i mod 17)) in
+  let statistic xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
+  let run domains =
+    let m = M.create () in
+    ignore
+      (Raestat.Bootstrap.run ~domains ~metrics:m (rng ~seed:56 ()) ~replicates:64
+         ~statistic sample);
+    M.snapshot m
+  in
+  let s1 = run 1 and s4 = run 4 in
+  check_counters_equal "bootstrap" s1 s4;
+  Alcotest.(check int) "resampled indices" (64 * 500) s1.M.sample_indices
+
+let test_group_count_metrics_domains_invariant () =
+  let c = big_catalog 57 in
+  let run domains =
+    let m = M.create () in
+    ignore
+      (Raestat.Group_count.estimate ~domains ~metrics:m (rng ~seed:58 ()) c ~relation:"l"
+         ~by:[ "a" ] ~n:25_000 ());
+    M.snapshot m
+  in
+  let s1 = run 1 and s4 = run 4 in
+  check_counters_equal "group-count" s1 s4;
+  Alcotest.(check int) "sampled tuples" 25_000 s1.M.tuples_scanned
+
 let suite =
   [
     Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
@@ -166,4 +228,12 @@ let suite =
     Alcotest.test_case "group-count domains-invariant" `Quick
       test_group_count_domains_invariant;
     Alcotest.test_case "group-sum domains-invariant" `Quick test_group_sum_domains_invariant;
+    Alcotest.test_case "estimate metrics domains-invariant" `Quick
+      test_estimate_metrics_domains_invariant;
+    Alcotest.test_case "equijoin metrics domains-invariant" `Quick
+      test_equijoin_metrics_domains_invariant;
+    Alcotest.test_case "bootstrap metrics domains-invariant" `Quick
+      test_bootstrap_metrics_domains_invariant;
+    Alcotest.test_case "group-count metrics domains-invariant" `Quick
+      test_group_count_metrics_domains_invariant;
   ]

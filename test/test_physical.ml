@@ -128,7 +128,7 @@ let test_merge_join_matches_hash_join () =
     sorted_tuples (Physical.run joined)
   in
   Alcotest.(check bool) "same result" true
-    (run_with Physical.hash_join = run_with Physical.merge_join)
+    (run_with (Physical.hash_join ?metrics:None) = run_with Physical.merge_join)
 
 let prop_merge_join_equals_hash_join =
   qcheck_case ~count:80 "merge join ≍ hash join on random bags"
@@ -145,7 +145,7 @@ let prop_merge_join_equals_hash_join =
         sorted_tuples
           (Physical.run (maker schema ~left_key:[| 0 |] ~right_key:[| 0 |] left right))
       in
-      build Physical.hash_join = build Physical.merge_join)
+      build (Physical.hash_join ?metrics:None) = build Physical.merge_join)
 
 let prop_engines_agree =
   qcheck_case ~count:60 "engines agree on random set-op inputs"

@@ -69,6 +69,38 @@ let test_selection_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_many_batches_complete () =
+  (* Regression: the stop test once recomputed [List.length !trajectory]
+     every batch, making an n-batch run O(n²).  batch:1 over 10k tuples
+     with an unsatisfiable target forces a census of 10_000 one-tuple
+     batches; the run must stay linear (and the trajectory complete). *)
+  let rng_ = rng ~seed:7 () in
+  let c =
+    Catalog.of_list
+      [
+        ( "r",
+          Workload.Generator.int_relation rng_ ~n:10_000 ~attribute:"a"
+            (Workload.Dist.Uniform { lo = 0; hi = 9 }) );
+      ]
+  in
+  let metrics = Obs.Metrics.create () in
+  (* A zero-hit predicate keeps the point at 0, so no prefix is ever
+     "precise" and the loop must walk every batch to the census. *)
+  let result =
+    Sequential.selection ~metrics (rng ()) c ~relation:"r" ~target:1e-9 ~batch:1 P.False
+  in
+  Alcotest.(check int) "one trajectory point per batch" 10_000
+    (List.length result.Sequential.trajectory);
+  Alcotest.(check int) "census" 10_000 result.Sequential.estimate.Estimate.sample_size;
+  let ns = List.map (fun p -> p.Sequential.n) result.Sequential.trajectory in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "n strictly increasing" true (increasing ns);
+  Alcotest.(check int) "every tuple scanned once" 10_000
+    (Obs.Metrics.snapshot metrics).Obs.Metrics.tuples_scanned
+
 let test_two_phase () =
   let c = catalog () in
   let e = Expr.select pred (Expr.base "r") in
@@ -77,6 +109,38 @@ let test_two_phase () =
     (List.length result.Sequential.trajectory >= 1);
   let truth = float_of_int (Eval.count c e) in
   check_close ~tol:0.3 "estimate sane" truth result.Sequential.estimate.Estimate.point
+
+let test_two_phase_pilot_short_circuit () =
+  (* COUNT of a bare base relation is exact at any fraction (scale × n
+     = N), so every pilot replicate agrees, the variance is 0 and the
+     pilot alone satisfies the target: no final phase runs. *)
+  let c = catalog () in
+  let result =
+    Sequential.two_phase (rng ()) c ~target:0.1 ~pilot_fraction:0.01 (Expr.base "r")
+  in
+  Alcotest.(check bool) "reached" true result.Sequential.reached_target;
+  Alcotest.(check int) "pilot point only" 1 (List.length result.Sequential.trajectory);
+  check_float "exact" 20_000. result.Sequential.estimate.Estimate.point
+
+let test_two_phase_final_fraction_clamps () =
+  (* An unreachably tight target blows the computed final fraction past
+     1; it must clamp to a census, whose replicates all equal the truth
+     — zero variance, so the census does reach the target. *)
+  let c = catalog () in
+  let e = Expr.select pred (Expr.base "r") in
+  let result =
+    Sequential.two_phase (rng ()) c ~target:1e-9 ~pilot_fraction:0.01 ~groups:5 e
+  in
+  Alcotest.(check int) "pilot and final points" 2
+    (List.length result.Sequential.trajectory);
+  let truth = float_of_int (Eval.count c e) in
+  check_float "census point is exact" truth result.Sequential.estimate.Estimate.point;
+  check_float "census variance is zero" 0. result.Sequential.estimate.Estimate.variance;
+  Alcotest.(check bool) "census reaches any positive target" true
+    result.Sequential.reached_target;
+  (* 5 replicates at fraction 1 → the final phase alone reads 5N. *)
+  Alcotest.(check int) "final sample is 5 censuses" (20_000 * 5)
+    result.Sequential.estimate.Estimate.sample_size
 
 let test_two_phase_validation () =
   let c = catalog () in
@@ -99,6 +163,11 @@ let suite =
     Alcotest.test_case "trajectory monotone" `Quick test_trajectory_monotone;
     Alcotest.test_case "zero selectivity exhausts" `Quick test_zero_selectivity_exhausts;
     Alcotest.test_case "selection validation" `Quick test_selection_validation;
+    Alcotest.test_case "10k one-tuple batches complete" `Quick test_many_batches_complete;
     Alcotest.test_case "two-phase" `Quick test_two_phase;
+    Alcotest.test_case "two-phase pilot short-circuit" `Quick
+      test_two_phase_pilot_short_circuit;
+    Alcotest.test_case "two-phase final fraction clamps" `Quick
+      test_two_phase_final_fraction_clamps;
     Alcotest.test_case "two-phase validation" `Quick test_two_phase_validation;
   ]
