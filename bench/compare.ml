@@ -1,0 +1,119 @@
+(* Regression gate over BENCH_micro.json reports.
+
+     dune exec bench/compare.exe -- BASELINE.json FRESH.json [--threshold 0.25]
+
+   Guards the columnar kernel speedups: for every row/columnar pair
+   below, the speedup (row ns / columnar ns) measured in FRESH must not
+   fall more than [threshold] below the speedup recorded in BASELINE.
+   Speedups are within-run ratios, so the check is meaningful across
+   machines and bechamel quotas, unlike absolute nanoseconds (the
+   committed baseline comes from a full-quota run on one box, CI runs
+   --quick on another).
+
+   The reader is a hand-rolled scan of the {"name", "ns_per_run"} rows
+   — no JSON library in the dependency set. *)
+
+(* (row-path bench, columnar bench) pairs under guard. *)
+let guarded_pairs =
+  [
+    ("f1-selection-n5000", "f1-selection-columnar");
+    ("t2-equijoin-1pct", "t2-equijoin-columnar");
+    ("f6-exact-join-baseline", "f6-exact-join-columnar");
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* "raestat/f1-selection-n5000" -> "f1-selection-n5000" *)
+let strip_prefix name =
+  match String.rindex_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let parse_rows content =
+  let len = String.length content in
+  let find_from pos pat =
+    let plen = String.length pat in
+    let rec go i =
+      if i + plen > len then None
+      else if String.sub content i plen = pat then Some (i + plen)
+      else go (i + 1)
+    in
+    go pos
+  in
+  let rec loop pos acc =
+    match find_from pos "\"name\": \"" with
+    | None -> List.rev acc
+    | Some start -> (
+      let stop = String.index_from content start '"' in
+      let name = strip_prefix (String.sub content start (stop - start)) in
+      match find_from stop "\"ns_per_run\": " with
+      | None -> List.rev acc
+      | Some vstart ->
+        let vend = ref vstart in
+        while
+          !vend < len
+          &&
+          match content.[!vend] with
+          | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr vend
+        done;
+        let acc =
+          match float_of_string_opt (String.sub content vstart (!vend - vstart)) with
+          | Some ns -> (name, ns) :: acc
+          | None -> acc (* "null": analysis failed for that row *)
+        in
+        loop !vend acc)
+  in
+  loop 0 []
+
+let speedup rows (row_bench, col_bench) =
+  match (List.assoc_opt row_bench rows, List.assoc_opt col_bench rows) with
+  | Some row_ns, Some col_ns when col_ns > 0. -> Some (row_ns /. col_ns)
+  | _ -> None
+
+let () =
+  let usage () =
+    prerr_endline
+      "usage: compare BASELINE.json FRESH.json [--threshold FRACTION]";
+    exit 2
+  in
+  let baseline_path, fresh_path, threshold =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 0.25)
+    | [ _; b; f; "--threshold"; t ] -> (
+      match float_of_string_opt t with Some t -> (b, f, t) | None -> usage ())
+    | _ -> usage ()
+  in
+  let baseline = parse_rows (read_file baseline_path) in
+  let fresh = parse_rows (read_file fresh_path) in
+  let failed = ref false in
+  Printf.printf "%-28s %10s %10s %8s\n" "kernel pair" "base" "fresh" "verdict";
+  List.iter
+    (fun ((_, col_bench) as pair) ->
+      match (speedup baseline pair, speedup fresh pair) with
+      | Some base_sp, Some fresh_sp ->
+        let floor = base_sp /. (1. +. threshold) in
+        let ok = fresh_sp >= floor in
+        if not ok then failed := true;
+        Printf.printf "%-28s %9.2fx %9.2fx %8s\n" col_bench base_sp fresh_sp
+          (if ok then "ok" else "REGRESSED")
+      | None, Some fresh_sp ->
+        (* New pair: nothing to regress against, just record it. *)
+        Printf.printf "%-28s %10s %9.2fx %8s\n" col_bench "-" fresh_sp "new"
+      | _, None ->
+        (* The fresh run must contain every guarded kernel. *)
+        failed := true;
+        Printf.printf "%-28s %10s %10s %8s\n" col_bench "-" "-" "MISSING")
+    guarded_pairs;
+  if !failed then begin
+    Printf.eprintf
+      "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline\n"
+      (100. *. threshold);
+    exit 1
+  end

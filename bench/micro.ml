@@ -41,7 +41,15 @@ let tests () =
   [
     Test.make ~name:"t1-selection-n500"
       (Staged.stage (fun () -> CE.selection rng catalog ~relation:"r" ~n:500 pred));
+    (* The row/columnar pairs below run the identical workload with the
+       columnar kernels pinned off and on; the compare tool guards the
+       ratio.  The unsuffixed names keep their historical row-path
+       meaning. *)
     Test.make ~name:"t2-equijoin-1pct"
+      (Staged.stage (fun () ->
+           CE.equijoin ~groups:1 ~columnar:false rng catalog ~left:"l" ~right:"rr"
+             ~on:[ ("a", "a") ] ~fraction:0.01));
+    Test.make ~name:"t2-equijoin-columnar"
       (Staged.stage (fun () ->
            CE.equijoin ~groups:1 rng catalog ~left:"l" ~right:"rr" ~on:[ ("a", "a") ]
              ~fraction:0.01));
@@ -63,6 +71,9 @@ let tests () =
           in
           fun () -> Stats.Estimate.ci ~level:0.95 est));
     Test.make ~name:"f1-selection-n5000"
+      (Staged.stage (fun () ->
+           CE.selection ~columnar:false rng catalog ~relation:"r" ~n:5_000 pred));
+    Test.make ~name:"f1-selection-columnar"
       (Staged.stage (fun () -> CE.selection rng catalog ~relation:"r" ~n:5_000 pred));
     Test.make ~name:"f2-join-profile"
       (Staged.stage (fun () -> Raestat.Join_variance.profile r "a"));
@@ -75,6 +86,10 @@ let tests () =
       (let p = Raestat.Join_variance.profile r "a" in
        Staged.stage (fun () -> Raestat.Join_variance.oracle_variance ~q1:0.1 ~q2:0.1 p p));
     Test.make ~name:"f6-exact-join-baseline"
+      (Staged.stage (fun () ->
+           Relational.Eval.count ~columnar:false catalog
+             (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "rr"))));
+    Test.make ~name:"f6-exact-join-columnar"
       (Staged.stage (fun () ->
            Relational.Eval.count catalog
              (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "rr"))));
@@ -191,7 +206,16 @@ let counter_rows () =
   [
     probe "t1-selection-n500" (fun m ->
         CE.selection ~metrics:m rng catalog ~relation:"r" ~n:500 pred);
+    (* The t2 pair draws from identical fresh streams so the JSON
+       records the accounting contract directly: the columnar row shows
+       the same counters (probe hits/misses included) as the row-path
+       row. *)
     probe "t2-equijoin-1pct" (fun m ->
+        let rng = Sampling.Rng.create ~seed:707 () in
+        CE.equijoin ~groups:1 ~metrics:m ~columnar:false rng catalog ~left:"l"
+          ~right:"rr" ~on:[ ("a", "a") ] ~fraction:0.01);
+    probe "t2-equijoin-columnar" (fun m ->
+        let rng = Sampling.Rng.create ~seed:707 () in
         CE.equijoin ~groups:1 ~metrics:m rng catalog ~left:"l" ~right:"rr"
           ~on:[ ("a", "a") ] ~fraction:0.01);
     probe "t4-intersection-2pct" (fun m ->
@@ -199,7 +223,15 @@ let counter_rows () =
     probe "t5-chain-scaleup-5pct" (fun m ->
         CE.estimate ~metrics:m rng tpc ~fraction:0.05 (Workload.Tpc_mini.chain_query ()));
     probe "f1-selection-n5000" (fun m ->
+        CE.selection ~metrics:m ~columnar:false rng catalog ~relation:"r" ~n:5_000 pred);
+    probe "f1-selection-columnar" (fun m ->
         CE.selection ~metrics:m rng catalog ~relation:"r" ~n:5_000 pred);
+    probe "f6-exact-join-baseline" (fun m ->
+        Relational.Eval.count ~metrics:m ~columnar:false catalog
+          (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "rr")));
+    probe "f6-exact-join-columnar" (fun m ->
+        Relational.Eval.count ~metrics:m catalog
+          (Expr.equijoin [ ("a", "a") ] (Expr.base "l") (Expr.base "rr")));
     probe "f3-cluster-m20" (fun m ->
         Raestat.Cluster_estimator.count ~metrics:m rng ~m:20 paged pred);
     probe "f4-sequential-target20pct" (fun m ->

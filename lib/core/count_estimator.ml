@@ -24,7 +24,8 @@ let with_replicate_sinks metrics groups f =
   Array.iter (fun sink -> Metrics.absorb metrics sink) sinks;
   result
 
-let scale_up ?(metrics = Metrics.noop) rng catalog (plan : Sampling_plan.t) =
+let scale_up ?(metrics = Metrics.noop) ?(columnar = true) rng catalog
+    (plan : Sampling_plan.t) =
   let sampled, drawn =
     Metrics.time metrics "draw" (fun () -> Sampling_plan.draw ~metrics rng catalog plan)
   in
@@ -32,14 +33,15 @@ let scale_up ?(metrics = Metrics.noop) rng catalog (plan : Sampling_plan.t) =
      on product-heavy sample evaluations, identical counts. *)
   let count =
     Metrics.time metrics "eval" (fun () ->
-        Relational.Physical.count_expr ~metrics sampled plan.Sampling_plan.expr)
+        Relational.Physical.count_expr ~metrics ~columnar sampled plan.Sampling_plan.expr)
   in
   Estimate.make ~label:"scale-up"
     ~status:(classify plan.Sampling_plan.expr)
     ~sample_size:drawn
     (plan.Sampling_plan.scale *. float_of_int count)
 
-let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) rng catalog ~fraction expr =
+let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) ?(columnar = true) rng
+    catalog ~fraction expr =
   if groups < 1 then invalid_arg "Count_estimator.estimate: groups must be >= 1";
   let status = classify expr in
   Metrics.with_span metrics
@@ -47,7 +49,7 @@ let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) rng catalog ~fract
     (fun () ->
       if groups = 1 then begin
         let plan = Sampling_plan.make catalog ~fraction expr in
-        let e = scale_up ~metrics rng catalog plan in
+        let e = scale_up ~metrics ~columnar rng catalog plan in
         { e with Estimate.status }
       end
       else begin
@@ -60,7 +62,8 @@ let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) rng catalog ~fract
         let points =
           with_replicate_sinks metrics groups (fun sinks ->
               Parallel.replicate_init ?domains rng groups (fun child i ->
-                  (scale_up ~metrics:sinks.(i) child catalog plan).Estimate.point))
+                  (scale_up ~metrics:sinks.(i) ~columnar child catalog plan)
+                    .Estimate.point))
         in
         Metrics.add_rng_draws metrics (Sampling.Rng.draws rng - draws_before);
         let summary = Stats.Summary.of_array points in
@@ -90,15 +93,35 @@ let selection_of_counts ~big_n ~n ~hits =
   in
   Estimate.make ~variance ~label:"selection" ~status:Estimate.Unbiased ~sample_size:n point
 
-let selection ?(metrics = Metrics.noop) rng catalog ~relation ~n predicate =
+let selection ?(metrics = Metrics.noop) ?(columnar = true) rng catalog ~relation ~n
+    predicate =
   Metrics.with_span metrics (Printf.sprintf "selection %s" relation) (fun () ->
       let r = Catalog.find catalog relation in
-      let sample = Sampling.Srs.relation_without_replacement ~metrics rng ~n r in
-      let keep = Relational.Predicate.compile (Relation.schema sample) predicate in
-      let hits = Relation.count keep sample in
+      let hits =
+        if columnar && Relational.Column.enabled () then begin
+          (* Same index stream as the gather path, but the sampled rows
+             are tested in place on the base relation's columnar view —
+             no per-sample tuple materialization, and no index sort
+             (counting is order-insensitive).  The explicit
+             tuples-scanned bump keeps counter totals identical to the
+             gather path, which records its gather as a scan. *)
+          let indices =
+            Sampling.Srs.indices_without_replacement ~metrics ~sorted:false rng ~n
+              ~universe:(Relation.cardinality r)
+          in
+          Metrics.add_tuples metrics n;
+          Relational.Kernel.count_indices (Relation.columnar r) predicate indices
+        end
+        else begin
+          let sample = Sampling.Srs.relation_without_replacement ~metrics rng ~n r in
+          let keep = Relational.Predicate.compile (Relation.schema sample) predicate in
+          Relation.count keep sample
+        end
+      in
       selection_of_counts ~big_n:(Relation.cardinality r) ~n ~hits)
 
-let single_join_point ?(metrics = Metrics.noop) rng catalog ~left ~right ~on ~fraction =
+let single_join_point ?(metrics = Metrics.noop) ?(columnar = true) rng catalog ~left
+    ~right ~on ~fraction =
   let rl = Catalog.find catalog left and rr = Catalog.find catalog right in
   let n1 =
     Sampling.Srs.size_of_fraction ~fraction (Relation.cardinality rl)
@@ -109,7 +132,8 @@ let single_join_point ?(metrics = Metrics.noop) rng catalog ~left ~right ~on ~fr
   let s2 = Sampling.Srs.relation_without_replacement ~metrics rng ~n:n2 rr in
   let sampled = Catalog.of_list [ ("l", s1); ("r", s2) ] in
   let j =
-    Eval.count ~metrics sampled (Expr.equijoin on (Expr.base "l") (Expr.base "r"))
+    Eval.count ~metrics ~columnar sampled
+      (Expr.equijoin on (Expr.base "l") (Expr.base "r"))
   in
   let scale =
     float_of_int (Relation.cardinality rl) /. float_of_int n1
@@ -117,13 +141,13 @@ let single_join_point ?(metrics = Metrics.noop) rng catalog ~left ~right ~on ~fr
   in
   (scale *. float_of_int j, n1 + n2)
 
-let equijoin ?(groups = 8) ?domains ?(metrics = Metrics.noop) rng catalog ~left ~right ~on
-    ~fraction =
+let equijoin ?(groups = 8) ?domains ?(metrics = Metrics.noop) ?(columnar = true) rng
+    catalog ~left ~right ~on ~fraction =
   if groups < 1 then invalid_arg "Count_estimator.equijoin: groups must be >= 1";
   Metrics.with_span metrics (Printf.sprintf "equijoin %s %s" left right) (fun () ->
       if groups = 1 then begin
         let point, drawn =
-          single_join_point ~metrics rng catalog ~left ~right ~on ~fraction
+          single_join_point ~metrics ~columnar rng catalog ~left ~right ~on ~fraction
         in
         Estimate.make ~label:"equijoin" ~status:Estimate.Unbiased ~sample_size:drawn point
       end
@@ -135,8 +159,8 @@ let equijoin ?(groups = 8) ?domains ?(metrics = Metrics.noop) rng catalog ~left 
         let results =
           with_replicate_sinks metrics groups (fun sinks ->
               Parallel.replicate_init ?domains rng groups (fun child i ->
-                  single_join_point ~metrics:sinks.(i) child catalog ~left ~right ~on
-                    ~fraction:sub_fraction))
+                  single_join_point ~metrics:sinks.(i) ~columnar child catalog ~left
+                    ~right ~on ~fraction:sub_fraction))
         in
         Metrics.add_rng_draws metrics (Sampling.Rng.draws rng - draws_before);
         let points = Array.map fst results in

@@ -18,6 +18,7 @@ val classify : Relational.Expr.t -> Stats.Estimate.status
     rewritten expression over the samples, and scales the count. *)
 val scale_up :
   ?metrics:Obs.Metrics.t ->
+  ?columnar:bool ->
   Sampling.Rng.t -> Relational.Catalog.t -> Sampling_plan.t -> Stats.Estimate.t
 
 (** [estimate rng catalog ~fraction e] — scale-up estimate with an
@@ -40,6 +41,7 @@ val estimate :
   ?groups:int ->
   ?domains:int ->
   ?metrics:Obs.Metrics.t ->
+  ?columnar:bool ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   fraction:float ->
@@ -55,6 +57,7 @@ val estimate :
     @raise Invalid_argument if [n] is out of range. *)
 val selection :
   ?metrics:Obs.Metrics.t ->
+  ?columnar:bool ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->
@@ -79,6 +82,7 @@ val equijoin :
   ?groups:int ->
   ?domains:int ->
   ?metrics:Obs.Metrics.t ->
+  ?columnar:bool ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   left:string ->

@@ -1,0 +1,226 @@
+(* Columnar relation storage: per-attribute unboxed arrays built lazily
+   from a row-major tuple array.  See column.mli for the encoding
+   contract. *)
+
+let enabled =
+  (* Read once at startup: the escape hatch must behave identically for
+     every consult in one process. *)
+  let on =
+    match Sys.getenv_opt "RAESTAT_NO_COLUMNAR" with
+    | Some ("1" | "true" | "yes" | "on") -> false
+    | Some _ | None -> true
+  in
+  fun () -> on
+
+module Bitset = struct
+  type t = { length : int; words : int array }
+
+  let bits = Sys.int_size
+
+  let create length = { length; words = Array.make ((length + bits - 1) / bits) 0 }
+
+  let length t = t.length
+
+  let set t i = t.words.(i / bits) <- t.words.(i / bits) lor (1 lsl (i mod bits))
+
+  let get t i = (Array.unsafe_get t.words (i / bits) lsr (i mod bits)) land 1 = 1
+
+  let popcount w =
+    let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+    go w 0
+
+  let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+end
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type col =
+  | Ints of { data : int array; nulls : Bitset.t option }
+  | Floats of { data : floats; nulls : Bitset.t option }
+  | Bools of { data : Bitset.t; nulls : Bitset.t option }
+  | Dict of {
+      codes : int array;
+      dict : string array;
+      lookup : (string, int) Hashtbl.t;
+      has_null : bool;
+    }
+  | Generic of Value.t array
+
+type t = {
+  schema : Schema.t;
+  length : int;
+  tuples : Tuple.t array;
+  (* Both caches are memoized per column on first touch.  Under domains
+     two racers may encode the same column; the encodes are
+     deterministic and the pointer store is atomic, so the race is
+     benign (equal values, last write wins). *)
+  cols : col option array;
+  boxed : Value.t array option array;
+}
+
+let schema t = t.schema
+
+let length t = t.length
+
+let is_null nulls i = match nulls with None -> false | Some ns -> Bitset.get ns i
+
+(* --- encoding -------------------------------------------------------- *)
+
+(* Each encoder walks the column once; a value whose constructor does
+   not match the declared type (possible through the unchecked
+   [Relation.of_array]) aborts the typed encoding and the column falls
+   back to [Generic]. *)
+
+exception Fallback
+
+(* Lazily-created null bitmap: most columns have none. *)
+let mark_null nulls n i =
+  let ns =
+    match !nulls with
+    | Some ns -> ns
+    | None ->
+      let ns = Bitset.create n in
+      nulls := Some ns;
+      ns
+  in
+  Bitset.set ns i
+
+let encode_ints tuples j n =
+  let data = Array.make n 0 in
+  let nulls = ref None in
+  for i = 0 to n - 1 do
+    match Array.unsafe_get (Array.unsafe_get tuples i) j with
+    | Value.Int v -> data.(i) <- v
+    | Value.Null -> mark_null nulls n i
+    | Value.Bool _ | Value.Float _ | Value.Str _ -> raise Fallback
+  done;
+  Ints { data; nulls = !nulls }
+
+let encode_floats tuples j n =
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  let nulls = ref None in
+  for i = 0 to n - 1 do
+    match Array.unsafe_get (Array.unsafe_get tuples i) j with
+    | Value.Float v -> Bigarray.Array1.unsafe_set data i v
+    | Value.Null ->
+      Bigarray.Array1.unsafe_set data i 0.;
+      mark_null nulls n i
+    | Value.Bool _ | Value.Int _ | Value.Str _ -> raise Fallback
+  done;
+  Floats { data; nulls = !nulls }
+
+let encode_bools tuples j n =
+  let data = Bitset.create n in
+  let nulls = ref None in
+  for i = 0 to n - 1 do
+    match Array.unsafe_get (Array.unsafe_get tuples i) j with
+    | Value.Bool true -> Bitset.set data i
+    | Value.Bool false -> ()
+    | Value.Null -> mark_null nulls n i
+    | Value.Int _ | Value.Float _ | Value.Str _ -> raise Fallback
+  done;
+  Bools { data; nulls = !nulls }
+
+let encode_dict tuples j n =
+  let codes = Array.make n (-1) in
+  let lookup = Hashtbl.create 64 in
+  let dict_rev = ref [] in
+  let next = ref 0 in
+  let has_null = ref false in
+  for i = 0 to n - 1 do
+    match Array.unsafe_get (Array.unsafe_get tuples i) j with
+    | Value.Str s ->
+      let code =
+        match Hashtbl.find_opt lookup s with
+        | Some code -> code
+        | None ->
+          let code = !next in
+          incr next;
+          Hashtbl.add lookup s code;
+          dict_rev := s :: !dict_rev;
+          code
+      in
+      codes.(i) <- code
+    | Value.Null -> has_null := true
+    | Value.Bool _ | Value.Int _ | Value.Float _ -> raise Fallback
+  done;
+  let dict = Array.make !next "" in
+  List.iteri (fun k s -> dict.(!next - 1 - k) <- s) !dict_rev;
+  Dict { codes; dict; lookup; has_null = !has_null }
+
+let encode_generic tuples j n = Generic (Array.init n (fun i -> tuples.(i).(j)))
+
+let encode_col tuples j n ty =
+  try
+    match ty with
+    | Value.Tint -> encode_ints tuples j n
+    | Value.Tfloat -> encode_floats tuples j n
+    | Value.Tbool -> encode_bools tuples j n
+    | Value.Tstr -> encode_dict tuples j n
+    | Value.Tnull -> encode_generic tuples j n
+  with Fallback -> encode_generic tuples j n
+
+let of_tuples schema tuples =
+  let arity = Schema.arity schema in
+  {
+    schema;
+    length = Array.length tuples;
+    tuples;
+    cols = Array.make arity None;
+    boxed = Array.make arity None;
+  }
+
+let col t j =
+  match t.cols.(j) with
+  | Some c -> c
+  | None ->
+    let c = encode_col t.tuples j t.length (Schema.attribute t.schema j).Schema.ty in
+    t.cols.(j) <- Some c;
+    c
+
+(* --- decoding -------------------------------------------------------- *)
+
+let value t i j =
+  match col t j with
+  | Ints { data; nulls } ->
+    if is_null nulls i then Value.Null else Value.Int (Array.unsafe_get data i)
+  | Floats { data; nulls } ->
+    if is_null nulls i then Value.Null else Value.Float (Bigarray.Array1.unsafe_get data i)
+  | Bools { data; nulls } ->
+    if is_null nulls i then Value.Null else Value.Bool (Bitset.get data i)
+  | Dict { codes; dict; _ } ->
+    let code = Array.unsafe_get codes i in
+    if code < 0 then Value.Null else Value.Str (Array.unsafe_get dict code)
+  | Generic values -> Array.unsafe_get values i
+
+let values t j =
+  match t.boxed.(j) with
+  | Some vs -> vs
+  | None ->
+    let vs =
+      match col t j with
+      | Generic vs -> vs
+      | _ -> Array.init t.length (fun i -> value t i j)
+    in
+    t.boxed.(j) <- Some vs;
+    vs
+
+let to_tuples t =
+  let arity = Schema.arity t.schema in
+  Array.init t.length (fun i -> Array.init arity (fun j -> value t i j))
+
+let iter_int t j f =
+  match col t j with
+  | Ints { data; nulls = None } ->
+    Array.iter f data;
+    true
+  | Ints _ | Floats _ | Bools _ | Dict _ | Generic _ -> false
+
+let iter_float t j f =
+  match col t j with
+  | Floats { data; nulls = None } ->
+    for i = 0 to t.length - 1 do
+      f (Bigarray.Array1.unsafe_get data i)
+    done;
+    true
+  | Ints _ | Floats _ | Bools _ | Dict _ | Generic _ -> false

@@ -1,0 +1,374 @@
+(* Compiled predicate / join kernels over columnar views.
+
+   Every closure produced here must decide exactly like the row path:
+   [compile view p] agrees with [Predicate.compile (Column.schema view) p]
+   on every row, and the join code spaces agree with [Tuple.equal] on
+   key tuples (so Null keys match Null keys and dictionary codes match
+   exactly the string equalities).  The property tests in
+   test/test_columnar.ml pin this contract. *)
+
+(* Local copy of [Predicate.cmp_holds] (not exported there). *)
+let cmp_holds cmp c =
+  match (cmp : Predicate.cmp) with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(* [cmp_holds cmp (compare k v) = cmp_holds (flip cmp) (compare v k)]:
+   lets Const-vs-Attr reuse the Attr-vs-Const fast path. *)
+let flip = function
+  | (Predicate.Eq | Neq) as cmp -> cmp
+  | Lt -> Predicate.Gt
+  | Le -> Predicate.Ge
+  | Gt -> Predicate.Lt
+  | Ge -> Predicate.Le
+
+let int_test cmp c =
+  match (cmp : Predicate.cmp) with
+  | Eq -> fun v -> v = c
+  | Neq -> fun v -> v <> c
+  | Lt -> fun v -> v < c
+  | Le -> fun v -> v <= c
+  | Gt -> fun v -> v > c
+  | Ge -> fun v -> v >= c
+
+(* Tests [cmp_holds cmp (Float.compare v c)].  Float.compare is a total
+   order with NaN equal to itself and below every other float, so the
+   primitive comparisons need a NaN patch on the Lt/Le side. *)
+let float_test cmp c =
+  if Float.is_nan c then
+    match (cmp : Predicate.cmp) with
+    | Eq | Le -> Float.is_nan
+    | Neq | Gt -> fun v -> not (Float.is_nan v)
+    | Lt -> fun _ -> false
+    | Ge -> fun _ -> true
+  else
+    match (cmp : Predicate.cmp) with
+    | Eq -> fun v -> v = c
+    | Neq -> fun v -> v <> c
+    | Lt -> fun v -> v < c || Float.is_nan v
+    | Le -> fun v -> v <= c || Float.is_nan v
+    | Gt -> fun v -> v > c
+    | Ge -> fun v -> v >= c
+
+let guard_nulls nulls base =
+  match nulls with
+  | None -> base
+  | Some ns -> fun i -> (not (Column.Bitset.get ns i)) && base i
+
+(* Attr-vs-Const over one typed column.  [k] is non-Null here. *)
+let compile_attr_const view j cmp k =
+  match Column.col view j, (k : Value.t) with
+  | _, Value.Null -> fun _ -> false
+  | Column.Ints { data; nulls }, Value.Int c ->
+    let test = int_test cmp c in
+    guard_nulls nulls (fun i -> test (Array.unsafe_get data i))
+  | Column.Ints { data; nulls }, Value.Float c ->
+    let test = float_test cmp c in
+    guard_nulls nulls (fun i -> test (float_of_int (Array.unsafe_get data i)))
+  | Column.Ints { data = _; nulls }, Value.Str _ ->
+    (* rank Int < rank Str: the comparison is a compile-time constant
+       that applies to every non-null row. *)
+    if cmp_holds cmp (-1) then guard_nulls nulls (fun _ -> true) else fun _ -> false
+  | Column.Ints { data = _; nulls }, Value.Bool _ ->
+    if cmp_holds cmp 1 then guard_nulls nulls (fun _ -> true) else fun _ -> false
+  | Column.Floats { data; nulls }, Value.Int c ->
+    let test = float_test cmp (float_of_int c) in
+    guard_nulls nulls (fun i -> test (Bigarray.Array1.unsafe_get data i))
+  | Column.Floats { data; nulls }, Value.Float c ->
+    let test = float_test cmp c in
+    guard_nulls nulls (fun i -> test (Bigarray.Array1.unsafe_get data i))
+  | Column.Floats { data = _; nulls }, Value.Str _ ->
+    if cmp_holds cmp (-1) then guard_nulls nulls (fun _ -> true) else fun _ -> false
+  | Column.Floats { data = _; nulls }, Value.Bool _ ->
+    if cmp_holds cmp 1 then guard_nulls nulls (fun _ -> true) else fun _ -> false
+  | Column.Dict { codes; dict; _ }, Value.Str s ->
+    (* Precompute the verdict per dictionary entry: the scan then tests
+       one byte per row regardless of string lengths. *)
+    let pass = Array.map (fun entry -> cmp_holds cmp (String.compare entry s)) dict in
+    fun i ->
+      let code = Array.unsafe_get codes i in
+      code >= 0 && Array.unsafe_get pass code
+  | Column.Dict { codes; _ }, (Value.Int _ | Value.Float _ | Value.Bool _) ->
+    (* rank Str > every other non-null rank. *)
+    if cmp_holds cmp 1 then fun i -> Array.unsafe_get codes i >= 0 else fun _ -> false
+  | Column.Bools { data; nulls }, Value.Bool b ->
+    let pass_false = cmp_holds cmp (Bool.compare false b) in
+    let pass_true = cmp_holds cmp (Bool.compare true b) in
+    guard_nulls nulls (fun i ->
+        if Column.Bitset.get data i then pass_true else pass_false)
+  | Column.Bools { data = _; nulls }, (Value.Int _ | Value.Float _ | Value.Str _) ->
+    if cmp_holds cmp (-1) then guard_nulls nulls (fun _ -> true) else fun _ -> false
+  | Column.Generic vs, k ->
+    fun i ->
+      (match Array.unsafe_get vs i with
+      | Value.Null -> false
+      | v -> cmp_holds cmp (Value.compare v k))
+
+(* Generic term evaluation over boxed column views — mirrors
+   [Predicate.compile_term] (None = Null). *)
+let rec term_eval view = function
+  | Predicate.Attr name ->
+    let j = Schema.index_of (Column.schema view) name in
+    let vs = Column.values view j in
+    fun i -> (match Array.unsafe_get vs i with Value.Null -> None | v -> Some v)
+  | Predicate.Const Value.Null -> fun _ -> None
+  | Predicate.Const v -> fun _ -> Some v
+  | Predicate.Add (t1, t2) -> arith view ( +. ) t1 t2
+  | Predicate.Sub (t1, t2) -> arith view ( -. ) t1 t2
+  | Predicate.Mul (t1, t2) -> arith view ( *. ) t1 t2
+  | Predicate.Div (t1, t2) -> arith view ( /. ) t1 t2
+
+and arith view op t1 t2 =
+  let f1 = term_eval view t1 and f2 = term_eval view t2 in
+  fun i ->
+    match f1 i, f2 i with
+    | Some v1, Some v2 -> Some (Value.Float (op (Value.to_float v1) (Value.to_float v2)))
+    | None, _ | _, None -> None
+
+let rec compile view (p : Predicate.t) =
+  match p with
+  | Predicate.True -> fun _ -> true
+  | Predicate.False -> fun _ -> false
+  | Predicate.Cmp (cmp, Predicate.Attr name, Predicate.Const k) ->
+    compile_attr_const view (Schema.index_of (Column.schema view) name) cmp k
+  | Predicate.Cmp (cmp, Predicate.Const k, Predicate.Attr name) ->
+    compile_attr_const view (Schema.index_of (Column.schema view) name) (flip cmp) k
+  | Predicate.Cmp (cmp, t1, t2) ->
+    let f1 = term_eval view t1 and f2 = term_eval view t2 in
+    fun i ->
+      (match f1 i, f2 i with
+      | Some v1, Some v2 -> cmp_holds cmp (Value.compare v1 v2)
+      | None, _ | _, None -> false)
+  | Predicate.Between (t, lo, hi) -> (
+    (* lo <= v && v <= hi under Value.compare.  Null bounds collapse at
+       compile time (Null is below every value), but the term must still
+       be resolved so unknown attributes raise like the row path. *)
+    match lo, hi with
+    | _, Value.Null ->
+      let _resolved = term_eval view t in
+      fun _ -> false
+    | Value.Null, hi -> compile view (Predicate.Cmp (Predicate.Le, t, Predicate.Const hi))
+    | lo, hi ->
+      compile view
+        (Predicate.And
+           ( Predicate.Cmp (Predicate.Ge, t, Predicate.Const lo),
+             Predicate.Cmp (Predicate.Le, t, Predicate.Const hi) )))
+  | Predicate.In (t, []) ->
+    let _resolved = term_eval view t in
+    fun _ -> false
+  | Predicate.In (t, vs) ->
+    compile view
+      (List.fold_left
+         (fun acc v -> Predicate.Or (acc, Predicate.Cmp (Predicate.Eq, t, Predicate.Const v)))
+         (Predicate.Cmp (Predicate.Eq, t, Predicate.Const (List.hd vs)))
+         (List.tl vs))
+  | Predicate.And (p1, p2) ->
+    let f1 = compile view p1 and f2 = compile view p2 in
+    fun i -> f1 i && f2 i
+  | Predicate.Or (p1, p2) ->
+    let f1 = compile view p1 and f2 = compile view p2 in
+    fun i -> f1 i || f2 i
+  | Predicate.Not p ->
+    let f = compile view p in
+    fun i -> not (f i)
+
+let count view p =
+  let pred = compile view p in
+  let hits = ref 0 in
+  for i = 0 to Column.length view - 1 do
+    if pred i then incr hits
+  done;
+  !hits
+
+let count_indices view p indices =
+  let pred = compile view p in
+  let hits = ref 0 in
+  Array.iter (fun i -> if pred i then incr hits) indices;
+  !hits
+
+let filter_indices view p =
+  let pred = compile view p in
+  let n = Column.length view in
+  (* Two cheap passes beat accumulating a list: the compiled predicate
+     is branch-predictable and the output is exactly sized. *)
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    if pred i then incr hits
+  done;
+  let out = Array.make !hits 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if pred i then begin
+      Array.unsafe_set out !k i;
+      incr k
+    end
+  done;
+  out
+
+(* --- equijoin key codes ---------------------------------------------- *)
+
+let join_codes l jl r jr =
+  match Column.col l jl, Column.col r jr with
+  | Column.Ints { data = dl; nulls = None }, Column.Ints { data = dr; nulls = None } ->
+    (* Raw ints are their own codes.  A null on either side has no int
+       sentinel available, so those relations take the row path. *)
+    Some (dl, dr)
+  | ( Column.Dict { codes = lcodes; dict = ldict; _ },
+      Column.Dict { codes = rcodes; lookup = rlookup; _ } ) ->
+    (* Remap left codes into the right dictionary.  -1 (Null) maps to
+       -1, so Null keys match Null keys exactly as Tuple.equal does;
+       strings absent from the right get -2, which never appears in
+       right codes. *)
+    let remap =
+      Array.map
+        (fun s -> match Hashtbl.find_opt rlookup s with Some c -> c | None -> -2)
+        ldict
+    in
+    let left =
+      Array.map (fun c -> if c < 0 then -1 else Array.unsafe_get remap c) lcodes
+    in
+    Some (left, rcodes)
+  | (Column.Ints _ | Column.Floats _ | Column.Bools _ | Column.Dict _ | Column.Generic _), _
+    ->
+    None
+
+let build_counts codes =
+  let table = Hashtbl.create (max 16 (Array.length codes)) in
+  Array.iter
+    (fun k ->
+      match Hashtbl.find_opt table k with
+      | Some n -> Hashtbl.replace table k (n + 1)
+      | None -> Hashtbl.add table k 1)
+    codes;
+  table
+
+let equijoin_count ?(metrics = Obs.Metrics.noop) l jl r jr =
+  match join_codes l jl r jr with
+  | None -> None
+  | Some (kl, kr) ->
+    let table = build_counts kr in
+    let total = ref 0 in
+    (* Same probe accounting as the row join: one hit or miss per left
+       tuple. *)
+    Array.iter
+      (fun k ->
+        match Hashtbl.find_opt table k with
+        | Some n ->
+          Obs.Metrics.probe_hit metrics;
+          total := !total + n
+        | None -> Obs.Metrics.probe_miss metrics)
+      kl;
+    Some !total
+
+let equijoin_iter ?(metrics = Obs.Metrics.noop) l jl r jr ~f =
+  match join_codes l jl r jr with
+  | None -> false
+  | Some (kl, kr) ->
+    let table = Hashtbl.create (max 16 (Array.length kr)) in
+    Array.iteri
+      (fun i k ->
+        let bucket = try Hashtbl.find table k with Not_found -> [] in
+        Hashtbl.replace table k (i :: bucket))
+      kr;
+    (* Buckets accumulate reversed; restore build order once so the
+       output matches the row join tuple-for-tuple (left-major, right
+       build order within a bucket). *)
+    Hashtbl.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) table;
+    Array.iteri
+      (fun li k ->
+        match Hashtbl.find_opt table k with
+        | None -> Obs.Metrics.probe_miss metrics
+        | Some bucket ->
+          Obs.Metrics.probe_hit metrics;
+          List.iter (fun ri -> f li ri) bucket)
+      kl;
+    true
+
+(* --- distinct -------------------------------------------------------- *)
+
+(* Canonical per-column int codes: within one column, codes are equal
+   iff the values are Tuple-equal (Value.compare = 0).  Codes from
+   different columns are never compared, so each column may use its own
+   code space. *)
+let is_null_at nulls i =
+  match nulls with None -> false | Some ns -> Column.Bitset.get ns i
+
+let canon_codes view j =
+  let n = Column.length view in
+  match Column.col view j with
+  | Column.Ints { data; nulls = None } -> Some data
+  | Column.Ints { data; nulls = Some ns } ->
+    (* Densify so Null gets a code no int can collide with. *)
+    let tbl = Hashtbl.create 64 in
+    let next = ref 0 in
+    Some
+      (Array.init n (fun i ->
+           if Column.Bitset.get ns i then -1
+           else
+             let v = Array.unsafe_get data i in
+             match Hashtbl.find_opt tbl v with
+             | Some c -> c
+             | None ->
+               let c = !next in
+               incr next;
+               Hashtbl.add tbl v c;
+               c))
+  | Column.Floats { data; nulls } ->
+    (* Float.compare equates -0. with 0. and NaN with NaN, so both are
+       canonicalized before taking bits. *)
+    let tbl = Hashtbl.create 64 in
+    let next = ref 0 in
+    Some
+      (Array.init n (fun i ->
+           if is_null_at nulls i then -1
+           else
+             let v = Bigarray.Array1.unsafe_get data i in
+             let v = if v = 0. then 0. else if Float.is_nan v then Float.nan else v in
+             let bits = Int64.bits_of_float v in
+             match Hashtbl.find_opt tbl bits with
+             | Some c -> c
+             | None ->
+               let c = !next in
+               incr next;
+               Hashtbl.add tbl bits c;
+               c))
+  | Column.Bools { data; nulls } ->
+    Some
+      (Array.init n (fun i ->
+           if is_null_at nulls i then -1 else if Column.Bitset.get data i then 1 else 0))
+  | Column.Dict { codes; _ } -> Some codes
+  | Column.Generic _ -> None
+
+let distinct_indices view =
+  let n = Column.length view in
+  let arity = Schema.arity (Column.schema view) in
+  let rec collect j acc =
+    if j < 0 then Some acc
+    else
+      match canon_codes view j with
+      | Some codes -> collect (j - 1) (codes :: acc)
+      | None -> None
+  in
+  match collect (arity - 1) [] with
+  | None -> None
+  | Some cols ->
+    let cols = Array.of_list cols in
+    (* int array keys: polymorphic hash/equality are exact on them. *)
+    let seen = Hashtbl.create (max 16 n) in
+    let keep = ref [] in
+    let kept = ref 0 in
+    for i = 0 to n - 1 do
+      let key = Array.map (fun codes -> Array.unsafe_get codes i) cols in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        keep := i :: !keep;
+        incr kept
+      end
+    done;
+    let out = Array.make !kept 0 in
+    List.iteri (fun k i -> out.(!kept - 1 - k) <- i) !keep;
+    Some out

@@ -381,11 +381,95 @@ let aggregate schema ~input_schema ~by ~specs input =
   in
   { schema; next = pull; reset = (fun () -> rows := None) }
 
-let rec of_expr ?(metrics = Obs.Metrics.noop) catalog expr =
-  let of_expr catalog expr = of_expr ~metrics catalog expr in
+(* Streaming selection over a base relation through a compiled kernel
+   predicate: identical tuples in identical order to scan-then-filter,
+   but each pull tests unboxed column data instead of a boxed tuple. *)
+let kernel_filter relation p =
+  let pred = Kernel.compile (Relation.columnar relation) p in
+  let n = Relation.cardinality relation in
+  let position = ref 0 in
+  let rec pull () =
+    if !position >= n then None
+    else begin
+      let i = !position in
+      incr position;
+      if pred i then Some (Relation.tuple relation i) else pull ()
+    end
+  in
+  { schema = Relation.schema relation; next = pull; reset = (fun () -> position := 0) }
+
+(* Streaming columnar hash join over two base relations: the build side
+   is an int-code → row-index table.  [None] when the key columns admit
+   no int code space (see Kernel.join_codes).  Output order and
+   per-probe hit/miss accounting match [hash_join] exactly. *)
+let kernel_hash_join ?(metrics = Obs.Metrics.noop) schema l jl r jr =
+  match Kernel.join_codes (Relation.columnar l) jl (Relation.columnar r) jr with
+  | None -> None
+  | Some (kl, kr) ->
+    let lt = Relation.tuples l and rt = Relation.tuples r in
+    let table = ref None in
+    let pending = ref [] in
+    let position = ref 0 in
+    let build () =
+      let t = Hashtbl.create (max 16 (Array.length kr)) in
+      Array.iteri
+        (fun i k ->
+          let bucket = try Hashtbl.find t k with Not_found -> [] in
+          Hashtbl.replace t k (i :: bucket))
+        kr;
+      (* Buckets accumulate reversed; restore build order. *)
+      Hashtbl.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) t;
+      table := Some t
+    in
+    let rec pull () =
+      if !table = None then build ();
+      match !pending with
+      | tuple :: rest ->
+        pending := rest;
+        Some tuple
+      | [] ->
+        if !position >= Array.length kl then None
+        else begin
+          let li = !position in
+          incr position;
+          match Hashtbl.find_opt (Option.get !table) (Array.unsafe_get kl li) with
+          | Some bucket ->
+            Obs.Metrics.probe_hit metrics;
+            pending :=
+              List.map
+                (fun ri -> Tuple.concat lt.(li) (Array.unsafe_get rt ri))
+                bucket;
+            pull ()
+          | None ->
+            Obs.Metrics.probe_miss metrics;
+            pull ()
+        end
+    in
+    Some
+      {
+        schema;
+        next = pull;
+        reset =
+          (fun () ->
+            pending := [];
+            position := 0;
+            table := None);
+      }
+
+(* Columnar cursors engage above this input size: below it the kernel
+   compile/encode overhead exceeds the per-row win. *)
+let kernel_threshold = 1024
+
+let rec of_expr ?(metrics = Obs.Metrics.noop) ?(columnar = true) catalog expr =
+  let of_expr catalog expr = of_expr ~metrics ~columnar catalog expr in
+  let kernels = columnar && Column.enabled () in
   let out_schema = Expr.schema_of catalog expr in
   match expr with
   | Expr.Base name -> scan (Catalog.find catalog name)
+  | Expr.Select (p, Expr.Base name)
+    when kernels && Relation.cardinality (Catalog.find catalog name) >= kernel_threshold
+    ->
+    kernel_filter (Catalog.find catalog name) p
   | Expr.Select (p, e) ->
     let input = of_expr catalog e in
     filter (Predicate.compile input.schema p) input
@@ -398,14 +482,25 @@ let rec of_expr ?(metrics = Obs.Metrics.noop) catalog expr =
   | Expr.Distinct e -> dedup (of_expr catalog e)
   | Expr.Product (l, r) -> nested_product out_schema (of_expr catalog l) (of_expr catalog r)
   | Expr.Equijoin (pairs, l, r) ->
-    let left = of_expr catalog l and right = of_expr catalog r in
-    let left_key =
-      Array.of_list (List.map (fun (a, _) -> Schema.index_of left.schema a) pairs)
+    let row_join () =
+      let left = of_expr catalog l and right = of_expr catalog r in
+      let left_key =
+        Array.of_list (List.map (fun (a, _) -> Schema.index_of left.schema a) pairs)
+      in
+      let right_key =
+        Array.of_list (List.map (fun (_, b) -> Schema.index_of right.schema b) pairs)
+      in
+      hash_join ~metrics out_schema ~left_key ~right_key left right
     in
-    let right_key =
-      Array.of_list (List.map (fun (_, b) -> Schema.index_of right.schema b) pairs)
-    in
-    hash_join ~metrics out_schema ~left_key ~right_key left right
+    (match pairs, l, r with
+    | [ (a, b) ], Expr.Base ln, Expr.Base rn when kernels ->
+      let rl = Catalog.find catalog ln and rr = Catalog.find catalog rn in
+      let jl = Schema.index_of (Relation.schema rl) a in
+      let jr = Schema.index_of (Relation.schema rr) b in
+      (match kernel_hash_join ~metrics out_schema rl jl rr jr with
+      | Some cursor -> cursor
+      | None -> row_join ())
+    | _ -> row_join ())
   | Expr.Theta_join (p, l, r) ->
     let keep = Predicate.compile out_schema p in
     nested_product ~keep out_schema (of_expr catalog l) (of_expr catalog r)
@@ -439,4 +534,5 @@ let count cursor =
   in
   drain 0
 
-let count_expr ?metrics catalog expr = count (of_expr ?metrics catalog expr)
+let count_expr ?metrics ?columnar catalog expr =
+  count (of_expr ?metrics ?columnar catalog expr)

@@ -66,9 +66,14 @@ val diff : cursor -> cursor -> cursor
 
 (** {1 Whole-expression pipelines} *)
 
-(** Compile an expression to a pipeline.
+(** Compile an expression to a pipeline.  When columnar execution is
+    enabled (see {!Column.enabled}) and not pinned off with
+    [~columnar:false], selections over large base relations and
+    single-pair equijoins of base relations with int-codeable keys
+    stream through compiled {!Kernel} closures — identical tuples,
+    order and probe accounting.
     @raise Failure on schema errors (as {!Expr.schema_of}). *)
-val of_expr : ?metrics:Obs.Metrics.t -> Catalog.t -> Expr.t -> cursor
+val of_expr : ?metrics:Obs.Metrics.t -> ?columnar:bool -> Catalog.t -> Expr.t -> cursor
 
 (** Drain a cursor into a relation. *)
 val run : cursor -> Relation.t
@@ -78,4 +83,4 @@ val count : cursor -> int
 
 (** [count_expr catalog e] = [Eval.count catalog e], constant-memory
     for SPJ pipelines. *)
-val count_expr : ?metrics:Obs.Metrics.t -> Catalog.t -> Expr.t -> int
+val count_expr : ?metrics:Obs.Metrics.t -> ?columnar:bool -> Catalog.t -> Expr.t -> int

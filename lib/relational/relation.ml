@@ -1,4 +1,13 @@
-type t = { schema : Schema.t; tuples : Tuple.t array }
+type t = {
+  schema : Schema.t;
+  tuples : Tuple.t array;
+  (* Lazily-built columnar view.  The memoizing store is idempotent
+     (Column.of_tuples is deterministic and O(arity)), so a racing
+     build under domains is benign. *)
+  mutable view : Column.t option;
+}
+
+let mk schema tuples = { schema; tuples; view = None }
 
 let type_ok ty value =
   match value with
@@ -22,9 +31,9 @@ let check_tuple schema tuple =
 
 let make schema tuples =
   List.iter (check_tuple schema) tuples;
-  { schema; tuples = Array.of_list tuples }
+  mk schema (Array.of_list tuples)
 
-let of_array schema tuples = { schema; tuples }
+let of_array schema tuples = mk schema tuples
 
 let schema r = r.schema
 
@@ -36,16 +45,44 @@ let tuples r = r.tuples
 
 let tuple r i = r.tuples.(i)
 
+let columnar r =
+  match r.view with
+  | Some view -> view
+  | None ->
+    let view = Column.of_tuples r.schema r.tuples in
+    r.view <- Some view;
+    view
+
+(* Alias for use where a [?columnar] flag shadows the name. *)
+let view_of = columnar
+
 let iter f r = Array.iter f r.tuples
 
 let fold f init r = Array.fold_left f init r.tuples
 
-let filter p r = { r with tuples = Array.of_seq (Seq.filter p (Array.to_seq r.tuples)) }
+let filter p r = mk r.schema (Array.of_seq (Seq.filter p (Array.to_seq r.tuples)))
 
-let map schema f r = { schema; tuples = Array.map f r.tuples }
+let map schema f r = mk schema (Array.map f r.tuples)
 
 let count p r =
   Array.fold_left (fun acc t -> if p t then acc + 1 else acc) 0 r.tuples
+
+(* Columnar kernels engage above this size: below it the compile +
+   column-encode overhead eats the per-row win. *)
+let kernel_threshold = 1024
+
+let use_kernel columnar r =
+  columnar && Column.enabled () && cardinality r >= kernel_threshold
+
+let count_pred ?(columnar = true) p r =
+  if use_kernel columnar r then Kernel.count (view_of r) p
+  else count (Predicate.compile r.schema p) r
+
+let gather r indices = Array.map (fun i -> Array.unsafe_get r.tuples i) indices
+
+let filter_pred ?(columnar = true) p r =
+  if use_kernel columnar r then mk r.schema (gather r (Kernel.filter_indices (view_of r) p))
+  else filter (Predicate.compile r.schema p) r
 
 module Tuple_hash = Hashtbl.Make (struct
   type t = Tuple.t
@@ -54,7 +91,7 @@ module Tuple_hash = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let distinct r =
+let distinct_rows r =
   let seen = Tuple_hash.create (max 16 (cardinality r)) in
   let keep = ref [] in
   Array.iter
@@ -64,7 +101,14 @@ let distinct r =
         keep := t :: !keep
       end)
     r.tuples;
-  { r with tuples = Array.of_list (List.rev !keep) }
+  mk r.schema (Array.of_list (List.rev !keep))
+
+let distinct r =
+  if Column.enabled () && cardinality r >= 64 then
+    match Kernel.distinct_indices (columnar r) with
+    | Some indices -> mk r.schema (gather r indices)
+    | None -> distinct_rows r
+  else distinct_rows r
 
 let is_set r =
   let seen = Tuple_hash.create (max 16 (cardinality r)) in
@@ -80,14 +124,27 @@ let is_set r =
 
 let column r name =
   let i = Schema.index_of r.schema name in
-  Array.map (fun t -> Tuple.get t i) r.tuples
+  match r.view with
+  | Some view when Column.enabled () -> Column.values view i
+  | Some _ | None -> Array.map (fun t -> Tuple.get t i) r.tuples
+
+(* Resolve the attribute before consulting the columnar switch: an
+   unknown name raises Not_found whether or not columnar execution is
+   enabled. *)
+let iter_column_int r name f =
+  let i = Schema.index_of r.schema name in
+  Column.enabled () && Column.iter_int (columnar r) i f
+
+let iter_column_float r name f =
+  let i = Schema.index_of r.schema name in
+  Column.enabled () && Column.iter_float (columnar r) i f
 
 let append r1 r2 =
   if not (Schema.equal r1.schema r2.schema) then
     invalid_arg "Relation.append: schemas differ";
-  { schema = r1.schema; tuples = Array.append r1.tuples r2.tuples }
+  mk r1.schema (Array.append r1.tuples r2.tuples)
 
-let empty schema = { schema; tuples = [||] }
+let empty schema = mk schema [||]
 
 let to_string ?(limit = 20) r =
   let buffer = Buffer.create 256 in

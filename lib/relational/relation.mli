@@ -38,15 +38,46 @@ val map : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
 (** Number of tuples satisfying the predicate. *)
 val count : (Tuple.t -> bool) -> t -> int
 
-(** Duplicate elimination (set semantics). *)
+(** The relation's columnar view (see {!Column}), built lazily and
+    memoized; repeated calls return the same view, and its per-column
+    encodings are shared by every kernel consumer. *)
+val columnar : t -> Column.t
+
+(** [count_pred p r] counts tuples satisfying the predicate, through
+    the compiled columnar kernel when enabled (see {!Column.enabled})
+    and the relation is large enough to amortize compilation;
+    [~columnar:false] pins the row path.  Results are identical either
+    way.
+    @raise Not_found if [p] mentions an unknown attribute. *)
+val count_pred : ?columnar:bool -> Predicate.t -> t -> int
+
+(** Selection counterpart of {!count_pred}: keeps tuples satisfying the
+    predicate, preserving order. *)
+val filter_pred : ?columnar:bool -> Predicate.t -> t -> t
+
+(** Duplicate elimination (set semantics), keeping first occurrences in
+    order. *)
 val distinct : t -> t
 
 (** Whether the relation contains no duplicate tuples. *)
 val is_set : t -> bool
 
-(** Column values at the given attribute, in tuple order.
+(** Column values at the given attribute, in tuple order.  Served from
+    the memoized columnar view when one has been built (in which case
+    repeated calls share one array — treat it as read-only); otherwise
+    a fresh array is allocated.
     @raise Not_found if the attribute is absent. *)
 val column : t -> string -> Value.t array
+
+(** [iter_column_int r name f] applies [f] to every value of an
+    all-integer, null-free column without allocating; returns [false]
+    (without calling [f]) when the column has nulls, is not stored as
+    ints, or columnar execution is disabled.
+    @raise Not_found if the attribute is absent. *)
+val iter_column_int : t -> string -> (int -> unit) -> bool
+
+(** Float counterpart of {!iter_column_int}. *)
+val iter_column_float : t -> string -> (float -> unit) -> bool
 
 (** Append two relations with equal schemas (bag union).
     @raise Invalid_argument if schemas differ. *)

@@ -28,25 +28,58 @@ let rank = function
   | Int _ | Float _ -> 2
   | Str _ -> 3
 
+(* Same-constructor cases first: the hot paths (column scans, hash
+   joins) compare within one typed column, so int/int, float/float and
+   str/str must dispatch without touching the cross-type logic. *)
 let compare v1 v2 =
   match v1, v2 with
-  | Null, Null -> 0
-  | Bool b1, Bool b2 -> Bool.compare b1 b2
   | Int i1, Int i2 -> Int.compare i1 i2
   | Float f1, Float f2 -> Float.compare f1 f2
+  | Str s1, Str s2 -> String.compare s1 s2
+  | Null, Null -> 0
+  | Bool b1, Bool b2 -> Bool.compare b1 b2
   | Int i1, Float f2 -> Float.compare (float_of_int i1) f2
   | Float f1, Int i2 -> Float.compare f1 (float_of_int i2)
-  | Str s1, Str s2 -> String.compare s1 s2
   | (Null | Bool _ | Int _ | Float _ | Str _), _ ->
     Int.compare (rank v1) (rank v2)
 
-let equal v1 v2 = compare v1 v2 = 0
+let equal v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> i1 = i2
+  | Float f1, Float f2 -> Float.compare f1 f2 = 0
+  | Str s1, Str s2 -> String.equal s1 s2
+  | Null, Null -> true
+  | Bool b1, Bool b2 -> Bool.equal b1 b2
+  | Int i, Float f | Float f, Int i -> Float.compare (float_of_int i) f = 0
+  | (Null | Bool _ | Int _ | Float _ | Str _), _ -> false
+
+(* Ints and floats that compare equal must hash equal (Int 3 vs
+   Float 3.0).  Ints whose float image round-trips — every int a query
+   realistically hashes — take an integer mix with no allocation; the
+   non-round-tripping tail (|i| > 2^53) and genuine floats share the
+   float image, so consistency holds on both sides of the split. *)
+let hash_int i =
+  let h = i lxor (i lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+(* H(float image) — the single function both numeric constructors
+   reduce to, so equal numerics always agree. *)
+let hash_float f =
+  if Float.is_integer f && Float.abs f <= 9007199254740992. (* 2^53 *) then
+    hash_int (int_of_float f)
+  else if Float.is_nan f then 0x7FF8 (* all NaNs compare equal *)
+  else Hashtbl.hash f
 
 let hash = function
   | Null -> 0
   | Bool b -> if b then 2 else 1
-  | Int i -> Hashtbl.hash (float_of_int i)
-  | Float f -> Hashtbl.hash f
+  | Int i ->
+    (* |i| <= 2^53: the float image is exactly i, so H would return
+       [hash_int i] — skip the conversion. *)
+    if i >= -0x20000000000000 && i <= 0x20000000000000 then hash_int i
+    else hash_float (float_of_int i)
+  | Float f -> hash_float f
   | Str s -> Hashtbl.hash s
 
 let to_string = function

@@ -11,7 +11,7 @@ let size_of_fraction ~fraction n =
    Fisher–Yates over an explicit index array.  Shuffling only the first
    n positions costs n swaps; the array is O(universe) but the dense
    guard keeps that within 16n words. *)
-let dense_indices rng ~n ~universe =
+let dense_indices rng ~sorted ~n ~universe =
   let pool = Array.init universe (fun i -> i) in
   for i = 0 to n - 1 do
     let j = i + Rng.int rng (universe - i) in
@@ -20,7 +20,10 @@ let dense_indices rng ~n ~universe =
     pool.(j) <- tmp
   done;
   let indices = Array.sub pool 0 n in
-  Array.sort Int.compare indices;
+  (* The sort costs more than the draws for large dense samples;
+     order-insensitive consumers (the columnar counting kernels) skip
+     it.  The draw stream is identical either way. *)
+  if sorted then Array.sort Int.compare indices;
   indices
 
 (* Sparse draws: Vitter's sequential sampling (Algorithm D with the
@@ -134,7 +137,8 @@ let method_d rng ~n ~universe =
    are derived from the seed-determined stream, so they are identical
    on every run and every domain layout. *)
 
-let indices_without_replacement ?(metrics = Obs.Metrics.noop) rng ~n ~universe =
+let indices_without_replacement ?(metrics = Obs.Metrics.noop) ?(sorted = true) rng
+    ~n ~universe =
   if n < 0 then invalid_arg "Srs: negative sample size";
   if n > universe then invalid_arg "Srs: sample size exceeds universe";
   if n = 0 then [||]
@@ -142,7 +146,7 @@ let indices_without_replacement ?(metrics = Obs.Metrics.noop) rng ~n ~universe =
     let draws_before = Rng.draws rng in
     let indices =
       if n = universe then Array.init n (fun i -> i)
-      else if universe <= 16 * n then dense_indices rng ~n ~universe
+      else if universe <= 16 * n then dense_indices rng ~sorted ~n ~universe
       else method_d rng ~n ~universe
     in
     Obs.Metrics.add_indices metrics n;

@@ -17,9 +17,15 @@ val size_of_fraction : fraction:float -> int -> int
     1987), which emits the indices already sorted in O(n) expected time
     with no hashing and O(n) space.  [metrics] (default disabled)
     records the indices generated and the PRNG draws consumed.
+
+    [~sorted:false] skips the final sort of the dense path (sparse
+    draws are sorted for free): the index {e set}, the PRNG stream and
+    the metrics are identical, only the order is unspecified.
+    Order-insensitive consumers (columnar counting kernels) use it to
+    shed the dominant cost of large dense draws.
     @raise Invalid_argument if [n < 0] or [n > universe]. *)
 val indices_without_replacement :
-  ?metrics:Obs.Metrics.t -> Rng.t -> n:int -> universe:int -> int array
+  ?metrics:Obs.Metrics.t -> ?sorted:bool -> Rng.t -> n:int -> universe:int -> int array
 
 (** [indices_with_replacement rng ~n ~universe] draws [n] i.i.d. uniform
     indices (duplicates possible), in draw order.

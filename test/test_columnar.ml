@@ -1,0 +1,519 @@
+open Helpers
+module Column = Relational.Column
+module Kernel = Relational.Kernel
+module Metrics = Obs.Metrics
+module CE = Raestat.Count_estimator
+
+(* The columnar layer's whole contract is exact agreement with the row
+   path, so almost everything here is a differential property test:
+   generate a random relation (nulls, duplicates, and — through the
+   unchecked [Relation.of_array] — values that contradict the declared
+   column type, which must land in the [Generic] fallback), run both
+   paths, demand identical results. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ty_gen = QCheck.Gen.oneofl [ Value.Tint; Value.Tfloat; Value.Tbool; Value.Tstr ]
+
+(* Small pools keep duplicate rates high; the float pool covers the
+   encoder's edge cases (signed zero, NaN, an integer above 2^53). *)
+let float_pool = [ 0.; -0.; 1.5; -2.25; 3.; Float.nan; 1.8e16 ]
+let str_pool = [ ""; "a"; "b"; "ab"; "z" ]
+
+(* [sloppy] mixes in values whose constructor contradicts the declared
+   type — legal through [Relation.of_array] and the trigger for the
+   Generic column encoding. *)
+let value_gen ~sloppy ty =
+  let open QCheck.Gen in
+  let typed =
+    match ty with
+    | Value.Tint -> map (fun i -> Value.Int i) (int_range (-3) 3)
+    | Value.Tfloat -> map (fun f -> Value.Float f) (oneofl float_pool)
+    | Value.Tbool -> map (fun b -> Value.Bool b) bool
+    | Value.Tstr -> map (fun s -> Value.Str s) (oneofl str_pool)
+    | Value.Tnull -> return Value.Null
+  in
+  let off_type =
+    oneofl [ Value.Int 1; Value.Float 0.5; Value.Str "x"; Value.Bool true ]
+  in
+  frequency
+    ((8, typed) :: (1, return Value.Null)
+    :: (if sloppy then [ (1, off_type) ] else []))
+
+let relation_gen ~sloppy =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun arity ->
+  list_size (return arity) ty_gen >>= fun tys ->
+  let schema =
+    Schema.of_list (List.mapi (fun i ty -> (Printf.sprintf "c%d" i, ty)) tys)
+  in
+  int_range 0 60 >>= fun rows ->
+  list_size (return rows) (flatten_l (List.map (value_gen ~sloppy) tys))
+  >|= fun tuples -> (schema, Array.of_list (List.map Array.of_list tuples))
+
+let const_pool =
+  [
+    Value.Null;
+    Value.Bool true;
+    Value.Bool false;
+    Value.Int 0;
+    Value.Int 2;
+    Value.Int (-1);
+    Value.Float 0.5;
+    Value.Float (-0.);
+    Value.Float Float.nan;
+    Value.Str "a";
+    Value.Str "q";
+  ]
+
+(* Random predicates over the schema's attributes: every comparison
+   shape the kernel lowers (Attr/Const on either side, Between, In,
+   arithmetic terms, boolean connectives) plus cross-type constants. *)
+let pred_gen schema =
+  let open QCheck.Gen in
+  let open Predicate in
+  let attr_t = map (fun a -> Attr a) (oneofl (Schema.names schema)) in
+  let const_t = map (fun v -> Const v) (oneofl const_pool) in
+  let term =
+    frequency
+      [
+        (5, attr_t);
+        (2, const_t);
+        (1, map2 (fun a b -> Add (a, b)) attr_t const_t);
+        (1, map2 (fun a b -> Mul (a, b)) attr_t attr_t);
+      ]
+  in
+  let cmp_gen = oneofl [ Eq; Neq; Lt; Le; Gt; Ge ] in
+  let leaf =
+    frequency
+      [
+        (1, return True);
+        (1, return False);
+        (8, map3 (fun c t1 t2 -> Cmp (c, t1, t2)) cmp_gen term term);
+        ( 2,
+          map3
+            (fun t lo hi -> Between (t, lo, hi))
+            term (oneofl const_pool) (oneofl const_pool) );
+        (2, map2 (fun t vs -> In (t, vs)) term (list_size (int_range 0 3) (oneofl const_pool)));
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (2, map2 (fun a b -> And (a, b)) (self (n - 1)) (self (n - 1)));
+            (2, map2 (fun a b -> Or (a, b)) (self (n - 1)) (self (n - 1)));
+            (1, map (fun a -> Not a) (self (n - 1)));
+          ])
+    2
+
+let scenario_gen ~sloppy =
+  let open QCheck.Gen in
+  relation_gen ~sloppy >>= fun (schema, tuples) ->
+  pred_gen schema >|= fun p -> (schema, tuples, p)
+
+let print_scenario (schema, tuples, _) =
+  Printf.sprintf "%s:\n%s" (Schema.to_string schema)
+    (Relation.to_string (Relation.of_array schema tuples))
+
+let scenario_arb ~sloppy = QCheck.make ~print:print_scenario (scenario_gen ~sloppy)
+
+(* ------------------------------------------------------------------ *)
+(* Round trip                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_identical x y = Value.type_of x = Value.type_of y && Value.compare x y = 0
+
+let prop_roundtrip =
+  qcheck_case ~count:300 "of_tuples |> to_tuples is the identity"
+    (scenario_arb ~sloppy:true)
+    (fun (schema, tuples, _) ->
+      let decoded = Column.to_tuples (Column.of_tuples schema tuples) in
+      Array.length decoded = Array.length tuples
+      && Array.for_all2
+           (fun a b ->
+             Array.length a = Array.length b && Array.for_all2 value_identical a b)
+           decoded tuples)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate kernels                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The row path raises [Invalid_argument] when arithmetic meets a
+   string or bool; the kernel's constant-folded branches may never
+   evaluate such a term.  Ill-typed arithmetic is outside the exact
+   agreement contract, so those scenarios are skipped. *)
+let row_filter schema tuples p =
+  try Some (List.filter (Predicate.compile schema p) (Array.to_list tuples))
+  with Invalid_argument _ -> None
+
+let prop_kernel_pred =
+  qcheck_case ~count:500 "kernel count/filter agree with the row path"
+    (scenario_arb ~sloppy:true)
+    (fun (schema, tuples, p) ->
+      let r = Relation.of_array schema tuples in
+      let view = Relation.columnar r in
+      match row_filter schema tuples p with
+      | None -> true
+      | Some row_kept ->
+        let idx = Kernel.filter_indices view p in
+        Kernel.count view p = List.length row_kept
+        && Array.length idx = List.length row_kept
+        (* the kept rows are the same physical tuples, in the same order *)
+        && List.for_all2
+             (fun i t -> tuples.(i) == t)
+             (Array.to_list idx) row_kept)
+
+let prop_count_indices =
+  qcheck_case ~count:200 "count_indices = row count over the same subset"
+    (scenario_arb ~sloppy:true)
+    (fun (schema, tuples, p) ->
+      let n = Array.length tuples in
+      let view = Column.of_tuples schema tuples in
+      let keep = Predicate.compile schema p in
+      (* every other row, a fixed but non-trivial subset *)
+      let indices = Array.init ((n + 1) / 2) (fun i -> 2 * i) in
+      match
+        Array.fold_left
+          (fun acc i -> if keep tuples.(i) then acc + 1 else acc)
+          0 indices
+      with
+      | exception Invalid_argument _ -> true
+      | expected -> Kernel.count_indices view p indices = expected)
+
+(* Predicates over large relations cross the kernel-engagement
+   threshold inside [Relation.count_pred]/[filter_pred]; the public API
+   must agree with its own row path there too. *)
+let test_count_pred_large () =
+  let n = 3000 in
+  let schema = Schema.of_list [ ("a", Value.Tint); ("s", Value.Tstr) ] in
+  let tuples =
+    Array.init n (fun i ->
+        [|
+          (if i mod 97 = 0 then Value.Null else Value.Int (i * 7919 mod 100));
+          Value.Str (List.nth str_pool (i mod List.length str_pool));
+        |])
+  in
+  let r = Relation.of_array schema tuples in
+  let open Predicate in
+  let preds =
+    [
+      gt (attr "a") (vint 50);
+      And (le (attr "a") (vint 80), eq (attr "s") (vstr "ab"));
+      In (Attr "s", [ Value.Str "a"; Value.Str "z" ]);
+      Between (Attr "a", Value.Int 10, Value.Int 20);
+    ]
+  in
+  List.iteri
+    (fun k p ->
+      let label = Printf.sprintf "pred %d" k in
+      Alcotest.(check int) (label ^ " count")
+        (Relation.count_pred ~columnar:false p r)
+        (Relation.count_pred ~columnar:true p r);
+      let rf = Relation.filter_pred ~columnar:false p r in
+      let cf = Relation.filter_pred ~columnar:true p r in
+      Alcotest.(check int) (label ^ " filter cardinality")
+        (Relation.cardinality rf) (Relation.cardinality cf);
+      Array.iteri
+        (fun i t ->
+          if not (Relation.tuple cf i == t) then
+            Alcotest.failf "%s: filter row %d differs" label i)
+        (Relation.tuples rf))
+    preds
+
+(* Unknown attributes must raise [Not_found] from the kernel exactly
+   like the row compiler, even inside constant-foldable branches. *)
+let test_kernel_not_found () =
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  let view = Column.of_tuples schema [| [| Value.Int 1 |] |] in
+  let open Predicate in
+  List.iter
+    (fun p ->
+      Alcotest.check_raises "unknown attribute" Not_found (fun () ->
+          ignore (Kernel.count view p)))
+    [
+      eq (attr "zz") (vint 1);
+      (* constant-false comparison still resolves its terms *)
+      eq (attr "zz") (const Value.Null);
+      Between (Attr "zz", Value.Int 1, Value.Null);
+      In (Attr "zz", []);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let join_gen =
+  let open QCheck.Gen in
+  oneofl [ `IntClean; `IntNull; `Str; `Float ] >>= fun kind ->
+  let key_gen =
+    let maybe_null g = frequency [ (5, g); (1, return Value.Null) ] in
+    match kind with
+    | `IntClean -> map (fun i -> Value.Int i) (int_range 0 4)
+    | `IntNull -> maybe_null (map (fun i -> Value.Int i) (int_range 0 4))
+    | `Str -> maybe_null (map (fun s -> Value.Str s) (oneofl [ "a"; "b"; "c"; "" ]))
+    | `Float -> maybe_null (map (fun f -> Value.Float f) (oneofl [ 0.; 1.; 2.5 ]))
+  in
+  let key_ty =
+    match kind with
+    | `IntClean | `IntNull -> Value.Tint
+    | `Str -> Value.Tstr
+    | `Float -> Value.Tfloat
+  in
+  let side payload =
+    int_range 0 40 >>= fun rows ->
+    list_size (return rows) (pair key_gen (int_range 0 1000)) >|= fun pairs ->
+    Relation.of_array
+      (Schema.of_list [ ("k", key_ty); (payload, Value.Tint) ])
+      (Array.of_list (List.map (fun (k, v) -> [| k; Value.Int v |]) pairs))
+  in
+  side "lv" >>= fun l ->
+  side "rv" >|= fun r -> (l, r)
+
+let join_arb =
+  QCheck.make
+    ~print:(fun (l, r) ->
+      Printf.sprintf "left:\n%s\nright:\n%s" (Relation.to_string l)
+        (Relation.to_string r))
+    join_gen
+
+let prop_join =
+  qcheck_case ~count:400 "hash_equijoin columnar = row (tuples, order, counters)"
+    join_arb
+    (fun (l, r) ->
+      let m1 = Metrics.create () and m2 = Metrics.create () in
+      let a = Eval.hash_equijoin ~metrics:m1 ~columnar:true [ ("k", "k") ] l r in
+      let b = Eval.hash_equijoin ~metrics:m2 ~columnar:false [ ("k", "k") ] l r in
+      Array.length a = Array.length b
+      && Array.for_all2 Tuple.equal a b
+      && Metrics.counters_equal (Metrics.snapshot m1) (Metrics.snapshot m2))
+
+let prop_join_count =
+  qcheck_case ~count:300 "Eval.count equijoin columnar = row" join_arb
+    (fun (l, r) ->
+      let catalog = Catalog.of_list [ ("l", l); ("r", r) ] in
+      let e = Expr.equijoin [ ("k", "k") ] (Expr.base "l") (Expr.base "r") in
+      let m1 = Metrics.create () and m2 = Metrics.create () in
+      Eval.count ~metrics:m1 ~columnar:true catalog e
+      = Eval.count ~metrics:m2 ~columnar:false catalog e
+      && Metrics.counters_equal (Metrics.snapshot m1) (Metrics.snapshot m2))
+
+(* ------------------------------------------------------------------ *)
+(* Distinct                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reference_distinct tuples =
+  let kept = ref [] in
+  Array.iter
+    (fun t -> if not (List.exists (Tuple.equal t) !kept) then kept := t :: !kept)
+    tuples;
+  List.rev !kept
+
+let prop_distinct =
+  qcheck_case ~count:200 "distinct = first occurrences under Tuple.equal"
+    (scenario_arb ~sloppy:true)
+    (fun (schema, tuples, _) ->
+      if Array.length tuples = 0 then true
+      else begin
+        (* replicate rows past the columnar-distinct threshold so the
+           code path under test actually engages *)
+        let reps = (96 / Array.length tuples) + 1 in
+        let big = Array.concat (List.init reps (fun _ -> tuples)) in
+        let r = Relation.of_array schema big in
+        let expected = reference_distinct big in
+        let got = Relation.tuples (Relation.distinct r) in
+        Array.length got = List.length expected
+        && List.for_all2 (fun g e -> g == e) (Array.to_list got) expected
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Estimators: identical estimates and counters either way             *)
+(* ------------------------------------------------------------------ *)
+
+let big_catalog () =
+  let n = 5000 in
+  let r =
+    Relation.of_array
+      (Schema.of_list [ ("a", Value.Tint); ("s", Value.Tstr) ])
+      (Array.init n (fun i ->
+           [|
+             Value.Int (i * 7919 mod 1000);
+             Value.Str (List.nth str_pool (i mod List.length str_pool));
+           |]))
+  in
+  let s =
+    Relation.of_array
+      (Schema.of_list [ ("b", Value.Tint) ])
+      (Array.init 2000 (fun i -> [| Value.Int (i * 31 mod 1000) |]))
+  in
+  Catalog.of_list [ ("r", r); ("s", s) ]
+
+let check_estimates_equal label (e1 : Stats.Estimate.t) (e2 : Stats.Estimate.t) =
+  check_float (label ^ " point") e2.point e1.point;
+  check_float (label ^ " variance") e2.variance e1.variance;
+  Alcotest.(check int) (label ^ " sample size") e2.sample_size e1.sample_size
+
+let test_selection_estimator_parity () =
+  let catalog = big_catalog () in
+  let p = Predicate.(gt (attr "a") (vint 500)) in
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let e1 =
+    CE.selection ~metrics:m1 ~columnar:true (rng ~seed:7 ()) catalog ~relation:"r"
+      ~n:400 p
+  in
+  let e2 =
+    CE.selection ~metrics:m2 ~columnar:false (rng ~seed:7 ()) catalog ~relation:"r"
+      ~n:400 p
+  in
+  check_estimates_equal "selection" e1 e2;
+  Alcotest.(check bool) "selection counters" true
+    (Metrics.counters_equal (Metrics.snapshot m1) (Metrics.snapshot m2))
+
+let test_equijoin_estimator_parity () =
+  let catalog = big_catalog () in
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let e1 =
+    CE.equijoin ~groups:4 ~metrics:m1 ~columnar:true (rng ~seed:11 ()) catalog
+      ~left:"r" ~right:"s" ~on:[ ("a", "b") ] ~fraction:0.1
+  in
+  let e2 =
+    CE.equijoin ~groups:4 ~metrics:m2 ~columnar:false (rng ~seed:11 ()) catalog
+      ~left:"r" ~right:"s" ~on:[ ("a", "b") ] ~fraction:0.1
+  in
+  check_estimates_equal "equijoin" e1 e2;
+  Alcotest.(check bool) "equijoin counters" true
+    (Metrics.counters_equal (Metrics.snapshot m1) (Metrics.snapshot m2))
+
+let test_estimate_expr_parity () =
+  let catalog = big_catalog () in
+  let e =
+    Expr.select
+      Predicate.(le (attr "a") (vint 700))
+      (Expr.equijoin [ ("a", "b") ] (Expr.base "r") (Expr.base "s"))
+  in
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let e1 =
+    CE.estimate ~groups:3 ~metrics:m1 ~columnar:true (rng ~seed:3 ()) catalog
+      ~fraction:0.05 e
+  in
+  let e2 =
+    CE.estimate ~groups:3 ~metrics:m2 ~columnar:false (rng ~seed:3 ()) catalog
+      ~fraction:0.05 e
+  in
+  check_estimates_equal "estimate" e1 e2;
+  Alcotest.(check bool) "estimate counters" true
+    (Metrics.counters_equal (Metrics.snapshot m1) (Metrics.snapshot m2))
+
+let test_exact_baseline_parity () =
+  let catalog = big_catalog () in
+  let exprs =
+    [
+      Expr.select Predicate.(gt (attr "a") (vint 250)) (Expr.base "r");
+      Expr.equijoin [ ("a", "b") ] (Expr.base "r") (Expr.base "s");
+    ]
+  in
+  List.iteri
+    (fun i e ->
+      Alcotest.(check int)
+        (Printf.sprintf "exact %d" i)
+        (Baselines.Exact.count ~columnar:false catalog e).count
+        (Baselines.Exact.count ~columnar:true catalog e).count)
+    exprs
+
+(* ------------------------------------------------------------------ *)
+(* Storage details                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_column_memoized () =
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  let r = Relation.of_array schema [| [| Value.Int 1 |]; [| Value.Int 2 |] |] in
+  Alcotest.(check bool) "view memoized" true (Relation.columnar r == Relation.columnar r);
+  let c1 = Relation.column r "a" in
+  (* With columnar execution disabled (RAESTAT_NO_COLUMNAR) every call
+     allocates afresh; enabled, the memoized boxed view is shared. *)
+  Alcotest.(check bool) "column sharing follows the columnar switch"
+    (Column.enabled ())
+    (c1 == Relation.column r "a");
+  Alcotest.(check bool) "column values" true
+    (c1 = [| Value.Int 1; Value.Int 2 |])
+
+let test_iter_columns () =
+  let schema =
+    Schema.of_list [ ("a", Value.Tint); ("b", Value.Tfloat); ("c", Value.Tint) ]
+  in
+  let r =
+    Relation.of_array schema
+      [|
+        [| Value.Int 1; Value.Float 0.5; Value.Int 4 |];
+        [| Value.Int 2; Value.Float 1.5; Value.Null |];
+        [| Value.Int 3; Value.Float 2.5; Value.Int 6 |];
+      |]
+  in
+  (* The iterators decline wholesale when columnar execution is
+     disabled; assert the full behavior only when it is on. *)
+  let sum = ref 0 in
+  Alcotest.(check bool) "int iter runs iff enabled" (Column.enabled ())
+    (Relation.iter_column_int r "a" (fun v -> sum := !sum + v));
+  if Column.enabled () then Alcotest.(check int) "int sum" 6 !sum;
+  let fsum = ref 0. in
+  Alcotest.(check bool) "float iter runs iff enabled" (Column.enabled ())
+    (Relation.iter_column_float r "b" (fun v -> fsum := !fsum +. v));
+  if Column.enabled () then check_float "float sum" 4.5 !fsum;
+  Alcotest.(check bool) "nullable column declines" false
+    (Relation.iter_column_int r "c" (fun _ -> Alcotest.fail "called on nulls"));
+  Alcotest.(check bool) "wrong type declines" false
+    (Relation.iter_column_int r "b" (fun _ -> Alcotest.fail "called on floats"));
+  Alcotest.check_raises "missing attribute" Not_found (fun () ->
+      ignore (Relation.iter_column_int r "zz" ignore))
+
+let test_generic_fallback () =
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  let view =
+    Column.of_tuples schema [| [| Value.Int 1 |]; [| Value.Float 2.5 |] |]
+  in
+  (match Column.col view 0 with
+  | Column.Generic vs -> Alcotest.(check int) "generic length" 2 (Array.length vs)
+  | _ -> Alcotest.fail "mistyped column should encode as Generic");
+  (* kernels still agree on generically-stored columns *)
+  Alcotest.(check int) "kernel count over Generic" 1
+    (Kernel.count view Predicate.(gt (attr "a") (vint 1)))
+
+let test_bitset () =
+  let module B = Column.Bitset in
+  let b = B.create 131 in
+  Alcotest.(check int) "fresh popcount" 0 (B.count b);
+  List.iter (B.set b) [ 0; 1; 63; 64; 65; 130 ];
+  Alcotest.(check int) "popcount" 6 (B.count b);
+  Alcotest.(check bool) "get set" true (B.get b 64);
+  Alcotest.(check bool) "get clear" false (B.get b 2);
+  Alcotest.(check int) "length" 131 (B.length b)
+
+let suite =
+  [
+    prop_roundtrip;
+    prop_kernel_pred;
+    prop_count_indices;
+    Alcotest.test_case "count_pred/filter_pred over large relations" `Quick
+      test_count_pred_large;
+    Alcotest.test_case "kernel raises Not_found like the row compiler" `Quick
+      test_kernel_not_found;
+    prop_join;
+    prop_join_count;
+    prop_distinct;
+    Alcotest.test_case "selection estimator parity" `Quick
+      test_selection_estimator_parity;
+    Alcotest.test_case "equijoin estimator parity" `Quick
+      test_equijoin_estimator_parity;
+    Alcotest.test_case "scale-up estimate parity" `Quick test_estimate_expr_parity;
+    Alcotest.test_case "exact baseline parity" `Quick test_exact_baseline_parity;
+    Alcotest.test_case "column memoization" `Quick test_column_memoized;
+    Alcotest.test_case "allocation-free column iteration" `Quick test_iter_columns;
+    Alcotest.test_case "Generic fallback on mistyped columns" `Quick
+      test_generic_fallback;
+    Alcotest.test_case "bitset" `Quick test_bitset;
+  ]

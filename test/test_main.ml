@@ -8,6 +8,7 @@ let () =
       ("schema", Test_schema.suite);
       ("tuple", Test_tuple.suite);
       ("relation", Test_relation.suite);
+      ("columnar", Test_columnar.suite);
       ("predicate", Test_predicate.suite);
       ("expr", Test_expr.suite);
       ("eval", Test_eval.suite);

@@ -81,6 +81,61 @@ let prop_equal_hash =
   qcheck_case "equal implies same hash" (QCheck.pair value_arb value_arb)
     (fun (v1, v2) -> (not (Value.equal v1 v2)) || Value.hash v1 = Value.hash v2)
 
+(* The documented total order, written out naively with no fast paths.
+   The optimized [Value.compare] (same-constructor dispatch first) must
+   preserve it exactly, including at the edges the generator below
+   stresses: integers beyond 2^53, NaN, signed zero, infinities, and
+   numerically-equal [Int]/[Float] pairs. *)
+let reference_compare v1 v2 =
+  let rank = function
+    | Value.Null -> 0
+    | Value.Bool _ -> 1
+    | Value.Int _ | Value.Float _ -> 2
+    | Value.Str _ -> 3
+  in
+  if rank v1 <> rank v2 then Int.compare (rank v1) (rank v2)
+  else
+    match (v1, v2) with
+    | Value.Null, Value.Null -> 0
+    | Value.Bool b1, Value.Bool b2 -> Bool.compare b1 b2
+    | Value.Str s1, Value.Str s2 -> String.compare s1 s2
+    | Value.Int i1, Value.Int i2 -> Int.compare i1 i2
+    | Value.Float f1, Value.Float f2 -> Float.compare f1 f2
+    | Value.Int i1, Value.Float f2 -> Float.compare (float_of_int i1) f2
+    | Value.Float f1, Value.Int i2 -> Float.compare f1 (float_of_int i2)
+    | _ -> assert false
+
+let edge_value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        value_gen;
+        oneofl
+          [
+            Value.Int max_int;
+            Value.Int min_int;
+            Value.Int ((1 lsl 53) + 1);
+            Value.Int 7;
+            Value.Float 7.;
+            Value.Float Float.nan;
+            Value.Float 0.;
+            Value.Float (-0.);
+            Value.Float Float.infinity;
+            Value.Float Float.neg_infinity;
+            Value.Float (float_of_int (1 lsl 53));
+          ];
+      ])
+
+let edge_value_arb = QCheck.make ~print:Value.to_string edge_value_gen
+
+let sign n = Stdlib.compare n 0
+
+let prop_order_preserved =
+  qcheck_case ~count:2000 "compare preserves the documented total order"
+    (QCheck.pair edge_value_arb edge_value_arb) (fun (v1, v2) ->
+      sign (Value.compare v1 v2) = sign (reference_compare v1 v2)
+      && Value.equal v1 v2 = (reference_compare v1 v2 = 0))
+
 let suite =
   [
     Alcotest.test_case "type_of" `Quick test_type_of;
@@ -95,4 +150,5 @@ let suite =
     prop_compare_antisymmetric;
     prop_compare_reflexive;
     prop_equal_hash;
+    prop_order_preserved;
   ]
