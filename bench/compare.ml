@@ -77,6 +77,98 @@ let speedup rows (row_bench, col_bench) =
   | Some row_ns, Some col_ns when col_ns > 0. -> Some (row_ns /. col_ns)
   | _ -> None
 
+(* --- counter identity ---------------------------------------------------
+
+   The work counters riding along in the report (--metrics runs) are
+   seed-fixed and part of the reproducibility contract: for these rows
+   they must be *identical* to the committed baseline, not merely
+   close.  An estimator refactor that draws one extra sample or probes
+   one extra bucket shows up here even when timings are unchanged. *)
+
+let counter_keys =
+  [
+    "tuples_scanned";
+    "pages_read";
+    "sample_indices";
+    "hash_probe_hits";
+    "hash_probe_misses";
+    "rng_draws";
+  ]
+
+let guarded_counter_rows =
+  [
+    "f1-selection-n5000";
+    "f1-selection-columnar";
+    "t2-equijoin-1pct";
+    "t2-equijoin-columnar";
+  ]
+
+(* Row objects are one-per-line; pull the {…} containing the name and
+   read each counter's integer out of it. *)
+let row_counters content name =
+  let pat = Printf.sprintf "\"name\": \"raestat/%s\"" name in
+  let len = String.length content and plen = String.length pat in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub content i plen = pat then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = try String.index_from content start '}' with Not_found -> len - 1 in
+    let row = String.sub content start (stop - start) in
+    let value key =
+      let kpat = Printf.sprintf "\"%s\": " key in
+      let klen = String.length kpat and rlen = String.length row in
+      let rec kfind i =
+        if i + klen > rlen then None
+        else if String.sub row i klen = kpat then Some (i + klen)
+        else kfind (i + 1)
+      in
+      match kfind 0 with
+      | None -> None
+      | Some vstart ->
+        let vend = ref vstart in
+        while !vend < rlen && (match row.[!vend] with '0' .. '9' -> true | _ -> false) do
+          incr vend
+        done;
+        int_of_string_opt (String.sub row vstart (!vend - vstart))
+    in
+    Some (List.map (fun key -> (key, value key)) counter_keys)
+
+let check_counters ~failed baseline fresh =
+  Printf.printf "\n%-28s %s\n" "counter row" "verdict";
+  List.iter
+    (fun name ->
+      match (row_counters baseline name, row_counters fresh name) with
+      | None, _ ->
+        (* Baseline lacks the row (e.g. a run without --metrics):
+           nothing to compare against. *)
+        Printf.printf "%-28s %s\n" name "no baseline counters"
+      | Some _, None ->
+        failed := true;
+        Printf.printf "%-28s %s\n" name "MISSING in fresh report"
+      | Some base, Some fresh_row ->
+        let diffs =
+          List.filter_map
+            (fun (key, base_v) ->
+              let fresh_v = List.assoc key fresh_row in
+              if base_v = fresh_v then None
+              else
+                Some
+                  (Printf.sprintf "%s %s->%s" key
+                     (match base_v with Some v -> string_of_int v | None -> "-")
+                     (match fresh_v with Some v -> string_of_int v | None -> "-")))
+            base
+        in
+        if diffs = [] then Printf.printf "%-28s %s\n" name "identical"
+        else begin
+          failed := true;
+          Printf.printf "%-28s DRIFTED: %s\n" name (String.concat ", " diffs)
+        end)
+    guarded_counter_rows
+
 let () =
   let usage () =
     prerr_endline
@@ -90,8 +182,10 @@ let () =
       match float_of_string_opt t with Some t -> (b, f, t) | None -> usage ())
     | _ -> usage ()
   in
-  let baseline = parse_rows (read_file baseline_path) in
-  let fresh = parse_rows (read_file fresh_path) in
+  let baseline_content = read_file baseline_path in
+  let fresh_content = read_file fresh_path in
+  let baseline = parse_rows baseline_content in
+  let fresh = parse_rows fresh_content in
   let failed = ref false in
   Printf.printf "%-28s %10s %10s %8s\n" "kernel pair" "base" "fresh" "verdict";
   List.iter
@@ -111,9 +205,11 @@ let () =
         failed := true;
         Printf.printf "%-28s %10s %10s %8s\n" col_bench "-" "-" "MISSING")
     guarded_pairs;
+  check_counters ~failed baseline_content fresh_content;
   if !failed then begin
     Printf.eprintf
-      "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline\n"
+      "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline \
+       or a guarded counter row drifted\n"
       (100. *. threshold);
     exit 1
   end

@@ -94,6 +94,20 @@ let resolve_domains d = if d = 0 then Raestat.Parallel.auto () else d
 
 let rng_of_seed seed = Sampling.Rng.create ~seed ()
 
+(* Range guards for the numeric options.  The comparisons are written
+   so NaN fails them too: downstream the sampling layer's checks use
+   plain [<] / [>], which NaN slips through, surfacing as a misleading
+   error (or, worse, a silently NaN result).  Routed through [Failure]
+   into the one-line `raestat: error:` / exit-3 contract. *)
+
+let check_fraction fraction =
+  if not (fraction > 0. && fraction <= 1.) then
+    failwith (Printf.sprintf "--fraction %g outside (0, 1]" fraction)
+
+let check_unit_open ~option value =
+  if not (value > 0. && value < 1.) then
+    failwith (Printf.sprintf "%s %g outside (0, 1)" option value)
+
 (* --- metrics ----------------------------------------------------------- *)
 
 let metrics_flag =
@@ -145,6 +159,12 @@ let with_metrics (enabled, trace, out) f =
 let load_catalog bindings =
   Relational.Catalog.of_list
     (List.map (fun (name, path) -> (name, Relational.Csv.load path)) bindings)
+
+(* NAME=PATH binding for the --rel option of query/sql/plan/explain. *)
+let parse_binding spec =
+  match String.index_opt spec '=' with
+  | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
 
 (* --- generate --------------------------------------------------------- *)
 
@@ -212,6 +232,8 @@ let exact_cmd =
 
 let estimate_cmd =
   let run seed path predicate fraction level metrics_opts =
+    check_fraction fraction;
+    check_unit_open ~option:"--level" level;
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("r", path) ] in
     let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
@@ -236,6 +258,7 @@ let estimate_cmd =
 
 let join_cmd =
   let run seed left right on fraction check domains metrics_opts =
+    check_fraction fraction;
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("l", left); ("r", right) ] in
     let left_attr, right_attr =
@@ -279,6 +302,7 @@ let join_cmd =
 
 let distinct_cmd =
   let run seed path column fraction =
+    check_fraction fraction;
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("r", path) ] in
     let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
@@ -315,13 +339,8 @@ let distinct_cmd =
 
 let query_cmd =
   let run seed bindings text fraction groups check domains metrics_opts =
+    check_fraction fraction;
     let rng = rng_of_seed seed in
-    let parse_binding spec =
-      match String.index_opt spec '=' with
-      | Some i ->
-        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
-      | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
-    in
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Parser.parse_expr text in
     let est =
@@ -371,13 +390,8 @@ let query_cmd =
 
 let sql_cmd =
   let run seed bindings text fraction groups check domains metrics_opts =
+    check_fraction fraction;
     let rng = rng_of_seed seed in
-    let parse_binding spec =
-      match String.index_opt spec '=' with
-      | Some i ->
-        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
-      | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
-    in
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Sql.parse_optimized catalog text in
     (* SELECT COUNT( * ) asks for a cardinality: estimate the inner
@@ -425,6 +439,9 @@ let sql_cmd =
 
 let quantile_cmd =
   let run seed path column tau fraction level =
+    check_fraction fraction;
+    check_unit_open ~option:"--level" level;
+    check_unit_open ~option:"--tau" tau;
     let rng = rng_of_seed seed in
     let catalog = load_catalog [ ("r", path) ] in
     let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
@@ -457,13 +474,8 @@ let quantile_cmd =
 
 let plan_cmd =
   let run seed bindings join_specs fraction =
+    check_fraction fraction;
     let rng = rng_of_seed seed in
-    let parse_binding spec =
-      match String.index_opt spec '=' with
-      | Some i ->
-        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
-      | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
-    in
     let bindings = List.map parse_binding bindings in
     let catalog = load_catalog bindings in
     let inputs =
@@ -537,6 +549,105 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Relative error vs sampling fraction for a filter")
     Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ reps_arg)
 
+(* --- explain ------------------------------------------------------------ *)
+
+(* Each sub-command builds the estimation plan exactly as the matching
+   estimator command would — same relation aliases, same sample sizes,
+   same replicate-group defaults — and prints it without running it. *)
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the plan as JSON (schema raestat-explain/1).")
+
+let print_plan ~json plan =
+  if json then print_endline (Raestat.Estplan.to_json plan)
+  else print_string (Raestat.Estplan.render plan)
+
+let explain_estimate_cmd =
+  let run path predicate fraction json =
+    check_fraction fraction;
+    let catalog = load_catalog [ ("r", path) ] in
+    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
+    let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+    print_plan ~json (Raestat.Estplan.selection_plan catalog ~relation:"r" ~n predicate)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Explain the plan behind $(b,raestat estimate)")
+    Term.(const run $ csv_arg 0 "DATA" $ where_arg $ fraction_arg $ json_flag)
+
+let explain_join_cmd =
+  let run left right on fraction json =
+    check_fraction fraction;
+    let catalog = load_catalog [ ("l", left); ("r", right) ] in
+    let left_attr, right_attr =
+      match String.split_on_char '=' on with
+      | [ a; b ] -> (String.trim a, String.trim b)
+      | _ -> failwith "--on expects LEFT_ATTR=RIGHT_ATTR"
+    in
+    print_plan ~json
+      (Raestat.Estplan.equijoin_plan catalog ~left:"l" ~right:"r"
+         ~on:[ (left_attr, right_attr) ] ~fraction ~groups:8)
+  in
+  let on_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "on" ] ~docv:"A=B" ~doc:"Join condition LEFT_ATTR=RIGHT_ATTR.")
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Explain the plan behind $(b,raestat join)")
+    Term.(const run $ csv_arg 0 "LEFT" $ csv_arg 1 "RIGHT" $ on_arg $ fraction_arg
+          $ json_flag)
+
+let explain_bindings_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "rel"; "r" ] ~docv:"NAME=PATH" ~doc:"Bind a relation name to a CSV file.")
+
+let explain_groups_arg =
+  Arg.(value & opt int 5 & info [ "groups"; "g" ] ~docv:"G" ~doc:"Replicate groups.")
+
+let explain_query_cmd =
+  let run bindings text fraction groups json =
+    check_fraction fraction;
+    let catalog = load_catalog (List.map parse_binding bindings) in
+    let expr = Relational.Parser.parse_expr text in
+    print_plan ~json (Raestat.Estplan.compile ~groups catalog ~fraction expr)
+  in
+  let text_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"EXPR" ~doc:"Relational algebra expression (Parser syntax).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Explain the plan behind $(b,raestat query)")
+    Term.(const run $ explain_bindings_arg $ text_arg $ fraction_arg $ explain_groups_arg
+          $ json_flag)
+
+let explain_sql_cmd =
+  let run bindings text fraction groups json =
+    check_fraction fraction;
+    let catalog = load_catalog (List.map parse_binding bindings) in
+    let expr = Relational.Sql.parse_optimized catalog text in
+    let expr = Option.value (Relational.Sql.count_star_target expr) ~default:expr in
+    print_plan ~json (Raestat.Estplan.compile ~groups catalog ~fraction expr)
+  in
+  let text_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"SQL query (SELECT subset; see Relational.Sql).")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Explain the plan behind $(b,raestat sql)")
+    Term.(const run $ explain_bindings_arg $ text_arg $ fraction_arg $ explain_groups_arg
+          $ json_flag)
+
+let explain_cmd =
+  Cmd.group
+    (Cmd.info "explain"
+       ~doc:"Print the compiled estimation plan (tree or JSON) without running it")
+    [ explain_estimate_cmd; explain_join_cmd; explain_query_cmd; explain_sql_cmd ]
+
 let () =
   let info =
     Cmd.info "raestat" ~version:"1.0.0"
@@ -545,7 +656,7 @@ let () =
   let group =
     Cmd.group info [ generate_cmd; exact_cmd; estimate_cmd; join_cmd;
                      distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
-                     plan_cmd; sweep_cmd ]
+                     plan_cmd; sweep_cmd; explain_cmd ]
   in
   (* [~catch:false] so domain errors reach us instead of cmdliner's
      backtrace printer: a missing relation, a malformed CSV or a SQL

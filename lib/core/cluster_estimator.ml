@@ -1,5 +1,4 @@
 module Paged = Relational.Paged
-module Estimate = Stats.Estimate
 
 type result = {
   estimate : Stats.Estimate.t;
@@ -7,32 +6,19 @@ type result = {
   tuples_read : int;
 }
 
+(* Front-end over the cluster-expansion strategy of {!Estplan}: the
+   engine draws the pages, expands by M/m and attaches the SRSWOR
+   variance over per-page measures. *)
+
 let estimate ?(metrics = Obs.Metrics.noop) rng ~m paged ~measure =
   let big_m = Paged.page_count paged in
   if m < 1 || m > big_m then
-    invalid_arg
-      (Printf.sprintf "Cluster_estimator: m=%d out of range [1, %d]" m big_m);
+    invalid_arg (Printf.sprintf "Cluster_estimator: m=%d out of range [1, %d]" m big_m);
   Obs.Metrics.with_span metrics (Printf.sprintf "cluster m=%d" m) @@ fun () ->
-  let sample = Sampling.Page_sampling.sample ~metrics rng ~m paged in
-  let values = Array.map measure sample.Sampling.Page_sampling.pages in
-  let summary = Stats.Summary.of_array values in
-  let big_mf = float_of_int big_m and mf = float_of_int m in
-  let point = big_mf /. mf *. Stats.Summary.total summary in
-  let variance =
-    if m < 2 then Float.nan
-    else
-      big_mf *. big_mf
-      *. (1. -. (mf /. big_mf))
-      *. Stats.Summary.variance summary /. mf
+  let estimate, pages_read, tuples_read =
+    Estplan.run_cluster ~metrics rng paged (Estplan.cluster_plan paged ~m ()) ~measure
   in
-  let tuples_read = Sampling.Page_sampling.tuple_count sample in
-  {
-    estimate =
-      Estimate.make ~variance ~label:"cluster" ~status:Estimate.Unbiased
-        ~sample_size:tuples_read point;
-    pages_read = m;
-    tuples_read;
-  }
+  { estimate; pages_read; tuples_read }
 
 let count ?metrics rng ~m paged predicate =
   let schema = Relational.Relation.schema (Paged.relation paged) in

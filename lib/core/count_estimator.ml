@@ -1,175 +1,47 @@
 module Expr = Relational.Expr
 module Catalog = Relational.Catalog
 module Relation = Relational.Relation
-module Eval = Relational.Eval
-module Estimate = Stats.Estimate
-
 module Metrics = Obs.Metrics
+
+(* Thin strategy front-end: every entry point compiles its arguments to
+   an {!Estplan} plan and delegates draw/evaluate/scale/variance to the
+   IR engine.  This module owns only argument validation (with its
+   historical messages), span labels and strategy choice. *)
 
 let classify expr =
   if Expr.has_dedup expr then Stats.Estimate.Consistent else Stats.Estimate.Unbiased
 
-(* Metrics accounting convention, shared by every estimator here: the
-   sampling/eval layers record their own counters via the threaded
-   sink, replicated paths give each replicate a fresh [Metrics.child]
-   sink (so domains never share a mutable sink) and absorb them in
-   replicate order after the join — integer counters merge by addition,
-   so totals are bit-identical for any domain count.  The parent
-   generator's own draws (the serial [Rng.split]s) are recorded as a
-   delta of its draw counter. *)
-
-let with_replicate_sinks metrics groups f =
-  let sinks = Array.init groups (fun _ -> Metrics.child metrics) in
-  let result = f sinks in
-  Array.iter (fun sink -> Metrics.absorb metrics sink) sinks;
-  result
-
-let scale_up ?(metrics = Metrics.noop) ?(columnar = true) rng catalog
-    (plan : Sampling_plan.t) =
-  let sampled, drawn =
-    Metrics.time metrics "draw" (fun () -> Sampling_plan.draw ~metrics rng catalog plan)
-  in
-  (* The streaming engine avoids materializing intermediates — cheaper
-     on product-heavy sample evaluations, identical counts. *)
-  let count =
-    Metrics.time metrics "eval" (fun () ->
-        Relational.Physical.count_expr ~metrics ~columnar sampled plan.Sampling_plan.expr)
-  in
-  Estimate.make ~label:"scale-up"
-    ~status:(classify plan.Sampling_plan.expr)
-    ~sample_size:drawn
-    (plan.Sampling_plan.scale *. float_of_int count)
+let scale_up ?metrics ?columnar rng catalog (plan : Sampling_plan.t) =
+  Estplan.run ?metrics ?columnar rng catalog (Estplan.of_sampling_plan plan)
 
 let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) ?(columnar = true) rng
     catalog ~fraction expr =
   if groups < 1 then invalid_arg "Count_estimator.estimate: groups must be >= 1";
-  let status = classify expr in
   Metrics.with_span metrics
     (Printf.sprintf "estimate %s" (Relational.Parser.print_expr expr))
     (fun () ->
-      if groups = 1 then begin
-        let plan = Sampling_plan.make catalog ~fraction expr in
-        let e = scale_up ~metrics ~columnar rng catalog plan in
-        { e with Estimate.status }
-      end
-      else begin
-        (* g independent replicates; the mean keeps the status of a single
-           replicate and gains an honest variance estimate s²/g.  Each
-           replicate runs on its own split stream, so the points (and the
-           variance computed from them) are identical for any [domains]. *)
-        let plan = Sampling_plan.make catalog ~fraction expr in
-        let draws_before = Sampling.Rng.draws rng in
-        let points =
-          with_replicate_sinks metrics groups (fun sinks ->
-              Parallel.replicate_init ?domains rng groups (fun child i ->
-                  (scale_up ~metrics:sinks.(i) ~columnar child catalog plan)
-                    .Estimate.point))
-        in
-        Metrics.add_rng_draws metrics (Sampling.Rng.draws rng - draws_before);
-        let summary = Stats.Summary.of_array points in
-        let variance = Stats.Summary.variance summary /. float_of_int groups in
-        let drawn =
-          groups * int_of_float (Float.round (Sampling_plan.expected_sample_size plan))
-        in
-        Estimate.make ~variance ~label:"scale-up (replicated)" ~status ~sample_size:drawn
-          (Stats.Summary.mean summary)
-      end)
+      Estplan.run ?domains ~metrics ~columnar rng catalog
+        (Estplan.compile ~groups catalog ~fraction expr))
 
 let selection_of_counts ~big_n ~n ~hits =
   if n <= 0 || n > big_n then
     invalid_arg "Count_estimator.selection_of_counts: sample size out of range";
   if hits < 0 || hits > n then
     invalid_arg "Count_estimator.selection_of_counts: hits out of range";
-  let big_nf = float_of_int big_n and nf = float_of_int n in
-  let p_hat = float_of_int hits /. nf in
-  let point = big_nf *. p_hat in
-  let variance =
-    if n < 2 then Float.nan
-    else
-      big_nf *. big_nf
-      *. (1. -. (nf /. big_nf))
-      *. p_hat *. (1. -. p_hat)
-      /. (nf -. 1.)
-  in
-  Estimate.make ~variance ~label:"selection" ~status:Estimate.Unbiased ~sample_size:n point
+  Estplan.binomial_estimate ~big_n ~n ~hits ()
 
 let selection ?(metrics = Metrics.noop) ?(columnar = true) rng catalog ~relation ~n
     predicate =
   Metrics.with_span metrics (Printf.sprintf "selection %s" relation) (fun () ->
-      let r = Catalog.find catalog relation in
-      let hits =
-        if columnar && Relational.Column.enabled () then begin
-          (* Same index stream as the gather path, but the sampled rows
-             are tested in place on the base relation's columnar view —
-             no per-sample tuple materialization, and no index sort
-             (counting is order-insensitive).  The explicit
-             tuples-scanned bump keeps counter totals identical to the
-             gather path, which records its gather as a scan. *)
-          let indices =
-            Sampling.Srs.indices_without_replacement ~metrics ~sorted:false rng ~n
-              ~universe:(Relation.cardinality r)
-          in
-          Metrics.add_tuples metrics n;
-          Relational.Kernel.count_indices (Relation.columnar r) predicate indices
-        end
-        else begin
-          let sample = Sampling.Srs.relation_without_replacement ~metrics rng ~n r in
-          let keep = Relational.Predicate.compile (Relation.schema sample) predicate in
-          Relation.count keep sample
-        end
-      in
-      selection_of_counts ~big_n:(Relation.cardinality r) ~n ~hits)
-
-let single_join_point ?(metrics = Metrics.noop) ?(columnar = true) rng catalog ~left
-    ~right ~on ~fraction =
-  let rl = Catalog.find catalog left and rr = Catalog.find catalog right in
-  let n1 =
-    Sampling.Srs.size_of_fraction ~fraction (Relation.cardinality rl)
-  and n2 =
-    Sampling.Srs.size_of_fraction ~fraction (Relation.cardinality rr)
-  in
-  let s1 = Sampling.Srs.relation_without_replacement ~metrics rng ~n:n1 rl in
-  let s2 = Sampling.Srs.relation_without_replacement ~metrics rng ~n:n2 rr in
-  let sampled = Catalog.of_list [ ("l", s1); ("r", s2) ] in
-  let j =
-    Eval.count ~metrics ~columnar sampled
-      (Expr.equijoin on (Expr.base "l") (Expr.base "r"))
-  in
-  let scale =
-    float_of_int (Relation.cardinality rl) /. float_of_int n1
-    *. (float_of_int (Relation.cardinality rr) /. float_of_int n2)
-  in
-  (scale *. float_of_int j, n1 + n2)
+      Estplan.run ~metrics ~columnar rng catalog
+        (Estplan.selection_plan catalog ~relation ~n predicate))
 
 let equijoin ?(groups = 8) ?domains ?(metrics = Metrics.noop) ?(columnar = true) rng
     catalog ~left ~right ~on ~fraction =
   if groups < 1 then invalid_arg "Count_estimator.equijoin: groups must be >= 1";
   Metrics.with_span metrics (Printf.sprintf "equijoin %s %s" left right) (fun () ->
-      if groups = 1 then begin
-        let point, drawn =
-          single_join_point ~metrics ~columnar rng catalog ~left ~right ~on ~fraction
-        in
-        Estimate.make ~label:"equijoin" ~status:Estimate.Unbiased ~sample_size:drawn point
-      end
-      else begin
-        (* Each replicate runs at fraction/groups so the total tuples drawn
-           match a single draw at [fraction]. *)
-        let sub_fraction = fraction /. float_of_int groups in
-        let draws_before = Sampling.Rng.draws rng in
-        let results =
-          with_replicate_sinks metrics groups (fun sinks ->
-              Parallel.replicate_init ?domains rng groups (fun child i ->
-                  single_join_point ~metrics:sinks.(i) ~columnar child catalog ~left
-                    ~right ~on ~fraction:sub_fraction))
-        in
-        Metrics.add_rng_draws metrics (Sampling.Rng.draws rng - draws_before);
-        let points = Array.map fst results in
-        let drawn = Array.fold_left (fun acc (_, d) -> acc + d) 0 results in
-        let summary = Stats.Summary.of_array points in
-        let variance = Stats.Summary.variance summary /. float_of_int groups in
-        Estimate.make ~variance ~label:"equijoin (replicated)" ~status:Estimate.Unbiased
-          ~sample_size:drawn (Stats.Summary.mean summary)
-      end)
+      Estplan.run ?domains ~metrics ~columnar rng catalog
+        (Estplan.equijoin_plan catalog ~left ~right ~on ~fraction ~groups))
 
 let equijoin_indexed ?index ?(metrics = Metrics.noop) rng catalog ~left ~right ~on ~n =
   let left_attr, right_attr = on in
@@ -183,31 +55,14 @@ let equijoin_indexed ?index ?(metrics = Metrics.noop) rng catalog ~left ~right ~
       if Relational.Index.attributes index <> [ right_attr ] then
         invalid_arg "Count_estimator.equijoin_indexed: index on the wrong attribute";
       index
-    | None -> Relational.Index.build (Catalog.find catalog right) ~attributes:[ right_attr ]
+    | None ->
+      Relational.Index.build (Catalog.find catalog right) ~attributes:[ right_attr ]
   in
   let key_pos = Relational.Schema.index_of (Relation.schema rl) left_attr in
-  let sample = Sampling.Srs.sample_without_replacement ~metrics rng ~n (Relation.tuples rl) in
-  (* Per-tuple degree is an exact lookup, so the estimator reduces to a
-     mean expansion with the usual SRSWOR variance.  Each index lookup
-     is one hash probe; zero degree is a miss. *)
-  let degrees =
-    Array.map
-      (fun t ->
-        let d = Relational.Index.count index [ Relational.Tuple.get t key_pos ] in
-        if d > 0 then Metrics.probe_hit metrics else Metrics.probe_miss metrics;
-        float_of_int d)
-      sample
-  in
-  let summary = Stats.Summary.of_array degrees in
-  let big_nf = float_of_int big_n and nf = float_of_int n in
-  let point = big_nf *. Stats.Summary.mean summary in
-  let variance =
-    if n < 2 then Float.nan
-    else
-      big_nf *. big_nf *. (1. -. (nf /. big_nf)) *. Stats.Summary.variance summary /. nf
-  in
-  Estimate.make ~variance ~label:"equijoin (indexed)" ~status:Estimate.Unbiased
-    ~sample_size:n point
+  let degree t = Relational.Index.count index [ Relational.Tuple.get t key_pos ] in
+  Estplan.run_indexed_degree ~metrics rng catalog
+    (Estplan.indexed_join_plan catalog ~left ~right ~on ~n)
+    ~degree
 
 (* Set-operation support.  Operands must be duplicate-free: the
    intersection estimator counts value matches, which only equals the
@@ -217,65 +72,21 @@ let checked_set catalog name =
   let r = Catalog.find catalog name in
   if not (Relation.is_set r) then
     invalid_arg
-      (Printf.sprintf "Count_estimator: relation %S contains duplicates; set operators need sets"
+      (Printf.sprintf
+         "Count_estimator: relation %S contains duplicates; set operators need sets"
          name);
   r
 
-(* Intersection size estimate with analytic variance.
-
-   X = |S_A ∩ S_B| is a sum over the K = |A ∩ B| common tuples of
-   I_A(v)·I_B(v).  With SRSWOR, P(v ∈ S_A) = p1 = n1/N1 and
-   P(v,w ∈ S_A) = r1 = n1(n1−1)/(N1(N1−1)), so
-     E[X]  = K·p1·p2
-     Var X = K·p1p2(1−p1p2) + K(K−1)(r1·r2 − p1²p2²).
-   The estimator is K̂ = X/(p1 p2); its variance plugs K̂ into the
-   formula. *)
-let intersection_core ?(metrics = Metrics.noop) rng ~left_rel ~right_rel ~fraction =
-  let n1 = Sampling.Srs.size_of_fraction ~fraction (Relation.cardinality left_rel) in
-  let n2 = Sampling.Srs.size_of_fraction ~fraction (Relation.cardinality right_rel) in
-  let s1 = Sampling.Srs.relation_without_replacement ~metrics rng ~n:n1 left_rel in
-  let s2 = Sampling.Srs.relation_without_replacement ~metrics rng ~n:n2 right_rel in
-  let sampled = Catalog.of_list [ ("l", s1); ("r", s2) ] in
-  let x = Eval.count ~metrics sampled (Expr.inter (Expr.base "l") (Expr.base "r")) in
-  let big_n1 = float_of_int (Relation.cardinality left_rel) in
-  let big_n2 = float_of_int (Relation.cardinality right_rel) in
-  let n1f = float_of_int n1 and n2f = float_of_int n2 in
-  let p1 = n1f /. big_n1 and p2 = n2f /. big_n2 in
-  let pair_prob nf big_nf =
-    if big_nf < 2. then 1. else nf *. (nf -. 1.) /. (big_nf *. (big_nf -. 1.))
-  in
-  let r1 = pair_prob n1f big_n1 and r2 = pair_prob n2f big_n2 in
-  let k_hat = float_of_int x /. (p1 *. p2) in
-  let var_x =
-    (k_hat *. p1 *. p2 *. (1. -. (p1 *. p2)))
-    +. (k_hat *. Float.max 0. (k_hat -. 1.) *. ((r1 *. r2) -. (p1 *. p1 *. p2 *. p2)))
-  in
-  let variance = Float.max 0. (var_x /. (p1 *. p1 *. p2 *. p2)) in
-  (k_hat, variance, n1 + n2)
+let set_estimate op ~metrics rng catalog ~left ~right ~fraction =
+  let (_ : Relation.t) = checked_set catalog left
+  and (_ : Relation.t) = checked_set catalog right in
+  Estplan.run ~metrics rng catalog (Estplan.set_plan catalog ~op ~left ~right ~fraction)
 
 let intersection ?(metrics = Metrics.noop) rng catalog ~left ~right ~fraction =
-  let left_rel = checked_set catalog left and right_rel = checked_set catalog right in
-  let point, variance, drawn = intersection_core ~metrics rng ~left_rel ~right_rel ~fraction in
-  Estimate.make ~variance ~label:"intersection" ~status:Estimate.Unbiased
-    ~sample_size:drawn point
+  set_estimate Estplan.Inter_size ~metrics rng catalog ~left ~right ~fraction
 
 let union ?(metrics = Metrics.noop) rng catalog ~left ~right ~fraction =
-  let left_rel = checked_set catalog left and right_rel = checked_set catalog right in
-  let inter_point, variance, drawn =
-    intersection_core ~metrics rng ~left_rel ~right_rel ~fraction
-  in
-  let point =
-    float_of_int (Relation.cardinality left_rel)
-    +. float_of_int (Relation.cardinality right_rel)
-    -. inter_point
-  in
-  Estimate.make ~variance ~label:"union" ~status:Estimate.Unbiased ~sample_size:drawn point
+  set_estimate Estplan.Union_size ~metrics rng catalog ~left ~right ~fraction
 
 let difference ?(metrics = Metrics.noop) rng catalog ~left ~right ~fraction =
-  let left_rel = checked_set catalog left and right_rel = checked_set catalog right in
-  let inter_point, variance, drawn =
-    intersection_core ~metrics rng ~left_rel ~right_rel ~fraction
-  in
-  let point = float_of_int (Relation.cardinality left_rel) -. inter_point in
-  Estimate.make ~variance ~label:"difference" ~status:Estimate.Unbiased ~sample_size:drawn
-    point
+  set_estimate Estplan.Diff_size ~metrics rng catalog ~left ~right ~fraction

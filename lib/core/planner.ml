@@ -85,7 +85,9 @@ let plan rng catalog ~fraction ~inputs ~joins =
     match Hashtbl.find_opt memo key with
     | Some size -> size
     | None ->
-      let est = Count_estimator.estimate rng catalog ~fraction expr in
+      (* Cost each candidate intermediate through the same estimation
+         IR the public estimators compile to. *)
+      let est = Estplan.run rng catalog (Estplan.compile catalog ~fraction expr) in
       let size = Float.max 0. est.Stats.Estimate.point in
       Hashtbl.add memo key size;
       size

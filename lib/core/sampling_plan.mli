@@ -50,3 +50,6 @@ val draw :
 
 (** Expected total sampled tuples of the plan. *)
 val expected_sample_size : t -> float
+
+(** Scale-up factor of one leaf: N/n for SRSWOR, 1/p for Bernoulli. *)
+val leaf_scale : leaf -> float

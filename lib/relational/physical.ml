@@ -534,5 +534,22 @@ let count cursor =
   in
   drain 0
 
-let count_expr ?metrics ?columnar catalog expr =
-  count (of_expr ?metrics ?columnar catalog expr)
+(* COUNT of a bare two-leaf equijoin probes the code-space table
+   without materializing a single joined tuple (same kernel, same
+   per-probe hit/miss accounting as the streaming join above — the
+   fast path [Eval.count] takes).  Everything else drains the cursor. *)
+let count_expr ?metrics ?(columnar = true) catalog expr =
+  let kernel_count () =
+    if not (columnar && Column.enabled ()) then None
+    else
+      match expr with
+      | Expr.Equijoin ([ (a, b) ], Expr.Base ln, Expr.Base rn) ->
+        let l = Catalog.find catalog ln and r = Catalog.find catalog rn in
+        let jl = Schema.index_of (Relation.schema l) a in
+        let jr = Schema.index_of (Relation.schema r) b in
+        Kernel.equijoin_count ?metrics (Relation.columnar l) jl (Relation.columnar r) jr
+      | _ -> None
+  in
+  match kernel_count () with
+  | Some n -> n
+  | None -> count (of_expr ?metrics ~columnar catalog expr)

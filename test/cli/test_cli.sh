@@ -65,6 +65,40 @@ out="$("$cli" sweep "$workdir/u.csv" --where "a < 30" --reps 5)"
 echo "$out" | expect "sweep header" "fraction +mean rel.err"
 echo "$out" | expect "sweep rows" "0.200"
 
+# explain -----------------------------------------------------------------
+# The plan printer is deterministic (no sampling happens), so the whole
+# tree is pinned verbatim: node kind, sample mode, population/sample
+# size, scale factor and unbiasedness status per node.
+"$cli" explain estimate "$workdir/u.csv" --where "a < 30" -f 0.05 > "$workdir/explain.out"
+diff -u - "$workdir/explain.out" <<'EOF' || fail "explain estimate tree drifted"
+estimation plan: selection (direct selection)
+`- select[a < 30]  [derived]  scale=20  unbiased
+   `- scan r  [srswor 1000/20000]  scale=20  unbiased
+EOF
+
+"$cli" explain join "$workdir/u.csv" "$workdir/z.csv" --on a=b -f 0.2 > "$workdir/explain.out"
+diff -u - "$workdir/explain.out" <<'EOF' || fail "explain join tree drifted"
+estimation plan: equijoin (scale-up (8 replicates))
+`- equijoin[a=b]  [derived]  scale=1600  unbiased
+   |- scan l as l#0  [srswor 500/20000]  scale=40  unbiased
+   `- scan r as r#1  [srswor 125/5000]  scale=40  unbiased
+EOF
+
+"$cli" explain query "r join[a = b] s" --rel "r=$workdir/u.csv" --rel "s=$workdir/z.csv" \
+  -f 0.05 -g 4 > "$workdir/explain.out"
+diff -u - "$workdir/explain.out" <<'EOF' || fail "explain query tree drifted"
+estimation plan: scale-up (scale-up (4 replicates))
+`- equijoin[a=b]  [derived]  scale=400  unbiased
+   |- scan r as r#0  [srswor 1000/20000]  scale=20  unbiased
+   `- scan s as s#1  [srswor 250/5000]  scale=20  unbiased
+EOF
+
+out="$("$cli" explain sql "SELECT COUNT(*) FROM r WHERE a < 30" --rel "r=$workdir/u.csv" \
+  -f 0.05 --json)"
+echo "$out" | expect "explain json schema" '"schema": "raestat-explain/1"'
+echo "$out" | expect "explain json scan" '"op": "scan r as r#0", "mode": "srswor 1000/20000", "population": 20000, "sample_size": 1000'
+echo "$out" | expect "explain json status" '"scale": 20, "status": "unbiased"'
+
 # metrics -----------------------------------------------------------------
 out="$("$cli" estimate "$workdir/u.csv" --where "a < 30" -f 0.05 --metrics 2>&1 >/dev/null)"
 echo "$out" | expect "metrics schema" '"raestat-metrics/1"'
@@ -143,5 +177,27 @@ expect_error "bad sql" "Sql: " \
 
 expect_error "missing file" ".*missing.csv: No such file or directory" \
   query "select[a < 30](r)" --rel "r=$workdir/missing.csv"
+
+# option range validation: out-of-range and NaN values for --fraction,
+# --level and --tau must die with the one-line contract, not leak into
+# the samplers (NaN passes every < / > check downstream).
+expect_error "fraction above one" '--fraction 1.5 outside \(0, 1\]' \
+  estimate "$workdir/u.csv" --where "a < 30" -f 1.5
+expect_error "fraction zero" '--fraction 0 outside \(0, 1\]' \
+  join "$workdir/u.csv" "$workdir/z.csv" --on a=b -f 0
+expect_error "fraction nan" '--fraction nan outside \(0, 1\]' \
+  estimate "$workdir/u.csv" --where "a < 30" -f nan
+expect_error "level nan" '--level nan outside \(0, 1\)' \
+  estimate "$workdir/u.csv" --where "a < 30" --level nan
+expect_error "level above one" '--level 1.5 outside \(0, 1\)' \
+  quantile "$workdir/u.csv" -c a --level 1.5
+expect_error "tau out of range" '--tau 1.2 outside \(0, 1\)' \
+  quantile "$workdir/u.csv" -c a -t 1.2
+expect_error "query fraction nan" '--fraction nan outside \(0, 1\]' \
+  query "select[a < 30](r)" --rel "r=$workdir/u.csv" -f nan
+expect_error "sql fraction zero" '--fraction 0 outside \(0, 1\]' \
+  sql "SELECT COUNT(*) FROM r" --rel "r=$workdir/u.csv" -f 0
+expect_error "explain fraction nan" '--fraction nan outside \(0, 1\]' \
+  explain estimate "$workdir/u.csv" --where "a < 30" -f nan
 
 echo "CLI TESTS PASSED"

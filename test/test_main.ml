@@ -55,5 +55,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
+      ("estplan", Test_estplan.suite);
+      ("golden", Test_golden.suite);
       ("robustness", Test_robustness.suite);
     ]
