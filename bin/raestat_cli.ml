@@ -245,7 +245,8 @@ let estimate_cmd =
     let ci = Estimate.ci ~level est in
     Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
     Printf.printf "sampled %d of %d tuples (%.2f%%)\n" n big_n
-      (100. *. float_of_int n /. float_of_int big_n);
+      (* An empty relation is a census of nothing — 100%, not 0/0. *)
+      (if big_n = 0 then 100. else 100. *. float_of_int n /. float_of_int big_n);
     Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level) ci.Stats.Confidence.lo
       ci.Stats.Confidence.hi
   in
@@ -549,6 +550,79 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Relative error vs sampling fraction for a filter")
     Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ reps_arg)
 
+(* --- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run seed budget replicates replay out =
+    if budget <= 0 then failwith "--budget must be positive";
+    if replicates < 2 then
+      failwith
+        "--replicates must be at least 2: the unbiasedness oracle feeds df = \
+         replicates - 1 to the Student-t quantile, and df = 0 has no quantile";
+    let config = { Check.Fuzz.budget; seed; replicates } in
+    let report (f : Check.Fuzz.failure) =
+      Printf.printf "fuzz: FAILURE in oracle %s\n  %s\n  case:   %s\n  shrunk: %s\n  %s\n"
+        f.Check.Fuzz.oracle f.Check.Fuzz.detail
+        (Check.Gen.to_string f.Check.Fuzz.case)
+        (Check.Gen.to_string f.Check.Fuzz.shrunk)
+        f.Check.Fuzz.shrunk_detail;
+      Out_channel.with_open_text out (fun oc ->
+          Out_channel.output_string oc (Check.Fuzz.replay_file config f));
+      Printf.printf "seed file written to %s; reproduce with: raestat fuzz --replay %s\n"
+        out out
+    in
+    match replay with
+    | Some path ->
+      let content = In_channel.with_open_text path In_channel.input_all in
+      (match Check.Fuzz.parse_replay content with
+      | Error message -> failwith (Printf.sprintf "%s: %s" path message)
+      | Ok header -> (
+        match Check.Fuzz.replay header with
+        | Check.Fuzz.Passed _ ->
+          Printf.printf "replay: PASS — case %d (seed %d) no longer fails oracle %s\n"
+            header.Check.Fuzz.rcase header.Check.Fuzz.rseed header.Check.Fuzz.roracle
+        | Check.Fuzz.Found f ->
+          report f;
+          exit 1))
+    | None -> (
+      match Check.Fuzz.run ~log:prerr_endline config with
+      | Check.Fuzz.Passed n ->
+        Printf.printf "fuzz: %d cases, 0 failures (seed %d, replicates %d)\n" n seed
+          replicates
+      | Check.Fuzz.Found f ->
+        report f;
+        exit 1)
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N" ~doc:"Number of random cases to check.")
+  in
+  let replicates_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "replicates" ] ~docv:"R"
+          ~doc:"Replicates for the unbiasedness/coverage oracles (at least 2).")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run the failure recorded in a raestat-fuzz/1 seed file.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "fuzz-failure.txt"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the seed file on failure.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing of the estimators: random relations and expressions \
+          through the oracle battery (census, parity, rewrite, unbiasedness, \
+          coverage, conservation)")
+    Term.(const run $ seed_arg $ budget_arg $ replicates_arg $ replay_arg $ out_arg)
+
 (* --- explain ------------------------------------------------------------ *)
 
 (* Each sub-command builds the estimation plan exactly as the matching
@@ -656,7 +730,7 @@ let () =
   let group =
     Cmd.group info [ generate_cmd; exact_cmd; estimate_cmd; join_cmd;
                      distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
-                     plan_cmd; sweep_cmd; explain_cmd ]
+                     plan_cmd; sweep_cmd; fuzz_cmd; explain_cmd ]
   in
   (* [~catch:false] so domain errors reach us instead of cmdliner's
      backtrace printer: a missing relation, a malformed CSV or a SQL

@@ -1,0 +1,119 @@
+type config = {
+  budget : int;
+  seed : int;
+  replicates : int;
+}
+
+type failure = {
+  case : Gen.case;
+  oracle : string;
+  detail : string;
+  shrunk : Gen.case;
+  shrunk_detail : string;
+}
+
+type outcome =
+  | Passed of int
+  | Found of failure
+
+let shrink_failure ~subject ~replicates ~oracle ~detail case =
+  let still_fails candidate =
+    Oracle.check_one ~subject ~replicates ~oracle candidate <> None
+  in
+  let shrunk = Shrink.minimize ~check:still_fails case in
+  let shrunk_detail =
+    match Oracle.check_one ~subject ~replicates ~oracle shrunk with
+    | Some d -> d
+    | None -> detail
+  in
+  { case; oracle; detail; shrunk; shrunk_detail }
+
+let run ?(subject = Oracle.reference) ?(log = ignore) config =
+  if config.budget <= 0 then invalid_arg "Fuzz.run: budget must be positive";
+  if config.replicates < 2 then
+    invalid_arg "Fuzz.run: replicates must be at least 2 (the Student-t bound needs df >= 1)";
+  let rec loop id =
+    if id >= config.budget then Passed config.budget
+    else begin
+      if id > 0 && id mod 100 = 0 then
+        log (Printf.sprintf "fuzz: %d/%d cases checked" id config.budget);
+      let case = Gen.case ~master:config.seed ~id in
+      match Oracle.check_case ~subject ~replicates:config.replicates case with
+      | None -> loop (id + 1)
+      | Some (oracle, detail) ->
+        log (Printf.sprintf "fuzz: case %d failed oracle %s; shrinking" id oracle);
+        Found (shrink_failure ~subject ~replicates:config.replicates ~oracle ~detail case)
+    end
+  in
+  loop 0
+
+(* ---------------------------------------------------------------- replay *)
+
+let format_version = "raestat-fuzz/1"
+
+type replay_header = {
+  rseed : int;
+  rcase : int;
+  rreplicates : int;
+  roracle : string;
+}
+
+let replay_file config f =
+  String.concat "\n"
+    [ format_version;
+      "seed " ^ string_of_int config.seed;
+      "case " ^ string_of_int f.case.Gen.id;
+      "replicates " ^ string_of_int config.replicates;
+      "oracle " ^ f.oracle;
+      "# detail: " ^ f.detail;
+      "# case:   " ^ Gen.to_string f.case;
+      "# shrunk: " ^ Gen.to_string f.shrunk;
+      "";
+    ]
+
+let parse_replay content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | version :: fields when version = format_version ->
+    let find key =
+      List.find_map
+        (fun line ->
+          let prefix = key ^ " " in
+          let pl = String.length prefix in
+          if String.length line > pl && String.sub line 0 pl = prefix then
+            Some (String.trim (String.sub line pl (String.length line - pl)))
+          else None)
+        fields
+    in
+    let int_field key =
+      match find key with
+      | None -> Error (Printf.sprintf "missing %S line" key)
+      | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad %S value %S" key v))
+    in
+    Result.bind (int_field "seed") (fun rseed ->
+        Result.bind (int_field "case") (fun rcase ->
+            Result.bind (int_field "replicates") (fun rreplicates ->
+                match find "oracle" with
+                | None -> Error "missing \"oracle\" line"
+                | Some roracle -> Ok { rseed; rcase; rreplicates; roracle })))
+  | _ -> Error (Printf.sprintf "not a %s seed file" format_version)
+
+let replay ?(subject = Oracle.reference) header =
+  if header.rreplicates < 2 then
+    invalid_arg "Fuzz.replay: replicates must be at least 2";
+  let case = Gen.case ~master:header.rseed ~id:header.rcase in
+  match
+    Oracle.check_one ~subject ~replicates:header.rreplicates ~oracle:header.roracle case
+  with
+  | None -> Passed 1
+  | Some detail ->
+    Found
+      (shrink_failure ~subject ~replicates:header.rreplicates ~oracle:header.roracle
+         ~detail case)

@@ -1,0 +1,55 @@
+(** The fuzz driver: a budgeted sweep of generated cases through the
+    oracle battery, with shrinking and a replayable seed-file format.
+
+    Cases are deterministic in [(seed, id)] (see {!Gen.case}), so a
+    failure is fully described by the config plus the failing case id
+    and oracle name — that is all the seed file records. *)
+
+type config = {
+  budget : int;      (** number of cases to generate and check *)
+  seed : int;        (** master seed of the case stream *)
+  replicates : int;  (** replicate count for the statistical oracles (≥ 2) *)
+}
+
+type failure = {
+  case : Gen.case;          (** the case as generated *)
+  oracle : string;          (** first failing oracle *)
+  detail : string;          (** its failure message on [case] *)
+  shrunk : Gen.case;        (** greedily minimized reproduction *)
+  shrunk_detail : string;   (** failure message on [shrunk] *)
+}
+
+type outcome =
+  | Passed of int  (** cases checked, all oracles green *)
+  | Found of failure
+
+(** Sweep cases [0 .. budget-1].  Stops at the first failure and
+    shrinks it.  [log] (default silent) receives progress lines.
+    @raise Invalid_argument if [budget <= 0] or [replicates < 2]. *)
+val run : ?subject:Oracle.subject -> ?log:(string -> unit) -> config -> outcome
+
+(** {1 Replay}
+
+    Seed files use the ["raestat-fuzz/1"] format: the version line,
+    then [seed N] / [case N] / [replicates N] / [oracle NAME] lines in
+    any order; [#]-prefixed lines are human-readable context and are
+    ignored on parse. *)
+
+val format_version : string
+
+type replay_header = {
+  rseed : int;
+  rcase : int;
+  rreplicates : int;
+  roracle : string;
+}
+
+(** Seed-file contents describing [failure] under [config]. *)
+val replay_file : config -> failure -> string
+
+val parse_replay : string -> (replay_header, string) result
+
+(** Re-generate the recorded case and re-run the recorded oracle;
+    [Found] (with a fresh shrink) when it still fails, [Passed 1]
+    when the failure no longer reproduces. *)
+val replay : ?subject:Oracle.subject -> replay_header -> outcome

@@ -1,0 +1,401 @@
+module Expr = Relational.Expr
+module Catalog = Relational.Catalog
+module Relation = Relational.Relation
+module Metrics = Obs.Metrics
+module Estimate = Stats.Estimate
+module Confidence = Stats.Confidence
+module Rng = Sampling.Rng
+module CE = Raestat.Count_estimator
+
+type subject = {
+  label : string;
+  estimate :
+    groups:int ->
+    domains:int ->
+    metrics:Metrics.t ->
+    columnar:bool ->
+    Rng.t ->
+    Catalog.t ->
+    fraction:float ->
+    Expr.t ->
+    Estimate.t;
+}
+
+let reference =
+  {
+    label = "count_estimator";
+    estimate =
+      (fun ~groups ~domains ~metrics ~columnar rng catalog ~fraction expr ->
+        CE.estimate ~groups ~domains ~metrics ~columnar rng catalog ~fraction expr);
+  }
+
+type verdict =
+  | Pass
+  | Skip of string
+  | Fail of string
+
+type oracle = {
+  name : string;
+  summary : string;
+  run : subject -> replicates:int -> Gen.case -> verdict;
+}
+
+(* Per-oracle stream: a fixed salt per oracle keeps them independent of
+   each other and of battery order. *)
+let rng_for (case : Gen.case) salt = Rng.create ~seed:((case.Gen.seed * 31) + salt) ()
+
+let exact catalog expr =
+  float_of_int (Baselines.Exact.count catalog expr).Baselines.Exact.count
+
+let leaf_sample_size ~fraction catalog name =
+  Sampling.Srs.size_of_fraction ~fraction
+    (Relation.cardinality (Catalog.find catalog name))
+
+(* ---------------------------------------------------------------- census *)
+
+let census =
+  {
+    name = "census";
+    summary = "fraction 1.0 reproduces the exact count";
+    run =
+      (fun subject ~replicates:_ case ->
+        let catalog = Gen.materialize case in
+        let truth = exact catalog case.Gen.expr in
+        let est =
+          subject.estimate ~groups:1 ~domains:1 ~metrics:Metrics.noop ~columnar:true
+            (rng_for case 1) catalog ~fraction:1.0 case.Gen.expr
+        in
+        if Float.abs (est.Estimate.point -. truth) <= 1e-6 *. Float.max 1. truth then Pass
+        else
+          Fail
+            (Printf.sprintf "census estimate %.17g differs from exact count %.17g"
+               est.Estimate.point truth));
+  }
+
+(* ---------------------------------------------------------------- parity *)
+
+let parity =
+  {
+    name = "parity";
+    summary = "row kernels and --domains 2 are bit-identical to the columnar serial run";
+    run =
+      (fun subject ~replicates:_ case ->
+        let run ~columnar ~domains =
+          let catalog = Gen.materialize case in
+          let metrics = Metrics.create () in
+          let est =
+            subject.estimate ~groups:4 ~domains ~metrics ~columnar (rng_for case 2)
+              catalog ~fraction:case.Gen.fraction case.Gen.expr
+          in
+          (est, Metrics.snapshot metrics)
+        in
+        let base_est, base_counters = run ~columnar:true ~domains:1 in
+        let variants =
+          [ ("row kernels", run ~columnar:false ~domains:1);
+            ("--domains 2", run ~columnar:true ~domains:2) ]
+        in
+        let mismatch =
+          List.find_map
+            (fun (label, (est, counters)) ->
+              if
+                not
+                  (Float.equal est.Estimate.point base_est.Estimate.point
+                  && Float.equal est.Estimate.variance base_est.Estimate.variance)
+              then
+                Some
+                  (Printf.sprintf
+                     "%s estimate (%.17g, var %.17g) diverges from columnar serial \
+                      (%.17g, var %.17g)"
+                     label est.Estimate.point est.Estimate.variance
+                     base_est.Estimate.point base_est.Estimate.variance)
+              else if not (Metrics.counters_equal counters base_counters) then
+                Some
+                  (Printf.sprintf "%s counter totals diverge from the columnar serial run"
+                     label)
+              else None)
+            variants
+        in
+        match mismatch with None -> Pass | Some detail -> Fail detail);
+  }
+
+(* --------------------------------------------------------------- rewrite *)
+
+let rewrite =
+  {
+    name = "rewrite";
+    summary = "optimizer rewrites leave the compiled estimate bit-identical";
+    run =
+      (fun _subject ~replicates:_ case ->
+        let catalog = Gen.materialize case in
+        let run ~optimize =
+          let plan =
+            Raestat.Estplan.compile ~groups:2 ~optimize catalog
+              ~fraction:case.Gen.fraction case.Gen.expr
+          in
+          Raestat.Estplan.run (rng_for case 3) catalog plan
+        in
+        let raw = run ~optimize:false in
+        let optimized = run ~optimize:true in
+        if
+          Float.equal raw.Estimate.point optimized.Estimate.point
+          && Float.equal raw.Estimate.variance optimized.Estimate.variance
+        then Pass
+        else
+          Fail
+            (Printf.sprintf
+               "optimized plan estimate %.17g (var %.17g) <> unoptimized %.17g (var %.17g)"
+               optimized.Estimate.point optimized.Estimate.variance raw.Estimate.point
+               raw.Estimate.variance));
+  }
+
+(* ---------------------------------------------------------- unbiasedness *)
+
+let sample_mean_var points =
+  let n = float_of_int (Array.length points) in
+  let mean = Array.fold_left ( +. ) 0. points /. n in
+  let ss = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. points in
+  (mean, if n > 1. then ss /. (n -. 1.) else 0.)
+
+let replicate_points subject ~runs ~salt case =
+  let catalog = Gen.materialize case in
+  let master = rng_for case salt in
+  Array.init runs (fun _ ->
+      (subject.estimate ~groups:1 ~domains:1 ~metrics:Metrics.noop ~columnar:true
+         (Rng.split master) catalog ~fraction:case.Gen.fraction case.Gen.expr)
+        .Estimate.point)
+
+(* Student-t acceptance region for E[estimate] = truth; returns the
+   replicate mean for reporting.  A zero spread demands (near) exact
+   agreement: identical replicates mean the estimator is degenerate on
+   this case, which for an unbiased estimator implies exactness. *)
+let mean_brackets ~level ~truth points =
+  let n = Array.length points in
+  let mean, var = sample_mean_var points in
+  let stderr = sqrt (var /. float_of_int n) in
+  let ok =
+    if stderr = 0. then Float.abs (mean -. truth) <= 1e-9 *. Float.max 1. truth
+    else
+      let iv =
+        Confidence.student_t ~level ~df:(float_of_int (n - 1)) ~point:mean ~stderr
+      in
+      iv.Confidence.lo <= truth && truth <= iv.Confidence.hi
+  in
+  (ok, mean)
+
+let unbiasedness =
+  {
+    name = "unbiasedness";
+    summary = "replicate mean of an Unbiased plan brackets the truth (Student-t)";
+    run =
+      (fun subject ~replicates case ->
+        if CE.classify case.Gen.expr <> Estimate.Unbiased then
+          Skip "consistent-only expression"
+        else
+          let catalog = Gen.materialize case in
+          let truth = exact catalog case.Gen.expr in
+          (* Power gate.  A result tuple survives the sampled run with
+             probability Π n_i/N_i over the leaves; when even the 8×
+             retry round expects only a handful of surviving tuples,
+             an all-zero outcome is likely for a perfectly unbiased
+             estimator (P ≈ e^{-expected}), and the replicate mean
+             carries no evidence either way. *)
+          let hit_rate =
+            List.fold_left
+              (fun acc name ->
+                let population =
+                  Relation.cardinality (Catalog.find catalog name)
+                in
+                if population = 0 then acc
+                else
+                  acc
+                  *. (float_of_int
+                        (leaf_sample_size ~fraction:case.Gen.fraction catalog name)
+                     /. float_of_int population))
+              1.
+              (Expr.leaves case.Gen.expr)
+          in
+          if truth > 0. && float_of_int (replicates * 8) *. truth *. hit_rate < 25.
+          then Skip "power gate: too few expected sampled hits"
+          else
+          let level = 0.9999 in
+          let first, _ =
+            mean_brackets ~level ~truth (replicate_points subject ~runs:replicates ~salt:4 case)
+          in
+          if first then Pass
+          else
+            (* An unlucky draw at 1 − level is possible; demand a second
+               independent failure at eight times the replicates before
+               declaring bias. *)
+            let again, mean =
+              mean_brackets ~level ~truth
+                (replicate_points subject ~runs:(replicates * 8) ~salt:5 case)
+            in
+            if again then Pass
+            else
+              Fail
+                (Printf.sprintf
+                   "replicate mean %.6g is not consistent with the exact count %g \
+                    (%d replicates, twice)"
+                   mean truth (replicates * 8)));
+  }
+
+(* -------------------------------------------------------------- coverage *)
+
+let coverage =
+  {
+    name = "coverage";
+    summary = "empirical CI coverage stays near nominal where the CLT applies";
+    run =
+      (fun subject ~replicates case ->
+        if CE.classify case.Gen.expr <> Estimate.Unbiased then
+          Skip "consistent-only expression"
+        else
+          let catalog = Gen.materialize case in
+          let truth = exact catalog case.Gen.expr in
+          let leaves = Expr.leaves case.Gen.expr in
+          (* Expected number of result tuples surviving into the sampled
+             evaluation: with every leaf thinned by [fraction], a result
+             tuple joining L leaves survives with probability
+             fraction^L.  Below a handful of expected hits the estimate
+             is too discrete for a CLT interval to mean much; the same
+             goes for any leaf whose own sample is tiny. *)
+          let expected_hits =
+            truth *. (case.Gen.fraction ** float_of_int (List.length leaves))
+          in
+          let min_leaf_sample =
+            List.fold_left
+              (fun acc name ->
+                min acc (leaf_sample_size ~fraction:case.Gen.fraction catalog name))
+              max_int leaves
+          in
+          if expected_hits < 8. || min_leaf_sample < 8 then
+            Skip "CLT gate: too few expected sampled hits"
+          else begin
+            let level = 0.95 and groups = 6 in
+            let runs = max 16 replicates in
+            let master = rng_for case 6 in
+            let covered = ref 0 and usable = ref 0 in
+            (* Ulp slack: a deterministic estimate (e.g. a predicate-free
+               product, whose replicates all scale the same sampled
+               count) has a zero-width CI that can sit a few ulps off
+               the integer truth. *)
+            let eps = 1e-9 *. Float.max 1. truth in
+            for _ = 1 to runs do
+              let est =
+                subject.estimate ~groups ~domains:1 ~metrics:Metrics.noop ~columnar:true
+                  (Rng.split master) catalog ~fraction:case.Gen.fraction case.Gen.expr
+              in
+              if Estimate.has_variance est then begin
+                incr usable;
+                let iv = Estimate.ci ~level est in
+                if iv.Confidence.lo -. eps <= truth && truth <= iv.Confidence.hi +. eps
+                then incr covered
+              end
+            done;
+            if !usable = 0 then Skip "no variance attached"
+            else
+              let rate = float_of_int !covered /. float_of_int !usable in
+              (* Slack: the z-on-6-replicates interval genuinely
+                 undercovers, and skewed product estimates undercover
+                 further even past the gates (the replicate variance is
+                 correlated with the point), so the bar is a smoke
+                 bound — it catches a mis-scaled or vanishing variance
+                 (coverage near 0), not percentage-point drift.  Base
+                 slack 0.25, plus three binomial standard errors, plus
+                 one run of resolution. *)
+              let slack =
+                0.25
+                +. (3. *. sqrt (level *. (1. -. level) /. float_of_int !usable))
+                +. (1. /. float_of_int !usable)
+              in
+              if rate >= level -. slack then Pass
+              else
+                Fail
+                  (Printf.sprintf
+                     "empirical coverage %.3f below %.3f (%d of %d CIs missed the \
+                      truth %g)"
+                     rate (level -. slack) (!usable - !covered) !usable truth)
+          end);
+  }
+
+(* ---------------------------------------------------------- conservation *)
+
+let conservation =
+  {
+    name = "conservation";
+    summary = "work counters obey their conservation laws and never perturb estimates";
+    run =
+      (fun subject ~replicates:_ case ->
+        let groups = 3 in
+        let run_with_metrics () =
+          let catalog = Gen.materialize case in
+          let metrics = Metrics.create () in
+          let est =
+            subject.estimate ~groups ~domains:1 ~metrics ~columnar:true (rng_for case 7)
+              catalog ~fraction:case.Gen.fraction case.Gen.expr
+          in
+          (est, Metrics.snapshot metrics)
+        in
+        let est1, s1 = run_with_metrics () in
+        let est2, s2 = run_with_metrics () in
+        let catalog = Gen.materialize case in
+        let silent =
+          subject.estimate ~groups ~domains:1 ~metrics:Metrics.noop ~columnar:true
+            (rng_for case 7) catalog ~fraction:case.Gen.fraction case.Gen.expr
+        in
+        let expected_indices =
+          groups
+          * List.fold_left
+              (fun acc name ->
+                acc + leaf_sample_size ~fraction:case.Gen.fraction catalog name)
+              0
+              (Expr.leaves case.Gen.expr)
+        in
+        if
+          (not (Float.equal est1.Estimate.point est2.Estimate.point))
+          || not (Metrics.counters_equal s1 s2)
+        then Fail "re-running with the same seed changed the estimate or the counters"
+        else if not (Float.equal est1.Estimate.point silent.Estimate.point) then
+          Fail "attaching a metrics sink changed the estimate"
+        else if
+          s1.Metrics.tuples_scanned < 0 || s1.Metrics.pages_read < 0
+          || s1.Metrics.sample_indices < 0 || s1.Metrics.hash_probe_hits < 0
+          || s1.Metrics.hash_probe_misses < 0 || s1.Metrics.rng_draws < 0
+        then Fail "negative counter"
+        else if s1.Metrics.sample_indices <> expected_indices then
+          Fail
+            (Printf.sprintf
+               "sample_indices %d <> %d = groups × Σ per-leaf sample sizes"
+               s1.Metrics.sample_indices expected_indices)
+        else
+          match case.Gen.expr with
+          | Expr.Equijoin (_, Expr.Base left, Expr.Base _) ->
+            let n_left = leaf_sample_size ~fraction:case.Gen.fraction catalog left in
+            let probes = s1.Metrics.hash_probe_hits + s1.Metrics.hash_probe_misses in
+            if probes <> groups * n_left then
+              Fail
+                (Printf.sprintf "hash probes %d <> %d = groups × left sample size"
+                   probes (groups * n_left))
+            else Pass
+          | _ -> Pass);
+  }
+
+(* --------------------------------------------------------------- battery *)
+
+let battery = [ census; parity; rewrite; unbiasedness; coverage; conservation ]
+
+let check_case ?(subject = reference) ~replicates case =
+  List.find_map
+    (fun o ->
+      match o.run subject ~replicates case with
+      | Fail detail -> Some (o.name, detail)
+      | Pass | Skip _ -> None)
+    battery
+
+let check_one ?(subject = reference) ~replicates ~oracle case =
+  match List.find_opt (fun o -> o.name = oracle) battery with
+  | None -> invalid_arg (Printf.sprintf "Check.Oracle.check_one: unknown oracle %S" oracle)
+  | Some o -> (
+    match o.run subject ~replicates case with
+    | Fail detail -> Some detail
+    | Pass | Skip _ -> None)

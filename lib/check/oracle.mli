@@ -1,0 +1,67 @@
+(** The fuzz harness's oracle battery: properties every COUNT
+    estimator run must satisfy, checked differentially against the
+    exact evaluator and metamorphically against equivalent runs.
+
+    Oracles are evaluated against a {!subject} — the estimator under
+    test.  Production code always fuzzes {!reference}
+    ({!Raestat.Count_estimator.estimate}); the unit tests inject
+    deliberately broken subjects (a biased scale factor, a dropped
+    metrics sink) to prove each oracle has teeth. *)
+
+type subject = {
+  label : string;
+  estimate :
+    groups:int ->
+    domains:int ->
+    metrics:Obs.Metrics.t ->
+    columnar:bool ->
+    Sampling.Rng.t ->
+    Relational.Catalog.t ->
+    fraction:float ->
+    Relational.Expr.t ->
+    Stats.Estimate.t;
+}
+
+(** The production estimator. *)
+val reference : subject
+
+type verdict =
+  | Pass
+  | Skip of string  (** the oracle does not apply to this case *)
+  | Fail of string  (** property violated; the payload explains how *)
+
+type oracle = {
+  name : string;
+  summary : string;
+  run : subject -> replicates:int -> Gen.case -> verdict;
+}
+
+(** The fixed battery, in evaluation order:
+
+    - ["census"]: at fraction 1.0 the estimate equals
+      {!Baselines.Exact.count};
+    - ["parity"]: row kernels ([~columnar:false]) and [--domains 2]
+      reproduce the columnar serial run bit-for-bit — estimate,
+      variance and {!Obs.Metrics} counter totals;
+    - ["rewrite"]: {!Relational.Optimizer} rewrites leave the compiled
+      {!Raestat.Estplan} estimate bit-identical at the same seed;
+    - ["unbiasedness"]: for [Unbiased]-classified expressions, the
+      replicate mean brackets the exact count within a Student-t bound
+      ([df = replicates − 1], retried at 8× replicates before failing);
+    - ["coverage"]: empirical CI coverage stays within slack of
+      nominal, gated to cases where the CLT plausibly applies;
+    - ["conservation"]: counters are deterministic, non-negative,
+      never perturb the estimate, [sample_indices] equals
+      groups × Σ per-leaf sample sizes, and for a two-leaf equi-join
+      probe hits + misses equals groups × left sample size. *)
+val battery : oracle list
+
+(** First [Fail] across the battery as [(oracle name, detail)];
+    [None] when every oracle passes or skips. *)
+val check_case :
+  ?subject:subject -> replicates:int -> Gen.case -> (string * string) option
+
+(** Run one oracle by name.  [Some detail] on [Fail].
+    @raise Invalid_argument on an unknown oracle name. *)
+val check_one :
+  ?subject:subject -> replicates:int -> oracle:string -> Gen.case -> string option

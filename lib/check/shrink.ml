@@ -1,0 +1,68 @@
+module Expr = Relational.Expr
+
+let rec contractions e =
+  let sub build e1 = List.map build (contractions e1) in
+  let sub2 build l r =
+    List.map (fun l' -> build l' r) (contractions l)
+    @ List.map (fun r' -> build l r') (contractions r)
+  in
+  match e with
+  | Expr.Base _ -> []
+  | Expr.Select (p, e1) -> e1 :: sub (fun x -> Expr.Select (p, x)) e1
+  | Expr.Project (a, e1) -> e1 :: sub (fun x -> Expr.Project (a, x)) e1
+  | Expr.Distinct e1 -> e1 :: sub (fun x -> Expr.Distinct x) e1
+  | Expr.Rename (m, e1) -> e1 :: sub (fun x -> Expr.Rename (m, x)) e1
+  | Expr.Aggregate (g, a, e1) -> e1 :: sub (fun x -> Expr.Aggregate (g, a, x)) e1
+  | Expr.Product (l, r) -> l :: r :: sub2 (fun l' r' -> Expr.Product (l', r')) l r
+  | Expr.Equijoin (on, l, r) ->
+    l :: r :: sub2 (fun l' r' -> Expr.Equijoin (on, l', r')) l r
+  | Expr.Theta_join (p, l, r) ->
+    l :: r :: sub2 (fun l' r' -> Expr.Theta_join (p, l', r')) l r
+  | Expr.Union (l, r) -> l :: r :: sub2 (fun l' r' -> Expr.Union (l', r')) l r
+  | Expr.Inter (l, r) -> l :: r :: sub2 (fun l' r' -> Expr.Inter (l', r')) l r
+  | Expr.Diff (l, r) -> l :: r :: sub2 (fun l' r' -> Expr.Diff (l', r')) l r
+
+let card_halvings (case : Gen.case) =
+  match case.Gen.body with
+  | Gen.Bag specs ->
+    List.concat
+      (List.mapi
+         (fun i s ->
+           if s.Gen.card = 0 then []
+           else
+             [ { case with
+                 Gen.body =
+                   Gen.Bag
+                     (List.mapi
+                        (fun j s' ->
+                          if i = j then { s' with Gen.card = s'.Gen.card / 2 } else s')
+                        specs);
+               } ])
+         specs)
+  | Gen.Set_pair { left; right; overlap } ->
+    let shrunk left right =
+      { case with
+        Gen.body = Gen.Set_pair { left; right; overlap = min overlap (min left right) };
+      }
+    in
+    (if left > 1 then [ shrunk (left / 2) right ] else [])
+    @ if right > 1 then [ shrunk left (right / 2) ] else []
+
+let minimize ?(budget = 300) ~check case =
+  let remaining = ref budget in
+  let still_fails candidate =
+    !remaining > 0
+    &&
+    (decr remaining;
+     try check candidate with _ -> false)
+  in
+  let rec loop case =
+    let candidates =
+      List.map (fun e -> { case with Gen.expr = e }) (contractions case.Gen.expr)
+      @ card_halvings case
+    in
+    match List.find_opt still_fails candidates with
+    | Some smaller -> loop smaller
+    | None -> case
+  in
+  loop case

@@ -1,0 +1,18 @@
+(** Greedy minimization of a failing fuzz case.
+
+    Candidates are one-step contractions — every expression obtained by
+    replacing one node with one of its children — plus halving one
+    relation's cardinality.  The first candidate that still triggers
+    the failure (per the caller's [check]) is adopted and the search
+    restarts from it, until no candidate reproduces or the evaluation
+    budget runs out.  Candidates that raise (a contraction can orphan
+    an attribute a predicate above still references) simply don't
+    reproduce. *)
+
+(** All one-step contractions of an expression. *)
+val contractions : Relational.Expr.t -> Relational.Expr.t list
+
+(** [minimize ~check case] — greedy fixpoint under [check] (true =
+    still failing), evaluating [check] at most [budget] (default 300)
+    times. *)
+val minimize : ?budget:int -> check:(Gen.case -> bool) -> Gen.case -> Gen.case

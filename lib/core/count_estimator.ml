@@ -24,7 +24,7 @@ let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) ?(columnar = true)
         (Estplan.compile ~groups catalog ~fraction expr))
 
 let selection_of_counts ~big_n ~n ~hits =
-  if n <= 0 || n > big_n then
+  if (n <= 0 && big_n > 0) || n < 0 || n > big_n then
     invalid_arg "Count_estimator.selection_of_counts: sample size out of range";
   if hits < 0 || hits > n then
     invalid_arg "Count_estimator.selection_of_counts: hits out of range";

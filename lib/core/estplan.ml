@@ -140,18 +140,22 @@ let dedup_op = function
   | Group_by _ ->
     false
 
+(* An empty population is sampled as the empty census (n = 0): the
+   sample is the whole population, so every 0/0 below is scale 1. *)
+let census_scale ~population ~n =
+  if population = 0 then 1. else float_of_int population /. float_of_int n
+
 let mode_scale = function
   | Derived | Exact _ -> 1.
-  | Srswor { n; population } -> float_of_int population /. float_of_int n
+  | Srswor { n; population } -> census_scale ~population ~n
   | Bernoulli { p; _ } -> 1. /. p
-  | Page_srswor { m; pages; _ } -> float_of_int pages /. float_of_int m
-  | Stratified_srswor { n; population } ->
-    float_of_int population /. float_of_int n
+  | Page_srswor { m; pages; _ } -> census_scale ~population:pages ~n:m
+  | Stratified_srswor { n; population } -> census_scale ~population ~n
   (* The prefix grows at run time; annotate with the scale at the first
      stopping opportunity (one full batch, clamped to the census). *)
   | Prefix { batch; population } ->
-    float_of_int population /. float_of_int (min batch population)
-  | Resampled { n; population; _ } -> float_of_int population /. float_of_int n
+    census_scale ~population ~n:(min batch population)
+  | Resampled { n; population; _ } -> census_scale ~population ~n
 
 let mk ?(mode = Derived) ?status op children =
   let status =
@@ -418,9 +422,14 @@ let run_once ~metrics ~columnar rng catalog plan splan =
 (* Closed-form binomial selection                                      *)
 
 let binomial_estimate ?(label = "selection") ~big_n ~n ~hits () =
-  if n <= 0 || n > big_n then
+  if (n <= 0 && big_n > 0) || n < 0 || n > big_n then
     invalid_arg "Estplan.binomial_estimate: sample size out of range";
   if hits < 0 || hits > n then invalid_arg "Estplan.binomial_estimate: hits out of range";
+  if big_n = 0 then
+    (* Empty universe: the census of nothing is exact, so the estimate
+       is 0 with a degenerate (zero-width) CI. *)
+    Estimate.make ~variance:0. ~label ~status:Estimate.Unbiased ~sample_size:0 0.
+  else
   let big_nf = float_of_int big_n and nf = float_of_int n in
   let p_hat = float_of_int hits /. nf in
   let point = big_nf *. p_hat in
@@ -556,7 +565,11 @@ let run_set ~metrics rng catalog plan flavor =
   let big_n1 = float_of_int l_leaf.population in
   let big_n2 = float_of_int r_leaf.population in
   let n1f = float_of_int n1 and n2f = float_of_int n2 in
-  let p1 = n1f /. big_n1 and p2 = n2f /. big_n2 in
+  (* An empty side is a census of nothing: its inclusion probability is
+     1 (every tuple of the empty relation is in the sample), keeping
+     K̂ = X/(p₁p₂) well-defined with X = 0. *)
+  let incl nf big_nf = if big_nf = 0. then 1. else nf /. big_nf in
+  let p1 = incl n1f big_n1 and p2 = incl n2f big_n2 in
   let pair_prob nf big_nf =
     if big_nf < 2. then 1. else nf *. (nf -. 1.) /. (big_nf *. (big_nf -. 1.))
   in

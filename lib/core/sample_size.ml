@@ -2,12 +2,17 @@ let check_unit name x =
   if x <= 0. || x >= 1. then invalid_arg (Printf.sprintf "Sample_size: %s outside (0, 1)" name)
 
 let fpc_adjust ~big_n n0 =
-  let big_nf = float_of_int big_n in
-  let n = n0 *. big_nf /. (n0 +. big_nf) in
-  max 1 (min big_n (int_of_float (Float.ceil n)))
+  (* An empty universe needs no sample at all: clamping into [1, N]
+     would demand one tuple from zero, so the empty case short-circuits
+     to 0 and callers treat it as a census of nothing. *)
+  if big_n = 0 then 0
+  else
+    let big_nf = float_of_int big_n in
+    let n = n0 *. big_nf /. (n0 +. big_nf) in
+    max 1 (min big_n (int_of_float (Float.ceil n)))
 
 let selection ~big_n ~level ~target ~p =
-  if big_n <= 0 then invalid_arg "Sample_size.selection: empty relation";
+  if big_n < 0 then invalid_arg "Sample_size.selection: negative population";
   check_unit "level" level;
   check_unit "target" target;
   check_unit "p" p;
@@ -16,7 +21,7 @@ let selection ~big_n ~level ~target ~p =
   fpc_adjust ~big_n n0
 
 let selection_absolute ~big_n ~level ~half_width ~p =
-  if big_n <= 0 then invalid_arg "Sample_size.selection_absolute: empty relation";
+  if big_n < 0 then invalid_arg "Sample_size.selection_absolute: negative population";
   check_unit "level" level;
   check_unit "p" p;
   if half_width <= 0. then invalid_arg "Sample_size.selection_absolute: half_width <= 0";

@@ -8,9 +8,11 @@
 
     {v n = ceil( n₀·N / (n₀ + N) )   with   n₀ = z²(1−p)/(e²·p) v}
 
-    Rarer predicates need more tuples (the 1/p factor).
+    Rarer predicates need more tuples (the 1/p factor).  An empty
+    universe ([big_n = 0]) needs no sample: the result is 0 and the
+    estimate downstream is an exact zero with a degenerate CI.
     @raise Invalid_argument if [p] or [target] is outside (0, 1),
-    [level] outside (0, 1), or [big_n <= 0]. *)
+    [level] outside (0, 1), or [big_n < 0]. *)
 val selection : big_n:int -> level:float -> target:float -> p:float -> int
 
 (** [selection_absolute ~big_n ~level ~half_width ~p] — minimal size for

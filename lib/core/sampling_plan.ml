@@ -22,12 +22,14 @@ type t = {
 
 let leaf_scale leaf =
   match leaf.mode with
-  | Srswor n -> float_of_int leaf.population /. float_of_int n
+  (* An empty leaf is sampled as [Srswor 0]: the sample IS the
+     population, i.e. a census, so its scale contribution is 1. *)
+  | Srswor n -> if leaf.population = 0 then 1. else float_of_int leaf.population /. float_of_int n
   | Bernoulli p -> 1. /. p
 
 let check_mode ~population ~relation = function
   | Srswor n ->
-    if n <= 0 || n > population then
+    if n < 0 || n > population || (n = 0 && population > 0) then
       invalid_arg
         (Printf.sprintf "Sampling_plan: sample size %d out of range for %S (N=%d)" n
            relation population)
@@ -42,8 +44,6 @@ let make_custom catalog ~mode expr =
     Expr.map_bases
       (fun occurrence relation ->
         let population = Relation.cardinality (Catalog.find catalog relation) in
-        if population = 0 then
-          invalid_arg (Printf.sprintf "Sampling_plan: relation %S is empty" relation);
         let m = mode occurrence relation population in
         check_mode ~population ~relation m;
         let alias = Printf.sprintf "%s#%d" relation occurrence in

@@ -27,9 +27,11 @@ type t = private {
 }
 
 (** [make catalog ~fraction expr] plans an SRSWOR of the given fraction
-    at every leaf (see {!Sampling.Srs.size_of_fraction}).
-    @raise Invalid_argument if [fraction] is outside (0, 1] or some leaf
-    relation is empty.
+    at every leaf (see {!Sampling.Srs.size_of_fraction}).  An empty leaf
+    is planned as [Srswor 0] — a census of nothing with scale 1 — so
+    expressions over empty relations estimate to an exact 0 rather than
+    raising.
+    @raise Invalid_argument if [fraction] is outside (0, 1].
     @raise Failure if a leaf is unbound in the catalog. *)
 val make : Relational.Catalog.t -> fraction:float -> Relational.Expr.t -> t
 

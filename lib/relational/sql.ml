@@ -1,14 +1,40 @@
 (* The clause structure is split by scanning for top-level keywords
    (outside string literals); clause bodies are parsed by small
    hand-rolled readers, with WHERE and ON conditions delegated to
-   {!Parser.parse_predicate} — the predicate language is shared. *)
+   {!Parser.parse_predicate} — the predicate language is shared.
 
-let fail format = Printf.ksprintf failwith format
+   Every reader knows the offset of its slice in the original query, so
+   failures report "at offset N (line L)" in the same format as
+   {!Parser.describe_error} — only the "Sql:" prefix differs. *)
+
+let describe source message offset =
+  let prefix = String.sub source 0 (min offset (String.length source)) in
+  let line =
+    1 + String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 prefix
+  in
+  Printf.sprintf "Sql: %s at offset %d (line %d) in %S" message offset line source
+
+let fail_at source offset format =
+  Printf.ksprintf (fun message -> failwith (describe source message offset)) format
 
 (* ------------------------------------------------------- clause split *)
 
 let is_word_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(* Trimmed substring of [text] over [lo, hi), paired with the offset of
+   its first retained character — the anchor for error positions. *)
+let trimmed_slice text lo hi =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi && is_space text.[!lo] do
+    incr lo
+  done;
+  while !hi > !lo && is_space text.[!hi - 1] do
+    decr hi
+  done;
+  (String.sub text !lo (!hi - !lo), !lo)
 
 (* Positions of [keyword] at word boundaries, outside '...' literals. *)
 let keyword_positions source keyword =
@@ -38,53 +64,52 @@ let single_position source keyword =
   match keyword_positions source keyword with
   | [] -> None
   | [ p ] -> Some p
-  | _ -> fail "Sql: multiple %s clauses (subqueries are not supported)" (String.uppercase_ascii keyword)
+  | _ :: second :: _ ->
+    fail_at source second "multiple %s clauses (subqueries are not supported)"
+      (String.uppercase_ascii keyword)
 
 type clauses = {
-  select : string;
-  from : string;
-  where : string option;
-  group_by : string option;
+  select : string * int;
+  from : string * int;
+  where : (string * int) option;
+  group_by : (string * int) option;
 }
 
 let split_clauses source =
   let select_pos =
     match single_position source "select" with
     | Some 0 -> 0
-    | Some _ | None -> fail "Sql: query must start with SELECT"
+    | Some _ | None -> fail_at source 0 "query must start with SELECT"
   in
   let from_pos =
     match single_position source "from" with
     | Some p -> p
-    | None -> fail "Sql: missing FROM clause"
+    | None -> fail_at source (String.length source) "missing FROM clause"
   in
   let where_pos = single_position source "where" in
   let group_pos = single_position source "group" in
   (match group_pos with
   | Some p ->
-    if keyword_positions (String.sub source p (String.length source - p)) "by" = [] then
-      fail "Sql: GROUP must be followed by BY"
+    if keyword_positions (String.sub source p (String.length source - p)) "by" = []
+    then fail_at source p "GROUP must be followed by BY"
   | None -> ());
-  let slice lo hi = String.trim (String.sub source lo (hi - lo)) in
   let end_of_query = String.length source in
   let where_end = Option.value group_pos ~default:end_of_query in
   let from_end = Option.value where_pos ~default:where_end in
   let group_by =
     Option.map
       (fun p ->
-        let body = slice p end_of_query in
-        (* Drop the leading "GROUP BY". *)
-        let body = String.sub body 5 (String.length body - 5) in
-        let body = String.trim body in
+        (* Drop the leading "GROUP", then require and drop "BY". *)
+        let body, body_pos = trimmed_slice source (p + 5) end_of_query in
         if String.length body < 2 || String.lowercase_ascii (String.sub body 0 2) <> "by"
-        then fail "Sql: GROUP must be followed by BY";
-        String.trim (String.sub body 2 (String.length body - 2)))
+        then fail_at source p "GROUP must be followed by BY";
+        trimmed_slice source (body_pos + 2) end_of_query)
       group_pos
   in
   {
-    select = slice (select_pos + 6) from_pos;
-    from = slice (from_pos + 4) from_end;
-    where = Option.map (fun p -> slice (p + 5) where_end) where_pos;
+    select = trimmed_slice source (select_pos + 6) from_pos;
+    from = trimmed_slice source (from_pos + 4) from_end;
+    where = Option.map (fun p -> trimmed_slice source (p + 5) where_end) where_pos;
     group_by;
   }
 
@@ -95,64 +120,63 @@ type item =
   | Attr of string
   | Agg of Expr.agg * string  (* function, output name *)
 
-let split_top_commas text =
+(* Split [text] at top-level commas; each part is trimmed and paired
+   with [base] plus its offset within [text], i.e. its position in the
+   original query. *)
+let split_top_commas ~base text =
+  let n = String.length text in
   let parts = ref [] in
-  let buffer = Buffer.create 32 in
+  let start = ref 0 in
   let depth = ref 0 and in_string = ref false in
-  String.iter
-    (fun c ->
-      if c = '\'' then begin
-        in_string := not !in_string;
-        Buffer.add_char buffer c
-      end
-      else if !in_string then Buffer.add_char buffer c
-      else
+  let flush stop =
+    let part, pos = trimmed_slice text !start stop in
+    parts := (part, base + pos) :: !parts;
+    start := stop + 1
+  in
+  String.iteri
+    (fun i c ->
+      if c = '\'' then in_string := not !in_string
+      else if not !in_string then
         match c with
-        | '(' ->
-          incr depth;
-          Buffer.add_char buffer c
-        | ')' ->
-          decr depth;
-          Buffer.add_char buffer c
-        | ',' when !depth = 0 ->
-          parts := Buffer.contents buffer :: !parts;
-          Buffer.clear buffer
-        | _ -> Buffer.add_char buffer c)
+        | '(' -> incr depth
+        | ')' -> decr depth
+        | ',' when !depth = 0 -> flush i
+        | _ -> ())
     text;
-  parts := Buffer.contents buffer :: !parts;
-  List.rev_map String.trim !parts
+  flush n;
+  List.rev !parts
 
-let parse_agg_call text =
+let parse_agg_call ~source ~pos text =
   (* "func ( arg )" with optional trailing "as name". *)
   match String.index_opt text '(' with
   | None -> None
   | Some open_paren -> (
     let func = String.trim (String.sub text 0 open_paren) in
     match String.index_opt text ')' with
-    | None -> fail "Sql: unbalanced parentheses in %S" text
+    | None -> fail_at source (pos + open_paren) "unbalanced parentheses in %S" text
     | Some close_paren ->
       let arg =
         String.trim (String.sub text (open_paren + 1) (close_paren - open_paren - 1))
       in
-      let rest = String.trim (String.sub text (close_paren + 1) (String.length text - close_paren - 1)) in
+      let rest, rest_pos = trimmed_slice text (close_paren + 1) (String.length text) in
       let output =
         if rest = "" then None
         else begin
           let lower = String.lowercase_ascii rest in
           if String.length lower > 3 && String.sub lower 0 3 = "as " then
             Some (String.trim (String.sub rest 3 (String.length rest - 3)))
-          else fail "Sql: unexpected text %S after aggregate" rest
+          else fail_at source (pos + rest_pos) "unexpected text %S after aggregate" rest
         end
       in
       let f =
         match (String.lowercase_ascii func, arg) with
         | "count", "*" -> Expr.Count
-        | "count", a -> fail "Sql: only COUNT(*) is supported, not COUNT(%s)" a
+        | "count", a -> fail_at source pos "only COUNT(*) is supported, not COUNT(%s)" a
         | "sum", a -> Expr.Sum a
         | "avg", a -> Expr.Avg a
         | "min", a -> Expr.Min a
         | "max", a -> Expr.Max a
-        | (f, _) -> fail "Sql: unknown aggregate %S" f
+        | (f, _) -> fail_at source pos "unknown aggregate %S" f
       in
       let default =
         match f with
@@ -164,74 +188,75 @@ let parse_agg_call text =
       in
       Some (Agg (f, Option.value output ~default)))
 
-let parse_select_items text =
-  let text = String.trim text in
+let parse_select_items ~source (text, base) =
   if text = "*" then (false, [ Star ])
   else begin
     let lower = String.lowercase_ascii text in
-    let distinct, body =
+    let distinct, (body, base) =
       if String.length lower >= 9 && String.sub lower 0 9 = "distinct " then
-        (true, String.trim (String.sub text 9 (String.length text - 9)))
-      else (false, text)
+        let body, pos = trimmed_slice text 9 (String.length text) in
+        (true, (body, base + pos))
+      else (false, (text, base))
     in
     let items =
       List.map
-        (fun part ->
-          if part = "" then fail "Sql: empty select item";
+        (fun (part, pos) ->
+          if part = "" then fail_at source pos "empty select item";
           if part = "*" then Star
           else
-            match parse_agg_call part with
+            match parse_agg_call ~source ~pos part with
             | Some item -> item
             | None ->
               if String.for_all (fun c -> is_word_char c || c = '.') part then Attr part
-              else fail "Sql: unsupported select item %S" part)
-        (split_top_commas body)
+              else fail_at source pos "unsupported select item %S" part)
+        (split_top_commas ~base body)
     in
     (distinct, items)
   end
 
 (* --------------------------------------------------------- FROM clause *)
 
-let parse_from text =
+let parse_from ~source (text, base) =
   let join_positions = keyword_positions text "join" in
   if join_positions = [] then begin
     (* Comma-separated product list. *)
-    let names = split_top_commas text in
+    let names = split_top_commas ~base text in
     match names with
-    | [] -> fail "Sql: empty FROM clause"
-    | first :: rest ->
-      let check name =
-        if name = "" || not (String.for_all (fun c -> is_word_char c || c = '.') name) then
-          fail "Sql: unsupported FROM item %S (aliases are not supported)" name
+    | [] -> fail_at source base "empty FROM clause"
+    | (first, first_pos) :: rest ->
+      let check (name, pos) =
+        if name = "" || not (String.for_all (fun c -> is_word_char c || c = '.') name)
+        then fail_at source pos "unsupported FROM item %S (aliases are not supported)" name
       in
-      check first;
+      check (first, first_pos);
       List.iter check rest;
       List.fold_left
-        (fun acc name -> Expr.Product (acc, Expr.Base name))
+        (fun acc (name, _) -> Expr.Product (acc, Expr.Base name))
         (Expr.Base first) rest
   end
   else begin
     (* rel JOIN rel ON cond (JOIN rel ON cond)* *)
-    let segment lo hi = String.trim (String.sub text lo (hi - lo)) in
-    let first = segment 0 (List.hd join_positions) in
+    let first, first_pos = trimmed_slice text 0 (List.hd join_positions) in
     if String.contains first ',' then
-      fail "Sql: mixing comma-lists and JOIN in FROM is not supported";
+      fail_at source (base + first_pos)
+        "mixing comma-lists and JOIN in FROM is not supported";
     let rec build acc = function
       | [] -> acc
       | join_pos :: rest ->
         let segment_end =
           match rest with next :: _ -> next | [] -> String.length text
         in
-        let body = segment (join_pos + 4) segment_end in
+        let body, body_pos = trimmed_slice text (join_pos + 4) segment_end in
         let on_positions = keyword_positions body "on" in
         (match on_positions with
-        | [] -> fail "Sql: JOIN without ON"
+        | [] -> fail_at source (base + join_pos) "JOIN without ON"
         | on_pos :: _ ->
           let right_name = String.trim (String.sub body 0 on_pos) in
           let condition =
             String.trim (String.sub body (on_pos + 2) (String.length body - on_pos - 2))
           in
-          if right_name = "" then fail "Sql: JOIN missing right relation";
+          if right_name = "" then
+            fail_at source (base + body_pos) "JOIN missing right relation";
           let right = Expr.Base right_name in
           (* Without the catalog we cannot orient equality pairs, so a
              θ-join is emitted; {!Optimizer} rewrites equality θ-joins
@@ -249,54 +274,60 @@ let parse source =
   (* Reject constructs we do not support, with useful messages. *)
   List.iter
     (fun (keyword, what) ->
-      if keyword_positions source keyword <> [] then fail "Sql: %s is not supported" what)
+      match keyword_positions source keyword with
+      | [] -> ()
+      | pos :: _ -> fail_at source pos "%s is not supported" what)
     [ ("order", "ORDER BY"); ("having", "HAVING"); ("limit", "LIMIT") ];
-  let from_expr = parse_from clauses.from in
+  let from_expr = parse_from ~source clauses.from in
   let filtered =
     match clauses.where with
-    | Some text -> Expr.Select (Parser.parse_predicate text, from_expr)
+    | Some (text, _) -> Expr.Select (Parser.parse_predicate text, from_expr)
     | None -> from_expr
   in
-  let distinct, items = parse_select_items clauses.select in
+  let distinct, items = parse_select_items ~source clauses.select in
+  let select_pos = snd clauses.select in
   let group_attrs =
     Option.map
-      (fun text ->
+      (fun (text, base) ->
         List.map
-          (fun part ->
+          (fun (part, pos) ->
             if part = "" || not (String.for_all (fun c -> is_word_char c || c = '.') part)
-            then fail "Sql: bad GROUP BY attribute %S" part
+            then fail_at source pos "bad GROUP BY attribute %S" part
             else part)
-          (split_top_commas text))
+          (split_top_commas ~base text))
       clauses.group_by
   in
   let aggs = List.filter_map (function Agg (f, o) -> Some (f, o) | _ -> None) items in
   let plain = List.filter_map (function Attr a -> Some a | _ -> None) items in
   let has_star = List.exists (function Star -> true | _ -> false) items in
   match (group_attrs, aggs) with
-  | Some group, _ when has_star -> ignore group; fail "Sql: SELECT * with GROUP BY"
+  | Some group, _ when has_star ->
+    ignore group;
+    fail_at source select_pos "SELECT * with GROUP BY"
   | Some group, [] ->
     (* Pure grouping: distinct projection onto the group attributes. *)
     List.iter
       (fun a ->
         if not (List.mem a group) then
-          fail "Sql: select item %S is not in GROUP BY" a)
+          fail_at source select_pos "select item %S is not in GROUP BY" a)
       plain;
     Expr.Distinct (Expr.Project (group, filtered))
   | Some group, aggs ->
     List.iter
       (fun a ->
         if not (List.mem a group) then
-          fail "Sql: select item %S is not in GROUP BY" a)
+          fail_at source select_pos "select item %S is not in GROUP BY" a)
       plain;
     Expr.Aggregate (group, aggs, filtered)
   | None, [] ->
     if has_star then
       if distinct then Expr.Distinct filtered else filtered
-    else if plain = [] then fail "Sql: empty select list"
+    else if plain = [] then fail_at source select_pos "empty select list"
     else if distinct then Expr.Distinct (Expr.Project (plain, filtered))
     else Expr.Project (plain, filtered)
   | None, aggs ->
-    if plain <> [] then fail "Sql: mixing attributes and aggregates needs GROUP BY";
+    if plain <> [] then
+      fail_at source select_pos "mixing attributes and aggregates needs GROUP BY";
     Expr.Aggregate ([], aggs, filtered)
 
 let parse_optimized catalog source = Optimizer.optimize catalog (parse source)

@@ -27,7 +27,9 @@
 
 (** Translate a SQL query to algebra.
     @raise Failure with a descriptive message on unsupported or
-    malformed SQL. *)
+    malformed SQL, carrying source-position context in the same format
+    as {!Parser.describe_error}:
+    ["Sql: <message> at offset <n> (line <l>) in <query>"]. *)
 val parse : string -> Expr.t
 
 (** {!parse} followed by {!Optimizer.optimize} (join recognition,

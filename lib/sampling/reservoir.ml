@@ -22,13 +22,25 @@ let create ?(algorithm = `R) rng ~capacity =
     next_index = 0;
   }
 
+(* Li's geometric skip ⌊log u / log(1−w)⌋, clamped into [0, max_int].
+   As w → 0⁺ the raw float exceeds [max_int] and a bare [int_of_float]
+   wraps negative (undefined conversion), which used to drag
+   [next_index] backwards and re-admit elements with the wrong
+   probability; once w underflows to exactly 0 the ratio is −∞.  Either
+   way the true skip is "past the end of any realizable stream", so the
+   clamp saturates to [max_int]. *)
+let skip_of_weight ~w u =
+  let raw = Float.floor (log u /. log (1. -. w)) in
+  if Float.is_nan raw || raw < 0. || raw >= float_of_int max_int then max_int
+  else int_of_float raw
+
 let advance_l t =
   (* Geometric skip of Li (1994): update the weight then jump. *)
   t.w <- t.w *. exp (log (Rng.positive_float t.rng) /. float_of_int t.capacity);
-  let skip =
-    int_of_float (Float.floor (log (Rng.positive_float t.rng) /. log (1. -. t.w)))
-  in
-  t.next_index <- t.next_index + skip + 1
+  let skip = skip_of_weight ~w:t.w (Rng.positive_float t.rng) in
+  (* Saturating add: next_index must stay monotone even at the clamp. *)
+  t.next_index <-
+    (if t.next_index > max_int - skip - 1 then max_int else t.next_index + skip + 1)
 
 let add t x =
   t.seen <- t.seen + 1;

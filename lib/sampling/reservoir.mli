@@ -26,3 +26,11 @@ val add_all : 'a t -> 'a array -> unit
 
 (** One-shot SRSWOR of size [min k (length array)] via a reservoir. *)
 val sample : ?algorithm:[ `R | `L ] -> Rng.t -> k:int -> 'a array -> 'a array
+
+(** [skip_of_weight ~w u] — Algorithm L's geometric skip
+    [⌊log u / log(1−w)⌋] for acceptance weight [w] and uniform draw
+    [u ∈ (0, 1)], clamped into [[0, max_int]].  As [w → 0⁺] the raw
+    float exceeds [max_int] (and is −∞ once [w] underflows to 0), where
+    a bare [int_of_float] is undefined and wrapped negative; the clamp
+    saturates instead.  Exposed for the overflow regression tests. *)
+val skip_of_weight : w:float -> float -> int

@@ -142,7 +142,10 @@ let incomplete_beta ~a ~b x =
   end
 
 let student_t_cdf ~df t =
-  if df <= 0. then invalid_arg "Distributions.student_t_cdf: df must be positive";
+  (* [not (df > 0.)] rather than [df <= 0.]: a NaN df fails every
+     comparison, so the old guard let it through and the incomplete-beta
+     series silently returned garbage. *)
+  if not (df > 0.) then invalid_arg "Distributions.student_t_cdf: df must be positive";
   if t = 0. then 0.5
   else
     let x = df /. (df +. (t *. t)) in
@@ -150,9 +153,13 @@ let student_t_cdf ~df t =
     if t > 0. then 1. -. tail else tail
 
 let student_t_quantile ~df p =
-  if p <= 0. || p >= 1. then
+  if not (p > 0. && p < 1.) then
     invalid_arg "Distributions.student_t_quantile: p outside (0, 1)";
-  if df <= 0. then invalid_arg "Distributions.student_t_quantile: df must be positive";
+  (* NaN-proof as in [student_t_cdf]: with a NaN df the bracket loops
+     exit immediately (every comparison is false) and the bisection
+     converges on the seed value — a silently wrong quantile. *)
+  if not (df > 0.) then
+    invalid_arg "Distributions.student_t_quantile: df must be positive";
   if p = 0.5 then 0.
   else begin
     (* Bracket then bisect; the normal quantile seeds the bracket. *)

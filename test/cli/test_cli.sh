@@ -31,6 +31,14 @@ echo "$out" | expect "estimate line" "estimated COUNT: [0-9]+"
 echo "$out" | expect "sample size line" "sampled 1000 of 20000"
 echo "$out" | expect "ci line" "95% CI: \[[0-9]+, [0-9]+\]"
 
+# an empty relation estimates to an exact 0 with a degenerate CI (it
+# used to raise "sample size out of range" through the Sample_size clamp)
+printf 'a:int\n' > "$workdir/empty.csv"
+out="$("$cli" estimate "$workdir/empty.csv" --where "a < 30" -f 0.05)"
+echo "$out" | expect "empty estimate" "estimated COUNT: 0"
+echo "$out" | expect "empty census" "sampled 0 of 0 tuples \(100.00%\)"
+echo "$out" | expect "empty degenerate ci" "95% CI: \[0, 0\]"
+
 # join ------------------------------------------------------------------
 out="$("$cli" join "$workdir/u.csv" "$workdir/z.csv" --on a=b -f 0.2 --check)"
 echo "$out" | expect "join estimate" "estimated join size: [0-9]+"
@@ -64,6 +72,23 @@ echo "$out" | expect "plan order" "chosen order: +x ⋈ y|chosen order: +y ⋈ x
 out="$("$cli" sweep "$workdir/u.csv" --where "a < 30" --reps 5)"
 echo "$out" | expect "sweep header" "fraction +mean rel.err"
 echo "$out" | expect "sweep rows" "0.200"
+
+# fuzz ----------------------------------------------------------------------
+out="$("$cli" fuzz --budget 40 --seed 1988 2>/dev/null)"
+echo "$out" | expect "fuzz clean run" "fuzz: 40 cases, 0 failures \(seed 1988, replicates 24\)"
+
+# a well-formed seed file naming a case the reference estimator passes
+# replays as PASS and exits 0
+cat > "$workdir/replay.txt" <<'EOF'
+raestat-fuzz/1
+seed 1988
+case 0
+replicates 24
+oracle census
+# comment lines and blank lines are ignored
+EOF
+out="$("$cli" fuzz --replay "$workdir/replay.txt")"
+echo "$out" | expect "fuzz replay pass" "replay: PASS .* case 0 \(seed 1988\) no longer fails oracle census"
 
 # explain -----------------------------------------------------------------
 # The plan printer is deterministic (no sampling happens), so the whole
@@ -172,8 +197,17 @@ printf 'a:int\n1\noops\n' > "$workdir/badval.csv"
 expect_error "csv bad value" 'Csv: line 3, field 1 \(a\)' \
   estimate "$workdir/badval.csv" --where "a < 30" -f 0.5
 
-expect_error "bad sql" "Sql: " \
+# SQL and relational-parser errors both carry offset/line positions in
+# the same format; pin both exact messages so neither can drift.
+expect_error "bad sql" \
+  'Sql: query must start with SELECT at offset 0 \(line 1\) in "FROB COUNT\(\*\) FROM r"' \
   sql "FROB COUNT(*) FROM r" --rel "r=$workdir/u.csv"
+expect_error "bad sql position" \
+  'Sql: ORDER BY is not supported at offset 23 \(line 1\) in "SELECT COUNT\(\*\) FROM r ORDER BY a"' \
+  sql "SELECT COUNT(*) FROM r ORDER BY a" --rel "r=$workdir/u.csv"
+expect_error "bad algebra position" \
+  'Parser: unexpected character .!. at offset 7 \(line 1\) in "select\[!\]\(r\)"' \
+  query "select[!](r)" --rel "r=$workdir/u.csv" -f 0.05
 
 expect_error "missing file" ".*missing.csv: No such file or directory" \
   query "select[a < 30](r)" --rel "r=$workdir/missing.csv"
@@ -199,5 +233,17 @@ expect_error "sql fraction zero" '--fraction 0 outside \(0, 1\]' \
   sql "SELECT COUNT(*) FROM r" --rel "r=$workdir/u.csv" -f 0
 expect_error "explain fraction nan" '--fraction nan outside \(0, 1\]' \
   explain estimate "$workdir/u.csv" --where "a < 30" -f nan
+
+# fuzz argument validation: a single replicate would feed df = 0 to the
+# Student-t quantile, which satellite 3 made a hard error — the CLI must
+# refuse it up front with the one-line contract.
+expect_error "fuzz replicates too low" \
+  '--replicates must be at least 2: the unbiasedness oracle feeds df = replicates - 1 to the Student-t quantile, and df = 0 has no quantile' \
+  fuzz --budget 5 --replicates 1
+expect_error "fuzz budget zero" '--budget must be positive' \
+  fuzz --budget 0
+printf 'bogus/9\nseed 1\n' > "$workdir/badreplay.txt"
+expect_error "fuzz corrupt seed file" ".*badreplay.txt: not a raestat-fuzz/1 seed file" \
+  fuzz --replay "$workdir/badreplay.txt"
 
 echo "CLI TESTS PASSED"

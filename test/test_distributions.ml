@@ -80,6 +80,31 @@ let test_student_t_quantile () =
   (* Roundtrip. *)
   check_float ~eps:1e-6 "roundtrip" 0.9 (D.student_t_cdf ~df:12. (D.student_t_quantile ~df:12. 0.9))
 
+let test_student_t_degenerate_df_rejected () =
+  (* Regression: [df <= 0.] let a NaN df through (NaN fails every
+     comparison) and the bisection silently converged on its seed —
+     e.g. the variance of a single replicate is 0/0 and df = n−1 can
+     reach the quantile as NaN or 0.  All of these must raise. *)
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  List.iter
+    (fun df ->
+      Alcotest.(check bool)
+        (Printf.sprintf "quantile df=%g rejected" df)
+        true
+        (rejects (fun () -> D.student_t_quantile ~df 0.975));
+      Alcotest.(check bool)
+        (Printf.sprintf "cdf df=%g rejected" df)
+        true
+        (rejects (fun () -> D.student_t_cdf ~df 1.5)))
+    [ 0.; -1.; Float.nan ];
+  Alcotest.(check bool) "NaN p rejected" true
+    (rejects (fun () -> D.student_t_quantile ~df:5. Float.nan))
+
 let test_binomial_moments () =
   let mean, var = D.binomial_mean_var ~n:100 ~p:0.3 in
   check_float "mean" 30. mean;
@@ -118,6 +143,8 @@ let suite =
     Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
     Alcotest.test_case "student t cdf" `Quick test_student_t_cdf;
     Alcotest.test_case "student t quantile" `Quick test_student_t_quantile;
+    Alcotest.test_case "student t degenerate df rejected" `Quick
+      test_student_t_degenerate_df_rejected;
     Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
     Alcotest.test_case "hypergeometric moments" `Quick test_hypergeometric_moments;
     prop_cdf_monotone;

@@ -56,6 +56,7 @@ let () =
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
       ("estplan", Test_estplan.suite);
+      ("check", Test_check.suite);
       ("golden", Test_golden.suite);
       ("robustness", Test_robustness.suite);
     ]

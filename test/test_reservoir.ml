@@ -59,6 +59,42 @@ let test_one_shot_sample () =
   let small = Reservoir.sample (rng ()) ~k:5 [| 1; 2 |] in
   Alcotest.(check int) "short stream" 2 (Array.length small)
 
+let test_skip_clamp () =
+  (* Regression: the raw Li skip [log u / log(1−w)] exceeds [max_int]
+     as w → 0⁺, and a bare [int_of_float] wrapped it negative, dragging
+     [next_index] backwards.  The clamp saturates to [max_int]. *)
+  Alcotest.(check int) "tiny weight saturates" max_int
+    (Reservoir.skip_of_weight ~w:1e-300 0.5);
+  Alcotest.(check int) "underflowed weight saturates" max_int
+    (Reservoir.skip_of_weight ~w:0. 0.5);
+  (* Ordinary weights keep the exact Li skip. *)
+  Alcotest.(check int) "moderate weight exact" 13
+    (Reservoir.skip_of_weight ~w:0.05 0.5);
+  Alcotest.(check int) "u near 1 skips nothing" 0
+    (Reservoir.skip_of_weight ~w:0.5 0.9);
+  Alcotest.(check bool) "always non-negative" true
+    (List.for_all
+       (fun (w, u) -> Reservoir.skip_of_weight ~w u >= 0)
+       [ (1e-18, 1e-18); (1. -. 1e-16, 0.999999); (1e-308, 0.9999) ])
+
+let test_long_stream_l () =
+  (* A long Algorithm-L stream exercises hundreds of geometric skips;
+     before the clamp a wrapped skip could re-admit elements or stall
+     the cursor.  The invariants must hold at every prefix length. *)
+  let t = Reservoir.create ~algorithm:`L (rng ()) ~capacity:4 in
+  let n = 300_000 in
+  for i = 0 to n - 1 do
+    Reservoir.add t i
+  done;
+  Alcotest.(check int) "seen" n (Reservoir.seen t);
+  let contents = Reservoir.contents t in
+  Alcotest.(check int) "size capped" 4 (Array.length contents);
+  Array.iter
+    (fun x -> if x < 0 || x >= n then Alcotest.failf "alien element %d" x)
+    contents;
+  Alcotest.(check int) "distinct" 4
+    (List.length (List.sort_uniq Int.compare (Array.to_list contents)))
+
 let test_invalid_capacity () =
   Alcotest.check_raises "zero" (Invalid_argument "Reservoir.create: capacity must be positive")
     (fun () -> ignore (Reservoir.create (rng ()) ~capacity:0))
@@ -71,5 +107,7 @@ let suite =
     Alcotest.test_case "algorithm R uniform" `Slow test_uniform_r;
     Alcotest.test_case "algorithm L uniform" `Slow test_uniform_l;
     Alcotest.test_case "one-shot sample" `Quick test_one_shot_sample;
+    Alcotest.test_case "geometric skip clamped" `Quick test_skip_clamp;
+    Alcotest.test_case "long stream (algorithm L)" `Quick test_long_stream_l;
     Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
   ]

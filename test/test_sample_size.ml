@@ -100,6 +100,35 @@ let test_plan_cost () =
   let cost = SS.plan_cost c ~fraction:0.1 (Expr.product (Expr.base "r") (Expr.base "s")) in
   check_float "10 + 5" 15. cost
 
+let test_empty_universe_needs_no_sample () =
+  (* big_n = 0: the old [max 1 (min big_n …)] clamp demanded one tuple
+     from an empty universe; the fix short-circuits to 0. *)
+  Alcotest.(check int) "selection" 0
+    (SS.selection ~big_n:0 ~level:0.95 ~target:0.1 ~p:0.5);
+  Alcotest.(check int) "absolute" 0
+    (SS.selection_absolute ~big_n:0 ~level:0.95 ~half_width:10. ~p:0.5);
+  Alcotest.(check bool) "negative still rejected" true
+    (try
+       ignore (SS.selection ~big_n:(-1) ~level:0.95 ~target:0.1 ~p:0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_empty_universe_estimate_is_exact_zero () =
+  (* The planned n = 0 must flow through the selection estimator as a
+     census of nothing: point 0, degenerate zero-width CI. *)
+  let est = CE.selection_of_counts ~big_n:0 ~n:0 ~hits:0 in
+  check_float "point" 0. est.Estimate.point;
+  check_float "variance" 0. est.Estimate.variance;
+  let ci = Estimate.ci ~level:0.95 est in
+  check_float "ci lo" 0. ci.Stats.Confidence.lo;
+  check_float "ci hi" 0. ci.Stats.Confidence.hi;
+  (* A positive universe still refuses an empty sample. *)
+  Alcotest.(check bool) "n=0 with N>0 rejected" true
+    (try
+       ignore (CE.selection_of_counts ~big_n:10 ~n:0 ~hits:0);
+       false
+     with Invalid_argument _ -> true)
+
 let test_validation () =
   Alcotest.(check bool) "bad p" true
     (try
@@ -135,5 +164,9 @@ let suite =
     Alcotest.test_case "equijoin monotone in target" `Quick
       test_equijoin_tighter_needs_higher_rate;
     Alcotest.test_case "plan cost" `Quick test_plan_cost;
+    Alcotest.test_case "empty universe needs no sample" `Quick
+      test_empty_universe_needs_no_sample;
+    Alcotest.test_case "empty universe estimate is exact zero" `Quick
+      test_empty_universe_estimate_is_exact_zero;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

@@ -81,11 +81,39 @@ let test_invalid_modes () =
        false
      with Invalid_argument _ -> true)
 
-let test_empty_relation_rejected () =
-  let c = Catalog.of_list [ ("e", Relation.empty (Schema.of_list [ ("a", Value.Tint) ])) ] in
-  Alcotest.(check bool) "empty leaf" true
+let test_empty_relation_is_census_of_nothing () =
+  (* Regression: empty leaves used to raise from [make]; they now plan
+     as [Srswor 0] — a census with scale 1 — and estimate to an exact 0
+     with a zero-width CI instead of an exception. *)
+  let c =
+    Catalog.of_list
+      [
+        ("e", Relation.empty (Schema.of_list [ ("a", Value.Tint) ]));
+        ("r", int_relation (List.init 20 (fun i -> i)));
+      ]
+  in
+  let plan = Plan.make c ~fraction:0.5 (Expr.base "e") in
+  (match plan.Plan.leaves with
+  | [ leaf ] ->
+    Alcotest.(check int) "population" 0 leaf.Plan.population;
+    Alcotest.(check bool) "empty census mode" true (leaf.Plan.mode = Plan.Srswor 0);
+    check_float "leaf scale" 1. (Plan.leaf_scale leaf)
+  | _ -> Alcotest.fail "expected one leaf");
+  check_float "plan scale" 1. plan.Plan.scale;
+  let sampled, total = Plan.draw (rng ()) c plan in
+  Alcotest.(check int) "nothing drawn" 0 total;
+  Alcotest.(check int) "empty sample bound" 0
+    (Relation.cardinality (Catalog.find sampled "e#0"));
+  (* End to end: a join against an empty relation estimates 0. *)
+  let est =
+    Raestat.Count_estimator.estimate (rng ()) c ~fraction:0.5
+      (Expr.product (Expr.base "r") (Expr.base "e"))
+  in
+  check_float "estimate" 0. est.Stats.Estimate.point;
+  (* A non-empty leaf still refuses a zero-size sample. *)
+  Alcotest.(check bool) "Srswor 0 on non-empty leaf rejected" true
     (try
-       ignore (Plan.make c ~fraction:0.5 (Expr.base "e"));
+       ignore (Plan.make_custom c ~mode:(fun _ _ _ -> Plan.Srswor 0) (Expr.base "r"));
        false
      with Invalid_argument _ -> true)
 
@@ -99,5 +127,6 @@ let suite =
       test_rewritten_expression_evaluates;
     Alcotest.test_case "custom modes" `Quick test_custom_modes;
     Alcotest.test_case "invalid modes" `Quick test_invalid_modes;
-    Alcotest.test_case "empty relation rejected" `Quick test_empty_relation_rejected;
+    Alcotest.test_case "empty relation is census of nothing" `Quick
+      test_empty_relation_is_census_of_nothing;
   ]

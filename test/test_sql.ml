@@ -120,6 +120,33 @@ let test_rejections () =
   rejects "SELECT * FROM orders JOIN customers";
   rejects "SELECT * FROM orders WHERE o_cust = (SELECT c_id FROM customers)"
 
+let test_error_positions () =
+  (* Sql errors carry offset/line context in the Parser.describe_error
+     format; pin a few exact messages so the format cannot drift. *)
+  let fails_with expected text =
+    Alcotest.(check string) text expected
+      (try
+         ignore (Sql.parse text);
+         "<no error>"
+       with Failure message -> message)
+  in
+  fails_with
+    "Sql: ORDER BY is not supported at offset 21 (line 1) in \
+     \"SELECT * FROM orders ORDER BY o_amount\""
+    "SELECT * FROM orders ORDER BY o_amount";
+  fails_with
+    "Sql: query must start with SELECT at offset 0 (line 1) in \"DELETE FROM orders\""
+    "DELETE FROM orders";
+  fails_with
+    "Sql: only COUNT(*) is supported, not COUNT(o_cust) at offset 7 (line 1) in \
+     \"SELECT COUNT(o_cust) FROM orders\""
+    "SELECT COUNT(o_cust) FROM orders";
+  (* A newline before the offending token bumps the reported line. *)
+  fails_with
+    "Sql: ORDER BY is not supported at offset 21 (line 2) in \
+     \"SELECT * FROM orders\\nORDER BY o_amount\""
+    "SELECT * FROM orders\nORDER BY o_amount"
+
 let test_keyword_inside_string_literal () =
   let c =
     Catalog.of_list
@@ -176,6 +203,7 @@ let suite =
     Alcotest.test_case "global aggregates" `Quick test_global_aggregates;
     Alcotest.test_case "case insensitive" `Quick test_case_insensitive;
     Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
     Alcotest.test_case "keywords inside strings" `Quick test_keyword_inside_string_literal;
     Alcotest.test_case "count(*) target" `Quick test_count_star_target;
     Alcotest.test_case "sql → estimate pipeline" `Quick test_estimation_pipeline;
