@@ -1,14 +1,22 @@
-(* Regression gate over BENCH_micro.json reports.
+(* Regression gate over BENCH_micro.json (and optionally BENCH_io.json)
+   reports.
 
-     dune exec bench/compare.exe -- BASELINE.json FRESH.json [--threshold 0.25]
+     dune exec bench/compare.exe -- BASELINE.json FRESH.json \
+       [--threshold 0.25] [--io BASELINE_io.json FRESH_io.json]
 
    Guards the columnar kernel speedups: for every row/columnar pair
    below, the speedup (row ns / columnar ns) measured in FRESH must not
    fall more than [threshold] below the speedup recorded in BASELINE.
    Speedups are within-run ratios, so the check is meaningful across
-   machines and bechamel quotas, unlike absolute nanoseconds (the
-   committed baseline comes from a full-quota run on one box, CI runs
-   --quick on another).
+   machines, unlike absolute nanoseconds.  The committed baseline is
+   generated with the same `--quick` quota CI uses: the long
+   row-path benchmarks (f6's exact join) measure systematically
+   slower at full quota, so quota must match for ratios to compare.
+
+   With --io, the real-I/O counters of every row in the io report
+   (pages_read, bytes_read, io_batches, page_cache_hits) are pinned
+   exactly: they are seed-fixed and machine-independent, so any drift
+   is a change in what the storage layer actually reads, not noise.
 
    The reader is a hand-rolled scan of the {"name", "ns_per_run"} rows
    — no JSON library in the dependency set. *)
@@ -89,6 +97,9 @@ let counter_keys =
   [
     "tuples_scanned";
     "pages_read";
+    "bytes_read";
+    "io_batches";
+    "page_cache_hits";
     "sample_indices";
     "hash_probe_hits";
     "hash_probe_misses";
@@ -169,17 +180,112 @@ let check_counters ~failed baseline fresh =
         end)
     guarded_counter_rows
 
+(* --- io report pinning --------------------------------------------------
+
+   BENCH_io.json rows carry one named result object per line with the
+   real-I/O counters of a seed-fixed run.  Every row present in the
+   baseline must appear in the fresh report with identical counters. *)
+
+let io_counter_keys = [ "pages_read"; "bytes_read"; "io_batches"; "page_cache_hits" ]
+
+let io_row content name =
+  let pat = Printf.sprintf "\"name\": \"%s\"" name in
+  let len = String.length content and plen = String.length pat in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub content i plen = pat then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = try String.index_from content start '}' with Not_found -> len - 1 in
+    let row = String.sub content start (stop - start) in
+    let value key =
+      let kpat = Printf.sprintf "\"%s\": " key in
+      let klen = String.length kpat and rlen = String.length row in
+      let rec kfind i =
+        if i + klen > rlen then None
+        else if String.sub row i klen = kpat then Some (i + klen)
+        else kfind (i + 1)
+      in
+      match kfind 0 with
+      | None -> None
+      | Some vstart ->
+        let vend = ref vstart in
+        while !vend < rlen && (match row.[!vend] with '0' .. '9' -> true | _ -> false) do
+          incr vend
+        done;
+        int_of_string_opt (String.sub row vstart (!vend - vstart))
+    in
+    Some (List.map (fun key -> (key, value key)) io_counter_keys)
+
+let io_row_names content =
+  let len = String.length content in
+  let pat = "\"name\": \"" in
+  let plen = String.length pat in
+  let rec loop pos acc =
+    if pos + plen > len then List.rev acc
+    else if String.sub content pos plen = pat then begin
+      let start = pos + plen in
+      let stop = String.index_from content start '"' in
+      loop stop (String.sub content start (stop - start) :: acc)
+    end
+    else loop (pos + 1) acc
+  in
+  loop 0 []
+
+let check_io ~failed baseline fresh =
+  Printf.printf "\n%-24s %s\n" "io row" "verdict";
+  List.iter
+    (fun name ->
+      match (io_row baseline name, io_row fresh name) with
+      | None, _ -> ()
+      | Some _, None ->
+        failed := true;
+        Printf.printf "%-24s %s\n" name "MISSING in fresh report"
+      | Some base, Some fresh_row ->
+        let diffs =
+          List.filter_map
+            (fun (key, base_v) ->
+              let fresh_v = List.assoc key fresh_row in
+              if base_v = fresh_v then None
+              else
+                Some
+                  (Printf.sprintf "%s %s->%s" key
+                     (match base_v with Some v -> string_of_int v | None -> "-")
+                     (match fresh_v with Some v -> string_of_int v | None -> "-")))
+            base
+        in
+        if diffs = [] then Printf.printf "%-24s %s\n" name "identical"
+        else begin
+          failed := true;
+          Printf.printf "%-24s DRIFTED: %s\n" name (String.concat ", " diffs)
+        end)
+    (io_row_names baseline)
+
 let () =
   let usage () =
     prerr_endline
-      "usage: compare BASELINE.json FRESH.json [--threshold FRACTION]";
+      "usage: compare BASELINE.json FRESH.json [--threshold FRACTION] \
+       [--io BASELINE_io.json FRESH_io.json]";
     exit 2
   in
-  let baseline_path, fresh_path, threshold =
+  let baseline_path, fresh_path, threshold, io_paths =
+    let rec parse args (threshold, io_paths) =
+      match args with
+      | "--threshold" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some t -> parse rest (t, io_paths)
+        | None -> usage ())
+      | "--io" :: bi :: fi :: rest -> parse rest (threshold, Some (bi, fi))
+      | [] -> (threshold, io_paths)
+      | _ -> usage ()
+    in
     match Array.to_list Sys.argv with
-    | [ _; b; f ] -> (b, f, 0.25)
-    | [ _; b; f; "--threshold"; t ] -> (
-      match float_of_string_opt t with Some t -> (b, f, t) | None -> usage ())
+    | _ :: b :: f :: rest ->
+      let threshold, io_paths = parse rest (0.25, None) in
+      (b, f, threshold, io_paths)
     | _ -> usage ()
   in
   let baseline_content = read_file baseline_path in
@@ -206,10 +312,14 @@ let () =
         Printf.printf "%-28s %10s %10s %8s\n" col_bench "-" "-" "MISSING")
     guarded_pairs;
   check_counters ~failed baseline_content fresh_content;
+  (match io_paths with
+  | None -> ()
+  | Some (baseline_io, fresh_io) ->
+    check_io ~failed (read_file baseline_io) (read_file fresh_io));
   if !failed then begin
     Printf.eprintf
-      "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline \
-       or a guarded counter row drifted\n"
+      "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline, \
+       a guarded counter row drifted, or an io row's real-I/O counters changed\n"
       (100. *. threshold);
     exit 1
   end

@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- micro --json    ... and write BENCH_micro.json
      dune exec bench/main.exe -- micro --quick   fast smoke mode (CI) + overhead guard
      dune exec bench/main.exe -- micro --metrics ... with work counters per kernel
+     dune exec bench/main.exe -- io              pagefile real-I/O bench
+     dune exec bench/main.exe -- io --json       ... and write BENCH_io.json
 
    Experiment ids and what they reproduce are indexed in DESIGN.md §4
    and EXPERIMENTS.md. *)
@@ -24,11 +26,13 @@ let () =
   in
   let known = List.map fst Experiments.all in
   let invalid =
-    List.filter (fun id -> id <> "micro" && not (List.mem id known)) requested
+    List.filter
+      (fun id -> id <> "micro" && id <> "io" && not (List.mem id known))
+      requested
   in
   if invalid <> [] then begin
     Printf.eprintf
-      "unknown experiment(s): %s\nknown: %s micro (flags: --json --quick --metrics)\n"
+      "unknown experiment(s): %s\nknown: %s micro io (flags: --json --quick --metrics)\n"
       (String.concat " " invalid) (String.concat " " known);
     exit 2
   end;
@@ -43,4 +47,5 @@ let () =
       end)
     Experiments.all;
   if run_all || List.mem "micro" requested then Micro.run ~json ~quick ~metrics ();
+  if run_all || List.mem "io" requested then Io.run ~json ();
   Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)

@@ -351,11 +351,14 @@ let write_json ~path ~quota ?(counters = []) rows =
         | None -> ""
         | Some s ->
           Printf.sprintf
-            ", \"tuples_scanned\": %d, \"pages_read\": %d, \"sample_indices\": %d, \
+            ", \"tuples_scanned\": %d, \"pages_read\": %d, \"bytes_read\": %d, \
+             \"io_batches\": %d, \"page_cache_hits\": %d, \"sample_indices\": %d, \
              \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d"
             s.Obs.Metrics.tuples_scanned s.Obs.Metrics.pages_read
-            s.Obs.Metrics.sample_indices s.Obs.Metrics.hash_probe_hits
-            s.Obs.Metrics.hash_probe_misses s.Obs.Metrics.rng_draws
+            s.Obs.Metrics.bytes_read s.Obs.Metrics.io_batches
+            s.Obs.Metrics.page_cache_hits s.Obs.Metrics.sample_indices
+            s.Obs.Metrics.hash_probe_hits s.Obs.Metrics.hash_probe_misses
+            s.Obs.Metrics.rng_draws
       in
       Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %s%s}%s\n"
         (json_escape name) (json_float ns) work

@@ -2,11 +2,17 @@
 
    Subcommands:
      generate   write a synthetic single-column CSV
-     exact      exact COUNT of a filter over a CSV
-     estimate   sampled COUNT of a filter over a CSV, with a CI
-     join       estimated (and optionally exact) equi-join size of two CSVs
+     pack       pack a CSV into the binary paged format (.raf)
+     exact      exact COUNT of a filter over a relation
+     estimate   sampled COUNT of a filter over a relation, with a CI
+     join       estimated (and optionally exact) equi-join size of two relations
      distinct   distinct-value estimates for a column
      sweep      relative error vs sampling fraction for a filter
+
+   Every command that reads a relation accepts either a CSV file or a
+   packed pagefile — a .raf, see raestat pack — and picks the format by
+   extension.  With --pages M, estimate cluster-samples whole pages —
+   over a pagefile only the sampled pages are read from disk.
 
    Filters use a tiny predicate language: "attr OP value" where OP is
    one of = != < <= > >=, e.g. --where "age <= 40". *)
@@ -64,7 +70,10 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let csv_arg position name =
-  Arg.(required & pos position (some file) None & info [] ~docv:name ~doc:(name ^ " CSV file"))
+  Arg.(
+    required
+    & pos position (some file) None
+    & info [] ~docv:name ~doc:(name ^ " relation (CSV, or packed .raf)"))
 
 let where_arg =
   Arg.(
@@ -156,9 +165,42 @@ let with_metrics (enabled, trace, out) f =
     result
   end
 
-let load_catalog bindings =
+(* Relation loading dispatches on the extension: *.raf opens the binary
+   pagefile and materializes it through the paged reader — real I/O the
+   metrics sink sees — anything else is parsed as CSV (in-memory, no
+   I/O charged).  Materialization respects RAESTAT_MEMORY_CAP; under a
+   cap, cluster sampling (--pages) is the out-of-core path. *)
+
+let is_pagefile path = Filename.check_suffix path ".raf"
+
+let load_relation ?metrics path =
+  if is_pagefile path then begin
+    let pf = Relational.Pagefile.openfile path in
+    Fun.protect
+      ~finally:(fun () -> Relational.Pagefile.close pf)
+      (fun () -> Relational.Pagefile.to_relation ?metrics pf)
+  end
+  else Relational.Csv.load path
+
+let load_catalog ?metrics bindings =
   Relational.Catalog.of_list
-    (List.map (fun (name, path) -> (name, Relational.Csv.load path)) bindings)
+    (List.map (fun (name, path) -> (name, load_relation ?metrics path)) bindings)
+
+(* Page-granular view for cluster sampling: a pagefile is used directly
+   (only sampled pages are fetched), a CSV is loaded and split into
+   simulated pages. *)
+let with_paged ?page_capacity path f =
+  if is_pagefile path then begin
+    let pf = Relational.Pagefile.openfile path in
+    Fun.protect
+      ~finally:(fun () -> Relational.Pagefile.close pf)
+      (fun () -> f (Relational.Paged.of_pagefile pf))
+  end
+  else
+    let page_capacity =
+      Option.value page_capacity ~default:Relational.Pagefile.default_page_capacity
+    in
+    f (Relational.Paged.make ~page_capacity (Relational.Csv.load path))
 
 (* NAME=PATH binding for the --rel option of query/sql/plan/explain. *)
 let parse_binding spec =
@@ -215,6 +257,46 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a synthetic CSV relation")
     Term.(const run $ seed_arg $ n_arg $ out_arg $ column_arg $ dist_arg)
 
+(* --- pack ------------------------------------------------------------- *)
+
+let pack_cmd =
+  let run src dst page_capacity =
+    if page_capacity <= 0 then failwith "--page-capacity must be positive";
+    (* Streams the CSV: memory stays bounded by one page, not the
+       relation. *)
+    let n = Relational.Pagefile.pack_csv ~page_capacity ~src ~dst () in
+    let pf = Relational.Pagefile.openfile dst in
+    Fun.protect ~finally:(fun () -> Relational.Pagefile.close pf) @@ fun () ->
+    Printf.printf "packed %d tuples into %s: %d pages of up to %d rows, %d data bytes\n"
+      n dst
+      (Relational.Pagefile.page_count pf)
+      (Relational.Pagefile.page_capacity pf)
+      (Relational.Pagefile.data_bytes pf)
+  in
+  let src_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"CSV" ~doc:"Source CSV file.")
+  in
+  let dst_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"RAF" ~doc:"Destination pagefile (conventionally *.raf).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int Relational.Pagefile.default_page_capacity
+      & info [ "page-capacity" ] ~docv:"ROWS" ~doc:"Tuples per page.")
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Pack a CSV into the binary paged format (.raf): fixed-capacity pages of \
+          columnar segments with a page directory, read page-at-a-time by the \
+          estimators")
+    Term.(const run $ src_arg $ dst_arg $ capacity_arg)
+
 (* --- exact ------------------------------------------------------------ *)
 
 let exact_cmd =
@@ -231,29 +313,67 @@ let exact_cmd =
 (* --- estimate --------------------------------------------------------- *)
 
 let estimate_cmd =
-  let run seed path predicate fraction level metrics_opts =
+  let run seed path predicate fraction level pages metrics_opts =
     check_fraction fraction;
     check_unit_open ~option:"--level" level;
     let rng = rng_of_seed seed in
-    let catalog = load_catalog [ ("r", path) ] in
-    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
-    let n = Sampling.Srs.size_of_fraction ~fraction big_n in
-    let est =
-      with_metrics metrics_opts (fun metrics ->
-          Raestat.Count_estimator.selection ~metrics rng catalog ~relation:"r" ~n predicate)
-    in
-    let ci = Estimate.ci ~level est in
-    Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
-    Printf.printf "sampled %d of %d tuples (%.2f%%)\n" n big_n
-      (* An empty relation is a census of nothing — 100%, not 0/0. *)
-      (if big_n = 0 then 100. else 100. *. float_of_int n /. float_of_int big_n);
-    Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level) ci.Stats.Confidence.lo
-      ci.Stats.Confidence.hi
+    match pages with
+    | Some m ->
+      (* Cluster sampling: draw m whole pages.  Over a pagefile this is
+         the out-of-core path — only the sampled pages are fetched. *)
+      let est, total_pages, tuples =
+        with_metrics metrics_opts (fun metrics ->
+            with_paged path (fun paged ->
+                let result =
+                  Raestat.Cluster_estimator.count ~metrics rng ~m paged predicate
+                in
+                ( result.Raestat.Cluster_estimator.estimate,
+                  Relational.Paged.page_count paged,
+                  result.Raestat.Cluster_estimator.tuples_read )))
+      in
+      Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
+      Printf.printf "sampled %d of %d pages (%d tuples)\n" m total_pages tuples;
+      if Estimate.has_variance est then begin
+        let ci = Estimate.ci ~level est in
+        Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level)
+          ci.Stats.Confidence.lo ci.Stats.Confidence.hi
+      end
+    | None ->
+      let est, n, big_n =
+        with_metrics metrics_opts (fun metrics ->
+            let catalog = load_catalog ~metrics [ ("r", path) ] in
+            let big_n =
+              Relational.Relation.cardinality (Relational.Catalog.find catalog "r")
+            in
+            let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+            let est =
+              Raestat.Count_estimator.selection ~metrics rng catalog ~relation:"r" ~n
+                predicate
+            in
+            (est, n, big_n))
+      in
+      let ci = Estimate.ci ~level est in
+      Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
+      Printf.printf "sampled %d of %d tuples (%.2f%%)\n" n big_n
+        (* An empty relation is a census of nothing — 100%, not 0/0. *)
+        (if big_n = 0 then 100. else 100. *. float_of_int n /. float_of_int big_n);
+      Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level) ci.Stats.Confidence.lo
+        ci.Stats.Confidence.hi
+  in
+  let pages_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pages"; "m" ] ~docv:"M"
+          ~doc:
+            "Cluster-sample $(docv) whole pages instead of row-level sampling.  \
+             Over a packed (.raf) relation only the sampled pages are read from \
+             disk, so this works under $(b,RAESTAT_MEMORY_CAP).")
   in
   Cmd.v
-    (Cmd.info "estimate" ~doc:"Sampled COUNT of a filter over a CSV")
+    (Cmd.info "estimate" ~doc:"Sampled COUNT of a filter over a relation")
     Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ fraction_arg $ level_arg
-          $ metrics_term)
+          $ pages_arg $ metrics_term)
 
 (* --- join ------------------------------------------------------------- *)
 
@@ -261,17 +381,20 @@ let join_cmd =
   let run seed left right on fraction check domains metrics_opts =
     check_fraction fraction;
     let rng = rng_of_seed seed in
-    let catalog = load_catalog [ ("l", left); ("r", right) ] in
     let left_attr, right_attr =
       match String.split_on_char '=' on with
       | [ a; b ] -> (String.trim a, String.trim b)
       | _ -> failwith "--on expects LEFT_ATTR=RIGHT_ATTR"
     in
-    let est =
+    let catalog, est =
       with_metrics metrics_opts (fun metrics ->
-          Raestat.Count_estimator.equijoin ~groups:8 ~domains:(resolve_domains domains)
-            ~metrics rng catalog ~left:"l" ~right:"r"
-            ~on:[ (left_attr, right_attr) ] ~fraction)
+          let catalog = load_catalog ~metrics [ ("l", left); ("r", right) ] in
+          let est =
+            Raestat.Count_estimator.equijoin ~groups:8 ~domains:(resolve_domains domains)
+              ~metrics rng catalog ~left:"l" ~right:"r"
+              ~on:[ (left_attr, right_attr) ] ~fraction
+          in
+          (catalog, est))
     in
     Printf.printf "estimated join size: %.0f (stderr %.0f)\n" est.Estimate.point
       (Estimate.stderr est);
@@ -342,12 +465,15 @@ let query_cmd =
   let run seed bindings text fraction groups check domains metrics_opts =
     check_fraction fraction;
     let rng = rng_of_seed seed in
-    let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Parser.parse_expr text in
-    let est =
+    let catalog, est =
       with_metrics metrics_opts (fun metrics ->
-          Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
-            ~metrics rng catalog ~fraction expr)
+          let catalog = load_catalog ~metrics (List.map parse_binding bindings) in
+          let est =
+            Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
+              ~metrics rng catalog ~fraction expr
+          in
+          (catalog, est))
     in
     Printf.printf "expression: %s\n" (Relational.Parser.print_expr expr);
     Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
@@ -393,16 +519,21 @@ let sql_cmd =
   let run seed bindings text fraction groups check domains metrics_opts =
     check_fraction fraction;
     let rng = rng_of_seed seed in
-    let catalog = load_catalog (List.map parse_binding bindings) in
-    let expr = Relational.Sql.parse_optimized catalog text in
-    (* SELECT COUNT( * ) asks for a cardinality: estimate the inner
-       expression's COUNT rather than the 1-row aggregate result. *)
-    let expr = Option.value (Relational.Sql.count_star_target expr) ~default:expr in
-    Printf.printf "algebra: %s\n" (Relational.Parser.print_expr expr);
-    let est =
+    let catalog, expr, est =
       with_metrics metrics_opts (fun metrics ->
-          Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
-            ~metrics rng catalog ~fraction expr)
+          let catalog = load_catalog ~metrics (List.map parse_binding bindings) in
+          let expr = Relational.Sql.parse_optimized catalog text in
+          (* SELECT COUNT( * ) asks for a cardinality: estimate the inner
+             expression's COUNT rather than the 1-row aggregate result. *)
+          let expr =
+            Option.value (Relational.Sql.count_star_target expr) ~default:expr
+          in
+          Printf.printf "algebra: %s\n" (Relational.Parser.print_expr expr);
+          let est =
+            Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
+              ~metrics rng catalog ~fraction expr
+          in
+          (catalog, expr, est))
     in
     Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
       (Estimate.status_to_string est.Estimate.status)
@@ -728,7 +859,7 @@ let () =
       ~doc:"Sampling-based COUNT estimators for relational algebra expressions"
   in
   let group =
-    Cmd.group info [ generate_cmd; exact_cmd; estimate_cmd; join_cmd;
+    Cmd.group info [ generate_cmd; pack_cmd; exact_cmd; estimate_cmd; join_cmd;
                      distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
                      plan_cmd; sweep_cmd; fuzz_cmd; explain_cmd ]
   in

@@ -359,6 +359,8 @@ let conservation =
           Fail "attaching a metrics sink changed the estimate"
         else if
           s1.Metrics.tuples_scanned < 0 || s1.Metrics.pages_read < 0
+          || s1.Metrics.bytes_read < 0 || s1.Metrics.io_batches < 0
+          || s1.Metrics.page_cache_hits < 0
           || s1.Metrics.sample_indices < 0 || s1.Metrics.hash_probe_hits < 0
           || s1.Metrics.hash_probe_misses < 0 || s1.Metrics.rng_draws < 0
         then Fail "negative counter"
@@ -380,9 +382,86 @@ let conservation =
           | _ -> Pass);
   }
 
+(* --------------------------------------------------------------- storage *)
+
+(* Packing a relation into the binary pagefile and reloading it is a
+   change of storage, never of data: the reloaded catalog must hold
+   bit-identical tuples and drive the estimator to a bit-identical
+   estimate with identical sampling counters (the page-granular reader
+   adds real-I/O counters, but the in-memory estimate path here charges
+   none, so even those agree). *)
+let storage =
+  {
+    name = "storage";
+    summary = "pagefile pack-and-reload leaves data, estimates and counters bit-identical";
+    run =
+      (fun subject ~replicates:_ case ->
+        let catalog = Gen.materialize case in
+        (* A deliberately awkward page capacity so relations straddle
+           page boundaries and end on a short last page. *)
+        let reload relation =
+          let path = Filename.temp_file "raestat-fuzz" ".raf" in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              Relational.Pagefile.write_relation ~page_capacity:61 path relation;
+              let pf = Relational.Pagefile.openfile path in
+              Fun.protect
+                ~finally:(fun () -> Relational.Pagefile.close pf)
+                (fun () -> Relational.Pagefile.to_relation pf))
+        in
+        let leaves = List.sort_uniq compare (Expr.leaves case.Gen.expr) in
+        let corrupted = ref None in
+        let reloaded =
+          Catalog.of_list
+            (List.map
+               (fun name ->
+                 let original = Catalog.find catalog name in
+                 let relation = reload original in
+                 if
+                   not
+                     (Relational.Schema.equal
+                        (Relation.schema original)
+                        (Relation.schema relation)
+                     && Relation.tuples original = Relation.tuples relation)
+                 then corrupted := Some name;
+                 (name, relation))
+               leaves)
+        in
+        match !corrupted with
+        | Some name ->
+          Fail (Printf.sprintf "pagefile round-trip changed relation %S" name)
+        | None ->
+          let run catalog =
+            let metrics = Metrics.create () in
+            let est =
+              subject.estimate ~groups:3 ~domains:1 ~metrics ~columnar:true
+                (rng_for case 8) catalog ~fraction:case.Gen.fraction case.Gen.expr
+            in
+            (est, Metrics.snapshot metrics)
+          in
+          let est1, s1 = run catalog in
+          let est2, s2 = run reloaded in
+          if
+            not
+              (Float.equal est1.Estimate.point est2.Estimate.point
+              && Float.equal est1.Estimate.variance est2.Estimate.variance
+              && est1.Estimate.sample_size = est2.Estimate.sample_size)
+          then
+            Fail
+              (Printf.sprintf
+                 "estimate over the reloaded catalog (%.17g, var %.17g) diverges from \
+                  the original (%.17g, var %.17g)"
+                 est2.Estimate.point est2.Estimate.variance est1.Estimate.point
+                 est1.Estimate.variance)
+          else if not (Metrics.counters_equal s1 s2) then
+            Fail "counters diverge between the original and reloaded catalogs"
+          else Pass);
+  }
+
 (* --------------------------------------------------------------- battery *)
 
-let battery = [ census; parity; rewrite; unbiasedness; coverage; conservation ]
+let battery = [ census; parity; rewrite; unbiasedness; coverage; conservation; storage ]
 
 let check_case ?(subject = reference) ~replicates case =
   List.find_map

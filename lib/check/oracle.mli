@@ -53,7 +53,10 @@ type oracle = {
     - ["conservation"]: counters are deterministic, non-negative,
       never perturb the estimate, [sample_indices] equals
       groups × Σ per-leaf sample sizes, and for a two-leaf equi-join
-      probe hits + misses equals groups × left sample size. *)
+      probe hits + misses equals groups × left sample size;
+    - ["storage"]: round-tripping every leaf relation through the
+      binary pagefile ({!Relational.Pagefile}) leaves tuples, schemas,
+      the estimate and the counters bit-identical. *)
 val battery : oracle list
 
 (** First [Fail] across the battery as [(oracle name, detail)];

@@ -2,7 +2,7 @@ module Paged = Relational.Paged
 
 type result = {
   estimate : Stats.Estimate.t;
-  pages_read : int;
+  pages_sampled : int;
   tuples_read : int;
 }
 
@@ -15,14 +15,13 @@ let estimate ?(metrics = Obs.Metrics.noop) rng ~m paged ~measure =
   if m < 1 || m > big_m then
     invalid_arg (Printf.sprintf "Cluster_estimator: m=%d out of range [1, %d]" m big_m);
   Obs.Metrics.with_span metrics (Printf.sprintf "cluster m=%d" m) @@ fun () ->
-  let estimate, pages_read, tuples_read =
+  let estimate, pages_sampled, tuples_read =
     Estplan.run_cluster ~metrics rng paged (Estplan.cluster_plan paged ~m ()) ~measure
   in
-  { estimate; pages_read; tuples_read }
+  { estimate; pages_sampled; tuples_read }
 
 let count ?metrics rng ~m paged predicate =
-  let schema = Relational.Relation.schema (Paged.relation paged) in
-  let keep = Relational.Predicate.compile schema predicate in
+  let keep = Relational.Predicate.compile (Paged.schema paged) predicate in
   let measure page =
     Array.fold_left (fun acc t -> if keep t then acc +. 1. else acc) 0. page
   in

@@ -16,7 +16,10 @@
 
 type result = {
   estimate : Stats.Estimate.t;
-  pages_read : int;
+  pages_sampled : int;
+      (** pages the design drew ([m]).  Real page I/O — which can be
+          lower on a warm cache, or zero for in-memory sources — is on
+          the [metrics] sink ([pages_read]/[page_cache_hits]). *)
   tuples_read : int;
 }
 

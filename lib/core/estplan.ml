@@ -272,7 +272,7 @@ let sequential_plan catalog ~relation ~target ~level ~batch predicate =
 
 let cluster_plan paged ~m ?predicate () =
   let pages = Paged.page_count paged in
-  let population = Relation.cardinality (Paged.relation paged) in
+  let population = Paged.cardinality paged in
   let leaf =
     mk
       ~mode:(Page_srswor { m; pages; population })
@@ -675,9 +675,8 @@ let run_cluster ?(metrics = Metrics.noop) rng paged plan ~measure =
     | Page_srswor { m; pages; _ } -> (m, pages)
     | _ -> invalid_arg "Estplan.run_cluster: cluster plans need a page leaf"
   in
-  let sample = Sampling.Page_sampling.sample ~metrics rng ~m paged in
-  let values = Array.map measure sample.Sampling.Page_sampling.pages in
-  let summary = Stats.Summary.of_array values in
+  let sample = Sampling.Page_sampling.measures ~metrics rng ~m paged ~measure in
+  let summary = Stats.Summary.of_array sample.Sampling.Page_sampling.values in
   let big_mf = float_of_int big_m and mf = float_of_int m in
   let point = big_mf /. mf *. Stats.Summary.total summary in
   let variance =
@@ -685,7 +684,7 @@ let run_cluster ?(metrics = Metrics.noop) rng paged plan ~measure =
     else
       big_mf *. big_mf *. (1. -. (mf /. big_mf)) *. Stats.Summary.variance summary /. mf
   in
-  let tuples_read = Sampling.Page_sampling.tuple_count sample in
+  let tuples_read = sample.Sampling.Page_sampling.tuples in
   let estimate =
     Estimate.make ~variance ~label:plan.label ~status:Estimate.Unbiased
       ~sample_size:tuples_read point

@@ -1,6 +1,9 @@
 type snapshot = {
   tuples_scanned : int;
   pages_read : int;
+  bytes_read : int;
+  io_batches : int;
+  page_cache_hits : int;
   sample_indices : int;
   hash_probe_hits : int;
   hash_probe_misses : int;
@@ -26,6 +29,9 @@ type t = {
   enabled : bool;
   mutable tuples : int;
   mutable pages : int;
+  mutable bytes : int;
+  mutable batches : int;
+  mutable cache_hits : int;
   mutable indices : int;
   mutable hits : int;
   mutable misses : int;
@@ -40,6 +46,9 @@ let make ~enabled =
     enabled;
     tuples = 0;
     pages = 0;
+    bytes = 0;
+    batches = 0;
+    cache_hits = 0;
     indices = 0;
     hits = 0;
     misses = 0;
@@ -61,6 +70,9 @@ let child t = if t.enabled then create () else noop
    enabled — cheap enough to leave in hot paths unconditionally. *)
 let add_tuples t n = if t.enabled then t.tuples <- t.tuples + n
 let add_pages t n = if t.enabled then t.pages <- t.pages + n
+let add_bytes_read t n = if t.enabled then t.bytes <- t.bytes + n
+let add_io_batches t n = if t.enabled then t.batches <- t.batches + n
+let add_page_cache_hits t n = if t.enabled then t.cache_hits <- t.cache_hits + n
 let add_indices t n = if t.enabled then t.indices <- t.indices + n
 let probe_hit t = if t.enabled then t.hits <- t.hits + 1
 let probe_miss t = if t.enabled then t.misses <- t.misses + 1
@@ -114,6 +126,9 @@ let absorb dst src =
   if dst.enabled then begin
     dst.tuples <- dst.tuples + src.tuples;
     dst.pages <- dst.pages + src.pages;
+    dst.bytes <- dst.bytes + src.bytes;
+    dst.batches <- dst.batches + src.batches;
+    dst.cache_hits <- dst.cache_hits + src.cache_hits;
     dst.indices <- dst.indices + src.indices;
     dst.hits <- dst.hits + src.hits;
     dst.misses <- dst.misses + src.misses;
@@ -129,6 +144,9 @@ let snapshot t =
   {
     tuples_scanned = t.tuples;
     pages_read = t.pages;
+    bytes_read = t.bytes;
+    io_batches = t.batches;
+    page_cache_hits = t.cache_hits;
     sample_indices = t.indices;
     hash_probe_hits = t.hits;
     hash_probe_misses = t.misses;
@@ -140,6 +158,9 @@ let zero =
   {
     tuples_scanned = 0;
     pages_read = 0;
+    bytes_read = 0;
+    io_batches = 0;
+    page_cache_hits = 0;
     sample_indices = 0;
     hash_probe_hits = 0;
     hash_probe_misses = 0;
@@ -165,6 +186,9 @@ let diff later earlier =
   {
     tuples_scanned = later.tuples_scanned - earlier.tuples_scanned;
     pages_read = later.pages_read - earlier.pages_read;
+    bytes_read = later.bytes_read - earlier.bytes_read;
+    io_batches = later.io_batches - earlier.io_batches;
+    page_cache_hits = later.page_cache_hits - earlier.page_cache_hits;
     sample_indices = later.sample_indices - earlier.sample_indices;
     hash_probe_hits = later.hash_probe_hits - earlier.hash_probe_hits;
     hash_probe_misses = later.hash_probe_misses - earlier.hash_probe_misses;
@@ -176,6 +200,9 @@ let merge a b =
   {
     tuples_scanned = a.tuples_scanned + b.tuples_scanned;
     pages_read = a.pages_read + b.pages_read;
+    bytes_read = a.bytes_read + b.bytes_read;
+    io_batches = a.io_batches + b.io_batches;
+    page_cache_hits = a.page_cache_hits + b.page_cache_hits;
     sample_indices = a.sample_indices + b.sample_indices;
     hash_probe_hits = a.hash_probe_hits + b.hash_probe_hits;
     hash_probe_misses = a.hash_probe_misses + b.hash_probe_misses;
@@ -186,6 +213,9 @@ let merge a b =
 let counters_equal a b =
   a.tuples_scanned = b.tuples_scanned
   && a.pages_read = b.pages_read
+  && a.bytes_read = b.bytes_read
+  && a.io_batches = b.io_batches
+  && a.page_cache_hits = b.page_cache_hits
   && a.sample_indices = b.sample_indices
   && a.hash_probe_hits = b.hash_probe_hits
   && a.hash_probe_misses = b.hash_probe_misses
@@ -214,10 +244,11 @@ let json_float x = if Float.is_finite x then Printf.sprintf "%.6f" x else "null"
    greps for it). *)
 let counters_line s =
   Printf.sprintf
-    "{\"tuples_scanned\": %d, \"pages_read\": %d, \"sample_indices\": %d, \
+    "{\"tuples_scanned\": %d, \"pages_read\": %d, \"bytes_read\": %d, \
+     \"io_batches\": %d, \"page_cache_hits\": %d, \"sample_indices\": %d, \
      \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d}"
-    s.tuples_scanned s.pages_read s.sample_indices s.hash_probe_hits s.hash_probe_misses
-    s.rng_draws
+    s.tuples_scanned s.pages_read s.bytes_read s.io_batches s.page_cache_hits
+    s.sample_indices s.hash_probe_hits s.hash_probe_misses s.rng_draws
 
 let timers_json buffer timers =
   Buffer.add_string buffer "  \"timers\": [";

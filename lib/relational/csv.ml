@@ -164,6 +164,80 @@ let write_string relation =
     relation;
   Buffer.contents buffer
 
+(* Streaming record assembly: read physical lines, rejoining while the
+   accumulated record has an odd number of quotes (a quoted field spans
+   the newline).  Mirrors [split_records]: CRLF-tolerant, blank records
+   skipped, records tagged with the 1-based line they start on. *)
+let fold_channel_records ic ~init ~f =
+  let quote_parity = ref false in
+  let buffer = Buffer.create 128 in
+  let line = ref 0 in
+  let record_line = ref 1 in
+  let acc = ref init in
+  let flush_record () =
+    let record = Buffer.contents buffer in
+    Buffer.clear buffer;
+    let record =
+      let n = String.length record in
+      if n > 0 && record.[n - 1] = '\r' then String.sub record 0 (n - 1) else record
+    in
+    if record <> "" then acc := f !acc !record_line record;
+    record_line := !line + 1;
+    quote_parity := false
+  in
+  (try
+     while true do
+       let physical = input_line ic in
+       incr line;
+       if Buffer.length buffer > 0 then Buffer.add_char buffer '\n';
+       String.iter
+         (fun c -> if c = '"' then quote_parity := not !quote_parity)
+         physical;
+       Buffer.add_string buffer physical;
+       if not !quote_parity then flush_record ()
+     done
+   with End_of_file -> flush_record ());
+  !acc
+
+let iter_file path ~header ~row =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let attrs = ref [||] in
+  let seen_header = ref false in
+  let parse_row line fields_line =
+    let attrs = !attrs in
+    let fields =
+      try Array.of_list (split_record fields_line)
+      with Failure message -> failwith (Printf.sprintf "%s (line %d)" message line)
+    in
+    if Array.length fields <> Array.length attrs then
+      failwith
+        (Printf.sprintf "Csv: line %d: row has %d fields, header has %d" line
+           (Array.length fields) (Array.length attrs));
+    Array.mapi
+      (fun i field ->
+        try parse_value attrs.(i).Schema.ty field
+        with Failure message ->
+          failwith
+            (Printf.sprintf "Csv: line %d, field %d (%s): %s" line (i + 1)
+               attrs.(i).Schema.name message))
+      fields
+  in
+  ignore
+    (fold_channel_records ic ~init:() ~f:(fun () line record ->
+         if not !seen_header then begin
+           let schema =
+             try parse_header record
+             with Failure message ->
+               failwith (Printf.sprintf "%s (line %d)" message line)
+           in
+           attrs := Array.of_list (Schema.attributes schema);
+           seen_header := true;
+           header schema
+         end
+         else row (parse_row line record)));
+  if not !seen_header then failwith "Csv: empty input"
+
 let load path =
   let ic = open_in_bin path in
   let content =

@@ -15,6 +15,14 @@ val read_string : string -> Relation.t
 
 val write_string : Relation.t -> string
 
+(** [iter_file path ~header ~row] streams the file without materializing
+    it: [header] is called once with the parsed schema, then [row] once
+    per record in file order.  Memory is bounded by the longest single
+    record, so arbitrarily large files can be re-encoded (this is the
+    [raestat pack] input path).  Same error contract as {!read_string}.
+    @raise Sys_error on I/O failure, [Failure] on malformed content. *)
+val iter_file : string -> header:(Schema.t -> unit) -> row:(Tuple.t -> unit) -> unit
+
 (** @raise Sys_error on I/O failure, [Failure] on malformed content. *)
 val load : string -> Relation.t
 

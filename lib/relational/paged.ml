@@ -1,17 +1,37 @@
+type source = In_memory of Relation.t | On_disk of Pagefile.t
+
 type t = {
-  relation : Relation.t;
+  source : source;
+  schema : Schema.t;
+  cardinality : int;
   page_capacity : int;
   page_count : int;
-  mutable accesses : int;
 }
 
 let make ~page_capacity relation =
   if page_capacity <= 0 then invalid_arg "Paged.make: page_capacity must be positive";
   let n = Relation.cardinality relation in
   let page_count = if n = 0 then 0 else ((n - 1) / page_capacity) + 1 in
-  { relation; page_capacity; page_count; accesses = 0 }
+  {
+    source = In_memory relation;
+    schema = Relation.schema relation;
+    cardinality = n;
+    page_capacity;
+    page_count;
+  }
 
-let relation t = t.relation
+let of_pagefile pf =
+  {
+    source = On_disk pf;
+    schema = Pagefile.schema pf;
+    cardinality = Pagefile.cardinality pf;
+    page_capacity = Pagefile.page_capacity pf;
+    page_count = Pagefile.page_count pf;
+  }
+
+let schema t = t.schema
+
+let cardinality t = t.cardinality
 
 let page_capacity t = t.page_capacity
 
@@ -21,22 +41,72 @@ let bounds t i =
   if i < 0 || i >= t.page_count then
     invalid_arg (Printf.sprintf "Paged: page %d out of range [0, %d)" i t.page_count);
   let start = i * t.page_capacity in
-  let stop = min (start + t.page_capacity) (Relation.cardinality t.relation) in
+  let stop = min (start + t.page_capacity) t.cardinality in
   (start, stop)
 
-let peek_page t i =
-  let start, stop = bounds t i in
-  Array.init (stop - start) (fun k -> Relation.tuple t.relation (start + k))
-
-let page t i =
-  let tuples = peek_page t i in
-  t.accesses <- t.accesses + 1;
-  tuples
-
 let page_size t i =
-  let start, stop = bounds t i in
-  stop - start
+  match t.source with
+  | In_memory _ ->
+    let start, stop = bounds t i in
+    stop - start
+  | On_disk pf -> Pagefile.page_rows pf i
 
-let accesses t = t.accesses
+(* Ascending unique copy of the requested indices: both sources visit
+   pages in increasing order, so per-page results are independent of
+   the caller's index order. *)
+let canonical_indices t indices =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.page_count then
+        invalid_arg
+          (Printf.sprintf "Paged: page %d out of range [0, %d)" i t.page_count))
+    indices;
+  let sorted = Array.copy indices in
+  Array.sort compare sorted;
+  let unique = ref [] in
+  Array.iter
+    (fun i ->
+      match !unique with
+      | j :: _ when j = i -> ()
+      | _ -> unique := i :: !unique)
+    sorted;
+  Array.of_list (List.rev !unique)
 
-let reset_accesses t = t.accesses <- 0
+let fold_pages ?(metrics = Obs.Metrics.noop) t indices ~init ~f =
+  match t.source with
+  | On_disk pf ->
+    let acc = ref init in
+    Pagefile.read_pages ~metrics pf indices ~f:(fun i tuples -> acc := f !acc i tuples);
+    !acc
+  | In_memory relation ->
+    (* Simulated pages: no I/O to record.  Full pages are delivered in
+       one reusable buffer so tight estimator loops stop allocating a
+       fresh array per page; only a short last page allocates. *)
+    let indices = canonical_indices t indices in
+    let scratch = lazy (Array.make t.page_capacity [||]) in
+    Array.fold_left
+      (fun acc i ->
+        let start, stop = bounds t i in
+        let rows = stop - start in
+        let page =
+          if rows = t.page_capacity then begin
+            let scratch = Lazy.force scratch in
+            for k = 0 to rows - 1 do
+              scratch.(k) <- Relation.tuple relation (start + k)
+            done;
+            scratch
+          end
+          else Array.init rows (fun k -> Relation.tuple relation (start + k))
+        in
+        f acc i page)
+      init indices
+
+let peek_page t i =
+  match t.source with
+  | In_memory relation ->
+    let start, stop = bounds t i in
+    Array.init (stop - start) (fun k -> Relation.tuple relation (start + k))
+  | On_disk pf ->
+    let result = ref [||] in
+    Pagefile.read_pages pf [| i |] ~f:(fun _ tuples -> result := Array.copy tuples);
+    !result

@@ -1,9 +1,11 @@
 (** Paged view of a relation.
 
     The 1988 setting stores relations on fixed-capacity disk pages;
-    cluster sampling draws whole pages.  This module materializes the
-    page structure of a relation and counts page accesses, standing in
-    for physical I/O (see DESIGN.md §5). *)
+    cluster sampling draws whole pages.  A paged value is backed either
+    by an in-memory relation (page boundaries are simulated, no I/O is
+    charged) or by an on-disk pagefile ({!Pagefile}), where fetching a
+    page is real I/O recorded on the [metrics] sink by the batched
+    reader (see DESIGN.md §5 and THEORY.md §19). *)
 
 type t
 
@@ -13,25 +15,43 @@ type t
     @raise Invalid_argument if [page_capacity <= 0]. *)
 val make : page_capacity:int -> Relation.t -> t
 
-val relation : t -> Relation.t
+(** Page-granular view of an open pagefile: page boundaries, schema and
+    cardinality come from the file footer; page fetches go through the
+    pagefile's batched reader and cache. *)
+val of_pagefile : Pagefile.t -> t
+
+val schema : t -> Schema.t
+
+val cardinality : t -> int
 
 val page_capacity : t -> int
 
 (** Number of pages, [ceil (cardinality / page_capacity)]. *)
 val page_count : t -> int
 
-(** Tuples of page [i] (a fresh array).  Increments the access counter.
-    @raise Invalid_argument if [i] is out of range. *)
-val page : t -> int -> Tuple.t array
+(** [fold_pages ?metrics t indices ~init ~f] folds [f] over the
+    requested pages in {e increasing} page order (duplicate indices are
+    visited once): [f acc page_index tuples].  The tuple array passed to
+    [f] is a reusable buffer (in-memory full pages) or may be shared
+    with the reader's page cache (on-disk) — treat it as read-only and
+    do not retain it across calls; copy if you need to keep it.
 
-(** Tuples on page [i] without counting an access (for tests and exact
-    computations). *)
+    In-memory sources record no I/O ([pages_read] stays 0: nothing is
+    fetched).  On-disk sources record real reads, batches, bytes and
+    cache hits through {!Pagefile.read_pages}.
+    @raise Invalid_argument if an index is out of range. *)
+val fold_pages :
+  ?metrics:Obs.Metrics.t ->
+  t ->
+  int array ->
+  init:'a ->
+  f:('a -> int -> Tuple.t array -> 'a) ->
+  'a
+
+(** Tuples on page [i], as a fresh array, without recording any I/O
+    metrics (for tests and exact computations).
+    @raise Invalid_argument if [i] is out of range. *)
 val peek_page : t -> int -> Tuple.t array
 
 (** Number of tuples on page [i]. *)
 val page_size : t -> int -> int
-
-(** Pages fetched since creation or the last {!reset_accesses}. *)
-val accesses : t -> int
-
-val reset_accesses : t -> unit

@@ -1,0 +1,63 @@
+/* Positioned reads and readahead hints for the pagefile reader.
+ *
+ * The OCaml Unix library exposes neither pread(2) nor posix_fadvise(2);
+ * both matter here: pread lets concurrent page fetches share one file
+ * descriptor without seek bookkeeping, and POSIX_FADV_WILLNEED lets the
+ * reader hint a coalesced run of sampled pages to the kernel before the
+ * copying read lands.  On platforms without posix_fadvise the hint
+ * compiles to a no-op.
+ */
+#define _GNU_SOURCE
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+/* raestat_pread fd buf ofs len fileofs
+ *
+ * Reads up to len bytes at absolute file offset fileofs into buf at
+ * ofs, retrying on EINTR and on short reads.  Returns the number of
+ * bytes actually read (< len only at end of file).  Bounds are checked
+ * by the OCaml caller.
+ */
+CAMLprim value raestat_pread(value vfd, value vbuf, value vofs, value vlen,
+                             value vfileofs) {
+  CAMLparam5(vfd, vbuf, vofs, vlen, vfileofs);
+  long ofs = Long_val(vofs);
+  long len = Long_val(vlen);
+  long long fileofs = Int64_val(vfileofs);
+  long total = 0;
+  while (total < len) {
+    ssize_t n = pread(Int_val(vfd), Bytes_val(vbuf) + ofs + total,
+                      (size_t)(len - total), (off_t)(fileofs + total));
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      caml_failwith("Pagefile: pread failed");
+    }
+    if (n == 0)
+      break; /* end of file */
+    total += n;
+  }
+  CAMLreturn(Val_long(total));
+}
+
+/* raestat_fadvise_willneed fd fileofs len — advisory only, errors and
+ * unsupported platforms are silently ignored. */
+CAMLprim value raestat_fadvise_willneed(value vfd, value vfileofs, value vlen) {
+#ifdef POSIX_FADV_WILLNEED
+  (void)posix_fadvise(Int_val(vfd), (off_t)Int64_val(vfileofs),
+                      (off_t)Long_val(vlen), POSIX_FADV_WILLNEED);
+#else
+  (void)vfd;
+  (void)vfileofs;
+  (void)vlen;
+#endif
+  return Val_unit;
+}

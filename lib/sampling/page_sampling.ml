@@ -3,19 +3,45 @@ type t = {
   pages : Relational.Tuple.t array array;
 }
 
+type measured = {
+  measured_indices : int array;
+  values : float array;
+  tuples : int;
+}
+
 let tuple_count t = Array.fold_left (fun acc page -> acc + Array.length page) 0 t.pages
 
-let sample ?(metrics = Obs.Metrics.noop) rng ~m paged =
+let draw_indices ~metrics rng ~m paged =
   let universe = Relational.Paged.page_count paged in
-  let page_indices = Srs.indices_without_replacement ~metrics rng ~n:m ~universe in
-  let pages = Array.map (fun i -> Relational.Paged.page paged i) page_indices in
+  Srs.indices_without_replacement ~metrics rng ~n:m ~universe
+
+let sample ?(metrics = Obs.Metrics.noop) rng ~m paged =
+  let page_indices = draw_indices ~metrics rng ~m paged in
+  let pages = Array.make m [||] in
+  let next = ref 0 in
+  (* fold_pages hands out reusable buffers; copy since pages escape. *)
+  Relational.Paged.fold_pages ~metrics paged page_indices ~init:()
+    ~f:(fun () _index page ->
+      pages.(!next) <- Array.copy page;
+      incr next);
   let t = { page_indices; pages } in
-  Obs.Metrics.add_pages metrics m;
   Obs.Metrics.add_tuples metrics (tuple_count t);
   t
 
+let measures ?(metrics = Obs.Metrics.noop) rng ~m paged ~measure =
+  let measured_indices = draw_indices ~metrics rng ~m paged in
+  let values = Array.make m 0. in
+  let next = ref 0 in
+  let tuples =
+    Relational.Paged.fold_pages ~metrics paged measured_indices ~init:0
+      ~f:(fun tuples _index page ->
+        values.(!next) <- measure page;
+        incr next;
+        tuples + Array.length page)
+  in
+  Obs.Metrics.add_tuples metrics tuples;
+  { measured_indices; values; tuples }
+
 let to_relation paged t =
   let tuples = Array.concat (Array.to_list t.pages) in
-  Relational.Relation.of_array
-    (Relational.Relation.schema (Relational.Paged.relation paged))
-    tuples
+  Relational.Relation.of_array (Relational.Paged.schema paged) tuples

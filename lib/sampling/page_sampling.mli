@@ -1,16 +1,40 @@
 (** Cluster sampling at page granularity over a {!Relational.Paged}
     relation: draw [m] whole pages by SRSWOR.  The per-page tuple
-    counts feed the cluster estimator in {!Raestat.Cluster_estimator}. *)
+    counts feed the cluster estimator in {!Raestat.Cluster_estimator}.
+
+    I/O accounting: [metrics] records the index-generation cost (see
+    {!Srs}) and the sampled tuples; page fetches themselves are
+    recorded by the paged source — real reads/bytes/batches for on-disk
+    pagefiles, nothing for simulated in-memory pages. *)
 
 type t = {
   page_indices : int array;  (** sampled page numbers, increasing *)
   pages : Relational.Tuple.t array array;  (** tuples of each sampled page *)
 }
 
-(** [metrics] records the [m] pages fetched, the tuples they carry and
-    the index-generation cost (see {!Srs}).
+(** Materializing form: each sampled page is copied into a fresh array.
     @raise Invalid_argument if [m] is out of range. *)
 val sample : ?metrics:Obs.Metrics.t -> Rng.t -> m:int -> Relational.Paged.t -> t
+
+(** Per-page measures without materializing the pages. *)
+type measured = {
+  measured_indices : int array;  (** sampled page numbers, increasing *)
+  values : float array;  (** [measure] of each sampled page, same order *)
+  tuples : int;  (** total tuples across the sampled pages *)
+}
+
+(** [measures rng ~m paged ~measure] draws [m] pages by SRSWOR and
+    folds [measure] over each through the paged source's reusable-buffer
+    path ({!Relational.Paged.fold_pages}), so nothing is retained: the
+    estimator's hot loop does one float per page instead of an array.
+    @raise Invalid_argument if [m] is out of range. *)
+val measures :
+  ?metrics:Obs.Metrics.t ->
+  Rng.t ->
+  m:int ->
+  Relational.Paged.t ->
+  measure:(Relational.Tuple.t array -> float) ->
+  measured
 
 (** All sampled tuples flattened into a relation (the page structure is
     recorded in [t] for the estimator). *)

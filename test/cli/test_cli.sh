@@ -39,6 +39,58 @@ echo "$out" | expect "empty estimate" "estimated COUNT: 0"
 echo "$out" | expect "empty census" "sampled 0 of 0 tuples \(100.00%\)"
 echo "$out" | expect "empty degenerate ci" "95% CI: \[0, 0\]"
 
+# pack / pagefile storage ------------------------------------------------
+# Packing is a change of storage, not of data: every command must give
+# bit-identical output whether it reads the CSV or the packed .raf.
+"$cli" pack "$workdir/u.csv" "$workdir/u.raf" \
+  | expect "pack reports" "packed 20000 tuples into .*u.raf: 79 pages of up to 256 rows, [0-9]+ data bytes"
+
+"$cli" exact "$workdir/u.csv" --where "a < 30" | sed 's/([0-9.]* ms)//' > "$workdir/exact.csv.out"
+"$cli" exact "$workdir/u.raf" --where "a < 30" | sed 's/([0-9.]* ms)//' > "$workdir/exact.raf.out"
+cmp -s "$workdir/exact.csv.out" "$workdir/exact.raf.out" \
+  || fail "exact differs between csv and raf"
+
+"$cli" estimate "$workdir/u.csv" --where "a < 30" -f 0.05 > "$workdir/est.csv.out"
+"$cli" estimate "$workdir/u.raf" --where "a < 30" -f 0.05 > "$workdir/est.raf.out"
+cmp -s "$workdir/est.csv.out" "$workdir/est.raf.out" \
+  || fail "estimate differs between csv and raf"
+
+# cluster sampling (--pages): the paged view is the same whether pages
+# are simulated over the loaded CSV or read from the file, so the
+# estimate is bit-identical; only the real-I/O counters differ.
+"$cli" estimate "$workdir/u.csv" --where "a < 30" --pages 10 \
+  --metrics 2> "$workdir/pages.csv.err" > "$workdir/pages.csv.out"
+"$cli" estimate "$workdir/u.raf" --where "a < 30" --pages 10 \
+  --metrics 2> "$workdir/pages.raf.err" > "$workdir/pages.raf.out"
+cmp -s "$workdir/pages.csv.out" "$workdir/pages.raf.out" \
+  || fail "cluster estimate differs between csv and raf"
+expect "cluster sample line" "sampled 10 of 79 pages" < "$workdir/pages.raf.out"
+
+# pages_read is *real* I/O: zero for the in-memory CSV path, exactly the
+# sampled pages for the pagefile; a full scan reads every page.
+expect "csv cluster does no IO" '"pages_read": 0, "bytes_read": 0, "io_batches": 0' \
+  < "$workdir/pages.csv.err"
+expect "raf cluster reads sampled pages only" '"pages_read": 10, "bytes_read": [1-9][0-9]*' \
+  < "$workdir/pages.raf.err"
+out="$("$cli" estimate "$workdir/u.raf" --where "a < 30" -f 0.05 --metrics 2>&1 >/dev/null)"
+echo "$out" | expect "raf full scan reads all pages" '"pages_read": 79'
+# 79 adjacent pages coalesce into ceil(79/64) = 2 reads (64-page batch cap)
+echo "$out" | expect "raf full scan coalesces" '"io_batches": 2'
+
+# out-of-core: under a memory cap full materialization is refused but
+# page sampling still answers (only the sampled pages are fetched)
+if RAESTAT_MEMORY_CAP=4096 "$cli" estimate "$workdir/u.raf" --where "a < 30" -f 0.05 \
+  2> "$workdir/cap.err"; then
+  fail "memory cap did not refuse full materialization"
+fi
+expect "cap refusal message" \
+  "raestat: error: Pagefile: .* full materialization needs [0-9]+ bytes of page data but RAESTAT_MEMORY_CAP=4096; estimate with page sampling instead" \
+  < "$workdir/cap.err"
+out="$(RAESTAT_MEMORY_CAP=4096 "$cli" estimate "$workdir/u.raf" --where "a < 30" --pages 10)"
+echo "$out" | expect "out-of-core estimate" "estimated COUNT: [0-9]+"
+cmp -s <(echo "$out") "$workdir/pages.raf.out" \
+  || fail "estimate under memory cap differs from uncapped"
+
 # join ------------------------------------------------------------------
 out="$("$cli" join "$workdir/u.csv" "$workdir/z.csv" --on a=b -f 0.2 --check)"
 echo "$out" | expect "join estimate" "estimated join size: [0-9]+"
@@ -211,6 +263,30 @@ expect_error "bad algebra position" \
 
 expect_error "missing file" ".*missing.csv: No such file or directory" \
   query "select[a < 30](r)" --rel "r=$workdir/missing.csv"
+
+# corrupt pagefiles die with the same one-line contract: bad magic,
+# unsupported version, truncation anywhere
+cp "$workdir/u.raf" "$workdir/badmagic.raf"
+printf 'X' | dd of="$workdir/badmagic.raf" bs=1 count=1 conv=notrunc 2>/dev/null
+expect_error "pagefile bad magic" \
+  "Pagefile: .*badmagic.raf: bad magic \(not a raestat pagefile\)" \
+  estimate "$workdir/badmagic.raf" --where "a < 30" --pages 5
+cp "$workdir/u.raf" "$workdir/badver.raf"
+printf '\011' | dd of="$workdir/badver.raf" bs=1 seek=4 count=1 conv=notrunc 2>/dev/null
+expect_error "pagefile version mismatch" \
+  "Pagefile: .*badver.raf: unsupported format version 9 \(expected 1\)" \
+  estimate "$workdir/badver.raf" --where "a < 30" --pages 5
+head -c 40 "$workdir/u.raf" > "$workdir/trunc.raf"
+expect_error "pagefile truncated" "Pagefile: .*trunc.raf: truncated" \
+  exact "$workdir/trunc.raf" --where "a < 30"
+head -c "$(( $(wc -c < "$workdir/u.raf") - 5 ))" "$workdir/u.raf" > "$workdir/clipped.raf"
+expect_error "pagefile clipped trailer" \
+  "Pagefile: .*clipped.raf: truncated or corrupt \(bad trailer\)" \
+  estimate "$workdir/clipped.raf" --where "a < 30" -f 0.05
+expect_error "pack needs positive capacity" '--page-capacity must be positive' \
+  pack "$workdir/u.csv" "$workdir/never.raf" --page-capacity 0
+expect_error "pages must be in range" '.*' \
+  estimate "$workdir/u.raf" --where "a < 30" --pages 100000
 
 # option range validation: out-of-range and NaN values for --fraction,
 # --level and --tau must die with the one-line contract, not leak into

@@ -13,7 +13,7 @@ let test_census_exact () =
   let result = Cluster.count (rng ()) ~m:10 paged pred in
   check_float "exact" 60. result.Cluster.estimate.Estimate.point;
   check_float "no variance at census" 0. result.Cluster.estimate.Estimate.variance;
-  Alcotest.(check int) "pages read" 10 result.Cluster.pages_read;
+  Alcotest.(check int) "pages sampled" 10 result.Cluster.pages_sampled;
   Alcotest.(check int) "tuples read" 200 result.Cluster.tuples_read
 
 let test_unbiased_mc () =

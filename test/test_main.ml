@@ -18,6 +18,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("sql", Test_sql.suite);
       ("paged", Test_paged.suite);
+      ("pagefile", Test_pagefile.suite);
       ("catalog", Test_catalog.suite);
       ("rng", Test_rng.suite);
       ("metrics", Test_metrics.suite);

@@ -13,6 +13,9 @@ let test_counters_record () =
   M.add_tuples m 10;
   M.add_tuples m 5;
   M.add_pages m 3;
+  M.add_bytes_read m 4096;
+  M.add_io_batches m 1;
+  M.add_page_cache_hits m 2;
   M.add_indices m 7;
   M.probe_hit m;
   M.probe_hit m;
@@ -21,6 +24,9 @@ let test_counters_record () =
   let s = M.snapshot m in
   Alcotest.(check int) "tuples" 15 s.M.tuples_scanned;
   Alcotest.(check int) "pages" 3 s.M.pages_read;
+  Alcotest.(check int) "bytes" 4096 s.M.bytes_read;
+  Alcotest.(check int) "batches" 1 s.M.io_batches;
+  Alcotest.(check int) "cache hits" 2 s.M.page_cache_hits;
   Alcotest.(check int) "indices" 7 s.M.sample_indices;
   Alcotest.(check int) "hits" 2 s.M.hash_probe_hits;
   Alcotest.(check int) "misses" 1 s.M.hash_probe_misses;
@@ -61,10 +67,14 @@ let test_snapshot_diff_merge () =
   let before = M.snapshot m in
   M.add_tuples m 7;
   M.add_pages m 2;
+  M.add_bytes_read m 512;
+  M.add_io_batches m 1;
   let after = M.snapshot m in
   let d = M.diff after before in
   Alcotest.(check int) "diff tuples" 7 d.M.tuples_scanned;
   Alcotest.(check int) "diff pages" 2 d.M.pages_read;
+  Alcotest.(check int) "diff bytes" 512 d.M.bytes_read;
+  Alcotest.(check int) "diff batches" 1 d.M.io_batches;
   let merged = M.merge before d in
   Alcotest.(check bool) "merge inverts diff" true (M.counters_equal merged after)
 
@@ -77,6 +87,10 @@ let test_counters_equal_ignores_timers () =
     (M.counters_equal (M.snapshot a) (M.snapshot b));
   M.probe_hit b;
   Alcotest.(check bool) "counter difference detected" false
+    (M.counters_equal (M.snapshot a) (M.snapshot b));
+  M.probe_hit a;
+  M.add_page_cache_hits a 1;
+  Alcotest.(check bool) "io counter difference detected" false
     (M.counters_equal (M.snapshot a) (M.snapshot b))
 
 let test_span_nesting () =
@@ -128,6 +142,9 @@ let test_json_shape () =
     [
       "\"raestat-metrics/1\"";
       "\"tuples_scanned\": 3";
+      "\"bytes_read\": 0";
+      "\"io_batches\": 0";
+      "\"page_cache_hits\": 0";
       "\"hash_probe_misses\": 1";
       "\"rng_draws\": 0";
       "\"draw\"";

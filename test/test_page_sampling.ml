@@ -1,6 +1,7 @@
 open Helpers
 module Paged = Relational.Paged
 module Page_sampling = Sampling.Page_sampling
+module Metrics = Obs.Metrics
 
 let paged () = Paged.make ~page_capacity:10 (int_relation (List.init 95 (fun i -> i)))
 
@@ -10,10 +11,42 @@ let test_sample_page_count () =
   Alcotest.(check int) "pages" 4 (Array.length s.Page_sampling.page_indices);
   Alcotest.(check int) "page arrays" 4 (Array.length s.Page_sampling.pages)
 
-let test_counts_accesses () =
+let test_metrics_accounting () =
+  (* The sampled tuples and index draws are recorded; pages_read stays 0
+     because an in-memory source performs no real I/O (satellite of the
+     old [Paged.accesses] double bookkeeping, now unified on metrics). *)
   let p = paged () in
-  ignore (Page_sampling.sample (rng ()) ~m:3 p);
-  Alcotest.(check int) "3 page reads" 3 (Paged.accesses p)
+  let metrics = Metrics.create () in
+  let s = Page_sampling.sample ~metrics (rng ()) ~m:3 p in
+  let snap = Metrics.snapshot metrics in
+  Alcotest.(check int) "tuples recorded" (Page_sampling.tuple_count s)
+    snap.Metrics.tuples_scanned;
+  Alcotest.(check int) "3 indices" 3 snap.Metrics.sample_indices;
+  Alcotest.(check int) "no real page IO in memory" 0 snap.Metrics.pages_read
+
+let test_measures_matches_sample () =
+  (* The non-materializing path must see the same pages as [sample]
+     under the same rng stream, with identical metrics. *)
+  let p = paged () in
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let s = Page_sampling.sample ~metrics:m1 (rng ()) ~m:5 p in
+  let measured =
+    Page_sampling.measures ~metrics:m2 (rng ()) ~m:5 p
+      ~measure:(fun page -> float_of_int (Array.length page))
+  in
+  Alcotest.(check (array int)) "same page set" s.Page_sampling.page_indices
+    measured.Page_sampling.measured_indices;
+  Alcotest.(check int) "same tuple count" (Page_sampling.tuple_count s)
+    measured.Page_sampling.tuples;
+  Array.iteri
+    (fun k i ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "page %d size" i)
+        (float_of_int (Array.length s.Page_sampling.pages.(k)))
+        measured.Page_sampling.values.(k))
+    s.Page_sampling.page_indices;
+  Alcotest.(check bool) "identical counters" true
+    (Metrics.counters_equal (Metrics.snapshot m1) (Metrics.snapshot m2))
 
 let test_tuple_count_and_to_relation () =
   let p = paged () in
@@ -46,7 +79,8 @@ let test_invalid_m () =
 let suite =
   [
     Alcotest.test_case "sample page count" `Quick test_sample_page_count;
-    Alcotest.test_case "counts accesses" `Quick test_counts_accesses;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+    Alcotest.test_case "measures matches sample" `Quick test_measures_matches_sample;
     Alcotest.test_case "tuple count / to_relation" `Quick test_tuple_count_and_to_relation;
     Alcotest.test_case "pages match indices" `Quick test_pages_match_indices;
     Alcotest.test_case "invalid m" `Quick test_invalid_m;

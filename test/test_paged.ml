@@ -1,11 +1,15 @@
 open Helpers
 module Paged = Relational.Paged
+module Metrics = Obs.Metrics
 
 let relation = int_relation (List.init 25 (fun i -> i))
+
+let int_of t = match Tuple.get t 0 with Value.Int i -> i | _ -> -1
 
 let test_page_count () =
   let paged = Paged.make ~page_capacity:10 relation in
   Alcotest.(check int) "pages" 3 (Paged.page_count paged);
+  Alcotest.(check int) "cardinality" 25 (Paged.cardinality paged);
   Alcotest.(check int) "exact split" 5
     (Paged.page_count (Paged.make ~page_capacity:5 relation));
   Alcotest.(check int) "empty relation" 0
@@ -24,45 +28,72 @@ let test_pages_partition_tuples () =
       (List.init (Paged.page_count paged) (fun i -> i))
   in
   Alcotest.(check int) "total" 25 (List.length all);
-  let values =
-    List.map (fun t -> match Tuple.get t 0 with Value.Int i -> i | _ -> -1) all
-  in
-  Alcotest.(check (list int)) "order preserved" (List.init 25 (fun i -> i)) values
+  Alcotest.(check (list int)) "order preserved" (List.init 25 (fun i -> i))
+    (List.map int_of all)
 
-let test_access_counter () =
+let test_fold_pages () =
   let paged = Paged.make ~page_capacity:10 relation in
-  Alcotest.(check int) "fresh" 0 (Paged.accesses paged);
-  ignore (Paged.page paged 0);
-  ignore (Paged.page paged 2);
-  Alcotest.(check int) "two accesses" 2 (Paged.accesses paged);
-  ignore (Paged.peek_page paged 1);
-  Alcotest.(check int) "peek is free" 2 (Paged.accesses paged);
-  Paged.reset_accesses paged;
-  Alcotest.(check int) "reset" 0 (Paged.accesses paged)
+  (* Indices are canonicalized: increasing order, duplicates once. *)
+  let visited, values =
+    Paged.fold_pages paged [| 2; 0; 2 |] ~init:([], [])
+      ~f:(fun (visited, values) i page ->
+        (i :: visited, (Array.to_list page |> List.map int_of) :: values))
+  in
+  Alcotest.(check (list int)) "increasing, unique" [ 0; 2 ] (List.rev visited);
+  Alcotest.(check (list (list int)))
+    "page contents"
+    [ List.init 10 (fun i -> i); [ 20; 21; 22; 23; 24 ] ]
+    (List.rev values)
+
+let test_fold_pages_records_no_io_in_memory () =
+  (* Simulated pages are not I/O: the real-read counters stay zero (a
+     pagefile-backed source records them instead — see test_pagefile). *)
+  let paged = Paged.make ~page_capacity:10 relation in
+  let metrics = Metrics.create () in
+  let n =
+    Paged.fold_pages ~metrics paged [| 0; 1; 2 |] ~init:0
+      ~f:(fun acc _ page -> acc + Array.length page)
+  in
+  Alcotest.(check int) "all tuples seen" 25 n;
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check int) "pages_read" 0 s.Metrics.pages_read;
+  Alcotest.(check int) "bytes_read" 0 s.Metrics.bytes_read;
+  Alcotest.(check int) "io_batches" 0 s.Metrics.io_batches;
+  Alcotest.(check int) "page_cache_hits" 0 s.Metrics.page_cache_hits
+
+let test_peek_is_fresh_fold_is_reused () =
+  let paged = Paged.make ~page_capacity:10 relation in
+  let a = Paged.peek_page paged 0 and b = Paged.peek_page paged 0 in
+  Alcotest.(check bool) "peek allocates fresh arrays" false (a == b);
+  (* fold_pages reuses one buffer across full pages. *)
+  let buffers =
+    Paged.fold_pages paged [| 0; 1 |] ~init:[] ~f:(fun acc _ page -> page :: acc)
+  in
+  match buffers with
+  | [ second; first ] ->
+    Alcotest.(check bool) "full pages share the scratch buffer" true (first == second)
+  | _ -> Alcotest.fail "expected two pages"
 
 let test_bounds () =
   let paged = Paged.make ~page_capacity:10 relation in
+  let invalid f = try f (); false with Invalid_argument _ -> true in
   Alcotest.(check bool) "negative" true
-    (try
-       ignore (Paged.page paged (-1));
-       false
-     with Invalid_argument _ -> true);
+    (invalid (fun () -> ignore (Paged.peek_page paged (-1))));
   Alcotest.(check bool) "too large" true
-    (try
-       ignore (Paged.page paged 3);
-       false
-     with Invalid_argument _ -> true);
+    (invalid (fun () -> ignore (Paged.peek_page paged 3)));
+  Alcotest.(check bool) "fold out of range" true
+    (invalid (fun () ->
+         Paged.fold_pages paged [| 3 |] ~init:() ~f:(fun () _ _ -> ())));
   Alcotest.(check bool) "bad capacity" true
-    (try
-       ignore (Paged.make ~page_capacity:0 relation);
-       false
-     with Invalid_argument _ -> true)
+    (invalid (fun () -> ignore (Paged.make ~page_capacity:0 relation)))
 
 let suite =
   [
     Alcotest.test_case "page count" `Quick test_page_count;
     Alcotest.test_case "page sizes" `Quick test_page_sizes;
     Alcotest.test_case "pages partition tuples" `Quick test_pages_partition_tuples;
-    Alcotest.test_case "access counter" `Quick test_access_counter;
+    Alcotest.test_case "fold pages" `Quick test_fold_pages;
+    Alcotest.test_case "in-memory records no IO" `Quick test_fold_pages_records_no_io_in_memory;
+    Alcotest.test_case "buffer reuse" `Quick test_peek_is_fresh_fold_is_reused;
     Alcotest.test_case "bounds" `Quick test_bounds;
   ]

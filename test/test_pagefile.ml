@@ -1,0 +1,251 @@
+(* The binary pagefile format: pack → open round-trips must agree with
+   the in-memory path bit-for-bit (values, nulls, dictionary strings,
+   estimates and sampling counters), real I/O must be accounted on the
+   metrics sink, and format violations must surface as [Failure]
+   through the CLI's one-line error contract. *)
+
+open Helpers
+module Pagefile = Relational.Pagefile
+module Paged = Relational.Paged
+module Metrics = Obs.Metrics
+module P = Predicate
+
+let with_temp f =
+  let path = Filename.temp_file "raestat-test" ".raf" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let with_open path f =
+  let pf = Pagefile.openfile path in
+  Fun.protect ~finally:(fun () -> Pagefile.close pf) (fun () -> f pf)
+
+(* A relation exercising every storage class: unboxed ints and floats,
+   bools, dictionary strings (few distinct values over many rows) and
+   NULLs scattered through every column. *)
+let mixed_relation n =
+  let schema =
+    Schema.of_list
+      [
+        ("k", Value.Tint);
+        ("x", Value.Tfloat);
+        ("flag", Value.Tbool);
+        ("tag", Value.Tstr);
+      ]
+  in
+  let tuples =
+    Array.init n (fun i ->
+        [|
+          (if i mod 13 = 0 then Value.Null else Value.Int (i * 7));
+          (if i mod 11 = 0 then Value.Null else Value.Float (float_of_int i /. 3.));
+          (if i mod 17 = 0 then Value.Null else Value.Bool (i mod 2 = 0));
+          (if i mod 19 = 0 then Value.Null
+           else Value.Str (Printf.sprintf "tag-%d" (i mod 5)));
+        |])
+  in
+  Relation.of_array schema tuples
+
+let test_roundtrip () =
+  let r = mixed_relation 500 in
+  with_temp @@ fun path ->
+  Pagefile.write_relation ~page_capacity:64 path r;
+  with_open path @@ fun pf ->
+  Alcotest.(check int) "cardinality" 500 (Pagefile.cardinality pf);
+  Alcotest.(check int) "pages" 8 (Pagefile.page_count pf);
+  Alcotest.(check int) "page capacity" 64 (Pagefile.page_capacity pf);
+  Alcotest.(check bool) "schema" true (Schema.equal (Relation.schema r) (Pagefile.schema pf));
+  let r2 = Pagefile.to_relation pf in
+  Alcotest.(check bool) "tuples identical" true (Relation.tuples r = Relation.tuples r2)
+
+let test_roundtrip_edge_shapes () =
+  with_temp @@ fun path ->
+  (* empty relation *)
+  let schema = Schema.of_list [ ("a", Value.Tint) ] in
+  Pagefile.write_relation path (Relation.empty schema);
+  with_open path (fun pf ->
+      Alcotest.(check int) "no pages" 0 (Pagefile.page_count pf);
+      Alcotest.(check int) "empty" 0 (Relation.cardinality (Pagefile.to_relation pf)));
+  (* strings that stress the dictionary and CSV quoting *)
+  let r =
+    Relation.make
+      (Schema.of_list [ ("s", Value.Tstr) ])
+      [
+        [| Value.Str "" |];
+        [| Value.Str "a,b\nc\"d" |];
+        [| Value.Str "NULL" |];
+        [| Value.Null |];
+        [| Value.Str "" |];
+      ]
+  in
+  Pagefile.write_relation ~page_capacity:2 path r;
+  with_open path (fun pf ->
+      Alcotest.(check bool) "hostile strings survive" true
+        (Relation.tuples r = Relation.tuples (Pagefile.to_relation pf)))
+
+let test_pack_csv_matches_load () =
+  (* Streaming pack of a CSV must equal materialize-then-load: packing
+     is a change of storage, never of data.  (Comparing against the CSV
+     loader, not the pre-save relation — the CSV float syntax is the
+     common denominator of both paths.) *)
+  let r = mixed_relation 300 in
+  let csv = Filename.temp_file "raestat-test" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove csv with Sys_error _ -> ())
+  @@ fun () ->
+  Relational.Csv.save csv r;
+  let loaded = Relational.Csv.load csv in
+  with_temp @@ fun packed ->
+  let n = Pagefile.pack_csv ~page_capacity:50 ~src:csv ~dst:packed () in
+  Alcotest.(check int) "tuples packed" 300 n;
+  with_open packed @@ fun pf ->
+  Alcotest.(check bool) "pack equals load" true
+    (Relation.tuples loaded = Relation.tuples (Pagefile.to_relation pf))
+
+let test_estimates_bit_identical () =
+  (* Cluster estimation over the pagefile agrees with the in-memory
+     paged source: same point, variance and sampling counters; only the
+     real-I/O counters differ. *)
+  let r = int_relation (List.init 1000 (fun i -> i)) in
+  let pred = P.lt (P.attr "a") (P.vint 300) in
+  with_temp @@ fun path ->
+  Pagefile.write_relation ~page_capacity:50 path r;
+  with_open path @@ fun pf ->
+  let m_mem = Metrics.create () and m_disk = Metrics.create () in
+  let from_mem =
+    Raestat.Cluster_estimator.count ~metrics:m_mem (rng ()) ~m:8
+      (Paged.make ~page_capacity:50 r) pred
+  in
+  let from_disk =
+    Raestat.Cluster_estimator.count ~metrics:m_disk (rng ()) ~m:8
+      (Paged.of_pagefile pf) pred
+  in
+  check_float "point" from_mem.Raestat.Cluster_estimator.estimate.Stats.Estimate.point
+    from_disk.Raestat.Cluster_estimator.estimate.Stats.Estimate.point;
+  check_float "variance"
+    from_mem.Raestat.Cluster_estimator.estimate.Stats.Estimate.variance
+    from_disk.Raestat.Cluster_estimator.estimate.Stats.Estimate.variance;
+  let s_mem = Metrics.snapshot m_mem and s_disk = Metrics.snapshot m_disk in
+  Alcotest.(check int) "same tuples" s_mem.Metrics.tuples_scanned
+    s_disk.Metrics.tuples_scanned;
+  Alcotest.(check int) "same indices" s_mem.Metrics.sample_indices
+    s_disk.Metrics.sample_indices;
+  Alcotest.(check int) "same draws" s_mem.Metrics.rng_draws s_disk.Metrics.rng_draws;
+  Alcotest.(check int) "memory does no IO" 0 s_mem.Metrics.pages_read;
+  Alcotest.(check int) "disk reads sampled pages" 8 s_disk.Metrics.pages_read;
+  Alcotest.(check bool) "bytes accounted" true (s_disk.Metrics.bytes_read > 0)
+
+let test_io_accounting () =
+  let r = mixed_relation 640 in
+  with_temp @@ fun path ->
+  Pagefile.write_relation ~page_capacity:64 path r;
+  with_open path @@ fun pf ->
+  (* Adjacent pages coalesce into one batch. *)
+  let m = Metrics.create () in
+  Pagefile.read_pages ~metrics:m pf [| 2; 3; 4 |] ~f:(fun _ _ -> ());
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "three pages" 3 s.Metrics.pages_read;
+  Alcotest.(check int) "one coalesced batch" 1 s.Metrics.io_batches;
+  Alcotest.(check int) "no hits cold" 0 s.Metrics.page_cache_hits;
+  (* A gap splits the run. *)
+  let m = Metrics.create () in
+  Pagefile.read_pages ~metrics:m pf [| 0; 6; 7 |] ~f:(fun _ _ -> ());
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "two batches across the gap" 2 s.Metrics.io_batches;
+  (* Re-reading served from cache: no reads, only hits. *)
+  let m = Metrics.create () in
+  Pagefile.read_pages ~metrics:m pf [| 2; 3; 7 |] ~f:(fun _ _ -> ());
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "cache serves re-reads" 0 s.Metrics.pages_read;
+  Alcotest.(check int) "three hits" 3 s.Metrics.page_cache_hits;
+  (* Full scan reads every page and all the data bytes. *)
+  let m = Metrics.create () in
+  let pf2 = Pagefile.openfile path in
+  Fun.protect ~finally:(fun () -> Pagefile.close pf2) @@ fun () ->
+  ignore (Pagefile.to_relation ~metrics:m pf2);
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "full scan pages" 10 s.Metrics.pages_read;
+  Alcotest.(check int) "full scan bytes" (Pagefile.data_bytes pf2) s.Metrics.bytes_read
+
+let test_memory_cap () =
+  let r = mixed_relation 200 in
+  with_temp @@ fun path ->
+  Pagefile.write_relation ~page_capacity:32 path r;
+  with_open path @@ fun pf ->
+  let with_cap cap f =
+    Unix.putenv "RAESTAT_MEMORY_CAP" cap;
+    Fun.protect ~finally:(fun () -> Unix.putenv "RAESTAT_MEMORY_CAP" "") f
+  in
+  with_cap "64" (fun () ->
+      Alcotest.(check bool) "materialization refused" true
+        (try
+           ignore (Pagefile.to_relation pf);
+           false
+         with Failure message ->
+           String.length message > 0
+           && String.sub message 0 9 = "Pagefile:");
+      (* Page sampling still works under the cap: the out-of-core path. *)
+      let result =
+        Raestat.Cluster_estimator.count (rng ()) ~m:2 (Paged.of_pagefile pf)
+          (P.lt (P.attr "k") (P.vint 1000))
+      in
+      Alcotest.(check bool) "estimate under cap" true
+        (Float.is_finite result.Raestat.Cluster_estimator.estimate.Stats.Estimate.point))
+
+let corrupt_copy path mutate =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  let out = Filename.temp_file "raestat-test" ".raf" in
+  let data = mutate data in
+  let oc = open_out_bin out in
+  output_bytes oc data;
+  close_out oc;
+  out
+
+let expect_failure name pattern f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Failure" name
+  | exception Failure message ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions %S (got %S)" name pattern message)
+      true
+      (let nl = String.length pattern and hl = String.length message in
+       let rec loop i =
+         i + nl <= hl && (String.sub message i nl = pattern || loop (i + 1))
+       in
+       nl = 0 || loop 0)
+
+let test_error_contract () =
+  let r = mixed_relation 100 in
+  with_temp @@ fun path ->
+  Pagefile.write_relation ~page_capacity:32 path r;
+  let check_corrupt name pattern mutate =
+    let bad = corrupt_copy path mutate in
+    Fun.protect ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    @@ fun () -> expect_failure name pattern (fun () -> Pagefile.openfile bad)
+  in
+  check_corrupt "bad magic" "bad magic" (fun data ->
+      Bytes.set data 0 'X';
+      data);
+  check_corrupt "version mismatch" "unsupported format version 9" (fun data ->
+      Bytes.set data 4 '\009';
+      data);
+  check_corrupt "truncated" "truncated" (fun data -> Bytes.sub data 0 40);
+  check_corrupt "clipped trailer" "bad trailer" (fun data ->
+      Bytes.sub data 0 (Bytes.length data - 5));
+  (* a missing file is a Sys_error, like the CSV loader *)
+  Alcotest.(check bool) "missing file" true
+    (try
+       ignore (Pagefile.openfile "/nonexistent/raestat.raf");
+       false
+     with Sys_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "roundtrip edge shapes" `Quick test_roundtrip_edge_shapes;
+    Alcotest.test_case "pack csv matches load" `Quick test_pack_csv_matches_load;
+    Alcotest.test_case "estimates bit-identical" `Quick test_estimates_bit_identical;
+    Alcotest.test_case "io accounting" `Quick test_io_accounting;
+    Alcotest.test_case "memory cap" `Quick test_memory_cap;
+    Alcotest.test_case "error contract" `Quick test_error_contract;
+  ]
