@@ -264,28 +264,109 @@ let check_io ~failed baseline fresh =
         end)
     (io_row_names baseline)
 
+(* --- serve report gate --------------------------------------------------
+
+   BENCH_serve.json carries two kinds of field.  The cache/request
+   totals (requests, shapes, plan_cache_hits, plan_cache_misses,
+   errors, overloaded) are seed-fixed and machine-independent: pinned
+   exactly — a hit drop means plan-cache key normalization or
+   invalidation changed behaviour.  The latency percentiles are
+   wall-clock: p95 is compared after normalizing by the p50 ratio
+   between the two runs, so a uniformly faster or slower machine
+   cancels and only a disproportionate tail regression (>threshold)
+   fails.  A small additive grace absorbs timer quantization on
+   sub-millisecond baselines. *)
+
+let serve_pinned_keys =
+  [ "requests"; "shapes"; "plan_cache_hits"; "plan_cache_misses"; "errors"; "overloaded" ]
+
+let scan_number content key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat and len = String.length content in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub content i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some vstart ->
+    let vend = ref vstart in
+    while
+      !vend < len
+      &&
+      match content.[!vend] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+    do
+      incr vend
+    done;
+    float_of_string_opt (String.sub content vstart (!vend - vstart))
+
+let check_serve ~failed ~threshold baseline fresh =
+  Printf.printf "\n%-24s %10s %10s %8s\n" "serve field" "base" "fresh" "verdict";
+  List.iter
+    (fun key ->
+      match (scan_number baseline key, scan_number fresh key) with
+      | Some b, Some f ->
+        let ok = b = f in
+        if not ok then failed := true;
+        Printf.printf "%-24s %10.0f %10.0f %8s\n" key b f
+          (if ok then "pinned" else "DRIFTED")
+      | _ ->
+        failed := true;
+        Printf.printf "%-24s %10s %10s %8s\n" key "-" "-" "MISSING")
+    serve_pinned_keys;
+  (match (scan_number baseline "hit_rate", scan_number fresh "hit_rate") with
+  | Some b, Some f ->
+    let ok = f >= b -. 1e-9 in
+    if not ok then failed := true;
+    Printf.printf "%-24s %10.4f %10.4f %8s\n" "hit_rate" b f
+      (if ok then "ok" else "DROPPED")
+  | _ ->
+    failed := true;
+    Printf.printf "%-24s %10s %10s %8s\n" "hit_rate" "-" "-" "MISSING");
+  match
+    ( scan_number baseline "p50_us",
+      scan_number fresh "p50_us",
+      scan_number baseline "p95_us",
+      scan_number fresh "p95_us" )
+  with
+  | Some bp50, Some fp50, Some bp95, Some fp95 when bp50 > 0. ->
+    let scale = fp50 /. bp50 in
+    let limit = (bp95 *. scale *. (1. +. threshold)) +. 200. in
+    let ok = fp95 <= limit in
+    if not ok then failed := true;
+    Printf.printf "%-24s %10.0f %10.0f %8s  (limit %.0fus at p50 ratio %.2f)\n"
+      "p95_us (normalized)" bp95 fp95
+      (if ok then "ok" else "REGRESSED")
+      limit scale
+  | _ ->
+    failed := true;
+    Printf.printf "%-24s %10s %10s %8s\n" "p95_us (normalized)" "-" "-" "MISSING"
+
 let () =
   let usage () =
     prerr_endline
       "usage: compare BASELINE.json FRESH.json [--threshold FRACTION] \
-       [--io BASELINE_io.json FRESH_io.json]";
+       [--io BASELINE_io.json FRESH_io.json] \
+       [--serve BASELINE_serve.json FRESH_serve.json]";
     exit 2
   in
-  let baseline_path, fresh_path, threshold, io_paths =
-    let rec parse args (threshold, io_paths) =
+  let baseline_path, fresh_path, threshold, io_paths, serve_paths =
+    let rec parse args (threshold, io_paths, serve_paths) =
       match args with
       | "--threshold" :: t :: rest -> (
         match float_of_string_opt t with
-        | Some t -> parse rest (t, io_paths)
+        | Some t -> parse rest (t, io_paths, serve_paths)
         | None -> usage ())
-      | "--io" :: bi :: fi :: rest -> parse rest (threshold, Some (bi, fi))
-      | [] -> (threshold, io_paths)
+      | "--io" :: bi :: fi :: rest -> parse rest (threshold, Some (bi, fi), serve_paths)
+      | "--serve" :: bs :: fs :: rest -> parse rest (threshold, io_paths, Some (bs, fs))
+      | [] -> (threshold, io_paths, serve_paths)
       | _ -> usage ()
     in
     match Array.to_list Sys.argv with
     | _ :: b :: f :: rest ->
-      let threshold, io_paths = parse rest (0.25, None) in
-      (b, f, threshold, io_paths)
+      let threshold, io_paths, serve_paths = parse rest (0.25, None, None) in
+      (b, f, threshold, io_paths, serve_paths)
     | _ -> usage ()
   in
   let baseline_content = read_file baseline_path in
@@ -316,10 +397,15 @@ let () =
   | None -> ()
   | Some (baseline_io, fresh_io) ->
     check_io ~failed (read_file baseline_io) (read_file fresh_io));
+  (match serve_paths with
+  | None -> ()
+  | Some (baseline_serve, fresh_serve) ->
+    check_serve ~failed ~threshold (read_file baseline_serve) (read_file fresh_serve));
   if !failed then begin
     Printf.eprintf
       "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline, \
-       a guarded counter row drifted, or an io row's real-I/O counters changed\n"
-      (100. *. threshold);
+       a guarded counter row drifted, an io row's real-I/O counters changed, or the \
+       serve report regressed (cache totals drifted or normalized p95 grew >%.0f%%)\n"
+      (100. *. threshold) (100. *. threshold);
     exit 1
   end

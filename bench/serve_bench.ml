@@ -1,0 +1,264 @@
+(* Latency benchmark for the serve daemon.
+
+   Spawns the server in-process on a Unix socket over a fixed-seed
+   synthetic relation, drives it with K concurrent client connections
+   through a seed-fixed query mix, and reports per-request latency
+   percentiles plus the prepared-plan cache hit rate.
+
+   Two classes of number come out:
+
+   - Latencies (p50/p95/p99) are wall-clock and machine-dependent.  The
+     compare gate judges p95 *normalized by the p50 ratio* between
+     baseline and fresh runs, so a uniformly slower machine cancels out
+     and only a shape change in the latency distribution fails.
+   - Cache and request totals are deterministic: the mix has a fixed
+     number of distinct query shapes, each compiled exactly once
+     (misses = shapes) with every repeat a hit, and the request count
+     is fixed.  The gate pins these exactly — a hit-rate drop means
+     plan-cache normalization or invalidation actually changed.
+
+   Client threads interleave nondeterministically, but totals are
+   order-independent: the queue limit is sized so nothing is rejected,
+   and hit/miss totals depend only on how many times each shape runs. *)
+
+module Metrics = Obs.Metrics
+
+let seed = 1988
+let level_label = "serve"
+
+(* The mix: distinct shapes × repeats, round-robined over clients. *)
+let shape_mix =
+  [
+    {|{"op": "estimate", "where": "a <= 400", "fraction": 0.02}|};
+    {|{"op": "estimate", "where": "a > 900", "fraction": 0.01}|};
+    {|{"op": "query", "expr": "select[a < 300](r)", "fraction": 0.02, "groups": 4}|};
+    {|{"op": "sql", "query": "SELECT COUNT(*) FROM r WHERE a < 120", "fraction": 0.02}|};
+  ]
+
+let failed = ref false
+
+let check condition detail =
+  if not condition then begin
+    failed := true;
+    Printf.eprintf "serve bench ASSERT FAILED [%s]: %s\n%!" level_label detail
+  end
+
+(* --- one client connection ------------------------------------------- *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_line fd line =
+  let line = line ^ "\n" in
+  let len = String.length line in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd line off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Per-connection buffered line reader. *)
+let line_reader fd =
+  let ic = Unix.in_channel_of_descr fd in
+  fun () -> In_channel.input_line ic
+
+(* Runs its request list sequentially, recording seconds per request. *)
+let client path requests latencies offset =
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let read_line = line_reader fd in
+  List.iteri
+    (fun i request ->
+      let t0 = Unix.gettimeofday () in
+      send_line fd request;
+      (match read_line () with
+      | Some response ->
+        check
+          (String.length response > 0
+          && String.sub response 0 1 = "{"
+          &&
+          let has_ok_true =
+            (* cheap containment check, no parser needed in the hot loop *)
+            let pat = "\"ok\": true" in
+            let plen = String.length pat and rlen = String.length response in
+            let rec find j =
+              j + plen <= rlen
+              && (String.sub response j plen = pat || find (j + 1))
+            in
+            find 0
+          in
+          has_ok_true)
+          (Printf.sprintf "request failed: %s -> %s" request response)
+      | None -> check false "server closed the connection mid-mix");
+      latencies.(offset + i) <- Unix.gettimeofday () -. t0)
+    requests
+
+(* --- metrics scraping ------------------------------------------------- *)
+
+(* Pull one "key": N integer out of a metrics response. *)
+let scrape_int response key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat and rlen = String.length response in
+  let rec find j = if j + plen > rlen then None
+    else if String.sub response j plen = pat then Some (j + plen)
+    else find (j + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some vstart ->
+    let vend = ref vstart in
+    while
+      !vend < rlen && match response.[!vend] with '0' .. '9' -> true | _ -> false
+    do
+      incr vend
+    done;
+    int_of_string_opt (String.sub response vstart (!vend - vstart))
+
+(* --- percentiles ------------------------------------------------------ *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(Int.min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* --- harness ---------------------------------------------------------- *)
+
+let write_json ~path ~clients ~requests ~shapes ~p50 ~p95 ~p99 ~mean ~hits ~misses
+    ~served ~errors ~overloaded =
+  let us x = Printf.sprintf "%.1f" (1e6 *. x) in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"raestat-bench-serve/1\",\n";
+  Printf.fprintf oc "  \"clients\": %d,\n  \"requests\": %d,\n  \"shapes\": %d,\n"
+    clients requests shapes;
+  Printf.fprintf oc
+    "  \"p50_us\": %s,\n  \"p95_us\": %s,\n  \"p99_us\": %s,\n  \"mean_us\": %s,\n"
+    (us p50) (us p95) (us p99) (us mean);
+  Printf.fprintf oc
+    "  \"plan_cache_hits\": %d,\n  \"plan_cache_misses\": %d,\n  \"hit_rate\": %.6f,\n"
+    hits misses
+    (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
+  Printf.fprintf oc
+    "  \"requests_served\": %d,\n  \"errors\": %d,\n  \"overloaded\": %d\n}\n" served
+    errors overloaded;
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+let run ?(json = false) ?(quick = false) () =
+  Printf.printf "\n=== serve bench (daemon latency, plan cache) ===\n%!";
+  let cardinality = if quick then 20_000 else 100_000 in
+  let clients = 8 in
+  let repeats = if quick then 5 else 25 in
+  let dir = Filename.temp_file "raestat-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  let csv = Filename.concat dir "r.csv" in
+  let rng = Sampling.Rng.create ~seed () in
+  Relational.Csv.save csv
+    (Workload.Generator.int_relation rng ~n:cardinality ~attribute:"a"
+       (Workload.Dist.Uniform { lo = 0; hi = 999 }));
+  let socket = Filename.concat dir "serve.sock" in
+  let config =
+    {
+      Serve.Server.listen = Serve.Server.Unix_socket socket;
+      bindings = [ ("r", csv) ];
+      plan_capacity = 64;
+      (* Sized so the full client fleet can be queued: overloads would
+         make the hit/miss totals nondeterministic. *)
+      queue_limit = 2 * clients;
+    }
+  in
+  let ready = Mutex.create () and ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        ignore
+          (Serve.Server.run ~handle_signals:false
+             ~on_ready:(fun _ ->
+               Mutex.lock ready;
+               is_ready := true;
+               Condition.signal ready_cond;
+               Mutex.unlock ready)
+             config))
+      ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait ready_cond ready
+  done;
+  Mutex.unlock ready;
+  (* Round-robin the mix over clients; seeds are fixed per request so
+     the workload is identical run to run. *)
+  let shapes = List.length shape_mix in
+  let total = clients * repeats * shapes in
+  let mix = Array.of_list shape_mix in
+  let requests_for c =
+    List.init (repeats * shapes) (fun i ->
+        let shape = mix.((c + i) mod shapes) in
+        (* splice a per-request seed in (deterministic, shape-independent) *)
+        String.sub shape 0 (String.length shape - 1)
+        ^ Printf.sprintf ", \"seed\": %d}" (1 + (c * 1000) + i))
+  in
+  let latencies = Array.make total 0. in
+  let t_start = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () -> client socket (requests_for c) latencies (c * repeats * shapes))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t_start in
+  (* Scrape cache totals, then stop the daemon. *)
+  let fd = connect socket in
+  send_line fd {|{"op": "metrics"}|};
+  let read_line = line_reader fd in
+  let metrics_line = Option.value (read_line ()) ~default:"" in
+  send_line fd {|{"op": "shutdown"}|};
+  ignore (read_line ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Thread.join server;
+  let hits = Option.value (scrape_int metrics_line "hits") ~default:(-1) in
+  let misses = Option.value (scrape_int metrics_line "misses") ~default:(-1) in
+  let served = Option.value (scrape_int metrics_line "requests") ~default:(-1) in
+  let errors = Option.value (scrape_int metrics_line "errors") ~default:(-1) in
+  let overloaded = Option.value (scrape_int metrics_line "overloaded") ~default:(-1) in
+  (* Deterministic contract: each shape compiles once, every repeat
+     hits; nothing rejected, nothing errored. *)
+  check (misses = shapes)
+    (Printf.sprintf "expected %d plan compilations (one per shape), saw %d" shapes
+       misses);
+  check
+    (hits = total - shapes)
+    (Printf.sprintf "expected %d plan-cache hits, saw %d" (total - shapes) hits);
+  check (errors = 0) (Printf.sprintf "%d requests errored" errors);
+  check (overloaded = 0) (Printf.sprintf "%d requests rejected as overloaded" overloaded);
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 0.50
+  and p95 = percentile sorted 0.95
+  and p99 = percentile sorted 0.99 in
+  let mean = Array.fold_left ( +. ) 0. latencies /. float_of_int total in
+  Printf.printf
+    "%d clients x %d requests (%d shapes): wall %.2fs, %.0f req/s\n" clients
+    (repeats * shapes) shapes wall
+    (float_of_int total /. wall);
+  Printf.printf "latency p50 %.1fus  p95 %.1fus  p99 %.1fus  mean %.1fus\n"
+    (1e6 *. p50) (1e6 *. p95) (1e6 *. p99) (1e6 *. mean);
+  Printf.printf "plan cache: %d hits / %d misses (hit rate %.1f%%)\n" hits misses
+    (100. *. float_of_int hits /. float_of_int (Int.max 1 (hits + misses)));
+  if json then
+    write_json ~path:"BENCH_serve.json" ~clients ~requests:total ~shapes ~p50 ~p95 ~p99
+      ~mean ~hits ~misses ~served ~errors ~overloaded;
+  if !failed then exit 1

@@ -24,43 +24,11 @@ module Estimate = Stats.Estimate
 
 (* --- tiny predicate parser ------------------------------------------- *)
 
-let parse_predicate text =
-  let text = String.trim text in
-  let ops =
-    (* Longest operators first so "<=" is not read as "<". *)
-    [ ("<=", P.le); (">=", P.ge); ("!=", P.neq); ("<", P.lt); (">", P.gt); ("=", P.eq) ]
-  in
-  let find_op () =
-    List.find_map
-      (fun (symbol, make) ->
-        let sl = String.length symbol and tl = String.length text in
-        let rec search i =
-          if i + sl > tl then None
-          else if String.sub text i sl = symbol then Some (i, sl, make)
-          else search (i + 1)
-        in
-        search 0)
-      ops
-  in
-  match find_op () with
-  | None -> Error (`Msg (Printf.sprintf "no comparison operator in filter %S" text))
-  | Some (i, sl, make) ->
-    let attr = String.trim (String.sub text 0 i) in
-    let value = String.trim (String.sub text (i + sl) (String.length text - i - sl)) in
-    if attr = "" || value = "" then Error (`Msg "empty side in filter")
-    else
-      let rhs =
-        match int_of_string_opt value with
-        | Some n -> P.vint n
-        | None -> (
-          match float_of_string_opt value with
-          | Some f -> P.vfloat f
-          | None -> P.vstr value)
-      in
-      Ok (make (P.attr attr) rhs)
+(* The parser itself lives in Serve.Engine so the serve daemon accepts
+   exactly the filter language this CLI does. *)
 
 let predicate_conv =
-  let parse s = parse_predicate s in
+  let parse s = Serve.Engine.parse_predicate s in
   let print ppf p = Format.fprintf ppf "%s" (P.to_string p) in
   Arg.conv (parse, print)
 
@@ -109,13 +77,8 @@ let rng_of_seed seed = Sampling.Rng.create ~seed ()
    error (or, worse, a silently NaN result).  Routed through [Failure]
    into the one-line `raestat: error:` / exit-3 contract. *)
 
-let check_fraction fraction =
-  if not (fraction > 0. && fraction <= 1.) then
-    failwith (Printf.sprintf "--fraction %g outside (0, 1]" fraction)
-
-let check_unit_open ~option value =
-  if not (value > 0. && value < 1.) then
-    failwith (Printf.sprintf "%s %g outside (0, 1)" option value)
+let check_fraction = Serve.Engine.check_fraction
+let check_unit_open = Serve.Engine.check_unit_open
 
 (* --- metrics ----------------------------------------------------------- *)
 
@@ -171,20 +134,8 @@ let with_metrics (enabled, trace, out) f =
    I/O charged).  Materialization respects RAESTAT_MEMORY_CAP; under a
    cap, cluster sampling (--pages) is the out-of-core path. *)
 
-let is_pagefile path = Filename.check_suffix path ".raf"
-
-let load_relation ?metrics path =
-  if is_pagefile path then begin
-    let pf = Relational.Pagefile.openfile path in
-    Fun.protect
-      ~finally:(fun () -> Relational.Pagefile.close pf)
-      (fun () -> Relational.Pagefile.to_relation ?metrics pf)
-  end
-  else Relational.Csv.load path
-
-let load_catalog ?metrics bindings =
-  Relational.Catalog.of_list
-    (List.map (fun (name, path) -> (name, load_relation ?metrics path)) bindings)
+let is_pagefile = Serve.Engine.is_pagefile
+let load_catalog = Serve.Engine.load_catalog
 
 (* Page-granular view for cluster sampling: a pagefile is used directly
    (only sampled pages are fetched), a CSV is loaded and split into
@@ -203,26 +154,42 @@ let with_paged ?page_capacity path f =
     f (Relational.Paged.make ~page_capacity (Relational.Csv.load path))
 
 (* NAME=PATH binding for the --rel option of query/sql/plan/explain. *)
-let parse_binding spec =
-  match String.index_opt spec '=' with
-  | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
-  | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
+let parse_binding = Serve.Engine.parse_binding
 
 (* --- generate --------------------------------------------------------- *)
 
 let dist_conv =
+  (* _opt conversions so a malformed field is a one-line converter
+     error, not an uncaught Failure("int_of_string") through cmdliner. *)
+  let int_part what text k =
+    match int_of_string_opt text with
+    | Some n -> k n
+    | None -> Error (`Msg (Printf.sprintf "%s %S is not an integer" what text))
+  in
+  let float_part what text k =
+    match float_of_string_opt text with
+    | Some f -> k f
+    | None -> Error (`Msg (Printf.sprintf "%s %S is not a number" what text))
+  in
   let parse s =
     match String.split_on_char ':' s with
     | [ "uniform"; lo; hi ] ->
-      Ok (Workload.Dist.Uniform { lo = int_of_string lo; hi = int_of_string hi })
+      int_part "uniform bound" lo @@ fun lo ->
+      int_part "uniform bound" hi @@ fun hi -> Ok (Workload.Dist.Uniform { lo; hi })
     | [ "zipf"; n; z ] ->
-      Ok (Workload.Dist.Zipf { n_values = int_of_string n; skew = float_of_string z })
+      int_part "zipf value count" n @@ fun n_values ->
+      float_part "zipf skew" z @@ fun skew -> Ok (Workload.Dist.Zipf { n_values; skew })
     | [ "normal"; mean; sd ] ->
-      Ok (Workload.Dist.Normal { mean = float_of_string mean; stddev = float_of_string sd })
+      float_part "normal mean" mean @@ fun mean ->
+      float_part "normal stddev" sd @@ fun stddev ->
+      Ok (Workload.Dist.Normal { mean; stddev })
     | [ "selfsim"; n; h ] ->
-      Ok (Workload.Dist.Self_similar { n_values = int_of_string n; h = float_of_string h })
-    | [ "exp"; mean ] -> Ok (Workload.Dist.Exponential { mean = float_of_string mean })
-    | [ "const"; c ] -> Ok (Workload.Dist.Constant (int_of_string c))
+      int_part "selfsim value count" n @@ fun n_values ->
+      float_part "selfsim h" h @@ fun h -> Ok (Workload.Dist.Self_similar { n_values; h })
+    | [ "exp"; mean ] ->
+      float_part "exp mean" mean @@ fun mean -> Ok (Workload.Dist.Exponential { mean })
+    | [ "const"; c ] ->
+      int_part "const value" c @@ fun c -> Ok (Workload.Dist.Constant c)
     | _ ->
       Error
         (`Msg
@@ -339,26 +306,16 @@ let estimate_cmd =
           ci.Stats.Confidence.lo ci.Stats.Confidence.hi
       end
     | None ->
-      let est, n, big_n =
+      (* Shared with the serve daemon: Serve.Engine renders the exact
+         same text for the same seed, so daemon responses are
+         byte-identical to this command. *)
+      let result =
         with_metrics metrics_opts (fun metrics ->
             let catalog = load_catalog ~metrics [ ("r", path) ] in
-            let big_n =
-              Relational.Relation.cardinality (Relational.Catalog.find catalog "r")
-            in
-            let n = Sampling.Srs.size_of_fraction ~fraction big_n in
-            let est =
-              Raestat.Count_estimator.selection ~metrics rng catalog ~relation:"r" ~n
-                predicate
-            in
-            (est, n, big_n))
+            Serve.Engine.estimate ~metrics rng catalog ~relation:"r" ~fraction ~level
+              predicate)
       in
-      let ci = Estimate.ci ~level est in
-      Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
-      Printf.printf "sampled %d of %d tuples (%.2f%%)\n" n big_n
-        (* An empty relation is a census of nothing — 100%, not 0/0. *)
-        (if big_n = 0 then 100. else 100. *. float_of_int n /. float_of_int big_n);
-      Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level) ci.Stats.Confidence.lo
-        ci.Stats.Confidence.hi
+      print_string result.Serve.Engine.text
   in
   let pages_arg =
     Arg.(
@@ -466,24 +423,18 @@ let query_cmd =
     check_fraction fraction;
     let rng = rng_of_seed seed in
     let expr = Relational.Parser.parse_expr text in
-    let catalog, est =
+    let catalog, result =
       with_metrics metrics_opts (fun metrics ->
           let catalog = load_catalog ~metrics (List.map parse_binding bindings) in
-          let est =
-            Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
-              ~metrics rng catalog ~fraction expr
+          let result =
+            Serve.Engine.query ~metrics ~domains:(resolve_domains domains) rng catalog
+              ~fraction ~groups expr
           in
-          (catalog, est))
+          (catalog, result))
     in
-    Printf.printf "expression: %s\n" (Relational.Parser.print_expr expr);
-    Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
-      (Estimate.status_to_string est.Estimate.status)
-      est.Estimate.sample_size;
-    if Estimate.has_variance est then begin
-      let ci = Estimate.ci ~level:0.95 est in
-      Printf.printf "95%% CI: [%.0f, %.0f]\n" ci.Stats.Confidence.lo ci.Stats.Confidence.hi
-    end;
+    print_string result.Serve.Engine.text;
     if check then begin
+      let est = result.Serve.Engine.estimate in
       let exact = Baselines.Exact.count catalog expr in
       Printf.printf "exact COUNT:     %d (%.1f ms)\n" exact.Baselines.Exact.count
         (1000. *. exact.Baselines.Exact.seconds);
@@ -519,31 +470,18 @@ let sql_cmd =
   let run seed bindings text fraction groups check domains metrics_opts =
     check_fraction fraction;
     let rng = rng_of_seed seed in
-    let catalog, expr, est =
+    let catalog, result =
       with_metrics metrics_opts (fun metrics ->
           let catalog = load_catalog ~metrics (List.map parse_binding bindings) in
-          let expr = Relational.Sql.parse_optimized catalog text in
-          (* SELECT COUNT( * ) asks for a cardinality: estimate the inner
-             expression's COUNT rather than the 1-row aggregate result. *)
-          let expr =
-            Option.value (Relational.Sql.count_star_target expr) ~default:expr
+          let result =
+            Serve.Engine.sql ~metrics ~domains:(resolve_domains domains) rng catalog
+              ~fraction ~groups text
           in
-          Printf.printf "algebra: %s\n" (Relational.Parser.print_expr expr);
-          let est =
-            Raestat.Count_estimator.estimate ~groups ~domains:(resolve_domains domains)
-              ~metrics rng catalog ~fraction expr
-          in
-          (catalog, expr, est))
+          (catalog, result))
     in
-    Printf.printf "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
-      (Estimate.status_to_string est.Estimate.status)
-      est.Estimate.sample_size;
-    if Estimate.has_variance est then begin
-      let ci = Estimate.ci ~level:0.95 est in
-      Printf.printf "95%% CI: [%.0f, %.0f]\n" ci.Stats.Confidence.lo ci.Stats.Confidence.hi
-    end;
+    print_string result.Serve.Engine.text;
     if check then begin
-      let exact = Baselines.Exact.count catalog expr in
+      let exact = Baselines.Exact.count catalog result.Serve.Engine.expr in
       Printf.printf "exact COUNT:     %d (%.1f ms)\n" exact.Baselines.Exact.count
         (1000. *. exact.Baselines.Exact.seconds)
     end
@@ -754,6 +692,156 @@ let fuzz_cmd =
           coverage, conservation)")
     Term.(const run $ seed_arg $ budget_arg $ replicates_arg $ replay_arg $ out_arg)
 
+(* --- serve / client ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen/connect on.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:"Loopback TCP port to listen/connect on (0 picks an ephemeral port).")
+
+let serve_cmd =
+  let run bindings socket port plan_capacity queue_limit =
+    let bindings = List.map parse_binding bindings in
+    let listen =
+      match (socket, port) with
+      | Some path, None -> Serve.Server.Unix_socket path
+      | None, Some port -> Serve.Server.Tcp port
+      | Some _, Some _ -> failwith "--socket and --port are mutually exclusive"
+      | None, None -> failwith "one of --socket PATH or --port N is required"
+    in
+    if plan_capacity <= 0 then failwith "--plan-cache must be positive";
+    if queue_limit < 0 then failwith "--queue-limit must be >= 0";
+    let config =
+      { Serve.Server.listen; bindings; plan_capacity; queue_limit }
+    in
+    let stats =
+      Serve.Server.run
+        ~on_ready:(fun addr ->
+          let where =
+            match addr with
+            | Unix.ADDR_UNIX path -> Printf.sprintf "unix:%s" path
+            | Unix.ADDR_INET (_, port) -> Printf.sprintf "tcp:127.0.0.1:%d" port
+          in
+          (* Flushed so wrappers can wait for the ready line. *)
+          Printf.printf "raestat serve: listening on %s (%d relations)\n%!" where
+            (List.length bindings))
+        config
+    in
+    Printf.printf "raestat serve: stopped after %d requests (%d errors, %d overloaded)\n"
+      stats.Serve.Server.requests stats.Serve.Server.errors
+      stats.Serve.Server.overloaded
+  in
+  let bindings_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "rel"; "r" ] ~docv:"NAME=PATH"
+          ~doc:"Bind a relation name to a CSV or packed .raf file (repeatable).")
+  in
+  let plan_capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "plan-cache" ] ~docv:"N" ~doc:"Prepared-plan cache capacity (entries).")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Max requests waiting or running before new ones are rejected with \
+             {\"error\": \"overloaded\"}.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running estimation daemon: newline-delimited JSON requests over a Unix \
+          or loopback TCP socket, catalog loaded once, compiled plans cached per \
+          query shape")
+    Term.(const run $ bindings_arg $ socket_arg $ port_arg $ plan_capacity_arg
+          $ queue_limit_arg)
+
+let client_cmd =
+  let run socket port text_mode requests =
+    let addr =
+      match (socket, port) with
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      | Some _, Some _ -> failwith "--socket and --port are mutually exclusive"
+      | None, None -> failwith "one of --socket PATH or --port N is required"
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd addr;
+    (* Channels over the fd handle partial writes and line framing; the
+       fd is closed once, above — not via the channels. *)
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    let requests =
+      match requests with [] -> In_channel.input_lines stdin | _ -> requests
+    in
+    List.iter
+      (fun request ->
+        output_string oc request;
+        output_char oc '\n';
+        flush oc;
+        match In_channel.input_line ic with
+        | None -> failwith "server closed the connection"
+        | Some response ->
+          if not text_mode then print_endline response
+          else
+            (* --text unwraps result.text verbatim (for byte-parity
+               checks against the one-shot commands) and routes server
+               errors into the raestat: error: / exit-3 contract. *)
+            let json =
+              match Serve.Json.parse response with
+              | Ok v -> v
+              | Error message -> failwith ("bad response JSON: " ^ message)
+            in
+            (match Serve.Json.member "ok" json with
+            | Some (Serve.Json.Bool true) -> (
+              match Serve.Json.member "result" json with
+              | Some result -> (
+                match Serve.Json.member "text" result with
+                | Some (Serve.Json.Str text) -> print_string text
+                | _ -> print_endline response)
+              | None -> print_endline response)
+            | _ ->
+              let message =
+                match Serve.Json.member "error" json with
+                | Some (Serve.Json.Str m) -> m
+                | _ -> "malformed server response"
+              in
+              failwith message))
+      requests
+  in
+  let text_flag =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:
+            "Print each response's result.text verbatim instead of the raw JSON \
+             line; server errors become one-line errors with exit code 3.")
+  in
+  let requests_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "JSON request lines to send in order (read from stdin when none are \
+             given).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send newline-delimited JSON requests to a running raestat serve daemon")
+    Term.(const run $ socket_arg $ port_arg $ text_flag $ requests_arg)
+
 (* --- explain ------------------------------------------------------------ *)
 
 (* Each sub-command builds the estimation plan exactly as the matching
@@ -771,11 +859,9 @@ let print_plan ~json plan =
 
 let explain_estimate_cmd =
   let run path predicate fraction json =
-    check_fraction fraction;
     let catalog = load_catalog [ ("r", path) ] in
-    let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog "r") in
-    let n = Sampling.Srs.size_of_fraction ~fraction big_n in
-    print_plan ~json (Raestat.Estplan.selection_plan catalog ~relation:"r" ~n predicate)
+    print_plan ~json
+      (Serve.Engine.explain_selection catalog ~relation:"r" ~fraction predicate)
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Explain the plan behind $(b,raestat estimate)")
@@ -814,10 +900,9 @@ let explain_groups_arg =
 
 let explain_query_cmd =
   let run bindings text fraction groups json =
-    check_fraction fraction;
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Parser.parse_expr text in
-    print_plan ~json (Raestat.Estplan.compile ~groups catalog ~fraction expr)
+    print_plan ~json (Serve.Engine.explain_expr catalog ~fraction ~groups expr)
   in
   let text_arg =
     Arg.(
@@ -831,11 +916,9 @@ let explain_query_cmd =
 
 let explain_sql_cmd =
   let run bindings text fraction groups json =
-    check_fraction fraction;
     let catalog = load_catalog (List.map parse_binding bindings) in
-    let expr = Relational.Sql.parse_optimized catalog text in
-    let expr = Option.value (Relational.Sql.count_star_target expr) ~default:expr in
-    print_plan ~json (Raestat.Estplan.compile ~groups catalog ~fraction expr)
+    let expr = Serve.Engine.sql_expr catalog text in
+    print_plan ~json (Serve.Engine.explain_expr catalog ~fraction ~groups expr)
   in
   let text_arg =
     Arg.(
@@ -861,7 +944,8 @@ let () =
   let group =
     Cmd.group info [ generate_cmd; pack_cmd; exact_cmd; estimate_cmd; join_cmd;
                      distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
-                     plan_cmd; sweep_cmd; fuzz_cmd; explain_cmd ]
+                     plan_cmd; sweep_cmd; fuzz_cmd; explain_cmd;
+                     serve_cmd; client_cmd ]
   in
   (* [~catch:false] so domain errors reach us instead of cmdliner's
      backtrace printer: a missing relation, a malformed CSV or a SQL
@@ -871,4 +955,10 @@ let () =
   | code -> exit code
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
     Printf.eprintf "raestat: error: %s\n" msg;
+    exit 3
+  | exception Unix.Unix_error (err, fn, arg) ->
+    (* serve/client socket failures (connection refused, missing
+       socket path, …) are usage problems under the same contract. *)
+    Printf.eprintf "raestat: error: %s: %s%s\n" fn (Unix.error_message err)
+      (if arg = "" then "" else Printf.sprintf " (%s)" arg);
     exit 3

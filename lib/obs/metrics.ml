@@ -8,6 +8,8 @@ type snapshot = {
   hash_probe_hits : int;
   hash_probe_misses : int;
   rng_draws : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
   timers : (string * float) list;
 }
 
@@ -36,6 +38,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable draws : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
   timer_table : (string, float) Hashtbl.t;
   mutable roots_rev : span list;
   mutable stack : open_span list;
@@ -53,6 +57,8 @@ let make ~enabled =
     hits = 0;
     misses = 0;
     draws = 0;
+    plan_hits = 0;
+    plan_misses = 0;
     timer_table = Hashtbl.create 8;
     roots_rev = [];
     stack = [];
@@ -77,6 +83,8 @@ let add_indices t n = if t.enabled then t.indices <- t.indices + n
 let probe_hit t = if t.enabled then t.hits <- t.hits + 1
 let probe_miss t = if t.enabled then t.misses <- t.misses + 1
 let add_rng_draws t n = if t.enabled then t.draws <- t.draws + n
+let plan_cache_hit t = if t.enabled then t.plan_hits <- t.plan_hits + 1
+let plan_cache_miss t = if t.enabled then t.plan_misses <- t.plan_misses + 1
 
 let add_timer t label seconds =
   Hashtbl.replace t.timer_table label
@@ -133,6 +141,8 @@ let absorb dst src =
     dst.hits <- dst.hits + src.hits;
     dst.misses <- dst.misses + src.misses;
     dst.draws <- dst.draws + src.draws;
+    dst.plan_hits <- dst.plan_hits + src.plan_hits;
+    dst.plan_misses <- dst.plan_misses + src.plan_misses;
     Hashtbl.iter (fun label seconds -> add_timer dst label seconds) src.timer_table
   end
 
@@ -151,6 +161,8 @@ let snapshot t =
     hash_probe_hits = t.hits;
     hash_probe_misses = t.misses;
     rng_draws = t.draws;
+    plan_cache_hits = t.plan_hits;
+    plan_cache_misses = t.plan_misses;
     timers = sorted_timers t.timer_table;
   }
 
@@ -165,6 +177,8 @@ let zero =
     hash_probe_hits = 0;
     hash_probe_misses = 0;
     rng_draws = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
     timers = [];
   }
 
@@ -193,6 +207,8 @@ let diff later earlier =
     hash_probe_hits = later.hash_probe_hits - earlier.hash_probe_hits;
     hash_probe_misses = later.hash_probe_misses - earlier.hash_probe_misses;
     rng_draws = later.rng_draws - earlier.rng_draws;
+    plan_cache_hits = later.plan_cache_hits - earlier.plan_cache_hits;
+    plan_cache_misses = later.plan_cache_misses - earlier.plan_cache_misses;
     timers = combine_timers (fun a b -> a -. b) later.timers earlier.timers;
   }
 
@@ -207,6 +223,8 @@ let merge a b =
     hash_probe_hits = a.hash_probe_hits + b.hash_probe_hits;
     hash_probe_misses = a.hash_probe_misses + b.hash_probe_misses;
     rng_draws = a.rng_draws + b.rng_draws;
+    plan_cache_hits = a.plan_cache_hits + b.plan_cache_hits;
+    plan_cache_misses = a.plan_cache_misses + b.plan_cache_misses;
     timers = combine_timers ( +. ) a.timers b.timers;
   }
 
@@ -220,6 +238,8 @@ let counters_equal a b =
   && a.hash_probe_hits = b.hash_probe_hits
   && a.hash_probe_misses = b.hash_probe_misses
   && a.rng_draws = b.rng_draws
+  && a.plan_cache_hits = b.plan_cache_hits
+  && a.plan_cache_misses = b.plan_cache_misses
 
 (* --- JSON ------------------------------------------------------------ *)
 
@@ -246,9 +266,11 @@ let counters_line s =
   Printf.sprintf
     "{\"tuples_scanned\": %d, \"pages_read\": %d, \"bytes_read\": %d, \
      \"io_batches\": %d, \"page_cache_hits\": %d, \"sample_indices\": %d, \
-     \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d}"
+     \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d, \
+     \"plan_cache_hits\": %d, \"plan_cache_misses\": %d}"
     s.tuples_scanned s.pages_read s.bytes_read s.io_batches s.page_cache_hits
     s.sample_indices s.hash_probe_hits s.hash_probe_misses s.rng_draws
+    s.plan_cache_hits s.plan_cache_misses
 
 let timers_json buffer timers =
   Buffer.add_string buffer "  \"timers\": [";

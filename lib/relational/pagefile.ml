@@ -213,15 +213,38 @@ let close_writer w =
   Buffer.output_buffer w.oc trailer;
   close_out w.oc
 
+(* Writers are atomic: bytes go to [path ^ ".tmp"] and the finished
+   file is renamed over [path] only after a successful close, so a
+   failure mid-write (bad CSV row, disk full, crash) never leaves a
+   partial — or worse, silently truncated — .raf where a reader
+   expects a valid one.  The rename is within one directory, so it is
+   atomic on POSIX filesystems. *)
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+(* Close and rename into place; on failure drop the temporary. *)
+let commit_writer w ~tmp ~path =
+  (match close_writer w with
+  | () -> ()
+  | exception e ->
+    remove_quietly tmp;
+    raise e);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+    remove_quietly tmp;
+    raise e
+
 let with_writer ?page_capacity path schema f =
-  let w = create_writer ?page_capacity path schema in
+  let tmp = path ^ ".tmp" in
+  let w = create_writer ?page_capacity tmp schema in
   match f w with
   | result ->
-    close_writer w;
+    commit_writer w ~tmp ~path;
     result
   | exception e ->
     close_out_noerr w.oc;
-    (try Sys.remove path with Sys_error _ -> ());
+    remove_quietly tmp;
     raise e
 
 let write_relation ?page_capacity path relation =
@@ -229,11 +252,12 @@ let write_relation ?page_capacity path relation =
   Relation.iter (fun tuple -> append w tuple) relation
 
 let pack_csv ?page_capacity ~src ~dst () =
+  let tmp = dst ^ ".tmp" in
   let writer = ref None in
   let count = ref 0 in
   (try
      Csv.iter_file src
-       ~header:(fun schema -> writer := Some (create_writer ?page_capacity dst schema))
+       ~header:(fun schema -> writer := Some (create_writer ?page_capacity tmp schema))
        ~row:(fun tuple ->
          match !writer with
          | Some w ->
@@ -244,11 +268,11 @@ let pack_csv ?page_capacity ~src ~dst () =
      (match !writer with
      | Some w ->
        close_out_noerr w.oc;
-       (try Sys.remove dst with Sys_error _ -> ())
+       remove_quietly tmp
      | None -> ());
      raise e);
   (match !writer with
-  | Some w -> close_writer w
+  | Some w -> commit_writer w ~tmp ~path:dst
   | None -> failwith "Csv: empty input");
   !count
 
@@ -351,15 +375,23 @@ let read_str c =
   c.c_pos <- c.c_pos + n;
   s
 
+(* A signal landing mid-syscall (interval timers, SIGCHLD from a
+   harness, a resize) makes open/fstat fail with EINTR; the call is
+   safe to retry.  The pread stub handles its own EINTR in C. *)
+let rec retry_eintr f =
+  match f () with
+  | value -> value
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
 let openfile ?(cache_pages = 64) path =
   if cache_pages <= 0 then invalid_arg "Pagefile: cache_pages must be positive";
   let fd =
-    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    try retry_eintr (fun () -> Unix.openfile path [ Unix.O_RDONLY ] 0)
     with Unix.Unix_error (e, _, _) ->
       raise (Sys_error (path ^ ": " ^ Unix.error_message e))
   in
   match
-    let size = (Unix.fstat fd).Unix.st_size in
+    let size = (retry_eintr (fun () -> Unix.fstat fd)).Unix.st_size in
     if size < header_size + trailer_size then
       corrupt path "truncated (too short to be a pagefile)";
     let scratch = Bytes.create header_size in

@@ -39,13 +39,18 @@
 val default_page_capacity : int
 
 (** [write_relation ?page_capacity path relation] encodes an in-memory
-    relation.  @raise Invalid_argument if [page_capacity <= 0]. *)
+    relation.  The write is atomic: bytes stream to [path ^ ".tmp"],
+    renamed over [path] only on success, so a failure never leaves a
+    partial pagefile behind.
+    @raise Invalid_argument if [page_capacity <= 0]. *)
 val write_relation : ?page_capacity:int -> string -> Relation.t -> unit
 
 (** [pack_csv ?page_capacity ~src ~dst] streams a CSV file into a
     pagefile without materializing the relation (memory is bounded by
     one page buffer plus the string dictionary).  Returns the number of
-    tuples written.  Errors from the CSV layer propagate unchanged. *)
+    tuples written.  Errors from the CSV layer propagate unchanged.
+    Atomic like {!write_relation}: on failure [dst] is untouched and
+    the [dst ^ ".tmp"] staging file is removed. *)
 val pack_csv : ?page_capacity:int -> src:string -> dst:string -> unit -> int
 
 (** {1 Reading} *)

@@ -13,9 +13,11 @@
 #include <caml/fail.h>
 #include <caml/memory.h>
 #include <caml/mlvalues.h>
+#include <caml/threads.h>
 
 #include <errno.h>
 #include <fcntl.h>
+#include <stdio.h>
 #include <string.h>
 #include <unistd.h>
 
@@ -25,26 +27,47 @@
  * ofs, retrying on EINTR and on short reads.  Returns the number of
  * bytes actually read (< len only at end of file).  Bounds are checked
  * by the OCaml caller.
+ *
+ * The read runs with the OCaml runtime lock released so the serve
+ * daemon's other threads keep running while a page fetch blocks on
+ * disk.  The kernel must not write into the OCaml heap while the lock
+ * is down (the GC can move vbuf), so the read lands in a C staging
+ * buffer and is copied out after the lock is reacquired.
  */
 CAMLprim value raestat_pread(value vfd, value vbuf, value vofs, value vlen,
                              value vfileofs) {
   CAMLparam5(vfd, vbuf, vofs, vlen, vfileofs);
+  int fd = Int_val(vfd);
   long ofs = Long_val(vofs);
   long len = Long_val(vlen);
   long long fileofs = Int64_val(vfileofs);
   long total = 0;
+  int saved_errno = 0;
+  char *staging = caml_stat_alloc((size_t)(len > 0 ? len : 1));
+  caml_release_runtime_system();
   while (total < len) {
-    ssize_t n = pread(Int_val(vfd), Bytes_val(vbuf) + ofs + total,
-                      (size_t)(len - total), (off_t)(fileofs + total));
+    ssize_t n = pread(fd, staging + total, (size_t)(len - total),
+                      (off_t)(fileofs + total));
     if (n < 0) {
       if (errno == EINTR)
         continue;
-      caml_failwith("Pagefile: pread failed");
+      saved_errno = errno;
+      break;
     }
     if (n == 0)
       break; /* end of file */
     total += n;
   }
+  caml_acquire_runtime_system();
+  if (saved_errno != 0) {
+    char message[256];
+    snprintf(message, sizeof message, "Pagefile: pread failed: %s",
+             strerror(saved_errno));
+    caml_stat_free(staging);
+    caml_failwith(message);
+  }
+  memcpy(Bytes_val(vbuf) + ofs, staging, (size_t)total);
+  caml_stat_free(staging);
   CAMLreturn(Val_long(total));
 }
 

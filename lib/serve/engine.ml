@@ -1,0 +1,194 @@
+module P = Relational.Predicate
+module Expr = Relational.Expr
+module Estimate = Stats.Estimate
+module Metrics = Obs.Metrics
+
+(* --- input parsing and loading --------------------------------------- *)
+
+let parse_predicate text =
+  let text = String.trim text in
+  let ops =
+    (* Longest operators first so "<=" is not read as "<". *)
+    [ ("<=", P.le); (">=", P.ge); ("!=", P.neq); ("<", P.lt); (">", P.gt); ("=", P.eq) ]
+  in
+  let find_op () =
+    List.find_map
+      (fun (symbol, make) ->
+        let sl = String.length symbol and tl = String.length text in
+        let rec search i =
+          if i + sl > tl then None
+          else if String.sub text i sl = symbol then Some (i, sl, make)
+          else search (i + 1)
+        in
+        search 0)
+      ops
+  in
+  match find_op () with
+  | None -> Error (`Msg (Printf.sprintf "no comparison operator in filter %S" text))
+  | Some (i, sl, make) ->
+    let attr = String.trim (String.sub text 0 i) in
+    let value = String.trim (String.sub text (i + sl) (String.length text - i - sl)) in
+    if attr = "" || value = "" then Error (`Msg "empty side in filter")
+    else
+      let rhs =
+        match int_of_string_opt value with
+        | Some n -> P.vint n
+        | None -> (
+          match float_of_string_opt value with
+          | Some f -> P.vfloat f
+          | None -> P.vstr value)
+      in
+      Ok (make (P.attr attr) rhs)
+
+let predicate_of_string text =
+  match parse_predicate text with
+  | Ok predicate -> predicate
+  | Error (`Msg message) -> failwith message
+
+let parse_binding spec =
+  match String.index_opt spec '=' with
+  | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | None -> failwith (Printf.sprintf "--rel expects NAME=PATH, got %S" spec)
+
+let is_pagefile path = Filename.check_suffix path ".raf"
+
+let load_relation ?metrics path =
+  if is_pagefile path then begin
+    let pf = Relational.Pagefile.openfile path in
+    Fun.protect
+      ~finally:(fun () -> Relational.Pagefile.close pf)
+      (fun () -> Relational.Pagefile.to_relation ?metrics pf)
+  end
+  else Relational.Csv.load path
+
+let load_catalog ?metrics bindings =
+  Relational.Catalog.of_list
+    (List.map (fun (name, path) -> (name, load_relation ?metrics path)) bindings)
+
+(* --- validation ------------------------------------------------------- *)
+
+(* The comparisons are written so NaN fails them too: downstream checks
+   use plain [<] / [>], which NaN slips through. *)
+
+let check_fraction fraction =
+  if not (fraction > 0. && fraction <= 1.) then
+    failwith (Printf.sprintf "--fraction %g outside (0, 1]" fraction)
+
+let check_unit_open ~option value =
+  if not (value > 0. && value < 1.) then
+    failwith (Printf.sprintf "%s %g outside (0, 1)" option value)
+
+(* Same message Count_estimator.estimate raises, so the CLI's error
+   contract is unchanged by routing through the plan cache. *)
+let check_groups groups =
+  if groups < 1 then invalid_arg "Count_estimator.estimate: groups must be >= 1"
+
+(* --- plan-cache keys -------------------------------------------------- *)
+
+let selection_key ~relation ~n predicate =
+  Printf.sprintf "selection|%s|n=%d|%s" relation n (P.to_string predicate)
+
+let expr_key ~fraction ~groups expr =
+  Printf.sprintf "expr|f=%.17g|g=%d|%s" fraction groups
+    (Relational.Parser.print_expr expr)
+
+let plan_for ~metrics plans key compile =
+  match plans with
+  | Some cache -> Plan_cache.find_or_compile ~metrics cache key compile
+  | None -> compile ()
+
+(* --- estimation ------------------------------------------------------- *)
+
+type result = {
+  text : string;
+  estimate : Stats.Estimate.t;
+  expr : Relational.Expr.t;
+}
+
+let estimate ?(metrics = Metrics.noop) ?plans rng catalog ~relation ~fraction ~level
+    predicate =
+  check_fraction fraction;
+  check_unit_open ~option:"--level" level;
+  let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog relation) in
+  let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+  let plan =
+    plan_for ~metrics plans
+      (selection_key ~relation ~n predicate)
+      (fun () -> Raestat.Estplan.selection_plan catalog ~relation ~n predicate)
+  in
+  let est =
+    Metrics.with_span metrics (Printf.sprintf "selection %s" relation) (fun () ->
+        Raestat.Estplan.run ~metrics rng catalog plan)
+  in
+  let ci = Estimate.ci ~level est in
+  let buffer = Buffer.create 128 in
+  Printf.bprintf buffer "estimated COUNT: %.0f\n" est.Estimate.point;
+  Printf.bprintf buffer "sampled %d of %d tuples (%.2f%%)\n" n big_n
+    (* An empty relation is a census of nothing — 100%, not 0/0. *)
+    (if big_n = 0 then 100. else 100. *. float_of_int n /. float_of_int big_n);
+  Printf.bprintf buffer "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level)
+    ci.Stats.Confidence.lo ci.Stats.Confidence.hi;
+  {
+    text = Buffer.contents buffer;
+    estimate = est;
+    expr = Expr.select predicate (Expr.base relation);
+  }
+
+(* Shared body of query and sql: cached (or fresh) compile, run inside
+   the span Count_estimator.estimate would open, CLI-identical text. *)
+let run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr =
+  check_fraction fraction;
+  check_groups groups;
+  let printed = Relational.Parser.print_expr expr in
+  let plan =
+    plan_for ~metrics plans
+      (expr_key ~fraction ~groups expr)
+      (fun () -> Raestat.Estplan.compile ~groups catalog ~fraction expr)
+  in
+  let est =
+    Metrics.with_span metrics
+      (Printf.sprintf "estimate %s" printed)
+      (fun () -> Raestat.Estplan.run ?domains ~metrics rng catalog plan)
+  in
+  let buffer = Buffer.create 128 in
+  Printf.bprintf buffer "estimated COUNT: %.0f (%s, %d tuples read)\n" est.Estimate.point
+    (Estimate.status_to_string est.Estimate.status)
+    est.Estimate.sample_size;
+  if Estimate.has_variance est then begin
+    let ci = Estimate.ci ~level:0.95 est in
+    Printf.bprintf buffer "95%% CI: [%.0f, %.0f]\n" ci.Stats.Confidence.lo
+      ci.Stats.Confidence.hi
+  end;
+  (printed, est, Buffer.contents buffer)
+
+let query ?(metrics = Metrics.noop) ?plans ?domains rng catalog ~fraction ~groups expr =
+  let printed, est, body =
+    run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr
+  in
+  { text = Printf.sprintf "expression: %s\n%s" printed body; estimate = est; expr }
+
+let sql_expr catalog text =
+  let expr = Relational.Sql.parse_optimized catalog text in
+  (* SELECT COUNT( * ) asks for a cardinality: estimate the inner
+     expression's COUNT rather than the 1-row aggregate result. *)
+  Option.value (Relational.Sql.count_star_target expr) ~default:expr
+
+let sql ?(metrics = Metrics.noop) ?plans ?domains rng catalog ~fraction ~groups text =
+  let expr = sql_expr catalog text in
+  let printed, est, body =
+    run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr
+  in
+  { text = Printf.sprintf "algebra: %s\n%s" printed body; estimate = est; expr }
+
+(* --- explain ---------------------------------------------------------- *)
+
+let explain_selection catalog ~relation ~fraction predicate =
+  check_fraction fraction;
+  let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog relation) in
+  let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+  Raestat.Estplan.selection_plan catalog ~relation ~n predicate
+
+let explain_expr catalog ~fraction ~groups expr =
+  check_fraction fraction;
+  check_groups groups;
+  Raestat.Estplan.compile ~groups catalog ~fraction expr

@@ -1,0 +1,131 @@
+(** Shared request engine for the one-shot CLI and the serve daemon.
+
+    Both front ends answer `estimate`/`query`/`sql`/`explain` by
+    calling the functions here, so the rendered text is byte-identical
+    by construction: the serve conformance suite compares daemon
+    responses against one-shot CLI output with [cmp].
+
+    The functions accept an optional {!Plan_cache.t}.  With a cache,
+    Expr → {!Raestat.Estplan} compilation is skipped for repeated query
+    shapes (the daemon's prepared-plan cache); without one, every call
+    compiles fresh (the one-shot CLI).  Results are identical either
+    way — a cached plan re-run draws from the same RNG stream and the
+    only state a run mutates in the plan is the inspection-only moment
+    accumulators. *)
+
+(** {1 Input parsing and loading} *)
+
+(** Tiny filter language ["attr OP value"], OP ∈ = != < <= > >=.
+    Numeric literals become ints or floats, anything else a string. *)
+val parse_predicate : string -> (Relational.Predicate.t, [ `Msg of string ]) result
+
+(** Like {!parse_predicate} but raising [Failure] (serve error path). *)
+val predicate_of_string : string -> Relational.Predicate.t
+
+(** ["NAME=PATH"] → [(name, path)]. @raise Failure otherwise. *)
+val parse_binding : string -> string * string
+
+val is_pagefile : string -> bool
+
+(** Load one relation, dispatching on extension: [*.raf] through the
+    paged reader (real I/O, charged to [metrics]), anything else as
+    in-memory CSV. *)
+val load_relation : ?metrics:Obs.Metrics.t -> string -> Relational.Relation.t
+
+val load_catalog :
+  ?metrics:Obs.Metrics.t -> (string * string) list -> Relational.Catalog.t
+
+(** {1 Validation}
+
+    Same messages as the historical CLI guards; both route into the
+    [raestat: error:] / exit-3 contract there and into JSON error
+    responses in the daemon. *)
+
+val check_fraction : float -> unit
+val check_unit_open : option:string -> float -> unit
+val check_groups : int -> unit
+
+(** {1 Plan-cache keys}
+
+    Normalized strings: the canonical {!Relational.Parser.print_expr}
+    rendering (or the predicate's [to_string]) plus every compile
+    parameter that shapes the plan.  Two spellings of the same
+    expression — including a SQL query and its algebra translation —
+    share a key. *)
+
+val selection_key : relation:string -> n:int -> Relational.Predicate.t -> string
+val expr_key : fraction:float -> groups:int -> Relational.Expr.t -> string
+
+(** {1 Estimation}
+
+    Each function returns the exact text the one-shot CLI prints
+    (trailing newline included) plus the estimate and the effective
+    expression for follow-up work ([--check], structured fields). *)
+
+type result = {
+  text : string;
+  estimate : Stats.Estimate.t;
+  expr : Relational.Expr.t;  (** effective expression (post SQL rewrite) *)
+}
+
+(** Row-level sampled COUNT of a filter ([raestat estimate] without
+    [--pages]). *)
+val estimate :
+  ?metrics:Obs.Metrics.t ->
+  ?plans:Plan_cache.t ->
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  relation:string ->
+  fraction:float ->
+  level:float ->
+  Relational.Predicate.t ->
+  result
+
+(** COUNT of a relational algebra expression ([raestat query]). *)
+val query :
+  ?metrics:Obs.Metrics.t ->
+  ?plans:Plan_cache.t ->
+  ?domains:int ->
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  fraction:float ->
+  groups:int ->
+  Relational.Expr.t ->
+  result
+
+(** COUNT of a SQL query's result ([raestat sql]): parse, optimize,
+    rewrite [SELECT COUNT( * )] to its inner expression, estimate. *)
+val sql :
+  ?metrics:Obs.Metrics.t ->
+  ?plans:Plan_cache.t ->
+  ?domains:int ->
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  fraction:float ->
+  groups:int ->
+  string ->
+  result
+
+(** {1 Explain}
+
+    Fresh compiles (never cached): explain output includes the plan's
+    moment accumulators, which on a served cached plan would reflect
+    prior runs — a fresh compile keeps daemon explain byte-identical to
+    the one-shot CLI. *)
+
+val explain_selection :
+  Relational.Catalog.t ->
+  relation:string ->
+  fraction:float ->
+  Relational.Predicate.t ->
+  Raestat.Estplan.t
+
+val explain_expr :
+  Relational.Catalog.t ->
+  fraction:float ->
+  groups:int ->
+  Relational.Expr.t ->
+  Raestat.Estplan.t
+
+(** SQL → effective algebra expression (optimized, COUNT( * ) rewritten). *)
+val sql_expr : Relational.Catalog.t -> string -> Relational.Expr.t

@@ -1,0 +1,87 @@
+(* Bounded LRU over a hash table plus an intrusive doubly-linked
+   recency list: O(1) lookup, promotion and eviction. *)
+
+type entry = {
+  key : string;
+  plan : Raestat.Estplan.t;
+  mutable prev : entry option; (* toward most recently used *)
+  mutable next : entry option; (* toward least recently used *)
+}
+
+type t = {
+  cap : int;
+  table : (string, entry) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 64);
+    mru = None;
+    lru = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let unlink t entry =
+  (match entry.prev with
+  | Some p -> p.next <- entry.next
+  | None -> t.mru <- entry.next);
+  (match entry.next with
+  | Some n -> n.prev <- entry.prev
+  | None -> t.lru <- entry.prev);
+  entry.prev <- None;
+  entry.next <- None
+
+let push_front t entry =
+  entry.next <- t.mru;
+  entry.prev <- None;
+  (match t.mru with
+  | Some m -> m.prev <- Some entry
+  | None -> t.lru <- Some entry);
+  t.mru <- Some entry
+
+let find_or_compile ?(metrics = Obs.Metrics.noop) t key compile =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    t.hit_count <- t.hit_count + 1;
+    Obs.Metrics.plan_cache_hit metrics;
+    unlink t entry;
+    push_front t entry;
+    entry.plan
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    Obs.Metrics.plan_cache_miss metrics;
+    let plan = compile () in
+    (if Hashtbl.length t.table >= t.cap then
+       match t.lru with
+       | Some victim ->
+         unlink t victim;
+         Hashtbl.remove t.table victim.key
+       | None -> ());
+    let entry = { key; plan; prev = None; next = None } in
+    Hashtbl.replace t.table key entry;
+    push_front t entry;
+    plan
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+let size t = Hashtbl.length t.table
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e -> go (e.key :: acc) e.next
+  in
+  go [] t.mru

@@ -1,0 +1,48 @@
+(** Bounded LRU cache of compiled estimation plans.
+
+    The serve daemon pays Expr → {!Raestat.Estplan} compilation
+    (schema inference, optimizer, leaf annotation, scale/status
+    propagation) once per {e query shape} and reuses the compiled plan
+    across requests.  Keys are normalized strings built by
+    {!Engine} from the printed expression plus every compile
+    parameter that shapes the plan (fraction, groups, sample size) —
+    two textual spellings of the same expression normalize to the same
+    key because {!Relational.Parser.print_expr} is canonical.
+
+    Re-running a cached {!Raestat.Estplan.t} is sound: the engine
+    derives results from the request's RNG stream, and the only plan
+    state mutated by a run is the per-node {!Raestat.Estplan.Moments}
+    accumulators, which feed inspection, not results.  The cache is
+    {e not} thread-safe; the server serializes access.
+
+    Lookups record one [plan_cache_hits] / [plan_cache_misses] tick on
+    the supplied {!Obs.Metrics} sink, so per-request metrics and the
+    server-lifetime snapshot both expose the cache's effectiveness. *)
+
+type t
+
+(** [create ~capacity ()] — an empty cache evicting least-recently-used
+    entries beyond [capacity].
+    @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> unit -> t
+
+(** [find_or_compile ?metrics t key compile] returns the cached plan
+    for [key], or runs [compile ()], stores the result and returns it.
+    Either way [key] becomes the most recently used entry. *)
+val find_or_compile :
+  ?metrics:Obs.Metrics.t -> t -> string -> (unit -> Raestat.Estplan.t) -> Raestat.Estplan.t
+
+(** Drop every entry (catalog reload invalidation).  Hit/miss counters
+    keep their lifetime totals. *)
+val clear : t -> unit
+
+val size : t -> int
+val capacity : t -> int
+
+(** Lifetime lookup counters (also mirrored on the metrics sinks). *)
+val hits : t -> int
+
+val misses : t -> int
+
+(** Keys from most to least recently used (for tests/inspection). *)
+val keys : t -> string list

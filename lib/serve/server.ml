@@ -1,0 +1,403 @@
+module Metrics = Obs.Metrics
+
+type listen = Unix_socket of string | Tcp of int
+
+type config = {
+  listen : listen;
+  bindings : (string * string) list;
+  plan_capacity : int;
+  queue_limit : int;
+}
+
+type stats = { requests : int; errors : int; overloaded : int }
+
+type state = {
+  config : config;
+  mutable catalog : Relational.Catalog.t;
+  plan_cache : Plan_cache.t;
+  lifetime : Metrics.t;  (* per-request sinks are absorbed here *)
+  engine_lock : Mutex.t;  (* serializes estimation: the engine is single-threaded code *)
+  admission_lock : Mutex.t;  (* guards pending/requests/errors/overloaded *)
+  mutable pending : int;
+  mutable request_count : int;
+  mutable error_count : int;
+  mutable overload_count : int;
+  mutable generation : int;
+  mutable stop_requested : bool;
+}
+
+let create_state config =
+  if config.queue_limit < 0 then
+    invalid_arg "Server.create_state: queue_limit must be >= 0";
+  let lifetime = Metrics.create () in
+  let loader = Metrics.create () in
+  let catalog = Engine.load_catalog ~metrics:loader config.bindings in
+  Metrics.absorb lifetime loader;
+  {
+    config;
+    catalog;
+    plan_cache = Plan_cache.create ~capacity:config.plan_capacity ();
+    lifetime;
+    engine_lock = Mutex.create ();
+    admission_lock = Mutex.create ();
+    pending = 0;
+    request_count = 0;
+    error_count = 0;
+    overload_count = 0;
+    generation = 0;
+    stop_requested = false;
+  }
+
+let stats state =
+  {
+    requests = state.request_count;
+    errors = state.error_count;
+    overloaded = state.overload_count;
+  }
+
+let stopping state = state.stop_requested
+let plans state = state.plan_cache
+
+(* --- request dispatch ------------------------------------------------- *)
+
+let require_string request name =
+  match Json.string_field request name with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "request field %S is required" name)
+
+let bool_field ~default request name =
+  match Json.member name request with
+  | None | Some Json.Null -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> failwith (Printf.sprintf "request field %S must be a boolean" name)
+
+let counters_json (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("tuples_scanned", Json.Int s.tuples_scanned);
+      ("pages_read", Json.Int s.pages_read);
+      ("bytes_read", Json.Int s.bytes_read);
+      ("io_batches", Json.Int s.io_batches);
+      ("page_cache_hits", Json.Int s.page_cache_hits);
+      ("sample_indices", Json.Int s.sample_indices);
+      ("hash_probe_hits", Json.Int s.hash_probe_hits);
+      ("hash_probe_misses", Json.Int s.hash_probe_misses);
+      ("rng_draws", Json.Int s.rng_draws);
+      ("plan_cache_hits", Json.Int s.plan_cache_hits);
+      ("plan_cache_misses", Json.Int s.plan_cache_misses);
+    ]
+
+(* The estimation ops share their defaults with the one-shot CLI
+   (seed 42, fraction 0.01, level 0.95, groups 5): same request, same
+   bytes out of either front end. *)
+let dispatch_estimation state request op =
+  let seed = Option.get (Json.int_field ~default:42 request "seed") in
+  let fraction = Option.get (Json.float_field ~default:0.01 request "fraction") in
+  let rng = Sampling.Rng.create ~seed () in
+  let metrics = Metrics.create () in
+  let result =
+    match op with
+    | `Estimate ->
+      let relation = Option.get (Json.string_field ~default:"r" request "relation") in
+      let level = Option.get (Json.float_field ~default:0.95 request "level") in
+      let predicate = Engine.predicate_of_string (require_string request "where") in
+      Engine.estimate ~metrics ~plans:state.plan_cache rng state.catalog ~relation
+        ~fraction ~level predicate
+    | `Query ->
+      let groups = Option.get (Json.int_field ~default:5 request "groups") in
+      let expr = Relational.Parser.parse_expr (require_string request "expr") in
+      Engine.query ~metrics ~plans:state.plan_cache rng state.catalog ~fraction ~groups
+        expr
+    | `Sql ->
+      let groups = Option.get (Json.int_field ~default:5 request "groups") in
+      Engine.sql ~metrics ~plans:state.plan_cache rng state.catalog ~fraction ~groups
+        (require_string request "query")
+  in
+  Metrics.absorb state.lifetime metrics;
+  Json.Obj
+    [
+      ("text", Json.Str result.Engine.text);
+      ("point", Json.Float result.Engine.estimate.Stats.Estimate.point);
+    ]
+
+let dispatch_explain state request =
+  let fraction = Option.get (Json.float_field ~default:0.01 request "fraction") in
+  let as_json = bool_field ~default:false request "json" in
+  let plan =
+    match require_string request "target" with
+    | "estimate" ->
+      let relation = Option.get (Json.string_field ~default:"r" request "relation") in
+      let predicate = Engine.predicate_of_string (require_string request "where") in
+      Engine.explain_selection state.catalog ~relation ~fraction predicate
+    | "query" ->
+      let groups = Option.get (Json.int_field ~default:5 request "groups") in
+      Engine.explain_expr state.catalog ~fraction ~groups
+        (Relational.Parser.parse_expr (require_string request "expr"))
+    | "sql" ->
+      let groups = Option.get (Json.int_field ~default:5 request "groups") in
+      Engine.explain_expr state.catalog ~fraction ~groups
+        (Engine.sql_expr state.catalog (require_string request "query"))
+    | other -> failwith (Printf.sprintf "unknown explain target %S" other)
+  in
+  (* Matches the CLI's print_plan bytes: render ends with a newline,
+     to_json gains one from print_endline. *)
+  let text =
+    if as_json then Raestat.Estplan.to_json plan ^ "\n" else Raestat.Estplan.render plan
+  in
+  Json.Obj [ ("text", Json.Str text) ]
+
+let dispatch_metrics state =
+  let s = Metrics.snapshot state.lifetime in
+  Json.Obj
+    [
+      ("schema", Json.Str "raestat-serve/1");
+      ("requests", Json.Int state.request_count);
+      ("errors", Json.Int state.error_count);
+      ("overloaded", Json.Int state.overload_count);
+      ("generation", Json.Int state.generation);
+      ( "plan_cache",
+        Json.Obj
+          [
+            ("size", Json.Int (Plan_cache.size state.plan_cache));
+            ("capacity", Json.Int (Plan_cache.capacity state.plan_cache));
+            ("hits", Json.Int (Plan_cache.hits state.plan_cache));
+            ("misses", Json.Int (Plan_cache.misses state.plan_cache));
+          ] );
+      ("counters", counters_json s);
+    ]
+
+let dispatch_reload state =
+  let loader = Metrics.create () in
+  let catalog = Engine.load_catalog ~metrics:loader state.config.bindings in
+  Metrics.absorb state.lifetime loader;
+  state.catalog <- catalog;
+  (* Cached plans bake in sample sizes derived from the old
+     cardinalities: all invalid now. *)
+  Plan_cache.clear state.plan_cache;
+  state.generation <- state.generation + 1;
+  Json.Obj [ ("generation", Json.Int state.generation) ]
+
+let dispatch state request =
+  match require_string request "op" with
+  | "ping" -> Json.Obj [ ("pong", Json.Bool true) ]
+  | "estimate" -> dispatch_estimation state request `Estimate
+  | "query" -> dispatch_estimation state request `Query
+  | "sql" -> dispatch_estimation state request `Sql
+  | "explain" -> dispatch_explain state request
+  | "metrics" -> dispatch_metrics state
+  | "reload" -> dispatch_reload state
+  | "shutdown" ->
+    state.stop_requested <- true;
+    Json.Obj [ ("stopping", Json.Bool true) ]
+  | other -> failwith (Printf.sprintf "unknown op %S" other)
+
+let handle_line state line =
+  state.request_count <- state.request_count + 1;
+  let id = ref Json.Null in
+  let outcome =
+    match Json.parse line with
+    | Error message -> Error ("bad request JSON: " ^ message)
+    | Ok (Json.Obj _ as request) -> (
+      (match Json.member "id" request with Some v -> id := v | None -> ());
+      try Ok (dispatch state request) with
+      | Failure message | Invalid_argument message | Sys_error message -> Error message
+      | Not_found -> Error "not found")
+    | Ok _ -> Error "request must be a JSON object"
+  in
+  match outcome with
+  | Ok result ->
+    Json.to_string
+      (Json.Obj [ ("id", !id); ("ok", Json.Bool true); ("result", result) ])
+  | Error message ->
+    state.error_count <- state.error_count + 1;
+    Json.to_string
+      (Json.Obj [ ("id", !id); ("ok", Json.Bool false); ("error", Json.Str message) ])
+
+(* --- admission -------------------------------------------------------- *)
+
+(* Precomputed: the reject path must not parse or allocate much. *)
+let overloaded_response =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Null); ("ok", Json.Bool false); ("error", Json.Str "overloaded") ])
+
+let execute state line =
+  let admitted =
+    Mutex.lock state.admission_lock;
+    let ok = state.pending < state.config.queue_limit in
+    if ok then state.pending <- state.pending + 1
+    else state.overload_count <- state.overload_count + 1;
+    Mutex.unlock state.admission_lock;
+    ok
+  in
+  if not admitted then overloaded_response
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock state.admission_lock;
+        state.pending <- state.pending - 1;
+        Mutex.unlock state.admission_lock)
+      (fun () ->
+        Mutex.lock state.engine_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock state.engine_lock)
+          (fun () -> handle_line state line))
+
+(* --- connection layer ------------------------------------------------- *)
+
+let max_line_bytes = 1 lsl 20
+
+let oversized_response =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Null);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Str (Printf.sprintf "request line exceeds %d bytes" max_line_bytes) );
+       ])
+
+let rec write_all fd text off =
+  let len = String.length text in
+  if off < len then
+    match Unix.write_substring fd text off (len - off) with
+    | n -> write_all fd text (off + n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd text off
+
+(* A connection's fd is closed exactly once, under [lock]: the reader
+   thread closes it when the peer goes away, and shutdown nudges
+   still-blocked readers with [Unix.shutdown] — never a close, so a
+   racing accept can't be handed a recycled descriptor we then stomp. *)
+type conn = { fd : Unix.file_descr; mutable conn_closed : bool }
+
+let close_conn lock conn =
+  Mutex.lock lock;
+  if not conn.conn_closed then begin
+    conn.conn_closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock lock
+
+let nudge_conn lock conn =
+  Mutex.lock lock;
+  (if not conn.conn_closed then
+     try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  Mutex.unlock lock
+
+let serve_connection state lock conn =
+  let fd = conn.fd in
+  let reader = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let alive = ref true in
+  let respond line =
+    match write_all fd (line ^ "\n") 0 with
+    | () -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+  in
+  let strip_cr line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  (* Answer every complete line buffered so far; false closes the
+     connection (write failure, or an oversized line whose tail we
+     could not frame). *)
+  let rec drain () =
+    let data = Buffer.contents reader in
+    match String.index_opt data '\n' with
+    | None ->
+      if String.length data > max_line_bytes then begin
+        ignore (respond oversized_response);
+        false
+      end
+      else true
+    | Some i ->
+      let line = strip_cr (String.sub data 0 i) in
+      Buffer.clear reader;
+      Buffer.add_substring reader data (i + 1) (String.length data - i - 1);
+      if String.trim line = "" then drain ()
+      else if respond (execute state line) then drain ()
+      else false
+  in
+  (try
+     while !alive do
+       if not (drain ()) then alive := false
+       else
+         match Unix.read fd chunk 0 (Bytes.length chunk) with
+         | 0 -> alive := false
+         | n -> Buffer.add_subbytes reader chunk 0 n
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | exception Unix.Unix_error (_, _, _) -> alive := false
+     done
+   with _ -> ());
+  close_conn lock conn
+
+(* --- listener --------------------------------------------------------- *)
+
+let bind_listener listen =
+  match listen with
+  | Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind sock (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    (sock, fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp port ->
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt sock Unix.SO_REUSEADDR true;
+       Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    (sock, fun () -> ())
+
+let run ?(handle_signals = true) ?(on_ready = fun _ -> ()) config =
+  let state = create_state config in
+  let sock, cleanup = bind_listener config.listen in
+  Unix.listen sock 64;
+  (* Client hangups must surface as EPIPE on that connection's write,
+     not kill the daemon. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  if handle_signals then begin
+    let stop _ = state.stop_requested <- true in
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop))
+  end;
+  on_ready (Unix.getsockname sock);
+  let conn_lock = Mutex.create () in
+  let conns = ref [] in
+  (* The select timeout bounds how long a stop request can go unseen:
+     signal handlers only set a flag, so the loop must wake up to read
+     it even when no client ever connects. *)
+  while not state.stop_requested do
+    match Unix.select [ sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept sock with
+      | fd, _ ->
+        let conn = { fd; conn_closed = false } in
+        let thread = Thread.create (fun () -> serve_connection state conn_lock conn) () in
+        Mutex.lock conn_lock;
+        (* Prune finished connections so a long-lived daemon's list
+           stays proportional to the live connection count. *)
+        conns := (conn, thread) :: List.filter (fun (c, _) -> not c.conn_closed) !conns;
+        Mutex.unlock conn_lock
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+        ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  cleanup ();
+  let remaining =
+    Mutex.lock conn_lock;
+    let live = !conns in
+    Mutex.unlock conn_lock;
+    live
+  in
+  List.iter (fun (conn, _) -> nudge_conn conn_lock conn) remaining;
+  List.iter (fun (_, thread) -> Thread.join thread) remaining;
+  stats state

@@ -1,0 +1,96 @@
+(** raestat serve: a long-running estimation daemon.
+
+    Speaks newline-delimited JSON over a Unix-domain or loopback TCP
+    socket.  One request object per line, one response object per line:
+
+    {v
+    → {"op": "estimate", "id": 1, "relation": "r", "where": "a <= 40",
+       "fraction": 0.02, "level": 0.95, "seed": 42}
+    ← {"id": 1, "ok": true, "result": {"text": "estimated COUNT: ...", "point": ...}}
+    v}
+
+    Ops: [ping], [estimate], [query], [sql], [explain], [metrics],
+    [reload], [shutdown].  Missing numeric fields default to the CLI
+    defaults (seed 42, fraction 0.01, level 0.95, groups 5), and the
+    [text] result field is byte-identical to the one-shot CLI's stdout
+    for the same arguments and seed — both front ends render through
+    {!Engine}.
+
+    {2 Concurrency and determinism}
+
+    One thread per connection over a shared catalog.  Estimation runs
+    are serialized by an engine lock — the estimators and the plan
+    cache are single-threaded code — so concurrent clients interleave
+    at request granularity and each request's result depends only on
+    its own [seed] field (every request gets a fresh RNG).  Admission
+    is a bounded queue: beyond [queue_limit] waiting-or-running
+    requests, new ones are rejected immediately with
+    [{"ok": false, "error": "overloaded"}] without parsing.
+
+    {2 Plan cache}
+
+    Compiled estimation plans are cached per query shape
+    ({!Engine.selection_key} / {!Engine.expr_key}) in a bounded LRU;
+    hits skip Expr → {!Raestat.Estplan} compilation.  [reload]
+    re-reads every bound relation and clears the cache. *)
+
+type listen =
+  | Unix_socket of string  (** path; unlinked before bind and after close *)
+  | Tcp of int  (** loopback port; 0 picks an ephemeral port *)
+
+type config = {
+  listen : listen;
+  bindings : (string * string) list;  (** relation name → CSV/.raf path *)
+  plan_capacity : int;  (** prepared-plan cache entries (> 0) *)
+  queue_limit : int;
+      (** max requests waiting or running before fast reject (>= 0;
+          0 rejects everything — useful for testing the reject path) *)
+}
+
+(** Totals over the server's lifetime, returned by {!run} and exposed
+    by the [metrics] op. *)
+type stats = {
+  requests : int;  (** lines answered (errors included, overloads excluded) *)
+  errors : int;
+  overloaded : int;  (** fast rejects *)
+}
+
+(** {1 Request core (socket-free, for tests and embedding)} *)
+
+type state
+
+(** Load the catalog and build an idle server state.
+    @raise Invalid_argument on a bad [plan_capacity]/[queue_limit].
+    @raise Sys_error when a bound file cannot be read. *)
+val create_state : config -> state
+
+(** [handle_line state line] parses and answers one request line
+    (no admission control, no locking — single-threaded callers).
+    Always returns a one-line JSON response, never raises. *)
+val handle_line : state -> string -> string
+
+(** [execute state line] is {!handle_line} behind admission control
+    and the engine lock — what connection threads call. *)
+val execute : state -> string -> string
+
+val stats : state -> stats
+
+(** True once a [shutdown] request (or signal) was seen. *)
+val stopping : state -> bool
+
+(** The plan cache (for tests: size/hits/misses assertions). *)
+val plans : state -> Plan_cache.t
+
+(** {1 The daemon} *)
+
+(** [run config] listens, serves until [shutdown]/SIGINT/SIGTERM, then
+    closes the listener, wakes blocked connection threads and joins
+    them.  [on_ready] is called with the bound address once the socket
+    is listening (for ephemeral-port discovery and ready lines).
+    [handle_signals] (default true) installs SIGINT/SIGTERM handlers
+    that request a clean stop; pass false when embedding the server in
+    a host process (e.g. the bench harness).  SIGPIPE is always
+    ignored — client hangups surface as write errors on that
+    connection only. *)
+val run :
+  ?handle_signals:bool -> ?on_ready:(Unix.sockaddr -> unit) -> config -> stats

@@ -322,4 +322,33 @@ printf 'bogus/9\nseed 1\n' > "$workdir/badreplay.txt"
 expect_error "fuzz corrupt seed file" ".*badreplay.txt: not a raestat-fuzz/1 seed file" \
   fuzz --replay "$workdir/badreplay.txt"
 
+# --dist validation: a malformed field inside a distribution spec is a
+# one-line cmdliner converter error (exit 124), never an uncaught
+# Failure("int_of_string") with a backtrace.
+expect_dist_error() { # expect_dist_error <description> <pattern> <spec>
+  local description="$1" pattern="$2" spec="$3"
+  local output status=0
+  output="$("$cli" generate -n 10 --dist "$spec" -o "$workdir/never.csv" 2>&1 >/dev/null)" \
+    && status=0 || status=$?
+  [ "$status" -eq 124 ] || fail "$description: exit $status, wanted 124"
+  echo "$output" | expect "$description message" "$pattern"
+  echo "$output" | expect_absent "$description backtrace" "Raised at|Called from"
+  [ ! -e "$workdir/never.csv" ] || fail "$description wrote output"
+}
+expect_dist_error "dist bad int bound" 'uniform bound "lots" is not an integer' \
+  "uniform:0:lots"
+expect_dist_error "dist bad float skew" 'zipf skew "fast" is not a number' \
+  "zipf:50:fast"
+# (cmdliner rewraps the full alternatives list, so match its head)
+expect_dist_error "dist unknown shape" 'expected uniform:LO:HI \| zipf:N:Z' \
+  "poisson:3"
+
+# a pack that fails mid-stream is atomic: no partial .raf (which a later
+# open would happily read) and no leftover staging file
+printf 'a:int\n1\nnot-a-number\n' > "$workdir/bad.csv"
+expect_error "pack malformed csv" 'Csv: line 3' \
+  pack "$workdir/bad.csv" "$workdir/bad.raf"
+[ ! -e "$workdir/bad.raf" ] || fail "failed pack left a partial .raf"
+[ ! -e "$workdir/bad.raf.tmp" ] || fail "failed pack left a staging file"
+
 echo "CLI TESTS PASSED"

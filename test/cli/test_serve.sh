@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Serve conformance: a daemon answering over a Unix socket must give
+# byte-identical text to the one-shot CLI for the same request and seed
+# (both render through Serve.Engine), survive malformed and oversized
+# requests, report plan-cache hits through the metrics op, fast-reject
+# when the admission queue is full, and stop cleanly on SIGTERM.
+set -euo pipefail
+
+cli="$1"
+workdir="$(mktemp -d)"
+server_pid=""
+overload_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "$overload_pid" ] && kill "$overload_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "SERVE TEST FAILED: $1" >&2; exit 1; }
+
+await_ready() { # await_ready <logfile>
+  for _ in $(seq 1 200); do
+    grep -q "listening on" "$1" 2>/dev/null && return 0
+    sleep 0.05
+  done
+  fail "daemon never became ready ($1)"
+}
+
+# data: the same relation as CSV and as a packed pagefile ---------------
+"$cli" generate -n 20000 --dist uniform:0:999 -o "$workdir/u.csv" >/dev/null
+"$cli" pack "$workdir/u.csv" "$workdir/u.raf" >/dev/null
+
+sock="$workdir/raestat.sock"
+"$cli" serve --rel "r=$workdir/u.csv" --rel "p=$workdir/u.raf" \
+  --socket "$sock" --plan-cache 16 --queue-limit 64 \
+  > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+await_ready "$workdir/serve.log"
+
+# one-shot reference outputs (identical arguments and default seed) -----
+"$cli" estimate "$workdir/u.csv" --where "a < 300" -f 0.05 > "$workdir/ref.est"
+"$cli" estimate "$workdir/u.raf" --where "a < 300" -f 0.05 > "$workdir/ref.raf"
+"$cli" query "select[a < 300](r)" --rel "r=$workdir/u.csv" -f 0.05 -g 4 > "$workdir/ref.query"
+"$cli" sql "SELECT COUNT(*) FROM r WHERE a < 300" --rel "r=$workdir/u.csv" -f 0.05 -g 4 \
+  > "$workdir/ref.sql"
+"$cli" explain estimate "$workdir/u.csv" --where "a < 300" -f 0.05 > "$workdir/ref.explain"
+
+req_est='{"op": "estimate", "relation": "r", "where": "a < 300", "fraction": 0.05}'
+req_raf='{"op": "estimate", "relation": "p", "where": "a < 300", "fraction": 0.05}'
+req_query='{"op": "query", "expr": "select[a < 300](r)", "fraction": 0.05, "groups": 4}'
+req_sql='{"op": "sql", "query": "SELECT COUNT(*) FROM r WHERE a < 300", "fraction": 0.05, "groups": 4}'
+req_explain='{"op": "explain", "target": "estimate", "relation": "r", "where": "a < 300", "fraction": 0.05}'
+
+# 8 concurrent clients, mixed request shapes: every response must be
+# byte-identical to the one-shot reference for that shape (cmp, not grep)
+declare -a pids=() outs=() refs=()
+for i in $(seq 0 7); do
+  case $((i % 4)) in
+    0) req="$req_est"   ; ref="$workdir/ref.est"   ;;
+    1) req="$req_query" ; ref="$workdir/ref.query" ;;
+    2) req="$req_sql"   ; ref="$workdir/ref.sql"   ;;
+    3) req="$req_raf"   ; ref="$workdir/ref.raf"   ;;
+  esac
+  out="$workdir/client.$i.out"
+  "$cli" client --socket "$sock" --text "$req" > "$out" &
+  pids+=($!) outs+=("$out") refs+=("$ref")
+done
+for i in $(seq 0 7); do
+  wait "${pids[$i]}" || fail "concurrent client $i exited nonzero"
+done
+for i in $(seq 0 7); do
+  cmp -s "${outs[$i]}" "${refs[$i]}" \
+    || fail "client $i output differs from one-shot CLI (${refs[$i]})"
+done
+
+# explain through the daemon is the one-shot plan, byte for byte --------
+"$cli" client --socket "$sock" --text "$req_explain" > "$workdir/client.explain"
+cmp -s "$workdir/client.explain" "$workdir/ref.explain" \
+  || fail "served explain differs from one-shot explain"
+
+# plan-cache effectiveness is observable: the mixed load above compiled
+# each shape once and hit on every repeat, and query/sql normalize to
+# the same key (4 request shapes, only 3 distinct plans)
+metrics="$("$cli" client --socket "$sock" '{"op": "metrics"}')"
+echo "$metrics" | grep -q '"schema": "raestat-serve/1"' || fail "metrics schema"
+echo "$metrics" | grep -q '"misses": 3' || fail "expected 3 plan compiles, got: $metrics"
+echo "$metrics" | grep -q '"hits": 5' || fail "expected 5 plan-cache hits, got: $metrics"
+
+# malformed requests are per-request errors, not daemon crashes ---------
+out="$("$cli" client --socket "$sock" '{"op": ')"
+echo "$out" | grep -q '"ok": false' || fail "malformed JSON not rejected"
+echo "$out" | grep -q 'bad request JSON' || fail "malformed JSON error message"
+out="$("$cli" client --socket "$sock" '{"op": "estimate", "relation": "ghost", "where": "a < 1"}')"
+echo "$out" | grep -q 'unknown relation' || fail "unknown relation not surfaced"
+# a server-side error under --text lands on the CLI error contract
+if "$cli" client --socket "$sock" --text '{"op": "nope"}' 2> "$workdir/err.txt"; then
+  fail "--text with a server error should exit nonzero"
+else
+  status=$?
+  [ "$status" -eq 3 ] || fail "--text server error exit code $status, want 3"
+fi
+grep -q 'raestat: error: unknown op "nope"' "$workdir/err.txt" \
+  || fail "--text error message"
+
+# an oversized line (> 1 MiB without a newline) is answered and framed.
+# The overshoot past the limit is kept small so the client's write fits
+# in the socket buffer and it can still read the rejection afterwards.
+{ printf '{"op": "ping", "pad": "'; head -c 1100000 /dev/zero | tr '\0' 'x'; printf '"}\n'; } \
+  > "$workdir/huge.req"
+out="$("$cli" client --socket "$sock" < "$workdir/huge.req")" || true
+echo "$out" | grep -q 'request line exceeds' || fail "oversized request not rejected"
+
+# the daemon survived all of the above
+"$cli" client --socket "$sock" '{"op": "ping"}' | grep -q '"pong": true' \
+  || fail "daemon did not survive the error barrage"
+
+# admission control: a zero-capacity queue rejects without parsing ------
+osock="$workdir/overload.sock"
+"$cli" serve --rel "r=$workdir/u.csv" --socket "$osock" --queue-limit 0 \
+  > "$workdir/overload.log" 2>&1 &
+overload_pid=$!
+await_ready "$workdir/overload.log"
+"$cli" client --socket "$osock" '{"op": "ping"}' | grep -q '"error": "overloaded"' \
+  || fail "queue-limit 0 did not reject"
+kill -TERM "$overload_pid"
+wait "$overload_pid" || true
+overload_pid=""
+grep -q "stopped after 0 requests (0 errors, 1 overloaded)" "$workdir/overload.log" \
+  || fail "overload daemon summary line"
+
+# SIGTERM: clean stop, summary line, socket unlinked --------------------
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "daemon exited nonzero on SIGTERM"
+server_pid=""
+grep -Eq "stopped after [0-9]+ requests \([0-9]+ errors, 0 overloaded\)" "$workdir/serve.log" \
+  || fail "daemon summary line missing"
+[ ! -e "$sock" ] || fail "socket file not unlinked on shutdown"
+
+echo "serve conformance test OK"

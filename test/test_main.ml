@@ -58,6 +58,7 @@ let () =
       ("integration", Test_integration.suite);
       ("estplan", Test_estplan.suite);
       ("check", Test_check.suite);
+      ("serve", Test_serve.suite);
       ("golden", Test_golden.suite);
       ("robustness", Test_robustness.suite);
     ]

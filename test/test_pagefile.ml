@@ -239,6 +239,89 @@ let test_error_contract () =
        false
      with Sys_error _ -> true)
 
+(* A pack that fails mid-stream must leave the filesystem as it found
+   it: no destination file (a partial .raf would satisfy later opens
+   with truncated data) and no leftover .tmp staging file. *)
+let test_pack_atomicity () =
+  let in_dir dir = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  let with_dir f =
+    let dir = Filename.temp_file "raestat-test" ".d" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir)
+      (fun () -> f dir)
+  in
+  let check_failed_pack name csv_body =
+    with_dir @@ fun dir ->
+    let src = Filename.concat dir "bad.csv" in
+    let dst = Filename.concat dir "bad.raf" in
+    let oc = open_out src in
+    output_string oc csv_body;
+    close_out oc;
+    (match Pagefile.pack_csv ~src ~dst () with
+    | _ -> Alcotest.failf "%s: pack unexpectedly succeeded" name
+    | exception Failure _ -> ());
+    Alcotest.(check (list string))
+      (name ^ " leaves only the source") [ "bad.csv" ] (in_dir dir)
+  in
+  check_failed_pack "malformed row" "a:int\n1\nnot-a-number\n";
+  check_failed_pack "bad header" "a\n1\n";
+  check_failed_pack "empty input" "";
+  (* a successful pack leaves exactly the destination, no staging file *)
+  with_dir @@ fun dir ->
+  let src = Filename.concat dir "ok.csv" in
+  let dst = Filename.concat dir "ok.raf" in
+  let oc = open_out src in
+  output_string oc "a:int\n1\n2\n3\n";
+  close_out oc;
+  Alcotest.(check int) "packs" 3 (Pagefile.pack_csv ~src ~dst ());
+  Alcotest.(check (list string))
+    "no staging residue" [ "ok.csv"; "ok.raf" ] (in_dir dir);
+  (* and write_relation is atomic the same way: an unwritable target
+     directory fails without creating anything *)
+  (match
+     Pagefile.write_relation (Filename.concat dir "missing/out.raf") (mixed_relation 10)
+   with
+  | () -> Alcotest.fail "write into a missing directory succeeded"
+  | exception Sys_error _ -> ());
+  Alcotest.(check (list string))
+    "write_relation leaves nothing" [ "ok.csv"; "ok.raf" ] (in_dir dir)
+
+(* Signal storms must not surface as EINTR failures: openfile wraps its
+   syscalls in a retry loop and the pread stub retries in C.  An
+   interval timer delivers SIGALRM every ~0.2ms while the reader opens
+   and scans the file repeatedly — with no retry, openfile or pread
+   would raise [Unix_error (EINTR, ...)] somewhere in this loop. *)
+let test_eintr_resilience () =
+  let r = mixed_relation 400 in
+  with_temp @@ fun path ->
+  Pagefile.write_relation ~page_capacity:32 path r;
+  let fired = ref 0 in
+  let previous = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr fired)) in
+  let interval = { Unix.it_interval = 0.0002; it_value = 0.0002 } in
+  let stop_timer () =
+    ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = 0. });
+    Sys.set_signal Sys.sigalrm previous
+  in
+  ignore (Unix.setitimer Unix.ITIMER_REAL interval);
+  Fun.protect ~finally:stop_timer (fun () ->
+      let deadline = Unix.gettimeofday () +. 0.5 in
+      let rounds = ref 0 in
+      while Unix.gettimeofday () < deadline do
+        incr rounds;
+        with_open path @@ fun pf ->
+        let r2 = Pagefile.to_relation pf in
+        if Relation.tuples r <> Relation.tuples r2 then
+          Alcotest.failf "round %d: data corrupted under signals" !rounds
+      done;
+      Alcotest.(check bool) "made progress" true (!rounds > 0));
+  (* the timer must actually have interrupted the loop for the test to
+     mean anything *)
+  Alcotest.(check bool) "signals fired" true (!fired > 0)
+
 let suite =
   [
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
@@ -248,4 +331,6 @@ let suite =
     Alcotest.test_case "io accounting" `Quick test_io_accounting;
     Alcotest.test_case "memory cap" `Quick test_memory_cap;
     Alcotest.test_case "error contract" `Quick test_error_contract;
+    Alcotest.test_case "pack atomicity" `Quick test_pack_atomicity;
+    Alcotest.test_case "eintr resilience" `Quick test_eintr_resilience;
   ]

@@ -1,0 +1,438 @@
+(* The serve daemon's request core: JSON wire values, the prepared-plan
+   LRU, and the socket-free protocol layer ([Server.handle_line] /
+   [Server.execute]).  The contract under test is byte-parity with the
+   one-shot CLI — both front ends render through [Serve.Engine], so a
+   daemon response's [text] field must equal what [Engine] returns for
+   the same arguments and seed — plus the plan cache's hit/miss/LRU
+   semantics and the overload fast-reject path. *)
+
+open Helpers
+module Json = Serve.Json
+module Plan_cache = Serve.Plan_cache
+module Server = Serve.Server
+module Engine = Serve.Engine
+module P = Predicate
+
+(* --- Json -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let text =
+    {|{"op": "estimate", "id": 7, "fraction": 0.25, "deep": {"flag": true},
+       "tags": ["a", -3, null], "where": "a <= 40"}|}
+  in
+  match Json.parse text with
+  | Error message -> Alcotest.failf "parse failed: %s" message
+  | Ok v ->
+    Alcotest.(check (option string))
+      "string field" (Some "estimate")
+      (Json.string_field v "op");
+    Alcotest.(check (option int)) "int field" (Some 7) (Json.int_field v "id");
+    Alcotest.(check (option (float 1e-12)))
+      "float field" (Some 0.25)
+      (Json.float_field v "fraction");
+    Alcotest.(check (option int))
+      "defaulted int" (Some 42)
+      (Json.int_field ~default:42 v "seed");
+    Alcotest.(check bool) "missing member" true (Json.member "nope" v = None);
+    (match Json.member "tags" v with
+    | Some (Json.List [ Json.Str "a"; Json.Int (-3); Json.Null ]) -> ()
+    | _ -> Alcotest.fail "list member shape");
+    (* print → parse is the identity on the wire representation *)
+    let printed = Json.to_string v in
+    Alcotest.(check bool)
+      "reparse equals" true
+      (Json.parse printed = Ok v && not (String.contains printed '\n'))
+
+let test_json_numbers () =
+  (* ints stay ints (seeds must round-trip exactly), floats stay floats *)
+  Alcotest.(check bool) "int literal" true (Json.parse "42" = Ok (Json.Int 42));
+  Alcotest.(check bool)
+    "exponent is float" true
+    (Json.parse "1e2" = Ok (Json.Float 100.));
+  Alcotest.(check bool)
+    "negative int" true
+    (Json.parse "-7" = Ok (Json.Int (-7)));
+  (* integral floats are accepted where an int is expected *)
+  let v = Result.get_ok (Json.parse {|{"seed": 9.0, "bad": 9.5}|}) in
+  Alcotest.(check (option int)) "integral float as int" (Some 9) (Json.int_field v "seed");
+  Alcotest.(check bool)
+    "non-integral rejected" true
+    (try
+       ignore (Json.int_field v "bad");
+       false
+     with Failure _ -> true);
+  (* non-finite floats render as null: the wire never carries nan/inf *)
+  Alcotest.(check string) "nan prints null" "null" (Json.to_string (Json.Float Float.nan))
+
+let test_json_errors () =
+  let fails text =
+    match Json.parse text with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "truncated object" true (fails {|{"a": 1|});
+  Alcotest.(check bool) "trailing garbage" true (fails "1 2");
+  Alcotest.(check bool) "bare word" true (fails "estimate");
+  Alcotest.(check bool) "unterminated string" true (fails {|"abc|});
+  (* escapes survive a print → parse cycle *)
+  let s = Json.Str "a\"b\\c\nd\te\x01" in
+  Alcotest.(check bool) "escape roundtrip" true (Json.parse (Json.to_string s) = Ok s);
+  (* type mismatch on an accessor is a Failure, not a silent default *)
+  let v = Result.get_ok (Json.parse {|{"op": 3}|}) in
+  Alcotest.(check bool)
+    "string_field type error" true
+    (try
+       ignore (Json.string_field ~default:"x" v "op");
+       false
+     with Failure _ -> true)
+
+(* --- Plan_cache --------------------------------------------------------- *)
+
+(* The cache stores whatever the compile thunk returns; a tiny selection
+   plan over an in-memory relation is enough. *)
+let tiny_catalog () = Catalog.of_list [ ("r", int_relation (List.init 50 Fun.id)) ]
+
+let tiny_plan =
+  let catalog = tiny_catalog () in
+  fun () ->
+    Engine.explain_selection catalog ~relation:"r" ~fraction:0.1
+      (P.lt (P.attr "a") (P.vint 10))
+
+let test_cache_counters () =
+  let cache = Plan_cache.create ~capacity:4 () in
+  let compiles = ref 0 in
+  let compile () =
+    incr compiles;
+    tiny_plan ()
+  in
+  let metrics = Obs.Metrics.create () in
+  ignore (Plan_cache.find_or_compile ~metrics cache "k1" compile);
+  ignore (Plan_cache.find_or_compile ~metrics cache "k1" compile);
+  ignore (Plan_cache.find_or_compile ~metrics cache "k2" compile);
+  Alcotest.(check int) "compiled once per key" 2 !compiles;
+  Alcotest.(check int) "hits" 1 (Plan_cache.hits cache);
+  Alcotest.(check int) "misses" 2 (Plan_cache.misses cache);
+  let s = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "metrics hits" 1 s.Obs.Metrics.plan_cache_hits;
+  Alcotest.(check int) "metrics misses" 2 s.Obs.Metrics.plan_cache_misses;
+  (* the same compiled plan comes back on a hit *)
+  let a = Plan_cache.find_or_compile cache "k3" compile in
+  let b = Plan_cache.find_or_compile cache "k3" compile in
+  Alcotest.(check bool) "hit returns cached plan" true (a == b)
+
+let test_cache_lru () =
+  let cache = Plan_cache.create ~capacity:3 () in
+  let put k = ignore (Plan_cache.find_or_compile cache k tiny_plan) in
+  put "a";
+  put "b";
+  put "c";
+  Alcotest.(check (list string)) "mru order" [ "c"; "b"; "a" ] (Plan_cache.keys cache);
+  (* a lookup promotes to most recently used *)
+  put "a";
+  Alcotest.(check (list string)) "promoted" [ "a"; "c"; "b" ] (Plan_cache.keys cache);
+  (* beyond capacity the least recently used entry ("b") is evicted *)
+  put "d";
+  Alcotest.(check (list string)) "evicted lru" [ "d"; "a"; "c" ] (Plan_cache.keys cache);
+  Alcotest.(check int) "size capped" 3 (Plan_cache.size cache);
+  (* the evicted key recompiles: miss, not hit *)
+  let misses = Plan_cache.misses cache in
+  put "b";
+  Alcotest.(check int) "evicted key is a miss" (misses + 1) (Plan_cache.misses cache)
+
+let test_cache_clear () =
+  let cache = Plan_cache.create ~capacity:2 () in
+  ignore (Plan_cache.find_or_compile cache "a" tiny_plan);
+  ignore (Plan_cache.find_or_compile cache "a" tiny_plan);
+  Plan_cache.clear cache;
+  Alcotest.(check int) "empty" 0 (Plan_cache.size cache);
+  Alcotest.(check (list string)) "no keys" [] (Plan_cache.keys cache);
+  (* lifetime counters survive invalidation (the metrics op reports them) *)
+  Alcotest.(check int) "hits survive clear" 1 (Plan_cache.hits cache);
+  Alcotest.(check int) "misses survive clear" 1 (Plan_cache.misses cache);
+  Alcotest.(check bool)
+    "zero capacity rejected" true
+    (try
+       ignore (Plan_cache.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Server protocol (socket-free) -------------------------------------- *)
+
+(* A small CSV on disk: the server loads its catalog from file bindings
+   exactly like the daemon does. *)
+let with_server ?(plan_capacity = 8) ?(queue_limit = 16) f =
+  let path = Filename.temp_file "raestat-serve" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "a:int\n";
+      for i = 0 to 199 do
+        Printf.fprintf oc "%d\n" (i mod 100)
+      done;
+      close_out oc;
+      let state =
+        Server.create_state
+          {
+            Server.listen = Server.Unix_socket "/unused";
+            bindings = [ ("r", path) ];
+            plan_capacity;
+            queue_limit;
+          }
+      in
+      f state)
+
+(* Parse a response line and return (id, ok, result-or-error). *)
+let response line =
+  match Json.parse line with
+  | Error message -> Alcotest.failf "unparseable response %S: %s" line message
+  | Ok v ->
+    let id = Option.get (Json.member "id" v) in
+    let ok =
+      match Json.member "ok" v with
+      | Some (Json.Bool b) -> b
+      | _ -> Alcotest.failf "response %S has no ok field" line
+    in
+    let payload = Json.member (if ok then "result" else "error") v in
+    (id, ok, Option.get payload)
+
+let result_text line =
+  match response line with
+  | _, true, payload -> (
+    match Json.string_field payload "text" with
+    | Some text -> text
+    | None -> Alcotest.failf "response %S has no text" line)
+  | _, false, Json.Str message -> Alcotest.failf "request failed: %s" message
+  | _ -> Alcotest.failf "bad response %S" line
+
+let error_message line =
+  match response line with
+  | _, false, Json.Str message -> message
+  | _ -> Alcotest.failf "expected an error response, got %S" line
+
+let test_server_ping_and_ids () =
+  with_server @@ fun state ->
+  (match response (Server.handle_line state {|{"op": "ping", "id": 9}|}) with
+  | Json.Int 9, true, Json.Obj [ ("pong", Json.Bool true) ] -> ()
+  | _ -> Alcotest.fail "ping response shape");
+  (* absent id echoes as null; string ids echo as strings *)
+  (match response (Server.handle_line state {|{"op": "ping"}|}) with
+  | Json.Null, true, _ -> ()
+  | _ -> Alcotest.fail "missing id echoes null");
+  match response (Server.handle_line state {|{"op": "nope", "id": "x"}|}) with
+  | Json.Str "x", false, Json.Str message ->
+    Alcotest.(check string) "unknown op" {|unknown op "nope"|} message
+  | _ -> Alcotest.fail "error response shape"
+
+(* The same tuples the server loads from its CSV binding, rebuilt
+   in memory: estimation depends only on values, order and the seed. *)
+let mirror_catalog () =
+  Catalog.of_list [ ("r", int_relation (List.init 200 (fun i -> i mod 100))) ]
+
+(* The core contract: [text] out of the daemon is the byte-for-byte
+   one-shot CLI output, because both call the same Engine function. *)
+let test_server_estimate_parity () =
+  with_server @@ fun state ->
+  let line =
+    Server.handle_line state
+      {|{"op": "estimate", "where": "a < 30", "fraction": 0.2, "seed": 42}|}
+  in
+  let expected =
+    (Engine.estimate
+       (Sampling.Rng.create ~seed:42 ())
+       (mirror_catalog ()) ~relation:"r" ~fraction:0.2 ~level:0.95
+       (Engine.predicate_of_string "a < 30"))
+      .Engine.text
+  in
+  Alcotest.(check string) "estimate text parity" expected (result_text line);
+  (* defaults match the CLI: omitting seed/fraction/level changes nothing
+     vs passing 42 / 0.01 / 0.95 explicitly *)
+  let implicit = Server.handle_line state {|{"op": "estimate", "where": "a < 30"}|} in
+  let explicit =
+    Server.handle_line state
+      {|{"op": "estimate", "where": "a < 30", "seed": 42, "fraction": 0.01,
+         "level": 0.95, "relation": "r"}|}
+  in
+  Alcotest.(check string)
+    "defaults are the CLI defaults" (result_text implicit) (result_text explicit)
+
+let test_server_query_sql_share_plans () =
+  with_server @@ fun state ->
+  let q =
+    {|{"op": "query", "expr": "select[a < 30](r)", "fraction": 0.2, "groups": 5}|}
+  in
+  let s =
+    {|{"op": "sql", "query": "SELECT COUNT(*) FROM r WHERE a < 30", "fraction": 0.2, "groups": 5}|}
+  in
+  let qt = result_text (Server.handle_line state q) in
+  Alcotest.(check int) "first compile is a miss" 1 (Plan_cache.misses (Server.plans state));
+  let st = result_text (Server.handle_line state s) in
+  (* SQL normalizes to the same algebra, so it hits the query's plan *)
+  Alcotest.(check int) "sql reuses query plan" 1 (Plan_cache.hits (Server.plans state));
+  Alcotest.(check int) "no second compile" 1 (Plan_cache.misses (Server.plans state));
+  (* same seed, same plan shape → identical estimates behind the prefix
+     lines ("expression: ..." vs "algebra: ...") *)
+  let tail text =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text (i + 1) (String.length text - i - 1)
+    | None -> text
+  in
+  Alcotest.(check string) "cached rerun identical" (tail qt) (tail st);
+  (* re-running the cached plan with the same seed stays bit-identical *)
+  Alcotest.(check string) "cache is deterministic" qt
+    (result_text (Server.handle_line state q))
+
+let test_server_explain () =
+  with_server @@ fun state ->
+  let line =
+    Server.handle_line state
+      {|{"op": "explain", "target": "estimate", "where": "a < 30", "fraction": 0.2}|}
+  in
+  let expected =
+    Raestat.Estplan.render
+      (Engine.explain_selection (mirror_catalog ()) ~relation:"r" ~fraction:0.2
+         (Engine.predicate_of_string "a < 30"))
+  in
+  Alcotest.(check string) "explain text parity" expected (result_text line);
+  (* json form is the plan's JSON document plus the CLI's newline *)
+  let json_line =
+    Server.handle_line state
+      {|{"op": "explain", "target": "estimate", "where": "a < 30",
+         "fraction": 0.2, "json": true}|}
+  in
+  let text = result_text json_line in
+  Alcotest.(check bool) "json explain ends in newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  Alcotest.(check bool) "json explain parses" true
+    (match Json.parse (String.trim text) with Ok _ -> true | Error _ -> false);
+  (* explain never populates the plan cache: it must compile fresh so
+     its moment accumulators match the one-shot CLI's *)
+  Alcotest.(check int) "explain bypasses cache" 0 (Plan_cache.size (Server.plans state))
+
+let test_server_metrics_and_reload () =
+  with_server @@ fun state ->
+  ignore (Server.handle_line state {|{"op": "estimate", "where": "a < 30"}|});
+  ignore (Server.handle_line state {|{"op": "estimate", "where": "a < 30"}|});
+  ignore (Server.handle_line state {|{"op": "bogus"}|});
+  let metrics () =
+    match response (Server.handle_line state {|{"op": "metrics"}|}) with
+    | _, true, payload -> payload
+    | _ -> Alcotest.fail "metrics failed"
+  in
+  let m = metrics () in
+  Alcotest.(check (option string))
+    "schema" (Some "raestat-serve/1") (Json.string_field m "schema");
+  (* 2 estimates + 1 bogus + this metrics call *)
+  Alcotest.(check (option int)) "requests" (Some 4) (Json.int_field m "requests");
+  Alcotest.(check (option int)) "errors" (Some 1) (Json.int_field m "errors");
+  Alcotest.(check (option int)) "generation" (Some 0) (Json.int_field m "generation");
+  let cache = Option.get (Json.member "plan_cache" m) in
+  Alcotest.(check (option int)) "cache hits" (Some 1) (Json.int_field cache "hits");
+  Alcotest.(check (option int)) "cache misses" (Some 1) (Json.int_field cache "misses");
+  Alcotest.(check (option int)) "cache size" (Some 1) (Json.int_field cache "size");
+  (* per-request sinks were absorbed into the lifetime snapshot *)
+  let counters = Option.get (Json.member "counters" m) in
+  (match Json.int_field counters "tuples_scanned" with
+  | Some n when n > 0 -> ()
+  | _ -> Alcotest.fail "lifetime counters absorb per-request work");
+  Alcotest.(check (option int))
+    "counters mirror cache hits" (Some 1)
+    (Json.int_field counters "plan_cache_hits");
+  (* reload re-reads the catalog, clears the plans, bumps the generation *)
+  (match response (Server.handle_line state {|{"op": "reload"}|}) with
+  | _, true, payload ->
+    Alcotest.(check (option int)) "reload generation" (Some 1)
+      (Json.int_field payload "generation")
+  | _ -> Alcotest.fail "reload failed");
+  Alcotest.(check int) "cache invalidated" 0 (Plan_cache.size (Server.plans state));
+  let m2 = metrics () in
+  Alcotest.(check (option int)) "generation bumped" (Some 1) (Json.int_field m2 "generation");
+  (* lifetime hit/miss totals survive the invalidation *)
+  let cache2 = Option.get (Json.member "plan_cache" m2) in
+  Alcotest.(check (option int)) "hits survive reload" (Some 1)
+    (Json.int_field cache2 "hits")
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_server_errors () =
+  with_server @@ fun state ->
+  let check_error name fragment line =
+    let message = error_message (Server.handle_line state line) in
+    if not (contains message fragment) then
+      Alcotest.failf "%s: %S does not mention %S" name message fragment
+  in
+  check_error "bad json" "bad request JSON" {|{"op": |};
+  check_error "non-object" "must be a JSON object" {|[1, 2]|};
+  check_error "missing op" {|"op" is required|} {|{"id": 1}|};
+  check_error "missing where" {|"where" is required|} {|{"op": "estimate"}|};
+  check_error "bad fraction type" {|"fraction" must be a number|}
+    {|{"op": "estimate", "where": "a < 30", "fraction": "lots"}|};
+  check_error "fraction range" "outside (0, 1]"
+    {|{"op": "estimate", "where": "a < 30", "fraction": 2.0}|};
+  check_error "bad predicate" "no comparison operator"
+    {|{"op": "estimate", "where": "just words"}|};
+  check_error "unknown relation" {|unknown relation "ghost"|}
+    {|{"op": "estimate", "relation": "ghost", "where": "a < 30"}|};
+  check_error "unknown explain target" "unknown explain target"
+    {|{"op": "explain", "target": "mystery"}|};
+  (* error responses count as answered requests, and none of them killed
+     the state: a good request still works afterwards *)
+  match response (Server.handle_line state {|{"op": "ping"}|}) with
+  | _, true, _ -> ()
+  | _ -> Alcotest.fail "state survives bad requests"
+
+let test_server_overload_and_shutdown () =
+  (* queue_limit 0 admits nothing: the fast reject answers without
+     parsing, and only the overload counter moves *)
+  with_server ~queue_limit:0 @@ fun state ->
+  let reply = Server.execute state {|{"op": "ping"}|} in
+  (match response reply with
+  | Json.Null, false, Json.Str "overloaded" -> ()
+  | _ -> Alcotest.failf "expected overloaded, got %S" reply);
+  let s = Server.stats state in
+  Alcotest.(check int) "overloaded counted" 1 s.Server.overloaded;
+  Alcotest.(check int) "not a request" 0 s.Server.requests;
+  Alcotest.(check int) "not an error" 0 s.Server.errors;
+  (* with room in the queue the same line goes through *)
+  with_server ~queue_limit:1 @@ fun state ->
+  (match response (Server.execute state {|{"op": "ping"}|}) with
+  | _, true, _ -> ()
+  | _ -> Alcotest.fail "admitted request served");
+  Alcotest.(check int) "served" 1 (Server.stats state).Server.requests;
+  (* shutdown flips the stop flag the accept loop polls *)
+  Alcotest.(check bool) "not stopping" false (Server.stopping state);
+  (match response (Server.handle_line state {|{"op": "shutdown"}|}) with
+  | _, true, Json.Obj [ ("stopping", Json.Bool true) ] -> ()
+  | _ -> Alcotest.fail "shutdown response");
+  Alcotest.(check bool) "stopping" true (Server.stopping state);
+  (* config validation *)
+  Alcotest.(check bool)
+    "negative queue limit rejected" true
+    (try
+       ignore
+         (Server.create_state
+            {
+              Server.listen = Server.Tcp 0;
+              bindings = [];
+              plan_capacity = 4;
+              queue_limit = -1;
+            });
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "plan cache counters" `Quick test_cache_counters;
+    Alcotest.test_case "plan cache lru" `Quick test_cache_lru;
+    Alcotest.test_case "plan cache clear" `Quick test_cache_clear;
+    Alcotest.test_case "ping and request ids" `Quick test_server_ping_and_ids;
+    Alcotest.test_case "estimate parity" `Quick test_server_estimate_parity;
+    Alcotest.test_case "query and sql share plans" `Quick test_server_query_sql_share_plans;
+    Alcotest.test_case "explain" `Quick test_server_explain;
+    Alcotest.test_case "metrics and reload" `Quick test_server_metrics_and_reload;
+    Alcotest.test_case "error contract" `Quick test_server_errors;
+    Alcotest.test_case "overload and shutdown" `Quick test_server_overload_and_shutdown;
+  ]
