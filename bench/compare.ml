@@ -278,7 +278,23 @@ let check_io ~failed baseline fresh =
    sub-millisecond baselines. *)
 
 let serve_pinned_keys =
-  [ "requests"; "shapes"; "plan_cache_hits"; "plan_cache_misses"; "errors"; "overloaded" ]
+  [
+    "requests";
+    "shapes";
+    "plan_cache_hits";
+    "plan_cache_misses";
+    "errors";
+    "overloaded";
+    (* The worker-pool determinism contract: the same mix on two worker
+       domains must produce the same deterministic totals as on one. *)
+    "workers";
+    "w2_workers";
+    "w2_requests";
+    "w2_plan_cache_hits";
+    "w2_plan_cache_misses";
+    "w2_errors";
+    "w2_overloaded";
+  ]
 
 let scan_number content key =
   let pat = Printf.sprintf "\"%s\": " key in
@@ -324,12 +340,12 @@ let check_serve ~failed ~threshold baseline fresh =
   | _ ->
     failed := true;
     Printf.printf "%-24s %10s %10s %8s\n" "hit_rate" "-" "-" "MISSING");
-  match
-    ( scan_number baseline "p50_us",
-      scan_number fresh "p50_us",
-      scan_number baseline "p95_us",
-      scan_number fresh "p95_us" )
-  with
+  (match
+     ( scan_number baseline "p50_us",
+       scan_number fresh "p50_us",
+       scan_number baseline "p95_us",
+       scan_number fresh "p95_us" )
+   with
   | Some bp50, Some fp50, Some bp95, Some fp95 when bp50 > 0. ->
     let scale = fp50 /. bp50 in
     let limit = (bp95 *. scale *. (1. +. threshold)) +. 200. in
@@ -341,7 +357,22 @@ let check_serve ~failed ~threshold baseline fresh =
       limit scale
   | _ ->
     failed := true;
-    Printf.printf "%-24s %10s %10s %8s\n" "p95_us (normalized)" "-" "-" "MISSING"
+    Printf.printf "%-24s %10s %10s %8s\n" "p95_us (normalized)" "-" "-" "MISSING");
+  (* Warm-state gate: the warm pass (sample cache serving the backing
+     draw) must stay no slower than the cold pass in the fresh run.
+     Judged within the fresh run only — a cross-machine ratio of
+     ratios would compound noise. *)
+  match (scan_number fresh "cold_us", scan_number fresh "warm_us") with
+  | Some cold, Some warm when cold > 0. ->
+    let ok = warm <= cold in
+    if not ok then failed := true;
+    Printf.printf "%-24s %10.0f %10.0f %8s  (speedup %.2fx)\n" "warm_us vs cold_us" cold
+      warm
+      (if ok then "ok" else "REGRESSED")
+      (if warm > 0. then cold /. warm else 0.)
+  | _ ->
+    failed := true;
+    Printf.printf "%-24s %10s %10s %8s\n" "warm_us vs cold_us" "-" "-" "MISSING"
 
 let () =
   let usage () =

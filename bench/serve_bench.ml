@@ -1,11 +1,18 @@
 (* Latency benchmark for the serve daemon.
 
    Spawns the server in-process on a Unix socket over a fixed-seed
-   synthetic relation, drives it with K concurrent client connections
-   through a seed-fixed query mix, and reports per-request latency
-   percentiles plus the prepared-plan cache hit rate.
+   synthetic relation and drives three scenarios:
 
-   Two classes of number come out:
+   - the concurrent mix (8 clients, fixed query-shape rotation) on one
+     worker domain — the historical latency/cache numbers;
+   - the same mix on two worker domains — proves the pool changes no
+     totals (the [w2_*] fields must pin to the same values);
+   - a warm-vs-cold pass: identical estimate requests with distinct
+     seeds (every request draws its backing sample) versus a repeated
+     seed (the warm sample cache serves the draw), isolating what the
+     warm state is worth per request.
+
+   Three classes of number come out:
 
    - Latencies (p50/p95/p99) are wall-clock and machine-dependent.  The
      compare gate judges p95 *normalized by the p50 ratio* between
@@ -16,12 +23,13 @@
      (misses = shapes) with every repeat a hit, and the request count
      is fixed.  The gate pins these exactly — a hit-rate drop means
      plan-cache normalization or invalidation actually changed.
+   - The warm/cold ratio is wall-clock but self-normalizing (both
+     passes run on the same machine seconds apart); the gate requires
+     warm to stay no slower than cold.
 
    Client threads interleave nondeterministically, but totals are
    order-independent: the queue limit is sized so nothing is rejected,
    and hit/miss totals depend only on how many times each shape runs. *)
-
-module Metrics = Obs.Metrics
 
 let seed = 1988
 let level_label = "serve"
@@ -66,6 +74,16 @@ let line_reader fd =
   let ic = Unix.in_channel_of_descr fd in
   fun () -> In_channel.input_line ic
 
+let response_ok response =
+  String.length response > 0
+  && String.sub response 0 1 = "{"
+  &&
+  (* cheap containment check, no parser needed in the hot loop *)
+  let pat = "\"ok\": true" in
+  let plen = String.length pat and rlen = String.length response in
+  let rec find j = j + plen <= rlen && (String.sub response j plen = pat || find (j + 1)) in
+  find 0
+
 (* Runs its request list sequentially, recording seconds per request. *)
 let client path requests latencies offset =
   let fd = connect path in
@@ -78,21 +96,7 @@ let client path requests latencies offset =
       send_line fd request;
       (match read_line () with
       | Some response ->
-        check
-          (String.length response > 0
-          && String.sub response 0 1 = "{"
-          &&
-          let has_ok_true =
-            (* cheap containment check, no parser needed in the hot loop *)
-            let pat = "\"ok\": true" in
-            let plen = String.length pat and rlen = String.length response in
-            let rec find j =
-              j + plen <= rlen
-              && (String.sub response j plen = pat || find (j + 1))
-            in
-            find 0
-          in
-          has_ok_true)
+        check (response_ok response)
           (Printf.sprintf "request failed: %s -> %s" request response)
       | None -> check false "server closed the connection mid-mix");
       latencies.(offset + i) <- Unix.gettimeofday () -. t0)
@@ -126,56 +130,19 @@ let percentile sorted q =
   if n = 0 then Float.nan
   else sorted.(Int.min (n - 1) (int_of_float (q *. float_of_int n)))
 
-(* --- harness ---------------------------------------------------------- *)
+(* --- daemon lifecycle ------------------------------------------------- *)
 
-let write_json ~path ~clients ~requests ~shapes ~p50 ~p95 ~p99 ~mean ~hits ~misses
-    ~served ~errors ~overloaded =
-  let us x = Printf.sprintf "%.1f" (1e6 *. x) in
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"raestat-bench-serve/1\",\n";
-  Printf.fprintf oc "  \"clients\": %d,\n  \"requests\": %d,\n  \"shapes\": %d,\n"
-    clients requests shapes;
-  Printf.fprintf oc
-    "  \"p50_us\": %s,\n  \"p95_us\": %s,\n  \"p99_us\": %s,\n  \"mean_us\": %s,\n"
-    (us p50) (us p95) (us p99) (us mean);
-  Printf.fprintf oc
-    "  \"plan_cache_hits\": %d,\n  \"plan_cache_misses\": %d,\n  \"hit_rate\": %.6f,\n"
-    hits misses
-    (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
-  Printf.fprintf oc
-    "  \"requests_served\": %d,\n  \"errors\": %d,\n  \"overloaded\": %d\n}\n" served
-    errors overloaded;
-  close_out oc;
-  Printf.printf "\nwrote %s\n%!" path
-
-let run ?(json = false) ?(quick = false) () =
-  Printf.printf "\n=== serve bench (daemon latency, plan cache) ===\n%!";
-  let cardinality = if quick then 20_000 else 100_000 in
-  let clients = 8 in
-  let repeats = if quick then 5 else 25 in
-  let dir = Filename.temp_file "raestat-serve" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o700;
-  Fun.protect
-    ~finally:(fun () ->
-      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-        (try Sys.readdir dir with Sys_error _ -> [||]);
-      try Sys.rmdir dir with Sys_error _ -> ())
-  @@ fun () ->
-  let csv = Filename.concat dir "r.csv" in
-  let rng = Sampling.Rng.create ~seed () in
-  Relational.Csv.save csv
-    (Workload.Generator.int_relation rng ~n:cardinality ~attribute:"a"
-       (Workload.Dist.Uniform { lo = 0; hi = 999 }));
-  let socket = Filename.concat dir "serve.sock" in
+(* Boot an in-process daemon, run [drive socket], shut down via a
+   client [shutdown] request, and return [drive]'s result plus the
+   final metrics line. *)
+let with_daemon ~workers ~csv ~socket ~queue_limit drive =
   let config =
     {
       Serve.Server.listen = Serve.Server.Unix_socket socket;
       bindings = [ ("r", csv) ];
       plan_capacity = 64;
-      (* Sized so the full client fleet can be queued: overloads would
-         make the hit/miss totals nondeterministic. *)
-      queue_limit = 2 * clients;
+      queue_limit;
+      workers;
     }
   in
   let ready = Mutex.create () and ready_cond = Condition.create () in
@@ -198,29 +165,7 @@ let run ?(json = false) ?(quick = false) () =
     Condition.wait ready_cond ready
   done;
   Mutex.unlock ready;
-  (* Round-robin the mix over clients; seeds are fixed per request so
-     the workload is identical run to run. *)
-  let shapes = List.length shape_mix in
-  let total = clients * repeats * shapes in
-  let mix = Array.of_list shape_mix in
-  let requests_for c =
-    List.init (repeats * shapes) (fun i ->
-        let shape = mix.((c + i) mod shapes) in
-        (* splice a per-request seed in (deterministic, shape-independent) *)
-        String.sub shape 0 (String.length shape - 1)
-        ^ Printf.sprintf ", \"seed\": %d}" (1 + (c * 1000) + i))
-  in
-  let latencies = Array.make total 0. in
-  let t_start = Unix.gettimeofday () in
-  let threads =
-    List.init clients (fun c ->
-        Thread.create
-          (fun () -> client socket (requests_for c) latencies (c * repeats * shapes))
-          ())
-  in
-  List.iter Thread.join threads;
-  let wall = Unix.gettimeofday () -. t_start in
-  (* Scrape cache totals, then stop the daemon. *)
+  let result = drive socket in
   let fd = connect socket in
   send_line fd {|{"op": "metrics"}|};
   let read_line = line_reader fd in
@@ -229,36 +174,222 @@ let run ?(json = false) ?(quick = false) () =
   ignore (read_line ());
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Thread.join server;
-  let hits = Option.value (scrape_int metrics_line "hits") ~default:(-1) in
-  let misses = Option.value (scrape_int metrics_line "misses") ~default:(-1) in
-  let served = Option.value (scrape_int metrics_line "requests") ~default:(-1) in
-  let errors = Option.value (scrape_int metrics_line "errors") ~default:(-1) in
-  let overloaded = Option.value (scrape_int metrics_line "overloaded") ~default:(-1) in
-  (* Deterministic contract: each shape compiles once, every repeat
-     hits; nothing rejected, nothing errored. *)
+  (result, metrics_line)
+
+(* --- the concurrent mix ----------------------------------------------- *)
+
+type mix_result = {
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  mean : float;
+  wall : float;
+  total : int;
+  hits : int;
+  misses : int;
+  served : int;
+  errors : int;
+  overloaded : int;
+}
+
+let run_mix ~workers ~clients ~repeats ~csv ~socket =
+  let shapes = List.length shape_mix in
+  let total = clients * repeats * shapes in
+  let mix = Array.of_list shape_mix in
+  (* Round-robin the mix over clients; seeds are fixed per request so
+     the workload is identical run to run. *)
+  let requests_for c =
+    List.init (repeats * shapes) (fun i ->
+        let shape = mix.((c + i) mod shapes) in
+        (* splice a per-request seed in (deterministic, shape-independent) *)
+        String.sub shape 0 (String.length shape - 1)
+        ^ Printf.sprintf ", \"seed\": %d}" (1 + (c * 1000) + i))
+  in
+  let latencies = Array.make total 0. in
+  let (wall, ()), metrics_line =
+    (* Queue sized so the full client fleet can be admitted: overloads
+       would make the hit/miss totals nondeterministic. *)
+    with_daemon ~workers ~csv ~socket ~queue_limit:(2 * clients) (fun socket ->
+        let t_start = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun c ->
+              Thread.create
+                (fun () -> client socket (requests_for c) latencies (c * repeats * shapes))
+                ())
+        in
+        List.iter Thread.join threads;
+        (Unix.gettimeofday () -. t_start, ()))
+  in
+  let scrape key = Option.value (scrape_int metrics_line key) ~default:(-1) in
+  let hits = scrape "hits" and misses = scrape "misses" in
+  (* Deterministic contract, independent of the worker count: each
+     shape compiles once, every repeat hits; nothing rejected, nothing
+     errored. *)
   check (misses = shapes)
-    (Printf.sprintf "expected %d plan compilations (one per shape), saw %d" shapes
-       misses);
+    (Printf.sprintf "workers=%d: expected %d plan compilations (one per shape), saw %d"
+       workers shapes misses);
   check
     (hits = total - shapes)
-    (Printf.sprintf "expected %d plan-cache hits, saw %d" (total - shapes) hits);
-  check (errors = 0) (Printf.sprintf "%d requests errored" errors);
-  check (overloaded = 0) (Printf.sprintf "%d requests rejected as overloaded" overloaded);
+    (Printf.sprintf "workers=%d: expected %d plan-cache hits, saw %d" workers
+       (total - shapes) hits);
+  check (scrape "errors" = 0) (Printf.sprintf "%d requests errored" (scrape "errors"));
+  check
+    (scrape "overloaded" = 0)
+    (Printf.sprintf "%d requests rejected as overloaded" (scrape "overloaded"));
+  check
+    (scrape "workers" = workers)
+    (Printf.sprintf "metrics reports %d workers, expected %d" (scrape "workers") workers);
   let sorted = Array.copy latencies in
   Array.sort compare sorted;
-  let p50 = percentile sorted 0.50
-  and p95 = percentile sorted 0.95
-  and p99 = percentile sorted 0.99 in
-  let mean = Array.fold_left ( +. ) 0. latencies /. float_of_int total in
+  {
+    p50 = percentile sorted 0.50;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+    mean = Array.fold_left ( +. ) 0. latencies /. float_of_int total;
+    wall;
+    total;
+    hits;
+    misses;
+    served = scrape "requests";
+    errors = scrape "errors";
+    overloaded = scrape "overloaded";
+  }
+
+(* --- warm vs cold ------------------------------------------------------ *)
+
+(* One connection, sequential identical-shape estimates at a fraction
+   big enough that the backing-sample draw dominates.  The cold pass
+   changes the seed every request (every draw is fresh work); the warm
+   pass repeats one seed after priming it, so the sample cache serves
+   the draw.  Responses are identical bytes per seed either way — only
+   the latency moves. *)
+let run_warm_cold ~rounds ~csv ~socket =
+  let request seed =
+    Printf.sprintf
+      {|{"op": "estimate", "where": "a <= 400", "fraction": 0.2, "seed": %d}|} seed
+  in
+  let (cold, warm), metrics_line =
+    with_daemon ~workers:1 ~csv ~socket ~queue_limit:4 (fun socket ->
+        let fd = connect socket in
+        Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        let read_line = line_reader fd in
+        let timed seed =
+          let t0 = Unix.gettimeofday () in
+          send_line fd (request seed);
+          (match read_line () with
+          | Some response ->
+            check (response_ok response) ("warm/cold request failed: " ^ response)
+          | None -> check false "server closed during warm/cold pass");
+          Unix.gettimeofday () -. t0
+        in
+        (* Prime the plan cache (and the warm seed) so both passes hit
+           the compiled plan and only the sample draw differs. *)
+        ignore (timed 500_000);
+        let cold = Array.init rounds (fun i -> timed (1 + i)) in
+        ignore (timed 500_000);
+        let warm = Array.init rounds (fun _ -> timed 500_000) in
+        (cold, warm))
+  in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    percentile s 0.50
+  in
+  let cold_us = 1e6 *. median cold and warm_us = 1e6 *. median warm in
+  let sample_hits = Option.value (scrape_int metrics_line "sample_hits") ~default:(-1) in
+  (* rounds warm repeats + 1 re-prime of the already-cached warm seed *)
+  check (sample_hits = rounds + 1)
+    (Printf.sprintf "expected %d warm sample-cache hits, saw %d" (rounds + 1) sample_hits);
+  check (warm_us <= cold_us)
+    (Printf.sprintf "warm pass slower than cold: warm %.1fus vs cold %.1fus" warm_us
+       cold_us);
+  (cold_us, warm_us)
+
+(* --- harness ---------------------------------------------------------- *)
+
+let write_json ~path ~clients ~shapes ~(one : mix_result) ~(two : mix_result) ~cold_us
+    ~warm_us =
+  let us x = Printf.sprintf "%.1f" (1e6 *. x) in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"raestat-bench-serve/2\",\n";
+  Printf.fprintf oc "  \"clients\": %d,\n  \"requests\": %d,\n  \"shapes\": %d,\n"
+    clients one.total shapes;
+  Printf.fprintf oc "  \"workers\": 1,\n  \"available_cores\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"p50_us\": %s,\n  \"p95_us\": %s,\n  \"p99_us\": %s,\n  \"mean_us\": %s,\n"
+    (us one.p50) (us one.p95) (us one.p99) (us one.mean);
+  Printf.fprintf oc
+    "  \"plan_cache_hits\": %d,\n  \"plan_cache_misses\": %d,\n  \"hit_rate\": %.6f,\n"
+    one.hits one.misses
+    (if one.hits + one.misses = 0 then 0.
+     else float_of_int one.hits /. float_of_int (one.hits + one.misses));
+  Printf.fprintf oc
+    "  \"requests_served\": %d,\n  \"errors\": %d,\n  \"overloaded\": %d,\n" one.served
+    one.errors one.overloaded;
+  (* Same mix on two worker domains: the totals must match the
+     one-worker run exactly (the determinism contract); only the
+     latencies may differ. *)
+  Printf.fprintf oc "  \"w2_workers\": 2,\n  \"w2_requests\": %d,\n" two.total;
+  Printf.fprintf oc "  \"w2_plan_cache_hits\": %d,\n  \"w2_plan_cache_misses\": %d,\n"
+    two.hits two.misses;
+  Printf.fprintf oc "  \"w2_errors\": %d,\n  \"w2_overloaded\": %d,\n" two.errors
+    two.overloaded;
+  Printf.fprintf oc "  \"w2_p50_us\": %s,\n  \"w2_p95_us\": %s,\n" (us two.p50)
+    (us two.p95);
+  Printf.fprintf oc "  \"cold_us\": %.1f,\n  \"warm_us\": %.1f,\n" cold_us warm_us;
+  Printf.fprintf oc "  \"warm_speedup\": %.3f\n}\n"
+    (if warm_us > 0. then cold_us /. warm_us else 0.);
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+let run ?(json = false) ?(quick = false) () =
+  Printf.printf "\n=== serve bench (daemon latency, plan cache, worker pool) ===\n%!";
+  let cardinality = if quick then 20_000 else 100_000 in
+  let clients = 8 in
+  let repeats = if quick then 5 else 25 in
+  let warm_rounds = if quick then 40 else 100 in
+  let dir = Filename.temp_file "raestat-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  let csv = Filename.concat dir "r.csv" in
+  let rng = Sampling.Rng.create ~seed () in
+  Relational.Csv.save csv
+    (Workload.Generator.int_relation rng ~n:cardinality ~attribute:"a"
+       (Workload.Dist.Uniform { lo = 0; hi = 999 }));
+  let socket = Filename.concat dir "serve.sock" in
+  let shapes = List.length shape_mix in
+  let report label (r : mix_result) =
+    Printf.printf "%s: %d clients x %d requests (%d shapes): wall %.2fs, %.0f req/s\n"
+      label clients (repeats * shapes) shapes r.wall
+      (float_of_int r.total /. r.wall);
+    Printf.printf "%s: latency p50 %.1fus  p95 %.1fus  p99 %.1fus  mean %.1fus\n" label
+      (1e6 *. r.p50) (1e6 *. r.p95) (1e6 *. r.p99) (1e6 *. r.mean);
+    Printf.printf "%s: plan cache %d hits / %d misses (hit rate %.1f%%)\n" label r.hits
+      r.misses
+      (100. *. float_of_int r.hits /. float_of_int (Int.max 1 (r.hits + r.misses)))
+  in
+  let one = run_mix ~workers:1 ~clients ~repeats ~csv ~socket in
+  report "workers=1" one;
+  let two = run_mix ~workers:2 ~clients ~repeats ~csv ~socket in
+  report "workers=2" two;
+  (* The pool must be invisible in every deterministic total. *)
+  check (two.hits = one.hits && two.misses = one.misses)
+    (Printf.sprintf "worker count changed cache totals: w1 %d/%d vs w2 %d/%d" one.hits
+       one.misses two.hits two.misses);
+  check (two.total = one.total) "worker count changed the request total";
+  let cold_us, warm_us = run_warm_cold ~rounds:warm_rounds ~csv ~socket in
   Printf.printf
-    "%d clients x %d requests (%d shapes): wall %.2fs, %.0f req/s\n" clients
-    (repeats * shapes) shapes wall
-    (float_of_int total /. wall);
-  Printf.printf "latency p50 %.1fus  p95 %.1fus  p99 %.1fus  mean %.1fus\n"
-    (1e6 *. p50) (1e6 *. p95) (1e6 *. p99) (1e6 *. mean);
-  Printf.printf "plan cache: %d hits / %d misses (hit rate %.1f%%)\n" hits misses
-    (100. *. float_of_int hits /. float_of_int (Int.max 1 (hits + misses)));
+    "warm vs cold (fraction 0.2, %d rounds): cold p50 %.1fus, warm p50 %.1fus (%.2fx)\n"
+    warm_rounds cold_us warm_us
+    (if warm_us > 0. then cold_us /. warm_us else 0.);
   if json then
-    write_json ~path:"BENCH_serve.json" ~clients ~requests:total ~shapes ~p50 ~p95 ~p99
-      ~mean ~hits ~misses ~served ~errors ~overloaded;
+    write_json ~path:"BENCH_serve.json" ~clients ~shapes ~one ~two ~cold_us ~warm_us;
   if !failed then exit 1

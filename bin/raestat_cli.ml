@@ -287,24 +287,16 @@ let estimate_cmd =
     match pages with
     | Some m ->
       (* Cluster sampling: draw m whole pages.  Over a pagefile this is
-         the out-of-core path — only the sampled pages are fetched. *)
-      let est, total_pages, tuples =
+         the out-of-core path — only the sampled pages are fetched.
+         Rendered by Serve.Engine so a daemon "pages" request is
+         byte-identical to this command. *)
+      let result =
         with_metrics metrics_opts (fun metrics ->
             with_paged path (fun paged ->
-                let result =
-                  Raestat.Cluster_estimator.count ~metrics rng ~m paged predicate
-                in
-                ( result.Raestat.Cluster_estimator.estimate,
-                  Relational.Paged.page_count paged,
-                  result.Raestat.Cluster_estimator.tuples_read )))
+                Serve.Engine.estimate_pages ~metrics rng ~relation:"r" ~m ~level paged
+                  predicate))
       in
-      Printf.printf "estimated COUNT: %.0f\n" est.Estimate.point;
-      Printf.printf "sampled %d of %d pages (%d tuples)\n" m total_pages tuples;
-      if Estimate.has_variance est then begin
-        let ci = Estimate.ci ~level est in
-        Printf.printf "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level)
-          ci.Stats.Confidence.lo ci.Stats.Confidence.hi
-      end
+      print_string result.Serve.Engine.text
     | None ->
       (* Shared with the serve daemon: Serve.Engine renders the exact
          same text for the same seed, so daemon responses are
@@ -708,7 +700,7 @@ let port_arg =
         ~doc:"Loopback TCP port to listen/connect on (0 picks an ephemeral port).")
 
 let serve_cmd =
-  let run bindings socket port plan_capacity queue_limit =
+  let run bindings socket port plan_capacity queue_limit workers metrics_out =
     let bindings = List.map parse_binding bindings in
     let listen =
       match (socket, port) with
@@ -719,8 +711,19 @@ let serve_cmd =
     in
     if plan_capacity <= 0 then failwith "--plan-cache must be positive";
     if queue_limit < 0 then failwith "--queue-limit must be >= 0";
+    if workers < 0 then failwith "--workers must be >= 0";
+    let workers = if workers = 0 then Raestat.Parallel.auto () else workers in
     let config =
-      { Serve.Server.listen; bindings; plan_capacity; queue_limit }
+      { Serve.Server.listen; bindings; plan_capacity; queue_limit; workers }
+    in
+    let on_stop =
+      Option.map
+        (fun path snapshot ->
+          let oc = open_out path in
+          output_string oc (Obs.Metrics.snapshot_to_json snapshot);
+          output_char oc '\n';
+          close_out oc)
+        metrics_out
     in
     let stats =
       Serve.Server.run
@@ -733,7 +736,7 @@ let serve_cmd =
           (* Flushed so wrappers can wait for the ready line. *)
           Printf.printf "raestat serve: listening on %s (%d relations)\n%!" where
             (List.length bindings))
-        config
+        ?on_stop config
     in
     Printf.printf "raestat serve: stopped after %d requests (%d errors, %d overloaded)\n"
       stats.Serve.Server.requests stats.Serve.Server.errors
@@ -758,14 +761,31 @@ let serve_cmd =
             "Max requests waiting or running before new ones are rejected with \
              {\"error\": \"overloaded\"}.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing requests (0, the default, means one per \
+             available core).  Responses are independent of this setting.")
+  in
+  let serve_metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "On shutdown, write the lifetime metrics snapshot (merged over all \
+             workers) to $(docv) as JSON.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-running estimation daemon: newline-delimited JSON requests over a Unix \
-          or loopback TCP socket, catalog loaded once, compiled plans cached per \
-          query shape")
+          or loopback TCP socket, catalog loaded once and kept warm, compiled plans \
+          cached per query shape, requests executed on a pool of worker domains")
     Term.(const run $ bindings_arg $ socket_arg $ port_arg $ plan_capacity_arg
-          $ queue_limit_arg)
+          $ queue_limit_arg $ workers_arg $ serve_metrics_out_arg)
 
 let client_cmd =
   let run socket port text_mode requests =
@@ -776,10 +796,26 @@ let client_cmd =
       | Some _, Some _ -> failwith "--socket and --port are mutually exclusive"
       | None, None -> failwith "one of --socket PATH or --port N is required"
     in
-    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (* Retry the connect briefly: scripted clients routinely race the
+       daemon's bind (ECONNREFUSED / ENOENT for a not-yet-created Unix
+       socket path).  Fresh socket per attempt — a failed connect
+       leaves the fd in an undefined state. *)
+    let rec connect_with_retry attempts =
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () -> fd
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | ECONNRESET), _, _)
+        when attempts > 1 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.02;
+        connect_with_retry (attempts - 1)
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    let fd = connect_with_retry 100 in
     Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     @@ fun () ->
-    Unix.connect fd addr;
     (* Channels over the fd handle partial writes and line framing; the
        fd is closed once, above — not via the channels. *)
     let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in

@@ -487,6 +487,8 @@ let run_scale_up ?domains ~metrics ~columnar rng catalog plan groups =
       (Stats.Summary.mean summary)
   end
 
+type index_source = n:int -> universe:int -> (unit -> int array) -> int array
+
 let selection_shape plan =
   match plan.root with
   | {
@@ -497,7 +499,7 @@ let selection_shape plan =
     (predicate, relation, leaf)
   | _ -> invalid_arg "Estplan: expected a selection-shaped plan (select over scan)"
 
-let run_direct_selection ~metrics ~columnar rng catalog plan =
+let run_direct_selection ~metrics ~columnar ?index_source rng catalog plan =
   let predicate, relation, leaf = selection_shape plan in
   let n =
     match leaf.mode with
@@ -512,10 +514,20 @@ let run_direct_selection ~metrics ~columnar rng catalog plan =
          per-sample tuple materialization, and no index sort (counting
          is order-insensitive).  The explicit tuples-scanned bump keeps
          counter totals identical to the gather path, which records its
-         gather as a scan. *)
+         gather as a scan.
+
+         An [index_source] (the daemon's warm backing-sample cache) may
+         supply the index set instead of drawing: because the draw is
+         fully determined by (seed, n, universe), a cached set keyed on
+         those is the set this request would have drawn, so results are
+         bit-identical — only the draw work (and its rng_draws /
+         sample_indices accounting) is skipped. *)
+      let universe = Relation.cardinality r in
+      let draw () =
+        Sampling.Srs.indices_without_replacement ~metrics ~sorted:false rng ~n ~universe
+      in
       let indices =
-        Sampling.Srs.indices_without_replacement ~metrics ~sorted:false rng ~n
-          ~universe:(Relation.cardinality r)
+        match index_source with Some source -> source ~n ~universe draw | None -> draw ()
       in
       Metrics.add_tuples metrics n;
       Relational.Kernel.count_indices (Relation.columnar r) predicate indices
@@ -594,10 +606,11 @@ let run_set ~metrics rng catalog plan flavor =
   record_estimate plan.root estimate;
   estimate
 
-let run ?domains ?(metrics = Metrics.noop) ?(columnar = true) rng catalog plan =
+let run ?domains ?(metrics = Metrics.noop) ?(columnar = true) ?index_source rng catalog
+    plan =
   match plan.strategy with
   | Scale_up { groups } -> run_scale_up ?domains ~metrics ~columnar rng catalog plan groups
-  | Direct_selection -> run_direct_selection ~metrics ~columnar rng catalog plan
+  | Direct_selection -> run_direct_selection ~metrics ~columnar ?index_source rng catalog plan
   | Set_membership flavor -> run_set ~metrics rng catalog plan flavor
   | Sequential_selection _ | Cluster_expansion | Stratified_expansion
   | Bootstrap_resampling _ | Indexed_degree | Grouped _ ->

@@ -228,16 +228,30 @@ val draw :
   t ->
   Relational.Catalog.t * int
 
+(** Alternative supplier of a [Direct_selection] plan's sample-index
+    set: called with the draw size, the base-relation cardinality and
+    a [draw] thunk performing the normal SRSWOR draw from the run's
+    RNG.  A source that returns a cached [draw] result keyed on
+    (seed, n, universe) yields bit-identical estimates — the draw is a
+    pure function of those — while skipping the draw work.  The serve
+    daemon's warm backing-sample cache is the intended implementation;
+    the returned array is read-only shared state and must not be
+    mutated. *)
+type index_source = n:int -> universe:int -> (unit -> int array) -> int array
+
 (** Run a [Scale_up], [Direct_selection] or [Set_membership] plan.
     [Scale_up] with [groups > 1] replicates on split streams (serial
     split order; optionally across [?domains] OCaml domains) and reports
-    the replicate-spread variance s²/g.
+    the replicate-spread variance s²/g.  [index_source] (default:
+    draw fresh) substitutes the SRSWOR index draw of a
+    [Direct_selection] columnar run; other strategies ignore it.
     @raise Invalid_argument if the plan's strategy needs a dedicated
     runner ({!run_cluster}, {!run_sequential}, …). *)
 val run :
   ?domains:int ->
   ?metrics:Obs.Metrics.t ->
   ?columnar:bool ->
+  ?index_source:index_source ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   t ->

@@ -10,6 +10,7 @@ type snapshot = {
   rng_draws : int;
   plan_cache_hits : int;
   plan_cache_misses : int;
+  plan_cache_evictions : int;
   timers : (string * float) list;
 }
 
@@ -40,6 +41,7 @@ type t = {
   mutable draws : int;
   mutable plan_hits : int;
   mutable plan_misses : int;
+  mutable plan_evictions : int;
   timer_table : (string, float) Hashtbl.t;
   mutable roots_rev : span list;
   mutable stack : open_span list;
@@ -59,6 +61,7 @@ let make ~enabled =
     draws = 0;
     plan_hits = 0;
     plan_misses = 0;
+    plan_evictions = 0;
     timer_table = Hashtbl.create 8;
     roots_rev = [];
     stack = [];
@@ -85,6 +88,7 @@ let probe_miss t = if t.enabled then t.misses <- t.misses + 1
 let add_rng_draws t n = if t.enabled then t.draws <- t.draws + n
 let plan_cache_hit t = if t.enabled then t.plan_hits <- t.plan_hits + 1
 let plan_cache_miss t = if t.enabled then t.plan_misses <- t.plan_misses + 1
+let plan_cache_eviction t = if t.enabled then t.plan_evictions <- t.plan_evictions + 1
 
 let add_timer t label seconds =
   Hashtbl.replace t.timer_table label
@@ -143,6 +147,7 @@ let absorb dst src =
     dst.draws <- dst.draws + src.draws;
     dst.plan_hits <- dst.plan_hits + src.plan_hits;
     dst.plan_misses <- dst.plan_misses + src.plan_misses;
+    dst.plan_evictions <- dst.plan_evictions + src.plan_evictions;
     Hashtbl.iter (fun label seconds -> add_timer dst label seconds) src.timer_table
   end
 
@@ -163,6 +168,7 @@ let snapshot t =
     rng_draws = t.draws;
     plan_cache_hits = t.plan_hits;
     plan_cache_misses = t.plan_misses;
+    plan_cache_evictions = t.plan_evictions;
     timers = sorted_timers t.timer_table;
   }
 
@@ -179,6 +185,7 @@ let zero =
     rng_draws = 0;
     plan_cache_hits = 0;
     plan_cache_misses = 0;
+    plan_cache_evictions = 0;
     timers = [];
   }
 
@@ -209,6 +216,7 @@ let diff later earlier =
     rng_draws = later.rng_draws - earlier.rng_draws;
     plan_cache_hits = later.plan_cache_hits - earlier.plan_cache_hits;
     plan_cache_misses = later.plan_cache_misses - earlier.plan_cache_misses;
+    plan_cache_evictions = later.plan_cache_evictions - earlier.plan_cache_evictions;
     timers = combine_timers (fun a b -> a -. b) later.timers earlier.timers;
   }
 
@@ -225,6 +233,7 @@ let merge a b =
     rng_draws = a.rng_draws + b.rng_draws;
     plan_cache_hits = a.plan_cache_hits + b.plan_cache_hits;
     plan_cache_misses = a.plan_cache_misses + b.plan_cache_misses;
+    plan_cache_evictions = a.plan_cache_evictions + b.plan_cache_evictions;
     timers = combine_timers ( +. ) a.timers b.timers;
   }
 
@@ -240,6 +249,7 @@ let counters_equal a b =
   && a.rng_draws = b.rng_draws
   && a.plan_cache_hits = b.plan_cache_hits
   && a.plan_cache_misses = b.plan_cache_misses
+  && a.plan_cache_evictions = b.plan_cache_evictions
 
 (* --- JSON ------------------------------------------------------------ *)
 
@@ -267,10 +277,10 @@ let counters_line s =
     "{\"tuples_scanned\": %d, \"pages_read\": %d, \"bytes_read\": %d, \
      \"io_batches\": %d, \"page_cache_hits\": %d, \"sample_indices\": %d, \
      \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d, \
-     \"plan_cache_hits\": %d, \"plan_cache_misses\": %d}"
+     \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"plan_cache_evictions\": %d}"
     s.tuples_scanned s.pages_read s.bytes_read s.io_batches s.page_cache_hits
     s.sample_indices s.hash_probe_hits s.hash_probe_misses s.rng_draws
-    s.plan_cache_hits s.plan_cache_misses
+    s.plan_cache_hits s.plan_cache_misses s.plan_cache_evictions
 
 let timers_json buffer timers =
   Buffer.add_string buffer "  \"timers\": [";

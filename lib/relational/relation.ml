@@ -74,6 +74,14 @@ let kernel_threshold = 1024
 let use_kernel columnar r =
   columnar && Column.enabled () && cardinality r >= kernel_threshold
 
+(* Force the columnar view now iff the kernels would build it lazily on
+   first use: long-lived catalogs (the serve daemon) pay the encode at
+   load time instead of on the first request that touches the
+   relation.  A no-op below the kernel threshold or with columnar
+   execution disabled — building a view no kernel will read would be
+   pure waste. *)
+let warm_view r = if use_kernel true r then ignore (columnar r)
+
 let count_pred ?(columnar = true) p r =
   if use_kernel columnar r then Kernel.count (view_of r) p
   else count (Predicate.compile r.schema p) r

@@ -43,6 +43,12 @@ val count : (Tuple.t -> bool) -> t -> int
     encodings are shared by every kernel consumer. *)
 val columnar : t -> Column.t
 
+(** Eagerly build and memoize the columnar view, iff the kernels would
+    use it (columnar execution enabled and the relation is at or above
+    the kernel threshold); otherwise a no-op.  Long-lived catalogs call
+    this at load time so no request pays the first-touch encode. *)
+val warm_view : t -> unit
+
 (** [count_pred p r] counts tuples satisfying the predicate, through
     the compiled columnar kernel when enabled (see {!Column.enabled})
     and the relation is large enough to amortize compilation;

@@ -92,9 +92,12 @@ let expr_key ~fraction ~groups expr =
   Printf.sprintf "expr|f=%.17g|g=%d|%s" fraction groups
     (Relational.Parser.print_expr expr)
 
-let plan_for ~metrics plans key compile =
+(* [prefix] namespaces server-side keys by catalog generation: a plan
+   compiled against a pre-reload catalog must not be published under a
+   post-reload key even if its compile outlives the reload. *)
+let plan_for ~metrics ~prefix plans key compile =
   match plans with
-  | Some cache -> Plan_cache.find_or_compile ~metrics cache key compile
+  | Some cache -> Plan_cache.find_or_compile ~metrics cache (prefix ^ key) compile
   | None -> compile ()
 
 (* --- estimation ------------------------------------------------------- *)
@@ -105,20 +108,20 @@ type result = {
   expr : Relational.Expr.t;
 }
 
-let estimate ?(metrics = Metrics.noop) ?plans rng catalog ~relation ~fraction ~level
-    predicate =
+let estimate ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?index_source rng
+    catalog ~relation ~fraction ~level predicate =
   check_fraction fraction;
   check_unit_open ~option:"--level" level;
   let big_n = Relational.Relation.cardinality (Relational.Catalog.find catalog relation) in
   let n = Sampling.Srs.size_of_fraction ~fraction big_n in
   let plan =
-    plan_for ~metrics plans
+    plan_for ~metrics ~prefix:plan_prefix plans
       (selection_key ~relation ~n predicate)
       (fun () -> Raestat.Estplan.selection_plan catalog ~relation ~n predicate)
   in
   let est =
     Metrics.with_span metrics (Printf.sprintf "selection %s" relation) (fun () ->
-        Raestat.Estplan.run ~metrics rng catalog plan)
+        Raestat.Estplan.run ~metrics ?index_source rng catalog plan)
   in
   let ci = Estimate.ci ~level est in
   let buffer = Buffer.create 128 in
@@ -134,14 +137,38 @@ let estimate ?(metrics = Metrics.noop) ?plans rng catalog ~relation ~fraction ~l
     expr = Expr.select predicate (Expr.base relation);
   }
 
+(* Cluster sampling over whole pages ([raestat estimate --pages] and
+   the daemon's "pages" request field): one render path so daemon
+   responses stay byte-identical to the one-shot CLI.  Over a pagefile
+   only the sampled pages are fetched — real I/O on [metrics]. *)
+let estimate_pages ?(metrics = Metrics.noop) rng ~relation ~m ~level paged predicate =
+  check_unit_open ~option:"--level" level;
+  let result = Raestat.Cluster_estimator.count ~metrics rng ~m paged predicate in
+  let est = result.Raestat.Cluster_estimator.estimate in
+  let buffer = Buffer.create 128 in
+  Printf.bprintf buffer "estimated COUNT: %.0f\n" est.Estimate.point;
+  Printf.bprintf buffer "sampled %d of %d pages (%d tuples)\n" m
+    (Relational.Paged.page_count paged)
+    result.Raestat.Cluster_estimator.tuples_read;
+  if Estimate.has_variance est then begin
+    let ci = Estimate.ci ~level est in
+    Printf.bprintf buffer "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level)
+      ci.Stats.Confidence.lo ci.Stats.Confidence.hi
+  end;
+  {
+    text = Buffer.contents buffer;
+    estimate = est;
+    expr = Expr.select predicate (Expr.base relation);
+  }
+
 (* Shared body of query and sql: cached (or fresh) compile, run inside
    the span Count_estimator.estimate would open, CLI-identical text. *)
-let run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr =
+let run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups expr =
   check_fraction fraction;
   check_groups groups;
   let printed = Relational.Parser.print_expr expr in
   let plan =
-    plan_for ~metrics plans
+    plan_for ~metrics ~prefix:plan_prefix plans
       (expr_key ~fraction ~groups expr)
       (fun () -> Raestat.Estplan.compile ~groups catalog ~fraction expr)
   in
@@ -161,9 +188,10 @@ let run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr =
   end;
   (printed, est, Buffer.contents buffer)
 
-let query ?(metrics = Metrics.noop) ?plans ?domains rng catalog ~fraction ~groups expr =
+let query ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?domains rng catalog
+    ~fraction ~groups expr =
   let printed, est, body =
-    run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr
+    run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups expr
   in
   { text = Printf.sprintf "expression: %s\n%s" printed body; estimate = est; expr }
 
@@ -173,10 +201,11 @@ let sql_expr catalog text =
      expression's COUNT rather than the 1-row aggregate result. *)
   Option.value (Relational.Sql.count_star_target expr) ~default:expr
 
-let sql ?(metrics = Metrics.noop) ?plans ?domains rng catalog ~fraction ~groups text =
+let sql ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?domains rng catalog
+    ~fraction ~groups text =
   let expr = sql_expr catalog text in
   let printed, est, body =
-    run_expr ~metrics ~plans ~domains rng catalog ~fraction ~groups expr
+    run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups expr
   in
   { text = Printf.sprintf "algebra: %s\n%s" printed body; estimate = est; expr }
 

@@ -69,10 +69,17 @@ type result = {
 }
 
 (** Row-level sampled COUNT of a filter ([raestat estimate] without
-    [--pages]). *)
+    [--pages]).  [plan_prefix] (default [""]) namespaces the plan-cache
+    key — the daemon prefixes the catalog generation so plans compiled
+    against a pre-reload catalog never serve post-reload requests.
+    [index_source] (daemon warm cache) may substitute the SRSWOR index
+    draw; see {!Raestat.Estplan.index_source} — results are
+    bit-identical either way. *)
 val estimate :
   ?metrics:Obs.Metrics.t ->
   ?plans:Plan_cache.t ->
+  ?plan_prefix:string ->
+  ?index_source:Raestat.Estplan.index_source ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   relation:string ->
@@ -81,10 +88,26 @@ val estimate :
   Relational.Predicate.t ->
   result
 
+(** Page-level (cluster-sampled) COUNT of a filter ([raestat estimate
+    --pages M] and the daemon's ["pages"] field): draw [m] whole pages
+    from the paged view, expand by M/m.  [relation] only names the
+    base in the returned [expr].  Never plan-cached — there is no
+    compile step to save. *)
+val estimate_pages :
+  ?metrics:Obs.Metrics.t ->
+  Sampling.Rng.t ->
+  relation:string ->
+  m:int ->
+  level:float ->
+  Relational.Paged.t ->
+  Relational.Predicate.t ->
+  result
+
 (** COUNT of a relational algebra expression ([raestat query]). *)
 val query :
   ?metrics:Obs.Metrics.t ->
   ?plans:Plan_cache.t ->
+  ?plan_prefix:string ->
   ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
@@ -98,6 +121,7 @@ val query :
 val sql :
   ?metrics:Obs.Metrics.t ->
   ?plans:Plan_cache.t ->
+  ?plan_prefix:string ->
   ?domains:int ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->

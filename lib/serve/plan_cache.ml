@@ -1,87 +1,202 @@
-(* Bounded LRU over a hash table plus an intrusive doubly-linked
-   recency list: O(1) lookup, promotion and eviction. *)
+(* Thread-safe bounded LRU with single-flight compilation.
+
+   Each shard is a hash table plus an intrusive doubly-linked recency
+   list (O(1) lookup, promotion and eviction) behind its own mutex.
+   Compilation happens *outside* the critical section: a miss installs
+   a Pending placeholder, releases the lock, compiles, then publishes.
+   Concurrent lookups of the same key block on the shard's condition
+   variable instead of compiling again (single-flight), so the miss
+   count equals the number of distinct compiled shapes no matter how
+   many workers race — the serve conformance suite pins exact hit/miss
+   totals under concurrent clients.
+
+   Only Ready entries live on the recency list; Pending entries are
+   never evicted (there is nothing to drop yet and waiters hold a
+   reference).  [clear] detaches every entry from the table: an
+   in-flight compile still resolves its waiters, but the stale plan is
+   not re-published into the cleared cache. *)
+
+type state =
+  | Pending
+  | Ready of Raestat.Estplan.t
+  | Failed  (* compile raised: waiters retry from scratch *)
 
 type entry = {
   key : string;
-  plan : Raestat.Estplan.t;
+  mutable state : state;
+  mutable in_table : bool;
   mutable prev : entry option; (* toward most recently used *)
   mutable next : entry option; (* toward least recently used *)
 }
 
-type t = {
-  cap : int;
+type shard = {
+  lock : Mutex.t;
+  resolved : Condition.t;
   table : (string, entry) Hashtbl.t;
+  cap : int;
   mutable mru : entry option;
   mutable lru : entry option;
+  mutable linked : int; (* Ready entries on the recency list *)
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable eviction_count : int;
 }
 
-let create ~capacity () =
+type t = { nominal_cap : int; shards : shard array }
+
+let create ~capacity ?(shards = 1) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  if shards <= 0 then invalid_arg "Plan_cache.create: shards must be positive";
+  let shards = min shards capacity in
+  let shard_cap = (capacity + shards - 1) / shards in
   {
-    cap = capacity;
-    table = Hashtbl.create (min capacity 64);
-    mru = None;
-    lru = None;
-    hit_count = 0;
-    miss_count = 0;
+    nominal_cap = capacity;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            resolved = Condition.create ();
+            table = Hashtbl.create (min shard_cap 64);
+            cap = shard_cap;
+            mru = None;
+            lru = None;
+            linked = 0;
+            hit_count = 0;
+            miss_count = 0;
+            eviction_count = 0;
+          });
   }
 
-let unlink t entry =
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let unlink s entry =
   (match entry.prev with
   | Some p -> p.next <- entry.next
-  | None -> t.mru <- entry.next);
+  | None -> s.mru <- entry.next);
   (match entry.next with
   | Some n -> n.prev <- entry.prev
-  | None -> t.lru <- entry.prev);
+  | None -> s.lru <- entry.prev);
   entry.prev <- None;
   entry.next <- None
 
-let push_front t entry =
-  entry.next <- t.mru;
+let push_front s entry =
+  entry.next <- s.mru;
   entry.prev <- None;
-  (match t.mru with
+  (match s.mru with
   | Some m -> m.prev <- Some entry
-  | None -> t.lru <- Some entry);
-  t.mru <- Some entry
+  | None -> s.lru <- Some entry);
+  s.mru <- Some entry
+
+(* Caller holds [s.lock]. *)
+let promote s entry =
+  unlink s entry;
+  push_front s entry
+
+(* Caller holds [s.lock].  Drop least-recently-used Ready entries until
+   the shard fits its capacity again. *)
+let enforce_capacity ~metrics s =
+  while s.linked > s.cap do
+    match s.lru with
+    | Some victim ->
+      unlink s victim;
+      s.linked <- s.linked - 1;
+      victim.in_table <- false;
+      Hashtbl.remove s.table victim.key;
+      s.eviction_count <- s.eviction_count + 1;
+      Obs.Metrics.plan_cache_eviction metrics
+    | None -> ()
+  done
 
 let find_or_compile ?(metrics = Obs.Metrics.noop) t key compile =
-  match Hashtbl.find_opt t.table key with
-  | Some entry ->
-    t.hit_count <- t.hit_count + 1;
-    Obs.Metrics.plan_cache_hit metrics;
-    unlink t entry;
-    push_front t entry;
-    entry.plan
-  | None ->
-    t.miss_count <- t.miss_count + 1;
-    Obs.Metrics.plan_cache_miss metrics;
-    let plan = compile () in
-    (if Hashtbl.length t.table >= t.cap then
-       match t.lru with
-       | Some victim ->
-         unlink t victim;
-         Hashtbl.remove t.table victim.key
-       | None -> ());
-    let entry = { key; plan; prev = None; next = None } in
-    Hashtbl.replace t.table key entry;
-    push_front t entry;
-    plan
+  let s = shard_of t key in
+  let rec lookup () =
+    Mutex.lock s.lock;
+    match Hashtbl.find_opt s.table key with
+    | Some entry -> (
+      (* Wait out an in-flight compile for this key. *)
+      let is_pending () = match entry.state with Pending -> true | _ -> false in
+      while is_pending () do
+        Condition.wait s.resolved s.lock
+      done;
+      match entry.state with
+      | Ready plan ->
+        s.hit_count <- s.hit_count + 1;
+        Obs.Metrics.plan_cache_hit metrics;
+        if entry.in_table then promote s entry;
+        Mutex.unlock s.lock;
+        plan
+      | Failed | Pending ->
+        (* The compiler failed (its exception went to that caller);
+           retry as a fresh lookup. *)
+        Mutex.unlock s.lock;
+        lookup ())
+    | None -> (
+      let entry = { key; state = Pending; in_table = true; prev = None; next = None } in
+      Hashtbl.replace s.table key entry;
+      Mutex.unlock s.lock;
+      match compile () with
+      | plan ->
+        Mutex.lock s.lock;
+        entry.state <- Ready plan;
+        s.miss_count <- s.miss_count + 1;
+        Obs.Metrics.plan_cache_miss metrics;
+        if entry.in_table then begin
+          push_front s entry;
+          s.linked <- s.linked + 1;
+          enforce_capacity ~metrics s
+        end;
+        Condition.broadcast s.resolved;
+        Mutex.unlock s.lock;
+        plan
+      | exception exn ->
+        Mutex.lock s.lock;
+        entry.state <- Failed;
+        if entry.in_table then begin
+          entry.in_table <- false;
+          Hashtbl.remove s.table key
+        end;
+        Condition.broadcast s.resolved;
+        Mutex.unlock s.lock;
+        raise exn)
+  in
+  lookup ()
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.mru <- None;
-  t.lru <- None
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.iter (fun _ entry -> entry.in_table <- false) s.table;
+      Hashtbl.reset s.table;
+      s.mru <- None;
+      s.lru <- None;
+      s.linked <- 0;
+      Mutex.unlock s.lock)
+    t.shards
 
-let size t = Hashtbl.length t.table
-let capacity t = t.cap
-let hits t = t.hit_count
-let misses t = t.miss_count
+let sum t f =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let v = f s in
+      Mutex.unlock s.lock;
+      acc + v)
+    0 t.shards
+
+let size t = sum t (fun s -> s.linked)
+let capacity t = t.nominal_cap
+let hits t = sum t (fun s -> s.hit_count)
+let misses t = sum t (fun s -> s.miss_count)
+let evictions t = sum t (fun s -> s.eviction_count)
 
 let keys t =
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some e -> go (e.key :: acc) e.next
-  in
-  go [] t.mru
+  List.concat_map
+    (fun s ->
+      Mutex.lock s.lock;
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some e -> go (e.key :: acc) e.next
+      in
+      let ks = go [] s.mru in
+      Mutex.unlock s.lock;
+      ks)
+    (Array.to_list t.shards)

@@ -1,0 +1,92 @@
+(* A fixed pool of worker domains draining a FIFO job queue.
+
+   Connection threads submit closures and block until their job
+   completes on a worker (Mutex/Condition synchronize across domains).
+   Each worker owns a context value built once at spawn — the server
+   hands out per-worker metrics sinks this way, so absorbing request
+   metrics never races between workers.
+
+   Shutdown drains: pending jobs run to completion before the workers
+   exit, so every in-flight [run] returns.  Submitting after shutdown
+   raises. *)
+
+type 'ctx t = {
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  jobs : ('ctx -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let rec worker_loop t ctx =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.jobs && not t.stopped do
+    Condition.wait t.work_ready t.lock
+  done;
+  if not (Queue.is_empty t.jobs) then begin
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.lock;
+    (* Jobs wrap their own exceptions ([run] ferries them back to the
+       submitter); a raise here would mean a broken wrapper, and must
+       not kill the worker. *)
+    (try job ctx with _ -> ());
+    worker_loop t ctx
+  end
+  else Mutex.unlock t.lock
+
+let create ~workers ctx_of =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      jobs = Queue.create ();
+      stopped = false;
+      domains = [||];
+    }
+  in
+  (* Contexts are built in the spawning domain, in index order, before
+     any worker starts. *)
+  let contexts = Array.init workers ctx_of in
+  t.domains <-
+    Array.map (fun ctx -> Domain.spawn (fun () -> worker_loop t ctx)) contexts;
+  t
+
+let size t = Array.length t.domains
+
+let run t f =
+  let cell_lock = Mutex.create () in
+  let cell_done = Condition.create () in
+  let cell = ref None in
+  let job ctx =
+    let outcome = try Ok (f ctx) with e -> Error e in
+    Mutex.lock cell_lock;
+    cell := Some outcome;
+    Condition.signal cell_done;
+    Mutex.unlock cell_lock
+  in
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  Queue.push job t.jobs;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.lock;
+  Mutex.lock cell_lock;
+  while Option.is_none !cell do
+    Condition.wait cell_done cell_lock
+  done;
+  let outcome = Option.get !cell in
+  Mutex.unlock cell_lock;
+  match outcome with Ok v -> v | Error e -> raise e
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains
+  end

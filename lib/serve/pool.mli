@@ -1,0 +1,33 @@
+(** Fixed-size pool of OCaml worker domains with per-worker context.
+
+    The serve daemon's request executor: connection threads submit
+    estimation jobs and block until a worker domain has run them, so
+    compute parallelism is bounded by the worker count, not the
+    connection count.  Each worker owns a ['ctx] built once at spawn
+    (the server uses this for per-worker metrics sinks); jobs see the
+    context of whichever worker runs them.
+
+    Determinism: jobs run FIFO but possibly concurrently on different
+    workers.  Anything order- or worker-dependent must be carried in
+    the job's own inputs — the server derives every result from the
+    request's [seed], so responses are independent of scheduling. *)
+
+type 'ctx t
+
+(** [create ~workers ctx_of] spawns [workers] domains; worker [i]'s
+    context is [ctx_of i], built in the calling domain (in index
+    order) before any worker starts.
+    @raise Invalid_argument when [workers < 1]. *)
+val create : workers:int -> (int -> 'ctx) -> 'ctx t
+
+val size : 'ctx t -> int
+
+(** [run t f] submits [f] and blocks until a worker has executed it,
+    returning its result (or re-raising its exception in the calling
+    thread).
+    @raise Invalid_argument after {!shutdown}. *)
+val run : 'ctx t -> ('ctx -> 'a) -> 'a
+
+(** Stop accepting jobs, drain the queue and join every worker.
+    Jobs already submitted complete normally.  Idempotent. *)
+val shutdown : 'ctx t -> unit

@@ -7,56 +7,150 @@ type config = {
   bindings : (string * string) list;
   plan_capacity : int;
   queue_limit : int;
+  workers : int;
 }
 
 type stats = { requests : int; errors : int; overloaded : int }
 
+(* The catalog and every per-relation warm structure are swapped
+   atomically as one value on reload.  In-flight requests retain the
+   view they started with (refcounted — see Warm), so a reload never
+   closes pagefiles or invalidates caches under a running request. *)
+type view = { generation : int; warm : Warm.t }
+
+(* Each worker domain owns a metrics sink; request metrics are absorbed
+   into the executing worker's sink without cross-worker contention.
+   The sink lock serializes absorb against snapshot (the lifetime
+   report merges live sinks), not worker against worker. *)
+type worker_slot = { sink : Metrics.t; sink_lock : Mutex.t }
+
+type pool_status = Idle | Running of worker_slot Pool.t | Stopped
+
 type state = {
   config : config;
-  mutable catalog : Relational.Catalog.t;
   plan_cache : Plan_cache.t;
-  lifetime : Metrics.t;  (* per-request sinks are absorbed here *)
-  engine_lock : Mutex.t;  (* serializes estimation: the engine is single-threaded code *)
-  admission_lock : Mutex.t;  (* guards pending/requests/errors/overloaded *)
+  base_slot : worker_slot;  (* loader/reload metrics + direct handle_line callers *)
+  slots : worker_slot array;  (* one per worker domain *)
+  mutable view : view;
+  view_lock : Mutex.t;
+  reload_lock : Mutex.t;  (* serializes reloads (not requests) *)
+  admission_lock : Mutex.t;  (* guards pending *)
   mutable pending : int;
-  mutable request_count : int;
-  mutable error_count : int;
-  mutable overload_count : int;
-  mutable generation : int;
-  mutable stop_requested : bool;
+  request_count : int Atomic.t;
+  error_count : int Atomic.t;
+  overload_count : int Atomic.t;
+  stop_requested : bool Atomic.t;
+  pool_lock : Mutex.t;
+  mutable pool : pool_status;
+  mutable destroyed : bool;
 }
+
+let fresh_slot () = { sink = Metrics.create (); sink_lock = Mutex.create () }
 
 let create_state config =
   if config.queue_limit < 0 then
     invalid_arg "Server.create_state: queue_limit must be >= 0";
-  let lifetime = Metrics.create () in
+  if config.workers < 1 then invalid_arg "Server.create_state: workers must be >= 1";
+  let base_slot = fresh_slot () in
   let loader = Metrics.create () in
-  let catalog = Engine.load_catalog ~metrics:loader config.bindings in
-  Metrics.absorb lifetime loader;
+  let warm = Warm.load ~metrics:loader config.bindings in
+  Metrics.absorb base_slot.sink loader;
   {
     config;
-    catalog;
-    plan_cache = Plan_cache.create ~capacity:config.plan_capacity ();
-    lifetime;
-    engine_lock = Mutex.create ();
+    plan_cache =
+      Plan_cache.create ~capacity:config.plan_capacity
+        ~shards:(min config.workers 8) ();
+    base_slot;
+    slots = Array.init config.workers (fun _ -> fresh_slot ());
+    view = { generation = 0; warm };
+    view_lock = Mutex.create ();
+    reload_lock = Mutex.create ();
     admission_lock = Mutex.create ();
     pending = 0;
-    request_count = 0;
-    error_count = 0;
-    overload_count = 0;
-    generation = 0;
-    stop_requested = false;
+    request_count = Atomic.make 0;
+    error_count = Atomic.make 0;
+    overload_count = Atomic.make 0;
+    stop_requested = Atomic.make false;
+    pool_lock = Mutex.create ();
+    pool = Idle;
+    destroyed = false;
   }
+
+(* Worker domains spawn on the first pooled request, not in
+   create_state: embedders and tests that only call handle_line never
+   pay for (or have to join) idle domains. *)
+let get_pool state =
+  Mutex.lock state.pool_lock;
+  let pool =
+    match state.pool with
+    | Running pool -> pool
+    | Idle ->
+      let pool = Pool.create ~workers:state.config.workers (fun i -> state.slots.(i)) in
+      state.pool <- Running pool;
+      pool
+    | Stopped ->
+      Mutex.unlock state.pool_lock;
+      invalid_arg "Server.execute: state destroyed"
+  in
+  Mutex.unlock state.pool_lock;
+  pool
+
+let destroy_state state =
+  (Mutex.lock state.pool_lock;
+   let pool = state.pool in
+   state.pool <- Stopped;
+   Mutex.unlock state.pool_lock;
+   match pool with Running pool -> Pool.shutdown pool | Idle | Stopped -> ());
+  Mutex.lock state.view_lock;
+  let owner_drop = if state.destroyed then None else Some state.view in
+  state.destroyed <- true;
+  Mutex.unlock state.view_lock;
+  match owner_drop with Some v -> Warm.release v.warm | None -> ()
 
 let stats state =
   {
-    requests = state.request_count;
-    errors = state.error_count;
-    overloaded = state.overload_count;
+    requests = Atomic.get state.request_count;
+    errors = Atomic.get state.error_count;
+    overloaded = Atomic.get state.overload_count;
   }
 
-let stopping state = state.stop_requested
+let stopping state = Atomic.get state.stop_requested
 let plans state = state.plan_cache
+
+let current_view state =
+  Mutex.lock state.view_lock;
+  let view = state.view in
+  Warm.retain view.warm;
+  Mutex.unlock state.view_lock;
+  view
+
+(* For tests: the warm state behind the current view (borrowed, not
+   retained — don't stash it across a reload). *)
+let warm_state state =
+  Mutex.lock state.view_lock;
+  let warm = state.view.warm in
+  Mutex.unlock state.view_lock;
+  warm
+
+let slot_snapshot slot =
+  Mutex.lock slot.sink_lock;
+  let snap = Metrics.snapshot slot.sink in
+  Mutex.unlock slot.sink_lock;
+  snap
+
+let absorb_into slot metrics =
+  Mutex.lock slot.sink_lock;
+  Metrics.absorb slot.sink metrics;
+  Mutex.unlock slot.sink_lock
+
+(* Base sink first, then worker sinks in index order: a fixed merge
+   order, and integer counters commute anyway — the lifetime totals
+   are independent of which worker served which request. *)
+let lifetime_snapshot state =
+  Array.fold_left
+    (fun acc slot -> Metrics.merge acc (slot_snapshot slot))
+    (slot_snapshot state.base_slot)
+    state.slots
 
 (* --- request dispatch ------------------------------------------------- *)
 
@@ -85,58 +179,74 @@ let counters_json (s : Metrics.snapshot) =
       ("rng_draws", Json.Int s.rng_draws);
       ("plan_cache_hits", Json.Int s.plan_cache_hits);
       ("plan_cache_misses", Json.Int s.plan_cache_misses);
+      ("plan_cache_evictions", Json.Int s.plan_cache_evictions);
     ]
 
 (* The estimation ops share their defaults with the one-shot CLI
    (seed 42, fraction 0.01, level 0.95, groups 5): same request, same
-   bytes out of either front end. *)
-let dispatch_estimation state request op =
+   bytes out of either front end.  Results are a function of the
+   request fields and the catalog generation only — not of the worker
+   that ran it, the arrival order, or the caches' contents — which is
+   what makes --workers N invisible in the responses. *)
+let dispatch_estimation state slot view request op =
   let seed = Option.get (Json.int_field ~default:42 request "seed") in
   let fraction = Option.get (Json.float_field ~default:0.01 request "fraction") in
   let rng = Sampling.Rng.create ~seed () in
   let metrics = Metrics.create () in
+  let catalog = Warm.catalog view.warm in
+  let plan_prefix = Printf.sprintf "g%d|" view.generation in
   let result =
     match op with
-    | `Estimate ->
+    | `Estimate -> (
       let relation = Option.get (Json.string_field ~default:"r" request "relation") in
       let level = Option.get (Json.float_field ~default:0.95 request "level") in
       let predicate = Engine.predicate_of_string (require_string request "where") in
-      Engine.estimate ~metrics ~plans:state.plan_cache rng state.catalog ~relation
-        ~fraction ~level predicate
+      match Json.int_field request "pages" with
+      | Some m ->
+        (* Page-level cluster sampling over the retained paged view:
+           for .raf bindings the page cache is warm across requests. *)
+        Engine.check_fraction fraction;
+        Warm.with_paged view.warm relation (fun paged ->
+            Engine.estimate_pages ~metrics rng ~relation ~m ~level paged predicate)
+      | None ->
+        let index_source = Warm.index_source view.warm ~relation ~seed in
+        Engine.estimate ~metrics ~plans:state.plan_cache ~plan_prefix ~index_source rng
+          catalog ~relation ~fraction ~level predicate)
     | `Query ->
       let groups = Option.get (Json.int_field ~default:5 request "groups") in
       let expr = Relational.Parser.parse_expr (require_string request "expr") in
-      Engine.query ~metrics ~plans:state.plan_cache rng state.catalog ~fraction ~groups
-        expr
+      Engine.query ~metrics ~plans:state.plan_cache ~plan_prefix rng catalog ~fraction
+        ~groups expr
     | `Sql ->
       let groups = Option.get (Json.int_field ~default:5 request "groups") in
-      Engine.sql ~metrics ~plans:state.plan_cache rng state.catalog ~fraction ~groups
-        (require_string request "query")
+      Engine.sql ~metrics ~plans:state.plan_cache ~plan_prefix rng catalog ~fraction
+        ~groups (require_string request "query")
   in
-  Metrics.absorb state.lifetime metrics;
+  absorb_into slot metrics;
   Json.Obj
     [
       ("text", Json.Str result.Engine.text);
       ("point", Json.Float result.Engine.estimate.Stats.Estimate.point);
     ]
 
-let dispatch_explain state request =
+let dispatch_explain view request =
   let fraction = Option.get (Json.float_field ~default:0.01 request "fraction") in
   let as_json = bool_field ~default:false request "json" in
+  let catalog = Warm.catalog view.warm in
   let plan =
     match require_string request "target" with
     | "estimate" ->
       let relation = Option.get (Json.string_field ~default:"r" request "relation") in
       let predicate = Engine.predicate_of_string (require_string request "where") in
-      Engine.explain_selection state.catalog ~relation ~fraction predicate
+      Engine.explain_selection catalog ~relation ~fraction predicate
     | "query" ->
       let groups = Option.get (Json.int_field ~default:5 request "groups") in
-      Engine.explain_expr state.catalog ~fraction ~groups
+      Engine.explain_expr catalog ~fraction ~groups
         (Relational.Parser.parse_expr (require_string request "expr"))
     | "sql" ->
       let groups = Option.get (Json.int_field ~default:5 request "groups") in
-      Engine.explain_expr state.catalog ~fraction ~groups
-        (Engine.sql_expr state.catalog (require_string request "query"))
+      Engine.explain_expr catalog ~fraction ~groups
+        (Engine.sql_expr catalog (require_string request "query"))
     | other -> failwith (Printf.sprintf "unknown explain target %S" other)
   in
   (* Matches the CLI's print_plan bytes: render ends with a newline,
@@ -146,15 +256,18 @@ let dispatch_explain state request =
   in
   Json.Obj [ ("text", Json.Str text) ]
 
-let dispatch_metrics state =
-  let s = Metrics.snapshot state.lifetime in
+let dispatch_metrics state view =
+  let s = lifetime_snapshot state in
+  let samples = Warm.sample_stats view.warm in
   Json.Obj
     [
       ("schema", Json.Str "raestat-serve/1");
-      ("requests", Json.Int state.request_count);
-      ("errors", Json.Int state.error_count);
-      ("overloaded", Json.Int state.overload_count);
-      ("generation", Json.Int state.generation);
+      ("requests", Json.Int (Atomic.get state.request_count));
+      ("errors", Json.Int (Atomic.get state.error_count));
+      ("overloaded", Json.Int (Atomic.get state.overload_count));
+      ("generation", Json.Int view.generation);
+      ("workers", Json.Int state.config.workers);
+      ("available_cores", Json.Int (Domain.recommended_domain_count ()));
       ( "plan_cache",
         Json.Obj
           [
@@ -162,46 +275,74 @@ let dispatch_metrics state =
             ("capacity", Json.Int (Plan_cache.capacity state.plan_cache));
             ("hits", Json.Int (Plan_cache.hits state.plan_cache));
             ("misses", Json.Int (Plan_cache.misses state.plan_cache));
+            ("evictions", Json.Int (Plan_cache.evictions state.plan_cache));
+          ] );
+      ( "warm_samples",
+        Json.Obj
+          [
+            ("size", Json.Int samples.Warm.size);
+            ("capacity", Json.Int samples.Warm.capacity);
+            ("sample_hits", Json.Int samples.Warm.hits);
+            ("sample_misses", Json.Int samples.Warm.misses);
+            ("sample_evictions", Json.Int samples.Warm.evictions);
           ] );
       ("counters", counters_json s);
     ]
 
-let dispatch_reload state =
-  let loader = Metrics.create () in
-  let catalog = Engine.load_catalog ~metrics:loader state.config.bindings in
-  Metrics.absorb state.lifetime loader;
-  state.catalog <- catalog;
-  (* Cached plans bake in sample sizes derived from the old
-     cardinalities: all invalid now. *)
-  Plan_cache.clear state.plan_cache;
-  state.generation <- state.generation + 1;
-  Json.Obj [ ("generation", Json.Int state.generation) ]
+let dispatch_reload state slot =
+  (* Serialized against other reloads only; requests keep running on
+     the view they retained.  The new view is published before the old
+     plan entries are cleared — a request that raced the swap and
+     compiled against the old catalog publishes under a "g<old>|" key,
+     unreachable by post-reload requests. *)
+  Mutex.lock state.reload_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock state.reload_lock)
+    (fun () ->
+      let loader = Metrics.create () in
+      let warm = Warm.load ~metrics:loader state.config.bindings in
+      absorb_into slot loader;
+      Mutex.lock state.view_lock;
+      let old = state.view in
+      let generation = old.generation + 1 in
+      state.view <- { generation; warm };
+      Mutex.unlock state.view_lock;
+      (* Cached plans bake in sample sizes derived from the old
+         cardinalities: all invalid now. *)
+      Plan_cache.clear state.plan_cache;
+      Warm.release old.warm;
+      Json.Obj [ ("generation", Json.Int generation) ])
 
-let dispatch state request =
+let dispatch state slot view request =
   match require_string request "op" with
   | "ping" -> Json.Obj [ ("pong", Json.Bool true) ]
-  | "estimate" -> dispatch_estimation state request `Estimate
-  | "query" -> dispatch_estimation state request `Query
-  | "sql" -> dispatch_estimation state request `Sql
-  | "explain" -> dispatch_explain state request
-  | "metrics" -> dispatch_metrics state
-  | "reload" -> dispatch_reload state
+  | "estimate" -> dispatch_estimation state slot view request `Estimate
+  | "query" -> dispatch_estimation state slot view request `Query
+  | "sql" -> dispatch_estimation state slot view request `Sql
+  | "explain" -> dispatch_explain view request
+  | "metrics" -> dispatch_metrics state view
+  | "reload" -> dispatch_reload state slot
   | "shutdown" ->
-    state.stop_requested <- true;
+    Atomic.set state.stop_requested true;
     Json.Obj [ ("stopping", Json.Bool true) ]
   | other -> failwith (Printf.sprintf "unknown op %S" other)
 
-let handle_line state line =
-  state.request_count <- state.request_count + 1;
+let handle_request slot state line =
+  Atomic.incr state.request_count;
   let id = ref Json.Null in
   let outcome =
     match Json.parse line with
     | Error message -> Error ("bad request JSON: " ^ message)
     | Ok (Json.Obj _ as request) -> (
       (match Json.member "id" request with Some v -> id := v | None -> ());
-      try Ok (dispatch state request) with
-      | Failure message | Invalid_argument message | Sys_error message -> Error message
-      | Not_found -> Error "not found")
+      let view = current_view state in
+      Fun.protect
+        ~finally:(fun () -> Warm.release view.warm)
+        (fun () ->
+          try Ok (dispatch state slot view request) with
+          | Failure message | Invalid_argument message | Sys_error message ->
+            Error message
+          | Not_found -> Error "not found"))
     | Ok _ -> Error "request must be a JSON object"
   in
   match outcome with
@@ -209,9 +350,11 @@ let handle_line state line =
     Json.to_string
       (Json.Obj [ ("id", !id); ("ok", Json.Bool true); ("result", result) ])
   | Error message ->
-    state.error_count <- state.error_count + 1;
+    Atomic.incr state.error_count;
     Json.to_string
       (Json.Obj [ ("id", !id); ("ok", Json.Bool false); ("error", Json.Str message) ])
+
+let handle_line state line = handle_request state.base_slot state line
 
 (* --- admission -------------------------------------------------------- *)
 
@@ -226,7 +369,7 @@ let execute state line =
     Mutex.lock state.admission_lock;
     let ok = state.pending < state.config.queue_limit in
     if ok then state.pending <- state.pending + 1
-    else state.overload_count <- state.overload_count + 1;
+    else Atomic.incr state.overload_count;
     Mutex.unlock state.admission_lock;
     ok
   in
@@ -238,10 +381,11 @@ let execute state line =
         state.pending <- state.pending - 1;
         Mutex.unlock state.admission_lock)
       (fun () ->
-        Mutex.lock state.engine_lock;
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock state.engine_lock)
-          (fun () -> handle_line state line))
+        (* Estimation compute runs on the worker domains, never on the
+           connection thread: concurrency is bounded by --workers, and
+           each request's metrics land on its worker's own sink. *)
+        let pool = get_pool state in
+        Pool.run pool (fun slot -> handle_request slot state line))
 
 (* --- connection layer ------------------------------------------------- *)
 
@@ -353,7 +497,7 @@ let bind_listener listen =
        raise e);
     (sock, fun () -> ())
 
-let run ?(handle_signals = true) ?(on_ready = fun _ -> ()) config =
+let run ?(handle_signals = true) ?(on_ready = fun _ -> ()) ?on_stop config =
   let state = create_state config in
   let sock, cleanup = bind_listener config.listen in
   Unix.listen sock 64;
@@ -361,7 +505,7 @@ let run ?(handle_signals = true) ?(on_ready = fun _ -> ()) config =
      not kill the daemon. *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   if handle_signals then begin
-    let stop _ = state.stop_requested <- true in
+    let stop _ = Atomic.set state.stop_requested true in
     ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
     ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop))
   end;
@@ -371,7 +515,7 @@ let run ?(handle_signals = true) ?(on_ready = fun _ -> ()) config =
   (* The select timeout bounds how long a stop request can go unseen:
      signal handlers only set a flag, so the loop must wake up to read
      it even when no client ever connects. *)
-  while not state.stop_requested do
+  while not (Atomic.get state.stop_requested) do
     match Unix.select [ sock ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ -> (
@@ -399,5 +543,11 @@ let run ?(handle_signals = true) ?(on_ready = fun _ -> ()) config =
     live
   in
   List.iter (fun (conn, _) -> nudge_conn conn_lock conn) remaining;
+  (* In-flight requests finish on the worker pool while their
+     connection threads drain; the pool is shut down only after every
+     connection thread has been joined. *)
   List.iter (fun (_, thread) -> Thread.join thread) remaining;
+  let snapshot = lifetime_snapshot state in
+  (match on_stop with Some f -> f snapshot | None -> ());
+  destroy_state state;
   stats state

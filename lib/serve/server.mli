@@ -14,25 +14,39 @@
     defaults (seed 42, fraction 0.01, level 0.95, groups 5), and the
     [text] result field is byte-identical to the one-shot CLI's stdout
     for the same arguments and seed — both front ends render through
-    {!Engine}.
+    {!Engine}.  An [estimate] request with a ["pages"] integer field
+    runs page-level cluster sampling over the relation's retained paged
+    view (the served analogue of [--pages M]).
 
     {2 Concurrency and determinism}
 
-    One thread per connection over a shared catalog.  Estimation runs
-    are serialized by an engine lock — the estimators and the plan
-    cache are single-threaded code — so concurrent clients interleave
-    at request granularity and each request's result depends only on
-    its own [seed] field (every request gets a fresh RNG).  Admission
-    is a bounded queue: beyond [queue_limit] waiting-or-running
-    requests, new ones are rejected immediately with
+    One thread per connection; estimation runs on a pool of [workers]
+    worker domains ({!Pool}) over an immutable shared view of the
+    catalog.  The determinism contract: a response is a function of the
+    request fields (seed included) and the catalog generation only —
+    independent of [workers], of arrival order, and of which worker
+    served it.  Each request gets a fresh RNG seeded from its [seed]
+    field; warm caches only ever substitute values that are pure
+    functions of their keys ({!Warm}); per-worker metrics sinks absorb
+    integer counters, which commute, so the lifetime snapshot is
+    schedule-independent too (float timings are not pinned).
+
+    Admission is a bounded queue: beyond [queue_limit]
+    waiting-or-running requests, new ones are rejected immediately with
     [{"ok": false, "error": "overloaded"}] without parsing.
 
-    {2 Plan cache}
+    {2 Plan cache and warm state}
 
     Compiled estimation plans are cached per query shape
-    ({!Engine.selection_key} / {!Engine.expr_key}) in a bounded LRU;
-    hits skip Expr → {!Raestat.Estplan} compilation.  [reload]
-    re-reads every bound relation and clears the cache. *)
+    ({!Engine.selection_key} / {!Engine.expr_key}) in a sharded,
+    single-flight LRU ({!Plan_cache}); hits skip Expr →
+    {!Raestat.Estplan} compilation and concurrent same-shape misses
+    compile once.  Cache keys are prefixed with the catalog generation,
+    so plans compiled against a pre-reload catalog never serve
+    post-reload requests.  [reload] builds a fresh {!Warm.t} (columnar
+    views forced, pagefiles reopened, empty sample cache), swaps it in,
+    and clears the plan cache; in-flight requests keep the view they
+    retained until they finish. *)
 
 type listen =
   | Unix_socket of string  (** path; unlinked before bind and after close *)
@@ -45,6 +59,7 @@ type config = {
   queue_limit : int;
       (** max requests waiting or running before fast reject (>= 0;
           0 rejects everything — useful for testing the reject path) *)
+  workers : int;  (** worker domains executing requests (>= 1) *)
 }
 
 (** Totals over the server's lifetime, returned by {!run} and exposed
@@ -59,18 +74,30 @@ type stats = {
 
 type state
 
-(** Load the catalog and build an idle server state.
-    @raise Invalid_argument on a bad [plan_capacity]/[queue_limit].
+(** Load the catalog (forcing warm state — see {!Warm.load}) and build
+    an idle server state.  Worker domains are spawned lazily on the
+    first {!execute}, so a state used only through {!handle_line}
+    never starts any.
+    @raise Invalid_argument on a bad
+    [plan_capacity]/[queue_limit]/[workers].
     @raise Sys_error when a bound file cannot be read. *)
 val create_state : config -> state
 
-(** [handle_line state line] parses and answers one request line
-    (no admission control, no locking — single-threaded callers).
-    Always returns a one-line JSON response, never raises. *)
+(** Shut the worker pool down (draining queued requests) and drop the
+    state's own reference to the current warm view, closing retained
+    pagefiles once in-flight readers finish.  Idempotent.  {!run}
+    calls this on exit; direct users of {!create_state} should call it
+    when done. *)
+val destroy_state : state -> unit
+
+(** [handle_line state line] parses and answers one request line on
+    the calling thread (no admission control, no worker pool — its
+    metrics land on the embedder's base sink).  Always returns a
+    one-line JSON response, never raises. *)
 val handle_line : state -> string -> string
 
-(** [execute state line] is {!handle_line} behind admission control
-    and the engine lock — what connection threads call. *)
+(** [execute state line] is {!handle_line} behind admission control,
+    dispatched onto a worker domain — what connection threads call. *)
 val execute : state -> string -> string
 
 val stats : state -> stats
@@ -78,19 +105,34 @@ val stats : state -> stats
 (** True once a [shutdown] request (or signal) was seen. *)
 val stopping : state -> bool
 
-(** The plan cache (for tests: size/hits/misses assertions). *)
+(** The plan cache (for tests: size/hits/misses/evictions assertions). *)
 val plans : state -> Plan_cache.t
+
+(** The warm state behind the current view — borrowed, for tests; do
+    not stash it across a [reload]. *)
+val warm_state : state -> Warm.t
+
+(** Merged metrics over the base sink and every worker sink: the same
+    totals the [metrics] op reports and {!run} passes to [on_stop].
+    Integer counters are schedule-independent; float timings are not. *)
+val lifetime_snapshot : state -> Obs.Metrics.snapshot
 
 (** {1 The daemon} *)
 
 (** [run config] listens, serves until [shutdown]/SIGINT/SIGTERM, then
-    closes the listener, wakes blocked connection threads and joins
-    them.  [on_ready] is called with the bound address once the socket
-    is listening (for ephemeral-port discovery and ready lines).
-    [handle_signals] (default true) installs SIGINT/SIGTERM handlers
-    that request a clean stop; pass false when embedding the server in
-    a host process (e.g. the bench harness).  SIGPIPE is always
-    ignored — client hangups surface as write errors on that
-    connection only. *)
+    closes the listener, wakes blocked connection threads, joins them,
+    shuts the worker pool down and releases the warm state.  [on_ready]
+    is called with the bound address once the socket is listening (for
+    ephemeral-port discovery and ready lines).  [on_stop] is called
+    with the lifetime metrics snapshot after the last request finishes,
+    before the state is destroyed ([--metrics-out]).  [handle_signals]
+    (default true) installs SIGINT/SIGTERM handlers that request a
+    clean stop; pass false when embedding the server in a host process
+    (e.g. the bench harness).  SIGPIPE is always ignored — client
+    hangups surface as write errors on that connection only. *)
 val run :
-  ?handle_signals:bool -> ?on_ready:(Unix.sockaddr -> unit) -> config -> stats
+  ?handle_signals:bool ->
+  ?on_ready:(Unix.sockaddr -> unit) ->
+  ?on_stop:(Obs.Metrics.snapshot -> unit) ->
+  config ->
+  stats

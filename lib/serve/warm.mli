@@ -1,0 +1,89 @@
+(** Warm per-relation estimation state for the serve daemon.
+
+    One value of this type is built per catalog load (startup and each
+    [reload]); it packages, per bound relation:
+
+    - the in-memory relation (via {!catalog}) with its {e columnar
+      view forced at load time} ({!Relational.Relation.warm_view}), so
+      no request pays the first-touch encode and worker domains never
+      race to build one;
+    - a retained {e paged view} — for [.raf] bindings the pagefile
+      stays open for this state's lifetime, so the reader's clock page
+      cache persists across ["pages"] requests (repeat page-sampled
+      estimates are served from memory, visible as [page_cache_hits]
+      instead of [pages_read]);
+    - a bounded LRU {e backing-sample cache}: SRSWOR index sets keyed
+      by [relation × mode × n × universe × seed].  The draw is a pure
+      function of that key, so a cached set is byte-for-byte the set
+      the request would have drawn — serving it changes no response
+      bits, only skips the draw work (and its [rng_draws] /
+      [sample_indices] accounting, consistent with the real-work
+      metrics discipline).
+
+    {2 Invalidation and lifetime}
+
+    There is no in-place invalidation: a [reload] builds a {e new}
+    warm state, so every cache here is generation-scoped by
+    construction.  Lifetime is refcounted — {!load} returns the owner
+    reference, each in-flight request {!retain}s the state it reads
+    and {!release}s it when done; the pagefiles close when the last
+    reference drops, so a reload never yanks pages from under an
+    in-flight page-sampled estimate.
+
+    All operations are thread- and domain-safe. *)
+
+type t
+
+type sample_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** cached index sets *)
+  capacity : int;
+}
+
+(** Load every binding (same dispatch as {!Engine.load_relation}:
+    [.raf] through the paged reader — kept open — anything else as
+    CSV) and force the columnar views.  [sample_capacity] (default
+    128) bounds the backing-sample LRU; 0 disables it.  The returned
+    state holds the owner reference.
+    @raise Invalid_argument when [sample_capacity < 0].
+    @raise Sys_error / [Failure] as the underlying loaders do. *)
+val load :
+  ?metrics:Obs.Metrics.t ->
+  ?sample_capacity:int ->
+  ?page_capacity:int ->
+  (string * string) list ->
+  t
+
+val catalog : t -> Relational.Catalog.t
+
+(** Take / drop a reference.  {!release} of the last reference closes
+    the retained pagefiles. *)
+val retain : t -> unit
+
+val release : t -> unit
+
+(** Cached (or freshly drawn and published) SRSWOR index set; [draw]
+    runs outside the cache lock on a miss.  The returned array is
+    shared read-only state — callers must not mutate it. *)
+val sample_indices :
+  t ->
+  relation:string ->
+  seed:int ->
+  n:int ->
+  universe:int ->
+  (unit -> int array) ->
+  int array
+
+(** {!sample_indices} curried into the shape {!Raestat.Estplan.run}
+    accepts. *)
+val index_source : t -> relation:string -> seed:int -> Raestat.Estplan.index_source
+
+val sample_stats : t -> sample_stats
+
+(** Run [f] on the relation's retained paged view, holding its I/O
+    lock (the paged reader shares decode buffers; page-sampled
+    requests for one relation serialize, different relations don't).
+    @raise Failure (["unknown relation"]) for an unbound name. *)
+val with_paged : t -> string -> (Relational.Paged.t -> 'a) -> 'a

@@ -87,6 +87,18 @@ echo "$metrics" | grep -q '"schema": "raestat-serve/1"' || fail "metrics schema"
 echo "$metrics" | grep -q '"misses": 3' || fail "expected 3 plan compiles, got: $metrics"
 echo "$metrics" | grep -q '"hits": 5' || fail "expected 5 plan-cache hits, got: $metrics"
 
+# --pages through the daemon: cluster sampling over the retained paged
+# view, byte-identical to the one-shot CLI for the same seed.  The
+# second request exercises the warm page-cache path (same bytes out).
+"$cli" estimate "$workdir/u.raf" --pages 20 --where "a < 300" > "$workdir/ref.pages"
+req_pages='{"op": "estimate", "relation": "p", "where": "a < 300", "pages": 20}'
+"$cli" client --socket "$sock" --text "$req_pages" > "$workdir/client.pages"
+cmp -s "$workdir/client.pages" "$workdir/ref.pages" \
+  || fail "served --pages estimate differs from one-shot CLI"
+"$cli" client --socket "$sock" --text "$req_pages" > "$workdir/client.pages2"
+cmp -s "$workdir/client.pages2" "$workdir/ref.pages" \
+  || fail "warm repeat of --pages estimate changed bytes"
+
 # malformed requests are per-request errors, not daemon crashes ---------
 out="$("$cli" client --socket "$sock" '{"op": ')"
 echo "$out" | grep -q '"ok": false' || fail "malformed JSON not rejected"
@@ -136,5 +148,73 @@ server_pid=""
 grep -Eq "stopped after [0-9]+ requests \([0-9]+ errors, 0 overloaded\)" "$workdir/serve.log" \
   || fail "daemon summary line missing"
 [ ! -e "$sock" ] || fail "socket file not unlinked on shutdown"
+
+# worker-count invariance: the same concurrent barrage against 1, 2 and
+# 4 worker domains must produce byte-identical responses and the same
+# plan-cache totals (single-flight: each distinct shape compiles once
+# no matter how many workers race on it) ---------------------------------
+for w in 1 2 4; do
+  wsock="$workdir/w$w.sock"
+  "$cli" serve --rel "r=$workdir/u.csv" --rel "p=$workdir/u.raf" \
+    --socket "$wsock" --plan-cache 16 --queue-limit 64 --workers "$w" \
+    > "$workdir/w$w.log" 2>&1 &
+  server_pid=$!
+  await_ready "$workdir/w$w.log"
+  declare -a wpids=() wouts=() wrefs=()
+  for i in $(seq 0 7); do
+    case $((i % 4)) in
+      0) req="$req_est"   ; ref="$workdir/ref.est"   ;;
+      1) req="$req_query" ; ref="$workdir/ref.query" ;;
+      2) req="$req_sql"   ; ref="$workdir/ref.sql"   ;;
+      3) req="$req_raf"   ; ref="$workdir/ref.raf"   ;;
+    esac
+    out="$workdir/w$w.client.$i.out"
+    "$cli" client --socket "$wsock" --text "$req" > "$out" &
+    wpids+=($!) wouts+=("$out") wrefs+=("$ref")
+  done
+  for i in $(seq 0 7); do
+    wait "${wpids[$i]}" || fail "workers=$w client $i exited nonzero"
+  done
+  for i in $(seq 0 7); do
+    cmp -s "${wouts[$i]}" "${wrefs[$i]}" \
+      || fail "workers=$w client $i output differs from one-shot CLI"
+  done
+  wmetrics="$("$cli" client --socket "$wsock" '{"op": "metrics"}')"
+  echo "$wmetrics" | grep -q "\"workers\": $w" || fail "metrics workers field ($w)"
+  echo "$wmetrics" | grep -q '"misses": 3' \
+    || fail "workers=$w: expected 3 plan compiles, got: $wmetrics"
+  echo "$wmetrics" | grep -q '"hits": 5' \
+    || fail "workers=$w: expected 5 plan-cache hits, got: $wmetrics"
+  kill -TERM "$server_pid"
+  wait "$server_pid" || fail "workers=$w daemon exited nonzero on SIGTERM"
+  server_pid=""
+done
+
+# plan-cache evictions + --metrics-out + client connect retry ------------
+# The client is started before the daemon is ready: its connect retry
+# must absorb the startup race (no await_ready here on purpose).
+esock="$workdir/evict.sock"
+lifetime="$workdir/lifetime.json"
+"$cli" serve --rel "r=$workdir/u.csv" --socket "$esock" --plan-cache 2 \
+  --metrics-out "$lifetime" > "$workdir/evict.log" 2>&1 &
+server_pid=$!
+"$cli" client --socket "$esock" --text \
+  '{"op": "estimate", "where": "a < 100", "fraction": 0.05}' > /dev/null \
+  || fail "client retry did not absorb the daemon startup race"
+"$cli" client --socket "$esock" --text \
+  '{"op": "estimate", "where": "a < 200", "fraction": 0.05}' > /dev/null
+"$cli" client --socket "$esock" --text \
+  '{"op": "estimate", "where": "a < 300", "fraction": 0.05}' > /dev/null
+emetrics="$("$cli" client --socket "$esock" '{"op": "metrics"}')"
+echo "$emetrics" | grep -q '"evictions": 1' \
+  || fail "expected 1 plan-cache eviction at capacity 2, got: $emetrics"
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "eviction daemon exited nonzero on SIGTERM"
+server_pid=""
+[ -f "$lifetime" ] || fail "--metrics-out wrote no file"
+grep -q '"schema": "raestat-metrics/1"' "$lifetime" || fail "metrics-out schema"
+grep -q '"plan_cache_evictions": 1' "$lifetime" \
+  || fail "metrics-out missing the eviction counter"
+grep -q '"plan_cache_misses": 3' "$lifetime" || fail "metrics-out miss counter"
 
 echo "serve conformance test OK"

@@ -158,7 +158,7 @@ let test_cache_clear () =
 
 (* A small CSV on disk: the server loads its catalog from file bindings
    exactly like the daemon does. *)
-let with_server ?(plan_capacity = 8) ?(queue_limit = 16) f =
+let with_server ?(plan_capacity = 8) ?(queue_limit = 16) ?(workers = 1) f =
   let path = Filename.temp_file "raestat-serve" ".csv" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
@@ -175,9 +175,10 @@ let with_server ?(plan_capacity = 8) ?(queue_limit = 16) f =
             bindings = [ ("r", path) ];
             plan_capacity;
             queue_limit;
+            workers;
           }
       in
-      f state)
+      Fun.protect ~finally:(fun () -> Server.destroy_state state) (fun () -> f state))
 
 (* Parse a response line and return (id, ok, result-or-error). *)
 let response line =
@@ -416,9 +417,242 @@ let test_server_overload_and_shutdown () =
               bindings = [];
               plan_capacity = 4;
               queue_limit = -1;
+              workers = 1;
             });
        false
      with Invalid_argument _ -> true)
+
+(* --- concurrency: plan cache, warm caches, reload --------------------- *)
+
+(* Hammer the cache from several domains over a key space larger than
+   the capacity.  The invariants that must survive any interleaving:
+   every lookup is exactly one hit or one miss, a miss corresponds to
+   exactly one compile (single-flight), the resident set never exceeds
+   capacity, and every compiled entry is either still resident or was
+   counted as an eviction. *)
+let test_cache_concurrent_hammer () =
+  let cache = Plan_cache.create ~capacity:4 ~shards:2 () in
+  let compiles = Atomic.make 0 in
+  let catalog = tiny_catalog () in
+  let compile_for key () =
+    Atomic.incr compiles;
+    ignore key;
+    Engine.explain_selection catalog ~relation:"r" ~fraction:0.1
+      (P.lt (P.attr "a") (P.vint 10))
+  in
+  let domains = 4 and rounds = 200 and keyspace = 8 in
+  let worker d =
+    Domain.spawn (fun () ->
+        for i = 0 to rounds - 1 do
+          let key = Printf.sprintf "k%d" ((i + d) mod keyspace) in
+          ignore (Plan_cache.find_or_compile cache key (compile_for key))
+        done)
+  in
+  Array.iter Domain.join (Array.init domains worker);
+  let hits = Plan_cache.hits cache and misses = Plan_cache.misses cache in
+  Alcotest.(check int) "every lookup hit or missed" (domains * rounds) (hits + misses);
+  Alcotest.(check int) "miss = compile (single-flight)" (Atomic.get compiles) misses;
+  Alcotest.(check bool) "size within capacity" true (Plan_cache.size cache <= 4);
+  Alcotest.(check int)
+    "compiled entries resident or evicted" misses
+    (Plan_cache.size cache + Plan_cache.evictions cache)
+
+(* Two domains racing on one cold key: the second must wait for the
+   first's compile, not start its own. *)
+let test_cache_single_flight () =
+  let cache = Plan_cache.create ~capacity:4 () in
+  let compiles = Atomic.make 0 in
+  let slow_compile () =
+    Atomic.incr compiles;
+    Unix.sleepf 0.05;
+    tiny_plan ()
+  in
+  let results =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () -> Plan_cache.find_or_compile cache "shared" slow_compile))
+    |> Array.map Domain.join
+  in
+  Alcotest.(check int) "one compile for a shared cold key" 1 (Atomic.get compiles);
+  Alcotest.(check bool) "both got the same plan" true (results.(0) == results.(1));
+  Alcotest.(check int) "one miss" 1 (Plan_cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Plan_cache.hits cache)
+
+(* A failing compile must not poison the key: waiters retry, and the
+   next lookup compiles fresh. *)
+let test_cache_failed_compile () =
+  let cache = Plan_cache.create ~capacity:4 () in
+  (try
+     ignore
+       (Plan_cache.find_or_compile cache "k" (fun () -> failwith "compile exploded"));
+     Alcotest.fail "exception should propagate"
+   with Failure _ -> ());
+  Alcotest.(check int) "failed compile not resident" 0 (Plan_cache.size cache);
+  ignore (Plan_cache.find_or_compile cache "k" tiny_plan);
+  Alcotest.(check int) "key usable after failure" 1 (Plan_cache.size cache)
+
+(* Eviction counters: both the cache's own total and the per-request
+   metrics sink see LRU pressure. *)
+let test_cache_eviction_metrics () =
+  let cache = Plan_cache.create ~capacity:2 () in
+  let metrics = Obs.Metrics.create () in
+  ignore (Plan_cache.find_or_compile ~metrics cache "a" tiny_plan);
+  ignore (Plan_cache.find_or_compile ~metrics cache "b" tiny_plan);
+  ignore (Plan_cache.find_or_compile ~metrics cache "c" tiny_plan);
+  Alcotest.(check int) "cache eviction total" 1 (Plan_cache.evictions cache);
+  let s = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "sink eviction counter" 1 s.Obs.Metrics.plan_cache_evictions;
+  (* invalidation is not eviction *)
+  Plan_cache.clear cache;
+  Alcotest.(check int) "clear does not evict" 1 (Plan_cache.evictions cache)
+
+let test_warm_sample_cache () =
+  let path = Filename.temp_file "raestat-warm" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out path in
+  output_string oc "a:int\n";
+  for i = 0 to 99 do
+    Printf.fprintf oc "%d\n" i
+  done;
+  close_out oc;
+  let warm = Serve.Warm.load ~sample_capacity:2 [ ("r", path) ] in
+  Fun.protect ~finally:(fun () -> Serve.Warm.release warm)
+  @@ fun () ->
+  let draw_count = ref 0 in
+  let draw seed () =
+    incr draw_count;
+    let rng = Sampling.Rng.create ~seed () in
+    Sampling.Srs.indices_without_replacement ~sorted:false rng ~n:10 ~universe:100
+  in
+  let a =
+    Serve.Warm.sample_indices warm ~relation:"r" ~seed:1 ~n:10 ~universe:100 (draw 1)
+  in
+  let b =
+    Serve.Warm.sample_indices warm ~relation:"r" ~seed:1 ~n:10 ~universe:100 (draw 1)
+  in
+  Alcotest.(check bool) "hit returns the cached array" true (a == b);
+  Alcotest.(check int) "one draw for two same-key requests" 1 !draw_count;
+  (* a different seed (or n, or universe) is a different key *)
+  let c =
+    Serve.Warm.sample_indices warm ~relation:"r" ~seed:2 ~n:10 ~universe:100 (draw 2)
+  in
+  Alcotest.(check bool) "distinct key drew fresh" true (not (a == c));
+  (* capacity 2: a third key evicts the LRU (seed 1) *)
+  ignore
+    (Serve.Warm.sample_indices warm ~relation:"r" ~seed:3 ~n:10 ~universe:100 (draw 3));
+  let stats = Serve.Warm.sample_stats warm in
+  Alcotest.(check int) "sample hits" 1 stats.Serve.Warm.hits;
+  Alcotest.(check int) "sample misses" 3 stats.Serve.Warm.misses;
+  Alcotest.(check int) "sample evictions" 1 stats.Serve.Warm.evictions;
+  Alcotest.(check int) "resident sets" 2 stats.Serve.Warm.size;
+  (* the evicted key re-draws the identical index set: cache contents
+     never change response bytes *)
+  let a' =
+    Serve.Warm.sample_indices warm ~relation:"r" ~seed:1 ~n:10 ~universe:100 (draw 1)
+  in
+  Alcotest.(check bool) "re-drawn set identical" true (a = a')
+
+(* Domains hammering one warm key: whatever the interleaving, every
+   caller gets the same index content and the counters add up. *)
+let test_warm_sample_concurrent () =
+  let path = Filename.temp_file "raestat-warm" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out path in
+  output_string oc "a:int\n";
+  for i = 0 to 99 do
+    Printf.fprintf oc "%d\n" i
+  done;
+  close_out oc;
+  let warm = Serve.Warm.load ~sample_capacity:8 [ ("r", path) ] in
+  Fun.protect ~finally:(fun () -> Serve.Warm.release warm)
+  @@ fun () ->
+  let domains = 4 and rounds = 50 in
+  let results =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Array.init rounds (fun i ->
+                let seed = (i + d) mod 4 in
+                let draw () =
+                  let rng = Sampling.Rng.create ~seed () in
+                  Sampling.Srs.indices_without_replacement ~sorted:false rng ~n:5
+                    ~universe:100
+                in
+                ( seed,
+                  Serve.Warm.sample_indices warm ~relation:"r" ~seed ~n:5 ~universe:100
+                    draw ))))
+    |> Array.map Domain.join
+  in
+  let reference = Hashtbl.create 4 in
+  Array.iter
+    (Array.iter (fun (seed, indices) ->
+         match Hashtbl.find_opt reference seed with
+         | None -> Hashtbl.replace reference seed indices
+         | Some expected ->
+           if indices <> expected then
+             Alcotest.failf "seed %d produced differing index sets" seed))
+    results;
+  let stats = Serve.Warm.sample_stats warm in
+  Alcotest.(check int)
+    "every call hit or missed" (domains * rounds)
+    (stats.Serve.Warm.hits + stats.Serve.Warm.misses);
+  Alcotest.(check int) "no evictions under capacity" 0 stats.Serve.Warm.evictions
+
+(* Reload while requests are in flight: every request must complete
+   with ok:true on a coherent view (old or new — both are valid for an
+   unchanged file), and the generation must advance once per reload. *)
+let test_server_reload_during_inflight () =
+  with_server ~workers:2 ~queue_limit:64 @@ fun state ->
+  let request = {|{"op": "estimate", "where": "a < 30", "fraction": 0.2, "seed": 7}|} in
+  let expected = result_text (Server.handle_line state request) in
+  let failures = Atomic.make 0 in
+  let clients =
+    Array.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 10 do
+              let line = Server.execute state request in
+              match response line with
+              | _, true, payload ->
+                if Json.string_field payload "text" <> Some expected then
+                  Atomic.incr failures
+              | _, false, _ -> Atomic.incr failures
+            done)
+          ())
+  in
+  for _ = 1 to 5 do
+    match response (Server.handle_line state {|{"op": "reload"}|}) with
+    | _, true, _ -> Thread.yield ()
+    | _ -> Alcotest.fail "reload failed mid-flight"
+  done;
+  Array.iter Thread.join clients;
+  Alcotest.(check int) "all in-flight requests stayed correct" 0 (Atomic.get failures);
+  match response (Server.handle_line state {|{"op": "metrics"}|}) with
+  | _, true, m ->
+    Alcotest.(check (option int)) "five reloads" (Some 5) (Json.int_field m "generation")
+  | _ -> Alcotest.fail "metrics after reloads"
+
+(* The determinism contract at the unit level: the same request line
+   executed on pooled worker domains returns the same bytes as the
+   embedder's single-threaded handle_line. *)
+let test_server_worker_count_invariance () =
+  let on_one_worker =
+    with_server ~workers:1 @@ fun state ->
+    result_text
+      (Server.execute state {|{"op": "estimate", "where": "a < 30", "fraction": 0.2}|})
+  in
+  let on_four_workers =
+    with_server ~workers:4 @@ fun state ->
+    result_text
+      (Server.execute state {|{"op": "estimate", "where": "a < 30", "fraction": 0.2}|})
+  in
+  let inline =
+    with_server @@ fun state ->
+    result_text
+      (Server.handle_line state {|{"op": "estimate", "where": "a < 30", "fraction": 0.2}|})
+  in
+  Alcotest.(check string) "1 worker = 4 workers" on_one_worker on_four_workers;
+  Alcotest.(check string) "pooled = inline" on_one_worker inline
 
 let suite =
   [
@@ -435,4 +669,14 @@ let suite =
     Alcotest.test_case "metrics and reload" `Quick test_server_metrics_and_reload;
     Alcotest.test_case "error contract" `Quick test_server_errors;
     Alcotest.test_case "overload and shutdown" `Quick test_server_overload_and_shutdown;
+    Alcotest.test_case "plan cache concurrent hammer" `Quick test_cache_concurrent_hammer;
+    Alcotest.test_case "plan cache single flight" `Quick test_cache_single_flight;
+    Alcotest.test_case "plan cache failed compile" `Quick test_cache_failed_compile;
+    Alcotest.test_case "plan cache eviction metrics" `Quick test_cache_eviction_metrics;
+    Alcotest.test_case "warm sample cache" `Quick test_warm_sample_cache;
+    Alcotest.test_case "warm sample cache concurrent" `Quick test_warm_sample_concurrent;
+    Alcotest.test_case "reload during in-flight requests" `Quick
+      test_server_reload_during_inflight;
+    Alcotest.test_case "worker count invariance" `Quick
+      test_server_worker_count_invariance;
   ]
