@@ -374,30 +374,135 @@ let check_serve ~failed ~threshold baseline fresh =
     failed := true;
     Printf.printf "%-24s %10s %10s %8s\n" "warm_us vs cold_us" "-" "-" "MISSING"
 
+(* --- plans report gate --------------------------------------------------
+
+   BENCH_plans.json records, per seed-fixed scenario, which sampling
+   strategy the optimizing planner chose and the measured variance
+   ratio of root-sampling over the winner at the same drawn-tuple
+   budget.  Everything in it is deterministic (seeded data, RNG-free
+   planner, seeded replicate streams), so the gate pins the winner and
+   the candidate count exactly, and holds every pushdown winner to the
+   >= 1.5x measured-variance acceptance floor — a cost-model change
+   that flips a scenario back to root sampling, or a variance
+   regression in a pushed-down plan, fails here. *)
+
+let plans_row content name =
+  let pat = Printf.sprintf "\"name\": \"%s\"" name in
+  let len = String.length content and plen = String.length pat in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub content i plen = pat then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = try String.index_from content start '}' with Not_found -> len - 1 in
+    Some (String.sub content start (stop - start))
+
+let row_string row key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  let plen = String.length pat and len = String.length row in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub row i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+    match String.index_from_opt row start '"' with
+    | Some stop -> Some (String.sub row start (stop - start))
+    | None -> None)
+
+let plans_scenario_names content =
+  let len = String.length content in
+  let pat = "\"name\": \"" in
+  let plen = String.length pat in
+  let rec loop pos acc =
+    if pos + plen > len then List.rev acc
+    else if String.sub content pos plen = pat then begin
+      let start = pos + plen in
+      let stop = String.index_from content start '"' in
+      loop stop (String.sub content start (stop - start) :: acc)
+    end
+    else loop (pos + 1) acc
+  in
+  loop 0 []
+
+let starts_with_pushdown label =
+  String.length label >= 8 && String.sub label 0 8 = "pushdown"
+
+let check_plans ~failed baseline fresh =
+  Printf.printf "\n%-20s %-20s %-20s %10s %8s\n" "plans scenario" "base winner"
+    "fresh winner" "ratio" "verdict";
+  List.iter
+    (fun name ->
+      match (plans_row baseline name, plans_row fresh name) with
+      | None, _ -> ()
+      | Some _, None ->
+        failed := true;
+        Printf.printf "%-20s %-20s %-20s %10s %8s\n" name "-" "-" "-"
+          "MISSING in fresh report"
+      | Some base_row, Some fresh_row -> (
+        let base_winner = Option.value (row_string base_row "winner") ~default:"?" in
+        let fresh_winner = Option.value (row_string fresh_row "winner") ~default:"?" in
+        let fresh_ratio = scan_number fresh_row "variance_ratio" in
+        let base_cands = scan_number base_row "candidates" in
+        let fresh_cands = scan_number fresh_row "candidates" in
+        let problems = ref [] in
+        if base_winner <> fresh_winner then
+          problems := "winner FLIPPED" :: !problems;
+        if base_cands <> fresh_cands then
+          problems := "candidate count drifted" :: !problems;
+        (match fresh_ratio with
+        | Some r when starts_with_pushdown base_winner && r < 1.5 ->
+          problems := "ratio below the 1.5x floor" :: !problems
+        | Some _ -> ()
+        | None -> problems := "variance_ratio missing" :: !problems);
+        match !problems with
+        | [] ->
+          Printf.printf "%-20s %-20s %-20s %9.1fx %8s\n" name base_winner fresh_winner
+            (Option.value fresh_ratio ~default:Float.nan)
+            "ok"
+        | problems ->
+          failed := true;
+          Printf.printf "%-20s %-20s %-20s %9.1fx %s\n" name base_winner fresh_winner
+            (Option.value fresh_ratio ~default:Float.nan)
+            (String.concat ", " problems)))
+    (plans_scenario_names baseline)
+
 let () =
   let usage () =
     prerr_endline
       "usage: compare BASELINE.json FRESH.json [--threshold FRACTION] \
        [--io BASELINE_io.json FRESH_io.json] \
-       [--serve BASELINE_serve.json FRESH_serve.json]";
+       [--serve BASELINE_serve.json FRESH_serve.json] \
+       [--plans BASELINE_plans.json FRESH_plans.json]";
     exit 2
   in
-  let baseline_path, fresh_path, threshold, io_paths, serve_paths =
-    let rec parse args (threshold, io_paths, serve_paths) =
+  let baseline_path, fresh_path, threshold, io_paths, serve_paths, plans_paths =
+    let rec parse args (threshold, io_paths, serve_paths, plans_paths) =
       match args with
       | "--threshold" :: t :: rest -> (
         match float_of_string_opt t with
-        | Some t -> parse rest (t, io_paths, serve_paths)
+        | Some t -> parse rest (t, io_paths, serve_paths, plans_paths)
         | None -> usage ())
-      | "--io" :: bi :: fi :: rest -> parse rest (threshold, Some (bi, fi), serve_paths)
-      | "--serve" :: bs :: fs :: rest -> parse rest (threshold, io_paths, Some (bs, fs))
-      | [] -> (threshold, io_paths, serve_paths)
+      | "--io" :: bi :: fi :: rest ->
+        parse rest (threshold, Some (bi, fi), serve_paths, plans_paths)
+      | "--serve" :: bs :: fs :: rest ->
+        parse rest (threshold, io_paths, Some (bs, fs), plans_paths)
+      | "--plans" :: bp :: fp :: rest ->
+        parse rest (threshold, io_paths, serve_paths, Some (bp, fp))
+      | [] -> (threshold, io_paths, serve_paths, plans_paths)
       | _ -> usage ()
     in
     match Array.to_list Sys.argv with
     | _ :: b :: f :: rest ->
-      let threshold, io_paths, serve_paths = parse rest (0.25, None, None) in
-      (b, f, threshold, io_paths, serve_paths)
+      let threshold, io_paths, serve_paths, plans_paths =
+        parse rest (0.25, None, None, None)
+      in
+      (b, f, threshold, io_paths, serve_paths, plans_paths)
     | _ -> usage ()
   in
   let baseline_content = read_file baseline_path in
@@ -432,11 +537,17 @@ let () =
   | None -> ()
   | Some (baseline_serve, fresh_serve) ->
     check_serve ~failed ~threshold (read_file baseline_serve) (read_file fresh_serve));
+  (match plans_paths with
+  | None -> ()
+  | Some (baseline_plans, fresh_plans) ->
+    check_plans ~failed (read_file baseline_plans) (read_file fresh_plans));
   if !failed then begin
     Printf.eprintf
       "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline, \
-       a guarded counter row drifted, an io row's real-I/O counters changed, or the \
-       serve report regressed (cache totals drifted or normalized p95 grew >%.0f%%)\n"
+       a guarded counter row drifted, an io row's real-I/O counters changed, the \
+       serve report regressed (cache totals drifted or normalized p95 grew >%.0f%%), \
+       or the plans report regressed (a chosen strategy flipped or a pushdown \
+       scenario's measured variance ratio fell below 1.5x)\n"
       (100. *. threshold) (100. *. threshold);
     exit 1
   end

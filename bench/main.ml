@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- io --json       ... and write BENCH_io.json
      dune exec bench/main.exe -- serve           serve daemon latency bench
      dune exec bench/main.exe -- serve --json    ... and write BENCH_serve.json
+     dune exec bench/main.exe -- plans           optimizer strategy-selection bench
+     dune exec bench/main.exe -- plans --json    ... and write BENCH_plans.json
 
    Experiment ids and what they reproduce are indexed in DESIGN.md §4
    and EXPERIMENTS.md. *)
@@ -29,13 +31,15 @@ let () =
   let known = List.map fst Experiments.all in
   let invalid =
     List.filter
-      (fun id -> id <> "micro" && id <> "io" && id <> "serve" && not (List.mem id known))
+      (fun id ->
+        id <> "micro" && id <> "io" && id <> "serve" && id <> "plans"
+        && not (List.mem id known))
       requested
   in
   if invalid <> [] then begin
     Printf.eprintf
-      "unknown experiment(s): %s\nknown: %s micro io serve (flags: --json --quick \
-       --metrics)\n"
+      "unknown experiment(s): %s\nknown: %s micro io serve plans (flags: --json \
+       --quick --metrics)\n"
       (String.concat " " invalid) (String.concat " " known);
     exit 2
   end;
@@ -52,4 +56,5 @@ let () =
   if run_all || List.mem "micro" requested then Micro.run ~json ~quick ~metrics ();
   if run_all || List.mem "io" requested then Io.run ~json ();
   if run_all || List.mem "serve" requested then Serve_bench.run ~json ~quick ();
+  if run_all || List.mem "plans" requested then Plans.run ~json ~quick ();
   Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)

@@ -408,10 +408,22 @@ let distinct_cmd =
     (Cmd.info "distinct" ~doc:"Distinct-value estimates for a CSV column")
     Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ column_arg $ fraction_arg)
 
+(* Cost-based sampling-placement optimizer toggle, shared by query, sql
+   and their explains.  RAESTAT_NO_OPTIMIZE=1 overrides it off. *)
+let optimize_flag =
+  Arg.(
+    value & flag
+    & info [ "optimize" ]
+        ~doc:
+          "Let the cost-based planner choose where the sampling operator goes \
+           (candidates priced by predicted variance x cost; explain shows the \
+           full table, schema raestat-explain/2 with --json).  \
+           $(b,RAESTAT_NO_OPTIMIZE=1) disables it.")
+
 (* --- query ------------------------------------------------------------- *)
 
 let query_cmd =
-  let run seed bindings text fraction groups check domains metrics_opts =
+  let run seed bindings text fraction groups check domains optimize metrics_opts =
     check_fraction fraction;
     let rng = rng_of_seed seed in
     let expr = Relational.Parser.parse_expr text in
@@ -419,8 +431,8 @@ let query_cmd =
       with_metrics metrics_opts (fun metrics ->
           let catalog = load_catalog ~metrics (List.map parse_binding bindings) in
           let result =
-            Serve.Engine.query ~metrics ~domains:(resolve_domains domains) rng catalog
-              ~fraction ~groups expr
+            Serve.Engine.query ~metrics ~domains:(resolve_domains domains) ~optimize rng
+              catalog ~fraction ~groups expr
           in
           (catalog, result))
     in
@@ -454,20 +466,20 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Estimate COUNT of an arbitrary relational algebra expression")
     Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
-          $ check_arg $ domains_arg $ metrics_term)
+          $ check_arg $ domains_arg $ optimize_flag $ metrics_term)
 
 (* --- sql --------------------------------------------------------------- *)
 
 let sql_cmd =
-  let run seed bindings text fraction groups check domains metrics_opts =
+  let run seed bindings text fraction groups check domains optimize metrics_opts =
     check_fraction fraction;
     let rng = rng_of_seed seed in
     let catalog, result =
       with_metrics metrics_opts (fun metrics ->
           let catalog = load_catalog ~metrics (List.map parse_binding bindings) in
           let result =
-            Serve.Engine.sql ~metrics ~domains:(resolve_domains domains) rng catalog
-              ~fraction ~groups text
+            Serve.Engine.sql ~metrics ~domains:(resolve_domains domains) ~optimize rng
+              catalog ~fraction ~groups text
           in
           (catalog, result))
     in
@@ -495,7 +507,7 @@ let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Estimate the COUNT of a SQL query's result")
     Term.(const run $ seed_arg $ bindings_arg $ text_arg $ fraction_arg $ groups_arg
-          $ check_arg $ domains_arg $ metrics_term)
+          $ check_arg $ domains_arg $ optimize_flag $ metrics_term)
 
 (* --- quantile ---------------------------------------------------------- *)
 
@@ -893,6 +905,18 @@ let print_plan ~json plan =
   if json then print_endline (Raestat.Estplan.to_json plan)
   else print_string (Raestat.Estplan.render plan)
 
+(* Optimized explain: the full candidate table and rationale (schema
+   raestat-explain/2 with --json), byte-identical to the daemon's
+   "optimize": true explain.  The RAESTAT_NO_OPTIMIZE kill switch
+   forces the plain plan tree. *)
+let explain_expr ~optimize ~json catalog ~fraction ~groups expr =
+  if optimize && Raestat.Planner.optimize_enabled () then begin
+    let choice = Serve.Engine.explain_expr_optimized catalog ~fraction ~groups expr in
+    if json then print_endline (Raestat.Planner.choice_to_json choice)
+    else print_string (Raestat.Planner.render_choice choice)
+  end
+  else print_plan ~json (Serve.Engine.explain_expr catalog ~fraction ~groups expr)
+
 let explain_estimate_cmd =
   let run path predicate fraction json =
     let catalog = load_catalog [ ("r", path) ] in
@@ -935,10 +959,10 @@ let explain_groups_arg =
   Arg.(value & opt int 5 & info [ "groups"; "g" ] ~docv:"G" ~doc:"Replicate groups.")
 
 let explain_query_cmd =
-  let run bindings text fraction groups json =
+  let run bindings text fraction groups optimize json =
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Relational.Parser.parse_expr text in
-    print_plan ~json (Serve.Engine.explain_expr catalog ~fraction ~groups expr)
+    explain_expr ~optimize ~json catalog ~fraction ~groups expr
   in
   let text_arg =
     Arg.(
@@ -948,13 +972,13 @@ let explain_query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Explain the plan behind $(b,raestat query)")
     Term.(const run $ explain_bindings_arg $ text_arg $ fraction_arg $ explain_groups_arg
-          $ json_flag)
+          $ optimize_flag $ json_flag)
 
 let explain_sql_cmd =
-  let run bindings text fraction groups json =
+  let run bindings text fraction groups optimize json =
     let catalog = load_catalog (List.map parse_binding bindings) in
     let expr = Serve.Engine.sql_expr catalog text in
-    print_plan ~json (Serve.Engine.explain_expr catalog ~fraction ~groups expr)
+    explain_expr ~optimize ~json catalog ~fraction ~groups expr
   in
   let text_arg =
     Arg.(
@@ -964,7 +988,7 @@ let explain_sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Explain the plan behind $(b,raestat sql)")
     Term.(const run $ explain_bindings_arg $ text_arg $ fraction_arg $ explain_groups_arg
-          $ json_flag)
+          $ optimize_flag $ json_flag)
 
 let explain_cmd =
   Cmd.group

@@ -1,0 +1,84 @@
+module Expr = Relational.Expr
+module Catalog = Relational.Catalog
+module Relation = Relational.Relation
+module Value = Relational.Value
+
+(* Max multiplicity of any single value in a base-relation column — the
+   degree constraint the join rule needs.  Cached per (relation, attr):
+   the planner probes the same columns for every candidate. *)
+
+module Vals = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let column_maxfreq relation attr =
+  let counts = Vals.create 256 in
+  let best = ref 0 in
+  Array.iter
+    (fun v ->
+      let c = 1 + (try Vals.find counts v with Not_found -> 0) in
+      Vals.replace counts v c;
+      if c > !best then best := c)
+    (Relation.column relation attr);
+  !best
+
+(* [maxfreq catalog e attr] — an upper bound on the multiplicity of any
+   one value of [attr] in [e]'s result, when [e] is a selection chain
+   over a base relation (selections only ever drop tuples).  [None]
+   when the shape is anything else: the caller falls back to the
+   product bound. *)
+let rec maxfreq catalog expr attr =
+  match expr with
+  | Expr.Base name ->
+    let relation = Catalog.find catalog name in
+    if Relational.Schema.mem (Relation.schema relation) attr then
+      Some (column_maxfreq relation attr)
+    else None
+  | Expr.Select (_, e) -> maxfreq catalog e attr
+  | _ -> None
+
+let rec bound catalog expr =
+  match expr with
+  | Expr.Base name ->
+    float_of_int (Relation.cardinality (Catalog.find catalog name))
+  | Expr.Select (_, e)
+  | Expr.Project (_, e)
+  | Expr.Distinct e
+  | Expr.Rename (_, e)
+  | Expr.Aggregate (_, _, e) ->
+    bound catalog e
+  | Expr.Product (l, r) | Expr.Theta_join (_, l, r) ->
+    bound catalog l *. bound catalog r
+  | Expr.Equijoin (pairs, l, r) ->
+    let bl = bound catalog l and br = bound catalog r in
+    let product = bl *. br in
+    let degree_bound =
+      match pairs with
+      | (a, b) :: _ ->
+        (* Extra equality conjuncts only shrink the join, so the first
+           pair's degree constraint alone is a valid upper bound. *)
+        let via_left =
+          match maxfreq catalog r b with
+          | Some d -> Some (bl *. float_of_int d)
+          | None -> None
+        in
+        let via_right =
+          match maxfreq catalog l a with
+          | Some d -> Some (br *. float_of_int d)
+          | None -> None
+        in
+        (match (via_left, via_right) with
+        | Some x, Some y -> Some (Float.min x y)
+        | (Some _ as s), None | None, (Some _ as s) -> s
+        | None, None -> None)
+      | [] -> None
+    in
+    (match degree_bound with
+    | Some d -> Float.min d product
+    | None -> product)
+  | Expr.Union (l, r) -> bound catalog l +. bound catalog r
+  | Expr.Inter (l, r) -> Float.min (bound catalog l) (bound catalog r)
+  | Expr.Diff (l, _) -> bound catalog l

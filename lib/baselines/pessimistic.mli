@@ -1,0 +1,22 @@
+(** Pessimistic (guaranteed upper bound) cardinality estimation, after
+    Abo Khamis et al. (PAPERS.md): every rule over-approximates, so the
+    returned bound can never under-estimate the true result size.  The
+    sampling-placement planner uses it as a safe cost cap where the
+    sampled estimate could be arbitrarily wrong.
+
+    Rules: [Base → N]; the unary operators pass their child through
+    (selection/projection only drop tuples; [Distinct]/[Aggregate]
+    output at most one tuple per input tuple); [Product] and θ-joins
+    multiply; an equi-join on [(a, b)] is capped by
+    [min(bound(l)·maxfreq_r(b), bound(r)·maxfreq_l(a))] — each left
+    tuple matches at most the heaviest [b]-value multiplicity on the
+    right and vice versa — whenever a side is a selection chain over a
+    base relation (its column degrees are scanned exactly; selections
+    only shrink them), falling back to the product otherwise;
+    [Union → sum]; [Inter → min]; [Diff → left]. *)
+
+(** [bound catalog e] — an upper bound on [e]'s result cardinality.
+    One full column scan per equi-join side with a base-reachable join
+    attribute; no sampling, fully deterministic.
+    @raise Failure on unbound base relations. *)
+val bound : Relational.Catalog.t -> Relational.Expr.t -> float

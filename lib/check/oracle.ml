@@ -148,8 +148,11 @@ let rewrite =
                raw.Estimate.variance));
   }
 
-(* ---------------------------------------------------------- unbiasedness *)
+(* -------------------------------------------------------------- pushdown *)
 
+module SP = Relational.Optimizer.Sampling_pushdown
+
+(* Replicate-mean machinery shared with the unbiasedness oracle. *)
 let sample_mean_var points =
   let n = float_of_int (Array.length points) in
   let mean = Array.fold_left ( +. ) 0. points /. n in
@@ -182,6 +185,107 @@ let mean_brackets ~level ~truth points =
   in
   (ok, mean)
 
+(* Conservative survival probability for one sampled run: a result
+   tuple survives with probability Π n_i/N_i over the leaves.  For a
+   pushdown plan (one leaf sampled, the rest census) this understates
+   the true rate, so gating on it only ever skips, never under-gates. *)
+let root_hit_rate ~fraction catalog expr =
+  List.fold_left
+    (fun acc name ->
+      let population = Relation.cardinality (Catalog.find catalog name) in
+      if population = 0 then acc
+      else
+        acc
+        *. (float_of_int (leaf_sample_size ~fraction catalog name)
+           /. float_of_int population))
+    1. (Expr.leaves expr)
+
+let pushdown =
+  {
+    name = "pushdown";
+    summary =
+      "candidate enumeration is deterministic in leaf-occurrence order and the \
+       chosen pushdown plan stays unbiased";
+    run =
+      (fun _subject ~replicates case ->
+        if not (SP.pushable case.Gen.expr) then
+          Skip "dedup semantics block pushdown"
+        else begin
+          let catalog = Gen.materialize case in
+          let choose () =
+            Raestat.Planner.choose_sampling catalog ~fraction:case.Gen.fraction
+              case.Gen.expr
+          in
+          let first = choose () and second = choose () in
+          let labels choice =
+            List.map
+              (fun c -> c.Raestat.Planner.label)
+              choice.Raestat.Planner.candidates
+          in
+          (* Root-sampling first, then one pushdown per leaf occurrence
+             in the rewrite layer's (left-to-right) derivation order —
+             the planner's determinism contract. *)
+          let expected =
+            "root-sampling"
+            :: List.map
+                 (fun d ->
+                   Printf.sprintf "pushdown(%s#%d)" d.SP.relation d.SP.occurrence)
+                 (SP.derivations case.Gen.expr)
+          in
+          if labels first <> labels second then
+            Fail "re-planning the same case changed the candidate list"
+          else if labels first <> expected then
+            Fail
+              (Printf.sprintf
+                 "candidate order [%s] is not root-sampling then leaf-occurrence \
+                  order [%s]"
+                 (String.concat "; " (labels first))
+                 (String.concat "; " expected))
+          else if CE.classify case.Gen.expr <> Estimate.Unbiased then
+            Skip "consistent-only expression"
+          else begin
+            let truth = exact catalog case.Gen.expr in
+            let hit_rate =
+              root_hit_rate ~fraction:case.Gen.fraction catalog case.Gen.expr
+            in
+            if truth > 0. && float_of_int (replicates * 8) *. truth *. hit_rate < 25.
+            then Skip "power gate: too few expected sampled hits"
+            else begin
+              (* The winner's executable plan — possibly a pushed-down
+                 sampling placement the reference front-end never
+                 compiles — must itself be unbiased. *)
+              let plan = first.Raestat.Planner.chosen in
+              let points ~runs ~salt =
+                let master = rng_for case salt in
+                Array.init runs (fun _ ->
+                    (Raestat.Estplan.run (Rng.split master) catalog plan)
+                      .Estimate.point)
+              in
+              let level = 0.9999 in
+              let ok, _ =
+                mean_brackets ~level ~truth (points ~runs:replicates ~salt:9)
+              in
+              if ok then Pass
+              else
+                let again, mean =
+                  mean_brackets ~level ~truth
+                    (points ~runs:(replicates * 8) ~salt:10)
+                in
+                if again then Pass
+                else
+                  Fail
+                    (Printf.sprintf
+                       "winner %s: replicate mean %.6g is not consistent with the \
+                        exact count %g (%d replicates, twice)"
+                       first.Raestat.Planner.winner.Raestat.Planner.label mean truth
+                       (replicates * 8))
+            end
+          end
+        end);
+  }
+
+(* ---------------------------------------------------------- unbiasedness *)
+
 let unbiasedness =
   {
     name = "unbiasedness";
@@ -200,19 +304,7 @@ let unbiasedness =
              estimator (P ≈ e^{-expected}), and the replicate mean
              carries no evidence either way. *)
           let hit_rate =
-            List.fold_left
-              (fun acc name ->
-                let population =
-                  Relation.cardinality (Catalog.find catalog name)
-                in
-                if population = 0 then acc
-                else
-                  acc
-                  *. (float_of_int
-                        (leaf_sample_size ~fraction:case.Gen.fraction catalog name)
-                     /. float_of_int population))
-              1.
-              (Expr.leaves case.Gen.expr)
+            root_hit_rate ~fraction:case.Gen.fraction catalog case.Gen.expr
           in
           if truth > 0. && float_of_int (replicates * 8) *. truth *. hit_rate < 25.
           then Skip "power gate: too few expected sampled hits"
@@ -461,7 +553,8 @@ let storage =
 
 (* --------------------------------------------------------------- battery *)
 
-let battery = [ census; parity; rewrite; unbiasedness; coverage; conservation; storage ]
+let battery =
+  [ census; parity; rewrite; pushdown; unbiasedness; coverage; conservation; storage ]
 
 let check_case ?(subject = reference) ~replicates case =
   List.find_map

@@ -45,6 +45,14 @@ type oracle = {
       variance and {!Obs.Metrics} counter totals;
     - ["rewrite"]: {!Relational.Optimizer} rewrites leave the compiled
       {!Raestat.Estplan} estimate bit-identical at the same seed;
+    - ["pushdown"]: for pushable expressions,
+      {!Raestat.Planner.choose_sampling} enumerates candidates
+      deterministically (root-sampling first, then one pushdown per
+      leaf occurrence in {!Relational.Optimizer.Sampling_pushdown}
+      derivation order) and the winner's executable plan — possibly a
+      pushed-down sampling placement — keeps a replicate mean that
+      brackets the exact count (same Student-t bound and 8× retry as
+      ["unbiasedness"]);
     - ["unbiasedness"]: for [Unbiased]-classified expressions, the
       replicate mean brackets the exact count within a Student-t bound
       ([df = replicates − 1], retried at 8× replicates before failing);

@@ -39,3 +39,13 @@ let selection_count ?domains ?(metrics = Obs.Metrics.noop) rng catalog ~relation
   Estplan.run_bootstrap ?domains ~metrics rng catalog
     (Estplan.bootstrap_plan catalog ~relation ~n ~replicates predicate)
     ~level
+
+(* Goal-based entry: the goal resolves to the original-sample size
+   (root-sampling strategy); the resampling machinery is unchanged. *)
+let selection_count_with_goal ?domains ?metrics rng catalog ~relation ~goal ?replicates
+    ?level predicate =
+  let big_n =
+    Relational.Relation.cardinality (Relational.Catalog.find catalog relation)
+  in
+  let n = Planner.size_of_goal ~population:big_n goal in
+  selection_count ?domains ?metrics rng catalog ~relation ~n ?replicates ?level predicate

@@ -23,6 +23,33 @@ let estimate ?(groups = 1) ?domains ?(metrics = Metrics.noop) ?(columnar = true)
       Estplan.run ?domains ~metrics ~columnar rng catalog
         (Estplan.compile ~groups catalog ~fraction expr))
 
+(* Goal-based entry: the caller states what it wants (a budget or a CI
+   width) and the optimizing planner decides where the sampling
+   operator goes.  [optimize:false] — or the [RAESTAT_NO_OPTIMIZE]
+   kill switch — pins the historical root-sampling strategy, which is
+   byte-identical to {!estimate} at the resolved fraction. *)
+let estimate_with_goal ?(groups = 1) ?domains ?(metrics = Metrics.noop)
+    ?(columnar = true) ?(optimize = true) rng catalog ~goal expr =
+  if groups < 1 then
+    invalid_arg "Count_estimator.estimate_with_goal: groups must be >= 1";
+  let population =
+    List.fold_left
+      (fun acc name -> acc + Relation.cardinality (Catalog.find catalog name))
+      0 (Expr.leaves expr)
+  in
+  let fraction = Planner.fraction_of_goal ~population goal in
+  if optimize && Planner.optimize_enabled () then begin
+    let choice = Planner.choose_sampling ~metrics ~groups catalog ~fraction expr in
+    let est =
+      Metrics.with_span metrics
+        (Printf.sprintf "estimate %s" (Relational.Parser.print_expr expr))
+        (fun () ->
+          Estplan.run ?domains ~metrics ~columnar rng catalog choice.Planner.chosen)
+    in
+    (est, Some choice)
+  end
+  else (estimate ~groups ?domains ~metrics ~columnar rng catalog ~fraction expr, None)
+
 let selection_of_counts ~big_n ~n ~hits =
   if (n <= 0 && big_n > 0) || n < 0 || n > big_n then
     invalid_arg "Count_estimator.selection_of_counts: sample size out of range";

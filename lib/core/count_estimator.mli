@@ -48,6 +48,34 @@ val estimate :
   Relational.Expr.t ->
   Stats.Estimate.t
 
+(** [estimate_with_goal rng catalog ~goal e] — the goal-based entry:
+    state a sampling budget or a target CI width
+    ({!Planner.goal}) instead of a hard-coded placement, and let the
+    cost-based planner ({!Planner.choose_sampling}) pick where the
+    sampling operator goes.  Returns the estimate and, when the
+    optimizer ran, the full {!Planner.choice} (candidates, rationale,
+    chosen plan) for explain surfaces.
+
+    With [optimize:false] (default [true]) — or when the
+    [RAESTAT_NO_OPTIMIZE] kill switch disables the optimizer — the
+    historical root-sampling strategy runs instead and the choice is
+    [None]; that path is byte-identical to {!estimate} at
+    [Planner.fraction_of_goal ~population goal] where [population]
+    sums the leaf cardinalities.
+    @raise Invalid_argument as {!estimate} and
+    {!Planner.fraction_of_goal}. *)
+val estimate_with_goal :
+  ?groups:int ->
+  ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?columnar:bool ->
+  ?optimize:bool ->
+  Sampling.Rng.t ->
+  Relational.Catalog.t ->
+  goal:Planner.goal ->
+  Relational.Expr.t ->
+  Stats.Estimate.t * Planner.choice option
+
 (** {1 Selection} *)
 
 (** [selection rng catalog ~relation ~n predicate] — unbiased estimate

@@ -145,3 +145,426 @@ let exact_cost catalog plan =
   List.fold_left
     (fun acc e -> acc +. float_of_int (Relational.Eval.count catalog e))
     0. plan.intermediates
+
+(* ------------------------------------------------------------------ *)
+(* Sampling-placement optimization                                     *)
+
+module Pushdown = Relational.Optimizer.Sampling_pushdown
+module Predicate = Relational.Predicate
+module Relation = Relational.Relation
+
+let optimizer_version = 1
+
+(* Kill switch, read once at startup (same idiom as RAESTAT_NO_COLUMNAR
+   in Relational.Column): RAESTAT_NO_OPTIMIZE=1 forces every goal-based
+   entry point back to the historical root-sampling strategy. *)
+let optimize_enabled =
+  let on =
+    match Sys.getenv_opt "RAESTAT_NO_OPTIMIZE" with
+    | Some ("1" | "true" | "yes" | "on") -> false
+    | Some _ | None -> true
+  in
+  fun () -> on
+
+type goal =
+  | Budget_fraction of float
+  | Budget_tuples of int
+  | Ci_width of { width : float; level : float }
+
+let z_of_level level = (Stats.Confidence.normal ~level ~point:0. ~stderr:1.).Stats.Confidence.hi
+
+let fraction_of_goal ~population goal =
+  match goal with
+  | Budget_fraction f ->
+    if not (f > 0. && f <= 1.) then
+      invalid_arg "Planner.fraction_of_goal: fraction must be in (0, 1]";
+    f
+  | Budget_tuples b ->
+    if b <= 0 then invalid_arg "Planner.fraction_of_goal: budget must be positive";
+    if population <= 0 then 1.
+    else Float.min 1. (float_of_int b /. float_of_int population)
+  | Ci_width { width; level } ->
+    if not (width > 0.) then invalid_arg "Planner.fraction_of_goal: width must be positive";
+    if population <= 0 then 1.
+    else begin
+      (* Conservative closed form from the worst-case binomial variance
+         p(1−p) ≤ 1/4: the CI half-width z·N·√(0.25(1−n/N)/(n−1)) stays
+         under width/2 whenever n ≥ (1 + c)/(1 + c/N) with
+         c = z²N²/width² — solve the quadratic, no data pass needed. *)
+      let big_n = float_of_int population in
+      let z = z_of_level level in
+      let c = z *. z *. big_n *. big_n /. (width *. width) in
+      let n = Float.ceil ((1. +. c) /. (1. +. (c /. big_n))) in
+      let n = Float.max 2. (Float.min big_n n) in
+      Float.min 1. (n /. big_n)
+    end
+
+let size_of_goal ~population goal =
+  if population <= 0 then 0
+  else
+    let fraction = fraction_of_goal ~population goal in
+    Stdlib.max 1
+      (Stdlib.min population (Sampling.Srs.size_of_fraction ~fraction population))
+
+type candidate = {
+  label : string;
+  derivation : Pushdown.derivation option;  (* None for root-sampling *)
+  predicted_variance : float;
+  predicted_cost : float;
+  score : float;
+  drawn_tuples : float;
+  exact_tuples : float;
+}
+
+type choice = {
+  winner : candidate;
+  chosen : Estplan.t;
+  candidates : candidate list;
+  rationale : string;
+  analytic : bool;
+  budget : int;
+}
+
+(* --- per-leaf second-moment statistics ---------------------------- *)
+
+(* Statistics driving the analytic variance model: J approximates (or
+   bounds) the true count, ss.(i) the sum of squared per-tuple result
+   contributions of leaf occurrence i.  [analytic] marks the shapes
+   computed exactly by one histogram pass per leaf (selection chains
+   over a base, and a two-leaf equijoin/product of such chains); the
+   fallback uses the pessimistic cardinality cap with the
+   uniform-contribution approximation SS_i = J²/N_i. *)
+type stats = {
+  j : float;
+  ss : float array;
+  analytic : bool;
+}
+
+(* [chain e] — Some (predicates, base) when [e] is a selection chain
+   over a base relation. *)
+let rec chain = function
+  | Expr.Base name -> Some ([], name)
+  | Expr.Select (p, e) ->
+    Option.map (fun (ps, name) -> (p :: ps, name)) (chain e)
+  | _ -> None
+
+let filtered catalog (preds, name) =
+  List.fold_left (fun r p -> Relation.filter_pred p r) (Catalog.find catalog name) preds
+
+(* Joint histogram of a relation on a list of attributes. *)
+let histogram relation attrs =
+  let columns = List.map (Relation.column relation) attrs in
+  let table = Hashtbl.create 256 in
+  for i = 0 to Relation.cardinality relation - 1 do
+    let key = List.map (fun column -> column.(i)) columns in
+    Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
+  done;
+  table
+
+let rec strip_projects = function
+  | Expr.Project (_, e) -> strip_projects e
+  | e -> e
+
+let leaf_populations catalog expr =
+  List.map
+    (fun name -> float_of_int (Relation.cardinality (Catalog.find catalog name)))
+    (Expr.leaves expr)
+
+let compute_stats catalog expr =
+  let populations = Array.of_list (leaf_populations catalog expr) in
+  let fallback () =
+    let cap = Baselines.Pessimistic.bound catalog expr in
+    {
+      j = cap;
+      ss = Array.map (fun n -> cap *. cap /. Float.max 1. n) populations;
+      analytic = false;
+    }
+  in
+  match strip_projects expr with
+  | e when chain e <> None ->
+    let j = float_of_int (Relation.cardinality (filtered catalog (Option.get (chain e)))) in
+    { j; ss = [| j |]; analytic = true }
+  | Expr.Product (l, r) -> (
+    match (chain (strip_projects l), chain (strip_projects r)) with
+    | Some cl, Some cr ->
+      let m = float_of_int (Relation.cardinality (filtered catalog cl))
+      and n = float_of_int (Relation.cardinality (filtered catalog cr)) in
+      { j = m *. n; ss = [| m *. n *. n; n *. m *. m |]; analytic = true }
+    | _ -> fallback ())
+  | Expr.Equijoin (pairs, l, r) -> (
+    match (chain (strip_projects l), chain (strip_projects r)) with
+    | Some cl, Some cr when pairs <> [] ->
+      (* One filtered pass per side: J = Σ_v m_v·n_v, and the squared
+         contributions SS_left = Σ_v m_v·n_v², SS_right = Σ_v n_v·m_v²
+         (a left tuple with join value v appears in n_v result tuples). *)
+      let left = filtered catalog cl and right = filtered catalog cr in
+      let hl = histogram left (List.map fst pairs)
+      and hr = histogram right (List.map snd pairs) in
+      let j = ref 0. and ss_l = ref 0. and ss_r = ref 0. in
+      Hashtbl.iter
+        (fun key m ->
+          match Hashtbl.find_opt hr key with
+          | Some n ->
+            let m = float_of_int m and n = float_of_int n in
+            j := !j +. (m *. n);
+            ss_l := !ss_l +. (m *. n *. n);
+            ss_r := !ss_r +. (n *. m *. m)
+          | None -> ())
+        hl;
+      { j = !j; ss = [| !ss_l; !ss_r |]; analytic = true }
+    | _ -> fallback ())
+  | _ -> fallback ()
+
+(* --- candidate enumeration and scoring ---------------------------- *)
+
+(* GUS variance model at sampling rates q_i (Bernoulli approximation,
+   exact for independent per-leaf designs; THEORY.md §22):
+   Var = J·(Π 1/q_i − 1) + Σ_i (SS_i − J)·(1/q_i − 1). *)
+let model_variance stats rates =
+  let product = Array.fold_left (fun acc q -> acc /. q) 1. rates in
+  let cross = ref (stats.j *. (product -. 1.)) in
+  Array.iteri
+    (fun i q ->
+      if q < 1. then
+        cross := !cross +. ((stats.ss.(i) -. stats.j) *. ((1. /. q) -. 1.)))
+    rates;
+  Float.max 0. !cross
+
+let root_label = "root-sampling"
+
+let choose_sampling ?(metrics = Obs.Metrics.noop) ?(groups = 1) catalog ~fraction expr =
+  if not (fraction > 0. && fraction <= 1.) then
+    invalid_arg "Planner.choose_sampling: fraction must be in (0, 1]";
+  if groups < 1 then invalid_arg "Planner.choose_sampling: groups must be positive";
+  let derivations = Pushdown.derivations expr in
+  let populations = Array.of_list (leaf_populations catalog expr) in
+  let root_sizes =
+    Array.map
+      (fun n -> Sampling.Srs.size_of_fraction ~fraction (int_of_float n))
+      populations
+  in
+  let budget = Array.fold_left ( + ) 0 root_sizes in
+  let stats = lazy (compute_stats catalog expr) in
+  let groups_f = float_of_int groups in
+  let rates sizes =
+    Array.mapi
+      (fun i n ->
+        if populations.(i) <= 0. then 1. else float_of_int n /. populations.(i))
+      sizes
+  in
+  (* Score = max(variance, 1) × cost: variance of the mean-of-groups
+     estimator times total tuples touched across all groups.  The floor
+     keeps a zero-variance census candidate priced by its scans instead
+     of erasing them. *)
+  let scored label derivation sizes =
+    let stats = Lazy.force stats in
+    let qs = rates sizes in
+    let variance = model_variance stats qs /. groups_f in
+    (* Sampled-tuple budget counts draws at sampled leaves only; a
+       pushdown candidate's census scans of the other leaves are work
+       (cost), not budget. *)
+    let drawn = ref 0. and exact = ref 0. in
+    Array.iteri
+      (fun i n ->
+        let sampled =
+          match derivation with
+          | None -> true
+          | Some d -> i = d.Pushdown.occurrence
+        in
+        if sampled then drawn := !drawn +. float_of_int n
+        else exact := !exact +. populations.(i))
+      sizes;
+    let drawn = !drawn and exact = !exact in
+    let result_touched =
+      stats.j *. Array.fold_left (fun acc q -> acc *. q) 1. qs
+    in
+    let cost = groups_f *. (drawn +. exact +. result_touched) in
+    {
+      label;
+      derivation;
+      predicted_variance = variance;
+      predicted_cost = cost;
+      score = Float.max variance 1. *. cost;
+      drawn_tuples = groups_f *. drawn;
+      exact_tuples = groups_f *. exact;
+    }
+  in
+  let candidates =
+    if derivations = [] then
+      (* Not pushable: the historical strategy is the only sound one. *)
+      [
+        {
+          label = root_label;
+          derivation = None;
+          predicted_variance = Float.nan;
+          predicted_cost = Float.nan;
+          score = Float.nan;
+          drawn_tuples = groups_f *. float_of_int budget;
+          exact_tuples = 0.;
+        };
+      ]
+    else
+      scored root_label None root_sizes
+      :: List.map
+           (fun d ->
+             let target = d.Pushdown.occurrence in
+             let sizes =
+               Array.mapi
+                 (fun i population ->
+                   let population = int_of_float population in
+                   if i = target then min budget population else population)
+                 populations
+             in
+             scored
+               (Printf.sprintf "pushdown(%s#%d)" d.Pushdown.relation target)
+               (Some d) sizes)
+           derivations
+  in
+  Obs.Metrics.add_plans_considered metrics (List.length candidates);
+  let winner =
+    List.fold_left
+      (fun best c -> if c.score < best.score then c else best)
+      (List.hd candidates) (List.tl candidates)
+  in
+  let chosen =
+    match winner.derivation with
+    | None -> Estplan.compile ~groups ~label:root_label catalog ~fraction expr
+    | Some d ->
+      let target = d.Pushdown.occurrence in
+      let splan =
+        Sampling_plan.make_custom catalog
+          ~mode:(fun occurrence _relation population ->
+            if occurrence = target then Sampling_plan.Srswor (min budget population)
+            else Sampling_plan.Srswor population)
+          expr
+      in
+      Estplan.of_sampling_plan ~groups ~label:winner.label splan
+  in
+  let rationale =
+    if derivations = [] then
+      "root-sampling: sampling does not commute with dedup/aggregate \
+       semantics in this expression, no pushdown candidates"
+    else begin
+      let losers = List.filter (fun c -> c.label <> winner.label) candidates in
+      let runner_up =
+        List.fold_left
+          (fun best c ->
+            match best with
+            | None -> Some c
+            | Some b -> if c.score < b.score then Some c else best)
+          None losers
+      in
+      match runner_up with
+      | None -> Printf.sprintf "%s is the only candidate" winner.label
+      | Some r when r.score <= winner.score ->
+        Printf.sprintf
+          "%s wins the tie at score %.6g (variance %.6g, cost %.6g): \
+           equal-score candidates fall back to the historical strategy"
+          winner.label winner.score winner.predicted_variance winner.predicted_cost
+      | Some r ->
+        Printf.sprintf
+          "%s wins: score %.6g (predicted variance %.6g x cost %.6g) vs %.6g \
+           for %s at equal sampled-tuple budget %d per group"
+          winner.label winner.score winner.predicted_variance
+          winner.predicted_cost r.score r.label budget
+    end
+  in
+  {
+    winner;
+    chosen;
+    candidates;
+    rationale;
+    analytic = (if derivations = [] then false else (Lazy.force stats).analytic);
+    budget;
+  }
+
+(* --- explain surfaces --------------------------------------------- *)
+
+let number v = if Float.is_nan v then "n/a" else Printf.sprintf "%.6g" v
+
+let stats_source (choice : choice) =
+  if choice.analytic then "analytic" else "pessimistic-approx"
+
+let render_choice choice =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer (Estplan.render choice.chosen);
+  Buffer.add_string buffer
+    (Printf.sprintf "candidates (optimizer v%d, %s stats, budget %d per group):\n"
+       optimizer_version (stats_source choice) choice.budget);
+  List.iter
+    (fun c ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%s %s  variance=%s  cost=%s  score=%s\n"
+           (if c.label = choice.winner.label then "  *" else "   ")
+           c.label (number c.predicted_variance) (number c.predicted_cost)
+           (number c.score)))
+    choice.candidates;
+  (match choice.winner.derivation with
+  | None -> ()
+  | Some d ->
+    Buffer.add_string buffer "pushdown trace:\n";
+    List.iter
+      (fun step ->
+        Buffer.add_string buffer
+          (Printf.sprintf "    %s\n" (Pushdown.step_to_string step)))
+      d.Pushdown.steps);
+  Buffer.add_string buffer (Printf.sprintf "winner: %s\n" choice.rationale);
+  Buffer.contents buffer
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' | '\\' ->
+        Buffer.add_char buffer '\\';
+        Buffer.add_char buffer ch
+      | '\000' .. '\031' -> Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buffer ch)
+    s;
+  Buffer.contents buffer
+
+let json_number v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+(* Schema raestat-explain/2: the optimized-explain envelope.  The
+   winner's executed plan is embedded verbatim as its own
+   raestat-explain/1 object under "plan", so /1 consumers can keep
+   reading the tree. *)
+let choice_to_json choice =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n  \"schema\": \"raestat-explain/2\",\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"optimizer_version\": %d,\n  \"strategy\": \"%s\",\n"
+       optimizer_version (json_escape choice.winner.label));
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"stats\": \"%s\",\n  \"budget\": %d,\n" (stats_source choice)
+       choice.budget);
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"rationale\": \"%s\",\n  \"candidates\": [\n"
+       (json_escape choice.rationale));
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buffer ",\n";
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "    {\"label\": \"%s\", \"winner\": %b, \"predicted_variance\": %s, \
+            \"predicted_cost\": %s, \"score\": %s, \"drawn_tuples\": %s, \
+            \"exact_tuples\": %s, \"derivation\": [%s]}"
+           (json_escape c.label)
+           (c.label = choice.winner.label)
+           (json_number c.predicted_variance)
+           (json_number c.predicted_cost) (json_number c.score)
+           (json_number c.drawn_tuples) (json_number c.exact_tuples)
+           (match c.derivation with
+           | None -> ""
+           | Some d ->
+             String.concat ", "
+               (List.map
+                  (fun step ->
+                    Printf.sprintf "\"%s\"" (json_escape (Pushdown.step_to_string step)))
+                  d.Pushdown.steps))))
+    choice.candidates;
+  Buffer.add_string buffer "\n  ],\n  \"plan\":\n";
+  Buffer.add_string buffer (Estplan.to_json choice.chosen);
+  Buffer.add_string buffer "\n}";
+  Buffer.contents buffer

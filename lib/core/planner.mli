@@ -47,3 +47,105 @@ val plan :
 
 (** Exact cost of a previously produced plan (for evaluation). *)
 val exact_cost : Relational.Catalog.t -> plan -> float
+
+(** {1 Sampling-placement optimization}
+
+    The cost-based half of the optimizing planner (THEORY.md §22): the
+    sampling-pushdown rewrites
+    ({!Relational.Optimizer.Sampling_pushdown}) make every leaf
+    occurrence a legal home for the sampling operator; this layer
+    prices each placement with the GUS second-moment model
+
+    {v Var = J·(Π 1/q_i − 1) + Σ_i (SS_i − J)·(1/q_i − 1) v}
+
+    (exact for selection chains and two-leaf equijoins/products of
+    them, computed by one filtered histogram pass per side; bounded by
+    the {!Baselines.Pessimistic} cardinality cap with the
+    uniform-contribution approximation [SS_i = J²/N_i] otherwise) and
+    a tuples-touched cost, then picks the minimum
+    [max(variance, 1) × cost].  All candidates share the same
+    sampled-tuple budget — the total the historical root-sampling
+    strategy draws at this fraction — so the comparison is
+    variance-per-tuple-drawn; exact (census) scans of the non-sampled
+    leaves are charged to cost, not budget.  Planning is a pure
+    function of catalog statistics: no RNG, bit-stable candidate order
+    (root-sampling first, then pushdowns in leaf-occurrence order),
+    ties preferring the historical strategy. *)
+
+val optimizer_version : int
+
+(** False iff [RAESTAT_NO_OPTIMIZE] was 1/true/yes/on at startup — the
+    kill switch mirroring [RAESTAT_NO_COLUMNAR]: every goal-based
+    entry point then keeps the historical root-sampling behavior. *)
+val optimize_enabled : unit -> bool
+
+(** What the caller wants, instead of a hard-coded placement. *)
+type goal =
+  | Budget_fraction of float  (** historical per-leaf sampling fraction *)
+  | Budget_tuples of int      (** total sampled-tuple budget *)
+  | Ci_width of { width : float; level : float }
+      (** target CI width at [level] (conservative worst-case binomial
+          sizing, no data pass) *)
+
+(** Resolve a goal to a per-leaf sampling fraction for a population
+    (the root-sampling front-ends' translation).
+    @raise Invalid_argument on a non-positive budget/width or a
+    fraction outside (0, 1]. *)
+val fraction_of_goal : population:int -> goal -> float
+
+(** The same translation as a sample {e size} for one population —
+    what the fixed-[n] front-ends (stratified, bootstrap, grouped,
+    sequential budget walks) need.  Clamped to [[1, population]]; 0
+    only for an empty population.
+    @raise Invalid_argument as {!fraction_of_goal}. *)
+val size_of_goal : population:int -> goal -> int
+
+type candidate = {
+  label : string;  (** ["root-sampling"] or ["pushdown(rel#occ)"] *)
+  derivation : Relational.Optimizer.Sampling_pushdown.derivation option;
+      (** [None] for root-sampling *)
+  predicted_variance : float;  (** model variance of the mean-of-groups
+                                   estimate; [nan] when not priced *)
+  predicted_cost : float;      (** total tuples touched across groups *)
+  score : float;               (** [max(variance, 1) × cost]; min wins *)
+  drawn_tuples : float;        (** sampled tuples drawn (budget side) *)
+  exact_tuples : float;        (** census tuples scanned (cost side) *)
+}
+
+type choice = {
+  winner : candidate;
+  chosen : Estplan.t;          (** executable plan for the winner *)
+  candidates : candidate list; (** enumeration order, winner included *)
+  rationale : string;          (** why the winner won *)
+  analytic : bool;             (** exact stats vs pessimistic approx *)
+  budget : int;                (** sampled-tuple budget per group *)
+}
+
+(** [choose_sampling catalog ~fraction expr] enumerates root-sampling
+    plus every sampling-pushdown candidate, prices them, and returns
+    the winner with its executable plan ([groups], default 1, carries
+    through to the plan's replicated execution).  Expressions with
+    dedup/aggregate semantics yield the root-sampling fallback with an
+    explanatory rationale.  Counts every enumerated candidate in
+    [metrics] ([plans_considered]).  Deterministic: no RNG is drawn.
+    @raise Invalid_argument on a fraction outside (0, 1] or
+    [groups < 1]. *)
+val choose_sampling :
+  ?metrics:Obs.Metrics.t ->
+  ?groups:int ->
+  Relational.Catalog.t ->
+  fraction:float ->
+  Relational.Expr.t ->
+  choice
+
+(** Render the decision: the winner's plan tree ({!Estplan.render})
+    followed by the candidate table, the winner's pushdown trace and
+    the rationale.  Byte-identical between the CLI and the daemon. *)
+val render_choice : choice -> string
+
+(** Schema ["raestat-explain/2"]: optimizer version, winning strategy,
+    stats source, budget, rationale, every candidate with predicted
+    variance/cost/score and its rewrite derivation, and the winner's
+    executed plan embedded as a ["raestat-explain/1"] object under
+    ["plan"]. *)
+val choice_to_json : choice -> string

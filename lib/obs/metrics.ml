@@ -11,6 +11,7 @@ type snapshot = {
   plan_cache_hits : int;
   plan_cache_misses : int;
   plan_cache_evictions : int;
+  plans_considered : int;
   timers : (string * float) list;
 }
 
@@ -42,6 +43,7 @@ type t = {
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable plan_evictions : int;
+  mutable plans : int;
   timer_table : (string, float) Hashtbl.t;
   mutable roots_rev : span list;
   mutable stack : open_span list;
@@ -62,6 +64,7 @@ let make ~enabled =
     plan_hits = 0;
     plan_misses = 0;
     plan_evictions = 0;
+    plans = 0;
     timer_table = Hashtbl.create 8;
     roots_rev = [];
     stack = [];
@@ -89,6 +92,7 @@ let add_rng_draws t n = if t.enabled then t.draws <- t.draws + n
 let plan_cache_hit t = if t.enabled then t.plan_hits <- t.plan_hits + 1
 let plan_cache_miss t = if t.enabled then t.plan_misses <- t.plan_misses + 1
 let plan_cache_eviction t = if t.enabled then t.plan_evictions <- t.plan_evictions + 1
+let add_plans_considered t n = if t.enabled then t.plans <- t.plans + n
 
 let add_timer t label seconds =
   Hashtbl.replace t.timer_table label
@@ -148,6 +152,7 @@ let absorb dst src =
     dst.plan_hits <- dst.plan_hits + src.plan_hits;
     dst.plan_misses <- dst.plan_misses + src.plan_misses;
     dst.plan_evictions <- dst.plan_evictions + src.plan_evictions;
+    dst.plans <- dst.plans + src.plans;
     Hashtbl.iter (fun label seconds -> add_timer dst label seconds) src.timer_table
   end
 
@@ -169,6 +174,7 @@ let snapshot t =
     plan_cache_hits = t.plan_hits;
     plan_cache_misses = t.plan_misses;
     plan_cache_evictions = t.plan_evictions;
+    plans_considered = t.plans;
     timers = sorted_timers t.timer_table;
   }
 
@@ -186,6 +192,7 @@ let zero =
     plan_cache_hits = 0;
     plan_cache_misses = 0;
     plan_cache_evictions = 0;
+    plans_considered = 0;
     timers = [];
   }
 
@@ -217,6 +224,7 @@ let diff later earlier =
     plan_cache_hits = later.plan_cache_hits - earlier.plan_cache_hits;
     plan_cache_misses = later.plan_cache_misses - earlier.plan_cache_misses;
     plan_cache_evictions = later.plan_cache_evictions - earlier.plan_cache_evictions;
+    plans_considered = later.plans_considered - earlier.plans_considered;
     timers = combine_timers (fun a b -> a -. b) later.timers earlier.timers;
   }
 
@@ -234,6 +242,7 @@ let merge a b =
     plan_cache_hits = a.plan_cache_hits + b.plan_cache_hits;
     plan_cache_misses = a.plan_cache_misses + b.plan_cache_misses;
     plan_cache_evictions = a.plan_cache_evictions + b.plan_cache_evictions;
+    plans_considered = a.plans_considered + b.plans_considered;
     timers = combine_timers ( +. ) a.timers b.timers;
   }
 
@@ -250,6 +259,7 @@ let counters_equal a b =
   && a.plan_cache_hits = b.plan_cache_hits
   && a.plan_cache_misses = b.plan_cache_misses
   && a.plan_cache_evictions = b.plan_cache_evictions
+  && a.plans_considered = b.plans_considered
 
 (* --- JSON ------------------------------------------------------------ *)
 
@@ -277,10 +287,11 @@ let counters_line s =
     "{\"tuples_scanned\": %d, \"pages_read\": %d, \"bytes_read\": %d, \
      \"io_batches\": %d, \"page_cache_hits\": %d, \"sample_indices\": %d, \
      \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d, \
-     \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"plan_cache_evictions\": %d}"
+     \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"plan_cache_evictions\": %d, \
+     \"plans_considered\": %d}"
     s.tuples_scanned s.pages_read s.bytes_read s.io_batches s.page_cache_hits
     s.sample_indices s.hash_probe_hits s.hash_probe_misses s.rng_draws
-    s.plan_cache_hits s.plan_cache_misses s.plan_cache_evictions
+    s.plan_cache_hits s.plan_cache_misses s.plan_cache_evictions s.plans_considered
 
 let timers_json buffer timers =
   Buffer.add_string buffer "  \"timers\": [";

@@ -105,6 +105,149 @@ and push_select catalog changed p inner =
     else Expr.Select (p, inner)
   | _ -> Expr.Select (p, inner)
 
+(* ------------------------------------------------------------------ *)
+(* Sampling pushdown (GUS semantics)
+
+   A sampling operator Sample_q — Bernoulli(q) thinning or its SRSWOR
+   n-of-N analogue — placed at the root of a dedup-free bag expression
+   commutes downward:
+
+     Sample_q (σ_p e)        =  σ_p (Sample_q e)         [exact]
+     Sample_q (π_A e)        =  π_A (Sample_q e)         [exact, bag π]
+     Sample_q (l ⋈ r)        =  (Sample_q l) ⋈ r         [unbiased]
+
+   Every step preserves E[count] = q · |e| (each result tuple still
+   survives with probability exactly q: below a join, a result tuple
+   survives iff its unique constituent tuple on the sampled side
+   does), so scaling by 1/q per sampled leaf stays unbiased.  The
+   *second* moment is not invariant: pushing below a join correlates
+   result tuples that share a constituent on the sampled side, adding
+   the cross-pair term (SS_side − J)(1/q − 1) to the estimator
+   variance, where J is the true count and SS_side = Σ_x c(x)² sums
+   the squared per-tuple contributions on the retained side.  A full
+   derivation down to leaf j therefore has analytic variance
+   SS_j · (1/q − 1), which the planner prices with data statistics.
+
+   Blocked: any duplicate-eliminating operator ([Distinct], set ops)
+   or [Aggregate] anywhere in the expression — thinning does not
+   commute with dedup semantics (PODS'88 §4), so those expressions
+   keep root sampling. *)
+
+module Sampling_pushdown = struct
+  type rate =
+    | Srswor of { n : int; population : int }
+    | Bernoulli of float
+
+  type inflation =
+    | Exact_commute
+    | Cross_pair of [ `Left | `Right ]
+
+  type step = {
+    rule : string;
+    at : string;
+    moment : string;
+    inflation : inflation;
+  }
+
+  type derivation = {
+    occurrence : int;
+    relation : string;
+    steps : step list;
+  }
+
+  let rec blocked = function
+    | Expr.Base _ -> false
+    | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) ->
+      blocked e
+    | Expr.Product (l, r) | Expr.Equijoin (_, l, r) | Expr.Theta_join (_, l, r)
+      ->
+      blocked l || blocked r
+    | Expr.Distinct _ | Expr.Union _ | Expr.Inter _ | Expr.Diff _
+    | Expr.Aggregate _ ->
+      true
+
+  let pushable expr = not (blocked expr)
+
+  let commute rule at = { rule; at; moment = "unchanged"; inflation = Exact_commute }
+
+  let below_join at side =
+    {
+      rule =
+        (match side with
+        | `Left -> "sample-below-join-left"
+        | `Right -> "sample-below-join-right");
+      at;
+      moment = "+(SS-J)(1/q-1)";
+      inflation = Cross_pair side;
+    }
+
+  let join_at op pairs =
+    match pairs with
+    | [] -> op
+    | pairs ->
+      Printf.sprintf "%s[%s]" op
+        (String.concat ", "
+           (List.map (fun (a, b) -> Printf.sprintf "%s=%s" a b) pairs))
+
+  (* All full pushdown derivations, one per leaf occurrence, in
+     left-to-right leaf-occurrence order (the planner's determinism
+     contract: candidate enumeration order never depends on data). *)
+  let derivations expr =
+    if blocked expr then []
+    else begin
+      let acc = ref [] in
+      let rec walk expr occurrence steps_rev =
+        match expr with
+        | Expr.Base relation ->
+          acc := { occurrence; relation; steps = List.rev steps_rev } :: !acc;
+          occurrence + 1
+        | Expr.Select (p, e) ->
+          walk e occurrence
+            (commute "sample-commutes-select"
+               (Printf.sprintf "select[%s]" (Predicate.to_string p))
+            :: steps_rev)
+        | Expr.Project (attrs, e) ->
+          walk e occurrence
+            (commute "sample-commutes-project"
+               (Printf.sprintf "project[%s]" (String.concat ", " attrs))
+            :: steps_rev)
+        | Expr.Rename (pairs, e) ->
+          walk e occurrence
+            (commute "sample-commutes-rename"
+               (Printf.sprintf "rename[%s]"
+                  (String.concat ", "
+                     (List.map (fun (a, b) -> a ^ "->" ^ b) pairs)))
+            :: steps_rev)
+        | Expr.Product (l, r) ->
+          let occurrence =
+            walk l occurrence (below_join "product" `Left :: steps_rev)
+          in
+          walk r occurrence (below_join "product" `Right :: steps_rev)
+        | Expr.Equijoin (pairs, l, r) ->
+          let at = join_at "equijoin" pairs in
+          let occurrence = walk l occurrence (below_join at `Left :: steps_rev) in
+          walk r occurrence (below_join at `Right :: steps_rev)
+        | Expr.Theta_join (p, l, r) ->
+          let at =
+            Printf.sprintf "theta-join[%s]" (Predicate.to_string p)
+          in
+          let occurrence = walk l occurrence (below_join at `Left :: steps_rev) in
+          walk r occurrence (below_join at `Right :: steps_rev)
+        | Expr.Distinct _ | Expr.Union _ | Expr.Inter _ | Expr.Diff _
+        | Expr.Aggregate _ ->
+          assert false
+      in
+      ignore (walk expr 0 []);
+      List.rev !acc
+    end
+
+  let step_to_string step = Printf.sprintf "%s @ %s: %s" step.rule step.at step.moment
+
+  let derivation_to_string d =
+    Printf.sprintf "push to %s#%d via [%s]" d.relation d.occurrence
+      (String.concat "; " (List.map step_to_string d.steps))
+end
+
 let optimize_with_stats catalog expr =
   let steps = ref 0 in
   let rec fixpoint expr iterations =

@@ -21,6 +21,63 @@
     cheaper for {!Eval}/{!Physical} because products shrink before they
     multiply. *)
 
+(** Sampling pushdown under GUS semantics ("A Sampling Algebra for
+    Aggregate Estimation", PAPERS.md): a root sampling operator —
+    Bernoulli(q) thinning or its SRSWOR analogue — commutes through
+    selections, bag projections and renames unchanged, and below either
+    side of a product/equi-join/θ-join.  Each step preserves the first
+    moment (scaling by 1/q per sampled leaf stays unbiased) while the
+    join steps inflate the second moment by the cross-pair term
+    [(SS_side − J)(1/q − 1)]; a complete derivation down to leaf [j]
+    has analytic variance [SS_j · (1/q − 1)] with
+    [SS_j = Σ_x c_j(x)²], the sum of squared per-tuple result
+    contributions.  The planner ({!Raestat.Planner}) prices these
+    terms with data statistics to choose a placement.
+
+    Expressions containing a duplicate-eliminating operator
+    ([Distinct], [Union], [Inter], [Diff]) or [Aggregate] are not
+    rewritten: thinning does not commute with dedup semantics. *)
+module Sampling_pushdown : sig
+  (** A sampling operator being pushed (informational: derivations are
+      rate-independent, the planner assigns rates). *)
+  type rate =
+    | Srswor of { n : int; population : int }
+    | Bernoulli of float
+
+  (** Second-moment effect of one rewrite step. *)
+  type inflation =
+    | Exact_commute  (** selection/projection/rename: unchanged *)
+    | Cross_pair of [ `Left | `Right ]
+        (** below a join: result tuples sharing a constituent on the
+            retained side become correlated *)
+
+  type step = {
+    rule : string;  (** e.g. ["sample-below-join-left"] *)
+    at : string;  (** operator the sample moved through *)
+    moment : string;  (** rendered second-moment effect *)
+    inflation : inflation;
+  }
+
+  (** A complete pushdown of the root sample to one leaf occurrence
+      (all other leaves stay exact). *)
+  type derivation = {
+    occurrence : int;  (** 0-based left-to-right leaf index *)
+    relation : string;
+    steps : step list;  (** root-to-leaf rewrite trace *)
+  }
+
+  (** Whether any pushdown derivation exists (dedup-free, aggregate-free). *)
+  val pushable : Expr.t -> bool
+
+  (** All full pushdown derivations in leaf-occurrence order — a pure
+      function of the expression shape, never of the data (the
+      planner's determinism contract).  Empty iff [not (pushable e)]. *)
+  val derivations : Expr.t -> derivation list
+
+  val step_to_string : step -> string
+  val derivation_to_string : derivation -> string
+end
+
 (** [optimize catalog e] rewrites [e] using schema information from
     [catalog] (needed to route predicates to sides).
     @raise Failure on ill-formed expressions (same as

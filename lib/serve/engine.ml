@@ -88,8 +88,14 @@ let check_groups groups =
 let selection_key ~relation ~n predicate =
   Printf.sprintf "selection|%s|n=%d|%s" relation n (P.to_string predicate)
 
-let expr_key ~fraction ~groups expr =
-  Printf.sprintf "expr|f=%.17g|g=%d|%s" fraction groups
+(* The optimizer setting is part of the key: an optimized plan and the
+   historical root-sampling plan for the same expression are different
+   executables, and a cache hit across the two settings would silently
+   serve the wrong one.  The optimizer version rides along so bumping
+   the cost model invalidates old optimized entries on upgrade. *)
+let expr_key ~fraction ~groups ~optimize expr =
+  Printf.sprintf "expr|f=%.17g|g=%d|opt=%s|%s" fraction groups
+    (if optimize then Printf.sprintf "v%d" Raestat.Planner.optimizer_version else "off")
     (Relational.Parser.print_expr expr)
 
 (* [prefix] namespaces server-side keys by catalog generation: a plan
@@ -163,14 +169,23 @@ let estimate_pages ?(metrics = Metrics.noop) rng ~relation ~m ~level paged predi
 
 (* Shared body of query and sql: cached (or fresh) compile, run inside
    the span Count_estimator.estimate would open, CLI-identical text. *)
-let run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups expr =
+let run_expr ~metrics ~plans ~plan_prefix ~domains ~optimize rng catalog ~fraction
+    ~groups expr =
   check_fraction fraction;
   check_groups groups;
+  (* The kill switch folds into the effective setting, so a disabled
+     optimizer shares cache entries with plain requests — they compile
+     the identical plan. *)
+  let optimize = optimize && Raestat.Planner.optimize_enabled () in
   let printed = Relational.Parser.print_expr expr in
   let plan =
     plan_for ~metrics ~prefix:plan_prefix plans
-      (expr_key ~fraction ~groups expr)
-      (fun () -> Raestat.Estplan.compile ~groups catalog ~fraction expr)
+      (expr_key ~fraction ~groups ~optimize expr)
+      (fun () ->
+        if optimize then
+          (Raestat.Planner.choose_sampling ~metrics ~groups catalog ~fraction expr)
+            .Raestat.Planner.chosen
+        else Raestat.Estplan.compile ~groups catalog ~fraction expr)
   in
   let est =
     Metrics.with_span metrics
@@ -188,10 +203,11 @@ let run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups
   end;
   (printed, est, Buffer.contents buffer)
 
-let query ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?domains rng catalog
-    ~fraction ~groups expr =
+let query ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?domains
+    ?(optimize = false) rng catalog ~fraction ~groups expr =
   let printed, est, body =
-    run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups expr
+    run_expr ~metrics ~plans ~plan_prefix ~domains ~optimize rng catalog ~fraction
+      ~groups expr
   in
   { text = Printf.sprintf "expression: %s\n%s" printed body; estimate = est; expr }
 
@@ -201,11 +217,12 @@ let sql_expr catalog text =
      expression's COUNT rather than the 1-row aggregate result. *)
   Option.value (Relational.Sql.count_star_target expr) ~default:expr
 
-let sql ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?domains rng catalog
-    ~fraction ~groups text =
+let sql ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?domains ?(optimize = false)
+    rng catalog ~fraction ~groups text =
   let expr = sql_expr catalog text in
   let printed, est, body =
-    run_expr ~metrics ~plans ~plan_prefix ~domains rng catalog ~fraction ~groups expr
+    run_expr ~metrics ~plans ~plan_prefix ~domains ~optimize rng catalog ~fraction
+      ~groups expr
   in
   { text = Printf.sprintf "algebra: %s\n%s" printed body; estimate = est; expr }
 
@@ -221,3 +238,11 @@ let explain_expr catalog ~fraction ~groups expr =
   check_fraction fraction;
   check_groups groups;
   Raestat.Estplan.compile ~groups catalog ~fraction expr
+
+(* Explains always compile fresh (never cached), so the candidate table
+   reflects the current catalog; callers fall back to [explain_expr]
+   when the kill switch disables the optimizer. *)
+let explain_expr_optimized ?(metrics = Metrics.noop) catalog ~fraction ~groups expr =
+  check_fraction fraction;
+  check_groups groups;
+  Raestat.Planner.choose_sampling ~metrics ~groups catalog ~fraction expr

@@ -54,7 +54,14 @@ val check_groups : int -> unit
     share a key. *)
 
 val selection_key : relation:string -> n:int -> Relational.Predicate.t -> string
-val expr_key : fraction:float -> groups:int -> Relational.Expr.t -> string
+
+(** [optimize] is the {e effective} optimizer setting (request flag
+    folded with the kill switch) and is part of the key, together with
+    {!Raestat.Planner.optimizer_version} when on: optimized and
+    root-sampling plans for the same expression never share a cache
+    entry, and bumping the cost model retires stale optimized plans. *)
+val expr_key :
+  fraction:float -> groups:int -> optimize:bool -> Relational.Expr.t -> string
 
 (** {1 Estimation}
 
@@ -103,12 +110,17 @@ val estimate_pages :
   Relational.Predicate.t ->
   result
 
-(** COUNT of a relational algebra expression ([raestat query]). *)
+(** COUNT of a relational algebra expression ([raestat query]).
+    [optimize] (default [false]) routes the compile through the
+    cost-based sampling planner ({!Raestat.Planner.choose_sampling});
+    the [RAESTAT_NO_OPTIMIZE] kill switch forces it back off, sharing
+    cache entries with plain requests. *)
 val query :
   ?metrics:Obs.Metrics.t ->
   ?plans:Plan_cache.t ->
   ?plan_prefix:string ->
   ?domains:int ->
+  ?optimize:bool ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   fraction:float ->
@@ -117,12 +129,14 @@ val query :
   result
 
 (** COUNT of a SQL query's result ([raestat sql]): parse, optimize,
-    rewrite [SELECT COUNT( * )] to its inner expression, estimate. *)
+    rewrite [SELECT COUNT( * )] to its inner expression, estimate.
+    [optimize] as in {!query}. *)
 val sql :
   ?metrics:Obs.Metrics.t ->
   ?plans:Plan_cache.t ->
   ?plan_prefix:string ->
   ?domains:int ->
+  ?optimize:bool ->
   Sampling.Rng.t ->
   Relational.Catalog.t ->
   fraction:float ->
@@ -150,6 +164,19 @@ val explain_expr :
   groups:int ->
   Relational.Expr.t ->
   Raestat.Estplan.t
+
+(** The optimizer's decision for an expression: every candidate with
+    predicted variance/cost and the winner's executable plan
+    ({!Raestat.Planner.render_choice} / [choice_to_json] render it).
+    Fresh (never cached) like the other explains; callers fall back to
+    {!explain_expr} when {!Raestat.Planner.optimize_enabled} is off. *)
+val explain_expr_optimized :
+  ?metrics:Obs.Metrics.t ->
+  Relational.Catalog.t ->
+  fraction:float ->
+  groups:int ->
+  Relational.Expr.t ->
+  Raestat.Planner.choice
 
 (** SQL → effective algebra expression (optimized, COUNT( * ) rewritten). *)
 val sql_expr : Relational.Catalog.t -> string -> Relational.Expr.t

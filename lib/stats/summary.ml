@@ -79,6 +79,14 @@ let quantile q values =
 
 let median values = quantile 0.5 values
 
+let q_error ~estimate ~truth =
+  (* Zero against zero is a perfect estimate; zero against non-zero is
+     infinitely wrong in the multiplicative metric. *)
+  let estimate = Float.abs estimate and truth = Float.abs truth in
+  if estimate = 0. && truth = 0. then 1.
+  else if estimate = 0. || truth = 0. then Float.infinity
+  else Float.max (estimate /. truth) (truth /. estimate)
+
 let pp ppf t =
   if t.count = 0 then Format.pp_print_string ppf "(empty)"
   else

@@ -44,4 +44,12 @@ val quantile : float -> float array -> float
 
 val median : float array -> float
 
+(** [q_error ~estimate ~truth] — the multiplicative error
+    [max(est/truth, truth/est)] on magnitudes, the standard cardinality
+    estimation score: 1 is perfect, symmetric in over/under-estimation.
+    Conventions: [q_error 0 0 = 1] (estimating an empty result as empty
+    is exact); a zero against a non-zero is [infinity].  Signs are
+    ignored. *)
+val q_error : estimate:float -> truth:float -> float
+
 val pp : Format.formatter -> t -> unit

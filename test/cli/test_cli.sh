@@ -176,6 +176,64 @@ echo "$out" | expect "explain json schema" '"schema": "raestat-explain/1"'
 echo "$out" | expect "explain json scan" '"op": "scan r as r#0", "mode": "srswor 1000/20000", "population": 20000, "sample_size": 1000'
 echo "$out" | expect "explain json status" '"scale": 20, "status": "unbiased"'
 
+# explain --optimize ------------------------------------------------------
+# The optimizing planner is RNG-free, so the whole decision is pinned
+# verbatim: every candidate with its predicted variance/cost/score, the
+# winner's rewrite trace, and the rationale.  A foreign-key join (unique
+# dimension keys, selective fact side) is the pushdown-wins case: root
+# sampling pays the cross-term, pushing the sample to the fact side and
+# keeping the dimension census wins on variance x cost.
+"$cli" generate -n 40000 --dist uniform:0:3999 -o "$workdir/fact.csv" >/dev/null
+{ printf 'b:int\n'; seq 0 1999; } > "$workdir/dim.csv"
+env -u RAESTAT_NO_OPTIMIZE "$cli" explain query "fact join[a=b] dim" \
+  --rel "fact=$workdir/fact.csv" --rel "dim=$workdir/dim.csv" -f 0.01 \
+  --optimize > "$workdir/explain.out"
+diff -u - "$workdir/explain.out" <<'EOF' || fail "optimized explain (pushdown wins) drifted"
+estimation plan: pushdown(fact#0) (scale-up (5 replicates))
+`- equijoin[a=b]  [derived]  scale=95.2381  unbiased
+   |- scan fact as fact#0  [srswor 420/40000]  scale=95.2381  unbiased
+   `- scan dim as dim#1  [srswor 2000/2000]  scale=1  unbiased
+candidates (optimizer v1, analytic stats, budget 420 per group):
+    root-sampling  variance=4.41646e+07  cost=2110.04  score=9.31891e+10
+  * pushdown(fact#0)  variance=378573  cost=13154.5  score=4.97995e+09
+    pushdown(dim#1)  variance=166979  cost=223190  score=3.72681e+10
+pushdown trace:
+    sample-below-join-left @ equijoin[a=b]: +(SS-J)(1/q-1)
+winner: pushdown(fact#0) wins: score 4.97995e+09 (predicted variance 378573 x cost 13154.5) vs 3.72681e+10 for pushdown(dim#1) at equal sampled-tuple budget 420 per group
+EOF
+
+# A single-leaf selection is the tie case: the one pushdown candidate
+# is the identical design, and the tie-break keeps the historical
+# root-sampling strategy.
+env -u RAESTAT_NO_OPTIMIZE "$cli" explain query "select[a < 30](r)" \
+  --rel "r=$workdir/u.csv" -f 0.05 --optimize > "$workdir/explain.out"
+diff -u - "$workdir/explain.out" <<'EOF' || fail "optimized explain (root wins tie) drifted"
+estimation plan: root-sampling (scale-up (5 replicates))
+`- select[a < 30]  [derived]  scale=20  unbiased
+   `- scan r as r#0  [srswor 1000/20000]  scale=20  unbiased
+candidates (optimizer v1, analytic stats, budget 1000 per group):
+  * root-sampling  variance=22678.4  cost=6492  score=1.47228e+08
+    pushdown(r#0)  variance=22678.4  cost=6492  score=1.47228e+08
+winner: root-sampling wins the tie at score 1.47228e+08 (variance 22678.4, cost 6492): equal-score candidates fall back to the historical strategy
+EOF
+
+# The kill switch disarms --optimize entirely: output must be
+# byte-identical to a plain (non-optimized) explain.
+RAESTAT_NO_OPTIMIZE=1 "$cli" explain query "fact join[a=b] dim" \
+  --rel "fact=$workdir/fact.csv" --rel "dim=$workdir/dim.csv" -f 0.01 \
+  --optimize > "$workdir/explain.killed.out"
+"$cli" explain query "fact join[a=b] dim" --rel "fact=$workdir/fact.csv" \
+  --rel "dim=$workdir/dim.csv" -f 0.01 > "$workdir/explain.plain.out"
+cmp -s "$workdir/explain.killed.out" "$workdir/explain.plain.out" \
+  || fail "RAESTAT_NO_OPTIMIZE=1 explain differs from the non-optimized tree"
+
+out="$(env -u RAESTAT_NO_OPTIMIZE "$cli" explain query "fact join[a=b] dim" \
+  --rel "fact=$workdir/fact.csv" --rel "dim=$workdir/dim.csv" -f 0.01 \
+  --optimize --json)"
+echo "$out" | expect "optimized explain json schema" '"schema": "raestat-explain/2"'
+echo "$out" | expect "optimized explain json strategy" '"strategy": "pushdown\(fact#0\)"'
+echo "$out" | expect "optimized explain json embedded plan" '"schema": "raestat-explain/1"'
+
 # metrics -----------------------------------------------------------------
 out="$("$cli" estimate "$workdir/u.csv" --where "a < 30" -f 0.05 --metrics 2>&1 >/dev/null)"
 echo "$out" | expect "metrics schema" '"raestat-metrics/1"'

@@ -170,6 +170,62 @@ let test_exact_matches_eval () =
   let est = Exact.as_estimate c e in
   check_float "variance 0" 0. est.Estimate.variance
 
+(* Pessimistic cardinality bound (degree-constraint upper bounds). *)
+
+module Pessimistic = Baselines.Pessimistic
+
+let pess_catalog () =
+  Catalog.of_list
+    [
+      ( "pr",
+        two_column_relation ~names:("a", "b") [ (1, 10); (1, 11); (2, 20); (3, 30) ] );
+      ( "ps",
+        two_column_relation ~names:("c", "d")
+          [ (1, 100); (2, 200); (2, 201); (9, 900) ] );
+    ]
+
+let test_pessimistic_shapes () =
+  let c = pess_catalog () in
+  let b = Pessimistic.bound c in
+  check_float "base" 4. (b (Expr.base "pr"));
+  check_float "select passes through" 4.
+    (b (Expr.select (P.lt (P.attr "a") (P.vint 2)) (Expr.base "pr")));
+  check_float "product multiplies" 16. (b (Expr.product (Expr.base "pr") (Expr.base "ps")));
+  check_float "union adds" 8. (b (Expr.union (Expr.base "pr") (Expr.base "ps")));
+  check_float "inter takes min" 4. (b (Expr.inter (Expr.base "pr") (Expr.base "ps")));
+  check_float "diff keeps left" 4. (b (Expr.diff (Expr.base "pr") (Expr.base "ps")));
+  (* maxfreq(a in pr) = 2 (value 1), maxfreq(c in ps) = 2 (value 2):
+     min(4·2, 4·2, 4·4) = 8. *)
+  check_float "equijoin degree bound" 8.
+    (b (Expr.equijoin [ ("a", "c") ] (Expr.base "pr") (Expr.base "ps")));
+  (* Theta joins get no degree information: product bound. *)
+  check_float "theta join falls back to product" 16.
+    (b (Expr.theta_join (P.eq (P.attr "a") (P.attr "c")) (Expr.base "pr") (Expr.base "ps")))
+
+let test_pessimistic_dominates_truth () =
+  let c = pess_catalog () in
+  let exprs =
+    [
+      Expr.base "pr";
+      Expr.select (P.gt (P.attr "b") (P.vint 10)) (Expr.base "pr");
+      Expr.equijoin [ ("a", "c") ] (Expr.base "pr") (Expr.base "ps");
+      Expr.equijoin [ ("a", "c") ]
+        (Expr.select (P.lt (P.attr "b") (P.vint 25)) (Expr.base "pr"))
+        (Expr.base "ps");
+      Expr.product (Expr.base "pr") (Expr.base "ps");
+      Expr.union (Expr.base "pr") (Expr.base "pr");
+      Expr.distinct (Expr.base "pr");
+    ]
+  in
+  List.iter
+    (fun e ->
+      let truth = float_of_int (Eval.count c e) in
+      let bound = Pessimistic.bound c e in
+      if bound < truth then
+        Alcotest.failf "bound %g below truth %g for %s" bound truth
+          (Relational.Parser.print_expr e))
+    exprs
+
 let suite =
   [
     Alcotest.test_case "LN stops at threshold" `Quick test_ln_stops_at_threshold;
@@ -188,4 +244,7 @@ let suite =
       test_equidepth_beats_equiwidth_on_skew;
     Alcotest.test_case "equi-depth constant column" `Quick test_equidepth_constant_column;
     Alcotest.test_case "exact matches eval" `Quick test_exact_matches_eval;
+    Alcotest.test_case "pessimistic bound shapes" `Quick test_pessimistic_shapes;
+    Alcotest.test_case "pessimistic bound dominates truth" `Quick
+      test_pessimistic_dominates_truth;
   ]

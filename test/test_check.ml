@@ -66,6 +66,33 @@ let biased factor =
         { est with Estimate.point = est.Estimate.point *. factor });
   }
 
+(* Wrong second-moment factor: the GUS pair scale N(N−1)/(n(n−1))
+   applied where the first-moment scale-up N/n belongs.  The estimate
+   comes out multiplied by Π (N−1)/(n−1) over the leaves — strongly
+   biased upward — and the unbiasedness oracle must notice. *)
+let wrong_pair_scale =
+  {
+    Oracle.label = "second moment pair scale";
+    estimate =
+      (fun ~groups ~domains ~metrics ~columnar rng catalog ~fraction expr ->
+        let est =
+          Oracle.reference.Oracle.estimate ~groups ~domains ~metrics ~columnar rng
+            catalog ~fraction expr
+        in
+        let factor =
+          List.fold_left
+            (fun acc name ->
+              let big_n =
+                Relational.Relation.cardinality (Relational.Catalog.find catalog name)
+              in
+              let n = Sampling.Srs.size_of_fraction ~fraction big_n in
+              if n > 1 then acc *. (float_of_int (big_n - 1) /. float_of_int (n - 1))
+              else acc)
+            1. (Expr.leaves expr)
+        in
+        { est with Estimate.point = est.Estimate.point *. factor });
+  }
+
 (* Dropped metrics increments: the sink handed in by the caller is
    ignored, so every counter stays at zero.  The conservation oracle's
    sample-indices law must notice. *)
@@ -121,6 +148,35 @@ let test_unbiasedness_flags_biased_scale () =
     <> None);
   Alcotest.(check bool) "reference clean" true
     (Oracle.check_one ~replicates ~oracle:"unbiasedness" selection_case = None)
+
+let test_unbiasedness_flags_pair_scale () =
+  (* At fraction 0.3 over 60 tuples the wrong factor is (60−1)/(18−1)
+     ≈ 3.5× — far outside any Student-t bracket. *)
+  Alcotest.(check bool) "pair-scale mutant caught" true
+    (Oracle.check_one ~subject:wrong_pair_scale ~replicates ~oracle:"unbiasedness"
+       selection_case
+    <> None);
+  (* At fraction 1.0 the wrong factor degenerates to (N−1)/(N−1) = 1,
+     so the census oracle is blind to it: only the statistical oracle
+     owns this defect. *)
+  check_verdict "pair-scale mutant owned by unbiasedness" (Some "unbiasedness")
+    (Oracle.check_case ~subject:wrong_pair_scale ~replicates selection_case)
+
+let test_pushdown_oracle () =
+  (* The planner's determinism/unbiasedness oracle holds on the fixed
+     cases (a join with two pushdown candidates and a selection chain)
+     and across a slice of the generated stream. *)
+  Alcotest.(check bool) "pushdown clean on join case" true
+    (Oracle.check_one ~replicates ~oracle:"pushdown" join_case = None);
+  Alcotest.(check bool) "pushdown clean on nested selects" true
+    (Oracle.check_one ~replicates ~oracle:"pushdown" nested_case = None);
+  for id = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "pushdown clean on generated case %d" id)
+      true
+      (Oracle.check_one ~replicates ~oracle:"pushdown" (Gen.case ~master:2024 ~id)
+      = None)
+  done
 
 let test_conservation_flags_dropped_metrics () =
   check_verdict "deaf subject caught" (Some "conservation")
@@ -192,6 +248,9 @@ let suite =
     Alcotest.test_case "census flags biased scale" `Quick test_census_flags_biased_scale;
     Alcotest.test_case "unbiasedness flags biased scale" `Quick
       test_unbiasedness_flags_biased_scale;
+    Alcotest.test_case "unbiasedness flags pair scale" `Quick
+      test_unbiasedness_flags_pair_scale;
+    Alcotest.test_case "pushdown oracle" `Quick test_pushdown_oracle;
     Alcotest.test_case "conservation flags dropped metrics" `Quick
       test_conservation_flags_dropped_metrics;
     Alcotest.test_case "shrink minimizes" `Quick test_shrink_minimizes;

@@ -167,6 +167,29 @@ let test_json_shape () =
     Alcotest.(check bool) "one-line counters" true
       (contains_substring ~needle:"rng_draws" line)
 
+let test_plans_considered () =
+  let m = M.create () in
+  M.add_plans_considered m 3;
+  M.add_plans_considered m 2;
+  let s = M.snapshot m in
+  Alcotest.(check int) "recorded" 5 s.M.plans_considered;
+  (* Child/absorb, diff and merge all carry the counter. *)
+  let c = M.child m in
+  M.add_plans_considered c 4;
+  M.absorb m c;
+  let after = M.snapshot m in
+  Alcotest.(check int) "absorbed" 9 after.M.plans_considered;
+  Alcotest.(check int) "diff" 4 (M.diff after s).M.plans_considered;
+  Alcotest.(check int) "merge" 14 (M.merge after s).M.plans_considered;
+  Alcotest.(check bool)
+    "counters_equal sees it" false
+    (M.counters_equal after s);
+  Alcotest.(check bool)
+    "rendered in JSON" true
+    (contains_substring ~needle:"\"plans_considered\": 9" (M.snapshot_to_json after));
+  M.add_plans_considered M.noop 7;
+  Alcotest.(check int) "noop drops it" 0 (M.snapshot M.noop).M.plans_considered
+
 let suite =
   [
     Alcotest.test_case "counters record" `Quick test_counters_record;
@@ -179,4 +202,5 @@ let suite =
     Alcotest.test_case "span exception-safe" `Quick test_span_exception_safe;
     Alcotest.test_case "time accumulates" `Quick test_time_accumulates;
     Alcotest.test_case "json shape" `Quick test_json_shape;
+    Alcotest.test_case "plans considered" `Quick test_plans_considered;
   ]

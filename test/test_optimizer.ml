@@ -174,6 +174,81 @@ let prop_equivalence_random_data =
           sorted_tuples (Eval.eval c e) = sorted_tuples (Eval.eval c optimized))
         expressions)
 
+(* Sampling-pushdown rewrite rules (the optimizing planner's algebra). *)
+
+module SP = Optimizer.Sampling_pushdown
+
+let test_pushdown_derivations_order_and_steps () =
+  let e =
+    Expr.select
+      (P.gt (P.attr "b") (P.vint 10))
+      (Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s"))
+  in
+  Alcotest.(check bool) "pushable" true (SP.pushable e);
+  let ds = SP.derivations e in
+  Alcotest.(check int) "one derivation per leaf occurrence" 2 (List.length ds);
+  let d0 = List.nth ds 0 and d1 = List.nth ds 1 in
+  Alcotest.(check int) "left leaf first" 0 d0.SP.occurrence;
+  Alcotest.(check string) "left relation" "r" d0.SP.relation;
+  Alcotest.(check int) "right leaf second" 1 d1.SP.occurrence;
+  Alcotest.(check string) "right relation" "s" d1.SP.relation;
+  (* Pushing to r: through the selection (exact commute), then below
+     the join's left input (cross-pair second-moment inflation). *)
+  let rules d = List.map (fun s -> s.SP.rule) d.SP.steps in
+  Alcotest.(check (list string))
+    "left trace"
+    [ "sample-commutes-select"; "sample-below-join-left" ]
+    (rules d0);
+  Alcotest.(check (list string))
+    "right trace"
+    [ "sample-commutes-select"; "sample-below-join-right" ]
+    (rules d1);
+  let inflations d = List.map (fun s -> s.SP.inflation) d.SP.steps in
+  Alcotest.(check bool)
+    "select commutes exactly" true
+    (List.nth (inflations d0) 0 = SP.Exact_commute);
+  Alcotest.(check bool)
+    "below-join inflates" true
+    (List.nth (inflations d0) 1 = SP.Cross_pair `Left)
+
+let test_pushdown_self_join_occurrences () =
+  let e = Expr.equijoin [ ("a", "a") ] (Expr.base "r") (Expr.base "r") in
+  let ds = SP.derivations e in
+  Alcotest.(check (list (pair int string)))
+    "same relation, distinct occurrences"
+    [ (0, "r"); (1, "r") ]
+    (List.map (fun d -> (d.SP.occurrence, d.SP.relation)) ds)
+
+let test_pushdown_blocked_by_dedup () =
+  let join = Expr.equijoin [ ("a", "c") ] (Expr.base "r") (Expr.base "s") in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "not pushable" false (SP.pushable e);
+      Alcotest.(check int) "no derivations" 0 (List.length (SP.derivations e)))
+    [
+      Expr.distinct join;
+      Expr.union (Expr.base "r") (Expr.base "t");
+      Expr.inter (Expr.base "r") (Expr.base "t");
+      Expr.diff (Expr.base "r") (Expr.base "t");
+      Expr.select (P.gt (P.attr "a") (P.vint 0)) (Expr.distinct (Expr.base "r"));
+    ]
+
+let test_pushdown_step_rendering () =
+  let e = Expr.select (P.gt (P.attr "a") (P.vint 1)) (Expr.base "r") in
+  match SP.derivations e with
+  | [ d ] ->
+    Alcotest.(check string)
+      "step string" "sample-commutes-select @ select[a > 1]: unchanged"
+      (SP.step_to_string (List.hd d.SP.steps));
+    let rendered = SP.derivation_to_string d in
+    Alcotest.(check bool)
+      "derivation names the leaf" true
+      (String.length rendered > 0
+      &&
+      let re = "push to r#0" in
+      String.sub rendered 0 (String.length re) = re)
+  | ds -> Alcotest.failf "expected 1 derivation, got %d" (List.length ds)
+
 let suite =
   [
     Alcotest.test_case "equivalence on fixed data" `Quick test_equivalence_on_fixed_data;
@@ -185,5 +260,11 @@ let suite =
     Alcotest.test_case "σ_true removed" `Quick test_true_selection_removed;
     Alcotest.test_case "idempotent" `Quick test_idempotent;
     Alcotest.test_case "stats count steps" `Quick test_stats_counts_steps;
+    Alcotest.test_case "pushdown derivations order and steps" `Quick
+      test_pushdown_derivations_order_and_steps;
+    Alcotest.test_case "pushdown self-join occurrences" `Quick
+      test_pushdown_self_join_occurrences;
+    Alcotest.test_case "pushdown blocked by dedup" `Quick test_pushdown_blocked_by_dedup;
+    Alcotest.test_case "pushdown step rendering" `Quick test_pushdown_step_rendering;
     prop_equivalence_random_data;
   ]

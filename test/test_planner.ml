@@ -1,5 +1,6 @@
 open Helpers
 module Planner = Raestat.Planner
+module Count_estimator = Raestat.Count_estimator
 module P = Predicate
 module Tpc = Workload.Tpc_mini
 
@@ -108,6 +109,210 @@ let test_memoization_shares_estimates () =
   let plan = Planner.plan (rng ()) c ~fraction:0.2 ~inputs:(inputs ()) ~joins in
   Alcotest.(check bool) "few memo entries" true (List.length plan.Planner.estimates <= 6)
 
+(* --- sampling-placement optimization ------------------------------- *)
+
+(* A selective predicate under a join with a small exact side: the
+   canonical pushdown win. *)
+let pushdown_catalog () =
+  let c = Catalog.create () in
+  Catalog.add c "big"
+    (Workload.Generator.relation (rng ~seed:71 ()) ~n:4000
+       [ ("a", Workload.Dist.Uniform { lo = 0; hi = 99 }) ]);
+  Catalog.add c "small"
+    (Workload.Generator.relation (rng ~seed:72 ()) ~n:80
+       [ ("b", Workload.Dist.Uniform { lo = 0; hi = 99 }) ]);
+  c
+
+let pushdown_expr =
+  Expr.Equijoin
+    ([ ("a", "b") ], Expr.Select (P.lt (P.attr "a") (P.vint 10), Expr.Base "big"),
+     Expr.Base "small")
+
+let test_choose_sampling_pushdown_wins () =
+  let c = pushdown_catalog () in
+  let choice = Planner.choose_sampling c ~fraction:0.05 pushdown_expr in
+  Alcotest.(check int) "three candidates" 3 (List.length choice.Planner.candidates);
+  Alcotest.(check bool) "analytic stats" true choice.Planner.analytic;
+  (match choice.Planner.winner.Planner.derivation with
+  | Some _ -> ()
+  | None -> Alcotest.failf "expected a pushdown winner, got %s" choice.Planner.winner.Planner.label);
+  (* The winner's predicted variance beats root-sampling's. *)
+  let root =
+    List.find (fun c -> c.Planner.label = "root-sampling") choice.Planner.candidates
+  in
+  Alcotest.(check bool) "variance improves" true
+    (choice.Planner.winner.Planner.predicted_variance
+    < root.Planner.predicted_variance)
+
+let test_choose_sampling_deterministic () =
+  let c = pushdown_catalog () in
+  let labels choice = List.map (fun c -> c.Planner.label) choice.Planner.candidates in
+  let a = Planner.choose_sampling c ~fraction:0.05 pushdown_expr in
+  let b = Planner.choose_sampling c ~fraction:0.05 pushdown_expr in
+  Alcotest.(check (list string)) "candidate order stable" (labels a) (labels b);
+  Alcotest.(check (list string)) "leaf-occurrence order"
+    [ "root-sampling"; "pushdown(big#0)"; "pushdown(small#1)" ]
+    (labels a);
+  Alcotest.(check string) "winner stable" a.Planner.winner.Planner.label
+    b.Planner.winner.Planner.label;
+  Alcotest.(check string) "rationale stable" a.Planner.rationale b.Planner.rationale
+
+let test_choose_sampling_estimates_unbiased () =
+  (* The chosen pushed-down plan still estimates the true count: mean
+     over replicated runs lands near the exact join size. *)
+  let c = pushdown_catalog () in
+  let truth = float_of_int (Eval.count c pushdown_expr) in
+  let choice = Planner.choose_sampling c ~fraction:0.05 pushdown_expr in
+  let acc = ref 0. in
+  for i = 1 to 60 do
+    acc :=
+      !acc
+      +. (Raestat.Estplan.run (rng ~seed:(9000 + i) ()) c choice.Planner.chosen)
+           .Stats.Estimate.point
+  done;
+  check_close ~tol:0.15 "pushed-down estimate unbiased" truth (!acc /. 60.)
+
+let test_choose_sampling_equal_budget () =
+  let c = pushdown_catalog () in
+  let choice = Planner.choose_sampling c ~fraction:0.05 pushdown_expr in
+  let root =
+    List.find (fun c -> c.Planner.label = "root-sampling") choice.Planner.candidates
+  in
+  (* Sampled-tuple budget: every candidate draws at most what
+     root-sampling draws (min with the target's population). *)
+  Alcotest.(check bool) "budget respected" true
+    (List.for_all
+       (fun c -> c.Planner.drawn_tuples <= root.Planner.drawn_tuples +. 1e-9)
+       choice.Planner.candidates);
+  Alcotest.(check int) "budget is the root draw" (int_of_float root.Planner.drawn_tuples)
+    choice.Planner.budget
+
+let test_choose_sampling_dedup_falls_back () =
+  let c = pushdown_catalog () in
+  let expr = Expr.Distinct pushdown_expr in
+  let choice = Planner.choose_sampling c ~fraction:0.05 expr in
+  Alcotest.(check int) "single candidate" 1 (List.length choice.Planner.candidates);
+  Alcotest.(check string) "root fallback" "root-sampling"
+    choice.Planner.winner.Planner.label;
+  Alcotest.(check bool) "rationale explains" true
+    (String.length choice.Planner.rationale > 0
+    && choice.Planner.winner.Planner.derivation = None)
+
+let test_choose_sampling_single_leaf_tie () =
+  (* On a bare selection the pushdown candidate is the same design as
+     root sampling; the tie-break keeps the historical strategy. *)
+  let c = pushdown_catalog () in
+  let expr = Expr.Select (P.lt (P.attr "a") (P.vint 50), Expr.Base "big") in
+  let choice = Planner.choose_sampling c ~fraction:0.1 expr in
+  Alcotest.(check string) "tie prefers root" "root-sampling"
+    choice.Planner.winner.Planner.label;
+  Alcotest.(check int) "both candidates listed" 2 (List.length choice.Planner.candidates)
+
+let test_choose_sampling_metrics () =
+  let c = pushdown_catalog () in
+  let metrics = Obs.Metrics.create () in
+  ignore (Planner.choose_sampling ~metrics c ~fraction:0.05 pushdown_expr);
+  let snap = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "plans_considered counts candidates" 3
+    snap.Obs.Metrics.plans_considered
+
+let test_fraction_of_goal () =
+  check_float "fraction passes through" 0.25
+    (Planner.fraction_of_goal ~population:1000 (Planner.Budget_fraction 0.25));
+  check_float "tuple budget" 0.05
+    (Planner.fraction_of_goal ~population:1000 (Planner.Budget_tuples 50));
+  check_float "tuple budget caps at 1" 1.
+    (Planner.fraction_of_goal ~population:10 (Planner.Budget_tuples 50));
+  let tight =
+    Planner.fraction_of_goal ~population:10_000
+      (Planner.Ci_width { width = 50.; level = 0.95 })
+  in
+  let loose =
+    Planner.fraction_of_goal ~population:10_000
+      (Planner.Ci_width { width = 5000.; level = 0.95 })
+  in
+  Alcotest.(check bool) "tighter width needs more" true (tight > loose);
+  Alcotest.(check bool) "fractions in range" true
+    (tight <= 1. && loose > 0.);
+  let invalid thunk =
+    try
+      ignore (thunk ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad fraction" true
+    (invalid (fun () -> Planner.fraction_of_goal ~population:10 (Planner.Budget_fraction 1.5)));
+  Alcotest.(check bool) "bad budget" true
+    (invalid (fun () -> Planner.fraction_of_goal ~population:10 (Planner.Budget_tuples 0)));
+  Alcotest.(check bool) "bad width" true
+    (invalid (fun () ->
+         Planner.fraction_of_goal ~population:10 (Planner.Ci_width { width = 0.; level = 0.95 })))
+
+let test_goal_front_ends () =
+  let c = pushdown_catalog () in
+  (* size_of_goal clamps to [1, population]. *)
+  Alcotest.(check int) "size from fraction" 200
+    (Planner.size_of_goal ~population:4000 (Planner.Budget_fraction 0.05));
+  Alcotest.(check int) "size from budget" 50
+    (Planner.size_of_goal ~population:4000 (Planner.Budget_tuples 50));
+  Alcotest.(check int) "size capped" 10
+    (Planner.size_of_goal ~population:10 (Planner.Budget_tuples 50));
+  Alcotest.(check int) "empty population" 0
+    (Planner.size_of_goal ~population:0 (Planner.Budget_tuples 50));
+  (* The non-optimized goal path is byte-identical to the historical
+     fixed-fraction entry at the resolved fraction. *)
+  let goal = Planner.Budget_fraction 0.05 in
+  let direct =
+    Count_estimator.estimate ~groups:4 (rng ~seed:901 ()) c ~fraction:0.05 pushdown_expr
+  in
+  let via_goal, no_choice =
+    Count_estimator.estimate_with_goal ~groups:4 ~optimize:false (rng ~seed:901 ()) c
+      ~goal pushdown_expr
+  in
+  Alcotest.(check bool) "no choice when not optimizing" true (no_choice = None);
+  check_float "same point" direct.Stats.Estimate.point via_goal.Stats.Estimate.point;
+  (* The optimized path runs the planner's winner and reports it —
+     unless the process-wide kill switch is thrown, in which case the
+     goal entry must keep the historical behavior and report nothing. *)
+  let optimized, choice =
+    Count_estimator.estimate_with_goal ~groups:4 (rng ~seed:902 ()) c ~goal pushdown_expr
+  in
+  if Planner.optimize_enabled () then
+    match choice with
+    | Some choice ->
+      Alcotest.(check int) "three candidates" 3 (List.length choice.Planner.candidates)
+    | None -> Alcotest.fail "expected a planner choice"
+  else Alcotest.(check bool) "kill switch suppresses the choice" true (choice = None);
+  Alcotest.(check bool) "optimized estimate is finite" true
+    (Float.is_finite optimized.Stats.Estimate.point)
+
+let test_explain_surfaces () =
+  let c = pushdown_catalog () in
+  let choice = Planner.choose_sampling c ~fraction:0.05 pushdown_expr in
+  let text = Planner.render_choice choice in
+  Alcotest.(check bool) "text lists candidates" true
+    (List.for_all
+       (fun cand ->
+         let sub = cand.Planner.label in
+         let rec contains i =
+           i + String.length sub <= String.length text
+           && (String.sub text i (String.length sub) = sub || contains (i + 1))
+         in
+         contains 0)
+       choice.Planner.candidates);
+  let json = Planner.choice_to_json choice in
+  let has sub =
+    let rec contains i =
+      i + String.length sub <= String.length json
+      && (String.sub json i (String.length sub) = sub || contains (i + 1))
+    in
+    contains 0
+  in
+  Alcotest.(check bool) "v2 schema" true (has "\"schema\": \"raestat-explain/2\"");
+  Alcotest.(check bool) "embeds v1 plan" true (has "\"schema\": \"raestat-explain/1\"");
+  Alcotest.(check bool) "rationale present" true (has "\"rationale\"");
+  Alcotest.(check bool) "candidates present" true (has "\"candidates\"")
+
 let suite =
   [
     Alcotest.test_case "plan shape" `Quick test_plan_shape;
@@ -117,4 +322,21 @@ let suite =
     Alcotest.test_case "no cross products" `Quick test_no_cross_products_in_plan;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "memoization" `Quick test_memoization_shares_estimates;
+    Alcotest.test_case "choose_sampling: pushdown wins" `Quick
+      test_choose_sampling_pushdown_wins;
+    Alcotest.test_case "choose_sampling: deterministic" `Quick
+      test_choose_sampling_deterministic;
+    Alcotest.test_case "choose_sampling: unbiased winner" `Quick
+      test_choose_sampling_estimates_unbiased;
+    Alcotest.test_case "choose_sampling: equal budget" `Quick
+      test_choose_sampling_equal_budget;
+    Alcotest.test_case "choose_sampling: dedup falls back" `Quick
+      test_choose_sampling_dedup_falls_back;
+    Alcotest.test_case "choose_sampling: single-leaf tie" `Quick
+      test_choose_sampling_single_leaf_tie;
+    Alcotest.test_case "choose_sampling: plans_considered" `Quick
+      test_choose_sampling_metrics;
+    Alcotest.test_case "fraction_of_goal" `Quick test_fraction_of_goal;
+    Alcotest.test_case "goal front-ends" `Quick test_goal_front_ends;
+    Alcotest.test_case "explain surfaces" `Quick test_explain_surfaces;
   ]

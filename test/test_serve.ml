@@ -280,6 +280,53 @@ let test_server_query_sql_share_plans () =
   Alcotest.(check string) "cache is deterministic" qt
     (result_text (Server.handle_line state q))
 
+let test_server_optimize_keys_cache () =
+  with_server @@ fun state ->
+  let plain =
+    {|{"op": "query", "expr": "select[a < 30](r)", "fraction": 0.2, "groups": 5}|}
+  in
+  let optimized =
+    {|{"op": "query", "expr": "select[a < 30](r)", "fraction": 0.2, "groups": 5, "optimize": true}|}
+  in
+  let pt = result_text (Server.handle_line state plain) in
+  let ot = result_text (Server.handle_line state optimized) in
+  if not (Raestat.Planner.optimize_enabled ()) then begin
+    (* Kill switch thrown process-wide: the effective setting folds to
+       off, so the optimized request shares the plain entry (they
+       compile the identical plan) and answers with the same bytes. *)
+    Alcotest.(check int) "one shared compile" 1 (Plan_cache.misses (Server.plans state));
+    Alcotest.(check int) "optimized request hits the plain entry" 1
+      (Plan_cache.hits (Server.plans state));
+    Alcotest.(check string) "kill switch preserves bytes" pt ot
+  end
+  else begin
+  (* The optimizer setting is part of the plan-cache key: two compiles,
+     never a cross-setting hit. *)
+  Alcotest.(check int) "two misses" 2 (Plan_cache.misses (Server.plans state));
+  Alcotest.(check int) "no cross-setting hits" 0 (Plan_cache.hits (Server.plans state));
+  ignore (result_text (Server.handle_line state optimized));
+  Alcotest.(check int) "optimized rerun hits its own entry" 1
+    (Plan_cache.hits (Server.plans state));
+  (* On a single-leaf selection every placement ties, the tie falls back
+     to root sampling, and the optimized response is byte-identical. *)
+  Alcotest.(check string) "tie preserves historical bytes" pt ot;
+  Alcotest.(check bool) "keys differ by setting" true
+    (Engine.expr_key ~fraction:0.2 ~groups:5 ~optimize:true (Expr.base "r")
+    <> Engine.expr_key ~fraction:0.2 ~groups:5 ~optimize:false (Expr.base "r"));
+  (* Served optimized explain renders the planner's decision with the
+     same bytes the engine (and hence the CLI) produces. *)
+  let explained =
+    result_text
+      (Server.handle_line state
+         {|{"op": "explain", "target": "query", "expr": "select[a < 30](r)", "fraction": 0.2, "groups": 5, "optimize": true}|})
+  in
+  Alcotest.(check string) "optimized explain parity"
+    (Raestat.Planner.render_choice
+       (Engine.explain_expr_optimized (mirror_catalog ()) ~fraction:0.2 ~groups:5
+          (Relational.Parser.parse_expr "select[a < 30](r)")))
+    explained
+  end
+
 let test_server_explain () =
   with_server @@ fun state ->
   let line =
@@ -665,6 +712,8 @@ let suite =
     Alcotest.test_case "ping and request ids" `Quick test_server_ping_and_ids;
     Alcotest.test_case "estimate parity" `Quick test_server_estimate_parity;
     Alcotest.test_case "query and sql share plans" `Quick test_server_query_sql_share_plans;
+    Alcotest.test_case "optimizer setting keys the plan cache" `Quick
+      test_server_optimize_keys_cache;
     Alcotest.test_case "explain" `Quick test_server_explain;
     Alcotest.test_case "metrics and reload" `Quick test_server_metrics_and_reload;
     Alcotest.test_case "error contract" `Quick test_server_errors;

@@ -78,6 +78,27 @@ let prop_welford_matches_naive =
       let naive = ss /. (n -. 1.) in
       Float.abs (naive -. Summary.variance s) <= 1e-6 *. Float.max 1. naive)
 
+let test_q_error () =
+  check_float "perfect" 1. (Summary.q_error ~estimate:10. ~truth:10.);
+  check_float "over by 2x" 2. (Summary.q_error ~estimate:20. ~truth:10.);
+  check_float "under by 2x" 2. (Summary.q_error ~estimate:5. ~truth:10.);
+  check_float "both zero is exact" 1. (Summary.q_error ~estimate:0. ~truth:0.);
+  Alcotest.(check bool)
+    "zero estimate vs non-zero truth" true
+    (Summary.q_error ~estimate:0. ~truth:3. = Float.infinity);
+  Alcotest.(check bool)
+    "non-zero estimate vs zero truth" true
+    (Summary.q_error ~estimate:3. ~truth:0. = Float.infinity);
+  check_float "signs ignored" 2. (Summary.q_error ~estimate:(-20.) ~truth:10.)
+
+let prop_q_error_symmetric =
+  qcheck_case "q_error symmetric and >= 1"
+    QCheck.(pair (float_range 0.001 1000.) (float_range 0.001 1000.))
+    (fun (x, y) ->
+      let a = Summary.q_error ~estimate:x ~truth:y
+      and b = Summary.q_error ~estimate:y ~truth:x in
+      Float.abs (a -. b) < 1e-9 && a >= 1.)
+
 let prop_merge_commutative =
   qcheck_case "merge commutative"
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 20) (float_range (-10.) 10.))
@@ -99,6 +120,8 @@ let suite =
     Alcotest.test_case "quantile does not mutate" `Quick test_quantile_does_not_mutate;
     Alcotest.test_case "quantile errors" `Quick test_quantile_errors;
     Alcotest.test_case "standard error" `Quick test_standard_error;
+    Alcotest.test_case "q_error" `Quick test_q_error;
+    prop_q_error_symmetric;
     prop_welford_matches_naive;
     prop_merge_commutative;
   ]
