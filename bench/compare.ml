@@ -374,6 +374,73 @@ let check_serve ~failed ~threshold baseline fresh =
     failed := true;
     Printf.printf "%-24s %10s %10s %8s\n" "warm_us vs cold_us" "-" "-" "MISSING"
 
+(* --- stream report gate -------------------------------------------------
+
+   BENCH_stream.json mixes three kinds of field.  The counts (write
+   totals, epochs, populations, sample sizes, maintenance ops, RNG
+   draws) are pure functions of the bench seed: pinned exactly — a
+   drift means the maintenance path changed what it does per write.
+   The staleness q-errors are seed-fixed doubles: pinned to the
+   report's printed precision, so an estimator change that moves
+   accuracy (for better or worse) must regenerate the baseline
+   deliberately.  Throughputs and latencies are wall-clock and not
+   gated. *)
+
+let stream_pinned_int_keys =
+  [
+    "rounds";
+    "batch_inserts";
+    "batch_deletes";
+    "writes";
+    "epoch";
+    "population";
+    "sample_size";
+    "capacity";
+    "maintenance_ops";
+    "rng_draws";
+    "eroded_population";
+    "srv_write_batches";
+    "srv_batch_size";
+    "srv_reader_requests";
+    "srv_errors";
+    "srv_overloaded";
+    "srv_maintenance_ops";
+    "srv_epoch";
+    "srv_population";
+  ]
+
+let stream_pinned_float_keys =
+  [ "qerr_mean"; "qerr_max"; "eroded_fill_ratio"; "qerr_after_rescan"; "srv_final_qerr" ]
+
+let check_stream ~failed baseline fresh =
+  Printf.printf "\n%-24s %12s %12s %8s\n" "stream field" "base" "fresh" "verdict";
+  List.iter
+    (fun key ->
+      match (scan_number baseline key, scan_number fresh key) with
+      | Some b, Some f ->
+        let ok = b = f in
+        if not ok then failed := true;
+        Printf.printf "%-24s %12.0f %12.0f %8s\n" key b f
+          (if ok then "pinned" else "DRIFTED")
+      | _ ->
+        failed := true;
+        Printf.printf "%-24s %12s %12s %8s\n" key "-" "-" "MISSING")
+    stream_pinned_int_keys;
+  List.iter
+    (fun key ->
+      match (scan_number baseline key, scan_number fresh key) with
+      | Some b, Some f ->
+        (* The report prints six decimals; allow that rounding, nothing
+           more. *)
+        let ok = Float.abs (b -. f) <= 1e-6 *. Float.max 1. (Float.abs b) in
+        if not ok then failed := true;
+        Printf.printf "%-24s %12.6f %12.6f %8s\n" key b f
+          (if ok then "pinned" else "DRIFTED")
+      | _ ->
+        failed := true;
+        Printf.printf "%-24s %12s %12s %8s\n" key "-" "-" "MISSING")
+    stream_pinned_float_keys
+
 (* --- plans report gate --------------------------------------------------
 
    BENCH_plans.json records, per seed-fixed scenario, which sampling
@@ -478,31 +545,35 @@ let () =
       "usage: compare BASELINE.json FRESH.json [--threshold FRACTION] \
        [--io BASELINE_io.json FRESH_io.json] \
        [--serve BASELINE_serve.json FRESH_serve.json] \
-       [--plans BASELINE_plans.json FRESH_plans.json]";
+       [--plans BASELINE_plans.json FRESH_plans.json] \
+       [--stream BASELINE_stream.json FRESH_stream.json]";
     exit 2
   in
-  let baseline_path, fresh_path, threshold, io_paths, serve_paths, plans_paths =
-    let rec parse args (threshold, io_paths, serve_paths, plans_paths) =
+  let baseline_path, fresh_path, threshold, io_paths, serve_paths, plans_paths,
+      stream_paths =
+    let rec parse args (threshold, io_paths, serve_paths, plans_paths, stream_paths) =
       match args with
       | "--threshold" :: t :: rest -> (
         match float_of_string_opt t with
-        | Some t -> parse rest (t, io_paths, serve_paths, plans_paths)
+        | Some t -> parse rest (t, io_paths, serve_paths, plans_paths, stream_paths)
         | None -> usage ())
       | "--io" :: bi :: fi :: rest ->
-        parse rest (threshold, Some (bi, fi), serve_paths, plans_paths)
+        parse rest (threshold, Some (bi, fi), serve_paths, plans_paths, stream_paths)
       | "--serve" :: bs :: fs :: rest ->
-        parse rest (threshold, io_paths, Some (bs, fs), plans_paths)
+        parse rest (threshold, io_paths, Some (bs, fs), plans_paths, stream_paths)
       | "--plans" :: bp :: fp :: rest ->
-        parse rest (threshold, io_paths, serve_paths, Some (bp, fp))
-      | [] -> (threshold, io_paths, serve_paths, plans_paths)
+        parse rest (threshold, io_paths, serve_paths, Some (bp, fp), stream_paths)
+      | "--stream" :: bt :: ft :: rest ->
+        parse rest (threshold, io_paths, serve_paths, plans_paths, Some (bt, ft))
+      | [] -> (threshold, io_paths, serve_paths, plans_paths, stream_paths)
       | _ -> usage ()
     in
     match Array.to_list Sys.argv with
     | _ :: b :: f :: rest ->
-      let threshold, io_paths, serve_paths, plans_paths =
-        parse rest (0.25, None, None, None)
+      let threshold, io_paths, serve_paths, plans_paths, stream_paths =
+        parse rest (0.25, None, None, None, None)
       in
-      (b, f, threshold, io_paths, serve_paths, plans_paths)
+      (b, f, threshold, io_paths, serve_paths, plans_paths, stream_paths)
     | _ -> usage ()
   in
   let baseline_content = read_file baseline_path in
@@ -541,13 +612,19 @@ let () =
   | None -> ()
   | Some (baseline_plans, fresh_plans) ->
     check_plans ~failed (read_file baseline_plans) (read_file fresh_plans));
+  (match stream_paths with
+  | None -> ()
+  | Some (baseline_stream, fresh_stream) ->
+    check_stream ~failed (read_file baseline_stream) (read_file fresh_stream));
   if !failed then begin
     Printf.eprintf
       "bench regression gate FAILED: a columnar speedup fell >%.0f%% below baseline, \
        a guarded counter row drifted, an io row's real-I/O counters changed, the \
        serve report regressed (cache totals drifted or normalized p95 grew >%.0f%%), \
-       or the plans report regressed (a chosen strategy flipped or a pushdown \
-       scenario's measured variance ratio fell below 1.5x)\n"
+       the plans report regressed (a chosen strategy flipped or a pushdown \
+       scenario's measured variance ratio fell below 1.5x), or the stream \
+       report drifted (a maintenance count or seed-fixed staleness q-error \
+       changed)\n"
       (100. *. threshold) (100. *. threshold);
     exit 1
   end

@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- serve --json    ... and write BENCH_serve.json
      dune exec bench/main.exe -- plans           optimizer strategy-selection bench
      dune exec bench/main.exe -- plans --json    ... and write BENCH_plans.json
+     dune exec bench/main.exe -- stream          streaming-maintenance bench
+     dune exec bench/main.exe -- stream --json   ... and write BENCH_stream.json
 
    Experiment ids and what they reproduce are indexed in DESIGN.md §4
    and EXPERIMENTS.md. *)
@@ -33,13 +35,14 @@ let () =
     List.filter
       (fun id ->
         id <> "micro" && id <> "io" && id <> "serve" && id <> "plans"
+        && id <> "stream"
         && not (List.mem id known))
       requested
   in
   if invalid <> [] then begin
     Printf.eprintf
-      "unknown experiment(s): %s\nknown: %s micro io serve plans (flags: --json \
-       --quick --metrics)\n"
+      "unknown experiment(s): %s\nknown: %s micro io serve plans stream (flags: \
+       --json --quick --metrics)\n"
       (String.concat " " invalid) (String.concat " " known);
     exit 2
   end;
@@ -57,4 +60,5 @@ let () =
   if run_all || List.mem "io" requested then Io.run ~json ();
   if run_all || List.mem "serve" requested then Serve_bench.run ~json ~quick ();
   if run_all || List.mem "plans" requested then Plans.run ~json ~quick ();
+  if run_all || List.mem "stream" requested then Stream_bench.run ~json ~quick ();
   Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)

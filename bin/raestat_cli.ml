@@ -5,6 +5,7 @@
      pack       pack a CSV into the binary paged format (.raf)
      exact      exact COUNT of a filter over a relation
      estimate   sampled COUNT of a filter over a relation, with a CI
+     ingest     stream an insert/delete batch with maintained samples
      join       estimated (and optionally exact) equi-join size of two relations
      distinct   distinct-value estimates for a column
      sweep      relative error vs sampling fraction for a filter
@@ -323,6 +324,137 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Sampled COUNT of a filter over a relation")
     Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ where_arg $ fraction_arg $ level_arg
           $ pages_arg $ metrics_term)
+
+(* --- ingest ----------------------------------------------------------- *)
+
+(* Delete spec "3,7,10-20": comma-separated ids and inclusive ranges.
+   Ids are the sequential tuple ids a stream issues (row order of the
+   base relation, then insert order). *)
+let parse_delete_spec spec =
+  let part p =
+    let p = String.trim p in
+    match String.index_opt p '-' with
+    | None -> (
+      match int_of_string_opt p with
+      | Some id -> [ id ]
+      | None -> failwith (Printf.sprintf "--delete: %S is not a tuple id" p))
+    | Some i -> (
+      let lo = String.trim (String.sub p 0 i) in
+      let hi = String.trim (String.sub p (i + 1) (String.length p - i - 1)) in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> List.init (hi - lo + 1) (fun k -> lo + k)
+      | _ -> failwith (Printf.sprintf "--delete: %S is not an id range LO-HI" p))
+  in
+  String.split_on_char ',' spec
+  |> List.filter (fun p -> String.trim p <> "")
+  |> List.concat_map part
+
+(* One-shot streaming ingestion: convert the base relation into a
+   maintained stream (same maintenance path the serve daemon's write
+   ops use), apply one insert/delete batch, then answer --where from
+   the maintained sample — Serve.Engine.estimate_stream renders it, so
+   the estimate text is byte-identical to a served "estimate" against
+   a daemon that processed the same writes with the same seed. *)
+let ingest_cmd =
+  let module SR = Raestat.Stream_relation in
+  let run seed path inserts delete_spec capacity bernoulli window rescan predicate level
+      metrics_opts =
+    check_unit_open ~option:"--level" level;
+    with_metrics metrics_opts (fun metrics ->
+        let base = Serve.Engine.load_relation ~metrics path in
+        let stream =
+          SR.create ~capacity ?bernoulli ?window ~metrics ~seed
+            ~schema:(Relational.Relation.schema base) ()
+        in
+        ignore (SR.ingest stream ~inserts:(Relational.Relation.tuples base) ~deletes:[||]);
+        let insert_tuples =
+          match inserts with
+          | None -> [||]
+          | Some file ->
+            let r = Relational.Csv.load file in
+            if
+              not
+                (Relational.Schema.equal (Relational.Relation.schema r) (SR.schema stream))
+            then
+              failwith
+                (Printf.sprintf "--inserts %s: schema does not match %s" file path);
+            Relational.Relation.tuples r
+        in
+        let deletes =
+          match delete_spec with
+          | None -> [||]
+          | Some spec -> Array.of_list (parse_delete_spec spec)
+        in
+        let counts = SR.ingest stream ~inserts:insert_tuples ~deletes in
+        Printf.printf "ingested %d, deleted %d (epoch %d, population %d, sample %d/%d)\n"
+          counts.SR.inserted counts.SR.deleted (SR.epoch stream) (SR.population stream)
+          (SR.sample_size stream) (SR.capacity stream);
+        if rescan && SR.needs_rescan stream then begin
+          SR.rescan stream;
+          Printf.printf "rescan: rebuilt the backing sample from %d live tuples\n"
+            (SR.population stream)
+        end;
+        match predicate with
+        | None -> ()
+        | Some predicate ->
+          let result =
+            Serve.Engine.estimate_stream ~metrics ~relation:"r" ~level stream predicate
+          in
+          print_string result.Serve.Engine.text)
+  in
+  let inserts_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "inserts"; "i" ] ~docv:"FILE"
+          ~doc:"CSV of tuples to insert (must match the base schema).")
+  in
+  let delete_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delete" ] ~docv:"SPEC"
+          ~doc:"Tuple ids to delete: comma-separated ids and inclusive ranges, e.g. \
+                \"3,7,10-20\".  Ids follow base row order, then insert order.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ] ~docv:"N" ~doc:"Backing reservoir capacity.")
+  in
+  let bernoulli_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "bernoulli" ] ~docv:"P" ~doc:"Also maintain a Bernoulli($(docv)) sample.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Also maintain a chain sample over the last $(docv) inserts.")
+  in
+  let rescan_flag =
+    Arg.(
+      value & flag
+      & info [ "rescan" ]
+          ~doc:"Rebuild the backing sample from the live population if deletions \
+                eroded it below half capacity.")
+  in
+  let where_opt_arg =
+    Arg.(
+      value
+      & opt (some predicate_conv) None
+      & info [ "where"; "w" ] ~docv:"FILTER"
+          ~doc:"Estimate the post-batch COUNT of $(docv) from the maintained sample.")
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Stream an insert/delete batch into a relation with maintained samples")
+    Term.(const run $ seed_arg $ csv_arg 0 "DATA" $ inserts_arg $ delete_arg
+          $ capacity_arg $ bernoulli_arg $ window_arg $ rescan_flag $ where_opt_arg
+          $ level_arg $ metrics_term)
 
 (* --- join ------------------------------------------------------------- *)
 
@@ -1002,8 +1134,8 @@ let () =
       ~doc:"Sampling-based COUNT estimators for relational algebra expressions"
   in
   let group =
-    Cmd.group info [ generate_cmd; pack_cmd; exact_cmd; estimate_cmd; join_cmd;
-                     distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
+    Cmd.group info [ generate_cmd; pack_cmd; exact_cmd; estimate_cmd; ingest_cmd;
+                     join_cmd; distinct_cmd; query_cmd; sql_cmd; quantile_cmd;
                      plan_cmd; sweep_cmd; fuzz_cmd; explain_cmd;
                      serve_cmd; client_cmd ]
   in

@@ -551,10 +551,211 @@ let storage =
           else Pass);
   }
 
+(* ----------------------------------------------------------- maintenance *)
+
+module SR = Raestat.Stream_relation
+module Tuple = Relational.Tuple
+module Predicate = Relational.Predicate
+module Value = Relational.Value
+
+type stream_op =
+  | Add of Tuple.t
+  | Remove of SR.id
+
+(* The production write path; unit tests inject mutants (e.g. a writer
+   that drops deletions) to prove the maintenance oracle has teeth. *)
+let maintenance_writer stream = function
+  | Add tuple -> ignore (SR.insert stream tuple)
+  | Remove id -> ignore (SR.delete stream id)
+
+(* Deterministic random interleaving over [pool]: inserts cycle through
+   the pool's tuples, deletes pick a uniformly random live id, about one
+   op in three.  The model predicts the stream's sequential ids, so the
+   returned trace is self-contained: [mixed] is the interleaved phase,
+   [live] the (id, tuple) population the model expects after it, and
+   [drain] deletes every remaining live id. *)
+let maintenance_trace rng pool =
+  let live = ref [] and next_id = ref 0 and inserts = ref 0 and ops = ref [] in
+  let budget = min 256 (2 * Array.length pool) in
+  for _ = 1 to budget do
+    let n_live = List.length !live in
+    if n_live > 0 && Rng.int rng 3 = 0 then begin
+      let victim, _ = List.nth !live (Rng.int rng n_live) in
+      live := List.filter (fun (id, _) -> id <> victim) !live;
+      ops := Remove victim :: !ops
+    end
+    else begin
+      let tuple = pool.(!inserts mod Array.length pool) in
+      live := (!next_id, tuple) :: !live;
+      incr next_id;
+      incr inserts;
+      ops := Add tuple :: !ops
+    end
+  done;
+  let live = List.rev !live in
+  (List.rev !ops, live, List.map (fun (id, _) -> Remove id) live)
+
+(* Every maintained-sample tuple must be a live tuple — as a multiset:
+   the sample may not hold more copies of a tuple than the population
+   does.  Catches deletions applied to the store but not the sample. *)
+let sample_within_live ~live sample =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, tuple) ->
+      Hashtbl.replace counts tuple
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts tuple)))
+    live;
+  Array.for_all
+    (fun tuple ->
+      match Hashtbl.find_opt counts tuple with
+      | Some n when n > 0 ->
+        Hashtbl.replace counts tuple (n - 1);
+        true
+      | _ -> false)
+    (Relation.tuples sample)
+
+let maintenance_oracle ?(writer = maintenance_writer) () =
+  {
+    name = "maintenance";
+    summary =
+      "maintained stream samples track random insert/delete interleavings: \
+       exact recount, live-sample containment, delete-to-empty, and a \
+       replicate-mean unbiasedness gate";
+    run =
+      (fun _subject ~replicates case ->
+        let catalog = Gen.materialize case in
+        match Expr.leaves case.Gen.expr with
+        | [] -> Skip "no leaf relation"
+        | name :: _ ->
+          let relation = Catalog.find catalog name in
+          let pool = Relation.tuples relation in
+          let schema = Relation.schema relation in
+          if Array.length pool = 0 then Skip "empty source relation"
+          else if Relational.Schema.arity schema = 0 then Skip "no attributes"
+          else begin
+            (* A predicate keeping about half the pool: attribute 0
+               against its median value (total order, any type). *)
+            let attr0 = (Relational.Schema.attribute schema 0).Relational.Schema.name in
+            let values = Array.map (fun t -> Tuple.get t 0) pool in
+            Array.sort Value.compare values;
+            let predicate =
+              Predicate.le (Predicate.attr attr0)
+                (Predicate.const values.(Array.length values / 2))
+            in
+            let holds = Predicate.compile schema predicate in
+            let rng = rng_for case 11 in
+            let mixed, live, drain = maintenance_trace rng pool in
+            let capacity = max 4 (Array.length pool / 3) in
+            let replay seed ops =
+              let stream =
+                SR.create ~capacity ~bernoulli:0.5 ~window:8 ~seed ~schema ()
+              in
+              List.iter (writer stream) ops;
+              (* Deletion erosion can exhaust an undersized sample; the
+                 documented escape hatch is a rescan, and taking it here
+                 keeps the replicate estimates defined without hiding a
+                 maintenance defect (the recount checks run on the store,
+                 not the rebuilt sample). *)
+              if SR.sample_size stream = 0 && SR.population stream > 0 then
+                SR.rescan stream;
+              stream
+            in
+            let stream = replay (Rng.int rng 0x3FFFFFFF) mixed in
+            let truth =
+              float_of_int (List.length (List.filter (fun (_, t) -> holds t) live))
+            in
+            if SR.population stream <> List.length live then
+              Fail
+                (Printf.sprintf
+                   "population %d diverged from the op trace's exact recount %d \
+                    after %d interleaved ops"
+                   (SR.population stream) (List.length live) (List.length mixed))
+            else if SR.sample_size stream > min capacity (SR.population stream) then
+              Fail
+                (Printf.sprintf "backing sample holds %d tuples, capacity %d, \
+                                 population %d"
+                   (SR.sample_size stream) capacity (SR.population stream))
+            else if not (sample_within_live ~live (SR.sample stream)) then
+              Fail "backing sample holds a tuple the live population does not"
+            else if
+              not
+                (sample_within_live ~live
+                   (Option.value
+                      ~default:(Relation.empty schema)
+                      (SR.bernoulli_sample stream)))
+            then Fail "Bernoulli sample holds a tuple the live population does not"
+            else begin
+              List.iter (writer stream) drain;
+              let empty_est = SR.estimate_count stream predicate in
+              if SR.population stream <> 0 || SR.sample_size stream <> 0 then
+                Fail
+                  (Printf.sprintf
+                     "deleting every live id left population %d, sample %d"
+                     (SR.population stream) (SR.sample_size stream))
+              else if
+                not
+                  (Float.equal empty_est.Estimate.point 0.
+                  && Float.equal empty_est.Estimate.variance 0.)
+              then
+                Fail
+                  (Printf.sprintf
+                     "estimate over the drained stream is (%.17g, var %.17g), not \
+                      the exact 0"
+                     empty_est.Estimate.point empty_est.Estimate.variance)
+              else begin
+                (* Replicate-mean unbiasedness of the maintained-sample
+                   estimator at the interleaved checkpoint, across
+                   independent stream seeds (same trace, fresh
+                   reservoir randomness). *)
+                let population = List.length live in
+                let hit_rate =
+                  if population = 0 then 1.
+                  else
+                    float_of_int (min capacity population) /. float_of_int population
+                in
+                if
+                  truth > 0.
+                  && float_of_int (replicates * 8) *. truth *. hit_rate < 25.
+                then Pass (* recount checks ran; too little power to gate the mean *)
+                else
+                  let points ~runs ~salt =
+                    let master = rng_for case salt in
+                    Array.init runs (fun _ ->
+                        (SR.estimate_count
+                           (replay (Rng.int master 0x3FFFFFFF) mixed)
+                           predicate)
+                          .Estimate.point)
+                  in
+                  let level = 0.9999 in
+                  let ok, _ =
+                    mean_brackets ~level ~truth (points ~runs:replicates ~salt:12)
+                  in
+                  if ok then Pass
+                  else
+                    let again, mean =
+                      mean_brackets ~level ~truth
+                        (points ~runs:(replicates * 8) ~salt:13)
+                    in
+                    if again then Pass
+                    else
+                      Fail
+                        (Printf.sprintf
+                           "maintained-sample replicate mean %.6g is not \
+                            consistent with the trace's exact count %g (%d \
+                            replicates, twice)"
+                           mean truth (replicates * 8))
+              end
+            end
+          end);
+  }
+
+let maintenance = maintenance_oracle ()
+
 (* --------------------------------------------------------------- battery *)
 
 let battery =
-  [ census; parity; rewrite; pushdown; unbiasedness; coverage; conservation; storage ]
+  [ census; parity; rewrite; pushdown; unbiasedness; coverage; conservation; storage;
+    maintenance ]
 
 let check_case ?(subject = reference) ~replicates case =
   List.find_map

@@ -64,8 +64,31 @@ type oracle = {
       probe hits + misses equals groups × left sample size;
     - ["storage"]: round-tripping every leaf relation through the
       binary pagefile ({!Relational.Pagefile}) leaves tuples, schemas,
-      the estimate and the counters bit-identical. *)
+      the estimate and the counters bit-identical;
+    - ["maintenance"]: a {!Raestat.Stream_relation} replaying a random
+      insert/delete interleaving over the case's first leaf matches the
+      trace's exact recount (population, epoch-free store truth), keeps
+      every maintained sample (reservoir and Bernoulli) inside the live
+      multiset, drains to the exact-0 estimate when every live id is
+      deleted, and — where the power gate allows — keeps a replicate
+      mean over independent stream seeds that brackets the trace's
+      exact count (same Student-t bound and 8× retry as
+      ["unbiasedness"]). *)
 val battery : oracle list
+
+(** {2 Maintenance oracle internals (for tests)} *)
+
+(** One write in a maintenance trace. *)
+type stream_op =
+  | Add of Relational.Tuple.t
+  | Remove of Raestat.Stream_relation.id
+
+(** The ["maintenance"] oracle with an injectable write path (default:
+    {!Raestat.Stream_relation.insert} / [delete]).  Unit tests pass a
+    broken writer — e.g. one that drops deletions — to prove the
+    trace-differential checks flag it. *)
+val maintenance_oracle :
+  ?writer:(Raestat.Stream_relation.t -> stream_op -> unit) -> unit -> oracle
 
 (** First [Fail] across the battery as [(oracle name, detail)];
     [None] when every oracle passes or skips. *)

@@ -15,9 +15,10 @@ type t = {
   (* Members for O(1) deletion checks: id -> slot. *)
   slot_of : (id, int) Hashtbl.t;
   mutable seen : int;  (* inserts observed, drives reservoir admission *)
+  metrics : Obs.Metrics.t;
 }
 
-let create rng ~capacity ~schema =
+let create ?(metrics = Obs.Metrics.noop) rng ~capacity ~schema =
   if capacity <= 0 then invalid_arg "Backing_sample.create: capacity must be positive";
   {
     rng;
@@ -30,6 +31,7 @@ let create rng ~capacity ~schema =
     filled = 0;
     slot_of = Hashtbl.create (2 * capacity);
     seen = 0;
+    metrics;
   }
 
 let put t slot id tuple =
@@ -41,24 +43,41 @@ let put t slot id tuple =
   Hashtbl.replace t.slot_of id slot
 
 let insert t tuple =
+  let draws_before = Sampling.Rng.draws t.rng in
+  Obs.Metrics.add_maintenance_ops t.metrics 1;
   let id = t.next_id in
   t.next_id <- id + 1;
   t.population <- t.population + 1;
   t.seen <- t.seen + 1;
-  if t.filled < t.capacity then begin
+  if t.seen <= t.capacity then begin
+    (* Fill phase: Algorithm R admits the first [capacity] stream items
+       outright.  A gap left by a deleted sampled item stays a gap —
+       eagerly refilling it would admit the newcomer with probability 1
+       while its live peers hold the reservoir's admission rate, biasing
+       the sample toward recent arrivals. *)
     put t t.filled id tuple;
     t.filled <- t.filled + 1
   end
   else begin
-    (* Algorithm R admission over the insert stream.  Deletions thin
-       the sample uniformly, so admission over inserts keeps the
-       survivors uniform over the live population. *)
+    (* Algorithm R admission over the insert stream: the maintained
+       sample is the virtual (no-deletion) reservoir minus the deleted
+       members, which stays uniform over the live population.  [j] is
+       the uniformly drawn virtual slot; a slot holding a deleted member
+       ([j >= filled] after compaction) hands its place to the
+       newcomer. *)
     let j = Sampling.Rng.int t.rng t.seen in
-    if j < t.capacity then put t j id tuple
+    if j < t.capacity then
+      if j < t.filled then put t j id tuple
+      else begin
+        put t t.filled id tuple;
+        t.filled <- t.filled + 1
+      end
   end;
+  Obs.Metrics.add_rng_draws t.metrics (Sampling.Rng.draws t.rng - draws_before);
   id
 
 let delete t id =
+  Obs.Metrics.add_maintenance_ops t.metrics 1;
   if id < 0 || id >= t.next_id then false
   else begin
     match Hashtbl.find_opt t.slot_of id with
@@ -90,6 +109,8 @@ let delete t id =
 
 let population t = t.population
 
+let capacity t = t.capacity
+
 let sample t =
   let tuples =
     Array.init t.filled (fun k ->
@@ -104,12 +125,57 @@ let fill_ratio t = float_of_int t.filled /. float_of_int t.capacity
 let needs_rescan ?(min_ratio = 0.5) t =
   t.filled < t.population && fill_ratio t < min_ratio
 
+let rescan t live =
+  (* Rebuild as a fresh reservoir pass over the live population:
+     deletion erosion is reset, and [seen] restarts at the population so
+     later inserts resume Algorithm-R admission at the correct k/n
+     rate. *)
+  let draws_before = Sampling.Rng.draws t.rng in
+  Array.fill t.ids 0 t.capacity (-1);
+  Array.fill t.tuples 0 t.capacity None;
+  Hashtbl.reset t.slot_of;
+  t.filled <- 0;
+  t.seen <- 0;
+  t.population <- Array.length live;
+  Array.iter
+    (fun (id, tuple) ->
+      if id < 0 || id >= t.next_id then
+        invalid_arg "Backing_sample.rescan: id was never issued by this sample";
+      t.seen <- t.seen + 1;
+      if t.filled < t.capacity then begin
+        put t t.filled id tuple;
+        t.filled <- t.filled + 1
+      end
+      else begin
+        let j = Sampling.Rng.int t.rng t.seen in
+        if j < t.capacity then put t j id tuple
+      end)
+    live;
+  Obs.Metrics.add_tuples t.metrics (Array.length live);
+  Obs.Metrics.add_maintenance_ops t.metrics (Array.length live);
+  Obs.Metrics.add_rng_draws t.metrics (Sampling.Rng.draws t.rng - draws_before)
+
 let estimate_count t predicate =
-  if t.filled = 0 then invalid_arg "Backing_sample.estimate_count: empty sample";
-  let relation = sample t in
-  let keep = Relational.Predicate.compile t.schema predicate in
-  let hits = Relation.count keep relation in
-  if t.filled >= t.population then
-    (* Census: the sample IS the population. *)
-    Count_estimator.selection_of_counts ~big_n:t.filled ~n:t.filled ~hits
-  else Count_estimator.selection_of_counts ~big_n:t.population ~n:t.filled ~hits
+  if t.population = 0 then
+    (* All deleted (or nothing ever inserted): the exact-0 degenerate
+       estimate, matching the empty-relation contract everywhere else. *)
+    Count_estimator.selection_of_counts ~big_n:0 ~n:0 ~hits:0
+  else if t.filled = 0 then
+    (* Deletions consumed every sampled tuple while unsampled rows are
+       still live: no unbiased estimate exists without a rebuild.
+       Failure (not Invalid_argument masquerading as a caller bug)
+       routes through the `raestat: error:` / JSON-error contract. *)
+    failwith
+      (Printf.sprintf
+         "Backing_sample.estimate_count: sample exhausted by deletions (%d live tuples unsampled); rescan required"
+         t.population)
+  else begin
+    let relation = sample t in
+    let keep = Relational.Predicate.compile t.schema predicate in
+    let hits = Relation.count keep relation in
+    Obs.Metrics.add_tuples t.metrics t.filled;
+    if t.filled >= t.population then
+      (* Census: the sample IS the population. *)
+      Count_estimator.selection_of_counts ~big_n:t.filled ~n:t.filled ~hits
+    else Count_estimator.selection_of_counts ~big_n:t.population ~n:t.filled ~hits
+  end

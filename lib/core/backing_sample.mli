@@ -6,19 +6,31 @@
     reservoir keeps a uniform subset of the {e live} ids).  Deleting an
     id removes it from the sample if present — the survivors remain a
     uniform sample of the surviving population, at a reduced sample
-    size.  Holes left by deletions are refilled eagerly by subsequent
-    inserts, which biases the sample slightly toward post-deletion
-    arrivals; when deletions have eroded the sample below a threshold
-    the owner should rebuild from a scan ({!needs_rescan}), exactly as
+    size.  Holes left by deletions are {e not} refilled eagerly (that
+    would admit newcomers with probability 1 and bias the sample toward
+    post-deletion arrivals): later inserts keep the reservoir's
+    admission rate, taking over a hole only when their uniformly drawn
+    slot lands on one, so the sample stays unbiased at the cost of
+    erosion.  When deletions have eroded it below a threshold the owner
+    should rebuild from a scan ({!needs_rescan}), exactly as
     Gibbons–Matias prescribe. *)
 
 type t
 
 type id = int
 
-(** [create rng ~capacity] — target sample size.
+(** [create ?metrics rng ~capacity] — target sample size.  When
+    [metrics] is supplied, maintenance is accounted under the real-work
+    rules: one [maintenance_ops] tick per insert/delete, [rng_draws]
+    for admission coins, [tuples_scanned] for estimate and rescan
+    passes.
     @raise Invalid_argument if [capacity <= 0]. *)
-val create : Sampling.Rng.t -> capacity:int -> schema:Relational.Schema.t -> t
+val create :
+  ?metrics:Obs.Metrics.t ->
+  Sampling.Rng.t ->
+  capacity:int ->
+  schema:Relational.Schema.t ->
+  t
 
 (** Insert a tuple; returns its id (unique over the lifetime of [t]). *)
 val insert : t -> Relational.Tuple.t -> id
@@ -29,6 +41,9 @@ val delete : t -> id -> bool
 
 (** Live population size. *)
 val population : t -> int
+
+(** Target sample size, as given to {!create}. *)
+val capacity : t -> int
 
 (** Current sample as a relation. *)
 val sample : t -> Relational.Relation.t
@@ -42,7 +57,21 @@ val fill_ratio : t -> float
     capacity while the population could still support it. *)
 val needs_rescan : ?min_ratio:float -> t -> bool
 
+(** [rescan t live] rebuilds the sample as a fresh reservoir pass over
+    the live population — [(id, tuple)] pairs in insertion order, ids
+    previously issued by {!insert}.  Resets deletion erosion;
+    subsequent inserts resume reservoir admission at the correct rate.  This is the one maintenance operation that costs
+    O(population): callers gate it on {!needs_rescan}.
+    @raise Invalid_argument if a pair carries an id this sample never
+    issued. *)
+val rescan : t -> (id * Relational.Tuple.t) array -> unit
+
 (** Unbiased COUNT-of-selection estimate from the current sample
-    (see {!Count_estimator.selection_of_counts}).
-    @raise Invalid_argument when the sample is empty. *)
+    (see {!Count_estimator.selection_of_counts}).  An empty {e
+    population} (nothing inserted, or everything deleted) returns the
+    exact-0 degenerate estimate — same contract as estimating over an
+    empty CSV.
+    @raise Failure when deletions have exhausted the sample while
+    unsampled tuples are still live ({!rescan} is required first);
+    the message routes through the standard error contract. *)
 val estimate_count : t -> Relational.Predicate.t -> Stats.Estimate.t

@@ -1,0 +1,141 @@
+module Relation = Relational.Relation
+module Metrics = Obs.Metrics
+
+type id = Backing_sample.id
+
+type counts = { first_id : id; inserted : int; deleted : int }
+
+type t = {
+  schema : Relational.Schema.t;
+  rng : Sampling.Rng.t;
+  (* The live population, exactly: id -> tuple.  Ids are issued by the
+     backing sample (sequential from 0), so liveness checks here are
+     authoritative where the sample alone could only guess. *)
+  store : (id, Relational.Tuple.t) Hashtbl.t;
+  backing : Backing_sample.t;
+  bernoulli : Relational.Tuple.t Sampling.Bernoulli.maintained option;
+  window : Relational.Tuple.t Sampling.Window.t option;
+  mutable epoch : int;
+  (* Epoch-memoized materialization for the exact/query paths: rebuilt
+     at most once per epoch, columnar view forced. *)
+  mutable snap : (int * Relation.t) option;
+  metrics : Metrics.t;
+}
+
+let create ?(capacity = 1024) ?bernoulli ?window ?(window_chains = 1)
+    ?(metrics = Metrics.noop) ~seed ~schema () =
+  let rng = Sampling.Rng.create ~seed () in
+  {
+    schema;
+    rng;
+    store = Hashtbl.create 1024;
+    backing = Backing_sample.create ~metrics rng ~capacity ~schema;
+    bernoulli =
+      Option.map (fun p -> Sampling.Bernoulli.maintained ~metrics rng ~p ()) bernoulli;
+    window =
+      Option.map
+        (fun w -> Sampling.Window.create ~k:window_chains ~metrics rng ~window:w ())
+        window;
+    epoch = 0;
+    snap = None;
+    metrics;
+  }
+
+let schema t = t.schema
+
+let epoch t = t.epoch
+
+let population t = Hashtbl.length t.store
+
+let sample_size t = Backing_sample.sample_size t.backing
+
+let capacity t = Backing_sample.capacity t.backing
+
+let fill_ratio t = Backing_sample.fill_ratio t.backing
+
+let needs_rescan ?min_ratio t = Backing_sample.needs_rescan ?min_ratio t.backing
+
+let mem t id = Hashtbl.mem t.store id
+
+(* Every mutation invalidates the memoized materialization; sample
+   maintenance already happened inside the callee. *)
+let bump t =
+  t.epoch <- t.epoch + 1;
+  t.snap <- None
+
+let insert_one t tuple =
+  let id = Backing_sample.insert t.backing tuple in
+  Hashtbl.replace t.store id tuple;
+  Option.iter (fun m -> Sampling.Bernoulli.insert m ~id tuple) t.bernoulli;
+  Option.iter (fun w -> Sampling.Window.add w tuple) t.window;
+  id
+
+let delete_one t id =
+  if not (Hashtbl.mem t.store id) then false
+  else begin
+    Hashtbl.remove t.store id;
+    ignore (Backing_sample.delete t.backing id);
+    Option.iter (fun m -> Sampling.Bernoulli.delete m ~id) t.bernoulli;
+    true
+  end
+
+let insert t tuple =
+  let id = insert_one t tuple in
+  bump t;
+  id
+
+let delete t id =
+  let deleted = delete_one t id in
+  if deleted then bump t;
+  deleted
+
+let ingest t ~inserts ~deletes =
+  let first_id = ref (-1) in
+  Array.iter
+    (fun tuple ->
+      let id = insert_one t tuple in
+      if !first_id < 0 then first_id := id)
+    inserts;
+  let deleted = Array.fold_left (fun n id -> if delete_one t id then n + 1 else n) 0 deletes in
+  if Array.length inserts > 0 || deleted > 0 then bump t;
+  { first_id = !first_id; inserted = Array.length inserts; deleted }
+
+(* Live pairs in id (= insertion) order: the deterministic enumeration
+   every rebuild and materialization shares. *)
+let live_pairs t =
+  let pairs = Hashtbl.fold (fun id tuple acc -> (id, tuple) :: acc) t.store [] in
+  let pairs = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  Array.of_list pairs
+
+let rescan t =
+  Backing_sample.rescan t.backing (live_pairs t);
+  bump t
+
+let estimate_count t predicate = Backing_sample.estimate_count t.backing predicate
+
+let sample t = Backing_sample.sample t.backing
+
+let bernoulli_p t = Option.map Sampling.Bernoulli.prob t.bernoulli
+
+let bernoulli_size t = Option.map Sampling.Bernoulli.size t.bernoulli
+
+let bernoulli_sample t =
+  Option.map
+    (fun m ->
+      Relation.of_array t.schema (Array.map snd (Sampling.Bernoulli.contents m)))
+    t.bernoulli
+
+let window_size t = Option.map Sampling.Window.window t.window
+
+let window_sample t = Option.map Sampling.Window.contents t.window
+
+let snapshot t =
+  match t.snap with
+  | Some (epoch, relation) when epoch = t.epoch -> relation
+  | _ ->
+    let pairs = live_pairs t in
+    Metrics.add_tuples t.metrics (Array.length pairs);
+    let relation = Relation.of_array t.schema (Array.map snd pairs) in
+    Relation.warm_view relation;
+    t.snap <- Some (t.epoch, relation);
+    relation

@@ -1,0 +1,118 @@
+(** A mutable streaming relation: the live population under
+    inserts/deletes, with its statistical summaries — a backing
+    reservoir sample ({!Backing_sample}), an optional maintained
+    Bernoulli sample and an optional sliding-window sample — kept valid
+    on {e every} write, so estimates answered from the maintained
+    sample are always fresh (staleness 0 epochs) without rescanning the
+    base data.
+
+    {2 Determinism}
+
+    All randomness is drawn at {e write} time from the stream's own
+    seeded RNG, in operation order.  Reads ({!estimate_count},
+    {!snapshot}, the sample accessors) draw nothing, so any number of
+    concurrent readers — or worker domains — observe identical state
+    between writes.  The {!epoch} counter advances on every mutation
+    batch; it keys caches and staleness checks.
+
+    {2 Accounting}
+
+    The [?metrics] sink given to {!create} receives all maintenance
+    work under the real-work rules: [maintenance_ops] and [rng_draws]
+    per write, [tuples_scanned] for rescans and materializations.
+    Callers that attribute per-request deltas snapshot around an
+    operation and {!Obs.Metrics.add_snapshot} the difference. *)
+
+type id = Backing_sample.id
+
+type t
+
+(** Batch result: [first_id] is the id of the first inserted tuple
+    ([-1] when the batch inserted nothing); ids are sequential, so the
+    batch occupies [first_id .. first_id + inserted - 1]. *)
+type counts = { first_id : id; inserted : int; deleted : int }
+
+(** [create ?capacity ?bernoulli ?window ?window_chains ?metrics ~seed
+    ~schema ()] — [capacity] is the backing reservoir's target size
+    (default 1024); [bernoulli] enables a maintained Bernoulli(p)
+    sample; [window] a chain sample of the last [window] inserts with
+    [window_chains] independent chains.
+    @raise Invalid_argument on a non-positive capacity or window, or a
+    [bernoulli] outside [0, 1]. *)
+val create :
+  ?capacity:int ->
+  ?bernoulli:float ->
+  ?window:int ->
+  ?window_chains:int ->
+  ?metrics:Obs.Metrics.t ->
+  seed:int ->
+  schema:Relational.Schema.t ->
+  unit ->
+  t
+
+val schema : t -> Relational.Schema.t
+
+(** Mutation counter: bumped once per {!insert}, effective {!delete},
+    non-empty {!ingest} batch and {!rescan}. *)
+val epoch : t -> int
+
+(** Exact live population (the store is authoritative, not sampled). *)
+val population : t -> int
+
+val sample_size : t -> int
+
+(** Backing reservoir capacity. *)
+val capacity : t -> int
+
+val fill_ratio : t -> float
+
+(** Deletion erosion gauge, threaded to
+    {!Backing_sample.needs_rescan}. *)
+val needs_rescan : ?min_ratio:float -> t -> bool
+
+(** Is this id live? *)
+val mem : t -> id -> bool
+
+(** Insert a tuple into the population and every maintained sample;
+    returns its id. *)
+val insert : t -> Relational.Tuple.t -> id
+
+(** Delete by id from the population and every maintained sample.
+    [false] (and no epoch bump) for ids that are not live. *)
+val delete : t -> id -> bool
+
+(** Batched writes: all inserts in array order, then all deletes; one
+    epoch bump for the whole batch. *)
+val ingest : t -> inserts:Relational.Tuple.t array -> deletes:id array -> counts
+
+(** Rebuild the backing sample from the live population (id order) —
+    the O(population) escape hatch for {!needs_rescan}; bumps the
+    epoch. *)
+val rescan : t -> unit
+
+(** COUNT-of-selection estimate from the maintained backing sample:
+    never touches the base store.  Contract as
+    {!Backing_sample.estimate_count} (exact 0 on an empty population,
+    [Failure] when the sample is exhausted but tuples remain live). *)
+val estimate_count : t -> Relational.Predicate.t -> Stats.Estimate.t
+
+(** The maintained backing sample as a relation. *)
+val sample : t -> Relational.Relation.t
+
+val bernoulli_p : t -> float option
+val bernoulli_size : t -> int option
+
+(** Kept Bernoulli tuples (id order) as a relation, when enabled. *)
+val bernoulli_sample : t -> Relational.Relation.t option
+
+val window_size : t -> int option
+
+(** One draw per chain from the last [window] inserts, when enabled. *)
+val window_sample : t -> Relational.Tuple.t array option
+
+(** The live population materialized as a relation in id order, with
+    its columnar view forced — memoized per epoch, so exact/query paths
+    over an unchanged stream reuse one materialization.  This is the
+    path that {e does} scan the base data; estimation never calls
+    it. *)
+val snapshot : t -> Relational.Relation.t

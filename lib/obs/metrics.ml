@@ -12,6 +12,7 @@ type snapshot = {
   plan_cache_misses : int;
   plan_cache_evictions : int;
   plans_considered : int;
+  maintenance_ops : int;
   timers : (string * float) list;
 }
 
@@ -44,6 +45,7 @@ type t = {
   mutable plan_misses : int;
   mutable plan_evictions : int;
   mutable plans : int;
+  mutable maint : int;
   timer_table : (string, float) Hashtbl.t;
   mutable roots_rev : span list;
   mutable stack : open_span list;
@@ -65,6 +67,7 @@ let make ~enabled =
     plan_misses = 0;
     plan_evictions = 0;
     plans = 0;
+    maint = 0;
     timer_table = Hashtbl.create 8;
     roots_rev = [];
     stack = [];
@@ -93,6 +96,7 @@ let plan_cache_hit t = if t.enabled then t.plan_hits <- t.plan_hits + 1
 let plan_cache_miss t = if t.enabled then t.plan_misses <- t.plan_misses + 1
 let plan_cache_eviction t = if t.enabled then t.plan_evictions <- t.plan_evictions + 1
 let add_plans_considered t n = if t.enabled then t.plans <- t.plans + n
+let add_maintenance_ops t n = if t.enabled then t.maint <- t.maint + n
 
 let add_timer t label seconds =
   Hashtbl.replace t.timer_table label
@@ -153,7 +157,27 @@ let absorb dst src =
     dst.plan_misses <- dst.plan_misses + src.plan_misses;
     dst.plan_evictions <- dst.plan_evictions + src.plan_evictions;
     dst.plans <- dst.plans + src.plans;
+    dst.maint <- dst.maint + src.maint;
     Hashtbl.iter (fun label seconds -> add_timer dst label seconds) src.timer_table
+  end
+
+let add_snapshot dst s =
+  if dst.enabled then begin
+    dst.tuples <- dst.tuples + s.tuples_scanned;
+    dst.pages <- dst.pages + s.pages_read;
+    dst.bytes <- dst.bytes + s.bytes_read;
+    dst.batches <- dst.batches + s.io_batches;
+    dst.cache_hits <- dst.cache_hits + s.page_cache_hits;
+    dst.indices <- dst.indices + s.sample_indices;
+    dst.hits <- dst.hits + s.hash_probe_hits;
+    dst.misses <- dst.misses + s.hash_probe_misses;
+    dst.draws <- dst.draws + s.rng_draws;
+    dst.plan_hits <- dst.plan_hits + s.plan_cache_hits;
+    dst.plan_misses <- dst.plan_misses + s.plan_cache_misses;
+    dst.plan_evictions <- dst.plan_evictions + s.plan_cache_evictions;
+    dst.plans <- dst.plans + s.plans_considered;
+    dst.maint <- dst.maint + s.maintenance_ops;
+    List.iter (fun (label, seconds) -> add_timer dst label seconds) s.timers
   end
 
 let sorted_timers table =
@@ -175,6 +199,7 @@ let snapshot t =
     plan_cache_misses = t.plan_misses;
     plan_cache_evictions = t.plan_evictions;
     plans_considered = t.plans;
+    maintenance_ops = t.maint;
     timers = sorted_timers t.timer_table;
   }
 
@@ -193,6 +218,7 @@ let zero =
     plan_cache_misses = 0;
     plan_cache_evictions = 0;
     plans_considered = 0;
+    maintenance_ops = 0;
     timers = [];
   }
 
@@ -225,6 +251,7 @@ let diff later earlier =
     plan_cache_misses = later.plan_cache_misses - earlier.plan_cache_misses;
     plan_cache_evictions = later.plan_cache_evictions - earlier.plan_cache_evictions;
     plans_considered = later.plans_considered - earlier.plans_considered;
+    maintenance_ops = later.maintenance_ops - earlier.maintenance_ops;
     timers = combine_timers (fun a b -> a -. b) later.timers earlier.timers;
   }
 
@@ -243,6 +270,7 @@ let merge a b =
     plan_cache_misses = a.plan_cache_misses + b.plan_cache_misses;
     plan_cache_evictions = a.plan_cache_evictions + b.plan_cache_evictions;
     plans_considered = a.plans_considered + b.plans_considered;
+    maintenance_ops = a.maintenance_ops + b.maintenance_ops;
     timers = combine_timers ( +. ) a.timers b.timers;
   }
 
@@ -260,6 +288,7 @@ let counters_equal a b =
   && a.plan_cache_misses = b.plan_cache_misses
   && a.plan_cache_evictions = b.plan_cache_evictions
   && a.plans_considered = b.plans_considered
+  && a.maintenance_ops = b.maintenance_ops
 
 (* --- JSON ------------------------------------------------------------ *)
 
@@ -288,10 +317,11 @@ let counters_line s =
      \"io_batches\": %d, \"page_cache_hits\": %d, \"sample_indices\": %d, \
      \"hash_probe_hits\": %d, \"hash_probe_misses\": %d, \"rng_draws\": %d, \
      \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"plan_cache_evictions\": %d, \
-     \"plans_considered\": %d}"
+     \"plans_considered\": %d, \"maintenance_ops\": %d}"
     s.tuples_scanned s.pages_read s.bytes_read s.io_batches s.page_cache_hits
     s.sample_indices s.hash_probe_hits s.hash_probe_misses s.rng_draws
     s.plan_cache_hits s.plan_cache_misses s.plan_cache_evictions s.plans_considered
+    s.maintenance_ops
 
 let timers_json buffer timers =
   Buffer.add_string buffer "  \"timers\": [";

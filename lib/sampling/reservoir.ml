@@ -8,9 +8,10 @@ type 'a t = {
      the 1-based stream index of the next element to admit. *)
   mutable w : float;
   mutable next_index : int;
+  metrics : Obs.Metrics.t;
 }
 
-let create ?(algorithm = `R) rng ~capacity =
+let create ?(algorithm = `R) ?(metrics = Obs.Metrics.noop) rng ~capacity =
   if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
   {
     rng;
@@ -20,6 +21,7 @@ let create ?(algorithm = `R) rng ~capacity =
     store = Array.make capacity None;
     w = 1.;
     next_index = 0;
+    metrics;
   }
 
 (* Li's geometric skip ⌊log u / log(1−w)⌋, clamped into [0, max_int].
@@ -43,6 +45,8 @@ let advance_l t =
     (if t.next_index > max_int - skip - 1 then max_int else t.next_index + skip + 1)
 
 let add t x =
+  let draws_before = Rng.draws t.rng in
+  Obs.Metrics.add_maintenance_ops t.metrics 1;
   t.seen <- t.seen + 1;
   if t.seen <= t.capacity then begin
     t.store.(t.seen - 1) <- Some x;
@@ -51,7 +55,7 @@ let add t x =
       advance_l t
     end
   end
-  else
+  else (
     match t.algorithm with
     | `R ->
       let j = Rng.int t.rng t.seen in
@@ -60,7 +64,8 @@ let add t x =
       if t.seen = t.next_index then begin
         t.store.(Rng.int t.rng t.capacity) <- Some x;
         advance_l t
-      end
+      end);
+  Obs.Metrics.add_rng_draws t.metrics (Rng.draws t.rng - draws_before)
 
 let seen t = t.seen
 

@@ -8,8 +8,13 @@
 
 type 'a t
 
-(** @raise Invalid_argument if [capacity <= 0]. *)
-val create : ?algorithm:[ `R | `L ] -> Rng.t -> capacity:int -> 'a t
+(** [create ?algorithm ?metrics rng ~capacity] — when [metrics] is
+    supplied, every {!add} accounts its RNG draws ([rng_draws]) and one
+    [maintenance_ops] tick, so streaming maintenance shows up under the
+    same real-work rules as the one-shot samplers.
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create :
+  ?algorithm:[ `R | `L ] -> ?metrics:Obs.Metrics.t -> Rng.t -> capacity:int -> 'a t
 
 val add : 'a t -> 'a -> unit
 

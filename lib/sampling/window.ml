@@ -1,8 +1,13 @@
-(* One chain: [chain] is the current sample followed by its recorded
-   successor links (strictly increasing stream indices); [next_succ] is
-   the pre-chosen index whose value the chain still needs to record. *)
+(* One chain: the current sample followed by its recorded successor
+   links (strictly increasing stream indices), kept as a two-list
+   queue — [front] is the ordered prefix, [back_rev] the reversed
+   suffix — so recording a successor is an O(1) cons instead of the
+   O(|links|) append the first version paid per recorded link.
+   [next_succ] is the pre-chosen index whose value the chain still
+   needs to record. *)
 type 'a chain = {
-  mutable links : (int * 'a) list;
+  mutable front : (int * 'a) list;
+  mutable back_rev : (int * 'a) list;
   mutable next_succ : int;
 }
 
@@ -11,43 +16,80 @@ type 'a t = {
   window : int;
   chains : 'a chain array;
   mutable seen : int;
+  mutable work : int;
+  metrics : Obs.Metrics.t;
 }
 
-let create ?(k = 1) rng ~window () =
+let create ?(k = 1) ?(metrics = Obs.Metrics.noop) rng ~window () =
   if window <= 0 then invalid_arg "Window.create: window must be positive";
   if k <= 0 then invalid_arg "Window.create: k must be positive";
-  { rng; window; chains = Array.init k (fun _ -> { links = []; next_succ = 0 }); seen = 0 }
+  {
+    rng;
+    window;
+    chains = Array.init k (fun _ -> { front = []; back_rev = []; next_succ = 0 });
+    seen = 0;
+    work = 0;
+    metrics;
+  }
+
+let is_empty chain = chain.front = [] && chain.back_rev = []
+
+(* Move the reversed suffix to the front when the front runs out:
+   each link is reversed at most once, so the amortized cost per
+   recorded link stays O(1). *)
+let normalize t chain =
+  if chain.front = [] && chain.back_rev <> [] then begin
+    t.work <- t.work + List.length chain.back_rev;
+    chain.front <- List.rev chain.back_rev;
+    chain.back_rev <- []
+  end
+
+let head chain =
+  match chain.front with
+  | link :: _ -> Some link
+  | [] -> ( match List.rev chain.back_rev with link :: _ -> Some link | [] -> None)
 
 let pick_successor t index = index + 1 + Rng.int t.rng t.window
 
 let add t x =
+  let draws_before = Rng.draws t.rng in
   t.seen <- t.seen + 1;
   let now = t.seen in
   Array.iter
     (fun chain ->
       (* Record a successor the chain was waiting for. *)
-      if chain.next_succ = now && chain.links <> [] then begin
-        chain.links <- chain.links @ [ (now, x) ];
+      if chain.next_succ = now && not (is_empty chain) then begin
+        t.work <- t.work + 1;
+        chain.back_rev <- (now, x) :: chain.back_rev;
         chain.next_succ <- pick_successor t now
       end;
       (* Admit the new element with probability 1/min(now, W). *)
       let denom = min now t.window in
       if Rng.int t.rng denom = 0 then begin
-        chain.links <- [ (now, x) ];
+        t.work <- t.work + 1;
+        chain.front <- [ (now, x) ];
+        chain.back_rev <- [];
         chain.next_succ <- pick_successor t now
       end;
       (* Expire the sample if it slid out of the window. *)
-      (match chain.links with
-      | (index, _) :: rest when index <= now - t.window -> chain.links <- rest
-      | _ -> ()))
-    t.chains
+      normalize t chain;
+      match chain.front with
+      | (index, _) :: rest when index <= now - t.window ->
+        t.work <- t.work + 1;
+        chain.front <- rest;
+        normalize t chain
+      | _ -> ())
+    t.chains;
+  Obs.Metrics.add_maintenance_ops t.metrics (Array.length t.chains);
+  Obs.Metrics.add_rng_draws t.metrics (Rng.draws t.rng - draws_before)
 
 let seen t = t.seen
 
 let window t = t.window
 
+let work t = t.work
+
 let contents t =
   Array.to_list t.chains
-  |> List.filter_map (fun chain ->
-         match chain.links with (_, x) :: _ -> Some x | [] -> None)
+  |> List.filter_map (fun chain -> match head chain with Some (_, x) -> Some x | None -> None)
   |> Array.of_list

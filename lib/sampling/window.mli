@@ -8,13 +8,21 @@
     positions after it) is chosen in advance and recorded as it flows
     by, so expiry never needs access to the expired window.  Chains are
     independent, so {!contents} is a with-replacement size-[k] sample
-    of the window. *)
+    of the window.
+
+    Per-element maintenance is O(k) amortized: recorded links live in a
+    two-list queue (ordered front, reversed suffix), so appends are
+    cons cells and each link is reversed at most once on its way to the
+    head — {!work} exposes the cell-operation total the regression test
+    pins. *)
 
 type 'a t
 
-(** [create ?k rng ~window ()] — [k] independent chains (default 1).
+(** [create ?k ?metrics rng ~window ()] — [k] independent chains
+    (default 1).  When [metrics] is supplied, every {!add} accounts its
+    RNG draws ([rng_draws]) and one [maintenance_ops] tick per chain.
     @raise Invalid_argument if [window <= 0] or [k <= 0]. *)
-val create : ?k:int -> Rng.t -> window:int -> unit -> 'a t
+val create : ?k:int -> ?metrics:Obs.Metrics.t -> Rng.t -> window:int -> unit -> 'a t
 
 (** Feed the next stream element. *)
 val add : 'a t -> 'a -> unit
@@ -23,6 +31,12 @@ val add : 'a t -> 'a -> unit
 val seen : 'a t -> int
 
 val window : 'a t -> int
+
+(** Total chain cell operations (links recorded, reversed or expired)
+    since {!create} — the complexity hook: amortized O(1) per {!add}
+    per chain, so [work t / (k * seen t)] stays bounded however long
+    the stream runs. *)
+val work : 'a t -> int
 
 (** One uniform draw from the current window per chain ([k] values,
     with replacement across chains); empty before the first element. *)

@@ -143,6 +143,38 @@ let estimate ?(metrics = Metrics.noop) ?plans ?(plan_prefix = "") ?index_source 
     expr = Expr.select predicate (Expr.base relation);
   }
 
+(* Filter COUNT answered from a maintained stream's backing sample:
+   never rescans the live store, so freshness is free.  One render path
+   shared by the daemon's stream-aware "estimate" and the one-shot
+   [raestat ingest --where], so the two stay byte-identical. *)
+let estimate_stream ?(metrics = Metrics.noop) ~relation ~level stream predicate =
+  check_unit_open ~option:"--level" level;
+  let module SR = Raestat.Stream_relation in
+  let est =
+    Metrics.with_span metrics
+      (Printf.sprintf "stream-selection %s" relation)
+      (fun () -> SR.estimate_count stream predicate)
+  in
+  let n = SR.sample_size stream and population = SR.population stream in
+  let buffer = Buffer.create 128 in
+  Printf.bprintf buffer "estimated COUNT: %.0f\n" est.Estimate.point;
+  Printf.bprintf buffer "sampled %d of %d tuples (%.2f%%), maintained at epoch %d\n" n
+    population
+    (if population = 0 then 100. else 100. *. float_of_int n /. float_of_int population)
+    (SR.epoch stream);
+  if Estimate.has_variance est then begin
+    let ci = Estimate.ci ~level est in
+    Printf.bprintf buffer "%.0f%% CI: [%.0f, %.0f]\n" (100. *. level)
+      ci.Stats.Confidence.lo ci.Stats.Confidence.hi
+  end;
+  if SR.needs_rescan stream then
+    Buffer.add_string buffer "note: sample eroded by deletions; rescan recommended\n";
+  {
+    text = Buffer.contents buffer;
+    estimate = est;
+    expr = Expr.select predicate (Expr.base relation);
+  }
+
 (* Cluster sampling over whole pages ([raestat estimate --pages] and
    the daemon's "pages" request field): one render path so daemon
    responses stay byte-identical to the one-shot CLI.  Over a pagefile

@@ -95,6 +95,23 @@ val estimate :
   Relational.Predicate.t ->
   result
 
+(** Filter COUNT answered from a maintained stream's backing sample —
+    the fresh-under-writes path: never rescans the live store, reports
+    the stream's epoch in the sampled-line, and appends a rescan note
+    when deletions have eroded the sample.  Reads draw no randomness,
+    so the text is a pure function of stream state.  Shared by the
+    daemon's stream-aware ["estimate"] and [raestat ingest --where].
+    Contract of {!Raestat.Stream_relation.estimate_count} (exact 0 on
+    an empty population, [Failure] once the sample is exhausted but
+    tuples remain — callers surface the rescan instruction). *)
+val estimate_stream :
+  ?metrics:Obs.Metrics.t ->
+  relation:string ->
+  level:float ->
+  Raestat.Stream_relation.t ->
+  Relational.Predicate.t ->
+  result
+
 (** Page-level (cluster-sampled) COUNT of a filter ([raestat estimate
     --pages M] and the daemon's ["pages"] field): draw [m] whole pages
     from the paged view, expand by M/m.  [relation] only names the

@@ -181,7 +181,179 @@ let counters_json (s : Metrics.snapshot) =
       ("plan_cache_misses", Json.Int s.plan_cache_misses);
       ("plan_cache_evictions", Json.Int s.plan_cache_evictions);
       ("plans_considered", Json.Int s.plans_considered);
+      ("maintenance_ops", Json.Int s.maintenance_ops);
     ]
+
+(* --- streaming writes: JSON tuples and stream plumbing ---------------- *)
+
+module SR = Raestat.Stream_relation
+
+let value_ty_of_json name = function
+  | Json.Int _ -> Relational.Value.Tint
+  | Json.Float _ -> Relational.Value.Tfloat
+  | Json.Str _ -> Relational.Value.Tstr
+  | Json.Bool _ -> Relational.Value.Tbool
+  | _ ->
+    failwith (Printf.sprintf "tuple field %S must be a number, string or boolean" name)
+
+(* Schema inference for a relation first seen on a write: sorted field
+   names (so the inferred schema is independent of JSON field order),
+   types from the first tuple's values. *)
+let infer_schema tuple_json =
+  match tuple_json with
+  | Json.Obj [] -> failwith "cannot infer a schema from an empty tuple"
+  | Json.Obj fields ->
+    fields
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, v) -> (name, value_ty_of_json name v))
+    |> Relational.Schema.of_list
+  | _ -> failwith "tuple must be a JSON object"
+
+let tuple_of_json schema json =
+  match json with
+  | Json.Obj _ ->
+    Relational.Schema.attributes schema
+    |> List.map (fun (attr : Relational.Schema.attribute) ->
+           match Json.member attr.name json with
+           | None | Some Json.Null ->
+             failwith (Printf.sprintf "tuple is missing field %S" attr.name)
+           | Some v -> (
+             match (attr.ty, v) with
+             | Relational.Value.Tint, Json.Int i -> Relational.Value.Int i
+             | Relational.Value.Tfloat, Json.Float f -> Relational.Value.Float f
+             | Relational.Value.Tfloat, Json.Int i ->
+               Relational.Value.Float (float_of_int i)
+             | Relational.Value.Tstr, Json.Str s -> Relational.Value.Str s
+             | Relational.Value.Tbool, Json.Bool b -> Relational.Value.Bool b
+             | ty, _ ->
+               failwith
+                 (Printf.sprintf "tuple field %S must have type %s" attr.name
+                    (Relational.Value.ty_to_string ty))))
+    |> Relational.Tuple.make
+  | _ -> failwith "tuple must be a JSON object"
+
+(* Stream parameters bind at first touch (Warm.ensure_stream);
+   [first_tuple] feeds schema inference only when the name is neither
+   bound nor already streamed. *)
+let ensure_stream view request ~relation ~first_tuple =
+  let seed = Option.get (Json.int_field ~default:42 request "seed") in
+  let capacity = Option.get (Json.int_field ~default:1024 request "capacity") in
+  let bernoulli = Json.float_field request "bernoulli" in
+  let window = Json.int_field request "window" in
+  let schema =
+    if
+      Warm.has_stream view.warm relation
+      || Relational.Catalog.mem (Warm.catalog view.warm) relation
+    then None
+    else Option.map infer_schema first_tuple
+  in
+  let _created, conversion_delta =
+    Warm.ensure_stream view.warm ~relation ~seed ~capacity ?bernoulli ?window ~schema ()
+  in
+  conversion_delta
+
+let stream_status stream =
+  [
+    ("epoch", Json.Int (SR.epoch stream));
+    ("population", Json.Int (SR.population stream));
+    ("sample_size", Json.Int (SR.sample_size stream));
+    ("needs_rescan", Json.Bool (SR.needs_rescan stream));
+  ]
+
+(* All four write/maintenance ops answer with the stream's post-op
+   status; maintenance work (and its conversion prefix on first touch)
+   is attributed to this request's sink via the with_stream delta. *)
+let dispatch_stream_write slot view request op =
+  let relation = Option.get (Json.string_field ~default:"r" request "relation") in
+  let metrics = Metrics.create () in
+  let member_or name msg =
+    match Json.member name request with
+    | Some v -> v
+    | None -> failwith msg
+  in
+  let fields, delta =
+    match op with
+    | `Insert ->
+      let tuple_json = member_or "tuple" "request field \"tuple\" is required" in
+      Metrics.add_snapshot metrics
+        (ensure_stream view request ~relation ~first_tuple:(Some tuple_json));
+      Warm.with_stream view.warm relation (fun stream ->
+          let id = SR.insert stream (tuple_of_json (SR.schema stream) tuple_json) in
+          ("id", Json.Int id) :: stream_status stream)
+    | `Delete ->
+      let id =
+        match Json.int_field request "id" with
+        | Some id -> id
+        | None -> failwith "request field \"id\" is required"
+      in
+      Metrics.add_snapshot metrics (ensure_stream view request ~relation ~first_tuple:None);
+      Warm.with_stream view.warm relation (fun stream ->
+          ("deleted", Json.Bool (SR.delete stream id)) :: stream_status stream)
+    | `Ingest ->
+      let tuples_json =
+        match Json.member "insert" request with
+        | None | Some Json.Null -> []
+        | Some (Json.List l) -> l
+        | Some _ -> failwith "request field \"insert\" must be an array of tuples"
+      in
+      let delete_ids =
+        match Json.member "delete" request with
+        | None | Some Json.Null -> []
+        | Some (Json.List l) ->
+          List.map
+            (function
+              | Json.Int id -> id
+              | _ -> failwith "request field \"delete\" must be an array of ids")
+            l
+        | Some _ -> failwith "request field \"delete\" must be an array of ids"
+      in
+      let first_tuple = match tuples_json with t :: _ -> Some t | [] -> None in
+      Metrics.add_snapshot metrics (ensure_stream view request ~relation ~first_tuple);
+      Warm.with_stream view.warm relation (fun stream ->
+          let schema = SR.schema stream in
+          let inserts = Array.of_list (List.map (tuple_of_json schema) tuples_json) in
+          let counts = SR.ingest stream ~inserts ~deletes:(Array.of_list delete_ids) in
+          ("first_id", Json.Int counts.SR.first_id)
+          :: ("inserted", Json.Int counts.SR.inserted)
+          :: ("deleted", Json.Int counts.SR.deleted)
+          :: stream_status stream)
+    | `Rescan ->
+      (* No auto-conversion: rescanning a never-written relation is a
+         client error, not an implicit stream creation. *)
+      Warm.with_stream view.warm relation (fun stream ->
+          SR.rescan stream;
+          stream_status stream)
+  in
+  Metrics.add_snapshot metrics delta;
+  absorb_into slot metrics;
+  Json.Obj fields
+
+(* Catalog the expression ops read: the static catalog when nothing has
+   been written (zero copies, zero overhead), otherwise a per-request
+   overlay where every streamed name is rebound to its epoch-memoized
+   snapshot.  The plan prefix carries each stream's epoch, so cached
+   plans compiled against older stream contents can never serve newer
+   requests — same mechanism as the reload generation. *)
+let stream_overlay view metrics =
+  let prefix = Printf.sprintf "g%d|" view.generation in
+  match Warm.stream_infos view.warm with
+  | [] -> (Warm.catalog view.warm, prefix)
+  | infos ->
+    let catalog = Relational.Catalog.copy (Warm.catalog view.warm) in
+    let buffer = Buffer.create 64 in
+    Buffer.add_string buffer prefix;
+    List.iter
+      (fun info ->
+        let name = info.Warm.stream_name in
+        let (snap, epoch), delta =
+          Warm.with_stream view.warm name (fun stream ->
+              (SR.snapshot stream, SR.epoch stream))
+        in
+        Metrics.add_snapshot metrics delta;
+        Relational.Catalog.set catalog name snap;
+        Printf.bprintf buffer "%s@e%d|" name epoch)
+      infos;
+    (catalog, Buffer.contents buffer)
 
 (* The estimation ops share their defaults with the one-shot CLI
    (seed 42, fraction 0.01, level 0.95, groups 5): same request, same
@@ -194,43 +366,69 @@ let dispatch_estimation state slot view request op =
   let fraction = Option.get (Json.float_field ~default:0.01 request "fraction") in
   let rng = Sampling.Rng.create ~seed () in
   let metrics = Metrics.create () in
-  let catalog = Warm.catalog view.warm in
-  let plan_prefix = Printf.sprintf "g%d|" view.generation in
-  let result =
+  let result, extra =
     match op with
     | `Estimate -> (
       let relation = Option.get (Json.string_field ~default:"r" request "relation") in
       let level = Option.get (Json.float_field ~default:0.95 request "level") in
       let predicate = Engine.predicate_of_string (require_string request "where") in
-      match Json.int_field request "pages" with
-      | Some m ->
-        (* Page-level cluster sampling over the retained paged view:
-           for .raf bindings the page cache is warm across requests. *)
-        Engine.check_fraction fraction;
-        Warm.with_paged view.warm relation (fun paged ->
-            Engine.estimate_pages ~metrics rng ~relation ~m ~level paged predicate)
-      | None ->
-        let index_source = Warm.index_source view.warm ~relation ~seed in
-        Engine.estimate ~metrics ~plans:state.plan_cache ~plan_prefix ~index_source rng
-          catalog ~relation ~fraction ~level predicate)
+      if Warm.has_stream view.warm relation then begin
+        (* Fresh-under-writes path: answered from the maintained
+           backing sample, never from a base-table rescan.  Reads draw
+           nothing, so the bytes are a pure function of stream state. *)
+        (match Json.int_field request "pages" with
+        | Some _ ->
+          failwith
+            (Printf.sprintf
+               "relation %S is a maintained stream; page sampling needs a static \
+                pagefile binding"
+               relation)
+        | None -> ());
+        let result, delta =
+          Warm.with_stream view.warm relation (fun stream ->
+              ( Engine.estimate_stream ~metrics ~relation ~level stream predicate,
+                stream_status stream ))
+        in
+        Metrics.add_snapshot metrics delta;
+        result
+      end
+      else
+        match Json.int_field request "pages" with
+        | Some m ->
+          (* Page-level cluster sampling over the retained paged view:
+             for .raf bindings the page cache is warm across requests. *)
+          Engine.check_fraction fraction;
+          ( Warm.with_paged view.warm relation (fun paged ->
+                Engine.estimate_pages ~metrics rng ~relation ~m ~level paged predicate),
+            [] )
+        | None ->
+          let catalog = Warm.catalog view.warm in
+          let plan_prefix = Printf.sprintf "g%d|" view.generation in
+          let index_source = Warm.index_source view.warm ~relation ~seed in
+          ( Engine.estimate ~metrics ~plans:state.plan_cache ~plan_prefix ~index_source
+              rng catalog ~relation ~fraction ~level predicate,
+            [] ))
     | `Query ->
       let groups = Option.get (Json.int_field ~default:5 request "groups") in
       let optimize = bool_field ~default:false request "optimize" in
       let expr = Relational.Parser.parse_expr (require_string request "expr") in
-      Engine.query ~metrics ~plans:state.plan_cache ~plan_prefix ~optimize rng catalog
-        ~fraction ~groups expr
+      let catalog, plan_prefix = stream_overlay view metrics in
+      ( Engine.query ~metrics ~plans:state.plan_cache ~plan_prefix ~optimize rng catalog
+          ~fraction ~groups expr,
+        [] )
     | `Sql ->
       let groups = Option.get (Json.int_field ~default:5 request "groups") in
       let optimize = bool_field ~default:false request "optimize" in
-      Engine.sql ~metrics ~plans:state.plan_cache ~plan_prefix ~optimize rng catalog
-        ~fraction ~groups (require_string request "query")
+      let catalog, plan_prefix = stream_overlay view metrics in
+      ( Engine.sql ~metrics ~plans:state.plan_cache ~plan_prefix ~optimize rng catalog
+          ~fraction ~groups (require_string request "query"),
+        [] )
   in
   absorb_into slot metrics;
   Json.Obj
-    [
-      ("text", Json.Str result.Engine.text);
-      ("point", Json.Float result.Engine.estimate.Stats.Estimate.point);
-    ]
+    (("text", Json.Str result.Engine.text)
+    :: ("point", Json.Float result.Engine.estimate.Stats.Estimate.point)
+    :: extra)
 
 let dispatch_explain view request =
   let fraction = Option.get (Json.float_field ~default:0.01 request "fraction") in
@@ -299,6 +497,20 @@ let dispatch_metrics state view =
             ("sample_misses", Json.Int samples.Warm.misses);
             ("sample_evictions", Json.Int samples.Warm.evictions);
           ] );
+      ( "streams",
+        Json.List
+          (List.map
+             (fun (i : Warm.stream_info) ->
+               Json.Obj
+                 [
+                   ("relation", Json.Str i.stream_name);
+                   ("epoch", Json.Int i.stream_epoch);
+                   ("population", Json.Int i.stream_population);
+                   ("sample_size", Json.Int i.stream_sample_size);
+                   ("fill_ratio", Json.Float i.stream_fill_ratio);
+                   ("needs_rescan", Json.Bool i.stream_needs_rescan);
+                 ])
+             (Warm.stream_infos view.warm)) );
       ("counters", counters_json s);
     ]
 
@@ -333,6 +545,10 @@ let dispatch state slot view request =
   | "query" -> dispatch_estimation state slot view request `Query
   | "sql" -> dispatch_estimation state slot view request `Sql
   | "explain" -> dispatch_explain view request
+  | "insert" -> dispatch_stream_write slot view request `Insert
+  | "delete" -> dispatch_stream_write slot view request `Delete
+  | "ingest" -> dispatch_stream_write slot view request `Ingest
+  | "rescan" -> dispatch_stream_write slot view request `Rescan
   | "metrics" -> dispatch_metrics state view
   | "reload" -> dispatch_reload state slot
   | "shutdown" ->

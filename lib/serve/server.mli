@@ -9,14 +9,44 @@
     ← {"id": 1, "ok": true, "result": {"text": "estimated COUNT: ...", "point": ...}}
     v}
 
-    Ops: [ping], [estimate], [query], [sql], [explain], [metrics],
-    [reload], [shutdown].  Missing numeric fields default to the CLI
-    defaults (seed 42, fraction 0.01, level 0.95, groups 5), and the
-    [text] result field is byte-identical to the one-shot CLI's stdout
-    for the same arguments and seed — both front ends render through
-    {!Engine}.  An [estimate] request with a ["pages"] integer field
-    runs page-level cluster sampling over the relation's retained paged
-    view (the served analogue of [--pages M]).
+    Ops: [ping], [estimate], [query], [sql], [explain], [insert],
+    [delete], [ingest], [rescan], [metrics], [reload], [shutdown].
+    Missing numeric fields default to the CLI defaults (seed 42,
+    fraction 0.01, level 0.95, groups 5), and the [text] result field
+    is byte-identical to the one-shot CLI's stdout for the same
+    arguments and seed — both front ends render through {!Engine}.  An
+    [estimate] request with a ["pages"] integer field runs page-level
+    cluster sampling over the relation's retained paged view (the
+    served analogue of [--pages M]).
+
+    {2 Streaming writes}
+
+    The write ops mutate a {e maintained stream}
+    ({!Raestat.Stream_relation}) for the named relation, created on
+    first write: a name bound in the catalog converts by ingesting its
+    tuples (in relation order), an unbound name infers its schema from
+    the first inserted tuple (sorted field names).  Stream parameters
+    ([seed], [capacity], [bernoulli], [window]) bind at first touch.
+
+    - [insert] [{relation, tuple}] → [{id, epoch, population, ...}]
+    - [delete] [{relation, id}] → [{deleted, epoch, ...}]
+    - [ingest] [{relation, insert: [tuple...], delete: [id...]}] —
+      batched: one epoch bump, ids assigned in array order
+    - [rescan] [{relation}] — rebuild the eroded backing sample from
+      the live population (the only write op that scans base data)
+
+    An [estimate] for a streamed relation is answered from its
+    maintained backing sample — fresh at the stream's current epoch,
+    with {e no} base-table rescan — and the response carries [epoch],
+    [population], [sample_size] and [needs_rescan] alongside
+    [text]/[point].  [query]/[sql] see streamed relations through a
+    per-request catalog overlay of their epoch-memoized snapshots
+    (cached plans are keyed by stream epochs, so they never go stale).
+    The [metrics] op reports per-stream status rows under ["streams"],
+    including [needs_rescan].  Writes serialize per stream and draw
+    all randomness at write time, so responses stay worker-count
+    invariant; [reload] drops streams with the rest of the warm
+    state.
 
     {2 Concurrency and determinism}
 

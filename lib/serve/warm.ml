@@ -20,6 +20,27 @@ type snode = {
   mutable snext : snode option; (* toward least recently used *)
 }
 
+(* One maintained stream per written-to relation.  The entry owns the
+   stream's metrics sink (maintenance deltas are attributed to the
+   requests that caused them via snapshot/diff under the stream lock)
+   and the mutex that serializes all access — writes draw from the
+   stream's RNG at write time, so serialized writes + draw-free reads
+   are what make served responses worker-count-invariant. *)
+type stream_entry = {
+  stream : Raestat.Stream_relation.t;
+  stream_lock : Mutex.t;
+  stream_sink : Metrics.t;
+}
+
+type stream_info = {
+  stream_name : string;
+  stream_epoch : int;
+  stream_population : int;
+  stream_sample_size : int;
+  stream_fill_ratio : float;
+  stream_needs_rescan : bool;
+}
+
 type t = {
   catalog : Relational.Catalog.t;
   paged_tbl : (string, paged_entry) Hashtbl.t;  (* immutable after load *)
@@ -32,6 +53,8 @@ type t = {
   mutable sample_misses : int;
   mutable sample_evictions : int;
   mutable refs : int;  (* owner ref + one per in-flight reader *)
+  streams : (string, stream_entry) Hashtbl.t;
+  streams_lock : Mutex.t;  (* guards the stream table, not the streams *)
 }
 
 type sample_stats = {
@@ -107,6 +130,8 @@ let load ?metrics ?(sample_capacity = 128)
     sample_misses = 0;
     sample_evictions = 0;
     refs = 1;
+    streams = Hashtbl.create 8;
+    streams_lock = Mutex.create ();
   }
 
 let catalog t = t.catalog
@@ -209,6 +234,98 @@ let sample_stats t =
   in
   Mutex.unlock t.lock;
   stats
+
+(* --- paged views ------------------------------------------------------ *)
+
+(* --- maintained streams ----------------------------------------------- *)
+
+let find_stream_entry t name =
+  Mutex.lock t.streams_lock;
+  let entry = Hashtbl.find_opt t.streams name in
+  Mutex.unlock t.streams_lock;
+  entry
+
+let has_stream t name = Option.is_some (find_stream_entry t name)
+
+(* Find-or-create under the table lock: creation is single-flight, so
+   converting a bound static relation (inserting every tuple through
+   the maintenance path, in relation order) happens exactly once.
+   Creation parameters are fixed at first touch; later writers share
+   the existing stream whatever parameters they asked for. *)
+let ensure_stream t ~relation ~seed ~capacity ?bernoulli ?window ~schema () =
+  Mutex.lock t.streams_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.streams_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.streams relation with
+      | Some _ -> (false, Metrics.zero)
+      | None ->
+        let schema =
+          match
+            (Relational.Catalog.find_opt t.catalog relation, schema)
+          with
+          | Some bound, _ -> Relational.Relation.schema bound
+          | None, Some schema -> schema
+          | None, None ->
+            failwith
+              (Printf.sprintf
+                 "stream %S: relation is not bound and the request carries no tuples to infer a schema from"
+                 relation)
+        in
+        let stream_sink = Metrics.create () in
+        let stream =
+          Raestat.Stream_relation.create ~capacity ?bernoulli ?window
+            ~metrics:stream_sink ~seed ~schema ()
+        in
+        (match Relational.Catalog.find_opt t.catalog relation with
+        | Some bound ->
+          ignore
+            (Raestat.Stream_relation.ingest stream
+               ~inserts:(Relational.Relation.tuples bound)
+               ~deletes:[||])
+        | None -> ());
+        Hashtbl.replace t.streams relation
+          { stream; stream_lock = Mutex.create (); stream_sink };
+        (* The conversion work (ingesting a bound relation) is the
+           creating request's to account for. *)
+        (true, Metrics.snapshot stream_sink))
+
+(* Run [f] on the stream under its lock; returns [f]'s result plus the
+   maintenance-counter delta the call produced, for attribution to the
+   calling request's sink. *)
+let with_stream t name f =
+  match find_stream_entry t name with
+  | None -> failwith (Printf.sprintf "no maintained stream for relation %S" name)
+  | Some entry ->
+    Mutex.lock entry.stream_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock entry.stream_lock)
+      (fun () ->
+        let before = Metrics.snapshot entry.stream_sink in
+        let result = f entry.stream in
+        (result, Metrics.diff (Metrics.snapshot entry.stream_sink) before))
+
+let stream_infos t =
+  Mutex.lock t.streams_lock;
+  let entries = Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t.streams [] in
+  Mutex.unlock t.streams_lock;
+  entries
+  |> List.map (fun (name, entry) ->
+         Mutex.lock entry.stream_lock;
+         let module SR = Raestat.Stream_relation in
+         let info =
+           {
+             stream_name = name;
+             stream_epoch = SR.epoch entry.stream;
+             stream_population = SR.population entry.stream;
+             stream_sample_size = SR.sample_size entry.stream;
+             stream_fill_ratio = SR.fill_ratio entry.stream;
+             stream_needs_rescan = SR.needs_rescan entry.stream;
+           }
+         in
+         Mutex.unlock entry.stream_lock;
+         info)
+  |> List.sort (fun a b -> String.compare a.stream_name b.stream_name)
 
 (* --- paged views ------------------------------------------------------ *)
 

@@ -87,3 +87,58 @@ val sample_stats : t -> sample_stats
     requests for one relation serialize, different relations don't).
     @raise Failure (["unknown relation"]) for an unbound name. *)
 val with_paged : t -> string -> (Relational.Paged.t -> 'a) -> 'a
+
+(** {2 Maintained streams}
+
+    Relations that have been written to ([insert] / [delete] /
+    [ingest]) are backed by a {!Raestat.Stream_relation}: the live
+    population plus its maintained samples, serialized by a
+    per-stream mutex.  All randomness is drawn at write time in
+    operation order, so served reads are worker-count-invariant.
+    Streams are scoped to this warm state — a [reload] starts from
+    the (re)loaded static bindings with no streams. *)
+
+type stream_info = {
+  stream_name : string;
+  stream_epoch : int;
+  stream_population : int;
+  stream_sample_size : int;
+  stream_fill_ratio : float;
+  stream_needs_rescan : bool;
+}
+
+(** Has this relation been converted to a maintained stream? *)
+val has_stream : t -> string -> bool
+
+(** Find-or-create the stream for [relation] (single-flight under the
+    table lock); [true] when this call created it.  A name bound in
+    the static catalog converts by ingesting its tuples in relation
+    order — deterministic, so every worker layout converges on the
+    same stream state.  An unbound name requires [schema].
+    Creation parameters ([seed], [capacity], [bernoulli], [window])
+    bind at first touch; later calls reuse the existing stream.
+    Returns whether this call created the stream, plus the
+    maintenance-counter delta of the conversion (zero for an existing
+    stream) for attribution to the creating request.
+    @raise Failure when the name is unbound and [schema] is [None]. *)
+val ensure_stream :
+  t ->
+  relation:string ->
+  seed:int ->
+  capacity:int ->
+  ?bernoulli:float ->
+  ?window:int ->
+  schema:Relational.Schema.t option ->
+  unit ->
+  bool * Obs.Metrics.snapshot
+
+(** Run [f] on the named stream under its lock; returns [f]'s result
+    plus the maintenance-counter delta it produced (snapshot/diff of
+    the stream's own sink) for attribution to the calling request via
+    {!Obs.Metrics.add_snapshot}.
+    @raise Failure when no stream exists for the name. *)
+val with_stream :
+  t -> string -> (Raestat.Stream_relation.t -> 'a) -> 'a * Obs.Metrics.snapshot
+
+(** Per-stream status rows, sorted by name. *)
+val stream_infos : t -> stream_info list

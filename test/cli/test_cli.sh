@@ -39,6 +39,29 @@ echo "$out" | expect "empty estimate" "estimated COUNT: 0"
 echo "$out" | expect "empty census" "sampled 0 of 0 tuples \(100.00%\)"
 echo "$out" | expect "empty degenerate ci" "95% CI: \[0, 0\]"
 
+# ingest (streaming with maintained samples) ----------------------------
+# Convert the relation into a maintained stream, apply one batch, and
+# answer --where from the maintained sample.  Seed-fixed: repeat runs
+# are byte-identical.
+printf 'a:int\n5\n5\n5\n5\n5\n' > "$workdir/ins.csv"
+out="$("$cli" ingest "$workdir/u.csv" --inserts "$workdir/ins.csv" --delete "0-99,150" \
+  --capacity 500 --where "a < 30")"
+echo "$out" | expect "ingest summary" \
+  "ingested 5, deleted 101 \(epoch 2, population 19904, sample [0-9]+/500\)"
+echo "$out" | expect "ingest estimate" "estimated COUNT: [0-9]+"
+echo "$out" | expect "ingest maintained line" \
+  "sampled [0-9]+ of 19904 tuples .*, maintained at epoch 2"
+"$cli" ingest "$workdir/u.csv" --inserts "$workdir/ins.csv" --delete "0-99,150" \
+  --capacity 500 --where "a < 30" > "$workdir/ingest.2"
+cmp -s <(echo "$out") "$workdir/ingest.2" || fail "ingest is not deterministic"
+
+# erosion and --rescan: deleting most of the population erodes the
+# sample below half capacity; --rescan rebuilds it from the live tuples
+out="$("$cli" ingest "$workdir/u.csv" --capacity 100 --delete "0-19989" --rescan \
+  --where "a < 30")"
+echo "$out" | expect "rescan line" "rescan: rebuilt the backing sample from 10 live tuples"
+echo "$out" | expect "rescan census" "sampled 10 of 10 tuples \(100.00%\)"
+
 # pack / pagefile storage ------------------------------------------------
 # Packing is a change of storage, not of data: every command must give
 # bit-identical output whether it reads the CSV or the packed .raf.

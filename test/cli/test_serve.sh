@@ -99,6 +99,34 @@ cmp -s "$workdir/client.pages" "$workdir/ref.pages" \
 cmp -s "$workdir/client.pages2" "$workdir/ref.pages" \
   || fail "warm repeat of --pages estimate changed bytes"
 
+# streaming writes: a maintained stream answers estimates fresh ---------
+# The first write converts the bound relation into a maintained stream;
+# the estimate right after the batch already reflects it (staleness 0
+# epochs, no base-table rescan) and is byte-identical to the one-shot
+# `raestat ingest` that performed the same writes with the same seed.
+printf 'a:int\n5\n5\n5\n5\n5\n' > "$workdir/ins.csv"
+"$cli" ingest "$workdir/u.csv" --inserts "$workdir/ins.csv" --capacity 300 \
+  --where "a < 300" | tail -n +2 > "$workdir/ref.ingest"
+req_ingest='{"op": "ingest", "relation": "r", "capacity": 300, "insert": [{"a": 5}, {"a": 5}, {"a": 5}, {"a": 5}, {"a": 5}]}'
+out="$("$cli" client --socket "$sock" "$req_ingest")"
+echo "$out" | grep -q '"first_id": 20000' || fail "served ingest ids, got: $out"
+echo "$out" | grep -q '"population": 20005' || fail "served ingest population, got: $out"
+"$cli" client --socket "$sock" --text \
+  '{"op": "estimate", "relation": "r", "where": "a < 300"}' > "$workdir/client.stream"
+cmp -s "$workdir/client.stream" "$workdir/ref.ingest" \
+  || fail "served stream estimate differs from one-shot ingest --where"
+
+# the metrics op reports the stream status row (needs_rescan included)
+metrics="$("$cli" client --socket "$sock" '{"op": "metrics"}')"
+echo "$metrics" | grep -qF '"streams": [{"relation": "r", "epoch": 2, "population": 20005' \
+  || fail "metrics stream row, got: $metrics"
+echo "$metrics" | grep -q '"needs_rescan": false' || fail "metrics needs_rescan"
+
+# query through the daemon sees the stream via the snapshot overlay
+out="$("$cli" client --socket "$sock" --text \
+  '{"op": "query", "expr": "select[a < 5000](r)", "fraction": 1.0, "groups": 1}')"
+echo "$out" | grep -q "estimated COUNT: 20005 " || fail "query overlay count, got: $out"
+
 # malformed requests are per-request errors, not daemon crashes ---------
 out="$("$cli" client --socket "$sock" '{"op": ')"
 echo "$out" | grep -q '"ok": false' || fail "malformed JSON not rejected"

@@ -104,13 +104,91 @@ let test_estimate_census () =
   let est = BS.estimate_count t (P.le (P.attr "a") (P.vint 10)) in
   check_float "census exact" 10. est.Estimate.point
 
-let test_estimate_empty_raises () =
+let test_estimate_empty_population () =
+  (* Nothing inserted, and all-deleted: both are the exact-0 degenerate
+     estimate (the empty-CSV contract), never an exception. *)
   let t = BS.create (rng ()) ~capacity:5 ~schema in
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore (BS.estimate_count t P.True);
-       false
-     with Invalid_argument _ -> true)
+  let est = BS.estimate_count t P.True in
+  check_float "fresh: exact zero" 0. est.Estimate.point;
+  check_float "fresh: zero-width CI" 0. (Estimate.stderr est);
+  let ids = Array.init 20 (fun v -> BS.insert t (tuple v)) in
+  Array.iter (fun id -> ignore (BS.delete t id)) ids;
+  Alcotest.(check int) "all deleted" 0 (BS.population t);
+  let est = BS.estimate_count t P.True in
+  check_float "all deleted: exact zero" 0. est.Estimate.point;
+  check_float "all deleted: zero-width CI" 0. (Estimate.stderr est)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_estimate_exhausted_sample_fails () =
+  (* Live unsampled tuples but an empty sample: Failure (the rescan
+     message), which the CLI/daemon error contracts render — not a
+     backtrace-carrying Invalid_argument.  Ids are sequential from 0 and
+     tuples carry their own id, so a sampled value names its id: delete
+     exactly the sampled members until the sample is empty — one live
+     tuple always survives. *)
+  let r = rng () in
+  let t = BS.create r ~capacity:5 ~schema in
+  for v = 0 to 5 do
+    ignore (BS.insert t (tuple v))
+  done;
+  let sampled_id () =
+    Relation.fold
+      (fun acc tu -> match Tuple.get tu 0 with Value.Int v -> Some v | _ -> acc)
+      None (BS.sample t)
+    |> Option.get
+  in
+  while BS.sample_size t > 0 do
+    ignore (BS.delete t (sampled_id ()))
+  done;
+  Alcotest.(check int) "one live tuple" 1 (BS.population t);
+  Alcotest.(check bool) "needs rescan" true (BS.needs_rescan t);
+  match BS.estimate_count t P.True with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure message ->
+    Alcotest.(check bool) "mentions rescan" true (contains ~needle:"rescan" message)
+
+let test_rescan_restores () =
+  let r = rng ~seed:11 () in
+  let t = BS.create r ~capacity:50 ~schema in
+  let ids = Array.init 2_000 (fun v -> BS.insert t (tuple (v mod 10))) in
+  (* Erode the sample with deletions. *)
+  let live = ref [] in
+  Array.iteri
+    (fun v id ->
+      if v mod 3 = 0 then ignore (BS.delete t id) else live := (id, tuple (v mod 10)) :: !live)
+    ids;
+  let live = Array.of_list (List.rev !live) in
+  BS.rescan t live;
+  Alcotest.(check int) "population = live set" (Array.length live) (BS.population t);
+  Alcotest.(check int) "sample back at capacity" 50 (BS.sample_size t);
+  Alcotest.(check bool) "no longer needs rescan" false (BS.needs_rescan t);
+  (* Inserts after a rescan continue reservoir admission. *)
+  let id = BS.insert t (tuple 3) in
+  Alcotest.(check bool) "fresh id" true (id >= 2_000);
+  Alcotest.(check int) "population grows" (Array.length live + 1) (BS.population t)
+
+let test_rescan_rejects_alien_ids () =
+  let t = BS.create (rng ()) ~capacity:5 ~schema in
+  ignore (BS.insert t (tuple 1));
+  Alcotest.check_raises "unissued id"
+    (Invalid_argument "Backing_sample.rescan: id was never issued by this sample")
+    (fun () -> BS.rescan t [| (7, tuple 7) |])
+
+let test_metrics_accounting () =
+  let metrics = Obs.Metrics.create () in
+  let r = rng ~seed:13 () in
+  let t = BS.create ~metrics r ~capacity:10 ~schema in
+  let ids = Array.init 100 (fun v -> BS.insert t (tuple v)) in
+  ignore (BS.delete t ids.(0));
+  let s = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "inserts + delete ticked" 101 s.Obs.Metrics.maintenance_ops;
+  Alcotest.(check int) "admission draws accounted" (Sampling.Rng.draws r)
+    s.Obs.Metrics.rng_draws;
+  Alcotest.(check bool) "draws happened" true (s.Obs.Metrics.rng_draws >= 90)
 
 let test_estimate_tracks_deletions () =
   let r = rng () in
@@ -134,6 +212,11 @@ let suite =
     Alcotest.test_case "needs_rescan" `Quick test_needs_rescan;
     Alcotest.test_case "estimate_count" `Quick test_estimate_count;
     Alcotest.test_case "estimate at census" `Quick test_estimate_census;
-    Alcotest.test_case "estimate on empty raises" `Quick test_estimate_empty_raises;
+    Alcotest.test_case "estimate on empty population" `Quick test_estimate_empty_population;
+    Alcotest.test_case "estimate on exhausted sample" `Quick
+      test_estimate_exhausted_sample_fails;
+    Alcotest.test_case "rescan restores" `Quick test_rescan_restores;
+    Alcotest.test_case "rescan rejects alien ids" `Quick test_rescan_rejects_alien_ids;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
     Alcotest.test_case "estimate tracks deletions" `Quick test_estimate_tracks_deletions;
   ]

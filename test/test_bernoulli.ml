@@ -50,6 +50,51 @@ let test_relation () =
   Alcotest.(check bool) "schema" true
     (Schema.equal (Relation.schema relation) (Relation.schema s))
 
+let test_maintained_matches_fresh () =
+  (* A maintained sample after an insert-only stream must be
+     distributed identically to a one-shot Bernoulli sample: same rng,
+     same p, one coin per element in stream order. *)
+  let a = Array.init 300 (fun i -> i) in
+  let one_shot = Bernoulli.sample (rng ~seed:99 ()) ~p:0.4 a in
+  let m = Bernoulli.maintained (rng ~seed:99 ()) ~p:0.4 () in
+  Array.iteri (fun i x -> Bernoulli.insert m ~id:i x) a;
+  let kept = Array.map snd (Bernoulli.contents m) in
+  Alcotest.(check bool) "same kept set" true (one_shot = kept)
+
+let test_maintained_deletes () =
+  let m = Bernoulli.maintained (rng ~seed:7 ()) ~p:1.0 () in
+  for i = 0 to 99 do
+    Bernoulli.insert m ~id:i i
+  done;
+  Alcotest.(check int) "all kept at p=1" 100 (Bernoulli.size m);
+  for i = 0 to 99 do
+    if i mod 2 = 0 then Bernoulli.delete m ~id:i
+  done;
+  Alcotest.(check int) "half deleted" 50 (Bernoulli.size m);
+  Array.iter
+    (fun (id, x) ->
+      Alcotest.(check int) "id is value" id x;
+      if id mod 2 = 0 then Alcotest.failf "deleted id %d still kept" id)
+    (Bernoulli.contents m);
+  for i = 0 to 99 do
+    Bernoulli.delete m ~id:i
+  done;
+  Alcotest.(check int) "empty after deleting all" 0 (Bernoulli.size m)
+
+let test_maintained_metrics () =
+  let metrics = Obs.Metrics.create () in
+  let r = rng ~seed:3 () in
+  let m = Bernoulli.maintained ~metrics r ~p:0.5 () in
+  for i = 0 to 49 do
+    Bernoulli.insert m ~id:i i
+  done;
+  for i = 0 to 9 do
+    Bernoulli.delete m ~id:i
+  done;
+  let s = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "one maintenance op per write" 60 s.Obs.Metrics.maintenance_ops;
+  Alcotest.(check int) "one draw per insert" 50 s.Obs.Metrics.rng_draws
+
 let suite =
   [
     Alcotest.test_case "extremes" `Quick test_extremes;
@@ -58,4 +103,7 @@ let suite =
     Alcotest.test_case "expected size" `Quick test_expected_size;
     Alcotest.test_case "size distribution" `Quick test_size_distribution;
     Alcotest.test_case "relation" `Quick test_relation;
+    Alcotest.test_case "maintained matches fresh" `Quick test_maintained_matches_fresh;
+    Alcotest.test_case "maintained deletes" `Quick test_maintained_deletes;
+    Alcotest.test_case "maintained metrics" `Quick test_maintained_metrics;
   ]

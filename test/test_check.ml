@@ -105,6 +105,13 @@ let deaf =
           ~columnar rng catalog ~fraction expr);
   }
 
+(* Skipped deletions: the writer applies inserts but silently drops
+   every delete, so the stream's population and samples keep dead
+   tuples.  The maintenance oracle's trace differential must notice. *)
+let skip_deletions stream = function
+  | Oracle.Add tuple -> ignore (Raestat.Stream_relation.insert stream tuple)
+  | Oracle.Remove _ -> ()
+
 (* --- tests ------------------------------------------------------------ *)
 
 let check_verdict name expected got =
@@ -184,6 +191,39 @@ let test_conservation_flags_dropped_metrics () =
   Alcotest.(check bool) "conservation clean on reference" true
     (Oracle.check_one ~replicates ~oracle:"conservation" join_case = None)
 
+let test_maintenance_oracle () =
+  Alcotest.(check bool) "maintenance clean on selection case" true
+    (Oracle.check_one ~replicates ~oracle:"maintenance" selection_case = None);
+  Alcotest.(check bool) "maintenance clean on join case" true
+    (Oracle.check_one ~replicates ~oracle:"maintenance" join_case = None);
+  for id = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "maintenance clean on generated case %d" id)
+      true
+      (Oracle.check_one ~replicates ~oracle:"maintenance" (Gen.case ~master:2024 ~id)
+      = None)
+  done
+
+let test_maintenance_flags_skipped_deletions () =
+  let mutant = Oracle.maintenance_oracle ~writer:skip_deletions () in
+  let fails case =
+    match mutant.Oracle.run Oracle.reference ~replicates case with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass | Oracle.Skip _ -> false
+  in
+  Alcotest.(check bool) "mutant caught" true (fails nested_case);
+  (* The defect shrinks: the trace differential fails for any non-empty
+     pool (the drain phase deletes every live id, a dropped deletion
+     leaves the population non-zero), so minimization bottoms out at a
+     bare leaf with one tuple. *)
+  let shrunk = Shrink.minimize ~check:fails nested_case in
+  (match shrunk.Gen.expr with
+  | Expr.Base "r0" -> ()
+  | other -> Alcotest.failf "expected bare leaf, got %s" (Expr.to_string other));
+  match shrunk.Gen.body with
+  | Gen.Bag [ spec ] -> Alcotest.(check int) "minimal cardinality" 1 spec.Gen.card
+  | _ -> Alcotest.fail "expected a single bag relation"
+
 let test_shrink_minimizes () =
   let subject = biased 1.05 in
   let still_fails case =
@@ -253,6 +293,9 @@ let suite =
     Alcotest.test_case "pushdown oracle" `Quick test_pushdown_oracle;
     Alcotest.test_case "conservation flags dropped metrics" `Quick
       test_conservation_flags_dropped_metrics;
+    Alcotest.test_case "maintenance oracle" `Quick test_maintenance_oracle;
+    Alcotest.test_case "maintenance flags skipped deletions" `Quick
+      test_maintenance_flags_skipped_deletions;
     Alcotest.test_case "shrink minimizes" `Quick test_shrink_minimizes;
     Alcotest.test_case "contractions" `Quick test_contractions;
     Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;

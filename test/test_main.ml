@@ -38,6 +38,7 @@ let () =
       ("aggregate", Test_aggregate.suite);
       ("stratified-estimator", Test_stratified_estimator.suite);
       ("backing-sample", Test_backing_sample.suite);
+      ("stream-relation", Test_stream_relation.suite);
       ("group-count", Test_group_count.suite);
       ("group-sum", Test_group_sum.suite);
       ("sample-size", Test_sample_size.suite);

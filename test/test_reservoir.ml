@@ -99,6 +99,22 @@ let test_invalid_capacity () =
   Alcotest.check_raises "zero" (Invalid_argument "Reservoir.create: capacity must be positive")
     (fun () -> ignore (Reservoir.create (rng ()) ~capacity:0))
 
+let test_metrics_accounting () =
+  (* Algorithm R: the initial fill draws nothing, each later element
+     draws once (no rejection at small bounds is not guaranteed, so
+     compare against the rng's own draw counter rather than a constant). *)
+  let metrics = Obs.Metrics.create () in
+  let r = rng ~seed:21 () in
+  let t = Reservoir.create ~metrics r ~capacity:8 in
+  for i = 1 to 200 do
+    Reservoir.add t i
+  done;
+  let s = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "one maintenance op per add" 200 s.Obs.Metrics.maintenance_ops;
+  Alcotest.(check int) "all reservoir draws accounted" (Sampling.Rng.draws r)
+    s.Obs.Metrics.rng_draws;
+  Alcotest.(check bool) "post-fill adds drew" true (s.Obs.Metrics.rng_draws >= 192)
+
 let suite =
   [
     Alcotest.test_case "underfull keeps everything" `Quick test_underfull;
@@ -110,4 +126,5 @@ let suite =
     Alcotest.test_case "geometric skip clamped" `Quick test_skip_clamp;
     Alcotest.test_case "long stream (algorithm L)" `Quick test_long_stream_l;
     Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
   ]

@@ -679,6 +679,195 @@ let test_server_reload_during_inflight () =
     Alcotest.(check (option int)) "five reloads" (Some 5) (Json.int_field m "generation")
   | _ -> Alcotest.fail "metrics after reloads"
 
+(* --- streaming writes --------------------------------------------------- *)
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let result_field line name =
+  match response line with
+  | _, true, payload -> Option.get (Json.member name payload)
+  | _, false, Json.Str message -> Alcotest.failf "request failed: %s" message
+  | _ -> Alcotest.failf "bad response %S" line
+
+let point_of line =
+  match result_field line "point" with
+  | Json.Float p -> p
+  | Json.Int p -> float_of_int p
+  | _ -> Alcotest.failf "response %S has a non-numeric point" line
+
+let test_server_stream_writes () =
+  with_server @@ fun state ->
+  (* Unbound relation: schema inferred from the first tuple. *)
+  let line =
+    Server.handle_line state {|{"op": "insert", "relation": "s", "tuple": {"a": 7}}|}
+  in
+  Alcotest.(check bool) "first id" true (result_field line "id" = Json.Int 0);
+  Alcotest.(check bool) "population" true (result_field line "population" = Json.Int 1);
+  Alcotest.(check bool) "epoch" true (result_field line "epoch" = Json.Int 1);
+  let line = Server.handle_line state {|{"op": "delete", "relation": "s", "id": 0}|} in
+  Alcotest.(check bool) "deleted" true (result_field line "deleted" = Json.Bool true);
+  let line = Server.handle_line state {|{"op": "delete", "relation": "s", "id": 0}|} in
+  Alcotest.(check bool)
+    "dead delete is a no-op" true
+    (result_field line "deleted" = Json.Bool false);
+  let line =
+    Server.handle_line state
+      {|{"op": "ingest", "relation": "s",
+         "insert": [{"a": 1}, {"a": 2}, {"a": 3}], "delete": [1]}|}
+  in
+  Alcotest.(check bool) "batch first id" true (result_field line "first_id" = Json.Int 1);
+  Alcotest.(check bool) "batch inserted" true (result_field line "inserted" = Json.Int 3);
+  Alcotest.(check bool) "batch deleted" true (result_field line "deleted" = Json.Int 1);
+  Alcotest.(check bool)
+    "batch population" true
+    (result_field line "population" = Json.Int 2);
+  (* Writes to a name that is neither bound nor inferable are errors,
+     through the standard JSON error contract. *)
+  let message =
+    error_message
+      (Server.handle_line state {|{"op": "delete", "relation": "nope", "id": 0}|})
+  in
+  Alcotest.(check bool) "unbound delete mentions binding" true (contains "not bound" message);
+  let message =
+    error_message (Server.handle_line state {|{"op": "rescan", "relation": "never"}|})
+  in
+  Alcotest.(check bool)
+    "rescan needs an existing stream" true
+    (contains "no maintained stream" message)
+
+let test_server_stream_estimate_fresh () =
+  with_server @@ fun state ->
+  (* The first write converts the bound CSV relation (200 tuples,
+     a = i mod 100) into a maintained stream; ids continue after it. *)
+  let line =
+    Server.handle_line state
+      {|{"op": "ingest", "relation": "r", "insert": [{"a": 0}, {"a": 5}, {"a": 10}]}|}
+  in
+  Alcotest.(check bool)
+    "ids continue after conversion" true
+    (result_field line "first_id" = Json.Int 200);
+  Alcotest.(check bool) "population" true (result_field line "population" = Json.Int 203);
+  (* Default capacity 1024 >= population: the maintained sample is a
+     census, so the served estimate is exact — and already reflects the
+     batch that just landed: staleness 0 epochs, no rescan, no base
+     rescan cost. *)
+  let line = Server.handle_line state {|{"op": "estimate", "where": "a < 30"}|} in
+  check_float "fresh exact count" 63. (point_of line);
+  (* Epoch 1 was the conversion of the bound relation, epoch 2 this
+     batch. *)
+  Alcotest.(check bool) "epoch surfaced" true (result_field line "epoch" = Json.Int 2);
+  Alcotest.(check bool)
+    "no rescan needed" true
+    (result_field line "needs_rescan" = Json.Bool false);
+  Alcotest.(check bool)
+    "maintained render" true
+    (contains "maintained at epoch 2" (result_text line));
+  (* The next batch is visible to the very next estimate. *)
+  ignore
+    (Server.handle_line state {|{"op": "ingest", "relation": "r", "insert": [{"a": 1}]}|});
+  let line = Server.handle_line state {|{"op": "estimate", "where": "a < 30"}|} in
+  check_float "still fresh" 64. (point_of line);
+  (* Page sampling has no maintained analogue: explicit error. *)
+  let message =
+    error_message
+      (Server.handle_line state {|{"op": "estimate", "where": "a < 30", "pages": 2}|})
+  in
+  Alcotest.(check bool) "pages on a stream errors" true (contains "maintained stream" message)
+
+let test_server_stream_query_overlay () =
+  with_server @@ fun state ->
+  let q = {|{"op": "query", "expr": "select[a < 30](r)", "fraction": 1.0, "groups": 1}|} in
+  let before = result_text (Server.handle_line state q) in
+  Alcotest.(check bool)
+    "census before writes" true
+    (contains "estimated COUNT: 60 " before);
+  ignore
+    (Server.handle_line state
+       {|{"op": "ingest", "relation": "r",
+          "insert": [{"a": 0}, {"a": 0}, {"a": 0}, {"a": 0}, {"a": 0}]}|});
+  (* Same request line again: the cached pre-write plan must not be
+     served — the plan key carries the stream epoch. *)
+  let after = result_text (Server.handle_line state q) in
+  Alcotest.(check bool) "overlay sees the batch" true (contains "estimated COUNT: 65 " after);
+  let sql_text =
+    result_text
+      (Server.handle_line state
+         {|{"op": "sql", "query": "SELECT COUNT(*) FROM r WHERE a < 30",
+            "fraction": 1.0, "groups": 1}|})
+  in
+  Alcotest.(check bool) "sql sees the stream" true (contains "estimated COUNT: 65 " sql_text)
+
+let test_server_stream_rescan () =
+  with_server @@ fun state ->
+  (* Creation-only batch with a small capacity bound at first touch:
+     the conversion samples 20 of the 200 bound tuples. *)
+  let line =
+    Server.handle_line state
+      {|{"op": "ingest", "relation": "r", "capacity": 20, "insert": [], "delete": []}|}
+  in
+  Alcotest.(check bool) "no-op batch" true (result_field line "first_id" = Json.Int (-1));
+  Alcotest.(check bool) "converted" true (result_field line "population" = Json.Int 200);
+  Alcotest.(check bool) "sampled" true (result_field line "sample_size" = Json.Int 20);
+  (* Delete 199 of 200: the sample erodes to at most one survivor. *)
+  let deletes = String.concat ", " (List.init 199 string_of_int) in
+  let line =
+    Server.handle_line state
+      (Printf.sprintf {|{"op": "ingest", "relation": "r", "delete": [%s]}|} deletes)
+  in
+  Alcotest.(check bool) "eroded" true (result_field line "needs_rescan" = Json.Bool true);
+  (* The metrics op surfaces the per-stream gauge and the maintenance
+     counter. *)
+  let line_m = Server.handle_line state {|{"op": "metrics"}|} in
+  (match result_field line_m "streams" with
+  | Json.List [ Json.Obj fields ] ->
+    Alcotest.(check bool)
+      "metrics needs_rescan" true
+      (List.assoc "needs_rescan" fields = Json.Bool true);
+    Alcotest.(check bool)
+      "metrics population" true
+      (List.assoc "population" fields = Json.Int 1)
+  | _ -> Alcotest.fail "streams shape");
+  (match result_field line_m "counters" with
+  | Json.Obj counters -> (
+    match List.assoc "maintenance_ops" counters with
+    | Json.Int n -> Alcotest.(check bool) "maintenance counted" true (n >= 399)
+    | _ -> Alcotest.fail "maintenance_ops shape")
+  | _ -> Alcotest.fail "counters shape");
+  (* Explicit rescan rebuilds the sample from the one live tuple. *)
+  let line = Server.handle_line state {|{"op": "rescan", "relation": "r"}|} in
+  Alcotest.(check bool) "restored" true (result_field line "needs_rescan" = Json.Bool false);
+  Alcotest.(check bool)
+    "sample = population" true
+    (result_field line "sample_size" = Json.Int 1);
+  (* The lone survivor is tuple 199, a = 99. *)
+  let line = Server.handle_line state {|{"op": "estimate", "where": "a < 30"}|} in
+  check_float "exact after rescan" 0. (point_of line)
+
+(* Byte-level worker invariance for the streaming path: all randomness
+   is drawn at write time in request order, so a 4-domain pool returns
+   the same bytes as a single worker — including sampled (non-census)
+   estimates over the maintained sample. *)
+let test_server_stream_worker_invariance () =
+  let script state =
+    [
+      {|{"op": "ingest", "relation": "r", "capacity": 50, "insert": [{"a": 3}, {"a": 7}]}|};
+      {|{"op": "estimate", "where": "a < 30"}|};
+      {|{"op": "insert", "relation": "r", "tuple": {"a": 12}}|};
+      {|{"op": "estimate", "where": "a < 30"}|};
+      {|{"op": "query", "expr": "select[a < 30](r)", "fraction": 0.5, "groups": 2}|};
+      {|{"op": "delete", "relation": "r", "id": 0}|};
+      {|{"op": "estimate", "where": "a < 30"}|};
+    ]
+    |> List.map (Server.execute state)
+    |> String.concat "\n"
+  in
+  let one = with_server ~workers:1 @@ script in
+  let four = with_server ~workers:4 @@ script in
+  Alcotest.(check string) "streamed responses: 1 worker = 4 workers" one four
+
 (* The determinism contract at the unit level: the same request line
    executed on pooled worker domains returns the same bytes as the
    embedder's single-threaded handle_line. *)
@@ -726,6 +915,12 @@ let suite =
     Alcotest.test_case "warm sample cache concurrent" `Quick test_warm_sample_concurrent;
     Alcotest.test_case "reload during in-flight requests" `Quick
       test_server_reload_during_inflight;
+    Alcotest.test_case "stream writes" `Quick test_server_stream_writes;
+    Alcotest.test_case "stream estimate is fresh" `Quick test_server_stream_estimate_fresh;
+    Alcotest.test_case "stream query overlay" `Quick test_server_stream_query_overlay;
+    Alcotest.test_case "stream rescan" `Quick test_server_stream_rescan;
+    Alcotest.test_case "stream worker invariance" `Quick
+      test_server_stream_worker_invariance;
     Alcotest.test_case "worker count invariance" `Quick
       test_server_worker_count_invariance;
   ]

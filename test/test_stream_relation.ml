@@ -1,0 +1,172 @@
+open Helpers
+module SR = Raestat.Stream_relation
+module Estimate = Stats.Estimate
+module P = Predicate
+
+let schema = Schema.of_list [ ("a", Value.Tint) ]
+
+let tuple v = Tuple.make [ Value.Int v ]
+
+let value tu = match Tuple.get tu 0 with Value.Int v -> v | _ -> assert false
+
+let test_insert_delete_epoch () =
+  let t = SR.create ~seed:1 ~schema () in
+  Alcotest.(check int) "epoch 0" 0 (SR.epoch t);
+  let id = SR.insert t (tuple 7) in
+  Alcotest.(check int) "first id" 0 id;
+  Alcotest.(check int) "epoch bumped" 1 (SR.epoch t);
+  Alcotest.(check int) "population" 1 (SR.population t);
+  Alcotest.(check bool) "live" true (SR.mem t id);
+  Alcotest.(check bool) "delete" true (SR.delete t id);
+  Alcotest.(check int) "epoch bumped again" 2 (SR.epoch t);
+  Alcotest.(check int) "empty" 0 (SR.population t);
+  Alcotest.(check bool) "dead delete is a no-op" false (SR.delete t id);
+  Alcotest.(check int) "no bump on no-op" 2 (SR.epoch t)
+
+let test_ingest_batch () =
+  let t = SR.create ~seed:2 ~schema () in
+  let c = SR.ingest t ~inserts:(Array.init 10 tuple) ~deletes:[||] in
+  Alcotest.(check int) "first id" 0 c.SR.first_id;
+  Alcotest.(check int) "inserted" 10 c.SR.inserted;
+  Alcotest.(check int) "one epoch per batch" 1 (SR.epoch t);
+  let c = SR.ingest t ~inserts:(Array.init 5 (fun v -> tuple (v + 10))) ~deletes:[| 0; 1; 99 |] in
+  Alcotest.(check int) "second batch first id" 10 c.SR.first_id;
+  Alcotest.(check int) "deletes count live only" 2 c.SR.deleted;
+  Alcotest.(check int) "population" 13 (SR.population t);
+  Alcotest.(check int) "epoch 2" 2 (SR.epoch t);
+  let c = SR.ingest t ~inserts:[||] ~deletes:[| 0 |] in
+  Alcotest.(check int) "empty batch: first_id -1" (-1) c.SR.first_id;
+  Alcotest.(check int) "no-op batch: no bump" 2 (SR.epoch t)
+
+let test_estimate_fresh_after_writes () =
+  (* The estimate must reflect the batch that just landed, with no
+     rescan: census while underfull, so exact. *)
+  let t = SR.create ~capacity:100 ~seed:3 ~schema () in
+  ignore (SR.ingest t ~inserts:(Array.init 50 tuple) ~deletes:[||]);
+  let est = SR.estimate_count t (P.lt (P.attr "a") (P.vint 20)) in
+  check_float "exact at census" 20. est.Estimate.point;
+  ignore (SR.ingest t ~inserts:(Array.init 50 (fun v -> tuple (v + 50))) ~deletes:[||]);
+  let est = SR.estimate_count t (P.lt (P.attr "a") (P.vint 20)) in
+  check_float "still exact after second batch" 20. est.Estimate.point
+
+let test_estimate_sampled () =
+  let t = SR.create ~capacity:400 ~seed:4 ~schema () in
+  let inserts = Array.init 20_000 (fun v -> tuple (v mod 100)) in
+  ignore (SR.ingest t ~inserts ~deletes:[||]);
+  let est = SR.estimate_count t (P.lt (P.attr "a") (P.vint 25)) in
+  check_close ~tol:0.25 "sampled estimate sane" 5_000. est.Estimate.point
+
+let test_snapshot_memoized () =
+  let t = SR.create ~seed:5 ~schema () in
+  ignore (SR.ingest t ~inserts:(Array.init 100 tuple) ~deletes:[||]);
+  let s1 = SR.snapshot t in
+  let s2 = SR.snapshot t in
+  Alcotest.(check bool) "same epoch, same physical relation" true (s1 == s2);
+  Alcotest.(check int) "cardinality" 100 (Relation.cardinality s1);
+  ignore (SR.delete t 0);
+  let s3 = SR.snapshot t in
+  Alcotest.(check bool) "new epoch, fresh relation" false (s1 == s3);
+  Alcotest.(check int) "tracks delete" 99 (Relation.cardinality s3);
+  (* Id order = insertion order. *)
+  Alcotest.(check int) "first survivor" 1 (value (Relation.tuple s3 0))
+
+let test_maintained_samples () =
+  let t =
+    SR.create ~capacity:50 ~bernoulli:0.2 ~window:100 ~window_chains:8 ~seed:6 ~schema ()
+  in
+  ignore (SR.ingest t ~inserts:(Array.init 5_000 tuple) ~deletes:[||]);
+  check_float "bernoulli p" 0.2 (Option.get (SR.bernoulli_p t));
+  let bsize = Option.get (SR.bernoulli_size t) in
+  (* Binomial(5000, 0.2): mean 1000, sd ≈ 28. *)
+  Alcotest.(check bool) "bernoulli near mean" true (abs (bsize - 1000) < 150);
+  let b = Option.get (SR.bernoulli_sample t) in
+  Alcotest.(check int) "bernoulli relation size" bsize (Relation.cardinality b);
+  let w = Option.get (SR.window_sample t) in
+  Alcotest.(check int) "one draw per chain" 8 (Array.length w);
+  Array.iter
+    (fun tu ->
+      let v = value tu in
+      if v < 4_900 then Alcotest.failf "window draw %d outside last 100" v)
+    w;
+  Alcotest.(check int) "window size" 100 (Option.get (SR.window_size t))
+
+let test_delete_all_consistent_empty () =
+  let t = SR.create ~capacity:10 ~bernoulli:0.5 ~seed:7 ~schema () in
+  ignore (SR.ingest t ~inserts:(Array.init 200 tuple) ~deletes:[||]);
+  for id = 0 to 199 do
+    ignore (SR.delete t id)
+  done;
+  Alcotest.(check int) "population 0" 0 (SR.population t);
+  Alcotest.(check int) "sample 0" 0 (SR.sample_size t);
+  Alcotest.(check int) "bernoulli 0" 0 (Option.get (SR.bernoulli_size t));
+  Alcotest.(check bool) "no rescan needed on empty" false (SR.needs_rescan t);
+  let est = SR.estimate_count t P.True in
+  check_float "exact-0 estimate" 0. est.Estimate.point;
+  Alcotest.(check int) "empty snapshot" 0 (Relation.cardinality (SR.snapshot t))
+
+let test_rescan_after_erosion () =
+  let t = SR.create ~capacity:20 ~seed:8 ~schema () in
+  ignore (SR.ingest t ~inserts:(Array.init 1_000 tuple) ~deletes:[||]);
+  (* Delete ~everything the sample holds plus more, eroding it. *)
+  let deletes = Array.init 900 (fun i -> i) in
+  ignore (SR.ingest t ~inserts:[||] ~deletes);
+  if SR.needs_rescan t then begin
+    let before = SR.epoch t in
+    SR.rescan t;
+    Alcotest.(check bool) "rescan bumps epoch" true (SR.epoch t > before);
+    Alcotest.(check bool) "restored" false (SR.needs_rescan t);
+    Alcotest.(check int) "sample refilled" 20 (SR.sample_size t)
+  end;
+  let est = SR.estimate_count t (P.ge (P.attr "a") (P.vint 900)) in
+  check_float "estimate exact after rescan (census)" 100. est.Estimate.point
+
+let test_write_time_determinism () =
+  (* Two streams fed the same ops give byte-identical state; reads in
+     between draw nothing and change nothing. *)
+  let feed reads =
+    let t = SR.create ~capacity:30 ~bernoulli:0.3 ~window:50 ~seed:42 ~schema () in
+    for v = 0 to 499 do
+      ignore (SR.insert t (tuple v));
+      if reads && v mod 7 = 0 then begin
+        ignore (SR.estimate_count t P.True);
+        ignore (SR.snapshot t)
+      end;
+      if v mod 3 = 0 then ignore (SR.delete t (v / 2))
+    done;
+    ( Relation.tuples (SR.sample t),
+      Option.get (SR.bernoulli_size t),
+      Array.map value (Option.get (SR.window_sample t)),
+      SR.epoch t )
+  in
+  let a = feed false and b = feed true in
+  Alcotest.(check bool) "reads are invisible" true (a = b)
+
+let test_metrics_delta_attribution () =
+  let metrics = Obs.Metrics.create () in
+  let t = SR.create ~capacity:10 ~metrics ~seed:9 ~schema () in
+  let before = Obs.Metrics.snapshot metrics in
+  ignore (SR.ingest t ~inserts:(Array.init 100 tuple) ~deletes:[| 0; 1 |]);
+  let delta = Obs.Metrics.diff (Obs.Metrics.snapshot metrics) before in
+  Alcotest.(check int) "maintenance ops: 100 inserts + 2 deletes" 102
+    delta.Obs.Metrics.maintenance_ops;
+  Alcotest.(check bool) "draws accounted" true (delta.Obs.Metrics.rng_draws > 0);
+  (* Attribution: add the delta into a request sink. *)
+  let request = Obs.Metrics.create () in
+  Obs.Metrics.add_snapshot request delta;
+  Alcotest.(check bool) "request sink carries the delta" true
+    (Obs.Metrics.counters_equal (Obs.Metrics.snapshot request) delta)
+
+let suite =
+  [
+    Alcotest.test_case "insert/delete/epoch" `Quick test_insert_delete_epoch;
+    Alcotest.test_case "ingest batches" `Quick test_ingest_batch;
+    Alcotest.test_case "estimate fresh after writes" `Quick test_estimate_fresh_after_writes;
+    Alcotest.test_case "estimate sampled" `Quick test_estimate_sampled;
+    Alcotest.test_case "snapshot memoized by epoch" `Quick test_snapshot_memoized;
+    Alcotest.test_case "maintained samples" `Quick test_maintained_samples;
+    Alcotest.test_case "delete-all leaves consistent empty" `Quick
+      test_delete_all_consistent_empty;
+    Alcotest.test_case "rescan after erosion" `Quick test_rescan_after_erosion;
+    Alcotest.test_case "write-time determinism" `Quick test_write_time_determinism;
+    Alcotest.test_case "metrics delta attribution" `Quick test_metrics_delta_attribution;
+  ]

@@ -75,6 +75,51 @@ let test_window_estimation_workflow () =
   (* True expectation 600; with-replacement sd ≈ 46. *)
   check_close ~tol:0.25 "window count estimate" 600. estimate
 
+let test_linear_work () =
+  (* Regression for the quadratic successor append: 100k elements
+     through one chain must cost O(1) amortized cell operations per
+     add.  A chain records a successor about every W/W = 1 in
+     expectation per admitted link, and each link is consed once,
+     reversed at most once and expired at most once — so total work is
+     bounded by a small constant times the stream length.  The old
+     [links @ [x]] append made this quadratic in the chain length
+     (work/n grew with W); 6n is generous for the fixed version and
+     far below the old cost at this window size. *)
+  let n = 100_000 in
+  let w = Window.create (rng ~seed:77 ()) ~window:20_000 () in
+  for v = 1 to n do
+    Window.add w v
+  done;
+  let work = Window.work w in
+  if work > 6 * n then
+    Alcotest.failf "per-add maintenance work grew: %d cell ops for %d adds" work n;
+  (* And the first half of the stream must not be materially cheaper
+     than the second (quadratic growth back-loads the work). *)
+  let w2 = Window.create (rng ~seed:77 ()) ~window:20_000 () in
+  for v = 1 to n / 2 do
+    Window.add w2 v
+  done;
+  let first_half = Window.work w2 in
+  for v = (n / 2) + 1 to n do
+    Window.add w2 v
+  done;
+  let second_half = Window.work w2 - first_half in
+  if second_half > 8 * (first_half + 100) then
+    Alcotest.failf "maintenance work accelerating: %d then %d" first_half second_half
+
+let test_metrics_accounting () =
+  let metrics = Obs.Metrics.create () in
+  let r = rng ~seed:5 () in
+  let w = Window.create ~k:3 ~metrics r ~window:10 () in
+  for v = 1 to 50 do
+    Window.add w v
+  done;
+  let s = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "maintenance ops: one per chain per add" (3 * 50)
+    s.Obs.Metrics.maintenance_ops;
+  Alcotest.(check int) "all window draws accounted" (Sampling.Rng.draws r)
+    s.Obs.Metrics.rng_draws
+
 let test_validation () =
   Alcotest.(check bool) "bad window" true
     (try
@@ -94,5 +139,7 @@ let suite =
     Alcotest.test_case "uniform over window (MC)" `Slow test_uniform_over_window;
     Alcotest.test_case "multiple chains" `Quick test_multiple_chains;
     Alcotest.test_case "window estimation workflow" `Quick test_window_estimation_workflow;
+    Alcotest.test_case "linear maintenance work (100k)" `Quick test_linear_work;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
     Alcotest.test_case "validation" `Quick test_validation;
   ]
